@@ -1,0 +1,141 @@
+//! Baseline private-ERM methods — the prior art the paper positions
+//! itself against (its refs \[5\] Chaudhuri & Monteleoni, NIPS 2008, and
+//! \[6\] Chaudhuri, Monteleoni & Sarwate, JMLR 2011).
+//!
+//! * [`nonprivate`] — regularized ERM, the utility ceiling.
+//! * [`output_perturbation`] — train, then add norm-calibrated noise to
+//!   the weight vector (the "sensitivity method").
+//! * [`objective_perturbation`] — add a random linear term to the
+//!   training objective before optimizing.
+//!
+//! All three assume the standard preconditions of those papers: feature
+//! vectors with `‖x‖₂ ≤ 1` ([`normalize::scale_to_unit_ball`] enforces
+//! this), labels in `{−1, +1}`, **no unregularized bias term**, and a
+//! convex loss with bounded derivatives (logistic or Huber-hinge).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod normalize;
+pub mod objective_perturbation;
+pub mod output_perturbation;
+
+/// Errors produced by the baselines layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// An invalid argument.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint description.
+        reason: String,
+    },
+    /// An underlying learning-layer failure.
+    Learning(dplearn_learning::LearningError),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            BaselineError::Learning(e) => write!(f, "learning error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::Learning(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dplearn_learning::LearningError> for BaselineError {
+    fn from(e: dplearn_learning::LearningError) -> Self {
+        BaselineError::Learning(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, BaselineError>;
+
+/// Non-private regularized ERM (the utility ceiling for E8).
+pub mod nonprivate {
+    use super::Result;
+    use dplearn_learning::data::Dataset;
+    use dplearn_learning::erm::{erm_linear, LinearErmConfig, MarginLoss};
+    use dplearn_learning::hypothesis::LinearModel;
+
+    /// Train an L2-regularized linear model with no bias term (matching
+    /// the preconditions of the private baselines for fair comparison).
+    pub fn train(data: &Dataset, loss: MarginLoss, lambda: f64) -> Result<LinearModel> {
+        let cfg = LinearErmConfig {
+            lambda,
+            fit_bias: false,
+            ..Default::default()
+        };
+        Ok(erm_linear(loss, data, &cfg)?)
+    }
+}
+
+/// Shared helper: draw a vector with a Gamma(d, scale)-distributed norm
+/// and uniformly random direction — the noise shape of both perturbation
+/// baselines (density ∝ exp(−‖b‖/scale)).
+pub(crate) fn sample_gamma_norm_vector<R: dplearn_numerics::rng::Rng + ?Sized>(
+    d: usize,
+    scale: f64,
+    rng: &mut R,
+) -> Vec<f64> {
+    use dplearn_numerics::distributions::{Exponential, Gaussian, Sample};
+    // Gamma(d, scale) with integer shape d = sum of d Exp(1/scale).
+    let expo = Exponential::new(1.0 / scale).expect("positive scale");
+    let norm: f64 = (0..d).map(|_| expo.sample(rng)).sum();
+    // Uniform direction from a normalized Gaussian vector.
+    let gauss = Gaussian::standard();
+    loop {
+        let dir: Vec<f64> = (0..d).map(|_| gauss.sample(rng)).collect();
+        let len = dplearn_numerics::linalg::norm2(&dir);
+        if len > 1e-12 {
+            return dir.into_iter().map(|v| v * norm / len).collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dplearn_numerics::rng::Xoshiro256;
+    use dplearn_numerics::stats;
+
+    #[test]
+    fn gamma_norm_vector_has_gamma_moments() {
+        let mut rng = Xoshiro256::seed_from(1);
+        let d = 3;
+        let scale = 2.0;
+        let norms: Vec<f64> = (0..50_000)
+            .map(|_| dplearn_numerics::linalg::norm2(&sample_gamma_norm_vector(d, scale, &mut rng)))
+            .collect();
+        // Gamma(3, 2): mean 6, var 12.
+        assert!((stats::mean(&norms).unwrap() - 6.0).abs() < 0.1);
+        assert!((stats::variance(&norms).unwrap() - 12.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn gamma_norm_vector_direction_is_isotropic() {
+        let mut rng = Xoshiro256::seed_from(2);
+        let mut mean = [0.0f64; 2];
+        let n = 20_000;
+        for _ in 0..n {
+            let v = sample_gamma_norm_vector(2, 1.0, &mut rng);
+            let len = dplearn_numerics::linalg::norm2(&v);
+            mean[0] += v[0] / len;
+            mean[1] += v[1] / len;
+        }
+        assert!(mean[0].abs() / (n as f64) < 0.02);
+        assert!(mean[1].abs() / (n as f64) < 0.02);
+    }
+}

@@ -1,0 +1,230 @@
+//! Output perturbation ("sensitivity method") — Chaudhuri & Monteleoni,
+//! NIPS 2008; Algorithm 1 of Chaudhuri, Monteleoni & Sarwate, JMLR 2011.
+//!
+//! Train the L2-regularized ERM `w* = argmin (1/n)Σ ℓ(y⟨w,x⟩) + (Λ/2)‖w‖²`
+//! and release `w* + b`, where `b` has density `∝ exp(−(nΛε/2)·‖b‖)`.
+//!
+//! Privacy: for a convex loss with `|ℓ'| ≤ 1` and `‖x‖ ≤ 1`, the
+//! L2-sensitivity of `w*` under replace-one adjacency is `2/(nΛ)`
+//! (CMS11, Corollary 8), so the norm-exponential noise at scale
+//! `2/(nΛε)` gives ε-differential privacy.
+
+use crate::{sample_gamma_norm_vector, BaselineError, Result};
+use dplearn_learning::data::Dataset;
+use dplearn_learning::erm::{erm_linear, LinearErmConfig, MarginLoss};
+use dplearn_learning::hypothesis::LinearModel;
+use dplearn_numerics::rng::Rng;
+
+/// Configuration for output perturbation.
+#[derive(Debug, Clone)]
+pub struct OutputPerturbationConfig {
+    /// Privacy parameter ε > 0.
+    pub epsilon: f64,
+    /// Regularization strength Λ > 0.
+    pub lambda: f64,
+    /// Convex loss (must have `|ℓ'| ≤ 1`: logistic or Huber-hinge).
+    pub loss: MarginLoss,
+}
+
+/// The released model together with its provenance.
+#[derive(Debug, Clone)]
+pub struct PrivateModel {
+    /// The privatized linear model.
+    pub model: LinearModel,
+    /// The ε guaranteed by the release.
+    pub epsilon: f64,
+    /// Norm of the noise that was added (diagnostic; itself ε-DP-safe to
+    /// publish only in experiments — it is derived from the noise, not
+    /// the data).
+    pub noise_norm: f64,
+}
+
+/// Train and release an ε-DP linear model by output perturbation.
+///
+/// Preconditions (checked where possible, documented otherwise): labels
+/// in `{−1, +1}`, `‖x‖₂ ≤ 1` (checked), `epsilon, lambda > 0` (checked),
+/// loss with `|ℓ'| ≤ 1` (true for `Logistic` and `HuberHinge`; `Hinge` is
+/// rejected because the CMS11 analysis needs differentiability).
+pub fn train<R: Rng + ?Sized>(
+    data: &Dataset,
+    cfg: &OutputPerturbationConfig,
+    rng: &mut R,
+) -> Result<PrivateModel> {
+    validate(data, cfg.epsilon, cfg.lambda, cfg.loss)?;
+    let erm_cfg = LinearErmConfig {
+        lambda: cfg.lambda,
+        fit_bias: false,
+        ..Default::default()
+    };
+    let w_star = erm_linear(cfg.loss, data, &erm_cfg)?;
+    let n = data.len() as f64;
+    // Sensitivity 2/(nΛ); noise density ∝ exp(−‖b‖/scale), scale = 2/(nΛε).
+    let scale = 2.0 / (n * cfg.lambda * cfg.epsilon);
+    let noise = sample_gamma_norm_vector(data.dim(), scale, rng);
+    let noise_norm = dplearn_numerics::linalg::norm2(&noise);
+    let weights: Vec<f64> = w_star
+        .weights
+        .iter()
+        .zip(&noise)
+        .map(|(&w, &b)| w + b)
+        .collect();
+    Ok(PrivateModel {
+        model: LinearModel::new(weights, 0.0),
+        epsilon: cfg.epsilon,
+        noise_norm,
+    })
+}
+
+pub(crate) fn validate(data: &Dataset, epsilon: f64, lambda: f64, loss: MarginLoss) -> Result<()> {
+    if data.is_empty() {
+        return Err(BaselineError::Learning(
+            dplearn_learning::LearningError::EmptyDataset,
+        ));
+    }
+    if !(epsilon.is_finite() && epsilon > 0.0) {
+        return Err(BaselineError::InvalidParameter {
+            name: "epsilon",
+            reason: format!("must be finite and positive, got {epsilon}"),
+        });
+    }
+    if !(lambda.is_finite() && lambda > 0.0) {
+        return Err(BaselineError::InvalidParameter {
+            name: "lambda",
+            reason: format!("must be finite and positive, got {lambda}"),
+        });
+    }
+    if loss == MarginLoss::Hinge {
+        return Err(BaselineError::InvalidParameter {
+            name: "loss",
+            reason: "the CMS11 privacy analysis requires a differentiable loss; \
+                     use Logistic or HuberHinge"
+                .to_string(),
+        });
+    }
+    for (i, e) in data.iter().enumerate() {
+        if dplearn_numerics::linalg::norm2(&e.x) > 1.0 + 1e-9 {
+            return Err(BaselineError::InvalidParameter {
+                name: "data",
+                reason: format!(
+                    "example {i} has ‖x‖ > 1; normalize with normalize::scale_to_unit_ball"
+                ),
+            });
+        }
+        if e.y != 1.0 && e.y != -1.0 {
+            return Err(BaselineError::InvalidParameter {
+                name: "data",
+                reason: format!("example {i} has label {} (need ±1)", e.y),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::scale_to_unit_ball;
+    use dplearn_learning::eval::accuracy;
+    use dplearn_learning::synth::{DataGenerator, GaussianClasses};
+    use dplearn_numerics::rng::Xoshiro256;
+
+    fn task_data(seed: u64, n: usize) -> Dataset {
+        let gen = GaussianClasses::new(vec![1.5, -0.5], 0.8);
+        let mut rng = Xoshiro256::seed_from(seed);
+        let raw = gen.sample(n, &mut rng);
+        scale_to_unit_ball(&raw, Some(6.0)).0
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        let data = task_data(1, 50);
+        let mut rng = Xoshiro256::seed_from(2);
+        let base = OutputPerturbationConfig {
+            epsilon: 1.0,
+            lambda: 0.01,
+            loss: MarginLoss::Logistic,
+        };
+        assert!(train(
+            &data,
+            &OutputPerturbationConfig {
+                epsilon: 0.0,
+                ..base.clone()
+            },
+            &mut rng
+        )
+        .is_err());
+        assert!(train(
+            &data,
+            &OutputPerturbationConfig {
+                lambda: 0.0,
+                ..base.clone()
+            },
+            &mut rng
+        )
+        .is_err());
+        assert!(train(
+            &data,
+            &OutputPerturbationConfig {
+                loss: MarginLoss::Hinge,
+                ..base.clone()
+            },
+            &mut rng
+        )
+        .is_err());
+        // Unnormalized data rejected.
+        let gen = GaussianClasses::new(vec![5.0], 1.0);
+        let raw = gen.sample(20, &mut Xoshiro256::seed_from(3));
+        assert!(train(&raw, &base, &mut rng).is_err());
+    }
+
+    #[test]
+    fn noise_shrinks_with_epsilon_and_n() {
+        let mut rng = Xoshiro256::seed_from(4);
+        let small_eps: f64 = {
+            let data = task_data(5, 200);
+            let cfg = OutputPerturbationConfig {
+                epsilon: 0.1,
+                lambda: 0.05,
+                loss: MarginLoss::Logistic,
+            };
+            (0..40)
+                .map(|_| train(&data, &cfg, &mut rng).unwrap().noise_norm)
+                .sum::<f64>()
+                / 40.0
+        };
+        let big_eps: f64 = {
+            let data = task_data(5, 200);
+            let cfg = OutputPerturbationConfig {
+                epsilon: 2.0,
+                lambda: 0.05,
+                loss: MarginLoss::Logistic,
+            };
+            (0..40)
+                .map(|_| train(&data, &cfg, &mut rng).unwrap().noise_norm)
+                .sum::<f64>()
+                / 40.0
+        };
+        assert!(small_eps > big_eps * 5.0, "{small_eps} vs {big_eps}");
+    }
+
+    #[test]
+    fn utility_approaches_nonprivate_as_epsilon_grows() {
+        let data = task_data(6, 2000);
+        let test = task_data(7, 4000);
+        let mut rng = Xoshiro256::seed_from(8);
+        let nonpriv = crate::nonprivate::train(&data, MarginLoss::Logistic, 0.01).unwrap();
+        let acc_np = accuracy(&nonpriv, &test).unwrap();
+        let cfg = OutputPerturbationConfig {
+            epsilon: 20.0,
+            lambda: 0.01,
+            loss: MarginLoss::Logistic,
+        };
+        let private = train(&data, &cfg, &mut rng).unwrap();
+        let acc_p = accuracy(&private.model, &test).unwrap();
+        assert!(
+            acc_np - acc_p < 0.03,
+            "nonprivate {acc_np} vs private {acc_p}"
+        );
+        assert!(acc_np > 0.9);
+    }
+}

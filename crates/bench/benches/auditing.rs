@@ -1,0 +1,108 @@
+//! Cost of the verification machinery itself: Monte-Carlo audits, exact
+//! audits, the Clopper–Pearson violation certifier, and selection
+//! mechanism comparisons (exponential vs permute-and-flip vs geometric
+//! release).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dplearn::mechanisms::audit::{audit_continuous, certify_violation, max_log_ratio};
+use dplearn::mechanisms::exponential::ExponentialMechanism;
+use dplearn::mechanisms::geometric::GeometricMechanism;
+use dplearn::mechanisms::laplace::LaplaceMechanism;
+use dplearn::mechanisms::permute_and_flip::PermuteAndFlip;
+use dplearn::mechanisms::privacy::Epsilon;
+use dplearn::numerics::rng::Xoshiro256;
+use std::hint::black_box;
+
+fn bench_audits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("auditing");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.sample_size(10);
+    let eps = Epsilon::new(1.0).unwrap();
+    let lap = LaplaceMechanism::new(eps, 1.0).unwrap();
+
+    for &trials in &[10_000u64, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::new("mc_tail_audit_laplace", trials),
+            &trials,
+            |b, &trials| {
+                let mut rng = Xoshiro256::seed_from(1);
+                b.iter(|| {
+                    black_box(
+                        audit_continuous(
+                            |r| lap.release(0.0, r),
+                            |r| lap.release(1.0, r),
+                            -6.0,
+                            7.0,
+                            40,
+                            trials,
+                            &mut rng,
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+
+    // Exact max-log-ratio over large supports.
+    for &k in &[100usize, 10_000] {
+        let p: Vec<f64> = (0..k).map(|i| (i + 1) as f64).collect();
+        let total: f64 = p.iter().sum();
+        let p: Vec<f64> = p.iter().map(|v| v / total).collect();
+        let q: Vec<f64> = p.iter().rev().copied().collect();
+        group.bench_with_input(BenchmarkId::new("exact_max_log_ratio", k), &k, |b, _| {
+            b.iter(|| black_box(max_log_ratio(black_box(&p), black_box(&q)).unwrap()))
+        });
+    }
+
+    // Violation certification over a 40-bin histogram.
+    let counts_d: Vec<u64> = (0..40).map(|i| 1000 + i * 37).collect();
+    let counts_dp: Vec<u64> = (0..40).map(|i| 1000 + (39 - i) * 37).collect();
+    let trials: u64 = counts_d.iter().sum();
+    group.bench_function("certify_violation_40bins", |b| {
+        b.iter(|| {
+            black_box(
+                certify_violation(
+                    black_box(&counts_d),
+                    black_box(&counts_dp),
+                    trials,
+                    0.1,
+                    0.05,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection_mechanisms");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(30);
+    let eps = Epsilon::new(1.0).unwrap();
+    let k = 256usize;
+    let scores: Vec<f64> = (0..k).map(|i| ((i as f64) * 0.11).sin()).collect();
+
+    let em = ExponentialMechanism::new(k, 1.0).unwrap();
+    group.bench_function("exponential_256", |b| {
+        let mut rng = Xoshiro256::seed_from(7);
+        b.iter(|| black_box(em.select(black_box(&scores), eps, &mut rng).unwrap()))
+    });
+
+    let pf = PermuteAndFlip::new(1.0).unwrap();
+    group.bench_function("permute_and_flip_256", |b| {
+        let mut rng = Xoshiro256::seed_from(8);
+        b.iter(|| black_box(pf.select(black_box(&scores), eps, &mut rng).unwrap()))
+    });
+
+    let geo = GeometricMechanism::new(eps, 1).unwrap();
+    group.bench_function("geometric_release", |b| {
+        let mut rng = Xoshiro256::seed_from(9);
+        b.iter(|| black_box(geo.release(black_box(42), &mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_audits, bench_selection);
+criterion_main!(benches);

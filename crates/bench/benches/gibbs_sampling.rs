@@ -1,0 +1,55 @@
+//! Ablation A1 — sampling strategies for the Gibbs posterior /
+//! exponential mechanism: exact alias-method categorical vs Gumbel-max
+//! vs one Metropolis–Hastings step, across hypothesis-space sizes.
+//!
+//! The three agree in distribution (verified in unit tests); this bench
+//! quantifies the cost side of the choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dplearn::learning::hypothesis::FiniteClass;
+use dplearn::learning::loss::ZeroOne;
+use dplearn::learning::synth::{DataGenerator, NoisyThreshold};
+use dplearn::mechanisms::exponential::ExponentialMechanism;
+use dplearn::mechanisms::privacy::Epsilon;
+use dplearn::numerics::distributions::Sample;
+use dplearn::numerics::rng::Xoshiro256;
+use std::hint::black_box;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gibbs_sampling");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(30);
+
+    for &k in &[16usize, 256, 4096] {
+        let world = NoisyThreshold::new(0.4, 0.1);
+        let mut rng = Xoshiro256::seed_from(k as u64);
+        let data = world.sample(200, &mut rng);
+        let class = FiniteClass::threshold_grid(0.0, 1.0, k);
+        let risks = class.risk_vector(&ZeroOne, &data);
+        let scores: Vec<f64> = risks.iter().map(|&r| -r).collect();
+        let mech = ExponentialMechanism::new(k, 1.0 / 200.0).unwrap();
+        let eps = Epsilon::new(1.0).unwrap();
+        let t = mech.temperature_for(eps);
+
+        // Build-once-sample-many: the alias table amortizes.
+        group.bench_with_input(BenchmarkId::new("alias_prebuilt", k), &k, |b, _| {
+            let dist = mech.sampling_distribution(&scores, t).unwrap();
+            b.iter(|| black_box(dist.sample(&mut rng)))
+        });
+        // Build + sample each call (the one-shot release cost).
+        group.bench_with_input(BenchmarkId::new("alias_build_each", k), &k, |b, _| {
+            b.iter(|| {
+                let dist = mech.sampling_distribution(black_box(&scores), t).unwrap();
+                black_box(dist.sample(&mut rng))
+            })
+        });
+        // Gumbel-max: no table, O(k) per draw.
+        group.bench_with_input(BenchmarkId::new("gumbel_max", k), &k, |b, _| {
+            b.iter(|| black_box(mech.select_gumbel(black_box(&scores), t, &mut rng).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

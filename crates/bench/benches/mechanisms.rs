@@ -1,0 +1,76 @@
+//! Throughput of the DP mechanism primitives: per-release cost of
+//! Laplace, Gaussian, randomized response, report-noisy-max, and the
+//! end-to-end Gibbs fit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dplearn::learner::GibbsLearner;
+use dplearn::learning::hypothesis::FiniteClass;
+use dplearn::learning::loss::ZeroOne;
+use dplearn::learning::synth::{DataGenerator, NoisyThreshold};
+use dplearn::mechanisms::gaussian::GaussianMechanism;
+use dplearn::mechanisms::laplace::LaplaceMechanism;
+use dplearn::mechanisms::noisy_max::{report_noisy_max, NoisyMaxNoise};
+use dplearn::mechanisms::privacy::{Budget, Epsilon};
+use dplearn::mechanisms::randomized_response::RandomizedResponse;
+use dplearn::numerics::rng::Xoshiro256;
+use std::hint::black_box;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mechanism_release");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(30);
+    let mut rng = Xoshiro256::seed_from(1);
+    let eps = Epsilon::new(1.0).unwrap();
+
+    let lap = LaplaceMechanism::new(eps, 1.0).unwrap();
+    group.bench_function("laplace_scalar", |b| {
+        b.iter(|| black_box(lap.release(black_box(42.0), &mut rng)))
+    });
+
+    let gauss = GaussianMechanism::new(Budget::new(0.5, 1e-5).unwrap(), 1.0).unwrap();
+    group.bench_function("gaussian_scalar", |b| {
+        b.iter(|| black_box(gauss.release(black_box(42.0), &mut rng)))
+    });
+
+    let rr = RandomizedResponse::new(eps, 8).unwrap();
+    group.bench_function("randomized_response_k8", |b| {
+        b.iter(|| black_box(rr.respond(black_box(3), &mut rng)))
+    });
+
+    let scores: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin()).collect();
+    group.bench_function("noisy_max_laplace_64", |b| {
+        b.iter(|| {
+            black_box(
+                report_noisy_max(
+                    black_box(&scores),
+                    eps,
+                    1.0,
+                    NoisyMaxNoise::Laplace,
+                    &mut rng,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_gibbs_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gibbs_fit_end_to_end");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.sample_size(20);
+    for &n in &[100usize, 1000, 10_000] {
+        let world = NoisyThreshold::new(0.4, 0.1);
+        let mut rng = Xoshiro256::seed_from(n as u64);
+        let data = world.sample(n, &mut rng);
+        let class = FiniteClass::threshold_grid(0.0, 1.0, 41);
+        let learner = GibbsLearner::new(ZeroOne).with_target_epsilon(1.0);
+        group.bench_with_input(BenchmarkId::new("fit_threshold_grid41", n), &n, |b, _| {
+            b.iter(|| black_box(learner.fit(black_box(&class), black_box(&data)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_gibbs_fit);
+criterion_main!(benches);

@@ -1,0 +1,197 @@
+//! Releasing **multiple** posterior draws: privacy accounting and
+//! majority-vote aggregation.
+//!
+//! The paper's mechanism releases a single draw `θ ~ π̂_λ`. In practice
+//! one often wants several draws — for ensembling, uncertainty, or
+//! debugging. Each draw is an independent run of the same ε-DP mechanism
+//! on the same data, so by sequential composition a `k`-draw release is
+//! `k·ε`-DP. [`ReleaseSeries`] does that bookkeeping against a hard
+//! budget cap, and [`MajorityVote`] turns the released hypotheses into a
+//! deterministic ensemble classifier (pure post-processing — free under
+//! DP).
+//!
+//! The design question this answers quantitatively (bench/E-series
+//! ablation): at a *fixed total budget* ε, is one draw at ε better than
+//! k draws at ε/k majority-voted? (Usually yes for small ε — the colder
+//! per-draw temperature hurts more than voting helps — and the tooling
+//! here lets users measure it on their own task.)
+
+use crate::learner::FittedGibbs;
+use crate::{DplearnError, Result};
+use dplearn_learning::hypothesis::Predictor;
+use dplearn_mechanisms::composition::PrivacyAccountant;
+use dplearn_mechanisms::privacy::Budget;
+use dplearn_numerics::rng::Rng;
+
+/// A budget-capped series of hypothesis releases from fitted posteriors.
+pub struct ReleaseSeries {
+    accountant: PrivacyAccountant,
+    released: Vec<usize>,
+}
+
+impl ReleaseSeries {
+    /// Create a series with a total ε cap (pure DP).
+    pub fn new(total_epsilon: f64) -> Result<Self> {
+        let cap = Budget::new(total_epsilon, 0.0).map_err(DplearnError::Mechanism)?;
+        Ok(ReleaseSeries {
+            accountant: PrivacyAccountant::new(cap),
+            released: Vec::new(),
+        })
+    }
+
+    /// Draw one hypothesis index from a fitted posterior, charging its
+    /// certificate ε to the budget. Errors (releasing nothing) if the
+    /// budget would be exceeded.
+    pub fn release<R: Rng + ?Sized>(&mut self, fitted: &FittedGibbs, rng: &mut R) -> Result<usize> {
+        let budget = Budget::new(fitted.privacy.epsilon, 0.0).map_err(DplearnError::Mechanism)?;
+        self.accountant
+            .spend(budget)
+            .map_err(DplearnError::Mechanism)?;
+        let idx = fitted.sample_index(rng);
+        self.released.push(idx);
+        Ok(idx)
+    }
+
+    /// Total ε spent so far.
+    pub fn spent_epsilon(&self) -> f64 {
+        self.accountant.spent().epsilon
+    }
+
+    /// Remaining ε before the cap.
+    pub fn remaining_epsilon(&self) -> f64 {
+        self.accountant.remaining_epsilon()
+    }
+
+    /// Indices released so far.
+    pub fn released(&self) -> &[usize] {
+        &self.released
+    }
+}
+
+/// A majority-vote ensemble over released classifiers (sign voting).
+pub struct MajorityVote<'a, P> {
+    members: Vec<&'a P>,
+}
+
+impl<'a, P: Predictor> MajorityVote<'a, P> {
+    /// Build from a non-empty member list.
+    pub fn new(members: Vec<&'a P>) -> Result<Self> {
+        if members.is_empty() {
+            return Err(DplearnError::InvalidParameter {
+                name: "members",
+                reason: "ensemble needs at least one member".to_string(),
+            });
+        }
+        Ok(MajorityVote { members })
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Always false (constructor rejects empty ensembles).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+impl<P: Predictor> Predictor for MajorityVote<'_, P> {
+    fn predict(&self, x: &[f64]) -> f64 {
+        let votes: f64 = self
+            .members
+            .iter()
+            .map(|m| if m.predict(x) > 0.0 { 1.0 } else { -1.0 })
+            .sum();
+        // Ties (even ensembles) break negative, consistent with the
+        // conservative boundary convention of the 0-1 loss.
+        if votes > 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learner::GibbsLearner;
+    use dplearn_learning::eval::accuracy;
+    use dplearn_learning::hypothesis::{FiniteClass, ThresholdClassifier};
+    use dplearn_learning::loss::ZeroOne;
+    use dplearn_learning::synth::{DataGenerator, NoisyThreshold};
+    use dplearn_numerics::rng::Xoshiro256;
+
+    #[test]
+    fn series_enforces_budget() {
+        let world = NoisyThreshold::new(0.4, 0.1);
+        let mut rng = Xoshiro256::seed_from(61);
+        let data = world.sample(200, &mut rng);
+        let class = FiniteClass::threshold_grid(0.0, 1.0, 11);
+        let fitted = GibbsLearner::new(ZeroOne)
+            .with_target_epsilon(0.4)
+            .fit(&class, &data)
+            .unwrap();
+        let mut series = ReleaseSeries::new(1.0).unwrap();
+        assert!(series.release(&fitted, &mut rng).is_ok());
+        assert!(series.release(&fitted, &mut rng).is_ok());
+        // Third release would need 1.2 total: refused.
+        assert!(series.release(&fitted, &mut rng).is_err());
+        assert_eq!(series.released().len(), 2);
+        assert!((series.spent_epsilon() - 0.8).abs() < 1e-12);
+        assert!((series.remaining_epsilon() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn majority_vote_aggregates() {
+        let up = ThresholdClassifier::new(0.3, true);
+        let up2 = ThresholdClassifier::new(0.4, true);
+        let down = ThresholdClassifier::new(0.5, false);
+        let mv = MajorityVote::new(vec![&up, &up2, &down]).unwrap();
+        assert_eq!(mv.len(), 3);
+        // At x = 0.45: up says +1, up2 says +1, down says +1 → +1.
+        assert_eq!(mv.predict(&[0.45]), 1.0);
+        // At x = 0.2: up −1, up2 −1, down +1 → −1.
+        assert_eq!(mv.predict(&[0.2]), -1.0);
+        let empty: Vec<&ThresholdClassifier> = vec![];
+        assert!(MajorityVote::new(empty).is_err());
+    }
+
+    #[test]
+    fn one_draw_vs_split_budget_comparison_runs() {
+        // The design question the module poses: fixed total ε = 1,
+        // 1 draw at ε = 1 vs 5 draws at ε = 0.2 majority-voted.
+        let world = NoisyThreshold::new(0.4, 0.1);
+        let mut rng = Xoshiro256::seed_from(62);
+        let data = world.sample(400, &mut rng);
+        let test = world.sample(4000, &mut rng);
+        let class = FiniteClass::threshold_grid(0.0, 1.0, 21);
+
+        let reps = 40;
+        let mut acc_single = 0.0;
+        let mut acc_vote = 0.0;
+        for _ in 0..reps {
+            let single = GibbsLearner::new(ZeroOne)
+                .with_target_epsilon(1.0)
+                .fit(&class, &data)
+                .unwrap();
+            acc_single += accuracy(class.get(single.sample_index(&mut rng)), &test).unwrap();
+
+            let split = GibbsLearner::new(ZeroOne)
+                .with_target_epsilon(0.2)
+                .fit(&class, &data)
+                .unwrap();
+            let mut series = ReleaseSeries::new(1.0 + 1e-9).unwrap();
+            let members: Vec<&ThresholdClassifier> = (0..5)
+                .map(|_| class.get(series.release(&split, &mut rng).unwrap()))
+                .collect();
+            let mv = MajorityVote::new(members).unwrap();
+            acc_vote += accuracy(&mv, &test).unwrap();
+        }
+        let (a1, a5) = (acc_single / reps as f64, acc_vote / reps as f64);
+        // Both strategies produce usable classifiers well above chance.
+        assert!(a1 > 0.7, "single {a1}");
+        assert!(a5 > 0.7, "vote {a5}");
+    }
+}

@@ -1,0 +1,172 @@
+//! Privacy and risk certificates for fitted Gibbs posteriors.
+//!
+//! * [`PrivacyCertificate`] encodes the paper's Theorem 4.1: a Gibbs
+//!   posterior at inverse temperature `λ` over empirical risks with
+//!   global sensitivity `ΔR̂` is `ε = 2·λ·ΔR̂` differentially private.
+//!   For a `[0, B]`-bounded loss on `n` examples, `ΔR̂ = B/n`.
+//! * [`RiskCertificate`] evaluates the PAC-Bayes bounds of Section 3 at
+//!   the fitted posterior, reporting Catoni (the paper's Theorem 3.1),
+//!   McAllester, and Maurer bounds in the original loss units.
+
+use crate::{DplearnError, Result};
+use dplearn_mechanisms::sensitivity;
+use dplearn_pacbayes::bounds;
+
+/// The differential-privacy certificate of a Gibbs release (Theorem 4.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivacyCertificate {
+    /// The guaranteed privacy level `ε = 2·λ·ΔR̂`.
+    pub epsilon: f64,
+    /// The Gibbs inverse temperature λ.
+    pub lambda: f64,
+    /// The global sensitivity of the empirical risk, `ΔR̂ = B/n`.
+    pub risk_sensitivity: f64,
+}
+
+impl PrivacyCertificate {
+    /// Certificate for a run at temperature `lambda` with a
+    /// `loss_bound`-bounded loss on `n` examples.
+    pub fn from_lambda(lambda: f64, loss_bound: f64, n: usize) -> Result<Self> {
+        if !(lambda.is_finite() && lambda >= 0.0) {
+            return Err(DplearnError::InvalidParameter {
+                name: "lambda",
+                reason: format!("must be finite and nonnegative, got {lambda}"),
+            });
+        }
+        let risk_sensitivity = sensitivity::empirical_risk(loss_bound, n)?;
+        Ok(PrivacyCertificate {
+            epsilon: 2.0 * lambda * risk_sensitivity,
+            lambda,
+            risk_sensitivity,
+        })
+    }
+
+    /// The temperature achieving a **target** ε:
+    /// `λ = ε / (2·ΔR̂) = ε·n / (2B)`.
+    pub fn lambda_for_epsilon(epsilon: f64, loss_bound: f64, n: usize) -> Result<f64> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(DplearnError::InvalidParameter {
+                name: "epsilon",
+                reason: format!("must be finite and positive, got {epsilon}"),
+            });
+        }
+        let risk_sensitivity = sensitivity::empirical_risk(loss_bound, n)?;
+        Ok(epsilon / (2.0 * risk_sensitivity))
+    }
+}
+
+/// PAC-Bayes risk certificate at a fitted posterior, in the original
+/// `[0, B]` loss units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RiskCertificate {
+    /// Catoni's bound (the paper's Theorem 3.1).
+    pub catoni: f64,
+    /// McAllester's square-root bound.
+    pub mcallester: f64,
+    /// The Maurer/Seeger small-kl bound.
+    pub maurer: f64,
+    /// The posterior's expected empirical risk `E_π̂[R̂]`.
+    pub gibbs_empirical_risk: f64,
+    /// `KL(π̂ ‖ π)` in nats.
+    pub kl: f64,
+    /// Confidence parameter δ.
+    pub delta: f64,
+}
+
+impl RiskCertificate {
+    /// Evaluate all three bounds. Risks are internally rescaled by
+    /// `loss_bound` so the `[0,1]` bound machinery applies, then scaled
+    /// back.
+    pub fn evaluate(
+        gibbs_empirical_risk: f64,
+        kl: f64,
+        n: usize,
+        lambda: f64,
+        delta: f64,
+        loss_bound: f64,
+    ) -> Result<Self> {
+        if !(loss_bound.is_finite() && loss_bound > 0.0) {
+            return Err(DplearnError::InvalidParameter {
+                name: "loss_bound",
+                reason: format!("must be finite and positive, got {loss_bound}"),
+            });
+        }
+        let r01 = gibbs_empirical_risk / loss_bound;
+        let catoni = bounds::catoni_bound(r01, kl, n, lambda, delta)? * loss_bound;
+        let mcallester = bounds::mcallester_bound(r01, kl, n, delta)? * loss_bound;
+        let maurer = bounds::maurer_bound(r01, kl, n, delta)? * loss_bound;
+        Ok(RiskCertificate {
+            catoni,
+            mcallester,
+            maurer,
+            gibbs_empirical_risk,
+            kl,
+            delta,
+        })
+    }
+
+    /// The tightest of the three bounds.
+    pub fn best(&self) -> f64 {
+        self.catoni.min(self.mcallester).min(self.maurer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn theorem_4_1_arithmetic() {
+        // λ = 100, B = 1, n = 200 ⇒ ΔR̂ = 1/200, ε = 2·100/200 = 1.
+        let c = PrivacyCertificate::from_lambda(100.0, 1.0, 200).unwrap();
+        close(c.epsilon, 1.0, 1e-12);
+        close(c.risk_sensitivity, 0.005, 1e-15);
+        // Round trip through the inverse mapping.
+        let l = PrivacyCertificate::lambda_for_epsilon(1.0, 1.0, 200).unwrap();
+        close(l, 100.0, 1e-9);
+    }
+
+    #[test]
+    fn certificate_scales_with_loss_bound_and_n() {
+        // Doubling the loss bound doubles ε at fixed λ; doubling n halves it.
+        let base = PrivacyCertificate::from_lambda(10.0, 1.0, 100).unwrap();
+        let wide = PrivacyCertificate::from_lambda(10.0, 2.0, 100).unwrap();
+        let big = PrivacyCertificate::from_lambda(10.0, 1.0, 200).unwrap();
+        close(wide.epsilon, 2.0 * base.epsilon, 1e-12);
+        close(big.epsilon, 0.5 * base.epsilon, 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PrivacyCertificate::from_lambda(f64::NAN, 1.0, 10).is_err());
+        assert!(PrivacyCertificate::from_lambda(-1.0, 1.0, 10).is_err());
+        assert!(PrivacyCertificate::from_lambda(1.0, 0.0, 10).is_err());
+        assert!(PrivacyCertificate::from_lambda(1.0, 1.0, 0).is_err());
+        assert!(PrivacyCertificate::lambda_for_epsilon(0.0, 1.0, 10).is_err());
+        assert!(RiskCertificate::evaluate(0.1, 0.5, 100, 10.0, 0.05, 0.0).is_err());
+    }
+
+    #[test]
+    fn risk_certificate_respects_loss_scale() {
+        // A [0, 2]-bounded loss with risk 0.4 should produce exactly twice
+        // the bounds of a [0, 1] loss with risk 0.2 (same KL, n, λ, δ).
+        let unit = RiskCertificate::evaluate(0.2, 1.0, 300, 17.0, 0.05, 1.0).unwrap();
+        let wide = RiskCertificate::evaluate(0.4, 1.0, 300, 17.0, 0.05, 2.0).unwrap();
+        close(wide.catoni, 2.0 * unit.catoni, 1e-10);
+        close(wide.mcallester, 2.0 * unit.mcallester, 1e-10);
+        close(wide.maurer, 2.0 * unit.maurer, 1e-10);
+    }
+
+    #[test]
+    fn best_picks_minimum() {
+        let c = RiskCertificate::evaluate(0.05, 0.5, 1000, 31.0, 0.05, 1.0).unwrap();
+        assert!(c.best() <= c.catoni);
+        assert!(c.best() <= c.mcallester);
+        assert!(c.best() <= c.maurer);
+        assert!(c.best() >= c.gibbs_empirical_risk);
+    }
+}

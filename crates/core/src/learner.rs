@@ -1,0 +1,490 @@
+//! The private Gibbs learner — the paper's contribution as an API.
+//!
+//! [`GibbsLearner`] trains the Gibbs posterior
+//! `π̂_λ(θ) ∝ π(θ)·exp(−λ·R̂_Ẑ(θ))` over a hypothesis class, with the
+//! temperature chosen either directly (`with_temperature`) or from a
+//! target privacy level ε via Theorem 4.1 (`with_target_epsilon`, which
+//! sets `λ = ε·n/(2B)` for a `B`-bounded loss).
+//!
+//! Over a finite class the posterior is exact; over continuous linear
+//! models [`GibbsLearner::fit_linear_mcmc`] returns Metropolis–Hastings
+//! samples from the same posterior (the paper's general mechanism,
+//! computable "though not always computationally efficiently" — McSherry
+//! & Talwar's caveat, which MCMC addresses in practice).
+
+use crate::certificate::{PrivacyCertificate, RiskCertificate};
+use crate::{DplearnError, Result};
+use dplearn_learning::data::Dataset;
+use dplearn_learning::hypothesis::{FiniteClass, LinearModel, Predictor};
+use dplearn_learning::loss::{empirical_risk, Loss};
+use dplearn_numerics::rng::Rng;
+use dplearn_pacbayes::gibbs::{gibbs_finite, MetropolisGibbs, MhConfig, MhDiagnostics};
+use dplearn_pacbayes::kl::kl_finite;
+use dplearn_pacbayes::posterior::{DiagGaussian, FinitePosterior};
+
+/// How the Gibbs temperature is chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Temperature {
+    /// Use λ directly; the resulting privacy is `ε = 2λB/n`.
+    Lambda(f64),
+    /// Target a privacy level ε; λ is derived as `ε·n/(2B)`.
+    TargetEpsilon(f64),
+}
+
+/// A differentially-private learner producing Gibbs posteriors.
+#[derive(Debug, Clone)]
+pub struct GibbsLearner<L> {
+    loss: L,
+    temperature: Temperature,
+    loss_bound_override: Option<f64>,
+}
+
+impl<L: Loss> GibbsLearner<L> {
+    /// Create a learner with the given loss. Defaults to λ = 1; choose a
+    /// temperature with [`with_temperature`](Self::with_temperature) or
+    /// [`with_target_epsilon`](Self::with_target_epsilon).
+    pub fn new(loss: L) -> Self {
+        GibbsLearner {
+            loss,
+            temperature: Temperature::Lambda(1.0),
+            loss_bound_override: None,
+        }
+    }
+
+    /// Set the Gibbs inverse temperature directly.
+    pub fn with_temperature(mut self, lambda: f64) -> Self {
+        self.temperature = Temperature::Lambda(lambda);
+        self
+    }
+
+    /// Set a target privacy level; the temperature is derived per
+    /// Theorem 4.1 at fit time (it depends on `n`).
+    pub fn with_target_epsilon(mut self, epsilon: f64) -> Self {
+        self.temperature = Temperature::TargetEpsilon(epsilon);
+        self
+    }
+
+    /// Override the loss bound `B` used for sensitivity (needed when the
+    /// loss reports `None`, e.g. an unclamped surrogate known to be
+    /// bounded on the hypothesis class at hand).
+    pub fn with_loss_bound(mut self, bound: f64) -> Self {
+        self.loss_bound_override = Some(bound);
+        self
+    }
+
+    fn loss_bound(&self) -> Result<f64> {
+        self.loss_bound_override
+            .or_else(|| self.loss.bound())
+            .ok_or_else(|| DplearnError::InvalidParameter {
+                name: "loss",
+                reason: "loss has no intrinsic bound; clamp it or call with_loss_bound".to_string(),
+            })
+    }
+
+    fn resolve_lambda(&self, loss_bound: f64, n: usize) -> Result<(f64, PrivacyCertificate)> {
+        let lambda = match self.temperature {
+            Temperature::Lambda(l) => l,
+            Temperature::TargetEpsilon(eps) => {
+                PrivacyCertificate::lambda_for_epsilon(eps, loss_bound, n)?
+            }
+        };
+        let cert = PrivacyCertificate::from_lambda(lambda, loss_bound, n)?;
+        Ok((lambda, cert))
+    }
+
+    /// Fit the exact Gibbs posterior over a finite hypothesis class with
+    /// a uniform prior.
+    pub fn fit<P: Predictor>(&self, class: &FiniteClass<P>, data: &Dataset) -> Result<FittedGibbs> {
+        let prior = FinitePosterior::uniform(class.len())?;
+        self.fit_with_prior(class, &prior, data)
+    }
+
+    /// Fit the exact Gibbs posterior over a finite class with an explicit
+    /// prior.
+    pub fn fit_with_prior<P: Predictor>(
+        &self,
+        class: &FiniteClass<P>,
+        prior: &FinitePosterior,
+        data: &Dataset,
+    ) -> Result<FittedGibbs> {
+        if data.is_empty() {
+            return Err(DplearnError::Learning(
+                dplearn_learning::LearningError::EmptyDataset,
+            ));
+        }
+        let loss_bound = self.loss_bound()?;
+        let (lambda, privacy) = self.resolve_lambda(loss_bound, data.len())?;
+        let risks = class.risk_vector(&self.loss, data);
+        let posterior = gibbs_finite(prior, &risks, lambda)?;
+        Ok(FittedGibbs {
+            posterior,
+            prior: prior.clone(),
+            risks,
+            lambda,
+            privacy,
+            n: data.len(),
+            loss_bound,
+        })
+    }
+
+    /// Sample the Gibbs posterior over **continuous linear models** with
+    /// a Gaussian prior, by Metropolis–Hastings.
+    ///
+    /// The privacy certificate still follows Theorem 4.1 — it is a
+    /// property of the *posterior distribution*, independent of how it is
+    /// sampled (up to MCMC convergence, which the diagnostics report; see
+    /// DESIGN.md for the discussion of approximate sampling).
+    pub fn fit_linear_mcmc<R: Rng + ?Sized>(
+        &self,
+        prior: &DiagGaussian,
+        data: &Dataset,
+        mh: MhConfig,
+        rng: &mut R,
+    ) -> Result<McmcGibbs> {
+        if data.is_empty() {
+            return Err(DplearnError::Learning(
+                dplearn_learning::LearningError::EmptyDataset,
+            ));
+        }
+        if prior.dim() != data.dim() {
+            return Err(DplearnError::InvalidParameter {
+                name: "prior",
+                reason: format!(
+                    "prior dimension {} does not match data dimension {}",
+                    prior.dim(),
+                    data.dim()
+                ),
+            });
+        }
+        let loss_bound = self.loss_bound()?;
+        let (lambda, privacy) = self.resolve_lambda(loss_bound, data.len())?;
+        let loss = &self.loss;
+        let emp_risk = |w: &[f64]| {
+            let model = LinearModel::new(w.to_vec(), 0.0);
+            empirical_risk(&model, loss, data)
+        };
+        let sampler = MetropolisGibbs::new(prior, emp_risk, lambda, mh)?;
+        let (samples, diagnostics) = sampler.run(rng);
+        let models: Vec<LinearModel> = samples
+            .into_iter()
+            .map(|w| LinearModel::new(w, 0.0))
+            .collect();
+        Ok(McmcGibbs {
+            models,
+            lambda,
+            privacy,
+            diagnostics,
+        })
+    }
+}
+
+/// An exactly fitted Gibbs posterior over a finite hypothesis class.
+#[derive(Debug, Clone)]
+pub struct FittedGibbs {
+    /// The Gibbs posterior `π̂_λ`.
+    pub posterior: FinitePosterior,
+    /// The prior it was built from.
+    pub prior: FinitePosterior,
+    /// Empirical risks `R̂(θᵢ)` on the training sample.
+    pub risks: Vec<f64>,
+    /// The realized inverse temperature λ.
+    pub lambda: f64,
+    /// The differential-privacy certificate (Theorem 4.1).
+    pub privacy: PrivacyCertificate,
+    n: usize,
+    loss_bound: f64,
+}
+
+impl FittedGibbs {
+    /// Draw a hypothesis index from the posterior — this is the entire
+    /// private release.
+    pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.posterior.sample(rng)
+    }
+
+    /// The posterior's expected empirical risk `E_π̂[R̂]`.
+    pub fn expected_empirical_risk(&self) -> f64 {
+        self.posterior.expectation(&self.risks)
+    }
+
+    /// `KL(π̂ ‖ π)` in nats.
+    pub fn kl_to_prior(&self) -> f64 {
+        kl_finite(&self.posterior, &self.prior).expect("same support by construction")
+    }
+
+    /// Training sample size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The loss bound `B` used for sensitivity.
+    pub fn loss_bound(&self) -> f64 {
+        self.loss_bound
+    }
+
+    /// Posterior-predictive probability of the positive class at `x`:
+    /// `P_{θ∼π̂}[h_θ(x) > 0] = Σᵢ π̂(i)·1[hᵢ(x) > 0]`.
+    ///
+    /// This is the *distributional* view of the randomized predictor —
+    /// useful for diagnostics and for computing the Gibbs classifier's
+    /// expected loss without sampling. Publishing the full curve reveals
+    /// the entire posterior, which is exactly as private as the posterior
+    /// itself (ε by Theorem 4.1) since DP is closed under
+    /// post-processing.
+    pub fn posterior_predictive<P: Predictor>(&self, class: &FiniteClass<P>, x: &[f64]) -> f64 {
+        assert_eq!(
+            class.len(),
+            self.posterior.len(),
+            "class/posterior mismatch"
+        );
+        class
+            .hypotheses()
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.predict(x) > 0.0)
+            .map(|(i, _)| self.posterior.prob(i))
+            .sum()
+    }
+
+    /// Evaluate the PAC-Bayes risk certificate (Theorem 3.1 et al.) at
+    /// confidence `1 − delta`.
+    pub fn risk_certificate(&self, delta: f64) -> Result<RiskCertificate> {
+        RiskCertificate::evaluate(
+            self.expected_empirical_risk(),
+            self.kl_to_prior(),
+            self.n,
+            self.lambda,
+            delta,
+            self.loss_bound,
+        )
+    }
+}
+
+/// MCMC samples from a Gibbs posterior over linear models.
+#[derive(Debug, Clone)]
+pub struct McmcGibbs {
+    /// Posterior draws (each a linear model).
+    pub models: Vec<LinearModel>,
+    /// The realized inverse temperature λ.
+    pub lambda: f64,
+    /// The differential-privacy certificate of the exact posterior.
+    pub privacy: PrivacyCertificate,
+    /// Sampler diagnostics.
+    pub diagnostics: MhDiagnostics,
+}
+
+impl McmcGibbs {
+    /// Draw one model uniformly from the retained posterior samples (a
+    /// single posterior draw is the private release).
+    pub fn sample_model<R: Rng + ?Sized>(&self, rng: &mut R) -> &LinearModel {
+        &self.models[rng.next_index(self.models.len())]
+    }
+
+    /// Posterior-mean weights (useful for diagnostics — releasing the
+    /// mean of many draws weakens the privacy guarantee and is not the
+    /// mechanism).
+    pub fn posterior_mean(&self) -> LinearModel {
+        let d = self.models.first().map_or(0, |m| m.weights.len());
+        let mut mean = vec![0.0; d];
+        for m in &self.models {
+            for (acc, &w) in mean.iter_mut().zip(&m.weights) {
+                *acc += w;
+            }
+        }
+        let k = self.models.len().max(1) as f64;
+        for v in &mut mean {
+            *v /= k;
+        }
+        LinearModel::new(mean, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dplearn_learning::loss::{Clamped, Logistic, ZeroOne};
+    use dplearn_learning::synth::{DataGenerator, GaussianClasses, NoisyThreshold};
+    use dplearn_numerics::rng::Xoshiro256;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    fn threshold_setup(
+        seed: u64,
+        n: usize,
+    ) -> (
+        FiniteClass<dplearn_learning::hypothesis::ThresholdClassifier>,
+        Dataset,
+        NoisyThreshold,
+    ) {
+        let world = NoisyThreshold::new(0.35, 0.05);
+        let mut rng = Xoshiro256::seed_from(seed);
+        let data = world.sample(n, &mut rng);
+        let class = FiniteClass::threshold_grid(0.0, 1.0, 41);
+        (class, data, world)
+    }
+
+    #[test]
+    fn target_epsilon_produces_matching_certificate() {
+        let (class, data, _) = threshold_setup(101, 400);
+        let learner = GibbsLearner::new(ZeroOne).with_target_epsilon(0.5);
+        let fitted = learner.fit(&class, &data).unwrap();
+        close(fitted.privacy.epsilon, 0.5, 1e-12);
+        // λ = ε n / (2B) = 0.5·400/2 = 100.
+        close(fitted.lambda, 100.0, 1e-9);
+    }
+
+    #[test]
+    fn posterior_concentrates_near_true_threshold() {
+        let (class, data, world) = threshold_setup(102, 2000);
+        let learner = GibbsLearner::new(ZeroOne).with_target_epsilon(4.0);
+        let fitted = learner.fit(&class, &data).unwrap();
+        // Expected threshold under the posterior should be near 0.35.
+        let thresholds: Vec<f64> = class.hypotheses().iter().map(|h| h.threshold).collect();
+        let mean_t = fitted.posterior.expectation(&thresholds);
+        close(mean_t, world.threshold, 0.08);
+        // And the expected empirical risk should be near the noise floor.
+        assert!(fitted.expected_empirical_risk() < 0.12);
+    }
+
+    #[test]
+    fn unbounded_loss_requires_explicit_bound() {
+        let (class, data, _) = threshold_setup(103, 100);
+        let learner = GibbsLearner::new(Logistic);
+        assert!(learner.fit(&class, &data).is_err());
+        let ok = GibbsLearner::new(Clamped::new(Logistic, 3.0)).with_temperature(5.0);
+        assert!(ok.fit(&class, &data).is_ok());
+        let ok2 = GibbsLearner::new(Logistic)
+            .with_loss_bound(3.0)
+            .with_temperature(5.0);
+        assert!(ok2.fit(&class, &data).is_ok());
+    }
+
+    #[test]
+    fn risk_certificate_bounds_true_risk() {
+        let (class, data, world) = threshold_setup(104, 1000);
+        let learner = GibbsLearner::new(ZeroOne).with_target_epsilon(2.0);
+        let fitted = learner.fit(&class, &data).unwrap();
+        let cert = fitted.risk_certificate(0.05).unwrap();
+        // Exact true risk of the posterior: E_π̂ R(θ).
+        let true_risks: Vec<f64> = class
+            .hypotheses()
+            .iter()
+            .map(|h| world.true_risk_of_threshold(h.threshold))
+            .collect();
+        let true_gibbs_risk = fitted.posterior.expectation(&true_risks);
+        assert!(
+            cert.best() >= true_gibbs_risk,
+            "certificate {} must dominate true risk {}",
+            cert.best(),
+            true_gibbs_risk
+        );
+        assert!(cert.best() < 1.0, "certificate should be informative");
+        assert!(cert.gibbs_empirical_risk <= cert.best());
+    }
+
+    #[test]
+    fn lower_epsilon_flattens_the_posterior() {
+        let (class, data, _) = threshold_setup(105, 500);
+        let tight = GibbsLearner::new(ZeroOne)
+            .with_target_epsilon(0.1)
+            .fit(&class, &data)
+            .unwrap();
+        let loose = GibbsLearner::new(ZeroOne)
+            .with_target_epsilon(5.0)
+            .fit(&class, &data)
+            .unwrap();
+        // Entropy decreases as ε grows (posterior concentrates).
+        assert!(tight.posterior.entropy() > loose.posterior.entropy());
+        // KL to the prior increases with ε.
+        assert!(tight.kl_to_prior() < loose.kl_to_prior());
+    }
+
+    #[test]
+    fn privacy_of_fitted_posterior_verified_by_exact_audit() {
+        // The paper's Theorem 4.1, checked end-to-end: build the Gibbs
+        // posterior on a dataset and on all replace-one neighbors, and
+        // confirm the worst log-ratio is within ε.
+        use dplearn_learning::data::Example;
+        let world = NoisyThreshold::new(0.5, 0.1);
+        let mut rng = Xoshiro256::seed_from(106);
+        let data = world.sample(60, &mut rng);
+        let class = FiniteClass::threshold_grid(0.0, 1.0, 21);
+        let eps = 0.8;
+        let learner = GibbsLearner::new(ZeroOne).with_target_epsilon(eps);
+        let base = learner.fit(&class, &data).unwrap();
+        // Worst-case replacement candidates: extreme points with both labels.
+        let candidates = [
+            Example::scalar(0.0, 1.0),
+            Example::scalar(0.0, -1.0),
+            Example::scalar(0.999, 1.0),
+            Example::scalar(0.999, -1.0),
+        ];
+        let mut worst: f64 = 0.0;
+        for nb in data.replace_one_neighbors(&candidates) {
+            let fitted = learner.fit(&class, &nb).unwrap();
+            let ratio = dplearn_mechanisms::audit::max_log_ratio(
+                base.posterior.probs(),
+                fitted.posterior.probs(),
+            )
+            .unwrap();
+            worst = worst.max(ratio);
+        }
+        assert!(worst <= eps + 1e-9, "audited ε̂ {worst} exceeds ε {eps}");
+        assert!(worst > 0.0);
+    }
+
+    #[test]
+    fn posterior_predictive_is_calibrated_to_the_posterior() {
+        let (class, data, world) = threshold_setup(108, 1000);
+        let fitted = GibbsLearner::new(ZeroOne)
+            .with_target_epsilon(3.0)
+            .fit(&class, &data)
+            .unwrap();
+        // Far from the decision region the predictive saturates.
+        close(fitted.posterior_predictive(&class, &[0.99]), 1.0, 0.02);
+        close(fitted.posterior_predictive(&class, &[0.01]), 0.0, 0.02);
+        // The predictive is nondecreasing in x for threshold classes.
+        let mut prev = -1.0;
+        for i in 0..=20 {
+            let x = i as f64 / 20.0;
+            let p = fitted.posterior_predictive(&class, &[x]);
+            assert!(p >= prev - 1e-12, "predictive not monotone at {x}");
+            prev = p;
+        }
+        // It matches Monte-Carlo sampling of the posterior.
+        let mut rng = Xoshiro256::seed_from(109);
+        let x = [world.threshold + 0.02];
+        let analytic = fitted.posterior_predictive(&class, &x);
+        let mc = (0..20_000)
+            .filter(|_| class.get(fitted.sample_index(&mut rng)).predict(&x) > 0.0)
+            .count() as f64
+            / 20_000.0;
+        close(analytic, mc, 0.01);
+    }
+
+    #[test]
+    fn mcmc_gibbs_learns_separating_direction() {
+        let gen = GaussianClasses::new(vec![2.0, 0.0], 0.7);
+        let mut rng = Xoshiro256::seed_from(107);
+        let data = gen.sample(300, &mut rng);
+        let prior = DiagGaussian::isotropic(2, 2.0).unwrap();
+        let learner = GibbsLearner::new(ZeroOne).with_target_epsilon(6.0);
+        let fitted = learner
+            .fit_linear_mcmc(&prior, &data, MhConfig::default(), &mut rng)
+            .unwrap();
+        assert!(fitted.diagnostics.acceptance_rate > 0.05);
+        let mean = fitted.posterior_mean();
+        assert!(
+            mean.weights[0] > mean.weights[1].abs(),
+            "posterior mean {:?} should favour the informative direction",
+            mean.weights
+        );
+        // Dimension mismatch is rejected.
+        let bad_prior = DiagGaussian::isotropic(3, 1.0).unwrap();
+        assert!(learner
+            .fit_linear_mcmc(&bad_prior, &data, MhConfig::default(), &mut rng)
+            .is_err());
+    }
+}

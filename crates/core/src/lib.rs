@@ -1,0 +1,133 @@
+//! # dplearn — differentially-private learning via Gibbs posteriors
+//!
+//! A faithful, executable reproduction of **"Differentially-private
+//! Learning and Information Theory"** (Darakhshan Mir, PAIS/EDBT 2012).
+//!
+//! The paper's three-way identity, implemented end to end:
+//!
+//! 1. **PAC-Bayes** (Section 3): among all posteriors over a predictor
+//!    space, Catoni's generalization bound is minimized by the Gibbs
+//!    posterior `π̂_λ ∝ π · e^{−λR̂}` ([`dplearn_pacbayes`]).
+//! 2. **Differential privacy** (Theorem 4.1): that same Gibbs posterior
+//!    is the exponential mechanism with quality `−R̂`, hence
+//!    `2λΔR̂`-differentially private ([`dplearn_mechanisms`]); with a
+//!    `B`-bounded loss, `ΔR̂ = B/n`.
+//! 3. **Information theory** (Theorem 4.2 / Figure 1): learning privately
+//!    is designing a channel `Ẑ → θ` that minimizes expected empirical
+//!    risk plus `(1/λ)·I(Ẑ;θ)` — and the Gibbs family is the minimizer
+//!    ([`dplearn_infotheory`]).
+//!
+//! This crate ties the substrates together behind a small API:
+//!
+//! * [`learner::GibbsLearner`] — train a private randomized predictor
+//!   over a finite hypothesis class (exact) or sample one over a
+//!   continuous class (MCMC),
+//! * [`certificate`] — [`certificate::PrivacyCertificate`] (Theorem 4.1)
+//!   and [`certificate::RiskCertificate`] (Theorem 3.1) for a fitted
+//!   posterior,
+//! * [`information`] — the learning channel of Figure 1 built exactly on
+//!   enumerable worlds, the MI-regularized objective of Theorem 4.2, and
+//!   its Blahut–Arimoto witness,
+//! * [`tradeoff`] — ε-sweeps producing (privacy, risk, information) rows.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dplearn::learner::GibbsLearner;
+//! use dplearn::learning::hypothesis::FiniteClass;
+//! use dplearn::learning::loss::ZeroOne;
+//! use dplearn::learning::synth::{DataGenerator, NoisyThreshold};
+//! use dplearn::numerics::rng::Xoshiro256;
+//!
+//! let mut rng = Xoshiro256::seed_from(7);
+//! let world = NoisyThreshold::new(0.35, 0.05);
+//! let data = world.sample(500, &mut rng);
+//! let class = FiniteClass::threshold_grid(0.0, 1.0, 41);
+//!
+//! // ε = 1 differentially-private learning of a threshold classifier.
+//! let learner = GibbsLearner::new(ZeroOne).with_target_epsilon(1.0);
+//! let fitted = learner.fit(&class, &data).unwrap();
+//! assert!((fitted.privacy.epsilon - 1.0).abs() < 1e-12);
+//! let theta = fitted.sample_index(&mut rng);
+//! assert!(theta < class.len());
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod aggregation;
+pub mod certificate;
+pub mod density;
+pub mod information;
+pub mod learner;
+pub mod regression;
+pub mod tradeoff;
+
+// Re-export the substrate crates under stable names so downstream users
+// need only one dependency.
+pub use dplearn_baselines as baselines;
+pub use dplearn_infotheory as infotheory;
+pub use dplearn_learning as learning;
+pub use dplearn_mechanisms as mechanisms;
+pub use dplearn_numerics as numerics;
+pub use dplearn_pacbayes as pacbayes;
+
+/// Errors produced by the core layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DplearnError {
+    /// An invalid argument.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint description.
+        reason: String,
+    },
+    /// Underlying learning error.
+    Learning(dplearn_learning::LearningError),
+    /// Underlying PAC-Bayes error.
+    PacBayes(dplearn_pacbayes::PacBayesError),
+    /// Underlying mechanisms error.
+    Mechanism(dplearn_mechanisms::MechanismError),
+    /// Underlying information-theory error.
+    Info(dplearn_infotheory::InfoError),
+}
+
+impl std::fmt::Display for DplearnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DplearnError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            DplearnError::Learning(e) => write!(f, "learning error: {e}"),
+            DplearnError::PacBayes(e) => write!(f, "pac-bayes error: {e}"),
+            DplearnError::Mechanism(e) => write!(f, "mechanism error: {e}"),
+            DplearnError::Info(e) => write!(f, "information error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DplearnError {}
+
+impl From<dplearn_learning::LearningError> for DplearnError {
+    fn from(e: dplearn_learning::LearningError) -> Self {
+        DplearnError::Learning(e)
+    }
+}
+impl From<dplearn_pacbayes::PacBayesError> for DplearnError {
+    fn from(e: dplearn_pacbayes::PacBayesError) -> Self {
+        DplearnError::PacBayes(e)
+    }
+}
+impl From<dplearn_mechanisms::MechanismError> for DplearnError {
+    fn from(e: dplearn_mechanisms::MechanismError) -> Self {
+        DplearnError::Mechanism(e)
+    }
+}
+impl From<dplearn_infotheory::InfoError> for DplearnError {
+    fn from(e: dplearn_infotheory::InfoError) -> Self {
+        DplearnError::Info(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DplearnError>;

@@ -1,0 +1,105 @@
+//! Property-based tests for the core crate: the learner's privacy and
+//! certificate invariants under randomly generated tasks.
+
+use dplearn::certificate::PrivacyCertificate;
+use dplearn::learner::GibbsLearner;
+use dplearn::learning::data::{Dataset, Example};
+use dplearn::learning::hypothesis::FiniteClass;
+use dplearn::learning::loss::ZeroOne;
+use dplearn_mechanisms::audit::max_log_ratio;
+use proptest::prelude::*;
+
+fn dataset_from(xs: &[f64], ys: &[bool]) -> Dataset {
+    xs.iter()
+        .zip(ys)
+        .map(|(&x, &y)| Example::scalar(x.rem_euclid(1.0), if y { 1.0 } else { -1.0 }))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The central end-to-end property: for ANY dataset, ANY single
+    /// replacement, and ANY target ε, the fitted Gibbs posteriors'
+    /// worst log-ratio is ≤ ε (Theorem 4.1, audited exactly).
+    #[test]
+    fn theorem_4_1_holds_on_random_instances(
+        xs in prop::collection::vec(0.0..1.0f64, 5..25),
+        ys in prop::collection::vec(any::<bool>(), 5..25),
+        idx in any::<prop::sample::Index>(),
+        new_x in 0.0..1.0f64,
+        new_y in any::<bool>(),
+        eps in 0.05..4.0f64,
+        grid in 3usize..15,
+    ) {
+        let n = xs.len().min(ys.len());
+        let data = dataset_from(&xs[..n], &ys[..n]);
+        let neighbor = data.replace(
+            idx.index(n),
+            Example::scalar(new_x, if new_y { 1.0 } else { -1.0 }),
+        );
+        let class = FiniteClass::threshold_grid(0.0, 1.0, grid);
+        let learner = GibbsLearner::new(ZeroOne).with_target_epsilon(eps);
+        let a = learner.fit(&class, &data).unwrap();
+        let b = learner.fit(&class, &neighbor).unwrap();
+        let ratio = max_log_ratio(a.posterior.probs(), b.posterior.probs()).unwrap();
+        prop_assert!(ratio <= eps + 1e-9, "ratio {ratio} > ε {eps}");
+    }
+
+    /// Certificate arithmetic round-trips: λ(ε) then ε(λ) is the
+    /// identity, for any loss bound and sample size.
+    #[test]
+    fn certificate_round_trip(
+        eps in 0.01..20.0f64,
+        loss_bound in 0.1..10.0f64,
+        n in 1usize..100_000,
+    ) {
+        let lambda = PrivacyCertificate::lambda_for_epsilon(eps, loss_bound, n).unwrap();
+        let cert = PrivacyCertificate::from_lambda(lambda, loss_bound, n).unwrap();
+        prop_assert!((cert.epsilon - eps).abs() < 1e-9 * eps.max(1.0));
+    }
+
+    /// Risk certificates always dominate the posterior's empirical risk
+    /// and respect the loss scale, on random fitted instances.
+    #[test]
+    fn risk_certificate_dominates_empirical_risk(
+        xs in prop::collection::vec(0.0..1.0f64, 10..40),
+        ys in prop::collection::vec(any::<bool>(), 10..40),
+        eps in 0.1..5.0f64,
+        delta in 0.01..0.2f64,
+    ) {
+        let n = xs.len().min(ys.len());
+        let data = dataset_from(&xs[..n], &ys[..n]);
+        let class = FiniteClass::threshold_grid(0.0, 1.0, 9);
+        let fitted = GibbsLearner::new(ZeroOne)
+            .with_target_epsilon(eps)
+            .fit(&class, &data)
+            .unwrap();
+        let cert = fitted.risk_certificate(delta).unwrap();
+        prop_assert!(cert.best() >= fitted.expected_empirical_risk() - 1e-9);
+        prop_assert!(cert.catoni <= 1.0 + 1e-9); // ZeroOne has B = 1
+    }
+
+    /// Entropy of the fitted posterior is monotone nonincreasing in ε
+    /// (more privacy ⇒ flatter posterior), on random datasets.
+    #[test]
+    fn posterior_entropy_monotone_in_privacy(
+        xs in prop::collection::vec(0.0..1.0f64, 10..30),
+        ys in prop::collection::vec(any::<bool>(), 10..30),
+        eps_lo in 0.05..1.0f64,
+        factor in 1.5..10.0f64,
+    ) {
+        let n = xs.len().min(ys.len());
+        let data = dataset_from(&xs[..n], &ys[..n]);
+        let class = FiniteClass::threshold_grid(0.0, 1.0, 11);
+        let tight = GibbsLearner::new(ZeroOne)
+            .with_target_epsilon(eps_lo)
+            .fit(&class, &data)
+            .unwrap();
+        let loose = GibbsLearner::new(ZeroOne)
+            .with_target_epsilon(eps_lo * factor)
+            .fit(&class, &data)
+            .unwrap();
+        prop_assert!(tight.posterior.entropy() >= loose.posterior.entropy() - 1e-9);
+    }
+}

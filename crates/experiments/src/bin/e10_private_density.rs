@@ -1,0 +1,94 @@
+//! E10 (extension) — differentially-private density estimation via
+//! PAC-Bayes, the paper's second announced future direction (Section 5).
+//!
+//! Method: Gibbs posterior over 495 smoothed simplex-grid histogram
+//! densities (5 bins, granularity 8), clamped/shifted log-loss. Baseline:
+//! the classic Laplace private histogram (per-bin noise, post-processed
+//! to a density). Metric: L1 distance of the released density to the true
+//! one; mean over 25 releases; n ∈ {200, 2000}, ε swept.
+//!
+//! Expected shape: both methods improve with ε and with n; the Gibbs
+//! release is never *worse* than its own small-ε limit (the prior), while
+//! the Laplace histogram degrades gracefully too but needs ε ≳ 1/bin at
+//! small n; at large ε both converge to the sampling error of the MLE
+//! histogram.
+
+use dplearn::density::{HistogramDensity, PrivateDensity, PrivateDensityConfig};
+use dplearn::mechanisms::histogram::{private_histogram, Adjacency};
+use dplearn::mechanisms::privacy::Epsilon;
+use dplearn::numerics::distributions::{Sample, Uniform};
+use dplearn::numerics::rng::{Rng, Xoshiro256};
+use dplearn_experiments::{banner, f, seed_from_args, verdict, Table};
+
+fn skewed_sample(n: usize, rng: &mut Xoshiro256) -> Vec<f64> {
+    let u = Uniform::new(0.0, 1.0).unwrap();
+    (0..n)
+        .map(|_| {
+            if rng.next_bool(0.7) {
+                0.2 * u.sample(rng)
+            } else {
+                0.2 + 0.8 * u.sample(rng)
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let seed = seed_from_args();
+    banner(
+        "E10: private density estimation (paper future direction #2)",
+        "Gibbs over simplex-grid histograms vs Laplace private histogram",
+        seed,
+    );
+
+    let truth = HistogramDensity::new(0.0, 1.0, vec![0.70, 0.075, 0.075, 0.075, 0.075]).unwrap();
+    let mut all_pass = true;
+
+    for &n in &[200usize, 2000] {
+        println!("\n--- n = {n} (true masses [0.70, 0.075, 0.075, 0.075, 0.075]) ---");
+        let mut rng = Xoshiro256::substream(seed, n as u64);
+        let data = skewed_sample(n, &mut rng);
+        let mut table = Table::new(&["eps", "gibbs L1 (25 draws)", "laplace-hist L1 (25 draws)"]);
+        let mut gibbs_first = 0.0;
+        let mut gibbs_last = 0.0;
+        for (i, &eps) in [0.1f64, 0.5, 2.0, 10.0].iter().enumerate() {
+            let cfg = PrivateDensityConfig {
+                epsilon: eps,
+                ..Default::default()
+            };
+            let pd = PrivateDensity::fit(&data, &cfg).unwrap();
+            let mut l1_g = 0.0;
+            let mut l1_h = 0.0;
+            for _ in 0..25 {
+                l1_g += pd.sample_density(&mut rng).l1_distance(&truth).unwrap();
+                let h = private_histogram(
+                    &data,
+                    0.0,
+                    1.0,
+                    5,
+                    Epsilon::new(eps).unwrap(),
+                    Adjacency::ReplaceOne,
+                    &mut rng,
+                )
+                .unwrap();
+                let hd = HistogramDensity::new(0.0, 1.0, h.probabilities()).unwrap();
+                l1_h += hd.l1_distance(&truth).unwrap();
+            }
+            l1_g /= 25.0;
+            l1_h /= 25.0;
+            if i == 0 {
+                gibbs_first = l1_g;
+            }
+            gibbs_last = l1_g;
+            table.row(vec![f(eps), f(l1_g), f(l1_h)]);
+        }
+        table.print();
+        all_pass &= gibbs_last <= gibbs_first + 1e-9;
+        all_pass &= gibbs_last < 0.35;
+    }
+    verdict(
+        "E10",
+        all_pass,
+        "both private density estimators improve with ε and n; Gibbs release reaches grid-limited accuracy",
+    );
+}

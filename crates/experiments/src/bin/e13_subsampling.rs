@@ -1,0 +1,126 @@
+//! E13 (extension) — privacy amplification by subsampling, audited
+//! **exactly**.
+//!
+//! Claim: running an ε-DP mechanism on a Poisson-γ subsample is
+//! `ln(1 + γ(e^ε − 1))`-DP. For a small dataset the averaged mechanism
+//! can be computed in closed form — enumerate all 2ⁿ subsample masks,
+//! weight each Gibbs posterior by its mask probability — so the audit has
+//! no Monte-Carlo error at all: we compare the *exact* worst log-ratio of
+//! the averaged release against the amplification formula, the base ε,
+//! and across γ.
+//!
+//! Expected: exact ε̂ ≤ amplified bound < base ε at every γ < 1, with the
+//! bound tight-ish at small γ (≈ γ·(realized base loss)).
+
+use dplearn::learner::GibbsLearner;
+use dplearn::learning::data::{Dataset, Example};
+use dplearn::learning::hypothesis::FiniteClass;
+use dplearn::learning::loss::ZeroOne;
+use dplearn::learning::synth::{DataGenerator, NoisyThreshold};
+use dplearn::mechanisms::audit::max_log_ratio;
+use dplearn::mechanisms::privacy::Epsilon;
+use dplearn::mechanisms::subsampling::amplified_epsilon;
+use dplearn::numerics::rng::Xoshiro256;
+use dplearn_experiments::{banner, f, seed_from_args, verdict, Table};
+
+/// Exact output distribution of "Gibbs learner on a Poisson-γ subsample"
+/// by enumerating all subsample masks. Empty subsamples fall back to the
+/// prior (the data-independent release).
+fn averaged_posterior(
+    data: &Dataset,
+    class: &FiniteClass<dplearn::learning::hypothesis::ThresholdClassifier>,
+    lambda_of: impl Fn(usize) -> f64,
+    gamma: f64,
+) -> Vec<f64> {
+    let n = data.len();
+    let k = class.len();
+    let mut avg = vec![0.0f64; k];
+    for mask in 0u32..(1 << n) {
+        let members: Vec<Example> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| data.examples()[i].clone())
+            .collect();
+        let m = members.len();
+        let prob = gamma.powi(m as i32) * (1.0 - gamma).powi((n - m) as i32);
+        let posterior = if m == 0 {
+            vec![1.0 / k as f64; k]
+        } else {
+            let sub = Dataset::new(members).unwrap();
+            let fitted = GibbsLearner::new(ZeroOne)
+                .with_temperature(lambda_of(m))
+                .fit(class, &sub)
+                .unwrap();
+            fitted.posterior.probs().to_vec()
+        };
+        for (a, &p) in avg.iter_mut().zip(&posterior) {
+            *a += prob * p;
+        }
+    }
+    avg
+}
+
+fn main() {
+    let seed = seed_from_args();
+    banner(
+        "E13: privacy amplification by subsampling, audited exactly",
+        "ε′ = ln(1 + γ(e^ε − 1)) — zero-Monte-Carlo audit via mask enumeration",
+        seed,
+    );
+
+    let world = NoisyThreshold::new(0.5, 0.1);
+    let mut rng = Xoshiro256::substream(seed, 0);
+    let n = 10usize;
+    let data = world.sample(n, &mut rng);
+    let class = FiniteClass::threshold_grid(0.0, 1.0, 9);
+    let eps_base = 1.0;
+    // λ chosen so the mechanism is ε_base-DP at whatever subsample size
+    // it sees: λ(m) = ε·m/(2B). (The per-subsample guarantee is what the
+    // amplification theorem consumes.)
+    let lambda_of = |m: usize| eps_base * m as f64 / 2.0;
+
+    // Worst-case neighbors of the full dataset.
+    let candidates = [
+        Example::scalar(0.0, 1.0),
+        Example::scalar(0.0, -1.0),
+        Example::scalar(0.999, 1.0),
+        Example::scalar(0.999, -1.0),
+    ];
+
+    let mut table = Table::new(&[
+        "gamma",
+        "amplified bound",
+        "exact audited eps",
+        "base eps",
+        "ratio to bound",
+    ]);
+    let mut all_pass = true;
+    for &gamma in &[0.1, 0.25, 0.5, 0.75, 1.0] {
+        let p = averaged_posterior(&data, &class, lambda_of, gamma);
+        let mut worst = 0.0f64;
+        for nb in data.replace_one_neighbors(&candidates) {
+            let q = averaged_posterior(&nb, &class, lambda_of, gamma);
+            worst = worst.max(max_log_ratio(&p, &q).unwrap());
+        }
+        let bound = amplified_epsilon(Epsilon::new(eps_base).unwrap(), gamma).unwrap();
+        all_pass &= worst <= bound + 1e-9;
+        table.row(vec![
+            f(gamma),
+            f(bound),
+            f(worst),
+            f(eps_base),
+            f(worst / bound),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nReading: every exact audited loss sits inside the amplification\n\
+         bound; at γ = 1 the bound equals the base ε (no amplification), and\n\
+         the audited loss reaches it — the 0-1 Gibbs mechanism is exactly\n\
+         tight, so the slack at small γ is all amplification."
+    );
+    verdict(
+        "E13",
+        all_pass,
+        "exact averaged-mechanism loss ≤ ln(1 + γ(e^ε − 1)) at every γ",
+    );
+}

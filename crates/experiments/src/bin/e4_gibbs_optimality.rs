@@ -1,0 +1,83 @@
+//! E4 — Gibbs posterior minimizes the bound (paper Lemma 3.2).
+//!
+//! Claim under test: among **all** posteriors, the Gibbs posterior
+//! `π̂_λ ∝ π·e^{−λR̂}` minimizes the Catoni objective
+//! `J_λ(π̂) = E_π̂[R̂] + KL(π̂‖π)/λ` (hence the bound itself).
+//!
+//! Method: on empirical risks from a real sampled dataset, (a) compare
+//! `J_λ` at the Gibbs posterior against its analytic optimum
+//! `−(1/λ)·ln E_π[e^{−λR̂}]` — they must agree to machine precision; and
+//! (b) challenge with 20 000 random posteriors (perturbations of both the
+//! prior and the Gibbs posterior) — none may beat it. Repeated across λ
+//! and for uniform and non-uniform priors.
+
+use dplearn::learning::hypothesis::FiniteClass;
+use dplearn::learning::loss::ZeroOne;
+use dplearn::learning::synth::{DataGenerator, NoisyThreshold};
+use dplearn::numerics::rng::Xoshiro256;
+use dplearn::pacbayes::optimality::verify_gibbs_optimality;
+use dplearn::pacbayes::posterior::FinitePosterior;
+use dplearn_experiments::{banner, f, s, seed_from_args, verdict, Table};
+
+fn main() {
+    let seed = seed_from_args();
+    banner(
+        "E4: Gibbs optimality search",
+        "Lemma 3.2 — Gibbs posterior minimizes E[R̂] + KL/λ",
+        seed,
+    );
+
+    let world = NoisyThreshold::new(0.35, 0.1);
+    let class = FiniteClass::threshold_grid(0.0, 1.0, 41);
+    let mut rng = Xoshiro256::substream(seed, 0);
+    let data = world.sample(300, &mut rng);
+    let risks = class.risk_vector(&ZeroOne, &data);
+    let challengers = 20_000;
+
+    let k = class.len();
+    let nonuniform = {
+        let lw: Vec<f64> = (0..k).map(|i| -(i as f64) * 0.05).collect();
+        FinitePosterior::from_log_weights(&lw).unwrap()
+    };
+
+    let mut table = Table::new(&[
+        "prior",
+        "lambda",
+        "J(Gibbs)",
+        "analytic min",
+        "|diff|",
+        "best challenger",
+        "margin",
+        "pass",
+    ]);
+    let mut all_pass = true;
+    for (pname, prior) in [
+        ("uniform", FinitePosterior::uniform(k).unwrap()),
+        ("geometric", nonuniform),
+    ] {
+        for &lambda in &[0.5, 2.0, 10.0, 50.0, 250.0] {
+            let check =
+                verify_gibbs_optimality(&prior, &risks, lambda, challengers, &mut rng).unwrap();
+            let diff = (check.gibbs_objective - check.analytic_optimum).abs();
+            let margin = check.best_challenger - check.gibbs_objective;
+            let pass = check.gibbs_wins(1e-9) && margin >= 0.0;
+            all_pass &= pass;
+            table.row(vec![
+                s(pname),
+                f(lambda),
+                f(check.gibbs_objective),
+                f(check.analytic_optimum),
+                format!("{diff:.2e}"),
+                f(check.best_challenger),
+                format!("{margin:.2e}"),
+                s(pass),
+            ]);
+        }
+    }
+    table.print();
+    verdict(
+        "E4",
+        all_pass,
+        "Gibbs matches the analytic optimum to machine precision and beats all 20k challengers in every configuration",
+    );
+}

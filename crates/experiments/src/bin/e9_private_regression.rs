@@ -1,0 +1,119 @@
+//! E9 (extension) — differentially-private regression via PAC-Bayes,
+//! the paper's first announced future direction (Section 5) and the
+//! motivating example of its introduction ("consider a linear regression
+//! problem ...").
+//!
+//! Method: Gibbs posterior over a 33×33 slope/intercept grid with clamped
+//! squared loss on data from `y = 1.5x − 0.5 + N(0, 0.2²)`. Sweep ε,
+//! report the released model's test MSE (mean over 25 posterior draws),
+//! the posterior-mean coefficients, and the PAC-Bayes certificate; then
+//! exact-audit the release at ε = 1.
+//!
+//! Expected shape: MSE decreases monotonically (up to draw noise) toward
+//! the 0.04 noise floor + grid quantization as ε grows; coefficients
+//! converge to (1.5, −0.5); audited ε̂ ≤ ε.
+
+use dplearn::learning::data::Example;
+use dplearn::learning::synth::{DataGenerator, LinearRegressionTask};
+use dplearn::mechanisms::audit::max_log_ratio;
+use dplearn::numerics::rng::Xoshiro256;
+use dplearn::regression::{PrivateRegression, PrivateRegressionConfig};
+use dplearn_experiments::{banner, f, s, seed_from_args, verdict, Table};
+
+fn main() {
+    let seed = seed_from_args();
+    banner(
+        "E9: private regression (paper future direction #1)",
+        "Gibbs posterior over regressor grid with clamped squared loss",
+        seed,
+    );
+
+    let gen = LinearRegressionTask::new(vec![1.5], -0.5, 0.2);
+    let mut rng = Xoshiro256::substream(seed, 0);
+    let train = gen.sample(1000, &mut rng);
+    let test = gen.sample(5000, &mut rng);
+
+    let nonprivate = dplearn::learning::models::RidgeRegression::fit(&train, 1e-6).unwrap();
+    let ridge_mse = PrivateRegression::mse(nonprivate.model(), &test);
+    println!(
+        "non-private ridge: slope {:.3}, intercept {:.3}, test MSE {:.4} (noise floor 0.04)\n",
+        nonprivate.model().weights[0],
+        nonprivate.model().bias,
+        ridge_mse
+    );
+
+    let mut table = Table::new(&[
+        "eps",
+        "mean slope",
+        "mean intercept",
+        "released MSE (25 draws)",
+        "certified clamped risk",
+        "ridge MSE",
+    ]);
+    let mut all_pass = true;
+    let mut prev_mse = f64::INFINITY;
+    for &eps in &[0.05, 0.2, 1.0, 5.0, 25.0] {
+        let cfg = PrivateRegressionConfig {
+            epsilon: eps,
+            ..Default::default()
+        };
+        let reg = PrivateRegression::fit(&train, &cfg).unwrap();
+        let mean = reg.posterior_mean();
+        let mut mse = 0.0;
+        for _ in 0..25 {
+            mse += PrivateRegression::mse(reg.sample_model(&mut rng), &test);
+        }
+        mse /= 25.0;
+        let cert = reg.fitted.risk_certificate(0.05).unwrap();
+        table.row(vec![
+            f(eps),
+            f(mean.weights[0]),
+            f(mean.bias),
+            f(mse),
+            f(cert.best()),
+            f(ridge_mse),
+        ]);
+        // Monotone improvement with generous slack for draw noise.
+        all_pass &= mse <= prev_mse * 1.5 + 0.05;
+        prev_mse = mse;
+    }
+    table.print();
+
+    // Exact privacy audit at ε = 1 on a small sample.
+    let small = gen.sample(50, &mut rng);
+    let cfg = PrivateRegressionConfig {
+        epsilon: 1.0,
+        grid: (9, 9),
+        ..Default::default()
+    };
+    let base = PrivateRegression::fit(&small, &cfg).unwrap();
+    let candidates = [
+        Example::new(vec![3.0], 10.0),
+        Example::new(vec![-3.0], -10.0),
+        Example::new(vec![0.0], 10.0),
+        Example::new(vec![0.0], -10.0),
+    ];
+    let mut worst = 0.0f64;
+    for nb in small.replace_one_neighbors(&candidates) {
+        let fit = PrivateRegression::fit(&nb, &cfg).unwrap();
+        worst = worst.max(
+            max_log_ratio(base.fitted.posterior.probs(), fit.fitted.posterior.probs()).unwrap(),
+        );
+    }
+    println!(
+        "\nexact privacy audit at ε = 1 (n = 50, 200 neighbors): ε̂ = {}",
+        f(worst)
+    );
+    all_pass &= worst <= 1.0 + 1e-9;
+
+    let last_ok = prev_mse < 0.15;
+    all_pass &= last_ok;
+    verdict(
+        "E9",
+        all_pass,
+        &format!(
+            "released MSE decreases toward the noise floor (final {}), coefficients recovered, audited ε̂ ≤ ε",
+            s(prev_mse)
+        ),
+    );
+}

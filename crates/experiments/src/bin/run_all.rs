@@ -1,0 +1,52 @@
+//! Run every experiment (E1–E11) in sequence — regenerates all the
+//! measured tables recorded in EXPERIMENTS.md in one command:
+//!
+//! ```sh
+//! cargo run --release -p dplearn-experiments --bin run_all
+//! ```
+//!
+//! Each experiment is executed as a child process so a failure in one
+//! doesn't hide the others; the overall exit code is nonzero if any
+//! child fails.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "e1_laplace_dp",
+    "e2_exponential_dp",
+    "e3_catoni_bound",
+    "e4_gibbs_optimality",
+    "e5_gibbs_privacy",
+    "e6_mi_regularization",
+    "e7_channel_tradeoff",
+    "e8_private_erm_utility",
+    "e9_private_regression",
+    "e10_private_density",
+    "e11_mi_bounds",
+    "e12_bound_comparison",
+    "e13_subsampling",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for exp in EXPERIMENTS {
+        let path = bin_dir.join(exp);
+        let status = Command::new(&path)
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        if !status.success() {
+            failures.push(*exp);
+        }
+        println!();
+    }
+    if failures.is_empty() {
+        println!("run_all: all {} experiments completed.", EXPERIMENTS.len());
+    } else {
+        eprintln!("run_all: FAILURES in {failures:?}");
+        std::process::exit(1);
+    }
+}

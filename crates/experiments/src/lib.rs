@@ -1,0 +1,136 @@
+//! Shared harness utilities for the experiment binaries E1–E8.
+//!
+//! Every binary prints a self-describing table; EXPERIMENTS.md records
+//! the outputs together with the paper's predicted values. All binaries
+//! take an optional `--seed <u64>` argument (default 20120330 — the
+//! paper's workshop date) so every number is reproducible.
+
+use std::fmt::Display;
+
+/// Default experiment seed (PAIS 2012 workshop date: 2012-03-30).
+pub const DEFAULT_SEED: u64 = 20_120_330;
+
+/// Parse `--seed <u64>` from argv, falling back to [`DEFAULT_SEED`].
+pub fn seed_from_args() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--seed" {
+            if let Ok(s) = w[1].parse() {
+                return s;
+            }
+        }
+    }
+    DEFAULT_SEED
+}
+
+/// A minimal fixed-width table printer (no dependency on external crates).
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (display-formatted cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |ch: char| {
+            let mut s = String::from("+");
+            for w in &widths {
+                s.push_str(&ch.to_string().repeat(w + 2));
+                s.push('+');
+            }
+            s
+        };
+        println!("{}", line('-'));
+        print!("|");
+        for (h, w) in self.headers.iter().zip(&widths) {
+            print!(" {h:w$} |");
+        }
+        println!();
+        println!("{}", line('='));
+        for row in &self.rows {
+            print!("|");
+            for (c, w) in row.iter().zip(&widths) {
+                print!(" {c:w$} |");
+            }
+            println!();
+        }
+        println!("{}", line('-'));
+    }
+}
+
+/// Format a float with 4 significant decimals.
+pub fn f(x: f64) -> String {
+    if x == f64::INFINITY {
+        "inf".to_string()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Format any display value.
+pub fn s<T: Display>(x: T) -> String {
+    format!("{x}")
+}
+
+/// Print an experiment banner.
+pub fn banner(id: &str, claim: &str, seed: u64) {
+    println!("================================================================");
+    println!("{id}  —  {claim}");
+    println!("seed = {seed}");
+    println!("================================================================");
+}
+
+/// Print a PASS/FAIL verdict line.
+pub fn verdict(name: &str, pass: bool, detail: &str) {
+    let tag = if pass { "PASS" } else { "FAIL" };
+    println!("[{tag}] {name}: {detail}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_without_panicking() {
+        let mut t = Table::new(&["a", "longer-header"]);
+        t.row(vec![f(1.23456), s("x")]);
+        t.row(vec![f(f64::INFINITY), s(42)]);
+        t.print();
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.123456), "0.1235");
+        assert_eq!(f(12345.6), "12345.6");
+        assert_eq!(f(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a"]);
+        t.row(vec![s(1), s(2)]);
+    }
+}

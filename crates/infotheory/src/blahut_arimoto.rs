@@ -1,0 +1,289 @@
+//! Blahut–Arimoto iteration for the rate–distortion function — an
+//! independent algorithmic witness of the paper's Theorem 4.2.
+//!
+//! Rate–distortion asks for the channel `q(y|x)` minimizing `I(X;Y)`
+//! subject to a bound on expected distortion `E[d(X,Y)]`. In Lagrangian
+//! form, minimize `I(X;Y) + β·E[d(X,Y)]`. The alternating-minimization
+//! fixed point is
+//!
+//! ```text
+//! q(y|x) ∝ r(y)·exp(−β·d(x,y)),     r(y) = Σ_x p(x)·q(y|x)
+//! ```
+//!
+//! Read `x = Ẑ`, `y = θ`, `d = R̂_Ẑ(θ)`, `β = λ`: the inner update is
+//! **exactly the Gibbs posterior with prior `r`** — and the optimal prior
+//! is the output marginal `E_Ẑ π̂_Ẑ`, precisely the paper's remark that
+//! `π_OPT = E_Ẑ π̂` makes `E_Ẑ KL(π̂‖π)` equal the mutual information.
+//! Experiment E6 runs this iteration on the learning problem and checks
+//! the fixed point coincides with the Gibbs kernel.
+
+use crate::channel::DiscreteChannel;
+use crate::{validate_distribution, InfoError, Result};
+use dplearn_numerics::special::{log_sum_exp, xlogx_over_y};
+
+/// Result of a Blahut–Arimoto run.
+#[derive(Debug, Clone)]
+pub struct RateDistortion {
+    /// The optimizing channel `q(y|x)` (with the source as input dist).
+    pub channel: DiscreteChannel,
+    /// Rate `I(X;Y)` at the optimum, nats.
+    pub rate: f64,
+    /// Expected distortion at the optimum.
+    pub distortion: f64,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Final ℓ∞ change of the output marginal (convergence witness).
+    pub final_gap: f64,
+}
+
+/// Run Blahut–Arimoto at Lagrange multiplier `beta ≥ 0` on a source
+/// `p(x)` and distortion matrix `d[x][y]`.
+///
+/// Converges when the output marginal moves less than `tol` in ℓ∞, or
+/// errors after `max_iters`.
+pub fn blahut_arimoto(
+    source: &[f64],
+    distortion: &[Vec<f64>],
+    beta: f64,
+    tol: f64,
+    max_iters: usize,
+) -> Result<RateDistortion> {
+    validate_distribution("source", source)?;
+    if distortion.len() != source.len() {
+        return Err(InfoError::InvalidParameter {
+            name: "distortion",
+            reason: format!("expected {} rows, got {}", source.len(), distortion.len()),
+        });
+    }
+    let ny = distortion.first().map_or(0, Vec::len);
+    if ny == 0 {
+        return Err(InfoError::InvalidParameter {
+            name: "distortion",
+            reason: "output alphabet must be non-empty".to_string(),
+        });
+    }
+    for (i, row) in distortion.iter().enumerate() {
+        if row.len() != ny {
+            return Err(InfoError::InvalidParameter {
+                name: "distortion",
+                reason: format!("row {i} has length {}, expected {ny}", row.len()),
+            });
+        }
+        if row.iter().any(|&v| !v.is_finite()) {
+            return Err(InfoError::InvalidParameter {
+                name: "distortion",
+                reason: format!("row {i} contains a non-finite distortion"),
+            });
+        }
+    }
+    if !(beta.is_finite() && beta >= 0.0) {
+        return Err(InfoError::InvalidParameter {
+            name: "beta",
+            reason: format!("must be finite and nonnegative, got {beta}"),
+        });
+    }
+
+    // Start from the uniform output marginal.
+    let mut r = vec![1.0 / ny as f64; ny];
+    let mut kernel = vec![vec![0.0; ny]; source.len()];
+    let mut gap = f64::INFINITY;
+    let mut iterations = 0;
+    while iterations < max_iters {
+        iterations += 1;
+        // Update channel rows: q(y|x) ∝ r(y) exp(−β d(x,y)) — the Gibbs
+        // kernel with prior r.
+        for (row_q, row_d) in kernel.iter_mut().zip(distortion) {
+            let logits: Vec<f64> = r
+                .iter()
+                .zip(row_d)
+                .map(|(&ry, &dxy)| {
+                    if ry == 0.0 {
+                        f64::NEG_INFINITY
+                    } else {
+                        ry.ln() - beta * dxy
+                    }
+                })
+                .collect();
+            let z = log_sum_exp(&logits);
+            for (q, &l) in row_q.iter_mut().zip(&logits) {
+                *q = (l - z).exp();
+            }
+        }
+        // Update output marginal r(y) = Σ_x p(x) q(y|x).
+        let mut new_r = vec![0.0; ny];
+        for (&px, row_q) in source.iter().zip(&kernel) {
+            for (nr, &q) in new_r.iter_mut().zip(row_q) {
+                *nr += px * q;
+            }
+        }
+        gap = r
+            .iter()
+            .zip(&new_r)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        r = new_r;
+        if gap < tol {
+            break;
+        }
+    }
+    if gap >= tol {
+        return Err(InfoError::DidNotConverge { iterations });
+    }
+
+    let channel = DiscreteChannel::new(source.to_vec(), kernel)?;
+    let rate = channel.mutual_information();
+    let mut dist = 0.0;
+    for ((&px, row_q), row_d) in source.iter().zip(channel.kernel()).zip(distortion) {
+        for (&q, &d) in row_q.iter().zip(row_d) {
+            dist += px * q * d;
+        }
+    }
+    Ok(RateDistortion {
+        channel,
+        rate,
+        distortion: dist,
+        iterations,
+        final_gap: gap,
+    })
+}
+
+/// ℓ∞ distance between a channel's rows and the Gibbs kernel built from a
+/// given prior at inverse temperature `beta` — used by E6 to certify that
+/// the rate–distortion optimizer *is* the Gibbs posterior family.
+pub fn gibbs_fixed_point_gap(rd: &RateDistortion, distortion: &[Vec<f64>], beta: f64) -> f64 {
+    let r = rd.channel.output_marginal();
+    let mut worst = 0.0f64;
+    for (row_q, row_d) in rd.channel.kernel().iter().zip(distortion) {
+        let logits: Vec<f64> = r
+            .iter()
+            .zip(row_d)
+            .map(|(&ry, &dxy)| {
+                if ry == 0.0 {
+                    f64::NEG_INFINITY
+                } else {
+                    ry.ln() - beta * dxy
+                }
+            })
+            .collect();
+        let z = log_sum_exp(&logits);
+        for (&q, &l) in row_q.iter().zip(&logits) {
+            worst = worst.max((q - (l - z).exp()).abs());
+        }
+    }
+    worst
+}
+
+/// The Lagrangian value `I(X;Y) + β·E[d]` of an arbitrary channel against
+/// a source and distortion — used to verify optimality of the BA output
+/// against challenger channels.
+pub fn lagrangian(
+    source: &[f64],
+    kernel: &[Vec<f64>],
+    distortion: &[Vec<f64>],
+    beta: f64,
+) -> Result<f64> {
+    let channel = DiscreteChannel::new(source.to_vec(), kernel.to_vec())?;
+    let mut dist = 0.0;
+    for ((&px, row_q), row_d) in source.iter().zip(kernel).zip(distortion) {
+        for (&q, &d) in row_q.iter().zip(row_d) {
+            dist += px * q * d;
+        }
+    }
+    Ok(channel.mutual_information() + beta * dist)
+}
+
+/// Exact KL divergence between two channel rows — helper for tests.
+pub fn row_kl(p: &[f64], q: &[f64]) -> f64 {
+    p.iter().zip(q).map(|(&a, &b)| xlogx_over_y(a, b)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dplearn_numerics::rng::{Rng, Xoshiro256};
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    fn hamming(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| (0..n).map(|j| if i == j { 0.0 } else { 1.0 }).collect())
+            .collect()
+    }
+
+    #[test]
+    fn beta_zero_gives_zero_rate() {
+        // No distortion pressure: the optimal channel ignores the input.
+        let rd = blahut_arimoto(&[0.5, 0.5], &hamming(2), 0.0, 1e-12, 1000).unwrap();
+        close(rd.rate, 0.0, 1e-9);
+    }
+
+    #[test]
+    fn large_beta_approaches_zero_distortion_full_rate() {
+        let rd = blahut_arimoto(&[0.5, 0.5], &hamming(2), 50.0, 1e-12, 10_000).unwrap();
+        close(rd.distortion, 0.0, 1e-6);
+        close(rd.rate, std::f64::consts::LN_2, 1e-4);
+    }
+
+    #[test]
+    fn binary_hamming_matches_shannon_rate_distortion() {
+        // For a uniform binary source with Hamming distortion,
+        // R(D) = ln2 − H(D). The BA solution at β corresponds to
+        // D = 1/(1+e^β).
+        let beta = 2.0f64;
+        let rd = blahut_arimoto(&[0.5, 0.5], &hamming(2), beta, 1e-13, 20_000).unwrap();
+        let d = 1.0 / (1.0 + beta.exp());
+        close(rd.distortion, d, 1e-6);
+        let want_rate = std::f64::consts::LN_2 - dplearn_numerics::special::binary_entropy(d);
+        close(rd.rate, want_rate, 1e-6);
+    }
+
+    #[test]
+    fn fixed_point_is_gibbs_kernel() {
+        let source = [0.3, 0.45, 0.25];
+        let distortion = vec![
+            vec![0.0, 0.6, 1.0],
+            vec![0.5, 0.0, 0.4],
+            vec![1.0, 0.7, 0.0],
+        ];
+        let beta = 3.0;
+        let rd = blahut_arimoto(&source, &distortion, beta, 1e-13, 50_000).unwrap();
+        let gap = gibbs_fixed_point_gap(&rd, &distortion, beta);
+        assert!(gap < 1e-9, "Gibbs fixed-point gap {gap}");
+    }
+
+    #[test]
+    fn ba_output_beats_random_challenger_channels() {
+        let source = [0.4, 0.6];
+        let distortion = vec![vec![0.0, 1.0], vec![0.8, 0.1]];
+        let beta = 1.5;
+        let rd = blahut_arimoto(&source, &distortion, beta, 1e-13, 50_000).unwrap();
+        let opt = lagrangian(&source, rd.channel.kernel(), &distortion, beta).unwrap();
+        let mut rng = Xoshiro256::seed_from(91);
+        for _ in 0..2000 {
+            let kernel: Vec<Vec<f64>> = (0..2)
+                .map(|_| {
+                    let a = rng.next_open_f64();
+                    vec![a, 1.0 - a]
+                })
+                .collect();
+            let val = lagrangian(&source, &kernel, &distortion, beta).unwrap();
+            assert!(val >= opt - 1e-9, "challenger {val} beats optimum {opt}");
+        }
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(blahut_arimoto(&[0.5, 0.6], &hamming(2), 1.0, 1e-9, 100).is_err());
+        assert!(blahut_arimoto(&[0.5, 0.5], &hamming(3), 1.0, 1e-9, 100).is_err());
+        assert!(blahut_arimoto(&[0.5, 0.5], &hamming(2), -1.0, 1e-9, 100).is_err());
+        assert!(blahut_arimoto(&[1.0], &[vec![]], 1.0, 1e-9, 100).is_err());
+        // Non-convergence in 1 iteration (asymmetric source so the
+        // uniform starting marginal is not already the fixed point).
+        assert!(matches!(
+            blahut_arimoto(&[0.2, 0.8], &hamming(2), 5.0, 1e-15, 1),
+            Err(InfoError::DidNotConverge { .. })
+        ));
+    }
+}

@@ -1,0 +1,218 @@
+//! Discrete memoryless channels — the executable form of the paper's
+//! Figure 1.
+//!
+//! A [`DiscreteChannel`] is an input distribution `p(x)` plus a transition
+//! kernel `p(y|x)`. For the paper's learning channel, `x` ranges over
+//! possible samples `Ẑ` and `y` over hypotheses `θ`, and the kernel row
+//! for `Ẑ` is the Gibbs posterior `π̂_Ẑ` — the core crate builds exactly
+//! that and hands it here for the information-theoretic measurements.
+
+use crate::entropy::entropy;
+use crate::{validate_distribution, InfoError, Result};
+use dplearn_numerics::special::xlogx_over_y;
+
+/// A discrete memoryless channel: input distribution and row-stochastic
+/// transition kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscreteChannel {
+    input: Vec<f64>,
+    kernel: Vec<Vec<f64>>,
+}
+
+impl DiscreteChannel {
+    /// Create a channel; validates that `input` is a distribution over the
+    /// kernel's rows and that every kernel row is a distribution.
+    pub fn new(input: Vec<f64>, kernel: Vec<Vec<f64>>) -> Result<Self> {
+        validate_distribution("channel input", &input)?;
+        if kernel.len() != input.len() {
+            return Err(InfoError::InvalidParameter {
+                name: "kernel",
+                reason: format!("expected {} rows, got {}", input.len(), kernel.len()),
+            });
+        }
+        let width = kernel.first().map_or(0, Vec::len);
+        for (i, row) in kernel.iter().enumerate() {
+            if row.len() != width {
+                return Err(InfoError::InvalidParameter {
+                    name: "kernel",
+                    reason: format!("row {i} has length {}, expected {width}", row.len()),
+                });
+            }
+            validate_distribution("kernel row", row)?;
+        }
+        Ok(DiscreteChannel { input, kernel })
+    }
+
+    /// Number of channel inputs.
+    pub fn n_inputs(&self) -> usize {
+        self.input.len()
+    }
+
+    /// Number of channel outputs.
+    pub fn n_outputs(&self) -> usize {
+        self.kernel.first().map_or(0, Vec::len)
+    }
+
+    /// Input distribution `p(x)`.
+    pub fn input(&self) -> &[f64] {
+        &self.input
+    }
+
+    /// Transition kernel rows `p(y|x)`.
+    pub fn kernel(&self) -> &[Vec<f64>] {
+        &self.kernel
+    }
+
+    /// Joint distribution `p(x, y) = p(x)·p(y|x)` as rows over `x`.
+    pub fn joint(&self) -> Vec<Vec<f64>> {
+        self.input
+            .iter()
+            .zip(&self.kernel)
+            .map(|(&px, row)| row.iter().map(|&pyx| px * pyx).collect())
+            .collect()
+    }
+
+    /// Output marginal `p(y) = Σ_x p(x)·p(y|x)`.
+    pub fn output_marginal(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.n_outputs()];
+        for (&px, row) in self.input.iter().zip(&self.kernel) {
+            for (o, &pyx) in out.iter_mut().zip(row) {
+                *o += px * pyx;
+            }
+        }
+        out
+    }
+
+    /// Mutual information `I(X;Y) = Σ_{x,y} p(x,y) ln(p(y|x)/p(y))` in
+    /// nats — for the learning channel this is exactly the paper's
+    /// `I(Ẑ; θ)`.
+    pub fn mutual_information(&self) -> f64 {
+        let marginal = self.output_marginal();
+        let mut mi = 0.0;
+        for (&px, row) in self.input.iter().zip(&self.kernel) {
+            if px == 0.0 {
+                continue;
+            }
+            for (&pyx, &py) in row.iter().zip(&marginal) {
+                mi += px * xlogx_over_y(pyx, py);
+            }
+        }
+        // Clamp away −0.0 / tiny negative rounding.
+        mi.max(0.0)
+    }
+
+    /// Input entropy `H(X)` in nats.
+    pub fn input_entropy(&self) -> f64 {
+        entropy(&self.input).expect("validated at construction")
+    }
+
+    /// Output entropy `H(Y)` in nats.
+    pub fn output_entropy(&self) -> f64 {
+        entropy(&self.output_marginal()).expect("marginal of valid channel")
+    }
+
+    /// The worst-case log-ratio between any two kernel rows — for a
+    /// learning channel whose inputs are *neighboring* datasets this is
+    /// the exact differential-privacy level of the mechanism restricted
+    /// to those inputs.
+    pub fn max_row_log_ratio(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..self.kernel.len() {
+            for j in (i + 1)..self.kernel.len() {
+                for (&a, &b) in self.kernel[i].iter().zip(&self.kernel[j]) {
+                    if a == 0.0 && b == 0.0 {
+                        continue;
+                    }
+                    if a == 0.0 || b == 0.0 {
+                        return f64::INFINITY;
+                    }
+                    worst = worst.max((a / b).ln().abs());
+                }
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(DiscreteChannel::new(vec![0.5, 0.5], vec![vec![1.0, 0.0]]).is_err());
+        assert!(DiscreteChannel::new(vec![0.5, 0.4], vec![vec![1.0], vec![1.0]]).is_err());
+        assert!(
+            DiscreteChannel::new(vec![0.5, 0.5], vec![vec![0.6, 0.4], vec![0.9, 0.2]]).is_err()
+        );
+        assert!(DiscreteChannel::new(vec![0.5, 0.5], vec![vec![0.6, 0.4], vec![0.3, 0.7]]).is_ok());
+    }
+
+    #[test]
+    fn noiseless_channel_mi_is_input_entropy() {
+        let c =
+            DiscreteChannel::new(vec![0.25, 0.75], vec![vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        close(c.mutual_information(), c.input_entropy(), 1e-12);
+        assert_eq!(c.max_row_log_ratio(), f64::INFINITY);
+    }
+
+    #[test]
+    fn useless_channel_mi_is_zero() {
+        let c = DiscreteChannel::new(vec![0.3, 0.7], vec![vec![0.5, 0.5], vec![0.5, 0.5]]).unwrap();
+        close(c.mutual_information(), 0.0, 1e-15);
+        close(c.max_row_log_ratio(), 0.0, 1e-15);
+    }
+
+    #[test]
+    fn binary_symmetric_channel_known_mi() {
+        // BSC with crossover 0.1, uniform input: I = ln2 − H(0.1).
+        let f = 0.1;
+        let c =
+            DiscreteChannel::new(vec![0.5, 0.5], vec![vec![1.0 - f, f], vec![f, 1.0 - f]]).unwrap();
+        let want = std::f64::consts::LN_2 - dplearn_numerics::special::binary_entropy(f);
+        close(c.mutual_information(), want, 1e-12);
+    }
+
+    #[test]
+    fn joint_and_marginal_consistency() {
+        let c = DiscreteChannel::new(vec![0.4, 0.6], vec![vec![0.9, 0.1], vec![0.2, 0.8]]).unwrap();
+        let joint = c.joint();
+        let total: f64 = joint.iter().flatten().sum();
+        close(total, 1.0, 1e-12);
+        let marg = c.output_marginal();
+        close(marg[0], 0.4 * 0.9 + 0.6 * 0.2, 1e-12);
+        close(marg[1], 0.4 * 0.1 + 0.6 * 0.8, 1e-12);
+    }
+
+    #[test]
+    fn mi_bounded_by_entropies() {
+        let c = DiscreteChannel::new(
+            vec![0.2, 0.3, 0.5],
+            vec![
+                vec![0.7, 0.2, 0.1],
+                vec![0.1, 0.8, 0.1],
+                vec![0.25, 0.25, 0.5],
+            ],
+        )
+        .unwrap();
+        let mi = c.mutual_information();
+        assert!(mi >= 0.0);
+        assert!(mi <= c.input_entropy() + 1e-12);
+        assert!(mi <= c.output_entropy() + 1e-12);
+    }
+
+    #[test]
+    fn row_log_ratio_detects_privacy_level() {
+        // Rows within a factor e^0.5 of each other.
+        let a = 0.5f64;
+        let p0 = (a.exp()) / (a.exp() + 1.0);
+        let c = DiscreteChannel::new(vec![0.5, 0.5], vec![vec![p0, 1.0 - p0], vec![1.0 - p0, p0]])
+            .unwrap();
+        // log ratio between p0 and 1−p0 is exactly a = 0.5.
+        close(c.max_row_log_ratio(), 0.5, 1e-12);
+    }
+}

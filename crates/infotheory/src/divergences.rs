@@ -1,0 +1,131 @@
+//! Additional divergences between finite distributions: total variation,
+//! Jensen–Shannon, and Hellinger — the comparison metrics used when
+//! evaluating released distributions (e.g. private density estimates)
+//! against ground truth, plus the classic inequalities relating them
+//! (verified in the tests).
+
+use crate::{validate_distribution, InfoError, Result};
+use dplearn_numerics::special::xlogx_over_y;
+
+fn check_pair(p: &[f64], q: &[f64]) -> Result<()> {
+    validate_distribution("p", p)?;
+    validate_distribution("q", q)?;
+    if p.len() != q.len() {
+        return Err(InfoError::InvalidParameter {
+            name: "q",
+            reason: format!("support mismatch: {} vs {}", p.len(), q.len()),
+        });
+    }
+    Ok(())
+}
+
+/// Total variation distance `TV(p, q) = ½ Σ |pᵢ − qᵢ| ∈ [0, 1]`.
+pub fn total_variation(p: &[f64], q: &[f64]) -> Result<f64> {
+    check_pair(p, q)?;
+    Ok(0.5 * p.iter().zip(q).map(|(&a, &b)| (a - b).abs()).sum::<f64>())
+}
+
+/// KL divergence in nats (may be `+inf`).
+pub fn kl(p: &[f64], q: &[f64]) -> Result<f64> {
+    check_pair(p, q)?;
+    Ok(p.iter().zip(q).map(|(&a, &b)| xlogx_over_y(a, b)).sum())
+}
+
+/// Jensen–Shannon divergence in nats: `½KL(p‖m) + ½KL(q‖m)` with
+/// `m = (p+q)/2`. Always finite, symmetric, and in `[0, ln 2]`.
+pub fn jensen_shannon(p: &[f64], q: &[f64]) -> Result<f64> {
+    check_pair(p, q)?;
+    let m: Vec<f64> = p.iter().zip(q).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    Ok(0.5 * kl(p, &m)? + 0.5 * kl(q, &m)?)
+}
+
+/// Hellinger distance `H(p, q) = sqrt(½ Σ (√pᵢ − √qᵢ)²) ∈ [0, 1]`.
+pub fn hellinger(p: &[f64], q: &[f64]) -> Result<f64> {
+    check_pair(p, q)?;
+    let s: f64 = p
+        .iter()
+        .zip(q)
+        .map(|(&a, &b)| (a.sqrt() - b.sqrt()).powi(2))
+        .sum();
+    Ok((0.5 * s).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dplearn_numerics::rng::{Rng, SplitMix64};
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    fn random_dist(k: usize, rng: &mut SplitMix64) -> Vec<f64> {
+        let raw: Vec<f64> = (0..k).map(|_| rng.next_open_f64()).collect();
+        let t: f64 = raw.iter().sum();
+        raw.into_iter().map(|x| x / t).collect()
+    }
+
+    #[test]
+    fn identical_distributions_have_zero_divergence() {
+        let p = [0.2, 0.3, 0.5];
+        close(total_variation(&p, &p).unwrap(), 0.0, 1e-15);
+        close(jensen_shannon(&p, &p).unwrap(), 0.0, 1e-15);
+        close(hellinger(&p, &p).unwrap(), 0.0, 1e-15);
+        close(kl(&p, &p).unwrap(), 0.0, 1e-15);
+    }
+
+    #[test]
+    fn disjoint_supports_hit_the_maxima() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        close(total_variation(&p, &q).unwrap(), 1.0, 1e-15);
+        close(
+            jensen_shannon(&p, &q).unwrap(),
+            std::f64::consts::LN_2,
+            1e-12,
+        );
+        close(hellinger(&p, &q).unwrap(), 1.0, 1e-15);
+        assert_eq!(kl(&p, &q).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn symmetry_and_support_checks() {
+        let p = [0.7, 0.2, 0.1];
+        let q = [0.1, 0.4, 0.5];
+        close(
+            total_variation(&p, &q).unwrap(),
+            total_variation(&q, &p).unwrap(),
+            1e-15,
+        );
+        close(
+            jensen_shannon(&p, &q).unwrap(),
+            jensen_shannon(&q, &p).unwrap(),
+            1e-15,
+        );
+        assert!(total_variation(&p, &[0.5, 0.5]).is_err());
+        assert!(kl(&[0.5, 0.6], &[0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn classic_inequalities_hold_on_random_pairs() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..200 {
+            let k = 2 + rng.next_index(6);
+            let p = random_dist(k, &mut rng);
+            let q = random_dist(k, &mut rng);
+            let tv = total_variation(&p, &q).unwrap();
+            let h = hellinger(&p, &q).unwrap();
+            let klv = kl(&p, &q).unwrap();
+            let js = jensen_shannon(&p, &q).unwrap();
+            // Hellinger sandwiches TV: H² ≤ TV ≤ √2·H.
+            assert!(h * h <= tv + 1e-12);
+            assert!(tv <= std::f64::consts::SQRT_2 * h + 1e-12);
+            // Pinsker: TV ≤ sqrt(KL/2).
+            assert!(tv <= (klv / 2.0).sqrt() + 1e-12);
+            // JS bounds: 0 ≤ JS ≤ ln 2, and JS ≤ TV·ln2... (use the
+            // standard JS ≤ TV·ln 2 + binary-entropy form's weaker
+            // consequence JS ≤ ln 2).
+            assert!((0.0..=std::f64::consts::LN_2 + 1e-12).contains(&js));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Shannon entropies over finite alphabets (natural log; use
+//! [`nats_to_bits`] to convert).
+
+use crate::{validate_distribution, Result};
+use dplearn_numerics::special::xlogy;
+
+/// Convert nats to bits.
+pub fn nats_to_bits(nats: f64) -> f64 {
+    nats / std::f64::consts::LN_2
+}
+
+/// Shannon entropy `H(p) = −Σ p ln p` in nats.
+pub fn entropy(p: &[f64]) -> Result<f64> {
+    validate_distribution("entropy input", p)?;
+    Ok(-p.iter().map(|&x| xlogy(x, x)).sum::<f64>())
+}
+
+/// Cross entropy `H(p, q) = −Σ p ln q` in nats (`+inf` if `q` misses mass
+/// where `p` has some).
+pub fn cross_entropy(p: &[f64], q: &[f64]) -> Result<f64> {
+    validate_distribution("cross-entropy p", p)?;
+    validate_distribution("cross-entropy q", q)?;
+    if p.len() != q.len() {
+        return Err(crate::InfoError::InvalidParameter {
+            name: "q",
+            reason: format!("support mismatch: {} vs {}", p.len(), q.len()),
+        });
+    }
+    let mut total = 0.0;
+    for (&a, &b) in p.iter().zip(q) {
+        if a > 0.0 && b == 0.0 {
+            return Ok(f64::INFINITY);
+        }
+        total -= xlogy(a, b);
+    }
+    Ok(total)
+}
+
+/// Conditional entropy `H(Y|X)` from a joint distribution given as rows
+/// `joint[x][y]`, in nats.
+pub fn conditional_entropy(joint: &[Vec<f64>]) -> Result<f64> {
+    let flat: Vec<f64> = joint.iter().flatten().copied().collect();
+    validate_distribution("joint", &flat)?;
+    let mut h = 0.0;
+    for row in joint {
+        let px: f64 = row.iter().sum();
+        if px == 0.0 {
+            continue;
+        }
+        for &pxy in row {
+            // −Σ p(x,y) ln p(y|x)
+            h -= xlogy(pxy, pxy / px);
+        }
+    }
+    Ok(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn entropy_known_values() {
+        close(entropy(&[0.5, 0.5]).unwrap(), std::f64::consts::LN_2, 1e-12);
+        close(entropy(&[1.0, 0.0]).unwrap(), 0.0, 1e-15);
+        close(entropy(&[0.25; 4]).unwrap(), 4.0f64.ln(), 1e-12);
+        close(nats_to_bits(entropy(&[0.25; 4]).unwrap()), 2.0, 1e-12);
+        assert!(entropy(&[0.5, 0.4]).is_err());
+    }
+
+    #[test]
+    fn cross_entropy_exceeds_entropy() {
+        let p = [0.7, 0.3];
+        let q = [0.3, 0.7];
+        let h = entropy(&p).unwrap();
+        let ce = cross_entropy(&p, &q).unwrap();
+        assert!(ce > h);
+        close(cross_entropy(&p, &p).unwrap(), h, 1e-12);
+        assert_eq!(
+            cross_entropy(&[0.5, 0.5], &[1.0, 0.0]).unwrap(),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn conditional_entropy_of_independent_pair() {
+        // X uniform on 2, Y uniform on 2, independent: H(Y|X) = ln 2.
+        let joint = vec![vec![0.25, 0.25], vec![0.25, 0.25]];
+        close(
+            conditional_entropy(&joint).unwrap(),
+            std::f64::consts::LN_2,
+            1e-12,
+        );
+        // Deterministic channel: H(Y|X) = 0.
+        let det = vec![vec![0.5, 0.0], vec![0.0, 0.5]];
+        close(conditional_entropy(&det).unwrap(), 0.0, 1e-15);
+    }
+}

@@ -1,0 +1,264 @@
+//! Datasets of `(x, y)` examples and the paper's neighbor relation.
+//!
+//! Section 2.2: two sample sets `Ẑ, Ẑ'` are **neighbors** if they differ
+//! in exactly one example (replace-one adjacency). The privacy statements
+//! about learning mechanisms (Theorem 4.1) quantify over these pairs, so
+//! [`Dataset::replace`] and [`Dataset::replace_one_neighbors`] are the
+//! canonical way experiments construct them.
+
+use crate::{LearningError, Result};
+use dplearn_numerics::rng::Rng;
+
+/// One labelled example `z = (x, y)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Example {
+    /// Feature vector.
+    pub x: Vec<f64>,
+    /// Label / response. For binary classification the convention is
+    /// `y ∈ {−1, +1}`; for regression any real value.
+    pub y: f64,
+}
+
+impl Example {
+    /// Convenience constructor.
+    pub fn new(x: Vec<f64>, y: f64) -> Self {
+        Example { x, y }
+    }
+
+    /// A one-dimensional example.
+    pub fn scalar(x: f64, y: f64) -> Self {
+        Example { x: vec![x], y }
+    }
+}
+
+/// An ordered sample `Ẑ = (z₁, …, z_n)`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dataset {
+    examples: Vec<Example>,
+}
+
+impl Dataset {
+    /// Create from a vector of examples, checking dimension consistency.
+    pub fn new(examples: Vec<Example>) -> Result<Self> {
+        if let Some(first) = examples.first() {
+            let d = first.x.len();
+            for (i, e) in examples.iter().enumerate() {
+                if e.x.len() != d {
+                    return Err(LearningError::DimensionMismatch {
+                        expected: d,
+                        actual: e.x.len(),
+                    });
+                }
+                if !e.y.is_finite() || e.x.iter().any(|v| !v.is_finite()) {
+                    return Err(LearningError::InvalidParameter {
+                        name: "examples",
+                        reason: format!("example {i} contains a non-finite value"),
+                    });
+                }
+            }
+        }
+        Ok(Dataset { examples })
+    }
+
+    /// Number of examples `n`.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// True when the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// Feature dimension (0 for an empty dataset).
+    pub fn dim(&self) -> usize {
+        self.examples.first().map_or(0, |e| e.x.len())
+    }
+
+    /// Borrow the examples.
+    pub fn examples(&self) -> &[Example] {
+        &self.examples
+    }
+
+    /// Iterate over the examples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Example> {
+        self.examples.iter()
+    }
+
+    /// The neighbor of `self` obtained by replacing example `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or the replacement has the wrong
+    /// dimension.
+    pub fn replace(&self, i: usize, with: Example) -> Dataset {
+        assert!(i < self.examples.len(), "replace index out of range");
+        assert_eq!(with.x.len(), self.dim(), "replacement dimension mismatch");
+        let mut out = self.clone();
+        out.examples[i] = with;
+        out
+    }
+
+    /// All replace-one neighbors obtained by substituting each position
+    /// with each of the provided candidate examples.
+    ///
+    /// The audit experiments pass the *extreme* examples of the domain as
+    /// candidates — those maximize the empirical-risk perturbation and so
+    /// witness the worst-case privacy loss.
+    pub fn replace_one_neighbors(&self, candidates: &[Example]) -> Vec<Dataset> {
+        let mut out = Vec::with_capacity(self.len() * candidates.len());
+        for i in 0..self.len() {
+            for c in candidates {
+                if *c != self.examples[i] {
+                    out.push(self.replace(i, c.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Split into `(train, test)` with `train_fraction` of the examples in
+    /// the training set, after a seeded shuffle.
+    pub fn split<R: Rng + ?Sized>(
+        &self,
+        train_fraction: f64,
+        rng: &mut R,
+    ) -> Result<(Dataset, Dataset)> {
+        if !(0.0..=1.0).contains(&train_fraction) {
+            return Err(LearningError::InvalidParameter {
+                name: "train_fraction",
+                reason: format!("must lie in [0,1], got {train_fraction}"),
+            });
+        }
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut idx);
+        let cut = (self.len() as f64 * train_fraction).round() as usize;
+        let train: Vec<Example> = idx[..cut]
+            .iter()
+            .map(|&i| self.examples[i].clone())
+            .collect();
+        let test: Vec<Example> = idx[cut..]
+            .iter()
+            .map(|&i| self.examples[i].clone())
+            .collect();
+        Ok((Dataset { examples: train }, Dataset { examples: test }))
+    }
+
+    /// The `k` folds of a k-fold cross-validation split (deterministic in
+    /// the input order; shuffle first if needed).
+    pub fn folds(&self, k: usize) -> Result<Vec<(Dataset, Dataset)>> {
+        if k < 2 || k > self.len() {
+            return Err(LearningError::InvalidParameter {
+                name: "k",
+                reason: format!("need 2 ≤ k ≤ n = {}, got {k}", self.len()),
+            });
+        }
+        let mut out = Vec::with_capacity(k);
+        for fold in 0..k {
+            let mut train = Vec::new();
+            let mut test = Vec::new();
+            for (i, e) in self.examples.iter().enumerate() {
+                if i % k == fold {
+                    test.push(e.clone());
+                } else {
+                    train.push(e.clone());
+                }
+            }
+            out.push((Dataset { examples: train }, Dataset { examples: test }));
+        }
+        Ok(out)
+    }
+}
+
+impl<'a> IntoIterator for &'a Dataset {
+    type Item = &'a Example;
+    type IntoIter = std::slice::Iter<'a, Example>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.examples.iter()
+    }
+}
+
+impl FromIterator<Example> for Dataset {
+    fn from_iter<T: IntoIterator<Item = Example>>(iter: T) -> Self {
+        Dataset {
+            examples: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dplearn_numerics::rng::Xoshiro256;
+
+    fn toy() -> Dataset {
+        Dataset::new(vec![
+            Example::scalar(0.0, -1.0),
+            Example::scalar(1.0, 1.0),
+            Example::scalar(2.0, 1.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Dataset::new(vec![
+            Example::new(vec![1.0, 2.0], 0.0),
+            Example::new(vec![1.0], 0.0),
+        ])
+        .is_err());
+        assert!(Dataset::new(vec![Example::scalar(f64::NAN, 0.0)]).is_err());
+        assert!(Dataset::new(vec![]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn replace_produces_neighbor() {
+        let d = toy();
+        let n = d.replace(1, Example::scalar(5.0, -1.0));
+        assert_eq!(n.len(), 3);
+        let diff = d.iter().zip(n.iter()).filter(|(a, b)| a != b).count();
+        assert_eq!(diff, 1);
+    }
+
+    #[test]
+    fn replace_one_neighbors_counts() {
+        let d = toy();
+        let candidates = [Example::scalar(0.0, -1.0), Example::scalar(9.0, 1.0)];
+        let nbrs = d.replace_one_neighbors(&candidates);
+        // Position 0 equals candidate 0, so it yields only 1 neighbor;
+        // positions 1 and 2 yield 2 each.
+        assert_eq!(nbrs.len(), 5);
+        for n in &nbrs {
+            let diff = d.iter().zip(n.iter()).filter(|(a, b)| a != b).count();
+            assert_eq!(diff, 1);
+        }
+    }
+
+    #[test]
+    fn split_partitions() {
+        let d: Dataset = (0..100).map(|i| Example::scalar(i as f64, 1.0)).collect();
+        let mut rng = Xoshiro256::seed_from(1);
+        let (tr, te) = d.split(0.8, &mut rng).unwrap();
+        assert_eq!(tr.len(), 80);
+        assert_eq!(te.len(), 20);
+        // Partition: no overlap, union is everything.
+        let mut all: Vec<f64> = tr.iter().chain(te.iter()).map(|e| e.x[0]).collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(all, (0..100).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn folds_cover_everything_once() {
+        let d: Dataset = (0..10).map(|i| Example::scalar(i as f64, 1.0)).collect();
+        let folds = d.folds(5).unwrap();
+        assert_eq!(folds.len(), 5);
+        let mut test_total = 0;
+        for (tr, te) in &folds {
+            assert_eq!(tr.len() + te.len(), 10);
+            test_total += te.len();
+        }
+        assert_eq!(test_total, 10);
+        assert!(d.folds(1).is_err());
+        assert!(d.folds(11).is_err());
+    }
+}

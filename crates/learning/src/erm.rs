@@ -1,0 +1,319 @@
+//! Empirical risk minimization.
+//!
+//! * Exact ERM over a finite class (argmin of the risk vector).
+//! * L2-regularized ERM over linear models by projected gradient descent,
+//!   for convex differentiable losses supplied with their gradients.
+//!
+//! Regularized ERM over a norm ball is the non-private baseline that the
+//! private methods (Gibbs learner, output perturbation, objective
+//! perturbation) are compared against in E8.
+
+use crate::data::Dataset;
+use crate::hypothesis::{FiniteClass, LinearModel, Predictor};
+use crate::loss::Loss;
+use crate::{LearningError, Result};
+use dplearn_numerics::linalg::{axpy, dot};
+use dplearn_numerics::optimize::{gradient_descent, GdConfig};
+
+/// Result of exact ERM over a finite class.
+#[derive(Debug, Clone, Copy)]
+pub struct FiniteErm {
+    /// Index of the empirical-risk minimizer in the class.
+    pub best_index: usize,
+    /// Its empirical risk.
+    pub best_risk: f64,
+}
+
+/// Exact ERM over a finite hypothesis class (ties broken by lowest index).
+pub fn erm_finite<P: Predictor, L: Loss>(
+    class: &FiniteClass<P>,
+    loss: &L,
+    data: &Dataset,
+) -> Result<FiniteErm> {
+    if data.is_empty() {
+        return Err(LearningError::EmptyDataset);
+    }
+    let risks = class.risk_vector(loss, data);
+    let (best_index, best_risk) = risks
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite risks"))
+        .map(|(i, &r)| (i, r))
+        .expect("non-empty class");
+    Ok(FiniteErm {
+        best_index,
+        best_risk,
+    })
+}
+
+/// Differentiable margin losses for linear ERM: value and derivative with
+/// respect to the margin `m = y · (⟨w, x⟩ + b)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarginLoss {
+    /// Logistic loss `ln(1 + e^{−m})`.
+    Logistic,
+    /// Hinge loss `max(0, 1 − m)` (subgradient at the kink).
+    Hinge,
+    /// Huberized hinge (smooth; Chaudhuri et al.'s objective-perturbation
+    /// analysis requires a differentiable loss), with huber width `h`
+    /// fixed at 0.5.
+    HuberHinge,
+}
+
+impl MarginLoss {
+    /// Loss value at margin `m`.
+    pub fn value(&self, m: f64) -> f64 {
+        match self {
+            MarginLoss::Logistic => dplearn_numerics::special::log1p_exp(-m),
+            MarginLoss::Hinge => (1.0 - m).max(0.0),
+            MarginLoss::HuberHinge => {
+                let h = 0.5;
+                if m > 1.0 + h {
+                    0.0
+                } else if m < 1.0 - h {
+                    1.0 - m
+                } else {
+                    (1.0 + h - m).powi(2) / (4.0 * h)
+                }
+            }
+        }
+    }
+
+    /// Derivative `d value / d m` (a subgradient at kinks).
+    pub fn derivative(&self, m: f64) -> f64 {
+        match self {
+            MarginLoss::Logistic => -dplearn_numerics::special::logistic(-m),
+            MarginLoss::Hinge => {
+                if m < 1.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }
+            MarginLoss::HuberHinge => {
+                let h = 0.5;
+                if m > 1.0 + h {
+                    0.0
+                } else if m < 1.0 - h {
+                    -1.0
+                } else {
+                    -(1.0 + h - m) / (2.0 * h)
+                }
+            }
+        }
+    }
+}
+
+/// Configuration for regularized linear ERM.
+#[derive(Debug, Clone)]
+pub struct LinearErmConfig {
+    /// L2 regularization strength λ (coefficient of `λ/2 ‖w‖²`).
+    pub lambda: f64,
+    /// Whether to fit an (unregularized) intercept.
+    pub fit_bias: bool,
+    /// Optional ‖w‖₂ ball constraint.
+    pub ball_radius: Option<f64>,
+    /// Gradient-descent settings.
+    pub gd: GdConfig,
+}
+
+impl Default for LinearErmConfig {
+    fn default() -> Self {
+        LinearErmConfig {
+            lambda: 1e-3,
+            fit_bias: true,
+            ball_radius: None,
+            gd: GdConfig::default(),
+        }
+    }
+}
+
+/// The regularized empirical objective
+/// `J(w, b) = (1/n) Σ ℓ(yᵢ(⟨w,xᵢ⟩+b)) + λ/2 ‖w‖²` and its gradient.
+pub fn linear_objective(
+    params: &[f64],
+    loss: MarginLoss,
+    lambda: f64,
+    fit_bias: bool,
+    data: &Dataset,
+) -> (f64, Vec<f64>) {
+    let d = data.dim();
+    let w = &params[..d];
+    let b = if fit_bias { params[d] } else { 0.0 };
+    let n = data.len() as f64;
+    let mut value = 0.0;
+    let mut grad = vec![0.0; params.len()];
+    for e in data.iter() {
+        let m = e.y * (dot(w, &e.x) + b);
+        value += loss.value(m);
+        let dm = loss.derivative(m) * e.y / n;
+        axpy(dm, &e.x, &mut grad[..d]);
+        if fit_bias {
+            grad[d] += dm;
+        }
+    }
+    value /= n;
+    // Regularizer (weights only, not bias).
+    value += 0.5 * lambda * dot(w, w);
+    for (g, &wi) in grad[..d].iter_mut().zip(w) {
+        *g += lambda * wi;
+    }
+    (value, grad)
+}
+
+/// Train an L2-regularized linear model by (projected) gradient descent.
+pub fn erm_linear(loss: MarginLoss, data: &Dataset, cfg: &LinearErmConfig) -> Result<LinearModel> {
+    if data.is_empty() {
+        return Err(LearningError::EmptyDataset);
+    }
+    if cfg.lambda < 0.0 {
+        return Err(LearningError::InvalidParameter {
+            name: "lambda",
+            reason: format!("must be nonnegative, got {}", cfg.lambda),
+        });
+    }
+    let d = data.dim();
+    let n_params = d + usize::from(cfg.fit_bias);
+    let x0 = vec![0.0; n_params];
+    let mut gd_cfg = cfg.gd.clone();
+    gd_cfg.ball_radius = cfg.ball_radius;
+    let res = gradient_descent(
+        |p| linear_objective(p, loss, cfg.lambda, cfg.fit_bias, data),
+        &x0,
+        &gd_cfg,
+    );
+    let bias = if cfg.fit_bias { res.x[d] } else { 0.0 };
+    Ok(LinearModel::new(res.x[..d].to_vec(), bias))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Example;
+    use crate::hypothesis::FiniteClass;
+    use crate::loss::{empirical_risk, ZeroOne};
+    use crate::synth::{DataGenerator, GaussianClasses};
+    use dplearn_numerics::rng::Xoshiro256;
+
+    #[test]
+    fn finite_erm_finds_separator() {
+        let data: Dataset = vec![
+            Example::scalar(0.0, -1.0),
+            Example::scalar(0.4, -1.0),
+            Example::scalar(0.6, 1.0),
+            Example::scalar(1.0, 1.0),
+        ]
+        .into_iter()
+        .collect();
+        let grid = FiniteClass::threshold_grid(0.0, 1.0, 21);
+        let res = erm_finite(&grid, &ZeroOne, &data).unwrap();
+        assert_eq!(res.best_risk, 0.0);
+        let t = grid.get(res.best_index).threshold;
+        assert!(t > 0.4 && t <= 0.6, "threshold {t}");
+        assert!(erm_finite(&grid, &ZeroOne, &Dataset::default()).is_err());
+    }
+
+    #[test]
+    fn margin_loss_values_and_derivatives() {
+        // Logistic at m=0: value ln2, derivative −1/2.
+        assert!((MarginLoss::Logistic.value(0.0) - std::f64::consts::LN_2).abs() < 1e-12);
+        assert!((MarginLoss::Logistic.derivative(0.0) + 0.5).abs() < 1e-12);
+        // Hinge regions.
+        assert_eq!(MarginLoss::Hinge.value(2.0), 0.0);
+        assert_eq!(MarginLoss::Hinge.value(0.0), 1.0);
+        assert_eq!(MarginLoss::Hinge.derivative(0.5), -1.0);
+        assert_eq!(MarginLoss::Hinge.derivative(1.5), 0.0);
+        // HuberHinge is continuous at the knots m = 0.5 and m = 1.5.
+        let hh = MarginLoss::HuberHinge;
+        assert!((hh.value(0.5) - 0.5).abs() < 1e-12);
+        assert!(hh.value(1.5).abs() < 1e-12);
+        // Numerical derivative check in the quadratic zone.
+        let m = 1.2;
+        let h = 1e-6;
+        let num = (hh.value(m + h) - hh.value(m - h)) / (2.0 * h);
+        assert!((num - hh.derivative(m)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn logistic_erm_learns_separable_direction() {
+        let gen = GaussianClasses::new(vec![2.0, 0.0], 0.5);
+        let mut rng = Xoshiro256::seed_from(21);
+        let data = gen.sample(500, &mut rng);
+        let model = erm_linear(MarginLoss::Logistic, &data, &LinearErmConfig::default()).unwrap();
+        // The informative direction is the first coordinate.
+        assert!(
+            model.weights[0] > 5.0 * model.weights[1].abs(),
+            "weights {:?}",
+            model.weights
+        );
+        let err = empirical_risk(&model, &ZeroOne, &data);
+        assert!(err < 0.01, "training error {err}");
+    }
+
+    #[test]
+    fn hinge_erm_respects_ball_constraint() {
+        let gen = GaussianClasses::new(vec![1.0], 1.0);
+        let mut rng = Xoshiro256::seed_from(22);
+        let data = gen.sample(300, &mut rng);
+        let cfg = LinearErmConfig {
+            ball_radius: Some(0.5),
+            fit_bias: false,
+            ..LinearErmConfig::default()
+        };
+        let model = erm_linear(MarginLoss::Hinge, &data, &cfg).unwrap();
+        assert!(model.weight_norm() <= 0.5 + 1e-9);
+        assert!(model.weights[0] > 0.0);
+    }
+
+    #[test]
+    fn stronger_regularization_shrinks_weights() {
+        let gen = GaussianClasses::new(vec![1.5, -1.0], 1.0);
+        let mut rng = Xoshiro256::seed_from(23);
+        let data = gen.sample(400, &mut rng);
+        let weak = erm_linear(
+            MarginLoss::Logistic,
+            &data,
+            &LinearErmConfig {
+                lambda: 1e-4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let strong = erm_linear(
+            MarginLoss::Logistic,
+            &data,
+            &LinearErmConfig {
+                lambda: 1.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(strong.weight_norm() < weak.weight_norm());
+    }
+
+    #[test]
+    fn objective_gradient_matches_finite_differences() {
+        let gen = GaussianClasses::new(vec![1.0, -0.5], 1.0);
+        let mut rng = Xoshiro256::seed_from(24);
+        let data = gen.sample(50, &mut rng);
+        let p = vec![0.3, -0.2, 0.1];
+        for loss in [MarginLoss::Logistic, MarginLoss::HuberHinge] {
+            let (_, g) = linear_objective(&p, loss, 0.1, true, &data);
+            for i in 0..p.len() {
+                let mut hi = p.clone();
+                let mut lo = p.clone();
+                let h = 1e-6;
+                hi[i] += h;
+                lo[i] -= h;
+                let (fh, _) = linear_objective(&hi, loss, 0.1, true, &data);
+                let (fl, _) = linear_objective(&lo, loss, 0.1, true, &data);
+                let num = (fh - fl) / (2.0 * h);
+                assert!(
+                    (num - g[i]).abs() < 1e-5,
+                    "{loss:?} coord {i}: numeric {num} vs analytic {}",
+                    g[i]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Plain-text dataset loading — adoption plumbing for real data.
+//!
+//! A deliberately dependency-free CSV reader: numeric columns, one
+//! example per line, configurable label column, `#`-comment and header
+//! tolerance. Sufficient for the UCI-style tables the baselines' papers
+//! used, without pulling a CSV crate into an otherwise dependency-free
+//! workspace.
+
+use crate::data::{Dataset, Example};
+use crate::{LearningError, Result};
+
+/// Options for [`parse_csv`].
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field separator.
+    pub separator: char,
+    /// Which column holds the label (all others become features).
+    pub label_column: usize,
+    /// Skip the first non-comment line (header).
+    pub has_header: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            separator: ',',
+            label_column: 0,
+            has_header: false,
+        }
+    }
+}
+
+/// Parse a CSV string into a [`Dataset`].
+///
+/// Empty lines and lines starting with `#` are skipped. Every retained
+/// line must have the same number of numeric fields.
+pub fn parse_csv(text: &str, options: &CsvOptions) -> Result<Dataset> {
+    let mut examples = Vec::new();
+    let mut width: Option<usize> = None;
+    let mut header_skipped = !options.has_header;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if !header_skipped {
+            header_skipped = true;
+            continue;
+        }
+        let fields: Vec<&str> = line.split(options.separator).map(str::trim).collect();
+        match width {
+            None => {
+                if options.label_column >= fields.len() {
+                    return Err(LearningError::InvalidParameter {
+                        name: "label_column",
+                        reason: format!(
+                            "line {} has {} fields, label column is {}",
+                            lineno + 1,
+                            fields.len(),
+                            options.label_column
+                        ),
+                    });
+                }
+                width = Some(fields.len());
+            }
+            Some(w) if fields.len() != w => {
+                return Err(LearningError::InvalidParameter {
+                    name: "text",
+                    reason: format!(
+                        "line {} has {} fields, expected {w}",
+                        lineno + 1,
+                        fields.len()
+                    ),
+                });
+            }
+            _ => {}
+        }
+        let mut x = Vec::with_capacity(fields.len() - 1);
+        let mut y = 0.0;
+        for (i, field) in fields.iter().enumerate() {
+            let v: f64 = field.parse().map_err(|_| LearningError::InvalidParameter {
+                name: "text",
+                reason: format!("line {}: `{field}` is not a number", lineno + 1),
+            })?;
+            if i == options.label_column {
+                y = v;
+            } else {
+                x.push(v);
+            }
+        }
+        examples.push(Example::new(x, y));
+    }
+    Dataset::new(examples)
+}
+
+/// Load a CSV file from disk (thin wrapper over [`parse_csv`]).
+pub fn load_csv(path: &std::path::Path, options: &CsvOptions) -> Result<Dataset> {
+    let text = std::fs::read_to_string(path).map_err(|e| LearningError::InvalidParameter {
+        name: "path",
+        reason: format!("cannot read {}: {e}", path.display()),
+    })?;
+    parse_csv(&text, options)
+}
+
+/// Serialize a dataset back to CSV (label first), the inverse of
+/// [`parse_csv`] with default options.
+pub fn to_csv(data: &Dataset) -> String {
+    let mut out = String::new();
+    for e in data.iter() {
+        out.push_str(&format!("{}", e.y));
+        for v in &e.x {
+            out.push(',');
+            out.push_str(&format!("{v}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_csv() {
+        let text = "# comment\n1,0.5,2.0\n-1,1.5,3.0\n\n1,2.5,4.0\n";
+        let d = parse_csv(text, &CsvOptions::default()).unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.examples()[0].y, 1.0);
+        assert_eq!(d.examples()[1].x, vec![1.5, 3.0]);
+    }
+
+    #[test]
+    fn respects_label_column_and_header() {
+        let text = "x1;y;x2\n0.5;1;2.0\n1.5;-1;3.0\n";
+        let opts = CsvOptions {
+            separator: ';',
+            label_column: 1,
+            has_header: true,
+        };
+        let d = parse_csv(text, &opts).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.examples()[0].y, 1.0);
+        assert_eq!(d.examples()[0].x, vec![0.5, 2.0]);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_csv("1,2\n1,2,3\n", &CsvOptions::default()).is_err());
+        assert!(parse_csv("1,abc\n", &CsvOptions::default()).is_err());
+        let opts = CsvOptions {
+            label_column: 5,
+            ..Default::default()
+        };
+        assert!(parse_csv("1,2\n", &opts).is_err());
+        // NaN-producing parse like "NaN" is rejected by Dataset validation.
+        assert!(parse_csv("NaN,2\n", &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn round_trips_through_to_csv() {
+        let text = "1,0.5,2\n-1,1.5,3\n";
+        let d = parse_csv(text, &CsvOptions::default()).unwrap();
+        let back = parse_csv(&to_csv(&d), &CsvOptions::default()).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn load_csv_reports_missing_file() {
+        let err = load_csv(
+            std::path::Path::new("/nonexistent/x.csv"),
+            &CsvOptions::default(),
+        );
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! Statistical learning substrate (Section 2.2 of the paper).
+//!
+//! The paper's framework: an input space `X`, output space `Y`, predictor
+//! space `Θ`; a loss `l_θ(z)` for `z = (x, y)`; the **true risk**
+//! `R(θ) = E_Z l_θ(Z)` under the unknown distribution `Q`; and the
+//! **empirical risk** `R̂_Ẑ(θ) = (1/n) Σ l_θ(zᵢ)` on an i.i.d. sample `Ẑ`.
+//!
+//! This crate provides:
+//!
+//! * [`data`] — datasets of `(x, y)` examples and the paper's replace-one
+//!   neighbor relation,
+//! * [`synth`] — seeded synthetic data generators (our substitution for
+//!   the UCI datasets used by the baselines' original papers; see
+//!   DESIGN.md §2),
+//! * [`loss`] — bounded loss functions with explicit loss ranges (the
+//!   quantity that drives empirical-risk sensitivity `ΔR̂ = B/n`),
+//! * [`hypothesis`] — predictors: linear models, threshold classifiers,
+//!   and finite hypothesis classes (the exactly-analyzable case used by
+//!   E3–E7),
+//! * [`erm`] — empirical risk minimization, exact over finite classes and
+//!   by projected gradient descent for convex losses,
+//! * [`models`] — logistic regression, linear SVM, ridge regression,
+//! * [`eval`] — train/test splits, cross-validation, and Monte-Carlo true
+//!   risk estimation against a known generator.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod data;
+pub mod erm;
+pub mod eval;
+pub mod hypothesis;
+pub mod io;
+pub mod loss;
+pub mod metrics;
+pub mod models;
+pub mod synth;
+pub mod uniform;
+
+/// Errors produced by the learning layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LearningError {
+    /// An invalid argument.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint description.
+        reason: String,
+    },
+    /// The dataset was empty where at least one example is required.
+    EmptyDataset,
+    /// Feature dimensions disagree.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Provided dimension.
+        actual: usize,
+    },
+    /// An underlying numerical routine failed.
+    Numerics(dplearn_numerics::NumericsError),
+}
+
+impl std::fmt::Display for LearningError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LearningError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            LearningError::EmptyDataset => write!(f, "dataset must be non-empty"),
+            LearningError::DimensionMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "feature dimension mismatch: expected {expected}, got {actual}"
+                )
+            }
+            LearningError::Numerics(e) => write!(f, "numerics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LearningError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LearningError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dplearn_numerics::NumericsError> for LearningError {
+    fn from(e: dplearn_numerics::NumericsError) -> Self {
+        LearningError::Numerics(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LearningError>;

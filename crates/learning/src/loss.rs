@@ -1,0 +1,248 @@
+//! Loss functions with explicit ranges.
+//!
+//! The paper's Theorem 4.1 prices privacy in units of the **global
+//! sensitivity of the empirical risk**, which for a loss with range
+//! `[0, B]` is `B/n`. Every loss here therefore reports its `bound()`;
+//! unbounded convex losses are used through the [`Clamped`] adaptor, which
+//! truncates at a chosen `B` (this is also what keeps PAC-Bayes bounds —
+//! stated for `[0, 1]`-valued losses after rescaling — applicable).
+
+use crate::data::Example;
+use crate::hypothesis::Predictor;
+
+/// A loss function `l(prediction, y)` with a known range `[0, bound]`.
+pub trait Loss {
+    /// Evaluate the loss of a real-valued prediction against label `y`.
+    fn loss(&self, prediction: f64, y: f64) -> f64;
+
+    /// The supremum `B` of the loss (`None` if unbounded).
+    fn bound(&self) -> Option<f64>;
+
+    /// Loss of a predictor on one example.
+    fn on_example<P: Predictor + ?Sized>(&self, predictor: &P, z: &Example) -> f64 {
+        self.loss(predictor.predict(&z.x), z.y)
+    }
+}
+
+/// Zero–one classification loss for `y ∈ {−1, +1}`: `1` if
+/// `sign(prediction) ≠ y`, else `0`. A prediction of exactly 0 counts as
+/// a mistake against either label (the conservative convention).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZeroOne;
+
+impl Loss for ZeroOne {
+    fn loss(&self, prediction: f64, y: f64) -> f64 {
+        if prediction * y > 0.0 {
+            0.0
+        } else {
+            1.0
+        }
+    }
+    fn bound(&self) -> Option<f64> {
+        Some(1.0)
+    }
+}
+
+/// Squared loss `(prediction − y)²` (unbounded).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Squared;
+
+impl Loss for Squared {
+    fn loss(&self, prediction: f64, y: f64) -> f64 {
+        (prediction - y).powi(2)
+    }
+    fn bound(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Absolute loss `|prediction − y|` (unbounded).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Absolute;
+
+impl Loss for Absolute {
+    fn loss(&self, prediction: f64, y: f64) -> f64 {
+        (prediction - y).abs()
+    }
+    fn bound(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Logistic loss `ln(1 + exp(−y·prediction))` for `y ∈ {−1, +1}`
+/// (unbounded, convex, smooth).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Logistic;
+
+impl Loss for Logistic {
+    fn loss(&self, prediction: f64, y: f64) -> f64 {
+        dplearn_numerics::special::log1p_exp(-y * prediction)
+    }
+    fn bound(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Hinge loss `max(0, 1 − y·prediction)` for `y ∈ {−1, +1}`
+/// (unbounded, convex).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hinge;
+
+impl Loss for Hinge {
+    fn loss(&self, prediction: f64, y: f64) -> f64 {
+        (1.0 - y * prediction).max(0.0)
+    }
+    fn bound(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Clamp an arbitrary loss into `[0, bound]`.
+///
+/// This is the standard device for applying bounded-loss theory (both
+/// PAC-Bayes bounds and empirical-risk sensitivity) to convex surrogates.
+#[derive(Debug, Clone, Copy)]
+pub struct Clamped<L> {
+    inner: L,
+    bound: f64,
+}
+
+impl<L: Loss> Clamped<L> {
+    /// Wrap `inner`, truncating its values at `bound > 0`.
+    pub fn new(inner: L, bound: f64) -> Self {
+        assert!(
+            bound.is_finite() && bound > 0.0,
+            "clamp bound must be positive"
+        );
+        Clamped { inner, bound }
+    }
+}
+
+impl<L: Loss> Loss for Clamped<L> {
+    fn loss(&self, prediction: f64, y: f64) -> f64 {
+        self.inner.loss(prediction, y).clamp(0.0, self.bound)
+    }
+    fn bound(&self) -> Option<f64> {
+        Some(self.bound)
+    }
+}
+
+/// Empirical risk `R̂_Ẑ(θ) = (1/n) Σᵢ l_θ(zᵢ)` of a predictor on a sample.
+///
+/// # Panics
+///
+/// Panics on an empty dataset (an empirical risk over zero examples is
+/// undefined; callers validate earlier).
+pub fn empirical_risk<P, L>(predictor: &P, loss: &L, data: &crate::data::Dataset) -> f64
+where
+    P: Predictor + ?Sized,
+    L: Loss + ?Sized,
+{
+    assert!(
+        !data.is_empty(),
+        "empirical risk of an empty sample is undefined"
+    );
+    let total: f64 = data.iter().map(|z| loss.on_example(predictor, z)).sum();
+    total / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{Dataset, Example};
+    use crate::hypothesis::ThresholdClassifier;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn zero_one_semantics() {
+        let l = ZeroOne;
+        assert_eq!(l.loss(0.5, 1.0), 0.0);
+        assert_eq!(l.loss(-0.5, 1.0), 1.0);
+        assert_eq!(l.loss(0.5, -1.0), 1.0);
+        assert_eq!(l.loss(0.0, 1.0), 1.0); // boundary counts as error
+        assert_eq!(l.bound(), Some(1.0));
+    }
+
+    #[test]
+    fn convex_surrogates_dominate_zero_one() {
+        // At the decision boundary and on mistakes, hinge and (scaled)
+        // logistic upper-bound the 0-1 loss.
+        for &(p, y) in &[(0.5, 1.0), (-0.3, 1.0), (-2.0, 1.0), (1.5, -1.0)] {
+            let z = ZeroOne.loss(p, y);
+            assert!(Hinge.loss(p, y) >= z);
+            assert!(Logistic.loss(p, y) / std::f64::consts::LN_2 >= z - 1e-12);
+        }
+    }
+
+    #[test]
+    fn logistic_known_values() {
+        close(Logistic.loss(0.0, 1.0), std::f64::consts::LN_2, 1e-12);
+        close(Logistic.loss(100.0, 1.0), 0.0, 1e-12);
+        close(Logistic.loss(-100.0, 1.0), 100.0, 1e-9);
+    }
+
+    #[test]
+    fn clamped_respects_bound() {
+        let c = Clamped::new(Squared, 2.0);
+        assert_eq!(c.loss(0.0, 10.0), 2.0);
+        assert_eq!(c.loss(0.0, 1.0), 1.0);
+        assert_eq!(c.bound(), Some(2.0));
+        assert_eq!(Squared.bound(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn clamped_rejects_bad_bound() {
+        let _ = Clamped::new(Squared, 0.0);
+    }
+
+    #[test]
+    fn empirical_risk_threshold_classifier() {
+        // Data: x < 1.5 → −1, x ≥ 1.5 → +1, one noisy point.
+        let data = Dataset::new(vec![
+            Example::scalar(0.0, -1.0),
+            Example::scalar(1.0, -1.0),
+            Example::scalar(2.0, 1.0),
+            Example::scalar(3.0, -1.0), // noise
+        ])
+        .unwrap();
+        let clf = ThresholdClassifier::new(1.5, true);
+        let r = empirical_risk(&clf, &ZeroOne, &data);
+        close(r, 0.25, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empirical_risk_empty_panics() {
+        let d = Dataset::new(vec![]).unwrap();
+        let clf = ThresholdClassifier::new(0.0, true);
+        let _ = empirical_risk(&clf, &ZeroOne, &d);
+    }
+
+    #[test]
+    fn empirical_risk_sensitivity_is_at_most_bound_over_n() {
+        // Replacing one example moves R̂ by at most B/n — the paper's
+        // ΔR̂ = B/n formula (Theorem 4.1 precondition).
+        let data = Dataset::new(vec![
+            Example::scalar(0.0, -1.0),
+            Example::scalar(1.0, -1.0),
+            Example::scalar(2.0, 1.0),
+            Example::scalar(3.0, 1.0),
+        ])
+        .unwrap();
+        let clf = ThresholdClassifier::new(1.5, true);
+        let base = empirical_risk(&clf, &ZeroOne, &data);
+        let candidates = [
+            Example::scalar(0.0, 1.0),
+            Example::scalar(3.0, -1.0),
+            Example::scalar(1.4, 1.0),
+        ];
+        for nb in data.replace_one_neighbors(&candidates) {
+            let r = empirical_risk(&clf, &ZeroOne, &nb);
+            assert!((r - base).abs() <= 1.0 / data.len() as f64 + 1e-12);
+        }
+    }
+}

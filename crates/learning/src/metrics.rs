@@ -1,0 +1,227 @@
+//! Classification metrics beyond raw accuracy: confusion matrices,
+//! precision/recall/F1, and ROC/AUC for score-producing classifiers.
+//!
+//! These operate on *released* predictors (post-processing, free under
+//! DP) and are what experiment reports and downstream users need to judge
+//! a private model beyond the single accuracy number.
+
+use crate::data::Dataset;
+use crate::hypothesis::Predictor;
+use crate::{LearningError, Result};
+
+/// A binary confusion matrix for `±1` labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Positives predicted positive.
+    pub tp: usize,
+    /// Negatives predicted positive.
+    pub fp: usize,
+    /// Negatives predicted negative.
+    pub tn: usize,
+    /// Positives predicted negative.
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Tally a predictor's sign decisions against a dataset.
+    pub fn from_predictions<P: Predictor + ?Sized>(predictor: &P, data: &Dataset) -> Result<Self> {
+        if data.is_empty() {
+            return Err(LearningError::EmptyDataset);
+        }
+        let mut m = ConfusionMatrix {
+            tp: 0,
+            fp: 0,
+            tn: 0,
+            fn_: 0,
+        };
+        for e in data.iter() {
+            let positive = predictor.predict(&e.x) > 0.0;
+            match (positive, e.y > 0.0) {
+                (true, true) => m.tp += 1,
+                (true, false) => m.fp += 1,
+                (false, false) => m.tn += 1,
+                (false, true) => m.fn_ += 1,
+            }
+        }
+        Ok(m)
+    }
+
+    /// Total examples tallied.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Accuracy `(tp + tn) / total`.
+    pub fn accuracy(&self) -> f64 {
+        (self.tp + self.tn) as f64 / self.total() as f64
+    }
+
+    /// Precision `tp / (tp + fp)` (1.0 when no positives were predicted).
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall / true-positive rate `tp / (tp + fn)` (1.0 when there are
+    /// no positives).
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// False-positive rate `fp / (fp + tn)` (0.0 when there are no
+    /// negatives).
+    pub fn false_positive_rate(&self) -> f64 {
+        let denom = self.fp + self.tn;
+        if denom == 0 {
+            0.0
+        } else {
+            self.fp as f64 / denom as f64
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall; 0 when both are 0).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Area under the ROC curve of a score-producing classifier, computed by
+/// the Mann–Whitney statistic (rank formulation, ties get half credit).
+///
+/// 0.5 = chance, 1.0 = perfect ranking. Errors unless the data contains
+/// both classes.
+pub fn roc_auc<P: Predictor + ?Sized>(predictor: &P, data: &Dataset) -> Result<f64> {
+    let mut pos = Vec::new();
+    let mut neg = Vec::new();
+    for e in data.iter() {
+        let s = predictor.predict(&e.x);
+        if e.y > 0.0 {
+            pos.push(s);
+        } else {
+            neg.push(s);
+        }
+    }
+    if pos.is_empty() || neg.is_empty() {
+        return Err(LearningError::InvalidParameter {
+            name: "data",
+            reason: "ROC AUC needs both classes present".to_string(),
+        });
+    }
+    // O(n log n) via sorting the negatives and binary-searching each
+    // positive score.
+    neg.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    let mut total = 0.0;
+    for &p in &pos {
+        let below = neg.partition_point(|&v| v < p);
+        let equal = neg.partition_point(|&v| v <= p) - below;
+        total += below as f64 + 0.5 * equal as f64;
+    }
+    Ok(total / (pos.len() as f64 * neg.len() as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Example;
+    use crate::hypothesis::{LinearModel, ThresholdClassifier};
+
+    fn toy() -> Dataset {
+        vec![
+            Example::scalar(0.9, 1.0),
+            Example::scalar(0.8, 1.0),
+            Example::scalar(0.6, -1.0),
+            Example::scalar(0.4, 1.0),
+            Example::scalar(0.2, -1.0),
+            Example::scalar(0.1, -1.0),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn confusion_matrix_tallies() {
+        let clf = ThresholdClassifier::new(0.5, true);
+        let m = ConfusionMatrix::from_predictions(&clf, &toy()).unwrap();
+        // Predicted positive: 0.9✓, 0.8✓, 0.6✗; negative: 0.4 (miss),
+        // 0.2✓, 0.1✓.
+        assert_eq!(
+            m,
+            ConfusionMatrix {
+                tp: 2,
+                fp: 1,
+                tn: 2,
+                fn_: 1
+            }
+        );
+        assert!((m.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.false_positive_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(ConfusionMatrix::from_predictions(&clf, &Dataset::default()).is_err());
+    }
+
+    #[test]
+    fn degenerate_denominators() {
+        // All-negative predictions on all-negative data.
+        let clf = ThresholdClassifier::new(2.0, true);
+        let data: Dataset = vec![Example::scalar(0.1, -1.0), Example::scalar(0.2, -1.0)]
+            .into_iter()
+            .collect();
+        let m = ConfusionMatrix::from_predictions(&clf, &data).unwrap();
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.false_positive_rate(), 0.0);
+    }
+
+    #[test]
+    fn auc_of_score_classifier() {
+        // Identity score: positives at {0.9, 0.8, 0.4}, negatives at
+        // {0.6, 0.2, 0.1}: pairs won = 3+3+2 = 8 of 9.
+        let id = LinearModel::new(vec![1.0], 0.0);
+        let auc = roc_auc(&id, &toy()).unwrap();
+        assert!((auc - 8.0 / 9.0).abs() < 1e-12);
+        // Inverted scores give the complement.
+        let inv = LinearModel::new(vec![-1.0], 0.0);
+        let auc_inv = roc_auc(&inv, &toy()).unwrap();
+        assert!((auc_inv - 1.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_handles_ties_and_single_class() {
+        let const_clf = crate::hypothesis::ConstantPredictor(0.3);
+        let auc = roc_auc(&const_clf, &toy()).unwrap();
+        assert!((auc - 0.5).abs() < 1e-12); // all ties → chance
+        let one_class: Dataset = vec![Example::scalar(0.1, 1.0)].into_iter().collect();
+        assert!(roc_auc(&const_clf, &one_class).is_err());
+    }
+
+    #[test]
+    fn auc_of_trained_private_model_is_informative() {
+        use crate::synth::{DataGenerator, GaussianClasses};
+        use dplearn_numerics::rng::Xoshiro256;
+        let gen = GaussianClasses::new(vec![1.0], 1.0);
+        let mut rng = Xoshiro256::seed_from(71);
+        let data = gen.sample(2000, &mut rng);
+        let id = LinearModel::new(vec![1.0], 0.0);
+        let auc = roc_auc(&id, &data).unwrap();
+        // AUC of the Bayes score for ‖μ‖/σ = 1 is Φ(√2) ≈ 0.921.
+        let want = dplearn_numerics::special::std_normal_cdf(std::f64::consts::SQRT_2);
+        assert!((auc - want).abs() < 0.02, "auc {auc} vs {want}");
+    }
+}

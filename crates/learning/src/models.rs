@@ -1,0 +1,192 @@
+//! Named model trainers built on the ERM machinery: logistic regression,
+//! linear SVM, and closed-form ridge regression.
+
+use crate::data::Dataset;
+use crate::erm::{erm_linear, LinearErmConfig, MarginLoss};
+use crate::hypothesis::{LinearModel, Predictor};
+use crate::{LearningError, Result};
+use dplearn_numerics::linalg::Matrix;
+use dplearn_numerics::special::logistic;
+
+/// L2-regularized logistic regression.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    model: LinearModel,
+}
+
+impl LogisticRegression {
+    /// Train on a `±1`-labelled dataset.
+    pub fn fit(data: &Dataset, lambda: f64) -> Result<Self> {
+        let cfg = LinearErmConfig {
+            lambda,
+            ..Default::default()
+        };
+        Ok(LogisticRegression {
+            model: erm_linear(MarginLoss::Logistic, data, &cfg)?,
+        })
+    }
+
+    /// The fitted linear model.
+    pub fn model(&self) -> &LinearModel {
+        &self.model
+    }
+
+    /// Predicted probability `P[y = +1 | x]`.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        logistic(self.model.predict(x))
+    }
+}
+
+impl Predictor for LogisticRegression {
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.model.predict(x)
+    }
+}
+
+/// L2-regularized linear SVM (hinge loss, subgradient descent).
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    model: LinearModel,
+}
+
+impl LinearSvm {
+    /// Train on a `±1`-labelled dataset.
+    pub fn fit(data: &Dataset, lambda: f64) -> Result<Self> {
+        let cfg = LinearErmConfig {
+            lambda,
+            ..Default::default()
+        };
+        Ok(LinearSvm {
+            model: erm_linear(MarginLoss::Hinge, data, &cfg)?,
+        })
+    }
+
+    /// The fitted linear model.
+    pub fn model(&self) -> &LinearModel {
+        &self.model
+    }
+}
+
+impl Predictor for LinearSvm {
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.model.predict(x)
+    }
+}
+
+/// Ridge regression solved in closed form via the normal equations
+/// `(XᵀX + nλI) w = Xᵀy` (bias handled by augmenting a constant column,
+/// left unregularized via a tiny λ on that coordinate).
+#[derive(Debug, Clone)]
+pub struct RidgeRegression {
+    model: LinearModel,
+}
+
+impl RidgeRegression {
+    /// Fit with regularization strength `lambda ≥ 0`.
+    pub fn fit(data: &Dataset, lambda: f64) -> Result<Self> {
+        if data.is_empty() {
+            return Err(LearningError::EmptyDataset);
+        }
+        if lambda < 0.0 {
+            return Err(LearningError::InvalidParameter {
+                name: "lambda",
+                reason: format!("must be nonnegative, got {lambda}"),
+            });
+        }
+        let n = data.len();
+        let d = data.dim();
+        // Design matrix with a trailing 1-column for the intercept.
+        let mut rows = Vec::with_capacity(n * (d + 1));
+        let mut y = Vec::with_capacity(n);
+        for e in data.iter() {
+            rows.extend_from_slice(&e.x);
+            rows.push(1.0);
+            y.push(e.y);
+        }
+        let x = Matrix::from_rows(n, d + 1, rows)?;
+        let mut gram = x.gram();
+        let ridge = n as f64 * lambda;
+        for i in 0..d {
+            gram[(i, i)] += ridge;
+        }
+        // A whisper of regularization on the intercept keeps the system
+        // positive definite even for degenerate designs.
+        gram[(d, d)] += 1e-10;
+        let xty = x.transpose().matvec(&y)?;
+        let sol = gram.solve_spd(&xty)?;
+        Ok(RidgeRegression {
+            model: LinearModel::new(sol[..d].to_vec(), sol[d]),
+        })
+    }
+
+    /// The fitted linear model.
+    pub fn model(&self) -> &LinearModel {
+        &self.model
+    }
+}
+
+impl Predictor for RidgeRegression {
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.model.predict(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{empirical_risk, ZeroOne};
+    use crate::synth::{DataGenerator, GaussianClasses, LinearRegressionTask, LogisticTask};
+    use dplearn_numerics::rng::Xoshiro256;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn logistic_regression_recovers_probabilities() {
+        let gen = LogisticTask::new(vec![2.0], -0.5);
+        let mut rng = Xoshiro256::seed_from(31);
+        let data = gen.sample(5000, &mut rng);
+        let lr = LogisticRegression::fit(&data, 1e-4).unwrap();
+        // Recovered coefficients near the truth.
+        close(lr.model().weights[0], 2.0, 0.25);
+        close(lr.model().bias, -0.5, 0.2);
+        // Calibration at x = 1: σ(1.5) ≈ 0.8176.
+        close(lr.predict_proba(&[1.0]), logistic(1.5), 0.05);
+    }
+
+    #[test]
+    fn svm_separates_gaussian_classes() {
+        let gen = GaussianClasses::new(vec![2.0, -1.0], 0.6);
+        let mut rng = Xoshiro256::seed_from(32);
+        let train = gen.sample(400, &mut rng);
+        let test = gen.sample(4000, &mut rng);
+        let svm = LinearSvm::fit(&train, 1e-3).unwrap();
+        let err = empirical_risk(&svm, &ZeroOne, &test);
+        assert!(err < 0.01, "test error {err}");
+    }
+
+    #[test]
+    fn ridge_recovers_linear_relation() {
+        let gen = LinearRegressionTask::new(vec![1.5, -2.0, 0.7], 0.3, 0.05);
+        let mut rng = Xoshiro256::seed_from(33);
+        let data = gen.sample(2000, &mut rng);
+        let ridge = RidgeRegression::fit(&data, 1e-6).unwrap();
+        close(ridge.model().weights[0], 1.5, 0.02);
+        close(ridge.model().weights[1], -2.0, 0.02);
+        close(ridge.model().weights[2], 0.7, 0.02);
+        close(ridge.model().bias, 0.3, 0.02);
+    }
+
+    #[test]
+    fn ridge_shrinks_with_lambda() {
+        let gen = LinearRegressionTask::new(vec![1.0], 0.0, 0.1);
+        let mut rng = Xoshiro256::seed_from(34);
+        let data = gen.sample(200, &mut rng);
+        let loose = RidgeRegression::fit(&data, 0.0).unwrap();
+        let tight = RidgeRegression::fit(&data, 10.0).unwrap();
+        assert!(tight.model().weight_norm() < loose.model().weight_norm());
+        assert!(RidgeRegression::fit(&data, -1.0).is_err());
+        assert!(RidgeRegression::fit(&Dataset::default(), 1.0).is_err());
+    }
+}

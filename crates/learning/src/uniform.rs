@@ -1,0 +1,170 @@
+//! Data-independent uniform-convergence bounds — the foil the paper sets
+//! PAC-Bayes against.
+//!
+//! Section 3 of the paper: "In bounds such as the VC-Dimension bounds ...
+//! the data-dependencies only come from the empirical risk ... As a
+//! result such bounds are often loose. For data-dependent bounds, on the
+//! other hand, the difference between the true risk and the empirical
+//! risk depends on the training set."
+//!
+//! This module implements the data-independent side so the claim can be
+//! *measured* (experiment E12):
+//!
+//! * [`occam_bound`] — the finite-class union ("Occam's razor") bound
+//!   `R(θ) ≤ R̂(θ) + sqrt((ln|Θ| + ln(1/δ)) / (2n))`, uniform over Θ;
+//! * [`vc_bound`] — the classic VC bound
+//!   `R(θ) ≤ R̂(θ) + sqrt((8/n)·(d·ln(2en/d) + ln(4/δ)))` for a class of
+//!   VC dimension `d` (Anthony & Bartlett's constants — ref \[3\] of the
+//!   paper);
+//! * [`threshold_vc_dimension`] — the 1-D threshold class has VC
+//!   dimension 1 (2 if both orientations are allowed).
+
+use crate::{LearningError, Result};
+
+/// Finite-class ("Occam") uniform bound: with probability ≥ 1 − δ, every
+/// `θ` in a class of size `k` satisfies
+/// `R(θ) ≤ R̂(θ) + sqrt((ln k + ln(1/δ)) / (2n))` (loss in `[0, 1]`).
+pub fn occam_bound(empirical_risk: f64, class_size: usize, n: usize, delta: f64) -> Result<f64> {
+    validate(empirical_risk, n, delta)?;
+    if class_size == 0 {
+        return Err(LearningError::InvalidParameter {
+            name: "class_size",
+            reason: "class must be non-empty".to_string(),
+        });
+    }
+    let slack = (((class_size as f64).ln() + (1.0 / delta).ln()) / (2.0 * n as f64)).sqrt();
+    Ok((empirical_risk + slack).clamp(0.0, 1.0))
+}
+
+/// Classic VC uniform bound (Anthony & Bartlett, Thm 4.4-style
+/// constants): with probability ≥ 1 − δ, every `θ` in a class of VC
+/// dimension `d` satisfies
+/// `R(θ) ≤ R̂(θ) + sqrt((8/n)·(d·ln(2en/d) + ln(4/δ)))`.
+pub fn vc_bound(empirical_risk: f64, vc_dim: usize, n: usize, delta: f64) -> Result<f64> {
+    validate(empirical_risk, n, delta)?;
+    if vc_dim == 0 {
+        return Err(LearningError::InvalidParameter {
+            name: "vc_dim",
+            reason: "VC dimension must be positive".to_string(),
+        });
+    }
+    let d = vc_dim as f64;
+    let nf = n as f64;
+    let growth = d
+        * (2.0 * std::f64::consts::E * nf / d)
+            .max(std::f64::consts::E)
+            .ln();
+    let slack = ((8.0 / nf) * (growth + (4.0 / delta).ln())).sqrt();
+    Ok((empirical_risk + slack).clamp(0.0, 1.0))
+}
+
+/// VC dimension of the 1-D threshold class: 1 for a single orientation
+/// (`x ≥ t ↦ +1`), 2 when both orientations are allowed.
+pub fn threshold_vc_dimension(both_orientations: bool) -> usize {
+    if both_orientations {
+        2
+    } else {
+        1
+    }
+}
+
+fn validate(risk: f64, n: usize, delta: f64) -> Result<()> {
+    if !(0.0..=1.0).contains(&risk) {
+        return Err(LearningError::InvalidParameter {
+            name: "empirical_risk",
+            reason: format!("expected a [0,1] risk, got {risk}"),
+        });
+    }
+    if n == 0 {
+        return Err(LearningError::InvalidParameter {
+            name: "n",
+            reason: "sample size must be positive".to_string(),
+        });
+    }
+    if !(0.0 < delta && delta < 1.0) {
+        return Err(LearningError::InvalidParameter {
+            name: "delta",
+            reason: format!("must lie in (0,1), got {delta}"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(occam_bound(1.5, 10, 100, 0.05).is_err());
+        assert!(occam_bound(0.1, 0, 100, 0.05).is_err());
+        assert!(occam_bound(0.1, 10, 0, 0.05).is_err());
+        assert!(occam_bound(0.1, 10, 100, 1.0).is_err());
+        assert!(vc_bound(0.1, 0, 100, 0.05).is_err());
+    }
+
+    #[test]
+    fn occam_closed_form() {
+        // k = e², δ = e⁻¹ ⇒ slack = sqrt(3/(2n)).
+        let k = (2.0f64.exp()).ceil() as usize; // 8: ln 8 ≈ 2.079
+        let b = occam_bound(0.1, k, 200, (-1.0f64).exp()).unwrap();
+        let want = 0.1 + (((k as f64).ln() + 1.0) / 400.0).sqrt();
+        assert!((b - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_shrink_with_n_and_grow_with_complexity() {
+        let small_n = vc_bound(0.1, 2, 100, 0.05).unwrap();
+        let large_n = vc_bound(0.1, 2, 10_000, 0.05).unwrap();
+        assert!(large_n < small_n);
+        let low_d = vc_bound(0.1, 1, 1000, 0.05).unwrap();
+        let high_d = vc_bound(0.1, 10, 1000, 0.05).unwrap();
+        assert!(high_d > low_d);
+        let small_k = occam_bound(0.1, 10, 1000, 0.05).unwrap();
+        let large_k = occam_bound(0.1, 10_000, 1000, 0.05).unwrap();
+        assert!(large_k > small_k);
+    }
+
+    #[test]
+    fn vc_bound_is_vacuous_at_tiny_n() {
+        assert_eq!(vc_bound(0.5, 2, 5, 0.05).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn threshold_vc() {
+        assert_eq!(threshold_vc_dimension(false), 1);
+        assert_eq!(threshold_vc_dimension(true), 2);
+    }
+
+    #[test]
+    fn occam_validity_monte_carlo() {
+        // The Occam bound must hold uniformly over the class w.p. ≥ 1−δ:
+        // check empirically on the noisy threshold world where true risks
+        // are exact.
+        use crate::hypothesis::FiniteClass;
+        use crate::loss::ZeroOne;
+        use crate::synth::{DataGenerator, NoisyThreshold};
+        use dplearn_numerics::rng::Xoshiro256;
+
+        let world = NoisyThreshold::new(0.4, 0.1);
+        let class = FiniteClass::threshold_grid(0.0, 1.0, 21);
+        let delta = 0.05;
+        let n = 150;
+        let trials = 400;
+        let mut violations = 0;
+        for t in 0..trials {
+            let mut rng = Xoshiro256::substream(5001, t);
+            let data = world.sample(n, &mut rng);
+            let risks = class.risk_vector(&ZeroOne, &data);
+            let violated = risks.iter().enumerate().any(|(i, &remp)| {
+                let bound = occam_bound(remp, class.len(), n, delta).unwrap();
+                world.true_risk_of_threshold(class.get(i).threshold) > bound
+            });
+            if violated {
+                violations += 1;
+            }
+        }
+        let rate = violations as f64 / trials as f64;
+        assert!(rate <= delta, "violation rate {rate} exceeds δ");
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the learning substrate: the invariants that
+//! the privacy layer's sensitivity arithmetic depends on.
+
+use dplearn_learning::data::{Dataset, Example};
+use dplearn_learning::erm::MarginLoss;
+use dplearn_learning::hypothesis::{FiniteClass, LinearModel, Predictor, ThresholdClassifier};
+use dplearn_learning::loss::{empirical_risk, Clamped, Hinge, Logistic, Loss, Squared, ZeroOne};
+use proptest::prelude::*;
+
+fn dataset_1d(xs: &[f64], ys: &[bool]) -> Dataset {
+    xs.iter()
+        .zip(ys)
+        .map(|(&x, &y)| Example::scalar(x, if y { 1.0 } else { -1.0 }))
+        .collect()
+}
+
+proptest! {
+    /// THE sensitivity lemma behind Theorem 4.1: replacing one example
+    /// moves the empirical risk of ANY predictor by at most B/n — for
+    /// random data, random replacements, random thresholds, and several
+    /// bounded losses.
+    #[test]
+    fn empirical_risk_replace_one_sensitivity(
+        xs in prop::collection::vec(-5.0..5.0f64, 2..40),
+        ys in prop::collection::vec(any::<bool>(), 2..40),
+        idx in any::<prop::sample::Index>(),
+        new_x in -5.0..5.0f64,
+        new_y in any::<bool>(),
+        threshold in -5.0..5.0f64,
+        clamp in 0.5..4.0f64,
+    ) {
+        let n = xs.len().min(ys.len());
+        let data = dataset_1d(&xs[..n], &ys[..n]);
+        let i = idx.index(n);
+        let neighbor = data.replace(i, Example::scalar(new_x, if new_y { 1.0 } else { -1.0 }));
+        let clf = ThresholdClassifier::new(threshold, true);
+
+        let zo_diff = (empirical_risk(&clf, &ZeroOne, &data)
+            - empirical_risk(&clf, &ZeroOne, &neighbor)).abs();
+        prop_assert!(zo_diff <= 1.0 / n as f64 + 1e-12);
+
+        let cl = Clamped::new(Squared, clamp);
+        let cl_diff = (empirical_risk(&clf, &cl, &data)
+            - empirical_risk(&clf, &cl, &neighbor)).abs();
+        prop_assert!(cl_diff <= clamp / n as f64 + 1e-12);
+    }
+
+    /// Convex surrogates dominate the 0-1 loss pointwise (hinge directly,
+    /// logistic after the ln2 rescale).
+    #[test]
+    fn surrogates_dominate_zero_one(p in -10.0..10.0f64, y in any::<bool>()) {
+        let y = if y { 1.0 } else { -1.0 };
+        let zo = ZeroOne.loss(p, y);
+        prop_assert!(Hinge.loss(p, y) >= zo - 1e-12);
+        prop_assert!(Logistic.loss(p, y) / std::f64::consts::LN_2 >= zo - 1e-9);
+    }
+
+    /// Margin-loss derivatives match finite differences away from kinks.
+    #[test]
+    fn margin_loss_derivative_consistency(m in -5.0..5.0f64) {
+        let h = 1e-6;
+        for loss in [MarginLoss::Logistic, MarginLoss::HuberHinge] {
+            let num = (loss.value(m + h) - loss.value(m - h)) / (2.0 * h);
+            // Skip points within h of the Huber knots.
+            if loss == MarginLoss::HuberHinge && ((m - 0.5).abs() < 1e-3 || (m - 1.5).abs() < 1e-3) {
+                continue;
+            }
+            prop_assert!((num - loss.derivative(m)).abs() < 1e-4,
+                "{loss:?} at m={m}: {num} vs {}", loss.derivative(m));
+        }
+    }
+
+    /// Risk vectors are permutation-equivariant in the class and
+    /// invariant to dataset order.
+    #[test]
+    fn risk_vector_invariances(
+        xs in prop::collection::vec(-3.0..3.0f64, 3..20),
+        ys in prop::collection::vec(any::<bool>(), 3..20),
+    ) {
+        let n = xs.len().min(ys.len());
+        let data = dataset_1d(&xs[..n], &ys[..n]);
+        let reversed: Dataset = data.iter().rev().cloned().collect();
+        let class = FiniteClass::threshold_grid(-3.0, 3.0, 7);
+        let a = class.risk_vector(&ZeroOne, &data);
+        let b = class.risk_vector(&ZeroOne, &reversed);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    /// Linear model predictions are linear: f(αx) = α·⟨w,x⟩ + b.
+    #[test]
+    fn linear_model_homogeneity(
+        w in prop::collection::vec(-3.0..3.0f64, 1..6),
+        b in -3.0..3.0f64,
+        x in prop::collection::vec(-3.0..3.0f64, 1..6),
+        alpha in -2.0..2.0f64,
+    ) {
+        let d = w.len().min(x.len());
+        let model = LinearModel::new(w[..d].to_vec(), b);
+        let x = &x[..d];
+        let scaled: Vec<f64> = x.iter().map(|v| alpha * v).collect();
+        let lhs = model.predict(&scaled);
+        let rhs = alpha * (model.predict(x) - b) + b;
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    /// Splits partition the data for any fraction.
+    #[test]
+    fn split_partitions(
+        n in 2usize..60,
+        frac in 0.0..=1.0f64,
+        seed in any::<u64>(),
+    ) {
+        use dplearn_numerics::rng::Xoshiro256;
+        let data: Dataset = (0..n).map(|i| Example::scalar(i as f64, 1.0)).collect();
+        let mut rng = Xoshiro256::seed_from(seed);
+        let (tr, te) = data.split(frac, &mut rng).unwrap();
+        prop_assert_eq!(tr.len() + te.len(), n);
+        let mut all: Vec<f64> = tr.iter().chain(te.iter()).map(|e| e.x[0]).collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        prop_assert_eq!(all, expect);
+    }
+}

@@ -1,0 +1,504 @@
+//! Empirical privacy auditing.
+//!
+//! Differential privacy is a statement about output-distribution ratios on
+//! neighboring datasets. For mechanisms with *known* output distributions
+//! (the exponential mechanism / Gibbs posterior over a finite hypothesis
+//! class) the realized privacy loss can be computed **exactly** as
+//! `max_S |ln(P[M(D)∈S] / P[M(D')∈S])|`, which for distributions is
+//! attained on singletons. For black-box mechanisms we estimate the same
+//! quantity by Monte Carlo: run the mechanism many times on `D` and on
+//! `D'`, histogram the outputs, and take the smoothed maximum log ratio.
+//!
+//! The Monte-Carlo estimate is (in expectation, up to smoothing bias) a
+//! *lower* bound on the true ε — a mechanism that **fails** its advertised
+//! ε will be caught once enough trials land in a violating bin, while a
+//! conforming mechanism will report ε̂ ≤ ε. Experiments E1, E2, and E5 use
+//! exactly this machinery.
+
+use crate::{MechanismError, Result};
+use dplearn_numerics::rng::Rng;
+use dplearn_numerics::stats::Histogram;
+
+/// Outcome of a privacy audit on one neighbor pair.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditResult {
+    /// Estimated (or exact) maximum absolute log probability ratio.
+    pub empirical_epsilon: f64,
+    /// Number of mechanism invocations per dataset (0 for exact audits).
+    pub trials: u64,
+    /// Number of output categories/bins compared.
+    pub support_size: usize,
+}
+
+/// Exact maximum absolute log-ratio between two finite distributions.
+///
+/// Skips outcomes where **both** probabilities are zero (the outcome is
+/// outside both supports); returns `+inf` if exactly one side is zero —
+/// a genuine, unbounded privacy breach.
+pub fn max_log_ratio(p: &[f64], q: &[f64]) -> Result<f64> {
+    if p.len() != q.len() {
+        return Err(MechanismError::InvalidParameter {
+            name: "q",
+            reason: format!("length mismatch: {} vs {}", p.len(), q.len()),
+        });
+    }
+    let mut worst = 0.0f64;
+    for (&a, &b) in p.iter().zip(q) {
+        if a == 0.0 && b == 0.0 {
+            continue;
+        }
+        if a == 0.0 || b == 0.0 {
+            return Ok(f64::INFINITY);
+        }
+        worst = worst.max((a / b).ln().abs());
+    }
+    Ok(worst)
+}
+
+/// Monte-Carlo audit of a mechanism with **discrete** outputs in
+/// `{0, …, support_size−1}`.
+///
+/// `mech_d` and `mech_d_prime` run the mechanism on the two neighboring
+/// datasets. Counts are smoothed with add-one (Laplace) smoothing so the
+/// estimate is finite; with enough trials the smoothing bias is
+/// negligible relative to ε.
+pub fn audit_discrete<R, F, G>(
+    mut mech_d: F,
+    mut mech_d_prime: G,
+    support_size: usize,
+    trials: u64,
+    rng: &mut R,
+) -> Result<AuditResult>
+where
+    R: Rng + ?Sized,
+    F: FnMut(&mut R) -> usize,
+    G: FnMut(&mut R) -> usize,
+{
+    if support_size == 0 {
+        return Err(MechanismError::InvalidParameter {
+            name: "support_size",
+            reason: "must be positive".to_string(),
+        });
+    }
+    if trials == 0 {
+        return Err(MechanismError::InvalidParameter {
+            name: "trials",
+            reason: "must be positive".to_string(),
+        });
+    }
+    let mut counts_d = vec![0u64; support_size];
+    let mut counts_dp = vec![0u64; support_size];
+    for _ in 0..trials {
+        let a = mech_d(rng);
+        let b = mech_d_prime(rng);
+        counts_d[a] += 1;
+        counts_dp[b] += 1;
+    }
+    let eps = smoothed_max_log_ratio(&counts_d, &counts_dp, trials);
+    Ok(AuditResult {
+        empirical_epsilon: eps,
+        trials,
+        support_size,
+    })
+}
+
+/// Monte-Carlo audit of a mechanism with **continuous scalar** outputs,
+/// compared over a histogram with `bins` equal-width cells on `[lo, hi)`
+/// (outputs outside the range are clamped into the edge bins).
+#[allow(clippy::too_many_arguments)]
+pub fn audit_continuous<R, F, G>(
+    mut mech_d: F,
+    mut mech_d_prime: G,
+    lo: f64,
+    hi: f64,
+    bins: usize,
+    trials: u64,
+    rng: &mut R,
+) -> Result<AuditResult>
+where
+    R: Rng + ?Sized,
+    F: FnMut(&mut R) -> f64,
+    G: FnMut(&mut R) -> f64,
+{
+    if trials == 0 {
+        return Err(MechanismError::InvalidParameter {
+            name: "trials",
+            reason: "must be positive".to_string(),
+        });
+    }
+    let mut h_d = Histogram::new(lo, hi, bins)?;
+    let mut h_dp = Histogram::new(lo, hi, bins)?;
+    for _ in 0..trials {
+        h_d.record(mech_d(rng));
+        h_dp.record(mech_d_prime(rng));
+    }
+    // For continuous outputs the low-variance event class is the family
+    // of one-sided tails {X ≤ t} / {X ≥ t}: tail probabilities are large
+    // (so their ratio estimates are stable), and for monotone-likelihood-
+    // ratio mechanisms such as Laplace the supremum over all events is
+    // attained on a tail — the audit is tight without per-bin noise.
+    let eps = tail_max_log_ratio(h_d.counts(), h_dp.counts(), trials);
+    Ok(AuditResult {
+        empirical_epsilon: eps,
+        trials,
+        support_size: bins,
+    })
+}
+
+/// Maximum absolute log-ratio over all one-sided tail events of two
+/// histograms. Tails with fewer than `max(500, 2%·trials)` counts on
+/// either side are skipped: at 2% mass the relative Monte-Carlo error of
+/// a tail probability is ~1.5% (≈0.03 in log-ratio), while for Laplace
+///-like mechanisms the tail ratio has already saturated at e^ε well
+/// before that depth — so the floor costs no tightness.
+fn tail_max_log_ratio(counts_d: &[u64], counts_dp: &[u64], trials: u64) -> f64 {
+    let min_tail = 500u64.max(trials / 50);
+    let n = trials as f64;
+    let mut worst = 0.0f64;
+    let mut cum_d = 0u64;
+    let mut cum_dp = 0u64;
+    for i in 0..counts_d.len() {
+        cum_d += counts_d[i];
+        cum_dp += counts_dp[i];
+        // Lower tail {X ≤ boundary_i} and its complement upper tail.
+        for (a, b) in [(cum_d, cum_dp), (trials - cum_d, trials - cum_dp)] {
+            if a < min_tail || b < min_tail {
+                continue;
+            }
+            let pa = a as f64 / n;
+            let pb = b as f64 / n;
+            worst = worst.max((pa / pb).ln().abs());
+        }
+    }
+    worst
+}
+
+/// Smoothed maximum log-ratio of two count vectors over the same support.
+///
+/// Bins with too few *combined* observations are skipped: the ratio of two
+/// tiny counts is dominated by Monte-Carlo noise, and DP violations worth
+/// reporting concentrate where the mechanism actually puts mass. The
+/// threshold scales as `sqrt(trials)` so it vanishes in relative terms.
+fn smoothed_max_log_ratio(counts_d: &[u64], counts_dp: &[u64], trials: u64) -> f64 {
+    let min_combined = ((trials as f64).sqrt() * 0.5).ceil() as u64;
+    let n = trials as f64;
+    let k = counts_d.len() as f64;
+    let mut worst = 0.0f64;
+    for (&a, &b) in counts_d.iter().zip(counts_dp) {
+        if a + b < min_combined {
+            continue;
+        }
+        // Add-one smoothing keeps ratios finite.
+        let pa = (a as f64 + 1.0) / (n + k);
+        let pb = (b as f64 + 1.0) / (n + k);
+        worst = worst.max((pa / pb).ln().abs());
+    }
+    worst
+}
+
+/// Statistically certified evidence that a mechanism violates a claimed
+/// ε, produced by [`certify_violation`].
+#[derive(Debug, Clone, Copy)]
+pub struct ViolationEvidence {
+    /// Index of the (tail event, direction) pair exhibiting the
+    /// violation: `4·bin + offset` with offsets 0/1 for the lower/upper
+    /// tail of `D` vs `D'` and 2/3 for the same tails with the datasets
+    /// swapped (DP bounds the ratio in both directions).
+    pub event: usize,
+    /// Clopper–Pearson **lower** confidence bound on the larger side's
+    /// event probability.
+    pub p_lower: f64,
+    /// Clopper–Pearson **upper** confidence bound on the smaller side's
+    /// event probability.
+    pub q_upper: f64,
+    /// The certified lower bound on the realized privacy loss,
+    /// `ln(p_lower / q_upper) > ε`.
+    pub certified_epsilon: f64,
+}
+
+/// Rigorous hypothesis test for a DP violation from Monte-Carlo counts.
+///
+/// Scans all one-sided tail events of the two count vectors (each from
+/// `trials` runs) **in both dataset orders**; for each, forms exact
+/// Clopper–Pearson bounds at a Bonferroni-corrected level and reports
+/// the event whose *certified* ratio `p_lower / q_upper` exceeds `e^ε`
+/// by the most.
+///
+/// A returned `Some` is a statistical certificate: with probability at
+/// least `1 − alpha` over the auditing randomness, the mechanism is NOT
+/// ε-DP. `None` means no violation was certified (which is not a proof
+/// of privacy — the audit may lack power).
+pub fn certify_violation(
+    counts_d: &[u64],
+    counts_dp: &[u64],
+    trials: u64,
+    epsilon: f64,
+    alpha: f64,
+) -> Result<Option<ViolationEvidence>> {
+    if counts_d.len() != counts_dp.len() || counts_d.is_empty() {
+        return Err(MechanismError::InvalidParameter {
+            name: "counts",
+            reason: "count vectors must be non-empty and equal-length".to_string(),
+        });
+    }
+    // NaN-rejecting validations.
+    let alpha_ok = alpha > 0.0 && alpha < 1.0;
+    let epsilon_ok = epsilon > 0.0;
+    if trials == 0 || !alpha_ok || !epsilon_ok {
+        return Err(MechanismError::InvalidParameter {
+            name: "trials/alpha/epsilon",
+            reason: "need trials > 0, alpha in (0,1), epsilon > 0".to_string(),
+        });
+    }
+    // Tail events in both directions, both dataset orders (the DP
+    // definition bounds the ratio symmetrically, so a breach can live on
+    // either side), two CP intervals per comparison.
+    let n_events = 4 * counts_d.len();
+    let level = alpha / n_events as f64;
+    let mut best: Option<ViolationEvidence> = None;
+    let mut cum_d = 0u64;
+    let mut cum_dp = 0u64;
+    for i in 0..counts_d.len() {
+        cum_d += counts_d[i];
+        cum_dp += counts_dp[i];
+        for (event_offset, (a, b)) in [
+            (0usize, (cum_d, cum_dp)),
+            (1, (trials - cum_d, trials - cum_dp)),
+            (2, (cum_dp, cum_d)),
+            (3, (trials - cum_dp, trials - cum_d)),
+        ] {
+            if a == 0 {
+                continue;
+            }
+            let (p_lower, _) = dplearn_numerics::special::clopper_pearson(a, trials, level);
+            let (_, q_upper) = dplearn_numerics::special::clopper_pearson(b, trials, level);
+            if q_upper <= 0.0 {
+                continue;
+            }
+            let certified = (p_lower / q_upper).ln();
+            if certified > epsilon && best.is_none_or(|e| certified > e.certified_epsilon) {
+                best = Some(ViolationEvidence {
+                    event: 4 * i + event_offset,
+                    p_lower,
+                    q_upper,
+                    certified_epsilon: certified,
+                });
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// Audit a mechanism against **many** neighbor pairs and return the worst
+/// empirical ε found (exact-distribution version).
+///
+/// `dist_of` maps each dataset to the mechanism's full output
+/// distribution; the audit checks every supplied neighbor pair.
+pub fn audit_exact_pairs<D, F>(base: &D, neighbors: &[D], dist_of: F) -> Result<AuditResult>
+where
+    F: Fn(&D) -> Vec<f64>,
+{
+    let p = dist_of(base);
+    let mut worst = 0.0f64;
+    for nb in neighbors {
+        let q = dist_of(nb);
+        worst = worst.max(max_log_ratio(&p, &q)?);
+    }
+    Ok(AuditResult {
+        empirical_epsilon: worst,
+        trials: 0,
+        support_size: p.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laplace::LaplaceMechanism;
+    use crate::privacy::Epsilon;
+    use dplearn_numerics::rng::Xoshiro256;
+
+    #[test]
+    fn max_log_ratio_basics() {
+        assert!((max_log_ratio(&[0.5, 0.5], &[0.5, 0.5]).unwrap()).abs() < 1e-15);
+        // Ratios are ln(0.8/0.4) = ln 2 and |ln(0.2/0.6)| = ln 3; max is ln 3.
+        let r = max_log_ratio(&[0.8, 0.2], &[0.4, 0.6]).unwrap();
+        assert!((r - (3.0f64).ln()).abs() < 1e-12);
+        assert_eq!(
+            max_log_ratio(&[1.0, 0.0], &[0.5, 0.5]).unwrap(),
+            f64::INFINITY
+        );
+        assert!((max_log_ratio(&[0.0, 1.0], &[0.0, 1.0]).unwrap()).abs() < 1e-15);
+        assert!(max_log_ratio(&[1.0], &[0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn laplace_mechanism_passes_continuous_audit() {
+        let eps = Epsilon::new(1.0).unwrap();
+        let m = LaplaceMechanism::new(eps, 1.0).unwrap();
+        let mut rng = Xoshiro256::seed_from(42);
+        // Neighboring query values at exactly the sensitivity distance.
+        let res = audit_continuous(
+            |r| m.release(0.0, r),
+            |r| m.release(1.0, r),
+            -8.0,
+            9.0,
+            40,
+            200_000,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(
+            res.empirical_epsilon <= eps.value() + 0.15,
+            "audited ε̂ = {} should be ≲ ε = 1",
+            res.empirical_epsilon
+        );
+        // And it should be close to ε (the Laplace bound is tight).
+        assert!(res.empirical_epsilon > 0.6, "ε̂ = {}", res.empirical_epsilon);
+    }
+
+    #[test]
+    fn non_private_mechanism_fails_audit() {
+        // "Mechanism" that leaks the dataset deterministically.
+        let mut rng = Xoshiro256::seed_from(1);
+        let res = audit_discrete(|_r| 0usize, |_r| 1usize, 2, 50_000, &mut rng).unwrap();
+        // Smoothed ratio: ln((N+1)/1) ≈ ln(50001) ≈ 10.8 — far above any
+        // reasonable ε.
+        assert!(res.empirical_epsilon > 5.0, "ε̂ = {}", res.empirical_epsilon);
+    }
+
+    #[test]
+    fn randomized_response_audit_matches_epsilon() {
+        use crate::randomized_response::RandomizedResponse;
+        let eps = Epsilon::new(1.5).unwrap();
+        let rr = RandomizedResponse::new(eps, 2).unwrap();
+        let mut rng = Xoshiro256::seed_from(2);
+        // Neighbors for local DP: the two possible single inputs.
+        let res = audit_discrete(
+            |r| rr.respond(0, r),
+            |r| rr.respond(1, r),
+            2,
+            400_000,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(
+            (res.empirical_epsilon - 1.5).abs() < 0.05,
+            "ε̂ = {}",
+            res.empirical_epsilon
+        );
+    }
+
+    #[test]
+    fn exact_pairs_audit_on_exponential_mechanism() {
+        use crate::exponential::ExponentialMechanism;
+        // Dataset = vector of category labels; mechanism = private mode.
+        let mech = ExponentialMechanism::new(3, 1.0).unwrap();
+        let eps = Epsilon::new(0.8).unwrap();
+        let t = mech.temperature_for(eps);
+        let base: Vec<usize> = vec![0, 0, 1, 2, 2];
+        // Replace-one neighbors.
+        let mut neighbors = Vec::new();
+        for i in 0..base.len() {
+            for v in 0..3usize {
+                if base[i] != v {
+                    let mut d = base.clone();
+                    d[i] = v;
+                    neighbors.push(d);
+                }
+            }
+        }
+        let res = audit_exact_pairs(&base, &neighbors, |d| {
+            let scores = crate::exponential::mode_quality(d, 3);
+            mech.sampling_distribution(&scores, t)
+                .unwrap()
+                .probs()
+                .to_vec()
+        })
+        .unwrap();
+        assert!(
+            res.empirical_epsilon <= eps.value() + 1e-9,
+            "exact ε = {} exceeds {}",
+            res.empirical_epsilon,
+            eps.value()
+        );
+        // For mode counts a replace-one changes two scores by 1 each, and
+        // the realized loss should be a significant fraction of ε.
+        assert!(res.empirical_epsilon > 0.2 * eps.value());
+    }
+
+    #[test]
+    fn certify_violation_flags_broken_and_clears_correct_mechanisms() {
+        use crate::randomized_response::RandomizedResponse;
+        let mut rng = Xoshiro256::seed_from(99);
+        let trials = 200_000u64;
+        let claimed = 1.0;
+
+        // Broken RR: truth probability 0.95 ⇒ true loss ln(19) ≈ 2.94.
+        let run = |p_truth: f64, rng: &mut Xoshiro256| {
+            let mut counts_d = vec![0u64; 2];
+            let mut counts_dp = vec![0u64; 2];
+            for _ in 0..trials {
+                let a = usize::from(!rng.next_bool(p_truth)); // input 0
+                let b = usize::from(rng.next_bool(p_truth)); // input 1
+                counts_d[a] += 1;
+                counts_dp[b] += 1;
+            }
+            (counts_d, counts_dp)
+        };
+        let (cd, cdp) = run(0.95, &mut rng);
+        let evidence = certify_violation(&cd, &cdp, trials, claimed, 0.05)
+            .unwrap()
+            .expect("violation must be certified");
+        assert!(
+            evidence.certified_epsilon > 2.0,
+            "certified ε {}",
+            evidence.certified_epsilon
+        );
+        assert!(evidence.p_lower > evidence.q_upper);
+
+        // Correct RR at ε = 1 must NOT be certified as violating.
+        let eps = Epsilon::new(claimed).unwrap();
+        let rr = RandomizedResponse::new(eps, 2).unwrap();
+        let (cd, cdp) = run(rr.p_truth(), &mut rng);
+        assert!(certify_violation(&cd, &cdp, trials, claimed, 0.05)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn certify_violation_catches_breaches_in_both_directions() {
+        // A deterministic leak concentrated on D' (the second argument):
+        // the p/q direction is clean but q/p is unbounded — the symmetric
+        // scan must still certify it.
+        let trials = 10_000u64;
+        // D puts everything in bin 0 (its upper tail is empty, so the
+        // forward p/q comparisons are skipped or mild); D' spreads out —
+        // the breach is only visible as q ≫ e^ε·p on D's empty tail.
+        let counts_d = vec![10_000u64, 0];
+        let counts_dp = vec![5_000u64, 5_000];
+        let evidence = certify_violation(&counts_d, &counts_dp, trials, 1.0, 0.05)
+            .unwrap()
+            .expect("swapped-direction violation must be certified");
+        assert!(evidence.certified_epsilon > 1.0);
+        // The winning event is one of the swapped-order comparisons.
+        assert!(evidence.event % 4 >= 2, "event {}", evidence.event);
+    }
+
+    #[test]
+    fn certify_violation_validates_args() {
+        assert!(certify_violation(&[1], &[1, 2], 2, 1.0, 0.05).is_err());
+        assert!(certify_violation(&[], &[], 2, 1.0, 0.05).is_err());
+        assert!(certify_violation(&[1], &[1], 0, 1.0, 0.05).is_err());
+        assert!(certify_violation(&[1], &[1], 2, 0.0, 0.05).is_err());
+        assert!(certify_violation(&[1], &[1], 2, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn audit_rejects_degenerate_args() {
+        let mut rng = Xoshiro256::seed_from(3);
+        assert!(audit_discrete(|_r| 0usize, |_r| 0usize, 0, 10, &mut rng).is_err());
+        assert!(audit_discrete(|_r| 0usize, |_r| 0usize, 2, 0, &mut rng).is_err());
+        assert!(audit_continuous(|_r| 0.0, |_r| 0.0, 0.0, 1.0, 10, 0, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! Composition theorems and a privacy accountant.
+//!
+//! * **Basic (sequential) composition**: running mechanisms with budgets
+//!   (ε₁, δ₁), …, (ε_k, δ_k) on the same data is (Σεᵢ, Σδᵢ)-DP.
+//! * **Parallel composition**: running mechanisms on *disjoint* partitions
+//!   is (max εᵢ, max δᵢ)-DP.
+//! * **Advanced composition** (Dwork, Rothblum & Vadhan 2010): k-fold
+//!   adaptive composition of (ε, δ)-DP mechanisms is
+//!   (ε·sqrt(2k ln(1/δ′)) + k·ε·(eᵋ−1), kδ + δ′)-DP for any δ′ > 0.
+//!
+//! [`PrivacyAccountant`] tracks sequential spending against a budget and
+//! refuses operations that would exceed it.
+
+use crate::privacy::Budget;
+use crate::{MechanismError, Result};
+
+/// Sequential (basic) composition of budgets.
+pub fn sequential(budgets: &[Budget]) -> Budget {
+    let epsilon: f64 = budgets.iter().map(|b| b.epsilon).sum();
+    let delta: f64 = budgets.iter().map(|b| b.delta).sum();
+    Budget { epsilon, delta }
+}
+
+/// Parallel composition over disjoint data partitions.
+pub fn parallel(budgets: &[Budget]) -> Budget {
+    let epsilon = budgets.iter().map(|b| b.epsilon).fold(0.0, f64::max);
+    let delta = budgets.iter().map(|b| b.delta).fold(0.0, f64::max);
+    Budget { epsilon, delta }
+}
+
+/// Advanced composition: total budget of `k` adaptive runs of an
+/// (ε, δ)-DP mechanism, with slack δ′.
+pub fn advanced(per_step: Budget, k: usize, delta_prime: f64) -> Result<Budget> {
+    if !(delta_prime > 0.0 && delta_prime < 1.0) {
+        return Err(MechanismError::InvalidParameter {
+            name: "delta_prime",
+            reason: format!("must lie in (0,1), got {delta_prime}"),
+        });
+    }
+    let eps = per_step.epsilon;
+    let kf = k as f64;
+    let total_eps =
+        eps * (2.0 * kf * (1.0 / delta_prime).ln()).sqrt() + kf * eps * (eps.exp() - 1.0);
+    Ok(Budget {
+        epsilon: total_eps,
+        delta: kf * per_step.delta + delta_prime,
+    })
+}
+
+/// A sequential-composition privacy accountant with a hard cap.
+#[derive(Debug, Clone)]
+pub struct PrivacyAccountant {
+    cap: Budget,
+    spent_epsilon: f64,
+    spent_delta: f64,
+    operations: usize,
+}
+
+impl PrivacyAccountant {
+    /// Create an accountant with a total budget cap.
+    pub fn new(cap: Budget) -> Self {
+        PrivacyAccountant {
+            cap,
+            spent_epsilon: 0.0,
+            spent_delta: 0.0,
+            operations: 0,
+        }
+    }
+
+    /// Attempt to spend a budget; errors (and spends nothing) if the cap
+    /// would be exceeded.
+    pub fn spend(&mut self, b: Budget) -> Result<()> {
+        let new_eps = self.spent_epsilon + b.epsilon;
+        let new_delta = self.spent_delta + b.delta;
+        if new_eps > self.cap.epsilon + 1e-12 || new_delta > self.cap.delta + 1e-15 {
+            return Err(MechanismError::BudgetExhausted {
+                requested: b.epsilon,
+                remaining: (self.cap.epsilon - self.spent_epsilon).max(0.0),
+            });
+        }
+        self.spent_epsilon = new_eps;
+        self.spent_delta = new_delta;
+        self.operations += 1;
+        Ok(())
+    }
+
+    /// Total ε spent so far.
+    pub fn spent(&self) -> Budget {
+        Budget {
+            epsilon: self.spent_epsilon,
+            delta: self.spent_delta,
+        }
+    }
+
+    /// Remaining ε before the cap.
+    pub fn remaining_epsilon(&self) -> f64 {
+        (self.cap.epsilon - self.spent_epsilon).max(0.0)
+    }
+
+    /// Number of successful spends.
+    pub fn operations(&self) -> usize {
+        self.operations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(e: f64, d: f64) -> Budget {
+        Budget::new(e, d).unwrap()
+    }
+
+    #[test]
+    fn sequential_adds() {
+        let total = sequential(&[b(0.5, 0.0), b(0.3, 1e-6), b(0.2, 1e-6)]);
+        assert!((total.epsilon - 1.0).abs() < 1e-12);
+        assert!((total.delta - 2e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn parallel_takes_max() {
+        let total = parallel(&[b(0.5, 0.0), b(0.3, 1e-6)]);
+        assert!((total.epsilon - 0.5).abs() < 1e-12);
+        assert!((total.delta - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn advanced_beats_basic_for_many_steps() {
+        let per = b(0.1, 0.0);
+        let k = 100;
+        let adv = advanced(per, k, 1e-6).unwrap();
+        let basic = sequential(&vec![per; k]);
+        assert!(
+            adv.epsilon < basic.epsilon,
+            "advanced {} should beat basic {}",
+            adv.epsilon,
+            basic.epsilon
+        );
+        assert!((adv.delta - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advanced_formula_spot_check() {
+        // ε=0.1, k=100, δ'=1e-6: ε·sqrt(2·100·ln(1e6)) + 100·0.1·(e^0.1−1)
+        let adv = advanced(b(0.1, 0.0), 100, 1e-6).unwrap();
+        let want = 0.1 * (200.0 * (1e6f64).ln()).sqrt() + 10.0 * (0.1f64.exp() - 1.0);
+        assert!((adv.epsilon - want).abs() < 1e-12);
+        assert!(advanced(b(0.1, 0.0), 10, 0.0).is_err());
+    }
+
+    #[test]
+    fn accountant_enforces_cap() {
+        let mut acc = PrivacyAccountant::new(b(1.0, 1e-5));
+        assert!(acc.spend(b(0.6, 0.0)).is_ok());
+        assert!(acc.spend(b(0.4, 1e-5)).is_ok());
+        assert_eq!(acc.operations(), 2);
+        assert!(acc.remaining_epsilon() < 1e-9);
+        // Any further spend fails and leaves state unchanged.
+        let err = acc.spend(b(0.01, 0.0)).unwrap_err();
+        assert!(matches!(err, MechanismError::BudgetExhausted { .. }));
+        assert_eq!(acc.operations(), 2);
+    }
+
+    #[test]
+    fn accountant_rejects_delta_overflow() {
+        let mut acc = PrivacyAccountant::new(b(10.0, 1e-6));
+        assert!(acc.spend(b(0.1, 1e-6)).is_ok());
+        assert!(acc.spend(b(0.1, 1e-9)).is_err());
+    }
+}

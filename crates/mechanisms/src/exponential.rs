@@ -1,0 +1,323 @@
+//! The exponential mechanism (Theorem 2.2 of the paper; McSherry & Talwar,
+//! FOCS 2007).
+//!
+//! Given a quality function `q(x, u)` over candidate outputs `u` with
+//! global sensitivity `Δq`, and a base measure `π` on the range, the
+//! mechanism samples
+//!
+//! ```text
+//! p(u) ∝ exp(t · q(x, u)) · π(u)
+//! ```
+//!
+//! The paper's Theorem 2.2 states the guarantee in the form: sampling with
+//! `t = ε` yields `2 ε Δq`-differential privacy. Equivalently, to achieve a
+//! target privacy level `ε*`, set `t = ε* / (2Δq)`. Both parameterizations
+//! are exposed here because the bridge to the Gibbs posterior (the paper's
+//! Theorem 4.1) uses the *temperature* form: the Gibbs posterior at inverse
+//! temperature `λ` is exactly this mechanism with `q = −R̂` and `t = λ`,
+//! hence is `2λΔR̂`-DP.
+//!
+//! Sampling is exact (log-space categorical); a Gumbel-max sampler is also
+//! provided and the test suite verifies the two agree.
+
+use crate::privacy::Epsilon;
+use crate::{MechanismError, Result};
+use dplearn_numerics::distributions::{Categorical, Gumbel, Sample};
+use dplearn_numerics::rng::Rng;
+
+/// The exponential mechanism over a finite candidate set.
+///
+/// The candidate set and base measure are data-independent (they are part
+/// of the mechanism definition); only the quality scores depend on the
+/// sensitive dataset.
+#[derive(Debug, Clone)]
+pub struct ExponentialMechanism {
+    quality_sensitivity: f64,
+    log_prior: Option<Vec<f64>>,
+    n_candidates: usize,
+}
+
+impl ExponentialMechanism {
+    /// Create a mechanism for `n_candidates` outputs whose quality
+    /// function has global sensitivity `quality_sensitivity`.
+    pub fn new(n_candidates: usize, quality_sensitivity: f64) -> Result<Self> {
+        if n_candidates == 0 {
+            return Err(MechanismError::InvalidParameter {
+                name: "n_candidates",
+                reason: "candidate set must be non-empty".to_string(),
+            });
+        }
+        if !(quality_sensitivity.is_finite() && quality_sensitivity > 0.0) {
+            return Err(MechanismError::InvalidParameter {
+                name: "quality_sensitivity",
+                reason: format!("must be finite and positive, got {quality_sensitivity}"),
+            });
+        }
+        Ok(ExponentialMechanism {
+            quality_sensitivity,
+            log_prior: None,
+            n_candidates,
+        })
+    }
+
+    /// Attach a non-uniform base measure π as unnormalized log weights.
+    pub fn with_log_prior(mut self, log_prior: Vec<f64>) -> Result<Self> {
+        if log_prior.len() != self.n_candidates {
+            return Err(MechanismError::InvalidParameter {
+                name: "log_prior",
+                reason: format!(
+                    "expected {} entries, got {}",
+                    self.n_candidates,
+                    log_prior.len()
+                ),
+            });
+        }
+        self.log_prior = Some(log_prior);
+        Ok(self)
+    }
+
+    /// Number of candidate outputs.
+    pub fn n_candidates(&self) -> usize {
+        self.n_candidates
+    }
+
+    /// The advertised sensitivity of the quality function.
+    pub fn quality_sensitivity(&self) -> f64 {
+        self.quality_sensitivity
+    }
+
+    /// Temperature achieving a **target** privacy level ε:
+    /// `t = ε / (2 Δq)`.
+    pub fn temperature_for(&self, epsilon: Epsilon) -> f64 {
+        epsilon.value() / (2.0 * self.quality_sensitivity)
+    }
+
+    /// Privacy level of a run at temperature `t` (paper Theorem 2.2 with
+    /// its ε read as the temperature): `ε = 2 t Δq`.
+    pub fn privacy_of_temperature(&self, t: f64) -> f64 {
+        2.0 * t * self.quality_sensitivity
+    }
+
+    /// The full sampling distribution at temperature `t` for the given
+    /// scores: `p(u) ∝ π(u) exp(t · q(u))`, computed in log space.
+    pub fn sampling_distribution(&self, scores: &[f64], t: f64) -> Result<Categorical> {
+        if scores.len() != self.n_candidates {
+            return Err(MechanismError::InvalidParameter {
+                name: "scores",
+                reason: format!(
+                    "expected {} scores, got {}",
+                    self.n_candidates,
+                    scores.len()
+                ),
+            });
+        }
+        let log_weights: Vec<f64> = match &self.log_prior {
+            Some(lp) => scores.iter().zip(lp).map(|(&s, &p)| t * s + p).collect(),
+            None => scores.iter().map(|&s| t * s).collect(),
+        };
+        Ok(Categorical::from_log_weights(&log_weights)?)
+    }
+
+    /// Sample a candidate index at a **target** privacy level ε (ε-DP).
+    pub fn select<R: Rng + ?Sized>(
+        &self,
+        scores: &[f64],
+        epsilon: Epsilon,
+        rng: &mut R,
+    ) -> Result<usize> {
+        let t = self.temperature_for(epsilon);
+        Ok(self.sampling_distribution(scores, t)?.sample(rng))
+    }
+
+    /// Sample at raw temperature `t`; the guarantee is
+    /// [`privacy_of_temperature`](Self::privacy_of_temperature).
+    pub fn select_with_temperature<R: Rng + ?Sized>(
+        &self,
+        scores: &[f64],
+        t: f64,
+        rng: &mut R,
+    ) -> Result<usize> {
+        Ok(self.sampling_distribution(scores, t)?.sample(rng))
+    }
+
+    /// Gumbel-max sampling at temperature `t` — equivalent in distribution
+    /// to [`select_with_temperature`](Self::select_with_temperature), but
+    /// avoids building the full categorical table. Only valid with a
+    /// uniform base measure or by folding the log prior into the scores,
+    /// which this method does automatically.
+    pub fn select_gumbel<R: Rng + ?Sized>(
+        &self,
+        scores: &[f64],
+        t: f64,
+        rng: &mut R,
+    ) -> Result<usize> {
+        if scores.len() != self.n_candidates {
+            return Err(MechanismError::InvalidParameter {
+                name: "scores",
+                reason: format!(
+                    "expected {} scores, got {}",
+                    self.n_candidates,
+                    scores.len()
+                ),
+            });
+        }
+        let mut best = 0usize;
+        let mut best_v = f64::NEG_INFINITY;
+        for i in 0..scores.len() {
+            let lp = self.log_prior.as_ref().map_or(0.0, |p| p[i]);
+            let v = t * scores[i] + lp + Gumbel.sample(rng);
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+}
+
+/// Quality scores for the classic **private median** of a dataset over a
+/// candidate grid: `q(D, u) = −|#{d ≤ u} − n/2|` (rank distance to the
+/// median). Sensitivity 1.
+pub fn median_quality(data: &[f64], candidates: &[f64]) -> Vec<f64> {
+    let n = data.len() as f64;
+    candidates
+        .iter()
+        .map(|&u| {
+            let rank = data.iter().filter(|&&d| d <= u).count() as f64;
+            -(rank - n / 2.0).abs()
+        })
+        .collect()
+}
+
+/// Quality scores for **private mode** selection: `q(D, u)` = count of
+/// records equal to candidate `u`. Sensitivity 1 (replace-one changes any
+/// single candidate's count by at most 1).
+pub fn mode_quality(data: &[usize], n_candidates: usize) -> Vec<f64> {
+    let mut counts = vec![0.0f64; n_candidates];
+    for &d in data {
+        if d < n_candidates {
+            counts[d] += 1.0;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dplearn_numerics::rng::Xoshiro256;
+    use dplearn_numerics::special::log_sum_exp;
+
+    #[test]
+    fn construction_validates() {
+        assert!(ExponentialMechanism::new(0, 1.0).is_err());
+        assert!(ExponentialMechanism::new(3, 0.0).is_err());
+        let m = ExponentialMechanism::new(3, 1.0).unwrap();
+        assert!(m.clone().with_log_prior(vec![0.0; 2]).is_err());
+        assert!(m.with_log_prior(vec![0.0; 3]).is_ok());
+    }
+
+    #[test]
+    fn temperature_epsilon_round_trip() {
+        let m = ExponentialMechanism::new(5, 0.5).unwrap();
+        let eps = Epsilon::new(1.2).unwrap();
+        let t = m.temperature_for(eps);
+        assert!((m.privacy_of_temperature(t) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_distribution_is_softmax() {
+        let m = ExponentialMechanism::new(3, 1.0).unwrap();
+        let scores = [0.0, 1.0, 2.0];
+        let t = 1.0;
+        let dist = m.sampling_distribution(&scores, t).unwrap();
+        let logits: Vec<f64> = scores.iter().map(|s| t * s).collect();
+        let z = log_sum_exp(&logits);
+        for (i, &l) in logits.iter().enumerate() {
+            let want = (l - z).exp();
+            assert!((dist.prob(i) - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn prior_shifts_the_distribution() {
+        let m = ExponentialMechanism::new(2, 1.0)
+            .unwrap()
+            .with_log_prior(vec![(0.9f64).ln(), (0.1f64).ln()])
+            .unwrap();
+        // Equal scores: posterior equals the prior.
+        let dist = m.sampling_distribution(&[0.0, 0.0], 1.0).unwrap();
+        assert!((dist.prob(0) - 0.9).abs() < 1e-12);
+        assert!((dist.prob(1) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_temperature_concentrates_on_argmax() {
+        let m = ExponentialMechanism::new(3, 1.0).unwrap();
+        let scores = [0.0, 0.5, 1.0];
+        let cold = m.sampling_distribution(&scores, 0.1).unwrap();
+        let hot = m.sampling_distribution(&scores, 20.0).unwrap();
+        assert!(hot.prob(2) > cold.prob(2));
+        assert!(hot.prob(2) > 0.99);
+    }
+
+    #[test]
+    fn gumbel_and_exact_sampling_agree_in_distribution() {
+        let m = ExponentialMechanism::new(4, 1.0).unwrap();
+        let scores = [0.3, -0.2, 1.1, 0.7];
+        let t = 1.5;
+        let dist = m.sampling_distribution(&scores, t).unwrap();
+        let mut rng = Xoshiro256::seed_from(77);
+        let n = 200_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[m.select_gumbel(&scores, t, &mut rng).unwrap()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / n as f64;
+            assert!(
+                (freq - dist.prob(i)).abs() < 0.006,
+                "candidate {i}: freq {freq} vs prob {}",
+                dist.prob(i)
+            );
+        }
+    }
+
+    #[test]
+    fn density_ratio_bounded_by_epsilon_for_unit_sensitivity_scores() {
+        // Two neighboring score vectors (each entry moved by ≤ Δq = 1).
+        let m = ExponentialMechanism::new(4, 1.0).unwrap();
+        let eps = Epsilon::new(0.7).unwrap();
+        let t = m.temperature_for(eps);
+        let s1 = [3.0, 1.0, 0.0, 2.0];
+        let s2 = [2.0, 2.0, 1.0, 1.0]; // |s1 - s2|∞ = 1 = Δq
+        let d1 = m.sampling_distribution(&s1, t).unwrap();
+        let d2 = m.sampling_distribution(&s2, t).unwrap();
+        for i in 0..4 {
+            let ratio = (d1.prob(i) / d2.prob(i)).ln().abs();
+            assert!(ratio <= eps.value() + 1e-9, "ratio {ratio} at {i}");
+        }
+    }
+
+    #[test]
+    fn median_quality_peaks_at_true_median() {
+        let data = [1.0, 2.0, 3.0, 4.0, 100.0];
+        let candidates: Vec<f64> = (0..=110).map(|i| i as f64).collect();
+        let q = median_quality(&data, &candidates);
+        let best = q
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        // The rank-median of the data is 3 (score 0 for candidates in [3, 4)).
+        assert!((3..=4).contains(&best), "best candidate {best}");
+    }
+
+    #[test]
+    fn mode_quality_counts() {
+        let data = [0usize, 1, 1, 2, 1];
+        let q = mode_quality(&data, 3);
+        assert_eq!(q, vec![1.0, 3.0, 1.0]);
+    }
+}

@@ -1,0 +1,216 @@
+//! The (ε, δ) Gaussian mechanism.
+//!
+//! Not used by the paper's main argument (which is pure ε-DP) but part of
+//! any credible DP toolkit and used by ablations: for ε ∈ (0, 1) and
+//! `σ ≥ Δ₂ · sqrt(2 ln(1.25/δ)) / ε`, adding `N(0, σ²)` noise to a query
+//! with ℓ2-sensitivity `Δ₂` is (ε, δ)-DP (Dwork & Roth, Thm 3.22).
+
+use crate::privacy::Budget;
+use crate::{MechanismError, Result};
+use dplearn_numerics::distributions::{Gaussian, Sample};
+use dplearn_numerics::rng::Rng;
+
+/// The classic Gaussian mechanism.
+#[derive(Debug, Clone)]
+pub struct GaussianMechanism {
+    budget: Budget,
+    l2_sensitivity: f64,
+    noise: Gaussian,
+}
+
+impl GaussianMechanism {
+    /// Create a mechanism for a query with the given ℓ2 sensitivity.
+    ///
+    /// Requires `0 < ε < 1` (the classic analysis) and `δ ∈ (0, 1)`.
+    pub fn new(budget: Budget, l2_sensitivity: f64) -> Result<Self> {
+        if budget.epsilon >= 1.0 {
+            return Err(MechanismError::InvalidParameter {
+                name: "epsilon",
+                reason: format!(
+                    "the classic Gaussian mechanism requires ε < 1, got {}",
+                    budget.epsilon
+                ),
+            });
+        }
+        if budget.delta <= 0.0 {
+            return Err(MechanismError::InvalidParameter {
+                name: "delta",
+                reason: "the Gaussian mechanism requires δ > 0".to_string(),
+            });
+        }
+        if !(l2_sensitivity.is_finite() && l2_sensitivity > 0.0) {
+            return Err(MechanismError::InvalidParameter {
+                name: "l2_sensitivity",
+                reason: format!("must be finite and positive, got {l2_sensitivity}"),
+            });
+        }
+        let sigma = l2_sensitivity * (2.0 * (1.25 / budget.delta).ln()).sqrt() / budget.epsilon;
+        let noise = Gaussian::new(0.0, sigma)?;
+        Ok(GaussianMechanism {
+            budget,
+            l2_sensitivity,
+            noise,
+        })
+    }
+
+    /// The calibrated noise standard deviation σ.
+    pub fn sigma(&self) -> f64 {
+        self.noise.sigma()
+    }
+
+    /// The privacy budget.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// The advertised ℓ2 sensitivity.
+    pub fn l2_sensitivity(&self) -> f64 {
+        self.l2_sensitivity
+    }
+
+    /// Release a private scalar.
+    pub fn release<R: Rng + ?Sized>(&self, true_value: f64, rng: &mut R) -> f64 {
+        true_value + self.noise.sample(rng)
+    }
+
+    /// Release a private vector (independent noise per coordinate; the
+    /// sensitivity must be the ℓ2 sensitivity of the whole vector).
+    pub fn release_vec<R: Rng + ?Sized>(&self, true_value: &[f64], rng: &mut R) -> Vec<f64> {
+        true_value
+            .iter()
+            .map(|&v| v + self.noise.sample(rng))
+            .collect()
+    }
+}
+
+/// Exact δ spent by Gaussian noise of standard deviation `sigma` on an
+/// `l2`-sensitive query at privacy level ε (Balle & Wang 2018, Eq. 6):
+///
+/// ```text
+/// δ(σ) = Φ(Δ/(2σ) − εσ/Δ) − e^ε · Φ(−Δ/(2σ) − εσ/Δ)
+/// ```
+pub fn gaussian_delta(sigma: f64, epsilon: f64, l2_sensitivity: f64) -> f64 {
+    assert!(sigma > 0.0 && epsilon > 0.0 && l2_sensitivity > 0.0);
+    let a = l2_sensitivity / (2.0 * sigma);
+    let b = epsilon * sigma / l2_sensitivity;
+    dplearn_numerics::special::std_normal_cdf(a - b)
+        - epsilon.exp() * dplearn_numerics::special::std_normal_cdf(-a - b)
+}
+
+/// The **analytic Gaussian mechanism** calibration (Balle & Wang 2018):
+/// the minimal σ achieving (ε, δ)-DP for an `l2`-sensitive query —
+/// valid for *any* ε > 0, unlike the classic `ε < 1` recipe, and strictly
+/// smaller noise everywhere.
+pub fn analytic_gaussian_sigma(budget: Budget, l2_sensitivity: f64) -> Result<f64> {
+    if budget.delta <= 0.0 {
+        return Err(MechanismError::InvalidParameter {
+            name: "delta",
+            reason: "the Gaussian mechanism requires δ > 0".to_string(),
+        });
+    }
+    if !(l2_sensitivity.is_finite() && l2_sensitivity > 0.0) {
+        return Err(MechanismError::InvalidParameter {
+            name: "l2_sensitivity",
+            reason: format!("must be finite and positive, got {l2_sensitivity}"),
+        });
+    }
+    // δ(σ) is strictly decreasing in σ; bracket then bisect.
+    let f = |sigma: f64| gaussian_delta(sigma, budget.epsilon, l2_sensitivity) - budget.delta;
+    let mut lo = 1e-6 * l2_sensitivity;
+    let mut hi = l2_sensitivity;
+    while f(hi) > 0.0 {
+        hi *= 2.0;
+        if hi > 1e12 * l2_sensitivity {
+            return Err(MechanismError::InvalidParameter {
+                name: "budget",
+                reason: "failed to bracket the analytic Gaussian calibration".to_string(),
+            });
+        }
+    }
+    while f(lo) < 0.0 && lo > 1e-12 * l2_sensitivity {
+        lo *= 0.5;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dplearn_numerics::rng::Xoshiro256;
+    use dplearn_numerics::stats;
+
+    #[test]
+    fn construction_validates() {
+        assert!(GaussianMechanism::new(Budget::new(1.5, 1e-5).unwrap(), 1.0).is_err());
+        assert!(GaussianMechanism::new(Budget::new(0.5, 0.0).unwrap(), 1.0).is_err());
+        assert!(GaussianMechanism::new(Budget::new(0.5, 1e-5).unwrap(), 0.0).is_err());
+        let m = GaussianMechanism::new(Budget::new(0.5, 1e-5).unwrap(), 1.0).unwrap();
+        let want = (2.0f64 * (1.25f64 / 1e-5).ln()).sqrt() / 0.5;
+        assert!((m.sigma() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigma_decreases_with_looser_budget() {
+        let tight = GaussianMechanism::new(Budget::new(0.1, 1e-6).unwrap(), 1.0).unwrap();
+        let loose = GaussianMechanism::new(Budget::new(0.9, 1e-3).unwrap(), 1.0).unwrap();
+        assert!(tight.sigma() > loose.sigma());
+    }
+
+    #[test]
+    fn analytic_sigma_meets_its_delta_exactly() {
+        for (eps, delta) in [(0.5, 1e-5), (1.0, 1e-6), (3.0, 1e-4)] {
+            let b = Budget::new(eps, delta).unwrap();
+            let sigma = analytic_gaussian_sigma(b, 1.0).unwrap();
+            let d = gaussian_delta(sigma, eps, 1.0);
+            assert!(d <= delta + 1e-12, "ε={eps}: δ(σ) = {d} exceeds {delta}");
+            // Tightness: 1% less noise would violate the budget.
+            assert!(gaussian_delta(sigma * 0.99, eps, 1.0) > delta);
+        }
+        assert!(analytic_gaussian_sigma(Budget::new(1.0, 0.0).unwrap(), 1.0).is_err());
+    }
+
+    #[test]
+    fn analytic_beats_classic_calibration() {
+        // For ε < 1 both apply; analytic must need strictly less noise.
+        let b = Budget::new(0.5, 1e-5).unwrap();
+        let classic = GaussianMechanism::new(b, 1.0).unwrap().sigma();
+        let analytic = analytic_gaussian_sigma(b, 1.0).unwrap();
+        assert!(
+            analytic < classic,
+            "analytic σ {analytic} should beat classic {classic}"
+        );
+        // And it extends past ε = 1, where the classic recipe refuses.
+        let big = Budget::new(4.0, 1e-6).unwrap();
+        assert!(GaussianMechanism::new(big, 1.0).is_err());
+        let sigma = analytic_gaussian_sigma(big, 1.0).unwrap();
+        assert!(sigma > 0.0 && sigma < 2.0, "σ(ε=4, δ=1e-6) = {sigma}");
+        // It is the exact calibration there too.
+        assert!(gaussian_delta(sigma, 4.0, 1.0) <= 1e-6 + 1e-12);
+    }
+
+    #[test]
+    fn analytic_sigma_scales_with_sensitivity() {
+        let b = Budget::new(1.0, 1e-5).unwrap();
+        let s1 = analytic_gaussian_sigma(b, 1.0).unwrap();
+        let s2 = analytic_gaussian_sigma(b, 2.0).unwrap();
+        assert!((s2 / s1 - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn release_noise_has_calibrated_variance() {
+        let m = GaussianMechanism::new(Budget::new(0.8, 1e-4).unwrap(), 2.0).unwrap();
+        let mut rng = Xoshiro256::seed_from(13);
+        let outs: Vec<f64> = (0..100_000).map(|_| m.release(0.0, &mut rng)).collect();
+        let var = stats::variance(&outs).unwrap();
+        let want = m.sigma() * m.sigma();
+        assert!((var / want - 1.0).abs() < 0.03, "var={var} want={want}");
+    }
+}

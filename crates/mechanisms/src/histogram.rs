@@ -1,0 +1,206 @@
+//! Private histogram release — the workhorse aggregate for private
+//! density estimation and a textbook application of per-bin Laplace
+//! noise.
+//!
+//! Under replace-one adjacency, moving one record between bins changes
+//! two bin counts by 1 each, so the count vector has ℓ1 sensitivity 2 and
+//! `Lap(2/ε)` noise per bin gives ε-DP for the whole histogram. (Under
+//! add/remove adjacency the sensitivity is 1; both calibrations are
+//! offered.)
+
+use crate::privacy::Epsilon;
+use crate::{MechanismError, Result};
+use dplearn_numerics::distributions::{Laplace, Sample};
+use dplearn_numerics::rng::Rng;
+
+/// The adjacency notion the calibration protects against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Adjacency {
+    /// Replace one record (the paper's neighbor relation): ℓ1 sensitivity 2.
+    ReplaceOne,
+    /// Add or remove one record: ℓ1 sensitivity 1.
+    AddRemove,
+}
+
+impl Adjacency {
+    /// ℓ1 sensitivity of a histogram count vector under this adjacency.
+    pub fn histogram_sensitivity(&self) -> f64 {
+        match self {
+            Adjacency::ReplaceOne => 2.0,
+            Adjacency::AddRemove => 1.0,
+        }
+    }
+}
+
+/// A privately released histogram.
+#[derive(Debug, Clone)]
+pub struct PrivateHistogram {
+    /// Noisy (possibly negative) per-bin counts, as released.
+    pub noisy_counts: Vec<f64>,
+    /// Bin edges: bin `i` covers `[edges[i], edges[i+1])`.
+    pub edges: Vec<f64>,
+    /// The privacy level of the release.
+    pub epsilon: f64,
+}
+
+impl PrivateHistogram {
+    /// Post-processed probability masses: counts clamped at 0 and
+    /// normalized. Post-processing is free under DP.
+    pub fn probabilities(&self) -> Vec<f64> {
+        let clamped: Vec<f64> = self.noisy_counts.iter().map(|&c| c.max(0.0)).collect();
+        let total: f64 = clamped.iter().sum();
+        if total <= 0.0 {
+            // All mass noise-annihilated: fall back to uniform.
+            vec![1.0 / clamped.len() as f64; clamped.len()]
+        } else {
+            clamped.into_iter().map(|c| c / total).collect()
+        }
+    }
+
+    /// The released object as a density on the binned domain (mass / bin
+    /// width).
+    pub fn density(&self) -> Vec<f64> {
+        let probs = self.probabilities();
+        probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| p / (self.edges[i + 1] - self.edges[i]))
+            .collect()
+    }
+}
+
+/// Release an ε-DP histogram of `data` over `[lo, hi)` with `bins`
+/// equal-width bins (values outside the range are clamped to edge bins).
+pub fn private_histogram<R: Rng + ?Sized>(
+    data: &[f64],
+    lo: f64,
+    hi: f64,
+    bins: usize,
+    epsilon: Epsilon,
+    adjacency: Adjacency,
+    rng: &mut R,
+) -> Result<PrivateHistogram> {
+    if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+        return Err(MechanismError::InvalidParameter {
+            name: "range",
+            reason: format!("need finite lo < hi, got [{lo}, {hi})"),
+        });
+    }
+    if bins == 0 {
+        return Err(MechanismError::InvalidParameter {
+            name: "bins",
+            reason: "must be positive".to_string(),
+        });
+    }
+    let mut counts = vec![0.0f64; bins];
+    let width = (hi - lo) / bins as f64;
+    for &x in data {
+        let b = (((x - lo) / width).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        counts[b] += 1.0;
+    }
+    let noise = Laplace::new(0.0, adjacency.histogram_sensitivity() / epsilon.value())?;
+    let noisy_counts: Vec<f64> = counts.iter().map(|&c| c + noise.sample(rng)).collect();
+    let edges: Vec<f64> = (0..=bins).map(|i| lo + i as f64 * width).collect();
+    Ok(PrivateHistogram {
+        noisy_counts,
+        edges,
+        epsilon: epsilon.value(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dplearn_numerics::rng::Xoshiro256;
+
+    #[test]
+    fn validates_input() {
+        let mut rng = Xoshiro256::seed_from(1);
+        let eps = Epsilon::new(1.0).unwrap();
+        assert!(
+            private_histogram(&[0.5], 1.0, 0.0, 4, eps, Adjacency::ReplaceOne, &mut rng).is_err()
+        );
+        assert!(
+            private_histogram(&[0.5], 0.0, 1.0, 0, eps, Adjacency::ReplaceOne, &mut rng).is_err()
+        );
+    }
+
+    #[test]
+    fn sensitivities() {
+        assert_eq!(Adjacency::ReplaceOne.histogram_sensitivity(), 2.0);
+        assert_eq!(Adjacency::AddRemove.histogram_sensitivity(), 1.0);
+    }
+
+    #[test]
+    fn noisy_counts_concentrate_around_truth() {
+        let mut rng = Xoshiro256::seed_from(2);
+        let eps = Epsilon::new(2.0).unwrap();
+        // 10k points, 80% in the first half.
+        let data: Vec<f64> = (0..10_000)
+            .map(|i| if i % 5 == 0 { 0.75 } else { 0.25 })
+            .collect();
+        let h =
+            private_histogram(&data, 0.0, 1.0, 2, eps, Adjacency::ReplaceOne, &mut rng).unwrap();
+        let p = h.probabilities();
+        assert!((p[0] - 0.8).abs() < 0.01, "p0 = {}", p[0]);
+        assert!((p[1] - 0.2).abs() < 0.01);
+        // Density integrates to 1.
+        let mass: f64 = h
+            .density()
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| d * (h.edges[i + 1] - h.edges[i]))
+            .sum();
+        assert!((mass - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_data_falls_back_to_uniform() {
+        let mut rng = Xoshiro256::seed_from(3);
+        let eps = Epsilon::new(0.1).unwrap();
+        let h = private_histogram(&[], 0.0, 1.0, 4, eps, Adjacency::AddRemove, &mut rng).unwrap();
+        let p = h.probabilities();
+        // With no data the result is noise; probabilities are still a
+        // valid distribution.
+        let total: f64 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn histogram_release_passes_privacy_audit() {
+        use crate::audit::audit_continuous;
+        // Audit one bin's noisy count across a replace-one pair that
+        // moves one record between bins (count changes by 1; the full
+        // vector by 2 — the per-bin view must then show ≤ ε/2·2 = ε ...
+        // we audit the released bin-0 count whose value differs by 1,
+        // noise scale 2/ε ⇒ per-bin loss ε/2).
+        let mut rng = Xoshiro256::seed_from(4);
+        let eps = Epsilon::new(1.0).unwrap();
+        let d1 = vec![0.1, 0.2, 0.9];
+        let d2 = vec![0.1, 0.8, 0.9]; // one record crossed the midpoint
+        let res = audit_continuous(
+            |r| {
+                private_histogram(&d1, 0.0, 1.0, 2, eps, Adjacency::ReplaceOne, r)
+                    .unwrap()
+                    .noisy_counts[0]
+            },
+            |r| {
+                private_histogram(&d2, 0.0, 1.0, 2, eps, Adjacency::ReplaceOne, r)
+                    .unwrap()
+                    .noisy_counts[0]
+            },
+            -8.0,
+            10.0,
+            40,
+            100_000,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(
+            res.empirical_epsilon <= 0.5 * eps.value() * 1.1 + 0.02,
+            "per-bin ε̂ {} should be ≈ ε/2",
+            res.empirical_epsilon
+        );
+    }
+}

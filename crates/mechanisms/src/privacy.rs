@@ -1,0 +1,158 @@
+//! Privacy parameters and the differential-privacy definition as types.
+//!
+//! Definition 2.1 of the paper: a randomized function `f` is
+//! ε-differentially private if for all neighboring inputs `D, D'` and all
+//! output events `Y`, `Pr[f(D) ∈ Y] ≤ exp(ε) · Pr[f(D') ∈ Y]`.
+//!
+//! The paper's learning setting uses the **replace-one** neighbor relation
+//! on samples (Section 2.2): `Ẑ` and `Ẑ'` are neighbors when they differ
+//! in exactly one example. This module encodes ε and (ε, δ) budgets as
+//! validated newtypes and the neighbor relation as a trait so that privacy
+//! claims live in the type system rather than in comments.
+
+use crate::{MechanismError, Result};
+
+/// A validated privacy parameter ε > 0.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Epsilon(f64);
+
+impl Epsilon {
+    /// Create an ε; must be finite and strictly positive.
+    pub fn new(value: f64) -> Result<Self> {
+        if value.is_finite() && value > 0.0 {
+            Ok(Epsilon(value))
+        } else {
+            Err(MechanismError::InvalidParameter {
+                name: "epsilon",
+                reason: format!("must be finite and positive, got {value}"),
+            })
+        }
+    }
+
+    /// The raw value.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+
+    /// `exp(ε)` — the multiplicative indistinguishability factor.
+    pub fn ratio_bound(&self) -> f64 {
+        self.0.exp()
+    }
+}
+
+impl std::fmt::Display for Epsilon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ε={}", self.0)
+    }
+}
+
+/// An (ε, δ) approximate-differential-privacy budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Budget {
+    /// The ε component.
+    pub epsilon: f64,
+    /// The δ component (0 for pure DP).
+    pub delta: f64,
+}
+
+impl Budget {
+    /// Create a budget; ε must be positive and δ in `[0, 1)`.
+    pub fn new(epsilon: f64, delta: f64) -> Result<Self> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(MechanismError::InvalidParameter {
+                name: "epsilon",
+                reason: format!("must be finite and positive, got {epsilon}"),
+            });
+        }
+        if !(0.0..1.0).contains(&delta) {
+            return Err(MechanismError::InvalidParameter {
+                name: "delta",
+                reason: format!("must lie in [0,1), got {delta}"),
+            });
+        }
+        Ok(Budget { epsilon, delta })
+    }
+
+    /// A pure-DP budget (δ = 0).
+    pub fn pure(epsilon: Epsilon) -> Self {
+        Budget {
+            epsilon: epsilon.value(),
+            delta: 0.0,
+        }
+    }
+
+    /// True when δ = 0.
+    pub fn is_pure(&self) -> bool {
+        self.delta == 0.0
+    }
+}
+
+/// The neighbor relation on datasets.
+///
+/// Implementations enumerate (or sample) datasets adjacent to `self` —
+/// the paper uses replace-one adjacency on samples; Dwork et al.'s
+/// original definition uses add/remove-one on rows. The auditing module
+/// only needs *pairs* of neighbors, which this trait supplies.
+pub trait Neighboring: Sized {
+    /// Produce all (or a representative set of) neighbors of `self`.
+    fn neighbors(&self) -> Vec<Self>;
+}
+
+/// Replace-one adjacency for plain `Vec<f64>` datasets over a bounded
+/// domain `[lo, hi]`: each neighbor replaces one entry with an extreme of
+/// the domain (the worst case for the statistics we audit).
+pub fn replace_one_neighbors(data: &[f64], lo: f64, hi: f64) -> Vec<Vec<f64>> {
+    let mut out = Vec::with_capacity(2 * data.len());
+    for i in 0..data.len() {
+        for &v in &[lo, hi] {
+            if data[i] != v {
+                let mut d = data.to_vec();
+                d[i] = v;
+                out.push(d);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_validation() {
+        assert!(Epsilon::new(1.0).is_ok());
+        assert!(Epsilon::new(0.0).is_err());
+        assert!(Epsilon::new(-1.0).is_err());
+        assert!(Epsilon::new(f64::INFINITY).is_err());
+        assert!(Epsilon::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn epsilon_ratio_bound() {
+        let e = Epsilon::new(std::f64::consts::LN_2).unwrap();
+        assert!((e.ratio_bound() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_validation() {
+        assert!(Budget::new(1.0, 0.0).is_ok());
+        assert!(Budget::new(1.0, 1.0).is_err());
+        assert!(Budget::new(1.0, -0.1).is_err());
+        assert!(Budget::new(0.0, 0.1).is_err());
+        assert!(Budget::pure(Epsilon::new(0.5).unwrap()).is_pure());
+        assert!(!Budget::new(0.5, 1e-6).unwrap().is_pure());
+    }
+
+    #[test]
+    fn replace_one_generates_expected_count() {
+        let d = vec![0.5, 0.0, 1.0];
+        let nbrs = replace_one_neighbors(&d, 0.0, 1.0);
+        // Entry 0.5 yields 2 neighbors; 0.0 and 1.0 yield 1 each.
+        assert_eq!(nbrs.len(), 4);
+        for n in &nbrs {
+            let diff = n.iter().zip(&d).filter(|(a, b)| a != b).count();
+            assert_eq!(diff, 1, "each neighbor differs in exactly one entry");
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! k-ary randomized response — the oldest local-DP mechanism (Warner 1965).
+//!
+//! Each respondent reports their true category with probability
+//! `e^ε / (e^ε + k − 1)` and a uniformly random *other* category otherwise.
+//! This satisfies ε-local differential privacy per record, and the
+//! aggregate distribution can be debiased exactly.
+
+use crate::privacy::Epsilon;
+use crate::{MechanismError, Result};
+use dplearn_numerics::rng::Rng;
+
+/// k-ary randomized response.
+#[derive(Debug, Clone)]
+pub struct RandomizedResponse {
+    epsilon: Epsilon,
+    k: usize,
+    p_truth: f64,
+}
+
+impl RandomizedResponse {
+    /// Create a mechanism over `k ≥ 2` categories.
+    pub fn new(epsilon: Epsilon, k: usize) -> Result<Self> {
+        if k < 2 {
+            return Err(MechanismError::InvalidParameter {
+                name: "k",
+                reason: format!("need at least 2 categories, got {k}"),
+            });
+        }
+        let e = epsilon.value().exp();
+        Ok(RandomizedResponse {
+            epsilon,
+            k,
+            p_truth: e / (e + k as f64 - 1.0),
+        })
+    }
+
+    /// Probability of reporting the true category.
+    pub fn p_truth(&self) -> f64 {
+        self.p_truth
+    }
+
+    /// The privacy parameter.
+    pub fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    /// Privatize a single response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value >= k`.
+    pub fn respond<R: Rng + ?Sized>(&self, value: usize, rng: &mut R) -> usize {
+        assert!(
+            value < self.k,
+            "value {value} out of range for k={}",
+            self.k
+        );
+        if rng.next_bool(self.p_truth) {
+            value
+        } else {
+            // Uniform over the other k−1 categories.
+            let mut r = rng.next_index(self.k - 1);
+            if r >= value {
+                r += 1;
+            }
+            r
+        }
+    }
+
+    /// Unbiased estimate of the true category frequencies from privatized
+    /// responses.
+    ///
+    /// If `f̃` are observed frequencies, the true frequencies satisfy
+    /// `f̃ = p·f + (1−p)/(k−1) · (1 − f)`, inverted coordinate-wise.
+    pub fn debias(&self, observed_counts: &[u64]) -> Result<Vec<f64>> {
+        if observed_counts.len() != self.k {
+            return Err(MechanismError::InvalidParameter {
+                name: "observed_counts",
+                reason: format!("expected {} counts, got {}", self.k, observed_counts.len()),
+            });
+        }
+        let n: u64 = observed_counts.iter().sum();
+        if n == 0 {
+            return Err(MechanismError::InvalidParameter {
+                name: "observed_counts",
+                reason: "no responses to debias".to_string(),
+            });
+        }
+        let p = self.p_truth;
+        let q = (1.0 - p) / (self.k as f64 - 1.0);
+        Ok(observed_counts
+            .iter()
+            .map(|&c| {
+                let f_obs = c as f64 / n as f64;
+                (f_obs - q) / (p - q)
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dplearn_numerics::rng::Xoshiro256;
+
+    #[test]
+    fn construction_validates() {
+        let eps = Epsilon::new(1.0).unwrap();
+        assert!(RandomizedResponse::new(eps, 1).is_err());
+        let rr = RandomizedResponse::new(eps, 2).unwrap();
+        let e = 1.0f64.exp();
+        assert!((rr.p_truth() - e / (e + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_record_ratio_is_exactly_exp_epsilon() {
+        let eps = Epsilon::new(0.8).unwrap();
+        let rr = RandomizedResponse::new(eps, 4).unwrap();
+        let p = rr.p_truth();
+        let q = (1.0 - p) / 3.0;
+        // The likelihood ratio of any output under two different inputs is
+        // at most p/q = e^ε.
+        assert!(((p / q).ln() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn debias_recovers_frequencies() {
+        let eps = Epsilon::new(2.0).unwrap();
+        let rr = RandomizedResponse::new(eps, 3).unwrap();
+        let mut rng = Xoshiro256::seed_from(3);
+        // True distribution: 60% / 30% / 10%.
+        let truth = [0.6, 0.3, 0.1];
+        let n = 300_000;
+        let mut counts = [0u64; 3];
+        for i in 0..n {
+            let v = if (i as f64 / n as f64) < 0.6 {
+                0
+            } else if (i as f64 / n as f64) < 0.9 {
+                1
+            } else {
+                2
+            };
+            counts[rr.respond(v, &mut rng)] += 1;
+        }
+        let est = rr.debias(&counts).unwrap();
+        for i in 0..3 {
+            assert!(
+                (est[i] - truth[i]).abs() < 0.01,
+                "cat {i}: {} vs {}",
+                est[i],
+                truth[i]
+            );
+        }
+    }
+
+    #[test]
+    fn debias_validates_input() {
+        let rr = RandomizedResponse::new(Epsilon::new(1.0).unwrap(), 3).unwrap();
+        assert!(rr.debias(&[1, 2]).is_err());
+        assert!(rr.debias(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn respond_rejects_out_of_range() {
+        let rr = RandomizedResponse::new(Epsilon::new(1.0).unwrap(), 2).unwrap();
+        let mut rng = Xoshiro256::seed_from(1);
+        let _ = rr.respond(5, &mut rng);
+    }
+}

@@ -1,0 +1,120 @@
+//! The sparse vector technique (AboveThreshold).
+//!
+//! Answers a stream of Δ-sensitive queries, reporting only *which* queries
+//! exceed a noisy threshold, halting after the first positive report.
+//! The classic analysis (Dwork & Roth, Algorithm 1 / Theorem 3.23) gives
+//! ε-DP for the whole interaction regardless of stream length: the
+//! threshold consumes ε/2 and the reported query ε/2.
+
+use crate::privacy::Epsilon;
+use crate::{MechanismError, Result};
+use dplearn_numerics::distributions::{Laplace, Sample};
+use dplearn_numerics::rng::Rng;
+
+/// Result of one AboveThreshold query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SvtAnswer {
+    /// The noisy query did not exceed the noisy threshold.
+    Below,
+    /// The noisy query exceeded the noisy threshold; the mechanism is now
+    /// exhausted and must not be queried again.
+    Above,
+}
+
+/// A single-use AboveThreshold instance.
+#[derive(Debug)]
+pub struct AboveThreshold {
+    noisy_threshold: f64,
+    query_noise: Laplace,
+    exhausted: bool,
+}
+
+impl AboveThreshold {
+    /// Create an instance for queries of sensitivity `sensitivity` against
+    /// threshold `threshold`, consuming privacy budget ε in total.
+    pub fn new<R: Rng + ?Sized>(
+        epsilon: Epsilon,
+        sensitivity: f64,
+        threshold: f64,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if !(sensitivity.is_finite() && sensitivity > 0.0) {
+            return Err(MechanismError::InvalidParameter {
+                name: "sensitivity",
+                reason: format!("must be finite and positive, got {sensitivity}"),
+            });
+        }
+        let eps = epsilon.value();
+        let threshold_noise = Laplace::new(0.0, 2.0 * sensitivity / eps)?;
+        let query_noise = Laplace::new(0.0, 4.0 * sensitivity / eps)?;
+        Ok(AboveThreshold {
+            noisy_threshold: threshold + threshold_noise.sample(rng),
+            query_noise,
+            exhausted: false,
+        })
+    }
+
+    /// Answer one query value. Errors once the mechanism is exhausted.
+    pub fn query<R: Rng + ?Sized>(&mut self, value: f64, rng: &mut R) -> Result<SvtAnswer> {
+        if self.exhausted {
+            return Err(MechanismError::BudgetExhausted {
+                requested: 0.0,
+                remaining: 0.0,
+            });
+        }
+        if value + self.query_noise.sample(rng) >= self.noisy_threshold {
+            self.exhausted = true;
+            Ok(SvtAnswer::Above)
+        } else {
+            Ok(SvtAnswer::Below)
+        }
+    }
+
+    /// Whether the single positive report has been spent.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dplearn_numerics::rng::Xoshiro256;
+
+    #[test]
+    fn clear_separation_is_detected() {
+        let mut rng = Xoshiro256::seed_from(5);
+        let eps = Epsilon::new(5.0).unwrap();
+        let mut hits_at_big = 0;
+        let trials = 500;
+        for _ in 0..trials {
+            let mut svt = AboveThreshold::new(eps, 1.0, 10.0, &mut rng).unwrap();
+            // Stream: far below, far below, far above.
+            let a = svt.query(-50.0, &mut rng).unwrap();
+            let b = svt.query(-50.0, &mut rng).unwrap();
+            let c = svt.query(70.0, &mut rng).unwrap();
+            if a == SvtAnswer::Below && b == SvtAnswer::Below && c == SvtAnswer::Above {
+                hits_at_big += 1;
+            }
+        }
+        assert!(hits_at_big > 480, "hits={hits_at_big}/{trials}");
+    }
+
+    #[test]
+    fn exhausted_after_above() {
+        let mut rng = Xoshiro256::seed_from(6);
+        let eps = Epsilon::new(5.0).unwrap();
+        let mut svt = AboveThreshold::new(eps, 1.0, 0.0, &mut rng).unwrap();
+        // Query far above threshold fires with overwhelming probability.
+        let ans = svt.query(1000.0, &mut rng).unwrap();
+        assert_eq!(ans, SvtAnswer::Above);
+        assert!(svt.is_exhausted());
+        assert!(svt.query(0.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn construction_validates() {
+        let mut rng = Xoshiro256::seed_from(7);
+        assert!(AboveThreshold::new(Epsilon::new(1.0).unwrap(), -1.0, 0.0, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Privacy amplification by subsampling.
+//!
+//! Running an ε-DP mechanism on a uniformly subsampled fraction `γ` of
+//! the dataset is `ln(1 + γ(e^ε − 1))`-DP with respect to the full
+//! dataset (Poisson/record-level subsampling; Balle, Barthe & Gaboardi
+//! unify the variants). For small `γε` the amplified level is ≈ `γε`:
+//! subsampling buys privacy linearly.
+//!
+//! In the paper's framework this composes directly with the Gibbs
+//! learner: train the Gibbs posterior on a Poisson subsample and the
+//! release's privacy against the full sample improves by the factor
+//! below — an operational knob E-series experiments can exploit.
+
+use crate::privacy::Epsilon;
+use crate::{MechanismError, Result};
+use dplearn_numerics::rng::Rng;
+
+/// Amplified privacy level of an ε-DP mechanism run on a γ-subsample:
+/// `ε' = ln(1 + γ·(e^ε − 1))`.
+pub fn amplified_epsilon(epsilon: Epsilon, gamma: f64) -> Result<f64> {
+    if !(0.0..=1.0).contains(&gamma) {
+        return Err(MechanismError::InvalidParameter {
+            name: "gamma",
+            reason: format!("sampling fraction must lie in [0,1], got {gamma}"),
+        });
+    }
+    Ok((gamma * epsilon.value().exp_m1()).ln_1p())
+}
+
+/// Inverse: the base ε a mechanism may spend on the subsample so that
+/// the amplified level meets a target ε′:
+/// `ε = ln(1 + (e^{ε'} − 1)/γ)`.
+pub fn base_epsilon_for_target(target: Epsilon, gamma: f64) -> Result<f64> {
+    if !(gamma > 0.0 && gamma <= 1.0) {
+        return Err(MechanismError::InvalidParameter {
+            name: "gamma",
+            reason: format!("sampling fraction must lie in (0,1], got {gamma}"),
+        });
+    }
+    Ok((target.value().exp_m1() / gamma).ln_1p())
+}
+
+/// Poisson-subsample a dataset: each index survives independently with
+/// probability `gamma`. Returns the selected indices (the caller slices
+/// its own data structure).
+pub fn poisson_subsample<R: Rng + ?Sized>(n: usize, gamma: f64, rng: &mut R) -> Result<Vec<usize>> {
+    if !(0.0..=1.0).contains(&gamma) {
+        return Err(MechanismError::InvalidParameter {
+            name: "gamma",
+            reason: format!("sampling fraction must lie in [0,1], got {gamma}"),
+        });
+    }
+    Ok((0..n).filter(|_| rng.next_bool(gamma)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dplearn_numerics::rng::Xoshiro256;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn amplification_formula_limits() {
+        let eps = Epsilon::new(1.0).unwrap();
+        // γ = 1: no amplification.
+        close(amplified_epsilon(eps, 1.0).unwrap(), 1.0, 1e-12);
+        // γ = 0: perfect privacy.
+        close(amplified_epsilon(eps, 0.0).unwrap(), 0.0, 1e-15);
+        // Small γ: ε' ≈ γ(e^ε − 1) ≈ γε for small ε too.
+        let small = amplified_epsilon(Epsilon::new(0.1).unwrap(), 0.01).unwrap();
+        close(small, 0.01 * 0.1f64.exp_m1(), 1e-6);
+        assert!(amplified_epsilon(eps, -0.1).is_err());
+        assert!(amplified_epsilon(eps, 1.1).is_err());
+    }
+
+    #[test]
+    fn amplification_is_monotone_and_contractive() {
+        let eps = Epsilon::new(2.0).unwrap();
+        let mut prev = 0.0;
+        for &g in &[0.01, 0.1, 0.5, 0.9] {
+            let a = amplified_epsilon(eps, g).unwrap();
+            assert!(a > prev);
+            assert!(a < eps.value());
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for (target, gamma) in [(0.5, 0.1), (1.0, 0.05), (0.1, 0.5)] {
+            let base = base_epsilon_for_target(Epsilon::new(target).unwrap(), gamma).unwrap();
+            let back = amplified_epsilon(Epsilon::new(base).unwrap(), gamma).unwrap();
+            close(back, target, 1e-12);
+            assert!(base > target, "base {base} must exceed target {target}");
+        }
+        assert!(base_epsilon_for_target(Epsilon::new(1.0).unwrap(), 0.0).is_err());
+    }
+
+    #[test]
+    fn poisson_subsample_size_concentrates() {
+        let mut rng = Xoshiro256::seed_from(41);
+        let n = 100_000;
+        let idx = poisson_subsample(n, 0.3, &mut rng).unwrap();
+        close(idx.len() as f64 / n as f64, 0.3, 0.01);
+        // Indices are sorted and unique by construction.
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        assert!(poisson_subsample(10, 2.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn amplified_gibbs_release_passes_exact_audit() {
+        // End-to-end: Gibbs learner on a Poisson subsample must beat its
+        // *base* ε against full-dataset neighbors. (The amplified level
+        // holds in expectation over subsampling randomness; here we audit
+        // the averaged mechanism by integrating over many subsamples.)
+        // We check the cheap sanity direction: the formula's ordering is
+        // consistent with the measured averaged-mechanism loss.
+        use crate::audit::max_log_ratio;
+        let eps_base = 1.0;
+        let gamma = 0.2;
+        let amplified = amplified_epsilon(Epsilon::new(eps_base).unwrap(), gamma).unwrap();
+        assert!(amplified < 0.45, "amplified {amplified}");
+        // Averaged output distribution over subsamples of a 2-candidate
+        // exponential mechanism whose scores depend on one record.
+        let mech = crate::exponential::ExponentialMechanism::new(2, 1.0).unwrap();
+        let t = mech.temperature_for(Epsilon::new(eps_base).unwrap());
+        // Record present: scores (1, 0); record absent (replaced or not
+        // sampled): scores (0, 0).
+        let with = mech.sampling_distribution(&[1.0, 0.0], t).unwrap();
+        let without = mech.sampling_distribution(&[0.0, 0.0], t).unwrap();
+        // Mechanism on D: record sampled w.p. γ. On D': never present.
+        let p: Vec<f64> = (0..2)
+            .map(|i| gamma * with.prob(i) + (1.0 - gamma) * without.prob(i))
+            .collect();
+        let q: Vec<f64> = (0..2).map(|i| without.prob(i)).collect();
+        let measured = max_log_ratio(&p, &q).unwrap();
+        assert!(
+            measured <= amplified + 1e-9,
+            "measured {measured} exceeds amplified bound {amplified}"
+        );
+        // The base mechanism realizes only part of its ε budget (the
+        // exponential mechanism's factor-2 slack), so the measured
+        // amplified loss sits below the bound but is clearly nonzero.
+        assert!(measured > 0.1 * amplified, "measured {measured}");
+    }
+}

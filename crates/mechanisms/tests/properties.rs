@@ -1,0 +1,121 @@
+//! Property-based tests for the mechanisms crate: privacy invariants
+//! that must hold for *random* parameters and datasets, not just the
+//! hand-picked cases of the unit tests.
+
+use dplearn_mechanisms::audit::max_log_ratio;
+use dplearn_mechanisms::composition::{advanced, parallel, sequential};
+use dplearn_mechanisms::exponential::ExponentialMechanism;
+use dplearn_mechanisms::laplace::LaplaceMechanism;
+use dplearn_mechanisms::privacy::{Budget, Epsilon};
+use dplearn_mechanisms::randomized_response::RandomizedResponse;
+use dplearn_mechanisms::sensitivity;
+use proptest::prelude::*;
+
+proptest! {
+    /// Analytic Laplace privacy loss at any output never exceeds ε when
+    /// the query values are within the sensitivity.
+    #[test]
+    fn laplace_loss_bounded_for_in_sensitivity_pairs(
+        eps in 0.05..5.0f64,
+        sens in 0.1..10.0f64,
+        frac in 0.0..=1.0f64,
+        out in -100.0..100.0f64,
+    ) {
+        let m = LaplaceMechanism::new(Epsilon::new(eps).unwrap(), sens).unwrap();
+        let a = 0.0;
+        let b = frac * sens; // |a − b| ≤ Δf
+        let loss = m.privacy_loss_at(out, a, b).abs();
+        prop_assert!(loss <= eps + 1e-9, "loss {loss} > ε {eps}");
+        prop_assert!((m.worst_case_loss(a, b) - frac * eps).abs() < 1e-9);
+    }
+
+    /// The exponential mechanism's exact output ratio is ≤ ε whenever the
+    /// two score vectors differ by at most the sensitivity per entry —
+    /// for random scores, random perturbations, and random priors.
+    #[test]
+    fn exponential_ratio_bounded_for_random_scores(
+        eps in 0.05..4.0f64,
+        scores in prop::collection::vec(-5.0..5.0f64, 2..12),
+        deltas in prop::collection::vec(-1.0..1.0f64, 2..12),
+        prior_seed in prop::collection::vec(0.1..5.0f64, 2..12),
+    ) {
+        let k = scores.len().min(deltas.len()).min(prior_seed.len());
+        let scores = &scores[..k];
+        let log_prior: Vec<f64> = prior_seed[..k].iter().map(|w| w.ln()).collect();
+        let shifted: Vec<f64> = scores.iter().zip(&deltas[..k]).map(|(s, d)| s + d).collect();
+        let mech = ExponentialMechanism::new(k, 1.0)
+            .unwrap()
+            .with_log_prior(log_prior)
+            .unwrap();
+        let t = mech.temperature_for(Epsilon::new(eps).unwrap());
+        let p = mech.sampling_distribution(scores, t).unwrap();
+        let q = mech.sampling_distribution(&shifted, t).unwrap();
+        let ratio = max_log_ratio(p.probs(), q.probs()).unwrap();
+        prop_assert!(ratio <= eps + 1e-9, "ratio {ratio} > ε {eps}");
+    }
+
+    /// Randomized response likelihood ratios equal e^ε exactly, for any k.
+    #[test]
+    fn randomized_response_ratio_is_exact(eps in 0.1..4.0f64, k in 2usize..12) {
+        let rr = RandomizedResponse::new(Epsilon::new(eps).unwrap(), k).unwrap();
+        let p_truth = rr.p_truth();
+        let p_other = (1.0 - p_truth) / (k as f64 - 1.0);
+        prop_assert!(((p_truth / p_other).ln() - eps).abs() < 1e-9);
+    }
+
+    /// Composition arithmetic: sequential dominates parallel; advanced
+    /// composition beats basic once k exceeds ~2·ln(1/δ′) ≈ 28 (below
+    /// that the √(2k ln(1/δ′)) term is larger than k itself).
+    #[test]
+    fn composition_ordering(
+        eps in 0.001..0.05f64,
+        k in 50usize..300,
+    ) {
+        let per = Budget::new(eps, 0.0).unwrap();
+        let budgets = vec![per; k];
+        let seq = sequential(&budgets);
+        let par = parallel(&budgets);
+        prop_assert!(seq.epsilon >= par.epsilon);
+        let adv = advanced(per, k, 1e-6).unwrap();
+        prop_assert!(adv.epsilon < seq.epsilon,
+            "advanced {} should beat basic {}", adv.epsilon, seq.epsilon);
+    }
+
+    /// Sensitivity formulas are positive, monotone in the range, and
+    /// inversely monotone in n.
+    #[test]
+    fn sensitivity_monotonicity(
+        lo in -10.0..0.0f64,
+        hi in 0.1..10.0f64,
+        n in 1usize..10_000,
+        b in 0.1..10.0f64,
+    ) {
+        let s1 = sensitivity::bounded_mean(lo, hi, n).unwrap();
+        let s2 = sensitivity::bounded_mean(lo, hi, n + 1).unwrap();
+        prop_assert!(s1 > 0.0 && s2 < s1);
+        let r1 = sensitivity::empirical_risk(b, n).unwrap();
+        let r2 = sensitivity::empirical_risk(2.0 * b, n).unwrap();
+        prop_assert!((r2 - 2.0 * r1).abs() < 1e-12);
+    }
+
+    /// max_log_ratio is symmetric and satisfies the triangle-ish property
+    /// of being 0 iff the distributions are equal.
+    #[test]
+    fn max_log_ratio_symmetry(
+        raw in prop::collection::vec(0.1..5.0f64, 2..10),
+        raw2 in prop::collection::vec(0.1..5.0f64, 2..10),
+    ) {
+        let k = raw.len().min(raw2.len());
+        let norm = |v: &[f64]| {
+            let t: f64 = v.iter().sum();
+            v.iter().map(|x| x / t).collect::<Vec<_>>()
+        };
+        let p = norm(&raw[..k]);
+        let q = norm(&raw2[..k]);
+        let ab = max_log_ratio(&p, &q).unwrap();
+        let ba = max_log_ratio(&q, &p).unwrap();
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!(max_log_ratio(&p, &p).unwrap() < 1e-12);
+        prop_assert!(ab >= 0.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! One-dimensional quadrature: composite Simpson and adaptive Simpson.
+//!
+//! Used to validate that densities integrate to one, to compute expected
+//! losses under continuous posteriors, and in tests of the distribution
+//! layer.
+
+/// Composite Simpson's rule on `[a, b]` with `n` subintervals (`n` is
+/// rounded up to the next even number).
+pub fn simpson<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, n: usize) -> f64 {
+    let n = if n.is_multiple_of(2) { n.max(2) } else { n + 1 };
+    let h = (b - a) / n as f64;
+    let mut s = f(a) + f(b);
+    for i in 1..n {
+        let x = a + i as f64 * h;
+        s += if i % 2 == 1 { 4.0 * f(x) } else { 2.0 * f(x) };
+    }
+    s * h / 3.0
+}
+
+/// Adaptive Simpson quadrature on `[a, b]` with absolute tolerance `tol`.
+pub fn adaptive_simpson<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> f64 {
+    let fa = f(a);
+    let fb = f(b);
+    let m = 0.5 * (a + b);
+    let fm = f(m);
+    let whole = simpson_segment(a, b, fa, fm, fb);
+    adaptive_inner(&mut f, a, b, fa, fm, fb, whole, tol, 50)
+}
+
+fn simpson_segment(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
+    (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adaptive_inner<F: FnMut(f64) -> f64>(
+    f: &mut F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    tol: f64,
+    depth: usize,
+) -> f64 {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = simpson_segment(a, m, fa, flm, fm);
+    let right = simpson_segment(m, b, fm, frm, fb);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * tol {
+        // Richardson extrapolation correction term.
+        left + right + delta / 15.0
+    } else {
+        adaptive_inner(f, a, m, fa, flm, fm, left, tol / 2.0, depth - 1)
+            + adaptive_inner(f, m, b, fm, frm, fb, right, tol / 2.0, depth - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn simpson_is_exact_on_cubics() {
+        // Simpson integrates polynomials of degree ≤ 3 exactly.
+        let got = simpson(|x| x.powi(3) - 2.0 * x + 1.0, -1.0, 3.0, 2);
+        let want = |x: f64| x.powi(4) / 4.0 - x * x + x;
+        close(got, want(3.0) - want(-1.0), 1e-10);
+    }
+
+    #[test]
+    fn simpson_handles_odd_n() {
+        let got = simpson(|x| x * x, 0.0, 1.0, 7); // rounded to 8 internally
+        close(got, 1.0 / 3.0, 1e-10);
+    }
+
+    #[test]
+    fn simpson_sin_integral() {
+        let got = simpson(f64::sin, 0.0, std::f64::consts::PI, 1000);
+        close(got, 2.0, 1e-9);
+    }
+
+    #[test]
+    fn adaptive_simpson_on_peaked_function() {
+        // A narrow Gaussian bump: adaptive refinement must find it.
+        let f = |x: f64| (-100.0 * (x - 0.5).powi(2)).exp();
+        let got = adaptive_simpson(f, 0.0, 1.0, 1e-10);
+        // ∫ = sqrt(π/100) · erf-based correction ≈ sqrt(π)/10 for the
+        // essentially-complete bump.
+        close(got, std::f64::consts::PI.sqrt() / 10.0, 1e-7);
+    }
+
+    #[test]
+    fn adaptive_matches_composite_on_smooth_function() {
+        let f = |x: f64| (x.sin() + 2.0).ln();
+        let a = simpson(f, 0.0, 4.0, 20_000);
+        let b = adaptive_simpson(f, 0.0, 4.0, 1e-11);
+        close(a, b, 1e-8);
+    }
+}

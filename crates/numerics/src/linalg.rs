@@ -1,0 +1,424 @@
+//! Dense linear algebra: row-major matrices, Cholesky factorization, and
+//! slice-level vector kernels.
+//!
+//! The learning substrate needs exactly this much linear algebra: inner
+//! products and norms for gradient methods, and a symmetric
+//! positive-definite solve for closed-form ridge regression. Everything is
+//! `f64`, row-major, and allocation-conscious (solves reuse buffers where
+//! practical).
+
+use crate::{NumericsError, Result};
+
+// ---------------------------------------------------------------------------
+// Vector kernels on slices
+// ---------------------------------------------------------------------------
+
+/// Inner product `⟨x, y⟩`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm `‖x‖₂`.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// ℓ1 norm `‖x‖₁`.
+pub fn norm1(x: &[f64]) -> f64 {
+    x.iter().map(|a| a.abs()).sum()
+}
+
+/// ℓ∞ norm `‖x‖∞`.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, a| m.max(a.abs()))
+}
+
+/// `y ← y + alpha * x` (the BLAS `axpy` kernel).
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x ← alpha * x`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Elementwise difference `x − y` as a new vector.
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "sub: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a - b).collect()
+}
+
+/// Elementwise sum `x + y` as a new vector.
+pub fn add(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "add: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a + b).collect()
+}
+
+/// Project `x` onto the Euclidean ball of radius `r` centred at the origin.
+///
+/// Leaves `x` untouched when it is already inside the ball. Used by
+/// projected gradient descent over bounded hypothesis classes (which is
+/// what keeps losses — and hence empirical-risk sensitivity — bounded).
+pub fn project_onto_ball(x: &mut [f64], r: f64) {
+    let n = norm2(x);
+    if n > r {
+        let s = r / n;
+        scale(s, x);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Matrix
+// ---------------------------------------------------------------------------
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create from a row-major data vector.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(NumericsError::DimensionMismatch {
+                expected: format!("{rows}x{cols} = {} elements", rows * cols),
+                actual: format!("{} elements", data.len()),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix–matrix product `self * other`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(NumericsError::DimensionMismatch {
+                expected: format!("inner dims to match ({} vs {})", self.cols, other.rows),
+                actual: format!(
+                    "{}x{} * {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // ikj loop order: streams through `other` row-wise for cache
+        // friendliness (see The Rust Performance Book's data-layout advice).
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if self.cols != x.len() {
+            return Err(NumericsError::DimensionMismatch {
+                expected: format!("vector of length {}", self.cols),
+                actual: format!("length {}", x.len()),
+            });
+        }
+        Ok((0..self.rows).map(|i| dot(self.row(i), x)).collect())
+    }
+
+    /// `Aᵀ A` for this matrix (the Gram matrix), exploiting symmetry.
+    pub fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..self.cols {
+                let v = row[i];
+                if v == 0.0 {
+                    continue;
+                }
+                for j in i..self.cols {
+                    g[(i, j)] += v * row[j];
+                }
+            }
+        }
+        for i in 0..self.cols {
+            for j in 0..i {
+                g[(i, j)] = g[(j, i)];
+            }
+        }
+        g
+    }
+
+    /// Cholesky factorization `A = L Lᵀ` for symmetric positive-definite
+    /// `A`; returns lower-triangular `L`.
+    pub fn cholesky(&self) -> Result<Matrix> {
+        if self.rows != self.cols {
+            return Err(NumericsError::DimensionMismatch {
+                expected: "square matrix".to_string(),
+                actual: format!("{}x{}", self.rows, self.cols),
+            });
+        }
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = self[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if s <= 0.0 || !s.is_finite() {
+                        return Err(NumericsError::NotPositiveDefinite);
+                    }
+                    l[(i, j)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// Solve `A x = b` for symmetric positive-definite `A` via Cholesky.
+    pub fn solve_spd(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let l = self.cholesky()?;
+        let y = solve_lower(&l, b)?;
+        solve_upper_from_lower_transpose(&l, &y)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Forward substitution: solve `L y = b` for lower-triangular `L`.
+pub fn solve_lower(l: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = l.rows();
+    if b.len() != n {
+        return Err(NumericsError::DimensionMismatch {
+            expected: format!("rhs of length {n}"),
+            actual: format!("length {}", b.len()),
+        });
+    }
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for j in 0..i {
+            s -= l[(i, j)] * y[j];
+        }
+        let d = l[(i, i)];
+        if d == 0.0 {
+            return Err(NumericsError::NotPositiveDefinite);
+        }
+        y[i] = s / d;
+    }
+    Ok(y)
+}
+
+/// Back substitution with the transpose of a lower-triangular factor:
+/// solve `Lᵀ x = y`.
+pub fn solve_upper_from_lower_transpose(l: &Matrix, y: &[f64]) -> Result<Vec<f64>> {
+    let n = l.rows();
+    if y.len() != n {
+        return Err(NumericsError::DimensionMismatch {
+            expected: format!("rhs of length {n}"),
+            actual: format!("length {}", y.len()),
+        });
+    }
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for j in (i + 1)..n {
+            s -= l[(j, i)] * x[j];
+        }
+        let d = l[(i, i)];
+        if d == 0.0 {
+            return Err(NumericsError::NotPositiveDefinite);
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn vector_kernels() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, -5.0, 6.0];
+        close(dot(&x, &y), 12.0, 1e-12);
+        close(norm2(&[3.0, 4.0]), 5.0, 1e-12);
+        close(norm1(&y), 15.0, 1e-12);
+        close(norm_inf(&y), 6.0, 1e-12);
+        let mut z = [1.0, 1.0, 1.0];
+        axpy(2.0, &x, &mut z);
+        assert_eq!(z, [3.0, 5.0, 7.0]);
+        assert_eq!(sub(&x, &x), vec![0.0, 0.0, 0.0]);
+        assert_eq!(add(&x, &x), vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn ball_projection() {
+        let mut inside = [0.3, 0.4];
+        project_onto_ball(&mut inside, 1.0);
+        assert_eq!(inside, [0.3, 0.4]);
+        let mut outside = [3.0, 4.0];
+        project_onto_ball(&mut outside, 1.0);
+        close(norm2(&outside), 1.0, 1e-12);
+        close(outside[0] / outside[1], 0.75, 1e-12);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Matrix::from_rows(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(
+            c,
+            Matrix::from_rows(2, 2, vec![58.0, 64.0, 139.0, 154.0]).unwrap()
+        );
+        assert!(a.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn matvec_and_transpose() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 0.0, -1.0, 2.0, 1.0, 0.0]).unwrap();
+        assert_eq!(a.matvec(&[1.0, 2.0, 3.0]).unwrap(), vec![-2.0, 4.0]);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t[(2, 0)], -1.0);
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn gram_is_at_a() {
+        let a = Matrix::from_rows(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let g = a.gram();
+        let expect = a.transpose().matmul(&a).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                close(g[(i, j)], expect[(i, j)], 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_round_trip() {
+        // SPD matrix built as M = B Bᵀ + I.
+        let b =
+            Matrix::from_rows(3, 3, vec![1.0, 2.0, 0.5, -1.0, 0.3, 2.0, 0.7, 0.7, 1.0]).unwrap();
+        let mut m = b.matmul(&b.transpose()).unwrap();
+        for i in 0..3 {
+            m[(i, i)] += 1.0;
+        }
+        let l = m.cholesky().unwrap();
+        let recon = l.matmul(&l.transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                close(recon[(i, j)], m[(i, j)], 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let m = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap(); // eigenvalues 3, -1
+        assert_eq!(
+            m.cholesky().unwrap_err(),
+            NumericsError::NotPositiveDefinite
+        );
+    }
+
+    #[test]
+    fn spd_solve_recovers_solution() {
+        let m = Matrix::from_rows(2, 2, vec![4.0, 1.0, 1.0, 3.0]).unwrap();
+        let x_true = [1.0, -2.0];
+        let b = m.matvec(&x_true).unwrap();
+        let x = m.solve_spd(&b).unwrap();
+        close(x[0], 1.0, 1e-12);
+        close(x[1], -2.0, 1e-12);
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let i3 = Matrix::identity(3);
+        let b = [5.0, -1.0, 2.0];
+        assert_eq!(i3.solve_spd(&b).unwrap(), b.to_vec());
+    }
+}

@@ -1,0 +1,260 @@
+//! Seedable pseudo-random number generation.
+//!
+//! The workspace never touches OS entropy: every stochastic routine takes a
+//! `&mut impl Rng`, and every experiment binary constructs its generators
+//! from explicit seeds, so all results in `EXPERIMENTS.md` are reproducible
+//! bit for bit.
+//!
+//! Two generators are provided:
+//!
+//! * [`SplitMix64`] — a tiny 64-bit state generator used to expand a user
+//!   seed into the 256-bit state required by Xoshiro (as recommended by the
+//!   Xoshiro authors) and as a cheap generator for tests.
+//! * [`Xoshiro256`] — `xoshiro256++`, the workhorse generator. It passes
+//!   BigCrush and has a 2^256 − 1 period, which is more than sufficient for
+//!   the hundreds of millions of draws the auditing experiments make.
+
+/// A deterministic source of uniform random 64-bit words.
+///
+/// All stochastic code in the workspace is generic over this trait, so
+/// tests can substitute counters or fixed sequences where useful.
+pub trait Rng {
+    /// Produce the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in the half-open interval `[0, 1)`.
+    ///
+    /// Uses the top 53 bits of [`Rng::next_u64`], giving exactly the set of
+    /// representable multiples of 2⁻⁵³.
+    fn next_f64(&mut self) -> f64 {
+        // 53 random bits / 2^53: uniform on the dyadic grid in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `f64` in the open interval `(0, 1)`.
+    ///
+    /// Useful for inverse-CDF sampling where `ln(0)` must be avoided.
+    fn next_open_f64(&mut self) -> f64 {
+        loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                return u;
+            }
+        }
+    }
+
+    /// A uniform integer in `[0, bound)`.
+    ///
+    /// Uses Lemire's widening-multiply rejection method, which is unbiased.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below requires a positive bound");
+        // Lemire 2018: multiply-shift with rejection of the biased zone.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut l = m as u64;
+        if l < bound {
+            let t = bound.wrapping_neg() % bound;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// A uniform index in `[0, len)`, convenient for slice indexing.
+    fn next_index(&mut self, len: usize) -> usize {
+        self.next_below(len as u64) as usize
+    }
+
+    /// A Bernoulli draw with success probability `p` (clamped to `[0,1]`).
+    fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Shuffle a slice in place with the Fisher–Yates algorithm.
+    fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.next_index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// SplitMix64: a 64-bit state generator with good avalanche behaviour.
+///
+/// Primarily used to seed [`Xoshiro256`] and to derive independent
+/// sub-streams from a single experiment seed.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        // Constants from Steele, Lea & Flood (2014).
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// `xoshiro256++` by Blackman & Vigna: the default generator for the
+/// workspace.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Create a generator by expanding `seed` through [`SplitMix64`],
+    /// as the Xoshiro reference implementation recommends.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next_u64();
+        }
+        // An all-zero state is the lone fixed point; SplitMix64 cannot
+        // produce four consecutive zeros in practice, but be defensive.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Xoshiro256 { s }
+    }
+
+    /// Derive the `k`-th independent sub-stream of this generator's seed.
+    ///
+    /// Used by the experiment harnesses to give each trial its own
+    /// generator so that trials can be reordered or parallelized without
+    /// changing results.
+    pub fn substream(seed: u64, k: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let base = sm.next_u64();
+        Xoshiro256::seed_from(base ^ k.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+}
+
+impl Rng for Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference outputs for seed 1234567 from the public-domain
+        // SplitMix64 implementation.
+        let mut r = SplitMix64::new(1234567);
+        let got: Vec<u64> = (0..3).map(|_| r.next_u64()).collect();
+        assert_eq!(got[0], 6457827717110365317);
+        assert_eq!(got[1], 3203168211198807973);
+        assert_eq!(got[2], 9817491932198370423);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_seed_sensitive() {
+        let mut a = Xoshiro256::seed_from(7);
+        let mut b = Xoshiro256::seed_from(7);
+        let mut c = Xoshiro256::seed_from(8);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn next_f64_is_in_unit_interval() {
+        let mut r = Xoshiro256::seed_from(99);
+        for _ in 0..10_000 {
+            let u = r.next_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn next_f64_mean_is_about_half() {
+        let mut r = Xoshiro256::seed_from(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean={mean}");
+    }
+
+    #[test]
+    fn next_below_is_unbiased_over_small_range() {
+        let mut r = Xoshiro256::seed_from(11);
+        let mut counts = [0usize; 5];
+        let n = 250_000;
+        for _ in 0..n {
+            counts[r.next_below(5) as usize] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.2).abs() < 0.01, "frac={frac}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn next_below_zero_panics() {
+        let mut r = SplitMix64::new(1);
+        let _ = r.next_below(0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Xoshiro256::seed_from(5);
+        let mut xs: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        // With overwhelming probability the order changed.
+        assert_ne!(xs, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn substreams_are_distinct() {
+        let mut a = Xoshiro256::substream(42, 0);
+        let mut b = Xoshiro256::substream(42, 1);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn open_interval_never_returns_zero() {
+        let mut r = Xoshiro256::seed_from(17);
+        for _ in 0..10_000 {
+            assert!(r.next_open_f64() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,576 @@
+//! Numerically careful special functions.
+//!
+//! Everything the PAC-Bayes and information-theory layers need lives here:
+//! log-domain reductions (`log_sum_exp`), the log-gamma function, the error
+//! function, safe entropy terms (`xlogy`), and the Bernoulli KL divergence
+//! together with its upper inverse (used by Seeger/Maurer-style bounds).
+
+/// Natural logarithm of 2, `ln 2`.
+pub const LN_2: f64 = std::f64::consts::LN_2;
+
+/// `log(exp(a) + exp(b))` computed without overflow.
+pub fn log_add_exp(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + (lo - hi).exp().ln_1p()
+}
+
+/// `log Σᵢ exp(xᵢ)` computed without overflow.
+///
+/// Returns `-inf` for an empty slice (the log of an empty sum).
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    if m == f64::INFINITY {
+        return f64::INFINITY;
+    }
+    let s: f64 = xs.iter().map(|&x| (x - m).exp()).sum();
+    m + s.ln()
+}
+
+/// `log(1 + exp(x))` without overflow (the softplus function).
+pub fn log1p_exp(x: f64) -> f64 {
+    if x > 0.0 {
+        x + (-x).exp().ln_1p()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// The logistic sigmoid `1 / (1 + exp(-x))`, stable at both tails.
+pub fn logistic(x: f64) -> f64 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// `x * ln(y)` with the measure-theoretic convention `0 * ln(0) = 0`.
+///
+/// The convention makes entropy and KL sums well defined when an outcome
+/// has zero probability.
+pub fn xlogy(x: f64, y: f64) -> f64 {
+    if x == 0.0 {
+        0.0
+    } else {
+        x * y.ln()
+    }
+}
+
+/// `x * ln(x/y)` with `0 ln(0/y) = 0`; the generic KL summand.
+///
+/// Returns `+inf` when `x > 0` but `y == 0` (absolute-continuity failure).
+pub fn xlogx_over_y(x: f64, y: f64) -> f64 {
+    if x == 0.0 {
+        0.0
+    } else if y == 0.0 {
+        f64::INFINITY
+    } else {
+        x * (x / y).ln()
+    }
+}
+
+/// Log-gamma via the Lanczos approximation (g = 7, n = 9 coefficients).
+///
+/// Accurate to ~15 significant digits for positive arguments; the
+/// reflection formula handles the rest of the real line (excluding poles).
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients for g = 7.
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x) Γ(1−x) = π / sin(πx).
+        let s = (std::f64::consts::PI * x).sin();
+        std::f64::consts::PI.ln() - s.abs().ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + G + 0.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+    }
+}
+
+/// The error function `erf(x)`, accurate to near machine precision.
+///
+/// Computed through the regularized lower incomplete gamma function:
+/// `erf(x) = sgn(x) · P(1/2, x²)`, evaluated by series expansion for small
+/// arguments and by Lentz's continued fraction for large ones.
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let p = gamma_p(0.5, x * x);
+    if x > 0.0 {
+        p
+    } else {
+        -p
+    }
+}
+
+/// The complementary error function `erfc(x) = 1 − erf(x)`.
+///
+/// For positive `x` this is computed as `Q(1/2, x²)` directly, so it keeps
+/// full relative precision deep into the tail (where `1 − erf(x)` would
+/// cancel catastrophically).
+pub fn erfc(x: f64) -> f64 {
+    if x >= 0.0 {
+        gamma_q(0.5, x * x)
+    } else {
+        1.0 + gamma_p(0.5, x * x)
+    }
+}
+
+/// Regularized lower incomplete gamma `P(a, x) = γ(a,x) / Γ(a)`.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gamma_p requires a > 0, x >= 0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma `Q(a, x) = 1 − P(a, x)`.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gamma_q requires a > 0, x >= 0");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_cf(a, x)
+    }
+}
+
+/// Series expansion for `P(a, x)`, convergent for `x < a + 1`.
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-16 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Modified Lentz continued fraction for `Q(a, x)`, convergent for
+/// `x ≥ a + 1`.
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Standard normal CDF `Φ(x)`.
+pub fn std_normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+///
+/// Evaluated by the continued fraction (Numerical Recipes `betacf`) with
+/// the symmetry transformation for fast convergence; accurate to ~1e-14.
+pub fn betai(a: f64, b: f64, x: f64) -> f64 {
+    assert!(
+        a > 0.0 && b > 0.0,
+        "betai requires positive shape parameters"
+    );
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "betai requires x in [0,1], got {x}"
+    );
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Modified Lentz continued fraction for the incomplete beta.
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..300 {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    h
+}
+
+/// Inverse of the regularized incomplete beta in `x`: the `x` with
+/// `I_x(a, b) = p`, by bisection (monotone in `x`).
+pub fn betai_inv(a: f64, b: f64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "betai_inv requires p in [0,1]");
+    if p == 0.0 {
+        return 0.0;
+    }
+    if p == 1.0 {
+        return 1.0;
+    }
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if betai(a, b, mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Clopper–Pearson exact binomial confidence interval for the success
+/// probability after observing `k` successes in `n` trials, at
+/// confidence `1 − alpha`. Returns `(lower, upper)`.
+pub fn clopper_pearson(k: u64, n: u64, alpha: f64) -> (f64, f64) {
+    assert!(n > 0 && k <= n, "clopper_pearson requires 0 ≤ k ≤ n, n > 0");
+    assert!((0.0..1.0).contains(&alpha), "alpha must lie in [0,1)");
+    let (kf, nf) = (k as f64, n as f64);
+    let lower = if k == 0 {
+        0.0
+    } else {
+        betai_inv(kf, nf - kf + 1.0, alpha / 2.0)
+    };
+    let upper = if k == n {
+        1.0
+    } else {
+        betai_inv(kf + 1.0, nf - kf, 1.0 - alpha / 2.0)
+    };
+    (lower, upper)
+}
+
+/// Binary (Bernoulli) KL divergence `kl(p ‖ q)` in nats.
+///
+/// `kl(p‖q) = p ln(p/q) + (1−p) ln((1−p)/(1−q))`, with the `0 ln 0 = 0`
+/// convention. Returns `+inf` when absolute continuity fails.
+pub fn kl_bernoulli(p: f64, q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must lie in [0,1], got {p}");
+    assert!((0.0..=1.0).contains(&q), "q must lie in [0,1], got {q}");
+    xlogx_over_y(p, q) + xlogx_over_y(1.0 - p, 1.0 - q)
+}
+
+/// Upper inverse of the Bernoulli KL: the largest `q ∈ [p, 1]` with
+/// `kl(p ‖ q) ≤ c`.
+///
+/// This is the quantity that turns the Seeger/Maurer PAC-Bayes bound
+/// `kl(R̂ ‖ R) ≤ c` into an explicit upper bound on the true risk `R`.
+/// Solved by bisection; monotonicity of `q ↦ kl(p‖q)` on `[p, 1]`
+/// guarantees convergence.
+pub fn kl_bernoulli_inv_upper(p: f64, c: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must lie in [0,1], got {p}");
+    assert!(c >= 0.0, "c must be nonnegative, got {c}");
+    if c == 0.0 {
+        return p;
+    }
+    let mut lo = p;
+    let mut hi = 1.0;
+    // kl(p‖1) = +inf for p < 1, so the root is interior; 60 bisection
+    // steps give ~2^-60 resolution.
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if kl_bernoulli(p, mid) > c {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    lo
+}
+
+/// Binary entropy `H(p)` in nats.
+pub fn binary_entropy(p: f64) -> f64 {
+    -xlogy(p, p) - xlogy(1.0 - p, 1.0 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn log_sum_exp_matches_direct_small_values() {
+        let xs = [0.1, -0.3, 1.7];
+        let direct: f64 = xs.iter().map(|x: &f64| x.exp()).sum::<f64>().ln();
+        close(log_sum_exp(&xs), direct, 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_handles_huge_values() {
+        let xs = [1000.0, 1000.0];
+        close(log_sum_exp(&xs), 1000.0 + LN_2, 1e-9);
+        let xs = [-1000.0, -1000.0];
+        close(log_sum_exp(&xs), -1000.0 + LN_2, 1e-9);
+    }
+
+    #[test]
+    fn log_sum_exp_empty_is_neg_inf() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn log_add_exp_agrees_with_log_sum_exp() {
+        for (a, b) in [
+            (0.0, 0.0),
+            (-5.0, 3.0),
+            (700.0, 710.0),
+            (f64::NEG_INFINITY, 2.0),
+        ] {
+            close(log_add_exp(a, b), log_sum_exp(&[a, b]), 1e-12);
+        }
+    }
+
+    #[test]
+    fn logistic_symmetry_and_tails() {
+        close(logistic(0.0), 0.5, 1e-15);
+        close(logistic(3.0) + logistic(-3.0), 1.0, 1e-12);
+        assert!(logistic(-800.0) >= 0.0);
+        assert!(logistic(800.0) <= 1.0);
+        close(logistic(800.0), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn log1p_exp_matches_naive_in_safe_range() {
+        for x in [-10.0, -1.0, 0.0, 1.0, 10.0] {
+            close(log1p_exp(x), (1.0 + f64::exp(x)).ln(), 1e-10);
+        }
+        // Overflow-safe at large x: log(1+e^x) ≈ x.
+        close(log1p_exp(1000.0), 1000.0, 1e-9);
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        close(ln_gamma(1.0), 0.0, 1e-12);
+        close(ln_gamma(2.0), 0.0, 1e-12);
+        close(ln_gamma(5.0), 24.0_f64.ln(), 1e-10); // Γ(5) = 4! = 24
+        close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-10);
+        // Γ(10.3) from an independent computation.
+        close(ln_gamma(10.3), 13.482_036_786_138_36, 1e-9);
+    }
+
+    #[test]
+    fn erf_known_values() {
+        close(erf(0.0), 0.0, 1e-12);
+        close(erf(1.0), 0.842_700_792_949_714_9, 1e-12);
+        close(erf(-1.0), -0.842_700_792_949_714_9, 1e-12);
+        close(erf(2.0), 0.995_322_265_018_952_7, 1e-12);
+        // erfc keeps relative precision deep in the tail.
+        let e5 = erfc(5.0);
+        assert!(
+            (e5 / 1.537_459_794_428_035e-12 - 1.0).abs() < 1e-9,
+            "erfc(5)={e5}"
+        );
+    }
+
+    #[test]
+    fn std_normal_cdf_quartiles() {
+        close(std_normal_cdf(0.0), 0.5, 1e-9);
+        close(std_normal_cdf(1.959_964), 0.975, 1e-5);
+        close(std_normal_cdf(-1.959_964), 0.025, 1e-5);
+    }
+
+    #[test]
+    fn betai_known_values() {
+        // I_x(1, 1) = x (uniform CDF).
+        close(betai(1.0, 1.0, 0.3), 0.3, 1e-12);
+        // I_x(2, 1) = x² ; I_x(1, 2) = 1 − (1−x)².
+        close(betai(2.0, 1.0, 0.5), 0.25, 1e-12);
+        close(betai(1.0, 2.0, 0.5), 0.75, 1e-12);
+        // Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
+        close(betai(3.2, 1.7, 0.4), 1.0 - betai(1.7, 3.2, 0.6), 1e-12);
+        // Edges.
+        assert_eq!(betai(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(betai(2.0, 3.0, 1.0), 1.0);
+        // Binomial-CDF identity: P[Bin(n,p) ≥ k] = I_p(k, n−k+1).
+        // n=10, p=0.3, k=4: complement of CDF(3) = 1 − 0.6496 ≈ 0.3504.
+        close(betai(4.0, 7.0, 0.3), 0.350_388_9, 1e-6);
+    }
+
+    #[test]
+    fn betai_inv_round_trips() {
+        for (a, b) in [(1.0, 1.0), (2.5, 4.0), (10.0, 3.0)] {
+            for p in [0.01, 0.3, 0.7, 0.99] {
+                let x = betai_inv(a, b, p);
+                close(betai(a, b, x), p, 1e-9);
+            }
+        }
+        assert_eq!(betai_inv(2.0, 2.0, 0.0), 0.0);
+        assert_eq!(betai_inv(2.0, 2.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn clopper_pearson_known_interval() {
+        // k=0: lower is exactly 0, upper = 1 − (α/2)^{1/n}.
+        let (lo, hi) = clopper_pearson(0, 20, 0.05);
+        assert_eq!(lo, 0.0);
+        close(hi, 1.0 - (0.025f64).powf(1.0 / 20.0), 1e-9);
+        // k=n mirrors it.
+        let (lo, hi) = clopper_pearson(20, 20, 0.05);
+        assert_eq!(hi, 1.0);
+        close(lo, (0.025f64).powf(1.0 / 20.0), 1e-9);
+        // Interval brackets the MLE and shrinks with n.
+        let (lo1, hi1) = clopper_pearson(30, 100, 0.05);
+        assert!(lo1 < 0.3 && 0.3 < hi1);
+        let (lo2, hi2) = clopper_pearson(3000, 10_000, 0.05);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    fn clopper_pearson_coverage_monte_carlo() {
+        // Coverage of the 95% interval must be ≥ 95% (it is conservative).
+        use crate::rng::{Rng, Xoshiro256};
+        let mut rng = Xoshiro256::seed_from(2024);
+        let p_true = 0.37;
+        let n = 120u64;
+        let trials = 2000;
+        let mut covered = 0;
+        for _ in 0..trials {
+            let k = (0..n).filter(|_| rng.next_bool(p_true)).count() as u64;
+            let (lo, hi) = clopper_pearson(k, n, 0.05);
+            if lo <= p_true && p_true <= hi {
+                covered += 1;
+            }
+        }
+        let coverage = covered as f64 / trials as f64;
+        assert!(coverage >= 0.95, "coverage {coverage}");
+    }
+
+    #[test]
+    fn kl_bernoulli_properties() {
+        close(kl_bernoulli(0.3, 0.3), 0.0, 1e-15);
+        assert!(kl_bernoulli(0.2, 0.7) > 0.0);
+        assert_eq!(kl_bernoulli(0.5, 0.0), f64::INFINITY);
+        assert_eq!(kl_bernoulli(0.5, 1.0), f64::INFINITY);
+        // Endpoint conventions: kl(0‖q) = -ln(1-q), kl(1‖q) = -ln q.
+        close(kl_bernoulli(0.0, 0.4), -(0.6_f64.ln()), 1e-12);
+        close(kl_bernoulli(1.0, 0.4), -(0.4_f64.ln()), 1e-12);
+    }
+
+    #[test]
+    fn kl_inverse_round_trip() {
+        for p in [0.0, 0.1, 0.5, 0.9] {
+            for c in [1e-4, 0.01, 0.3, 2.0] {
+                let q = kl_bernoulli_inv_upper(p, c);
+                assert!(q >= p);
+                close(kl_bernoulli(p, q), c, 1e-6);
+            }
+        }
+        // c = 0 returns p itself.
+        close(kl_bernoulli_inv_upper(0.3, 0.0), 0.3, 1e-15);
+    }
+
+    #[test]
+    fn binary_entropy_peak_and_edges() {
+        close(binary_entropy(0.5), LN_2, 1e-12);
+        close(binary_entropy(0.0), 0.0, 1e-15);
+        close(binary_entropy(1.0), 0.0, 1e-15);
+        assert!(binary_entropy(0.5) > binary_entropy(0.1));
+    }
+
+    #[test]
+    fn xlogy_zero_convention() {
+        assert_eq!(xlogy(0.0, 0.0), 0.0);
+        assert_eq!(xlogx_over_y(0.0, 0.0), 0.0);
+        assert_eq!(xlogx_over_y(0.5, 0.0), f64::INFINITY);
+    }
+}

@@ -1,0 +1,395 @@
+//! Summary statistics, histograms, empirical CDFs, and bootstrap
+//! confidence intervals.
+//!
+//! The privacy-auditing experiments histogram millions of mechanism
+//! outputs; the utility experiments report means with bootstrap intervals.
+
+use crate::rng::Rng;
+use crate::{NumericsError, Result};
+
+/// Arithmetic mean. Errors on empty input.
+pub fn mean(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(NumericsError::EmptyInput);
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Unbiased (n−1) sample variance via Welford's online algorithm.
+///
+/// Errors on input with fewer than two elements.
+pub fn variance(xs: &[f64]) -> Result<f64> {
+    if xs.len() < 2 {
+        return Err(NumericsError::EmptyInput);
+    }
+    let mut mean = 0.0;
+    let mut m2 = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        let delta = x - mean;
+        mean += delta / (i + 1) as f64;
+        m2 += delta * (x - mean);
+    }
+    Ok(m2 / (xs.len() - 1) as f64)
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> Result<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Standard error of the mean.
+pub fn std_error(xs: &[f64]) -> Result<f64> {
+    Ok(std_dev(xs)? / (xs.len() as f64).sqrt())
+}
+
+/// Linear-interpolation quantile (type-7, the R/NumPy default).
+///
+/// `q` must lie in `[0, 1]`; errors on empty input.
+pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(NumericsError::EmptyInput);
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(NumericsError::InvalidParameter {
+            name: "q",
+            reason: format!("must lie in [0,1], got {q}"),
+        });
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile: NaN in input"));
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    Ok(sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo]))
+}
+
+/// Median (0.5 quantile).
+pub fn median(xs: &[f64]) -> Result<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Sample covariance between paired observations.
+pub fn covariance(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    if xs.len() != ys.len() {
+        return Err(NumericsError::DimensionMismatch {
+            expected: format!("paired slices (len {})", xs.len()),
+            actual: format!("len {}", ys.len()),
+        });
+    }
+    if xs.len() < 2 {
+        return Err(NumericsError::EmptyInput);
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let s: f64 = xs.iter().zip(ys).map(|(&x, &y)| (x - mx) * (y - my)).sum();
+    Ok(s / (xs.len() - 1) as f64)
+}
+
+/// A histogram over `[lo, hi)` with equal-width bins.
+///
+/// Out-of-range observations are clamped into the first/last bin so that
+/// privacy audits never silently drop mass.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` equal-width bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(NumericsError::InvalidParameter {
+                name: "range",
+                reason: format!("need finite lo < hi, got [{lo}, {hi})"),
+            });
+        }
+        if bins == 0 {
+            return Err(NumericsError::InvalidParameter {
+                name: "bins",
+                reason: "must be positive".to_string(),
+            });
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        })
+    }
+
+    /// Index of the bin that would receive `x` (clamped to range).
+    pub fn bin_of(&self, x: f64) -> usize {
+        let k = self.counts.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        ((t * k as f64).floor() as i64).clamp(0, k as i64 - 1) as usize
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        let b = self.bin_of(x);
+        self.counts[b] += 1;
+        self.total += 1;
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Empirical probability of bin `i`.
+    pub fn frequency(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / self.total as f64
+        }
+    }
+}
+
+/// Empirical cumulative distribution function of a sample.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from a sample (copied and sorted).
+    pub fn new(xs: &[f64]) -> Result<Self> {
+        if xs.is_empty() {
+            return Err(NumericsError::EmptyInput);
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("Ecdf: NaN in input"));
+        Ok(Ecdf { sorted })
+    }
+
+    /// `F̂(x)` — the fraction of the sample that is `≤ x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point gives the count of elements ≤ x.
+        let cnt = self.sorted.partition_point(|&v| v <= x);
+        cnt as f64 / self.sorted.len() as f64
+    }
+
+    /// Kolmogorov–Smirnov distance to another ECDF evaluated on the pooled
+    /// support.
+    pub fn ks_distance(&self, other: &Ecdf) -> f64 {
+        let mut d = 0.0f64;
+        for &x in self.sorted.iter().chain(&other.sorted) {
+            d = d.max((self.eval(x) - other.eval(x)).abs());
+        }
+        d
+    }
+}
+
+/// Sample autocorrelation of `xs` at lag `k` (biased, normalized by the
+/// lag-0 autocovariance).
+pub fn autocorrelation(xs: &[f64], k: usize) -> Result<f64> {
+    if xs.len() < 2 || k >= xs.len() {
+        return Err(NumericsError::EmptyInput);
+    }
+    let m = mean(xs)?;
+    let c0: f64 = xs.iter().map(|&x| (x - m) * (x - m)).sum();
+    if c0 == 0.0 {
+        return Ok(0.0);
+    }
+    let ck: f64 = xs.windows(k + 1).map(|w| (w[0] - m) * (w[k] - m)).sum();
+    Ok(ck / c0)
+}
+
+/// Effective sample size of a (possibly autocorrelated) chain via the
+/// initial-positive-sequence estimator (Geyer 1992): sum consecutive
+/// autocorrelations until they go nonpositive.
+///
+/// Used to judge Metropolis–Hastings output quality: `ESS ≈ n` means the
+/// chain mixes like i.i.d. draws; `ESS ≪ n` means sticky mixing.
+pub fn effective_sample_size(xs: &[f64]) -> Result<f64> {
+    if xs.len() < 2 {
+        return Err(NumericsError::EmptyInput);
+    }
+    let n = xs.len();
+    let mut rho_sum = 0.0;
+    for k in 1..n / 2 {
+        let r = autocorrelation(xs, k)?;
+        if r <= 0.0 {
+            break;
+        }
+        rho_sum += r;
+    }
+    Ok(n as f64 / (1.0 + 2.0 * rho_sum))
+}
+
+/// Percentile-bootstrap confidence interval for the mean of `xs`.
+///
+/// Returns `(lo, hi)` at confidence `1 − alpha` using `resamples`
+/// bootstrap replicates.
+pub fn bootstrap_mean_ci<R: Rng + ?Sized>(
+    xs: &[f64],
+    resamples: usize,
+    alpha: f64,
+    rng: &mut R,
+) -> Result<(f64, f64)> {
+    if xs.is_empty() {
+        return Err(NumericsError::EmptyInput);
+    }
+    if !(0.0..1.0).contains(&alpha) {
+        return Err(NumericsError::InvalidParameter {
+            name: "alpha",
+            reason: format!("must lie in [0,1), got {alpha}"),
+        });
+    }
+    let n = xs.len();
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut s = 0.0;
+        for _ in 0..n {
+            s += xs[rng.next_index(n)];
+        }
+        means.push(s / n as f64);
+    }
+    Ok((
+        quantile(&means, alpha / 2.0)?,
+        quantile(&means, 1.0 - alpha / 2.0)?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn mean_variance_known_sample() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        close(mean(&xs).unwrap(), 5.0, 1e-12);
+        close(variance(&xs).unwrap(), 32.0 / 7.0, 1e-12);
+        assert!(mean(&[]).is_err());
+        assert!(variance(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn welford_is_stable_for_large_offsets() {
+        // Naive two-pass sum-of-squares loses precision here.
+        let base = 1e9;
+        let xs: Vec<f64> = [4.0, 7.0, 13.0, 16.0].iter().map(|x| x + base).collect();
+        close(variance(&xs).unwrap(), 30.0, 1e-6);
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        close(quantile(&xs, 0.0).unwrap(), 1.0, 1e-12);
+        close(quantile(&xs, 1.0).unwrap(), 4.0, 1e-12);
+        close(quantile(&xs, 0.5).unwrap(), 2.5, 1e-12);
+        close(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0, 1e-12);
+        assert!(quantile(&xs, 1.5).is_err());
+    }
+
+    #[test]
+    fn covariance_of_linear_relation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        close(
+            covariance(&xs, &ys).unwrap(),
+            2.0 * variance(&xs).unwrap(),
+            1e-12,
+        );
+        assert!(covariance(&xs, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn histogram_bins_and_clamping() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        for x in [0.0, 1.9, 2.0, 9.99, -5.0, 15.0] {
+            h.record(x);
+        }
+        assert_eq!(h.total(), 6);
+        // -5 clamps to bin 0, 15 clamps to bin 4.
+        assert_eq!(h.counts(), &[3, 1, 0, 0, 2]);
+        close(h.frequency(0), 0.5, 1e-12);
+    }
+
+    #[test]
+    fn histogram_rejects_bad_args() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn ecdf_step_values() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0]).unwrap();
+        close(e.eval(0.5), 0.0, 1e-12);
+        close(e.eval(1.0), 1.0 / 3.0, 1e-12);
+        close(e.eval(2.5), 2.0 / 3.0, 1e-12);
+        close(e.eval(10.0), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn ks_distance_identical_is_zero() {
+        let a = Ecdf::new(&[1.0, 2.0, 3.0]).unwrap();
+        let b = Ecdf::new(&[1.0, 2.0, 3.0]).unwrap();
+        close(a.ks_distance(&b), 0.0, 1e-12);
+        let c = Ecdf::new(&[10.0, 11.0]).unwrap();
+        close(a.ks_distance(&c), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn autocorrelation_of_alternating_and_constant() {
+        // Perfectly alternating sequence: lag-1 autocorrelation ≈ −1.
+        let xs: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        assert!(autocorrelation(&xs, 1).unwrap() < -0.9);
+        // Constant sequence: defined as 0 (no variance).
+        let cs = vec![3.0; 50];
+        close(autocorrelation(&cs, 1).unwrap(), 0.0, 1e-12);
+        assert!(autocorrelation(&xs, 100).is_err());
+    }
+
+    #[test]
+    fn ess_of_iid_is_near_n_and_of_sticky_chain_is_small() {
+        let mut rng = Xoshiro256::seed_from(20);
+        let iid: Vec<f64> = (0..2000).map(|_| rng.next_f64()).collect();
+        let ess_iid = effective_sample_size(&iid).unwrap();
+        assert!(ess_iid > 1200.0, "iid ESS {ess_iid}");
+        // AR(1) with high persistence: x_t = 0.95 x_{t−1} + ξ.
+        let mut x = 0.0;
+        let sticky: Vec<f64> = (0..2000)
+            .map(|_| {
+                x = 0.95 * x + (rng.next_f64() - 0.5);
+                x
+            })
+            .collect();
+        let ess_sticky = effective_sample_size(&sticky).unwrap();
+        assert!(
+            ess_sticky < 0.25 * ess_iid,
+            "sticky ESS {ess_sticky} vs iid {ess_iid}"
+        );
+    }
+
+    #[test]
+    fn bootstrap_ci_covers_true_mean() {
+        let mut rng = Xoshiro256::seed_from(10);
+        // Sample of ~N(5, 1).
+        let d = crate::distributions::Gaussian::new(5.0, 1.0).unwrap();
+        use crate::distributions::Sample;
+        let xs = d.sample_n(&mut rng, 400);
+        let (lo, hi) = bootstrap_mean_ci(&xs, 2000, 0.05, &mut rng).unwrap();
+        assert!(lo < 5.0 && 5.0 < hi, "CI [{lo}, {hi}] should cover 5");
+        assert!(
+            hi - lo < 0.5,
+            "CI should be reasonably tight, got [{lo}, {hi}]"
+        );
+    }
+}

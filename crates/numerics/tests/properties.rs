@@ -1,0 +1,155 @@
+//! Property-based tests for the numerical substrate.
+
+use dplearn_numerics::distributions::{Categorical, Continuous, Gaussian, Laplace};
+use dplearn_numerics::linalg::{dot, norm2, project_onto_ball, Matrix};
+use dplearn_numerics::rng::{Rng, SplitMix64, Xoshiro256};
+use dplearn_numerics::special::{
+    binary_entropy, kl_bernoulli, kl_bernoulli_inv_upper, log_add_exp, log_sum_exp,
+};
+use dplearn_numerics::stats;
+use proptest::prelude::*;
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3..1e3f64, len)
+}
+
+proptest! {
+    #[test]
+    fn log_sum_exp_shift_invariance(xs in finite_vec(1..20), c in -50.0..50.0f64) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + c).collect();
+        let a = log_sum_exp(&xs) + c;
+        let b = log_sum_exp(&shifted);
+        prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn log_sum_exp_dominates_max(xs in finite_vec(1..20)) {
+        let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lse = log_sum_exp(&xs);
+        prop_assert!(lse >= m - 1e-12);
+        prop_assert!(lse <= m + (xs.len() as f64).ln() + 1e-12);
+    }
+
+    #[test]
+    fn log_add_exp_commutes(a in -500.0..500.0f64, b in -500.0..500.0f64) {
+        prop_assert!((log_add_exp(a, b) - log_add_exp(b, a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_bernoulli_nonnegative_zero_iff_equal(p in 0.0..=1.0f64, q in 0.001..0.999f64) {
+        let kl = kl_bernoulli(p, q);
+        prop_assert!(kl >= 0.0);
+        let same = kl_bernoulli(q, q);
+        prop_assert!(same.abs() < 1e-15);
+    }
+
+    #[test]
+    fn kl_inverse_is_consistent(p in 0.0..0.999f64, c in 1e-6..3.0f64) {
+        let q = kl_bernoulli_inv_upper(p, c);
+        prop_assert!(q >= p - 1e-12);
+        prop_assert!(q <= 1.0);
+        // kl at the returned point does not exceed c (up to bisection slack).
+        prop_assert!(kl_bernoulli(p, q) <= c + 1e-6);
+    }
+
+    #[test]
+    fn binary_entropy_bounded_by_ln2(p in 0.0..=1.0f64) {
+        let h = binary_entropy(p);
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= std::f64::consts::LN_2 + 1e-12);
+    }
+
+    #[test]
+    fn categorical_probs_normalize(weights in prop::collection::vec(1e-3..1e3f64, 1..32)) {
+        let c = Categorical::new(&weights).unwrap();
+        let total: f64 = c.probs().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        // Probabilities preserve the ordering of the weights.
+        for i in 1..weights.len() {
+            if weights[i] > weights[i - 1] {
+                prop_assert!(c.prob(i) >= c.prob(i - 1) - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn categorical_log_weights_agree_with_linear(weights in prop::collection::vec(1e-3..1e3f64, 1..16)) {
+        let lin = Categorical::new(&weights).unwrap();
+        let logs: Vec<f64> = weights.iter().map(|w| w.ln()).collect();
+        let log = Categorical::from_log_weights(&logs).unwrap();
+        for i in 0..weights.len() {
+            prop_assert!((lin.prob(i) - log.prob(i)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn laplace_cdf_is_monotone_and_matches_pdf(b in 0.01..10.0f64, x in -20.0..20.0f64) {
+        let d = Laplace::new(0.0, b).unwrap();
+        let h = 1e-5;
+        let numeric = (d.cdf(x + h) - d.cdf(x - h)) / (2.0 * h);
+        prop_assert!((numeric - d.pdf(x)).abs() < 1e-3 * d.pdf(x).max(1e-6));
+        prop_assert!(d.cdf(x) <= d.cdf(x + 1.0));
+    }
+
+    #[test]
+    fn gaussian_ln_pdf_exp_consistent(mu in -5.0..5.0f64, sigma in 0.1..3.0f64, x in -10.0..10.0f64) {
+        let d = Gaussian::new(mu, sigma).unwrap();
+        prop_assert!((d.ln_pdf(x).exp() - d.pdf(x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ball_projection_is_idempotent_and_contracting(mut x in finite_vec(1..8), r in 0.1..10.0f64) {
+        let before = x.clone();
+        project_onto_ball(&mut x, r);
+        prop_assert!(norm2(&x) <= r + 1e-9);
+        let mut twice = x.clone();
+        project_onto_ball(&mut twice, r);
+        for (a, b) in x.iter().zip(&twice) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+        // Projection never increases the norm.
+        prop_assert!(norm2(&x) <= norm2(&before) + 1e-9);
+    }
+
+    #[test]
+    fn cauchy_schwarz(x in finite_vec(1..8), y in finite_vec(1..8)) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        prop_assert!(dot(x, y).abs() <= norm2(x) * norm2(y) + 1e-6);
+    }
+
+    #[test]
+    fn cholesky_solve_residual_is_small(seed in any::<u64>()) {
+        // Random SPD system A = B Bᵀ + I.
+        let mut rng = SplitMix64::new(seed);
+        let n = 4;
+        let data: Vec<f64> = (0..n * n).map(|_| rng.next_f64() * 2.0 - 1.0).collect();
+        let b_mat = Matrix::from_rows(n, n, data).unwrap();
+        let mut a = b_mat.matmul(&b_mat.transpose()).unwrap();
+        for i in 0..n {
+            a[(i, i)] += 1.0;
+        }
+        let rhs: Vec<f64> = (0..n).map(|_| rng.next_f64() * 4.0 - 2.0).collect();
+        let x = a.solve_spd(&rhs).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for i in 0..n {
+            prop_assert!((ax[i] - rhs[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn quantile_brackets_all_data(xs in finite_vec(1..64), q in 0.0..=1.0f64) {
+        let v = stats::quantile(&xs, q).unwrap();
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    #[test]
+    fn next_below_stays_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+}

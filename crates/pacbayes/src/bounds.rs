@@ -1,0 +1,253 @@
+//! PAC-Bayesian generalization bounds.
+//!
+//! All bounds assume a loss taking values in `[0, 1]` (rescale a
+//! `[0, B]`-bounded loss by `1/B` first) and a sample of size `n`.
+//!
+//! * [`catoni_bound`] — the paper's Theorem 3.1 (deviation form): valid
+//!   simultaneously for all posteriors with probability ≥ 1 − δ, for a
+//!   temperature `λ` fixed in advance.
+//! * [`catoni_bound_expectation`] — the paper's Equation (1): the same
+//!   bound in expectation over the sample.
+//! * [`catoni_objective`] — the part of the bound that depends on the
+//!   posterior, `E_π̂[R̂] + KL(π̂‖π)/λ`; the bound is a strictly increasing
+//!   function of it, so minimizing the objective minimizes the bound
+//!   (this is what makes Lemma 3.2 work).
+//! * [`mcallester_bound`] — the classic square-root bound.
+//! * [`maurer_bound`] — the Maurer/Seeger "small-kl" bound, inverted with
+//!   the Bernoulli-KL upper inverse; the tightest of the three in most
+//!   regimes.
+
+use crate::{PacBayesError, Result};
+use dplearn_numerics::special::kl_bernoulli_inv_upper;
+
+fn validate_common(n: usize, delta: f64, kl: f64) -> Result<()> {
+    if n == 0 {
+        return Err(PacBayesError::InvalidParameter {
+            name: "n",
+            reason: "sample size must be positive".to_string(),
+        });
+    }
+    if !(0.0 < delta && delta < 1.0) {
+        return Err(PacBayesError::InvalidParameter {
+            name: "delta",
+            reason: format!("confidence parameter must lie in (0,1), got {delta}"),
+        });
+    }
+    // NaN-rejecting check (kl.is_nan() || kl < 0.0).
+    if kl.is_nan() || kl < 0.0 {
+        return Err(PacBayesError::InvalidParameter {
+            name: "kl",
+            reason: format!("KL divergence must be nonnegative, got {kl}"),
+        });
+    }
+    Ok(())
+}
+
+fn validate_risk(r: f64) -> Result<()> {
+    if !(0.0..=1.0).contains(&r) {
+        return Err(PacBayesError::InvalidParameter {
+            name: "gibbs_emp_risk",
+            reason: format!("expected a [0,1]-rescaled risk, got {r}"),
+        });
+    }
+    Ok(())
+}
+
+/// Catoni's deviation bound (the paper's Theorem 3.1).
+///
+/// With probability ≥ 1 − δ over the draw of `Ẑ`, for **all** posteriors
+/// `π̂` simultaneously:
+///
+/// ```text
+/// E_π̂[R] ≤ Φ⁻¹ = (1 − exp(−(λ/n)·Ĝ − (KL + ln(1/δ))/n)) / (1 − exp(−λ/n))
+/// ```
+///
+/// where `Ĝ = E_π̂[R̂]` is the posterior's expected empirical risk.
+/// The returned value is clamped to `[0, 1]` (a vacuous bound saturates
+/// at 1).
+pub fn catoni_bound(
+    gibbs_emp_risk: f64,
+    kl: f64,
+    n: usize,
+    lambda: f64,
+    delta: f64,
+) -> Result<f64> {
+    validate_common(n, delta, kl)?;
+    validate_risk(gibbs_emp_risk)?;
+    if !(lambda.is_finite() && lambda > 0.0) {
+        return Err(PacBayesError::InvalidParameter {
+            name: "lambda",
+            reason: format!("temperature must be finite and positive, got {lambda}"),
+        });
+    }
+    let nf = n as f64;
+    let exponent = (lambda / nf) * gibbs_emp_risk + (kl + (1.0 / delta).ln()) / nf;
+    let numerator = -(-exponent).exp_m1(); // 1 − e^{−exponent}, stable
+    let denominator = -(-lambda / nf).exp_m1(); // 1 − e^{−λ/n}
+    Ok((numerator / denominator).clamp(0.0, 1.0))
+}
+
+/// Catoni's bound in expectation over the sample (the paper's Eq. (1)):
+///
+/// ```text
+/// E_Ẑ E_π̂[R] ≤ (1 − exp(−(λ/n)·E_Ẑ[Ĝ] − E_Ẑ[KL]/n)) / (1 − exp(−λ/n))
+/// ```
+///
+/// Takes the *expected* empirical Gibbs risk and *expected* KL (the paper
+/// then decomposes `E_Ẑ KL = I(Ẑ;θ) + KL(E_Ẑπ̂ ‖ π)`).
+pub fn catoni_bound_expectation(
+    expected_gibbs_emp_risk: f64,
+    expected_kl: f64,
+    n: usize,
+    lambda: f64,
+) -> Result<f64> {
+    validate_common(n, 0.5, expected_kl)?; // delta unused; pass a valid dummy
+    validate_risk(expected_gibbs_emp_risk)?;
+    if !(lambda.is_finite() && lambda > 0.0) {
+        return Err(PacBayesError::InvalidParameter {
+            name: "lambda",
+            reason: format!("temperature must be finite and positive, got {lambda}"),
+        });
+    }
+    let nf = n as f64;
+    let exponent = (lambda / nf) * expected_gibbs_emp_risk + expected_kl / nf;
+    let numerator = -(-exponent).exp_m1();
+    let denominator = -(-lambda / nf).exp_m1();
+    Ok((numerator / denominator).clamp(0.0, 1.0))
+}
+
+/// The posterior-dependent part of Catoni's bound:
+/// `J_λ(π̂) = E_π̂[R̂] + KL(π̂‖π)/λ`.
+///
+/// Catoni's bound is strictly increasing in `λ·E_π̂[R̂] + KL`, so the
+/// posterior minimizing `J_λ` minimizes the bound — and Lemma 3.2 says
+/// that minimizer is the Gibbs posterior `π̂_λ`.
+pub fn catoni_objective(gibbs_emp_risk: f64, kl: f64, lambda: f64) -> f64 {
+    gibbs_emp_risk + kl / lambda
+}
+
+/// McAllester's bound (refined constant via Maurer):
+/// `E_π̂[R] ≤ E_π̂[R̂] + sqrt((KL + ln(2√n/δ)) / (2n))`, clamped to 1.
+pub fn mcallester_bound(gibbs_emp_risk: f64, kl: f64, n: usize, delta: f64) -> Result<f64> {
+    validate_common(n, delta, kl)?;
+    validate_risk(gibbs_emp_risk)?;
+    let nf = n as f64;
+    let slack = ((kl + (2.0 * nf.sqrt() / delta).ln()) / (2.0 * nf)).sqrt();
+    Ok((gibbs_emp_risk + slack).clamp(0.0, 1.0))
+}
+
+/// The Maurer/Seeger "small-kl" bound:
+/// `kl(E_π̂[R̂] ‖ E_π̂[R]) ≤ (KL + ln(2√n/δ))/n`, solved for the largest
+/// admissible true risk via the Bernoulli-KL upper inverse.
+pub fn maurer_bound(gibbs_emp_risk: f64, kl: f64, n: usize, delta: f64) -> Result<f64> {
+    validate_common(n, delta, kl)?;
+    validate_risk(gibbs_emp_risk)?;
+    let nf = n as f64;
+    let rhs = (kl + (2.0 * nf.sqrt() / delta).ln()) / nf;
+    Ok(kl_bernoulli_inv_upper(gibbs_emp_risk, rhs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(catoni_bound(0.1, 0.5, 0, 1.0, 0.05).is_err());
+        assert!(catoni_bound(0.1, 0.5, 10, 1.0, 0.0).is_err());
+        assert!(catoni_bound(0.1, -0.5, 10, 1.0, 0.05).is_err());
+        assert!(catoni_bound(1.5, 0.5, 10, 1.0, 0.05).is_err());
+        assert!(catoni_bound(0.1, 0.5, 10, 0.0, 0.05).is_err());
+        assert!(mcallester_bound(0.1, 0.5, 0, 0.05).is_err());
+        assert!(maurer_bound(2.0, 0.5, 10, 0.05).is_err());
+    }
+
+    #[test]
+    fn catoni_bound_is_above_empirical_risk_and_below_one() {
+        let b = catoni_bound(0.2, 1.0, 500, 50.0, 0.05).unwrap();
+        assert!(b >= 0.2, "bound {b} below empirical risk");
+        assert!(b <= 1.0);
+        // Should be non-vacuous in this regime.
+        assert!(b < 0.5, "bound {b} should be informative");
+    }
+
+    #[test]
+    fn catoni_bound_tightens_with_n() {
+        // λ scaled as sqrt(n) (a standard choice) — the bound must shrink.
+        let mut prev = 1.0;
+        for &n in &[50usize, 200, 1000, 10_000] {
+            let lambda = (n as f64).sqrt();
+            let b = catoni_bound(0.1, 2.0, n, lambda, 0.05).unwrap();
+            assert!(b < prev, "n={n}: bound {b} not tighter than {prev}");
+            prev = b;
+        }
+        // And approaches the empirical risk.
+        assert!(prev < 0.2, "asymptotic bound {prev}");
+    }
+
+    #[test]
+    fn catoni_bound_monotone_in_inputs() {
+        let base = catoni_bound(0.2, 1.0, 200, 10.0, 0.05).unwrap();
+        assert!(catoni_bound(0.3, 1.0, 200, 10.0, 0.05).unwrap() > base);
+        assert!(catoni_bound(0.2, 3.0, 200, 10.0, 0.05).unwrap() > base);
+        assert!(catoni_bound(0.2, 1.0, 200, 10.0, 0.01).unwrap() > base);
+    }
+
+    #[test]
+    fn catoni_expectation_form_drops_delta_term() {
+        // With the same risk/KL, the expectation form (no ln(1/δ) penalty)
+        // is at most the deviation form.
+        let dev = catoni_bound(0.15, 2.0, 300, 20.0, 0.05).unwrap();
+        let exp = catoni_bound_expectation(0.15, 2.0, 300, 20.0).unwrap();
+        assert!(exp <= dev, "expectation {exp} vs deviation {dev}");
+    }
+
+    #[test]
+    fn catoni_objective_orders_like_the_bound() {
+        // If J(π̂₁) < J(π̂₂) at the same λ and n, the bound must order the
+        // same way — monotonicity that Lemma 3.2 relies on.
+        let n = 400;
+        let lambda = 30.0;
+        let cases = [(0.1, 1.0), (0.2, 0.5), (0.05, 3.0), (0.3, 0.1)];
+        let mut scored: Vec<(f64, f64)> = cases
+            .iter()
+            .map(|&(r, kl)| {
+                (
+                    catoni_objective(r, kl, lambda),
+                    catoni_bound(r, kl, n, lambda, 0.05).unwrap(),
+                )
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in scored.windows(2) {
+            assert!(w[0].1 <= w[1].1 + 1e-12, "bound not monotone in objective");
+        }
+    }
+
+    #[test]
+    fn mcallester_known_shape() {
+        // KL=0, δ=0.05, n=100: slack = sqrt(ln(2·10/0.05)/200).
+        let b = mcallester_bound(0.0, 0.0, 100, 0.05).unwrap();
+        let want = ((2.0 * 10.0 / 0.05f64).ln() / 200.0).sqrt();
+        assert!((b - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maurer_is_tighter_than_mcallester_at_small_risk() {
+        // At small empirical risk the kl-inverse bound beats the sqrt
+        // bound (the classic motivation for the Seeger form).
+        let (r, kl, n, d) = (0.01, 1.0, 500, 0.05);
+        let m = maurer_bound(r, kl, n, d).unwrap();
+        let mc = mcallester_bound(r, kl, n, d).unwrap();
+        assert!(m < mc, "maurer {m} vs mcallester {mc}");
+        assert!(m > r);
+    }
+
+    #[test]
+    fn all_bounds_vacuous_with_huge_kl() {
+        assert_eq!(catoni_bound(0.5, 1e6, 100, 10.0, 0.05).unwrap(), 1.0);
+        assert_eq!(mcallester_bound(0.5, 1e6, 100, 0.05).unwrap(), 1.0);
+        let m = maurer_bound(0.5, 1e6, 100, 0.05).unwrap();
+        assert!(m > 0.999);
+    }
+}

@@ -1,0 +1,329 @@
+//! Gibbs posteriors — the paper's central object.
+//!
+//! Lemma 3.2 (Catoni / Zhang): the posterior minimizing Catoni's bound is
+//!
+//! ```text
+//! dπ̂_λ(θ) = exp(−λ R̂_Ẑ(θ)) dπ(θ) / E_{θ∼π}[exp(−λ R̂_Ẑ(θ))]
+//! ```
+//!
+//! For a finite hypothesis class this is an explicit softmax over risks
+//! ([`gibbs_finite`]), identical to the exponential mechanism with quality
+//! `q = −R̂` at temperature `λ` — which is why Theorem 4.1 gives
+//! `2λΔR̂`-differential privacy for free.
+//!
+//! For continuous classes the posterior has no closed form; a random-walk
+//! Metropolis–Hastings sampler ([`MetropolisGibbs`]) with adaptive step
+//! size targets it using only unnormalized log density evaluations.
+
+use crate::posterior::{DiagGaussian, FinitePosterior};
+use crate::{PacBayesError, Result};
+use dplearn_numerics::rng::Rng;
+
+/// The exact Gibbs posterior over a finite class:
+/// `π̂_λ(i) ∝ π(i)·exp(−λ·risks[i])`, computed in log space.
+pub fn gibbs_finite(
+    prior: &FinitePosterior,
+    risks: &[f64],
+    lambda: f64,
+) -> Result<FinitePosterior> {
+    if risks.len() != prior.len() {
+        return Err(PacBayesError::InvalidParameter {
+            name: "risks",
+            reason: format!("expected {} risks, got {}", prior.len(), risks.len()),
+        });
+    }
+    if !(lambda.is_finite() && lambda >= 0.0) {
+        return Err(PacBayesError::InvalidParameter {
+            name: "lambda",
+            reason: format!("temperature must be finite and nonnegative, got {lambda}"),
+        });
+    }
+    let log_weights: Vec<f64> = prior
+        .probs()
+        .iter()
+        .zip(risks)
+        .map(|(&p, &r)| {
+            if p == 0.0 {
+                f64::NEG_INFINITY
+            } else {
+                p.ln() - lambda * r
+            }
+        })
+        .collect();
+    FinitePosterior::from_log_weights(&log_weights)
+}
+
+/// Diagnostics from a Metropolis–Hastings run.
+#[derive(Debug, Clone)]
+pub struct MhDiagnostics {
+    /// Fraction of proposals accepted (after burn-in).
+    pub acceptance_rate: f64,
+    /// Number of retained samples.
+    pub n_samples: usize,
+    /// Final proposal step size after adaptation.
+    pub final_step: f64,
+}
+
+/// Configuration for [`MetropolisGibbs`].
+#[derive(Debug, Clone)]
+pub struct MhConfig {
+    /// Burn-in iterations (discarded, used for step adaptation).
+    pub burn_in: usize,
+    /// Retained samples.
+    pub n_samples: usize,
+    /// Keep every `thin`-th post-burn-in draw.
+    pub thin: usize,
+    /// Initial random-walk step size.
+    pub initial_step: f64,
+}
+
+impl Default for MhConfig {
+    fn default() -> Self {
+        MhConfig {
+            burn_in: 2000,
+            n_samples: 2000,
+            thin: 5,
+            initial_step: 0.5,
+        }
+    }
+}
+
+/// Random-walk Metropolis–Hastings sampler for a continuous Gibbs
+/// posterior `π̂(θ) ∝ π(θ)·exp(−λ R̂(θ))` over ℝᵈ.
+pub struct MetropolisGibbs<'a, F> {
+    prior: &'a DiagGaussian,
+    emp_risk: F,
+    lambda: f64,
+    cfg: MhConfig,
+}
+
+impl<'a, F> MetropolisGibbs<'a, F>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    /// Create a sampler for the Gibbs posterior with the given Gaussian
+    /// prior, empirical-risk function, and temperature.
+    pub fn new(prior: &'a DiagGaussian, emp_risk: F, lambda: f64, cfg: MhConfig) -> Result<Self> {
+        if !(lambda.is_finite() && lambda >= 0.0) {
+            return Err(PacBayesError::InvalidParameter {
+                name: "lambda",
+                reason: format!("temperature must be finite and nonnegative, got {lambda}"),
+            });
+        }
+        if cfg.n_samples == 0 || cfg.thin == 0 {
+            return Err(PacBayesError::InvalidParameter {
+                name: "cfg",
+                reason: "n_samples and thin must be positive".to_string(),
+            });
+        }
+        Ok(MetropolisGibbs {
+            prior,
+            emp_risk,
+            lambda,
+            cfg,
+        })
+    }
+
+    /// Unnormalized log target density.
+    pub fn log_target(&self, theta: &[f64]) -> f64 {
+        self.prior.ln_pdf(theta) - self.lambda * (self.emp_risk)(theta)
+    }
+
+    /// Run the chain, returning samples and diagnostics.
+    pub fn run<R: Rng + ?Sized>(&self, rng: &mut R) -> (Vec<Vec<f64>>, MhDiagnostics) {
+        let d = self.prior.dim();
+        let mut theta: Vec<f64> = self.prior.mean().to_vec();
+        let mut log_p = self.log_target(&theta);
+        let mut step = self.cfg.initial_step;
+        let gauss = dplearn_numerics::distributions::Gaussian::standard();
+        use dplearn_numerics::distributions::Sample;
+
+        let total = self.cfg.burn_in + self.cfg.n_samples * self.cfg.thin;
+        let mut samples = Vec::with_capacity(self.cfg.n_samples);
+        let mut accepted_post = 0usize;
+        let mut post_iters = 0usize;
+        // During burn-in, adapt the step toward ~30% acceptance in windows
+        // of 100 proposals (Robbins–Monro-style multiplicative update).
+        let mut window_accepts = 0usize;
+        for it in 0..total {
+            let proposal: Vec<f64> = theta
+                .iter()
+                .map(|&t| t + step * gauss.sample(rng))
+                .collect();
+            let log_q = self.log_target(&proposal);
+            let accept = (log_q - log_p) >= rng.next_open_f64().ln();
+            if accept {
+                theta = proposal;
+                log_p = log_q;
+            }
+            if it < self.cfg.burn_in {
+                if accept {
+                    window_accepts += 1;
+                }
+                if (it + 1) % 100 == 0 {
+                    let rate = window_accepts as f64 / 100.0;
+                    // Nudge toward the 0.3 target.
+                    if rate > 0.35 {
+                        step *= 1.2;
+                    } else if rate < 0.25 {
+                        step /= 1.2;
+                    }
+                    window_accepts = 0;
+                }
+            } else {
+                post_iters += 1;
+                if accept {
+                    accepted_post += 1;
+                }
+                if (it - self.cfg.burn_in + 1).is_multiple_of(self.cfg.thin) {
+                    samples.push(theta.clone());
+                }
+            }
+        }
+        debug_assert_eq!(samples.len(), self.cfg.n_samples);
+        debug_assert_eq!(theta.len(), d);
+        let diagnostics = MhDiagnostics {
+            acceptance_rate: accepted_post as f64 / post_iters.max(1) as f64,
+            n_samples: samples.len(),
+            final_step: step,
+        };
+        (samples, diagnostics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dplearn_numerics::rng::Xoshiro256;
+    use dplearn_numerics::stats;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn gibbs_finite_closed_form() {
+        let prior = FinitePosterior::uniform(3).unwrap();
+        let risks = [0.0, 0.5, 1.0];
+        let lambda = 2.0;
+        let g = gibbs_finite(&prior, &risks, lambda).unwrap();
+        let z: f64 = risks.iter().map(|&r| (-lambda * r).exp()).sum();
+        for (i, &r) in risks.iter().enumerate() {
+            close(g.prob(i), (-lambda * r).exp() / z, 1e-12);
+        }
+    }
+
+    #[test]
+    fn gibbs_respects_prior_support() {
+        let prior = FinitePosterior::from_probs(vec![0.5, 0.5, 0.0]).unwrap();
+        let g = gibbs_finite(&prior, &[1.0, 0.0, -100.0], 5.0).unwrap();
+        // Hypothesis 2 has zero prior mass: stays at zero despite its
+        // fantastic risk.
+        assert_eq!(g.prob(2), 0.0);
+        assert!(g.prob(1) > g.prob(0));
+    }
+
+    #[test]
+    fn gibbs_limits() {
+        let prior = FinitePosterior::uniform(4).unwrap();
+        let risks = [0.3, 0.1, 0.7, 0.1];
+        // λ = 0: posterior equals the prior.
+        let cold = gibbs_finite(&prior, &risks, 0.0).unwrap();
+        for i in 0..4 {
+            close(cold.prob(i), 0.25, 1e-12);
+        }
+        // λ → ∞: uniform over the argmin set {1, 3}.
+        let hot = gibbs_finite(&prior, &risks, 1e6).unwrap();
+        close(hot.prob(1), 0.5, 1e-9);
+        close(hot.prob(3), 0.5, 1e-9);
+    }
+
+    #[test]
+    fn gibbs_monotone_in_lambda() {
+        // Mass on the empirical-risk minimizer grows with λ.
+        let prior = FinitePosterior::uniform(3).unwrap();
+        let risks = [0.1, 0.4, 0.9];
+        let mut prev = 0.0;
+        for &l in &[0.0, 1.0, 5.0, 25.0, 125.0] {
+            let g = gibbs_finite(&prior, &risks, l).unwrap();
+            assert!(g.prob(0) >= prev - 1e-12);
+            prev = g.prob(0);
+        }
+    }
+
+    #[test]
+    fn gibbs_is_invariant_to_risk_shifts() {
+        // Adding a constant to all risks leaves the posterior unchanged
+        // (the normalizer absorbs it) — important because it means the
+        // posterior depends only on risk *differences*.
+        let prior = FinitePosterior::uniform(3).unwrap();
+        let a = gibbs_finite(&prior, &[0.1, 0.2, 0.3], 3.0).unwrap();
+        let b = gibbs_finite(&prior, &[1.1, 1.2, 1.3], 3.0).unwrap();
+        for i in 0..3 {
+            close(a.prob(i), b.prob(i), 1e-12);
+        }
+    }
+
+    #[test]
+    fn gibbs_rejects_bad_input() {
+        let prior = FinitePosterior::uniform(2).unwrap();
+        assert!(gibbs_finite(&prior, &[0.1], 1.0).is_err());
+        assert!(gibbs_finite(&prior, &[0.1, 0.2], f64::NAN).is_err());
+        assert!(gibbs_finite(&prior, &[0.1, 0.2], -1.0).is_err());
+    }
+
+    #[test]
+    fn metropolis_recovers_gaussian_posterior() {
+        // With quadratic "risk" R̂(θ) = (θ − 1)²/2 and prior N(0,1), the
+        // Gibbs posterior at λ is N(λ/(1+λ), 1/(1+λ)) — conjugate form.
+        let prior = DiagGaussian::isotropic(1, 1.0).unwrap();
+        let lambda = 3.0;
+        let mh = MetropolisGibbs::new(
+            &prior,
+            |t: &[f64]| 0.5 * (t[0] - 1.0).powi(2),
+            lambda,
+            MhConfig {
+                burn_in: 3000,
+                n_samples: 4000,
+                thin: 5,
+                initial_step: 0.5,
+            },
+        )
+        .unwrap();
+        let mut rng = Xoshiro256::seed_from(61);
+        let (samples, diag) = mh.run(&mut rng);
+        assert_eq!(diag.n_samples, 4000);
+        assert!(
+            diag.acceptance_rate > 0.1 && diag.acceptance_rate < 0.7,
+            "acceptance {}",
+            diag.acceptance_rate
+        );
+        let xs: Vec<f64> = samples.iter().map(|s| s[0]).collect();
+        let want_mean = lambda / (1.0 + lambda);
+        let want_var = 1.0 / (1.0 + lambda);
+        close(stats::mean(&xs).unwrap(), want_mean, 0.05);
+        close(stats::variance(&xs).unwrap(), want_var, 0.05);
+    }
+
+    #[test]
+    fn metropolis_at_lambda_zero_samples_the_prior() {
+        let prior = DiagGaussian::new(vec![2.0], vec![0.7]).unwrap();
+        let mh = MetropolisGibbs::new(&prior, |_t: &[f64]| 0.0, 0.0, MhConfig::default()).unwrap();
+        let mut rng = Xoshiro256::seed_from(62);
+        let (samples, _) = mh.run(&mut rng);
+        let xs: Vec<f64> = samples.iter().map(|s| s[0]).collect();
+        close(stats::mean(&xs).unwrap(), 2.0, 0.08);
+        close(stats::variance(&xs).unwrap(), 0.49, 0.1);
+    }
+
+    #[test]
+    fn metropolis_validates_config() {
+        let prior = DiagGaussian::isotropic(1, 1.0).unwrap();
+        assert!(MetropolisGibbs::new(&prior, |_t: &[f64]| 0.0, -1.0, MhConfig::default()).is_err());
+        let bad = MhConfig {
+            n_samples: 0,
+            ..MhConfig::default()
+        };
+        assert!(MetropolisGibbs::new(&prior, |_t: &[f64]| 0.0, 1.0, bad).is_err());
+    }
+}

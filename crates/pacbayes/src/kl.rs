@@ -1,0 +1,117 @@
+//! Kullback–Leibler divergences between hypothesis-space distributions.
+//!
+//! KL is the complexity currency of every PAC-Bayes bound, and — through
+//! the identity `E_Ẑ KL(π̂_Ẑ ‖ π) = I(Ẑ; θ) + KL(E_Ẑ π̂ ‖ π)` (Section 4
+//! of the paper) — the bridge to mutual information.
+
+use crate::posterior::{DiagGaussian, FinitePosterior};
+use crate::{PacBayesError, Result};
+use dplearn_numerics::special::xlogx_over_y;
+
+/// `KL(p ‖ q)` between two finite distributions over the same support,
+/// in nats. Returns `+inf` when absolute continuity fails.
+pub fn kl_finite(p: &FinitePosterior, q: &FinitePosterior) -> Result<f64> {
+    if p.len() != q.len() {
+        return Err(PacBayesError::InvalidParameter {
+            name: "q",
+            reason: format!("support mismatch: {} vs {}", p.len(), q.len()),
+        });
+    }
+    Ok(p.probs()
+        .iter()
+        .zip(q.probs())
+        .map(|(&a, &b)| xlogx_over_y(a, b))
+        .sum())
+}
+
+/// `KL(p ‖ q)` between two diagonal Gaussians of the same dimension:
+/// `Σᵢ [ ln(σqᵢ/σpᵢ) + (σpᵢ² + (μpᵢ − μqᵢ)²) / (2σqᵢ²) − 1/2 ]`.
+pub fn kl_diag_gaussian(p: &DiagGaussian, q: &DiagGaussian) -> Result<f64> {
+    if p.dim() != q.dim() {
+        return Err(PacBayesError::InvalidParameter {
+            name: "q",
+            reason: format!("dimension mismatch: {} vs {}", p.dim(), q.dim()),
+        });
+    }
+    let mut total = 0.0;
+    for i in 0..p.dim() {
+        let (mp, sp) = (p.mean()[i], p.std()[i]);
+        let (mq, sq) = (q.mean()[i], q.std()[i]);
+        total += (sq / sp).ln() + (sp * sp + (mp - mq).powi(2)) / (2.0 * sq * sq) - 0.5;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn kl_finite_properties() {
+        let p = FinitePosterior::from_probs(vec![0.5, 0.5]).unwrap();
+        let q = FinitePosterior::from_probs(vec![0.9, 0.1]).unwrap();
+        close(kl_finite(&p, &p).unwrap(), 0.0, 1e-15);
+        assert!(kl_finite(&p, &q).unwrap() > 0.0);
+        // Asymmetry.
+        assert!((kl_finite(&p, &q).unwrap() - kl_finite(&q, &p).unwrap()).abs() > 1e-3);
+        // Hand-computed value: 0.5 ln(0.5/0.9) + 0.5 ln(0.5/0.1).
+        let want = 0.5 * (0.5f64 / 0.9).ln() + 0.5 * (0.5f64 / 0.1).ln();
+        close(kl_finite(&p, &q).unwrap(), want, 1e-12);
+    }
+
+    #[test]
+    fn kl_finite_absolute_continuity() {
+        let p = FinitePosterior::from_probs(vec![0.5, 0.5]).unwrap();
+        let q = FinitePosterior::from_probs(vec![1.0, 0.0]).unwrap();
+        assert_eq!(kl_finite(&p, &q).unwrap(), f64::INFINITY);
+        // The reverse direction is finite: q puts no mass where it would
+        // pay infinite price.
+        assert!(kl_finite(&q, &p).unwrap().is_finite());
+        let r = FinitePosterior::from_probs(vec![1.0]).unwrap();
+        assert!(kl_finite(&p, &r).is_err());
+    }
+
+    #[test]
+    fn kl_uniform_to_point_mass_is_ln_k_reverse() {
+        // KL(point ‖ uniform) = ln k.
+        let point = FinitePosterior::from_probs(vec![1.0, 0.0, 0.0, 0.0]).unwrap();
+        let unif = FinitePosterior::uniform(4).unwrap();
+        close(kl_finite(&point, &unif).unwrap(), 4.0f64.ln(), 1e-12);
+    }
+
+    #[test]
+    fn kl_gaussian_known_values() {
+        let p = DiagGaussian::new(vec![0.0], vec![1.0]).unwrap();
+        let q = DiagGaussian::new(vec![1.0], vec![1.0]).unwrap();
+        // Same variance, unit mean shift: KL = 1/2.
+        close(kl_diag_gaussian(&p, &q).unwrap(), 0.5, 1e-12);
+        close(kl_diag_gaussian(&p, &p).unwrap(), 0.0, 1e-15);
+        // Dimension additivity.
+        let p2 = DiagGaussian::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
+        let q2 = DiagGaussian::new(vec![1.0, 1.0], vec![1.0, 1.0]).unwrap();
+        close(kl_diag_gaussian(&p2, &q2).unwrap(), 1.0, 1e-12);
+        let q3 = DiagGaussian::new(vec![0.0], vec![2.0]).unwrap();
+        // KL(N(0,1) ‖ N(0,4)) = ln 2 + 1/8 − 1/2.
+        close(
+            kl_diag_gaussian(&p, &q3).unwrap(),
+            (2.0f64).ln() + 0.125 - 0.5,
+            1e-12,
+        );
+        assert!(kl_diag_gaussian(&p, &p2).is_err());
+    }
+
+    #[test]
+    fn kl_gaussian_nonnegative_on_grid() {
+        for &m in &[-2.0, 0.0, 1.5] {
+            for &s in &[0.3, 1.0, 2.5] {
+                let p = DiagGaussian::new(vec![m], vec![s]).unwrap();
+                let q = DiagGaussian::new(vec![0.5], vec![1.2]).unwrap();
+                assert!(kl_diag_gaussian(&p, &q).unwrap() >= 0.0);
+            }
+        }
+    }
+}

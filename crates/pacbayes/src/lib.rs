@@ -1,0 +1,79 @@
+//! PAC-Bayesian bounds and Gibbs posteriors (Section 3 of the paper).
+//!
+//! The paper's pipeline:
+//!
+//! 1. Fix a prior `π` on the predictor space `Θ` and a temperature
+//!    `λ > 0` **before** seeing data.
+//! 2. Catoni's bound (the paper's Theorem 3.1): with probability ≥ 1 − δ
+//!    over the sample `Ẑ` of size `n`, *simultaneously for every*
+//!    posterior `π̂`,
+//!
+//!    ```text
+//!                1 − exp( −(λ/n)·E_π̂[R̂] − (KL(π̂‖π) + ln(1/δ))/n )
+//!    E_π̂[R] ≤  ─────────────────────────────────────────────────────
+//!                              1 − exp(−λ/n)
+//!    ```
+//!
+//! 3. The bound is increasing in `λ·E_π̂[R̂] + KL(π̂‖π)`, so the
+//!    bound-minimizing posterior is the **Gibbs posterior**
+//!    `dπ̂_λ ∝ exp(−λ R̂(θ)) dπ(θ)` (the paper's Lemma 3.2) — which is the
+//!    exponential mechanism with quality `−R̂` at temperature `λ`, hence
+//!    `2λΔR̂`-differentially private (the paper's Theorem 4.1).
+//!
+//! Modules: [`posterior`] (distributions over `Θ`), [`kl`] (divergences),
+//! [`bounds`] (Catoni, McAllester, Maurer/Seeger), [`gibbs`] (exact finite
+//! Gibbs posteriors and a Metropolis–Hastings sampler for continuous `Θ`),
+//! and [`optimality`] (machinery that *checks* Lemma 3.2 numerically).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bounds;
+pub mod gibbs;
+pub mod kl;
+pub mod optimality;
+pub mod posterior;
+pub mod tuning;
+
+/// Errors produced by the PAC-Bayes layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PacBayesError {
+    /// A bound or posterior parameter was invalid.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint description.
+        reason: String,
+    },
+    /// An underlying numerical routine failed.
+    Numerics(dplearn_numerics::NumericsError),
+}
+
+impl std::fmt::Display for PacBayesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PacBayesError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            PacBayesError::Numerics(e) => write!(f, "numerics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PacBayesError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PacBayesError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dplearn_numerics::NumericsError> for PacBayesError {
+    fn from(e: dplearn_numerics::NumericsError) -> Self {
+        PacBayesError::Numerics(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, PacBayesError>;

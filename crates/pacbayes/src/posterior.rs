@@ -1,0 +1,342 @@
+//! Probability distributions over hypothesis spaces.
+//!
+//! A randomized predictor *is* a distribution on `Θ` (the paper's
+//! "sample-dependent posterior probability distribution on Θ"). Two
+//! concrete representations cover every experiment:
+//!
+//! * [`FinitePosterior`] — an explicit probability vector over a finite
+//!   class, on which everything (KL, Gibbs, MI) is exact;
+//! * [`DiagGaussian`] — a diagonal Gaussian over ℝᵈ for continuous linear
+//!   models, used with the Metropolis sampler.
+
+use crate::{PacBayesError, Result};
+use dplearn_numerics::distributions::{Categorical, Continuous, Gaussian, Sample};
+use dplearn_numerics::rng::Rng;
+use dplearn_numerics::special::{log_sum_exp, xlogy};
+
+/// A probability distribution over a finite hypothesis class
+/// `Θ = {θ₀, …, θ_{k−1}}`, stored as an explicit probability vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FinitePosterior {
+    probs: Vec<f64>,
+}
+
+impl FinitePosterior {
+    /// The uniform distribution over `k` hypotheses.
+    pub fn uniform(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(PacBayesError::InvalidParameter {
+                name: "k",
+                reason: "hypothesis space must be non-empty".to_string(),
+            });
+        }
+        Ok(FinitePosterior {
+            probs: vec![1.0 / k as f64; k],
+        })
+    }
+
+    /// From an explicit probability vector (validated to sum to 1).
+    pub fn from_probs(probs: Vec<f64>) -> Result<Self> {
+        if probs.is_empty() {
+            return Err(PacBayesError::InvalidParameter {
+                name: "probs",
+                reason: "must be non-empty".to_string(),
+            });
+        }
+        let mut total = 0.0;
+        for &p in &probs {
+            if !(p.is_finite() && p >= 0.0) {
+                return Err(PacBayesError::InvalidParameter {
+                    name: "probs",
+                    reason: format!("entries must be finite and nonnegative, got {p}"),
+                });
+            }
+            total += p;
+        }
+        if (total - 1.0).abs() > 1e-9 {
+            return Err(PacBayesError::InvalidParameter {
+                name: "probs",
+                reason: format!("must sum to 1, got {total}"),
+            });
+        }
+        Ok(FinitePosterior { probs })
+    }
+
+    /// From unnormalized log weights (normalized in log space).
+    pub fn from_log_weights(log_weights: &[f64]) -> Result<Self> {
+        if log_weights.is_empty() {
+            return Err(PacBayesError::InvalidParameter {
+                name: "log_weights",
+                reason: "must be non-empty".to_string(),
+            });
+        }
+        let z = log_sum_exp(log_weights);
+        if !z.is_finite() {
+            return Err(PacBayesError::InvalidParameter {
+                name: "log_weights",
+                reason: format!("log-normalizer is not finite ({z})"),
+            });
+        }
+        Ok(FinitePosterior {
+            probs: log_weights.iter().map(|&lw| (lw - z).exp()).collect(),
+        })
+    }
+
+    /// Number of hypotheses.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// True when there are no hypotheses (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Probability of hypothesis `i`.
+    pub fn prob(&self, i: usize) -> f64 {
+        self.probs[i]
+    }
+
+    /// The probability vector.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Expectation `E_{θ∼π̂}[v(θ)]` of a value vector aligned with the
+    /// hypothesis indexing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn expectation(&self, values: &[f64]) -> f64 {
+        assert_eq!(
+            values.len(),
+            self.probs.len(),
+            "expectation: length mismatch"
+        );
+        self.probs.iter().zip(values).map(|(&p, &v)| p * v).sum()
+    }
+
+    /// Shannon entropy in nats.
+    pub fn entropy(&self) -> f64 {
+        -self.probs.iter().map(|&p| xlogy(p, p)).sum::<f64>()
+    }
+
+    /// The `q`-quantile of a value assignment under this distribution:
+    /// the smallest `values[i]` (in sorted order) whose cumulative
+    /// posterior mass reaches `q`. Used for posterior credible intervals
+    /// over 1-D hypothesis parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or `q ∉ [0, 1]`.
+    pub fn quantile(&self, values: &[f64], q: f64) -> f64 {
+        assert_eq!(values.len(), self.probs.len(), "quantile: length mismatch");
+        assert!((0.0..=1.0).contains(&q), "q must lie in [0,1], got {q}");
+        let mut order: Vec<usize> = (0..values.len()).collect();
+        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite values"));
+        let mut cum = 0.0;
+        for &i in &order {
+            cum += self.probs[i];
+            if cum >= q - 1e-15 {
+                return values[i];
+            }
+        }
+        values[*order.last().expect("non-empty")]
+    }
+
+    /// Draw a hypothesis index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        Categorical::new(&self.probs)
+            .expect("valid probability vector")
+            .sample(rng)
+    }
+
+    /// The mixture `Σᵢ wᵢ πᵢ` of several posteriors (e.g. `E_Ẑ π̂_Ẑ`, the
+    /// paper's bound-optimal prior).
+    pub fn mixture(components: &[(f64, &FinitePosterior)]) -> Result<Self> {
+        if components.is_empty() {
+            return Err(PacBayesError::InvalidParameter {
+                name: "components",
+                reason: "must be non-empty".to_string(),
+            });
+        }
+        let k = components[0].1.len();
+        let mut probs = vec![0.0; k];
+        let mut total_w = 0.0;
+        for (w, c) in components {
+            if c.len() != k {
+                return Err(PacBayesError::InvalidParameter {
+                    name: "components",
+                    reason: "all components must share a support".to_string(),
+                });
+            }
+            for (acc, &p) in probs.iter_mut().zip(c.probs()) {
+                *acc += w * p;
+            }
+            total_w += w;
+        }
+        if (total_w - 1.0).abs() > 1e-9 {
+            return Err(PacBayesError::InvalidParameter {
+                name: "components",
+                reason: format!("weights must sum to 1, got {total_w}"),
+            });
+        }
+        FinitePosterior::from_probs(probs)
+    }
+}
+
+/// A diagonal Gaussian distribution over ℝᵈ — prior/posterior for
+/// continuous (linear-model) hypothesis spaces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagGaussian {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl DiagGaussian {
+    /// Create from a mean vector and per-coordinate standard deviations.
+    pub fn new(mean: Vec<f64>, std: Vec<f64>) -> Result<Self> {
+        if mean.is_empty() || mean.len() != std.len() {
+            return Err(PacBayesError::InvalidParameter {
+                name: "std",
+                reason: format!("dimension mismatch: {} vs {}", mean.len(), std.len()),
+            });
+        }
+        if std.iter().any(|&s| !(s.is_finite() && s > 0.0)) {
+            return Err(PacBayesError::InvalidParameter {
+                name: "std",
+                reason: "standard deviations must be finite and positive".to_string(),
+            });
+        }
+        Ok(DiagGaussian { mean, std })
+    }
+
+    /// Isotropic Gaussian `N(0, σ² I)` in `d` dimensions.
+    pub fn isotropic(d: usize, sigma: f64) -> Result<Self> {
+        DiagGaussian::new(vec![0.0; d], vec![sigma; d])
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Mean vector.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Per-coordinate standard deviations.
+    pub fn std(&self) -> &[f64] {
+        &self.std
+    }
+
+    /// Log density at a point.
+    pub fn ln_pdf(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim(), "ln_pdf: dimension mismatch");
+        x.iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(&xi, (&m, &s))| Gaussian::new(m, s).expect("valid params").ln_pdf(xi))
+            .sum()
+    }
+
+    /// Draw a sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.mean
+            .iter()
+            .zip(&self.std)
+            .map(|(&m, &s)| Gaussian::new(m, s).expect("valid params").sample(rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dplearn_numerics::rng::Xoshiro256;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(FinitePosterior::uniform(0).is_err());
+        assert!(FinitePosterior::from_probs(vec![0.5, 0.4]).is_err());
+        assert!(FinitePosterior::from_probs(vec![0.5, -0.5, 1.0]).is_err());
+        assert!(FinitePosterior::from_probs(vec![0.25; 4]).is_ok());
+        assert!(DiagGaussian::new(vec![0.0], vec![0.0]).is_err());
+        assert!(DiagGaussian::new(vec![0.0, 1.0], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn from_log_weights_normalizes() {
+        let p = FinitePosterior::from_log_weights(&[-1000.0, -1000.0]).unwrap();
+        close(p.prob(0), 0.5, 1e-12);
+        close(p.prob(1), 0.5, 1e-12);
+    }
+
+    #[test]
+    fn expectation_and_entropy() {
+        let p = FinitePosterior::from_probs(vec![0.5, 0.25, 0.25]).unwrap();
+        close(p.expectation(&[1.0, 2.0, 4.0]), 2.0, 1e-12);
+        // H = 0.5 ln 2 + 2 · 0.25 ln 4 = 1.5 ln 2.
+        close(p.entropy(), 1.5 * std::f64::consts::LN_2, 1e-12);
+        // Degenerate distribution has zero entropy.
+        let d = FinitePosterior::from_probs(vec![1.0, 0.0]).unwrap();
+        close(d.entropy(), 0.0, 1e-15);
+    }
+
+    #[test]
+    fn quantiles_of_value_assignment() {
+        let p = FinitePosterior::from_probs(vec![0.1, 0.4, 0.3, 0.2]).unwrap();
+        let values = [10.0, 0.0, 5.0, 7.0];
+        // Sorted values: 0 (0.4), 5 (0.3), 7 (0.2), 10 (0.1).
+        close(p.quantile(&values, 0.0), 0.0, 1e-12);
+        close(p.quantile(&values, 0.4), 0.0, 1e-12);
+        close(p.quantile(&values, 0.5), 5.0, 1e-12);
+        close(p.quantile(&values, 0.71), 7.0, 1e-12);
+        close(p.quantile(&values, 1.0), 10.0, 1e-12);
+        // Degenerate distribution: every quantile is the atom.
+        let d = FinitePosterior::from_probs(vec![0.0, 1.0]).unwrap();
+        close(d.quantile(&[3.0, 8.0], 0.1), 8.0, 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_probs() {
+        let p = FinitePosterior::from_probs(vec![0.7, 0.3]).unwrap();
+        let mut rng = Xoshiro256::seed_from(50);
+        let n = 100_000;
+        let ones = (0..n).filter(|_| p.sample(&mut rng) == 1).count();
+        close(ones as f64 / n as f64, 0.3, 0.01);
+    }
+
+    #[test]
+    fn mixture_averages() {
+        let a = FinitePosterior::from_probs(vec![1.0, 0.0]).unwrap();
+        let b = FinitePosterior::from_probs(vec![0.0, 1.0]).unwrap();
+        let m = FinitePosterior::mixture(&[(0.25, &a), (0.75, &b)]).unwrap();
+        close(m.prob(0), 0.25, 1e-12);
+        close(m.prob(1), 0.75, 1e-12);
+        assert!(FinitePosterior::mixture(&[(0.5, &a)]).is_err());
+    }
+
+    #[test]
+    fn diag_gaussian_ln_pdf_factorizes() {
+        let g = DiagGaussian::new(vec![1.0, -1.0], vec![2.0, 0.5]).unwrap();
+        let x = [0.0, 0.0];
+        let want = Gaussian::new(1.0, 2.0).unwrap().ln_pdf(0.0)
+            + Gaussian::new(-1.0, 0.5).unwrap().ln_pdf(0.0);
+        close(g.ln_pdf(&x), want, 1e-12);
+    }
+
+    #[test]
+    fn diag_gaussian_samples_have_right_moments() {
+        let g = DiagGaussian::new(vec![3.0], vec![0.5]).unwrap();
+        let mut rng = Xoshiro256::seed_from(51);
+        let xs: Vec<f64> = (0..100_000).map(|_| g.sample(&mut rng)[0]).collect();
+        close(dplearn_numerics::stats::mean(&xs).unwrap(), 3.0, 0.01);
+        close(dplearn_numerics::stats::variance(&xs).unwrap(), 0.25, 0.01);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the PAC-Bayes crate: the Gibbs posterior's
+//! variational and privacy-relevant invariants under random inputs.
+
+use dplearn_numerics::rng::SplitMix64;
+use dplearn_pacbayes::bounds::{catoni_bound, catoni_objective, maurer_bound, mcallester_bound};
+use dplearn_pacbayes::gibbs::gibbs_finite;
+use dplearn_pacbayes::kl::kl_finite;
+use dplearn_pacbayes::optimality::{analytic_minimum, objective, random_perturbation};
+use dplearn_pacbayes::posterior::FinitePosterior;
+use proptest::prelude::*;
+
+fn posterior_from(raw: &[f64]) -> FinitePosterior {
+    let total: f64 = raw.iter().sum();
+    FinitePosterior::from_probs(raw.iter().map(|x| x / total).collect()).unwrap()
+}
+
+proptest! {
+    /// Gibbs normalization and support preservation for arbitrary risks.
+    #[test]
+    fn gibbs_is_a_distribution(
+        raw_prior in prop::collection::vec(0.1..5.0f64, 2..16),
+        risks in prop::collection::vec(0.0..=1.0f64, 2..16),
+        lambda in 0.0..500.0f64,
+    ) {
+        let k = raw_prior.len().min(risks.len());
+        let prior = posterior_from(&raw_prior[..k]);
+        let g = gibbs_finite(&prior, &risks[..k], lambda).unwrap();
+        let total: f64 = g.probs().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(g.probs().iter().all(|&p| p >= 0.0));
+    }
+
+    /// The variational identity: J(Gibbs) = −(1/λ)·ln Z for any prior,
+    /// risks, λ — and every random perturbation scores ≥ it.
+    #[test]
+    fn gibbs_variational_identity_and_optimality(
+        raw_prior in prop::collection::vec(0.1..5.0f64, 2..10),
+        risks in prop::collection::vec(0.0..=1.0f64, 2..10),
+        lambda in 0.01..100.0f64,
+        seed in any::<u64>(),
+    ) {
+        let k = raw_prior.len().min(risks.len());
+        let prior = posterior_from(&raw_prior[..k]);
+        let risks = &risks[..k];
+        let g = gibbs_finite(&prior, risks, lambda).unwrap();
+        let j_gibbs = objective(&g, &prior, risks, lambda).unwrap();
+        let analytic = analytic_minimum(&prior, risks, lambda).unwrap();
+        prop_assert!((j_gibbs - analytic).abs() < 1e-9,
+            "variational identity broken: {j_gibbs} vs {analytic}");
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..20 {
+            let challenger = random_perturbation(&g, &mut rng);
+            let j = objective(&challenger, &prior, risks, lambda).unwrap();
+            prop_assert!(j >= j_gibbs - 1e-9, "challenger {j} < gibbs {j_gibbs}");
+        }
+    }
+
+    /// Privacy ratio of the Gibbs posterior: for risk vectors differing
+    /// by at most Δ per entry, the posterior log-ratio is ≤ 2λΔ — the
+    /// generalized Theorem 4.1 statement, on random inputs.
+    #[test]
+    fn gibbs_posterior_respects_two_lambda_delta(
+        raw_prior in prop::collection::vec(0.1..5.0f64, 2..10),
+        risks in prop::collection::vec(0.0..=1.0f64, 2..10),
+        deltas in prop::collection::vec(-1.0..=1.0f64, 2..10),
+        lambda in 0.01..50.0f64,
+        scale in 0.001..0.2f64,
+    ) {
+        let k = raw_prior.len().min(risks.len()).min(deltas.len());
+        let prior = posterior_from(&raw_prior[..k]);
+        let risks_d = &risks[..k];
+        let risks_dp: Vec<f64> = risks_d
+            .iter()
+            .zip(&deltas[..k])
+            .map(|(r, d)| (r + scale * d).clamp(0.0, 1.0))
+            .collect();
+        let g1 = gibbs_finite(&prior, risks_d, lambda).unwrap();
+        let g2 = gibbs_finite(&prior, &risks_dp, lambda).unwrap();
+        let bound = 2.0 * lambda * scale;
+        for i in 0..k {
+            let ratio = (g1.prob(i) / g2.prob(i)).ln().abs();
+            prop_assert!(ratio <= bound + 1e-9, "ratio {ratio} > 2λΔ = {bound}");
+        }
+    }
+
+    /// KL to the prior is monotone nondecreasing in λ (the posterior
+    /// moves away from the prior as the data speaks louder).
+    #[test]
+    fn kl_monotone_in_lambda(
+        risks in prop::collection::vec(0.0..=1.0f64, 3..8),
+        l1 in 0.1..20.0f64,
+        factor in 1.1..5.0f64,
+    ) {
+        let prior = FinitePosterior::uniform(risks.len()).unwrap();
+        let cold = gibbs_finite(&prior, &risks, l1).unwrap();
+        let hot = gibbs_finite(&prior, &risks, l1 * factor).unwrap();
+        let kl_cold = kl_finite(&cold, &prior).unwrap();
+        let kl_hot = kl_finite(&hot, &prior).unwrap();
+        prop_assert!(kl_hot >= kl_cold - 1e-9);
+    }
+
+    /// All three bounds dominate the empirical risk, are monotone in KL,
+    /// and stay in [0, 1].
+    #[test]
+    fn bounds_sanity(
+        risk in 0.0..=1.0f64,
+        kl in 0.0..50.0f64,
+        n in 10usize..100_000,
+        lambda in 0.1..1000.0f64,
+        delta in 0.001..0.5f64,
+    ) {
+        for b in [
+            catoni_bound(risk, kl, n, lambda, delta).unwrap(),
+            mcallester_bound(risk, kl, n, delta).unwrap(),
+            maurer_bound(risk, kl, n, delta).unwrap(),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&b));
+            prop_assert!(b >= risk.min(1.0) - 1e-9, "bound {b} below risk {risk}");
+        }
+        let tighter = catoni_bound(risk, kl, n, lambda, delta).unwrap();
+        let looser = catoni_bound(risk, kl + 1.0, n, lambda, delta).unwrap();
+        prop_assert!(looser >= tighter - 1e-12);
+        // The Catoni objective orders consistently with its bound.
+        prop_assert!(
+            catoni_objective(risk, kl, lambda) <= catoni_objective(risk, kl + 1.0, lambda)
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Private median release with the exponential mechanism — the classic
+//! McSherry–Talwar application, using the mechanisms crate standalone.
+//!
+//! Also demonstrates budget accounting across repeated releases.
+//!
+//! Run with: `cargo run --release --example median_release`
+
+use dplearn::mechanisms::composition::PrivacyAccountant;
+use dplearn::mechanisms::exponential::{median_quality, ExponentialMechanism};
+use dplearn::mechanisms::privacy::{Budget, Epsilon};
+use dplearn::numerics::rng::Xoshiro256;
+
+fn main() {
+    let mut rng = Xoshiro256::seed_from(99);
+
+    // Sensitive data: 41 salaries (say, in k$), candidate outputs 0..=200.
+    let salaries: Vec<f64> = (0..41).map(|i| 35.0 + (i as f64) * 1.7).collect();
+    let true_median = salaries[20];
+    let candidates: Vec<f64> = (0..=200).map(|i| i as f64).collect();
+
+    let mech = ExponentialMechanism::new(candidates.len(), 1.0).unwrap();
+    let mut accountant = PrivacyAccountant::new(Budget::new(3.0, 0.0).unwrap());
+
+    println!("true median: {true_median:.1}");
+    for &eps in &[0.1, 0.5, 1.0] {
+        let epsilon = Epsilon::new(eps).unwrap();
+        accountant
+            .spend(Budget::pure(epsilon))
+            .expect("budget available");
+        let scores = median_quality(&salaries, &candidates);
+        let idx = mech.select(&scores, epsilon, &mut rng).unwrap();
+        println!(
+            "ε = {:>4}: private median = {:>6.1}   (error {:+.1}, budget spent {:.1}/3.0)",
+            eps,
+            candidates[idx],
+            candidates[idx] - true_median,
+            accountant.spent().epsilon
+        );
+    }
+
+    // The accountant blocks the release that would blow the budget.
+    let over = accountant.spend(Budget::new(2.0, 0.0).unwrap());
+    println!(
+        "requesting 2.0 more ε: {}",
+        match &over {
+            Err(e) => format!("refused — {e}"),
+            Ok(()) => "accepted (unexpected!)".to_string(),
+        }
+    );
+    assert!(over.is_err());
+}

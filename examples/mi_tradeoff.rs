@@ -1,0 +1,53 @@
+//! The information channel of the paper's Figure 1, quantified.
+//!
+//! Builds the exact learning channel `Ẑ → θ` on a small discrete world
+//! and sweeps the privacy level, printing the tradeoff the paper
+//! describes: lower ε ⇒ lower mutual information (more privacy) ⇒ higher
+//! risk, with the realized privacy always within the Theorem 4.1
+//! guarantee.
+//!
+//! Run with: `cargo run --release --example mi_tradeoff`
+
+use dplearn::learning::hypothesis::FiniteClass;
+use dplearn::learning::loss::ZeroOne;
+use dplearn::learning::synth::DiscreteWorld;
+use dplearn::tradeoff::{discrete_world_true_risks, epsilon_sweep};
+
+fn main() {
+    let world = DiscreteWorld::new(4, 0.1);
+    let n = 3;
+    let class = FiniteClass::threshold_grid(0.0, 4.0, 5);
+    let true_risks = discrete_world_true_risks(&world, &class);
+
+    println!(
+        "learning channel: |Ẑ-space| = 8^{n} = 512 datasets, |Θ| = {}",
+        class.len()
+    );
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>14} {:>14}",
+        "ε", "λ", "E emp risk", "E true risk", "I(Ẑ;θ) nats", "realized ε"
+    );
+    let rows = epsilon_sweep(
+        &world,
+        n,
+        &class,
+        &ZeroOne,
+        &true_risks,
+        &[0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0],
+    )
+    .unwrap();
+    for r in rows {
+        println!(
+            "{:>8.2} {:>10.3} {:>12.4} {:>12.4} {:>14.5} {:>14.4}",
+            r.epsilon,
+            r.lambda,
+            r.expected_empirical_risk,
+            r.expected_true_risk,
+            r.mi_nats,
+            r.realized_epsilon
+        );
+        assert!(r.realized_epsilon <= r.epsilon + 1e-9);
+    }
+    println!("\nReading: privacy (ε) literally *is* the price of information —");
+    println!("the channel leaks more nats exactly as the risk falls.");
+}

@@ -1,0 +1,60 @@
+//! PAC-Bayes risk certificates in action: how tight are the bounds, and
+//! what does privacy cost in certified risk?
+//!
+//! For a fixed task, sweeps the privacy level and reports the Catoni /
+//! McAllester / Maurer bounds at the Gibbs posterior alongside the exact
+//! true risk — all three must dominate it (Theorem 3.1), and the
+//! certified risk visibly degrades as ε (hence λ) shrinks.
+//!
+//! Run with: `cargo run --release --example pacbayes_certificate`
+
+use dplearn::learner::GibbsLearner;
+use dplearn::learning::hypothesis::FiniteClass;
+use dplearn::learning::loss::ZeroOne;
+use dplearn::learning::synth::{DataGenerator, NoisyThreshold};
+use dplearn::numerics::rng::Xoshiro256;
+
+fn main() {
+    let mut rng = Xoshiro256::seed_from(5);
+    let world = NoisyThreshold::new(0.35, 0.1);
+    let class = FiniteClass::threshold_grid(0.0, 1.0, 41);
+    let true_risks: Vec<f64> = class
+        .hypotheses()
+        .iter()
+        .map(|h| world.true_risk_of_threshold(h.threshold))
+        .collect();
+    let data = world.sample(1000, &mut rng);
+
+    println!("n = 1000, |Θ| = 41, δ = 0.05, noise floor = 0.10\n");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "ε", "E[R̂]", "Catoni", "McAllester", "Maurer", "true risk", "all valid?"
+    );
+    for &eps in &[0.1, 0.5, 1.0, 2.0, 5.0, 20.0] {
+        let fitted = GibbsLearner::new(ZeroOne)
+            .with_target_epsilon(eps)
+            .fit(&class, &data)
+            .unwrap();
+        let cert = fitted.risk_certificate(0.05).unwrap();
+        let true_risk = fitted.posterior.expectation(&true_risks);
+        let valid =
+            cert.catoni >= true_risk && cert.mcallester >= true_risk && cert.maurer >= true_risk;
+        println!(
+            "{:>6.1} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>12}",
+            eps,
+            cert.gibbs_empirical_risk,
+            cert.catoni,
+            cert.mcallester,
+            cert.maurer,
+            true_risk,
+            valid
+        );
+        assert!(valid, "a bound failed at ε = {eps}");
+    }
+    println!("\nReading: the privacy calibration ties λ = εn/(2B) to ε, so the");
+    println!("Catoni certificate is tightest at moderate ε (λ near the √n sweet");
+    println!("spot) — very small ε pays in empirical risk, very large ε pays in");
+    println!("the λ-dependent bound factor. McAllester/Maurer ignore λ and only");
+    println!("improve as the posterior's risk drops. All bounds always dominate");
+    println!("the exact true risk, as Theorem 3.1 requires.");
+}

@@ -1,0 +1,56 @@
+//! Privacy auditing in practice: verify a mechanism's claim — and catch
+//! a broken one.
+//!
+//! Run with: `cargo run --release --example privacy_audit`
+
+use dplearn::mechanisms::audit::audit_continuous;
+use dplearn::mechanisms::laplace::LaplaceMechanism;
+use dplearn::mechanisms::privacy::Epsilon;
+use dplearn::numerics::distributions::{Laplace, Sample};
+use dplearn::numerics::rng::Xoshiro256;
+
+fn main() {
+    let mut rng = Xoshiro256::seed_from(77);
+    let claimed = 1.0;
+    let trials = 300_000;
+
+    // A correct Laplace mechanism for a sensitivity-1 query.
+    let good = LaplaceMechanism::new(Epsilon::new(claimed).unwrap(), 1.0).unwrap();
+    let res = audit_continuous(
+        |r| good.release(0.0, r),
+        |r| good.release(1.0, r),
+        -6.0,
+        7.0,
+        40,
+        trials,
+        &mut rng,
+    )
+    .unwrap();
+    println!(
+        "correct mechanism  : claimed ε = {claimed}, audited ε̂ = {:.3}",
+        res.empirical_epsilon
+    );
+
+    // A "broken" implementation that used half the required noise scale.
+    let broken_noise = Laplace::new(0.0, 0.5).unwrap();
+    let res = audit_continuous(
+        |r| 0.0 + broken_noise.sample(r),
+        |r| 1.0 + broken_noise.sample(r),
+        -4.0,
+        5.0,
+        40,
+        trials,
+        &mut rng,
+    )
+    .unwrap();
+    println!(
+        "broken mechanism   : claimed ε = {claimed}, audited ε̂ = {:.3}  ← VIOLATION",
+        res.empirical_epsilon
+    );
+    assert!(res.empirical_epsilon > 1.5 * claimed);
+
+    println!();
+    println!("The audit estimates max_S |ln(P[M(D)∈S]/P[M(D')∈S])| from {trials} runs");
+    println!("per dataset over all one-sided tail events. It is a statistical lower");
+    println!("bound on the true privacy loss: a pass is evidence, a fail is proof.");
+}

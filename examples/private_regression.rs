@@ -1,0 +1,43 @@
+//! Private linear regression — the paper's own motivating example
+//! ("consider a linear regression problem where we have a set of
+//! input-output pairs ... and we would like to learn the regressor").
+//!
+//! Run with: `cargo run --release --example private_regression`
+
+use dplearn::learning::synth::{DataGenerator, LinearRegressionTask};
+use dplearn::numerics::rng::Xoshiro256;
+use dplearn::regression::{PrivateRegression, PrivateRegressionConfig};
+
+fn main() {
+    let mut rng = Xoshiro256::seed_from(11);
+    // The sensitive data: y = 1.5x − 0.5 + noise.
+    let gen = LinearRegressionTask::new(vec![1.5], -0.5, 0.2);
+    let train = gen.sample(1200, &mut rng);
+    let test = gen.sample(4000, &mut rng);
+
+    println!("true model: y = 1.5·x − 0.5 + N(0, 0.04); noise-floor MSE = 0.04\n");
+    println!(
+        "{:>6} {:>12} {:>14} {:>14} {:>18}",
+        "ε", "slope", "intercept", "released MSE", "certified risk"
+    );
+    for eps in [0.1, 0.5, 2.0, 10.0] {
+        let cfg = PrivateRegressionConfig {
+            epsilon: eps,
+            ..Default::default()
+        };
+        let reg = PrivateRegression::fit(&train, &cfg).unwrap();
+        let released = reg.sample_model(&mut rng);
+        let cert = reg.fitted.risk_certificate(0.05).unwrap();
+        println!(
+            "{:>6.1} {:>12.3} {:>14.3} {:>14.4} {:>18.4}",
+            eps,
+            released.weights[0],
+            released.bias,
+            PrivateRegression::mse(released, &test),
+            cert.best(),
+        );
+    }
+    println!("\nEach row is ONE ε-DP release: a single draw from the Gibbs");
+    println!("posterior over a 33×33 slope/intercept grid (Theorem 4.1 sets");
+    println!("λ = εn/2B for the clamped squared loss).");
+}

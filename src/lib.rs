@@ -1,0 +1,2 @@
+//! Umbrella crate for examples and integration tests; see the `dplearn` crate.
+pub use dplearn;

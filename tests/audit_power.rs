@@ -1,0 +1,132 @@
+//! Failure injection: the privacy auditor must *catch* broken mechanisms.
+//!
+//! A privacy audit that only ever passes is worthless. These tests
+//! deliberately break each mechanism's calibration and assert the
+//! audit reports a privacy loss exceeding the advertised ε — i.e. the
+//! verification machinery used by experiments E1/E2/E5 has real power.
+
+use dplearn::mechanisms::audit::{audit_continuous, audit_discrete, max_log_ratio};
+use dplearn::mechanisms::exponential::ExponentialMechanism;
+use dplearn::mechanisms::privacy::Epsilon;
+use dplearn::numerics::distributions::{Laplace, Sample};
+use dplearn::numerics::rng::{Rng, Xoshiro256};
+
+/// Laplace noise at HALF the required scale claims ε but delivers 2ε —
+/// the tail audit must report ≈ 2ε.
+#[test]
+fn audit_catches_undersized_laplace_noise() {
+    let claimed_eps = 1.0;
+    // Correct scale would be Δf/ε = 1.0; the broken release uses 0.5.
+    let broken = Laplace::new(0.0, 0.5).unwrap();
+    let mut rng = Xoshiro256::seed_from(4001);
+    let res = audit_continuous(
+        |r| 0.0 + broken.sample(r),
+        |r| 1.0 + broken.sample(r),
+        -4.0,
+        5.0,
+        40,
+        200_000,
+        &mut rng,
+    )
+    .unwrap();
+    assert!(
+        res.empirical_epsilon > 1.5 * claimed_eps,
+        "audit should expose ε̂ ≈ 2, got {}",
+        res.empirical_epsilon
+    );
+}
+
+/// An exponential mechanism that skips the factor 2 in its calibration
+/// (temperature ε/Δq instead of ε/(2Δq)) can exceed its claimed ε; the
+/// exact audit must expose it on a worst-case quality landscape.
+#[test]
+fn audit_catches_uncalibrated_exponential_mechanism() {
+    // The factor 2 matters when one candidate's score and the
+    // normalizer move in opposite directions: one favored candidate
+    // loses its edge while every other candidate gains it.
+    let k = 11;
+    let mech = ExponentialMechanism::new(k, 1.0).unwrap();
+    let claimed_eps = 1.0;
+    let naive_t = claimed_eps; // should be claimed_eps / 2
+    let mut scores_d = vec![0.0; k];
+    scores_d[0] = 1.0;
+    let mut scores_dp = vec![1.0; k];
+    scores_dp[0] = 0.0;
+    let p = mech.sampling_distribution(&scores_d, naive_t).unwrap();
+    let q = mech.sampling_distribution(&scores_dp, naive_t).unwrap();
+    let exact = max_log_ratio(p.probs(), q.probs()).unwrap();
+    assert!(
+        exact > claimed_eps + 0.5,
+        "naive calibration should realize ≈ 2ε, got {exact}"
+    );
+    // The correctly calibrated mechanism stays within ε on the same
+    // worst-case landscape.
+    let t = mech.temperature_for(Epsilon::new(claimed_eps).unwrap());
+    let p = mech.sampling_distribution(&scores_d, t).unwrap();
+    let q = mech.sampling_distribution(&scores_dp, t).unwrap();
+    assert!(max_log_ratio(p.probs(), q.probs()).unwrap() <= claimed_eps + 1e-12);
+}
+
+/// A "randomized response" that reports the truth too often (p = 0.95
+/// instead of the ε-calibrated value) must fail its audit.
+#[test]
+fn audit_catches_overconfident_randomized_response() {
+    let claimed_eps = 1.0; // calibrated p would be e/(e+1) ≈ 0.731
+    let broken_p = 0.95;
+    let mut rng = Xoshiro256::seed_from(4002);
+    let res = audit_discrete(
+        |r| usize::from(!r.next_bool(broken_p)), // input 0
+        |r| usize::from(r.next_bool(broken_p)),  // input 1
+        2,
+        400_000,
+        &mut rng,
+    )
+    .unwrap();
+    // True loss is ln(0.95/0.05) ≈ 2.94 ≫ 1.
+    assert!(
+        res.empirical_epsilon > 2.0 * claimed_eps,
+        "audit should expose ε̂ ≈ 2.9, got {}",
+        res.empirical_epsilon
+    );
+}
+
+/// A Gibbs learner run at a temperature that ignores the dataset size
+/// (λ fixed as if n were 10× larger) violates its claimed ε; the exact
+/// audit over neighbors must detect it.
+#[test]
+fn audit_catches_wrong_sample_size_in_gibbs_calibration() {
+    use dplearn::learner::GibbsLearner;
+    use dplearn::learning::data::Example;
+    use dplearn::learning::hypothesis::FiniteClass;
+    use dplearn::learning::loss::ZeroOne;
+    use dplearn::learning::synth::{DataGenerator, NoisyThreshold};
+
+    let world = NoisyThreshold::new(0.5, 0.1);
+    let mut rng = Xoshiro256::seed_from(4003);
+    let n = 30;
+    let data = world.sample(n, &mut rng);
+    let class = FiniteClass::threshold_grid(0.0, 1.0, 11);
+    let claimed_eps = 0.5;
+    // Broken: λ computed as if n were 300.
+    let broken_lambda = claimed_eps * 300.0 / 2.0;
+    let learner = GibbsLearner::new(ZeroOne).with_temperature(broken_lambda);
+    let base = learner.fit(&class, &data).unwrap();
+    let candidates = [
+        Example::scalar(0.0, 1.0),
+        Example::scalar(0.0, -1.0),
+        Example::scalar(0.999, 1.0),
+        Example::scalar(0.999, -1.0),
+    ];
+    let mut worst = 0.0f64;
+    for nb in data.replace_one_neighbors(&candidates) {
+        let fit = learner.fit(&class, &nb).unwrap();
+        worst = worst.max(max_log_ratio(base.posterior.probs(), fit.posterior.probs()).unwrap());
+    }
+    assert!(
+        worst > 2.0 * claimed_eps,
+        "audit should expose the 10× temperature error, got ε̂ = {worst}"
+    );
+    // And the certificate API itself reports the honest ε for that λ.
+    assert!((base.privacy.epsilon - 2.0 * broken_lambda / n as f64).abs() < 1e-12);
+    assert!(base.privacy.epsilon > claimed_eps);
+}

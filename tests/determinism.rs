@@ -1,0 +1,98 @@
+//! Reproducibility: every pipeline in the workspace is a pure function of
+//! its seed. These tests re-run full flows twice and demand bit-identical
+//! results — the property EXPERIMENTS.md relies on.
+
+use dplearn::learner::GibbsLearner;
+use dplearn::learning::hypothesis::FiniteClass;
+use dplearn::learning::loss::ZeroOne;
+use dplearn::learning::synth::{DataGenerator, GaussianClasses, NoisyThreshold};
+use dplearn::numerics::rng::Xoshiro256;
+
+fn gibbs_pipeline(seed: u64) -> (Vec<f64>, usize) {
+    let world = NoisyThreshold::new(0.35, 0.05);
+    let mut rng = Xoshiro256::seed_from(seed);
+    let data = world.sample(200, &mut rng);
+    let class = FiniteClass::threshold_grid(0.0, 1.0, 21);
+    let fitted = GibbsLearner::new(ZeroOne)
+        .with_target_epsilon(1.0)
+        .fit(&class, &data)
+        .unwrap();
+    let draw = fitted.sample_index(&mut rng);
+    (fitted.posterior.probs().to_vec(), draw)
+}
+
+#[test]
+fn gibbs_pipeline_is_bit_reproducible() {
+    let (p1, d1) = gibbs_pipeline(77);
+    let (p2, d2) = gibbs_pipeline(77);
+    assert_eq!(p1, p2);
+    assert_eq!(d1, d2);
+    let (p3, d3) = gibbs_pipeline(78);
+    assert!(p1 != p3 || d1 != d3, "different seeds should differ");
+}
+
+#[test]
+fn mcmc_pipeline_is_bit_reproducible() {
+    use dplearn::pacbayes::gibbs::MhConfig;
+    use dplearn::pacbayes::posterior::DiagGaussian;
+    let run = |seed: u64| {
+        let gen = GaussianClasses::new(vec![1.0], 0.8);
+        let mut rng = Xoshiro256::seed_from(seed);
+        let data = gen.sample(100, &mut rng);
+        let prior = DiagGaussian::isotropic(1, 2.0).unwrap();
+        let mh = MhConfig {
+            burn_in: 500,
+            n_samples: 200,
+            thin: 2,
+            initial_step: 0.3,
+        };
+        let fitted = GibbsLearner::new(ZeroOne)
+            .with_target_epsilon(2.0)
+            .fit_linear_mcmc(&prior, &data, mh, &mut rng)
+            .unwrap();
+        fitted
+            .models
+            .iter()
+            .map(|m| m.weights[0])
+            .collect::<Vec<f64>>()
+    };
+    assert_eq!(run(5), run(5));
+}
+
+#[test]
+fn mechanism_audits_are_bit_reproducible() {
+    use dplearn::mechanisms::audit::audit_continuous;
+    use dplearn::mechanisms::laplace::LaplaceMechanism;
+    use dplearn::mechanisms::privacy::Epsilon;
+    let run = |seed: u64| {
+        let m = LaplaceMechanism::new(Epsilon::new(1.0).unwrap(), 1.0).unwrap();
+        let mut rng = Xoshiro256::seed_from(seed);
+        audit_continuous(
+            |r| m.release(0.0, r),
+            |r| m.release(1.0, r),
+            -6.0,
+            7.0,
+            30,
+            30_000,
+            &mut rng,
+        )
+        .unwrap()
+        .empirical_epsilon
+    };
+    assert_eq!(run(9).to_bits(), run(9).to_bits());
+}
+
+#[test]
+fn substreams_are_independent_of_evaluation_order() {
+    // Experiment harnesses hand each trial its own substream; running
+    // trials in any order must give the same per-trial results.
+    let trial = |k: u64| {
+        let world = NoisyThreshold::new(0.5, 0.1);
+        let mut rng = Xoshiro256::substream(123, k);
+        let data = world.sample(50, &mut rng);
+        data.examples()[0].x[0]
+    };
+    let forward: Vec<f64> = (0..10).map(trial).collect();
+    let backward: Vec<f64> = (0..10).rev().map(trial).rev().collect();
+    assert_eq!(forward, backward);
+}

@@ -1,0 +1,129 @@
+//! Cross-crate integration: utility of private learners against the
+//! non-private ceiling, and validity of risk certificates against
+//! Monte-Carlo ground truth.
+
+use dplearn::baselines::objective_perturbation::{self, ObjectivePerturbationConfig};
+use dplearn::baselines::output_perturbation::{self, OutputPerturbationConfig};
+use dplearn::baselines::{nonprivate, normalize::scale_to_unit_ball};
+use dplearn::learner::GibbsLearner;
+use dplearn::learning::data::Dataset;
+use dplearn::learning::erm::MarginLoss;
+use dplearn::learning::eval::{accuracy, monte_carlo_risk};
+use dplearn::learning::hypothesis::FiniteClass;
+use dplearn::learning::loss::ZeroOne;
+use dplearn::learning::synth::{DataGenerator, GaussianClasses, NoisyThreshold};
+use dplearn::numerics::rng::Xoshiro256;
+use dplearn::pacbayes::gibbs::MhConfig;
+use dplearn::pacbayes::posterior::DiagGaussian;
+
+fn scaled(gen: &GaussianClasses, n: usize, rng: &mut Xoshiro256) -> Dataset {
+    scale_to_unit_ball(&gen.sample(n, rng), Some(6.0)).0
+}
+
+/// All three private training paths produce usable classifiers at a
+/// moderate ε, and none beats the non-private ceiling (they can tie).
+#[test]
+fn private_methods_land_between_chance_and_ceiling() {
+    let gen = GaussianClasses::new(vec![1.5, -0.5], 0.8);
+    let mut rng = Xoshiro256::seed_from(3001);
+    let train = scaled(&gen, 1500, &mut rng);
+    let test = scaled(&gen, 3000, &mut rng);
+    let eps = 1.0;
+
+    let ceiling_model = nonprivate::train(&train, MarginLoss::Logistic, 0.01).unwrap();
+    let ceiling = accuracy(&ceiling_model, &test).unwrap();
+    assert!(ceiling > 0.95);
+
+    let out = output_perturbation::train(
+        &train,
+        &OutputPerturbationConfig {
+            epsilon: eps,
+            lambda: 0.01,
+            loss: MarginLoss::Logistic,
+        },
+        &mut rng,
+    )
+    .unwrap();
+    let obj = objective_perturbation::train(
+        &train,
+        &ObjectivePerturbationConfig {
+            epsilon: eps,
+            lambda: 0.01,
+            loss: MarginLoss::Logistic,
+        },
+        &mut rng,
+    )
+    .unwrap();
+    let prior = DiagGaussian::isotropic(2, 3.0).unwrap();
+    let gibbs = GibbsLearner::new(ZeroOne)
+        .with_target_epsilon(eps)
+        .fit_linear_mcmc(&prior, &train, MhConfig::default(), &mut rng)
+        .unwrap();
+    let gibbs_model = gibbs.sample_model(&mut rng);
+
+    for (name, acc) in [
+        ("output", accuracy(&out.model, &test).unwrap()),
+        ("objective", accuracy(&obj.model, &test).unwrap()),
+        ("gibbs", accuracy(gibbs_model, &test).unwrap()),
+    ] {
+        assert!(acc > 0.75, "{name} accuracy {acc} too low at ε = 1");
+        assert!(
+            acc <= ceiling + 0.02,
+            "{name} accuracy {acc} above ceiling {ceiling}"
+        );
+    }
+}
+
+/// The risk certificate from the core crate dominates the Monte-Carlo
+/// true risk estimated through the learning crate's evaluation utilities
+/// (an independent code path from the closed-form check in unit tests).
+#[test]
+fn certificate_dominates_monte_carlo_risk() {
+    let world = NoisyThreshold::new(0.45, 0.08);
+    let mut rng = Xoshiro256::seed_from(3002);
+    let data = world.sample(600, &mut rng);
+    let class = FiniteClass::threshold_grid(0.0, 1.0, 31);
+    let fitted = GibbsLearner::new(ZeroOne)
+        .with_target_epsilon(1.5)
+        .fit(&class, &data)
+        .unwrap();
+    let cert = fitted.risk_certificate(0.05).unwrap();
+
+    // MC true Gibbs risk: draw θ ~ π̂, z ~ world, average the loss.
+    let mut total = 0.0;
+    let draws = 40_000;
+    for _ in 0..draws {
+        let idx = fitted.sample_index(&mut rng);
+        total += monte_carlo_risk(class.get(idx), &ZeroOne, &world, 1, &mut rng).unwrap();
+    }
+    let mc_risk = total / draws as f64;
+    assert!(
+        cert.best() >= mc_risk - 0.01,
+        "certificate {} vs MC risk {mc_risk}",
+        cert.best()
+    );
+}
+
+/// Feature scaling (baselines crate) composes with ridge regression
+/// (learning crate): the model fit on scaled features, un-scaled, matches
+/// the model fit on raw features.
+#[test]
+fn scaling_round_trips_through_ridge() {
+    use dplearn::learning::models::RidgeRegression;
+    use dplearn::learning::synth::LinearRegressionTask;
+
+    let gen = LinearRegressionTask::new(vec![2.0, -1.0], 0.5, 0.05);
+    let mut rng = Xoshiro256::seed_from(3003);
+    let raw = gen.sample(1000, &mut rng);
+    let (scaled_data, r) = scale_to_unit_ball(&raw, None);
+    let raw_fit = RidgeRegression::fit(&raw, 1e-9).unwrap();
+    let scaled_fit = RidgeRegression::fit(&scaled_data, 1e-9).unwrap();
+    // w_scaled = r · w_raw (features shrunk by r ⇒ weights grow by r).
+    for i in 0..2 {
+        assert!(
+            (scaled_fit.model().weights[i] - r * raw_fit.model().weights[i]).abs() < 1e-3,
+            "coordinate {i}"
+        );
+    }
+    assert!((scaled_fit.model().bias - raw_fit.model().bias).abs() < 1e-3);
+}

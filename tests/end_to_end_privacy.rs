@@ -1,0 +1,130 @@
+//! Cross-crate integration: privacy of the full learning pipeline.
+//!
+//! These tests wire together learning (data, losses, classes), pacbayes
+//! (Gibbs posteriors), core (learner + certificates), and mechanisms
+//! (auditing) — the end-to-end story of the paper's Theorem 4.1.
+
+use dplearn::learner::GibbsLearner;
+use dplearn::learning::data::Example;
+use dplearn::learning::hypothesis::FiniteClass;
+use dplearn::learning::loss::ZeroOne;
+use dplearn::learning::synth::{DataGenerator, NoisyThreshold};
+use dplearn::mechanisms::audit::{audit_discrete, max_log_ratio};
+use dplearn::numerics::rng::Xoshiro256;
+
+/// The fitted Gibbs learner, audited as a black box: sample hypothesis
+/// indices from posteriors fit on neighboring datasets and estimate the
+/// privacy loss from output frequencies alone.
+#[test]
+fn black_box_sampled_audit_of_gibbs_learner() {
+    let world = NoisyThreshold::new(0.5, 0.1);
+    let mut rng = Xoshiro256::seed_from(1001);
+    let n = 40;
+    let data = world.sample(n, &mut rng);
+    // Worst-ish neighbor: flip the label of the extreme point.
+    let neighbor = data.replace(0, Example::scalar(0.0, 1.0));
+    let class = FiniteClass::threshold_grid(0.0, 1.0, 11);
+    let eps = 1.0;
+    let learner = GibbsLearner::new(ZeroOne).with_target_epsilon(eps);
+    let fit_d = learner.fit(&class, &data).unwrap();
+    let fit_dp = learner.fit(&class, &neighbor).unwrap();
+
+    let res = audit_discrete(
+        |r| fit_d.posterior.sample(r),
+        |r| fit_dp.posterior.sample(r),
+        class.len(),
+        300_000,
+        &mut rng,
+    )
+    .unwrap();
+    // The exact loss respects ε (Theorem 4.1)...
+    let exact = max_log_ratio(fit_d.posterior.probs(), fit_dp.posterior.probs()).unwrap();
+    assert!(exact <= eps + 1e-9, "exact {exact}");
+    // ...and the black-box Monte-Carlo audit is a *lower* bound on it
+    // (the worst ratio can sit on hypotheses too rare to resolve from
+    // samples), while still detecting a substantial fraction of the loss.
+    assert!(
+        res.empirical_epsilon <= exact + 0.05,
+        "sampled {} should not exceed exact {exact}",
+        res.empirical_epsilon
+    );
+    assert!(
+        res.empirical_epsilon > 0.2 * exact,
+        "sampled {} should detect a fraction of exact {exact}",
+        res.empirical_epsilon
+    );
+}
+
+/// Theorem 4.1 is per-dataset-size: refitting the same learner on a
+/// doubled dataset at fixed λ halves the privacy cost.
+#[test]
+fn privacy_certificate_scales_with_n_end_to_end() {
+    let world = NoisyThreshold::new(0.4, 0.05);
+    let mut rng = Xoshiro256::seed_from(1002);
+    let class = FiniteClass::threshold_grid(0.0, 1.0, 21);
+    let learner = GibbsLearner::new(ZeroOne).with_temperature(50.0);
+    let small = learner.fit(&class, &world.sample(100, &mut rng)).unwrap();
+    let big = learner.fit(&class, &world.sample(200, &mut rng)).unwrap();
+    assert!((small.privacy.epsilon - 1.0).abs() < 1e-12);
+    assert!((big.privacy.epsilon - 0.5).abs() < 1e-12);
+}
+
+/// The composition accountant applies to repeated Gibbs releases: the
+/// total ε of k releases is the sum, and the accountant enforces a cap.
+#[test]
+fn repeated_gibbs_releases_compose() {
+    use dplearn::mechanisms::composition::{sequential, PrivacyAccountant};
+    use dplearn::mechanisms::privacy::Budget;
+
+    let world = NoisyThreshold::new(0.5, 0.1);
+    let mut rng = Xoshiro256::seed_from(1003);
+    let data = world.sample(100, &mut rng);
+    let class = FiniteClass::threshold_grid(0.0, 1.0, 11);
+    let mut accountant = PrivacyAccountant::new(Budget::new(1.0, 0.0).unwrap());
+    let mut spent = Vec::new();
+    let mut releases = 0;
+    for _ in 0..5 {
+        let eps = 0.3;
+        let learner = GibbsLearner::new(ZeroOne).with_target_epsilon(eps);
+        let fitted = learner.fit(&class, &data).unwrap();
+        let budget = Budget::new(fitted.privacy.epsilon, 0.0).unwrap();
+        if accountant.spend(budget).is_ok() {
+            let _theta = fitted.sample_index(&mut rng);
+            spent.push(budget);
+            releases += 1;
+        }
+    }
+    // 3 × 0.3 fits under 1.0; the 4th is refused.
+    assert_eq!(releases, 3);
+    assert!((sequential(&spent).epsilon - 0.9).abs() < 1e-12);
+}
+
+/// Exponential-mechanism view: the fitted Gibbs posterior must coincide
+/// with the mechanisms-crate exponential mechanism run on quality = −R̂
+/// at temperature λ (the bridge the paper builds in Section 3/4).
+#[test]
+fn gibbs_posterior_equals_exponential_mechanism_distribution() {
+    use dplearn::mechanisms::exponential::ExponentialMechanism;
+
+    let world = NoisyThreshold::new(0.3, 0.1);
+    let mut rng = Xoshiro256::seed_from(1004);
+    let data = world.sample(80, &mut rng);
+    let class = FiniteClass::threshold_grid(0.0, 1.0, 17);
+    let lambda = 25.0;
+    let fitted = GibbsLearner::new(ZeroOne)
+        .with_temperature(lambda)
+        .fit(&class, &data)
+        .unwrap();
+
+    let mech = ExponentialMechanism::new(class.len(), 1.0 / data.len() as f64).unwrap();
+    let neg_risks: Vec<f64> = fitted.risks.iter().map(|&r| -r).collect();
+    let dist = mech.sampling_distribution(&neg_risks, lambda).unwrap();
+    for i in 0..class.len() {
+        assert!(
+            (fitted.posterior.prob(i) - dist.prob(i)).abs() < 1e-12,
+            "mismatch at {i}"
+        );
+    }
+    // And the privacy certificates agree: 2λΔq with Δq = ΔR̂.
+    assert!((mech.privacy_of_temperature(lambda) - fitted.privacy.epsilon).abs() < 1e-12);
+}

@@ -226,16 +226,17 @@ impl PrivateDensity {
         let alpha = cfg.smoothing;
         let width = (cfg.hi - cfg.lo) / m as f64;
 
-        // Candidate densities: smoothed compositions.
+        // Candidate densities: smoothed compositions. The candidate
+        // count C(g+m−1, m−1) grows combinatorially, and this map (like
+        // the exponential-mechanism scoring loop over it inside
+        // `GibbsLearner::fit`) is a pure per-candidate function, so it
+        // parallelizes with bit-identical output at any thread count.
         let comps = compositions(cfg.granularity, m);
         let denom = g + alpha * m as f64;
-        let candidates: Vec<HistogramDensity> = comps
-            .iter()
-            .map(|c| {
-                let masses: Vec<f64> = c.iter().map(|&v| (v as f64 + alpha) / denom).collect();
-                HistogramDensity::new(cfg.lo, cfg.hi, masses).expect("valid by construction")
-            })
-            .collect();
+        let candidates: Vec<HistogramDensity> = dplearn_parallel::par_map(&comps, |_, c| {
+            let masses: Vec<f64> = c.iter().map(|&v| (v as f64 + alpha) / denom).collect();
+            HistogramDensity::new(cfg.lo, cfg.hi, masses).expect("valid by construction")
+        });
 
         // The candidate family's density range bounds the NLL from both
         // sides: these two constants define the loss range B.

@@ -111,7 +111,7 @@ pub struct LearningChannel {
 
 /// Build the exact learning channel for a finite class over an enumerated
 /// dataset space.
-pub fn learning_channel<P: Predictor, L: Loss>(
+pub fn learning_channel<P: Predictor + Sync, L: Loss + Sync>(
     space: &DatasetSpace,
     class: &FiniteClass<P>,
     loss: &L,

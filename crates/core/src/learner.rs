@@ -39,7 +39,7 @@ pub struct GibbsLearner<L> {
     loss_bound_override: Option<f64>,
 }
 
-impl<L: Loss> GibbsLearner<L> {
+impl<L: Loss + Sync> GibbsLearner<L> {
     /// Create a learner with the given loss. Defaults to λ = 1; choose a
     /// temperature with [`with_temperature`](Self::with_temperature) or
     /// [`with_target_epsilon`](Self::with_target_epsilon).
@@ -94,14 +94,18 @@ impl<L: Loss> GibbsLearner<L> {
 
     /// Fit the exact Gibbs posterior over a finite hypothesis class with
     /// a uniform prior.
-    pub fn fit<P: Predictor>(&self, class: &FiniteClass<P>, data: &Dataset) -> Result<FittedGibbs> {
+    pub fn fit<P: Predictor + Sync>(
+        &self,
+        class: &FiniteClass<P>,
+        data: &Dataset,
+    ) -> Result<FittedGibbs> {
         let prior = FinitePosterior::uniform(class.len())?;
         self.fit_with_prior(class, &prior, data)
     }
 
     /// Fit the exact Gibbs posterior over a finite class with an explicit
     /// prior.
-    pub fn fit_with_prior<P: Predictor>(
+    pub fn fit_with_prior<P: Predictor + Sync>(
         &self,
         class: &FiniteClass<P>,
         prior: &FinitePosterior,

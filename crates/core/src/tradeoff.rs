@@ -45,7 +45,7 @@ pub struct TradeoffRow {
 /// `true_risks[j]` must be the exact true risk `R(θ_j)` of each
 /// hypothesis under the world distribution (computable from
 /// [`DiscreteWorld::example_space`]).
-pub fn epsilon_sweep<P: Predictor, L: Loss>(
+pub fn epsilon_sweep<P: Predictor + Sync, L: Loss + Sync>(
     world: &DiscreteWorld,
     n: usize,
     class: &FiniteClass<P>,

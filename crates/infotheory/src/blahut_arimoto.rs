@@ -88,33 +88,63 @@ pub fn blahut_arimoto(
     let mut kernel = vec![vec![0.0; ny]; source.len()];
     let mut gap = f64::INFINITY;
     let mut iterations = 0;
+    // Fixed chunk sizes (independent of the worker count — part of the
+    // determinism contract; see dplearn-parallel). Row updates are
+    // per-row independent, and the marginal is accumulated per *column*
+    // in source order, so both stages are bit-identical to the serial
+    // loops at every thread count.
+    let row_chunk = source.len().div_ceil(64).max(1);
+    let col_chunk = ny.div_ceil(64).max(1);
     while iterations < max_iters {
         iterations += 1;
         // Update channel rows: q(y|x) ∝ r(y) exp(−β d(x,y)) — the Gibbs
-        // kernel with prior r.
-        for (row_q, row_d) in kernel.iter_mut().zip(distortion) {
-            let logits: Vec<f64> = r
-                .iter()
-                .zip(row_d)
-                .map(|(&ry, &dxy)| {
-                    if ry == 0.0 {
-                        f64::NEG_INFINITY
-                    } else {
-                        ry.ln() - beta * dxy
+        // kernel with prior r. Rows are independent Gibbs updates, so
+        // they parallelize freely.
+        {
+            let r = &r;
+            dplearn_parallel::par_for_each_chunk_mut(
+                &mut kernel,
+                row_chunk,
+                |_chunk, start, rows| {
+                    for (offset, row_q) in rows.iter_mut().enumerate() {
+                        let row_d = &distortion[start + offset];
+                        let logits: Vec<f64> = r
+                            .iter()
+                            .zip(row_d)
+                            .map(|(&ry, &dxy)| {
+                                if ry == 0.0 {
+                                    f64::NEG_INFINITY
+                                } else {
+                                    ry.ln() - beta * dxy
+                                }
+                            })
+                            .collect();
+                        let z = log_sum_exp(&logits);
+                        for (q, &l) in row_q.iter_mut().zip(&logits) {
+                            *q = (l - z).exp();
+                        }
                     }
-                })
-                .collect();
-            let z = log_sum_exp(&logits);
-            for (q, &l) in row_q.iter_mut().zip(&logits) {
-                *q = (l - z).exp();
-            }
+                },
+            );
         }
-        // Update output marginal r(y) = Σ_x p(x) q(y|x).
+        // Update output marginal r(y) = Σ_x p(x) q(y|x), parallel over
+        // output columns: each column sums its x-contributions in source
+        // order, reproducing the serial accumulation exactly.
         let mut new_r = vec![0.0; ny];
-        for (&px, row_q) in source.iter().zip(&kernel) {
-            for (nr, &q) in new_r.iter_mut().zip(row_q) {
-                *nr += px * q;
-            }
+        {
+            let kernel = &kernel;
+            dplearn_parallel::par_for_each_chunk_mut(
+                &mut new_r,
+                col_chunk,
+                |_chunk, start, cols| {
+                    let width = cols.len();
+                    for (&px, row_q) in source.iter().zip(kernel) {
+                        for (nr, &q) in cols.iter_mut().zip(&row_q[start..start + width]) {
+                            *nr += px * q;
+                        }
+                    }
+                },
+            );
         }
         gap = r
             .iter()
@@ -271,6 +301,34 @@ mod tests {
             let val = lagrangian(&source, &kernel, &distortion, beta).unwrap();
             assert!(val >= opt - 1e-9, "challenger {val} beats optimum {opt}");
         }
+    }
+
+    #[test]
+    fn blahut_arimoto_is_thread_count_invariant() {
+        // The parallel row updates and column-accumulated marginal must
+        // reproduce the same bits at every worker count.
+        let source = [0.3, 0.45, 0.25];
+        let distortion = vec![
+            vec![0.0, 0.6, 1.0],
+            vec![0.5, 0.0, 0.4],
+            vec![1.0, 0.7, 0.0],
+        ];
+        let run = || {
+            let rd = blahut_arimoto(&source, &distortion, 3.0, 1e-13, 50_000).unwrap();
+            let kernel_bits: Vec<Vec<u64>> = rd
+                .channel
+                .kernel()
+                .iter()
+                .map(|row| row.iter().map(|v| v.to_bits()).collect())
+                .collect();
+            (kernel_bits, rd.rate.to_bits(), rd.iterations)
+        };
+        dplearn_parallel::set_thread_count(1);
+        let one = run();
+        dplearn_parallel::set_thread_count(4);
+        let four = run();
+        dplearn_parallel::set_thread_count(0);
+        assert_eq!(one, four);
     }
 
     #[test]

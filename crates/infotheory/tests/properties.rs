@@ -96,7 +96,10 @@ proptest! {
         beta in 0.1..10.0f64,
     ) {
         let src = normalize(&raw_src);
-        let rd = blahut_arimoto(&src, &dist_raw, beta, 1e-11, 100_000).unwrap();
+        // BA's marginal converges linearly but the rate can be close to 1
+        // for near-redundant reproduction symbols; 1e-9 on the marginal is
+        // comfortably tighter than the 1e-8 Lagrangian tolerance below.
+        let rd = blahut_arimoto(&src, &dist_raw, beta, 1e-9, 200_000).unwrap();
         let opt = rd.rate + beta * rd.distortion;
         for y in 0..3 {
             let kernel: Vec<Vec<f64>> = (0..3)

@@ -25,7 +25,7 @@ pub struct FiniteErm {
 }
 
 /// Exact ERM over a finite hypothesis class (ties broken by lowest index).
-pub fn erm_finite<P: Predictor, L: Loss>(
+pub fn erm_finite<P: Predictor + Sync, L: Loss + Sync>(
     class: &FiniteClass<P>,
     loss: &L,
     data: &Dataset,

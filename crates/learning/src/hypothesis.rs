@@ -137,11 +137,27 @@ impl<P: Predictor> FiniteClass<P> {
     }
 
     /// The empirical-risk vector `(R̂(θ₁), …, R̂(θ_k))` on a sample.
-    pub fn risk_vector<L: Loss>(&self, loss: &L, data: &Dataset) -> Vec<f64> {
-        self.hypotheses
-            .iter()
-            .map(|h| empirical_risk(h, loss, data))
-            .collect()
+    ///
+    /// This is the exponential-mechanism scoring loop — the hot path of
+    /// every finite-class fit (`|Θ|·n` loss evaluations). Large classes
+    /// are scored in parallel; each hypothesis's risk is an independent
+    /// pure function written to its own slot, so the result is
+    /// bit-identical to the serial loop at every thread count.
+    pub fn risk_vector<L>(&self, loss: &L, data: &Dataset) -> Vec<f64>
+    where
+        P: Sync,
+        L: Loss + Sync,
+    {
+        // Below ~64k loss evaluations the scoring loop is microseconds;
+        // stay inline rather than paying thread-spawn overhead.
+        if self.hypotheses.len().saturating_mul(data.len()) < (1 << 16) {
+            return self
+                .hypotheses
+                .iter()
+                .map(|h| empirical_risk(h, loss, data))
+                .collect();
+        }
+        dplearn_parallel::par_map(&self.hypotheses, |_, h| empirical_risk(h, loss, data))
     }
 }
 

@@ -16,7 +16,7 @@
 //! exactly this machinery.
 
 use crate::{MechanismError, Result};
-use dplearn_numerics::rng::Rng;
+use dplearn_numerics::rng::{Rng, Xoshiro256};
 use dplearn_numerics::stats::Histogram;
 
 /// Outcome of a privacy audit on one neighbor pair.
@@ -194,6 +194,183 @@ fn smoothed_max_log_ratio(counts_d: &[u64], counts_dp: &[u64], trials: u64) -> f
         worst = worst.max((pa / pb).ln().abs());
     }
     worst
+}
+
+/// Configuration for the chunked, data-parallel Monte-Carlo audits
+/// ([`audit_discrete_par`] / [`audit_continuous_par`]).
+///
+/// The trial range is split into fixed chunks of `chunk_size` trials;
+/// chunk `k` always draws from the `k`-th jump-derived RNG stream (see
+/// `Xoshiro256::jump_streams`) and local counts are merged in chunk
+/// order, so the result is **bit-identical at every thread count** —
+/// only `trials`, `chunk_size`, and the seed determine the output.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditConfig {
+    /// Mechanism invocations per dataset.
+    pub trials: u64,
+    /// Trials per parallel chunk (chunk boundaries are part of the
+    /// deterministic result, so changing this changes the RNG layout).
+    pub chunk_size: u64,
+}
+
+impl AuditConfig {
+    /// Default chunk size: large enough to amortize scheduling, small
+    /// enough to load-balance across many cores.
+    pub const DEFAULT_CHUNK_SIZE: u64 = 1 << 16;
+
+    /// Audit with `trials` invocations per dataset and the default
+    /// chunking.
+    pub fn new(trials: u64) -> Self {
+        AuditConfig {
+            trials,
+            chunk_size: Self::DEFAULT_CHUNK_SIZE,
+        }
+    }
+
+    /// Override the chunk size (changes the deterministic RNG layout).
+    pub fn with_chunk_size(mut self, chunk_size: u64) -> Self {
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    /// Reject degenerate configurations with typed errors instead of
+    /// letting a zero bound silently skip the audit loop.
+    pub fn validate(&self) -> Result<()> {
+        if self.trials == 0 {
+            return Err(MechanismError::InvalidParameter {
+                name: "trials",
+                reason: "must be positive".to_string(),
+            });
+        }
+        if self.chunk_size == 0 {
+            return Err(MechanismError::InvalidParameter {
+                name: "chunk_size",
+                reason: "must be positive".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of fixed-size chunks the trial range splits into.
+    fn n_chunks(&self) -> usize {
+        self.trials.div_ceil(self.chunk_size) as usize
+    }
+
+    /// Trial count of chunk `k` (the last chunk may be short).
+    fn chunk_trials(&self, k: usize) -> u64 {
+        let start = k as u64 * self.chunk_size;
+        self.chunk_size.min(self.trials - start)
+    }
+}
+
+/// Data-parallel Monte-Carlo audit of a **discrete** mechanism — the
+/// deterministic parallel counterpart of [`audit_discrete`].
+///
+/// Each chunk accumulates local count vectors with its own jump-derived
+/// RNG stream; chunk counts are merged in chunk order, so the result
+/// depends only on `(cfg, seed)`, never on `DPLEARN_THREADS`.
+pub fn audit_discrete_par<F, G>(
+    mech_d: F,
+    mech_d_prime: G,
+    support_size: usize,
+    cfg: &AuditConfig,
+    seed: u64,
+) -> Result<AuditResult>
+where
+    F: Fn(&mut Xoshiro256) -> usize + Sync,
+    G: Fn(&mut Xoshiro256) -> usize + Sync,
+{
+    if support_size == 0 {
+        return Err(MechanismError::InvalidParameter {
+            name: "support_size",
+            reason: "must be positive".to_string(),
+        });
+    }
+    cfg.validate()?;
+    let streams = Xoshiro256::jump_streams(seed, cfg.n_chunks());
+    let (counts_d, counts_dp) = dplearn_parallel::par_map_reduce(
+        cfg.n_chunks(),
+        (vec![0u64; support_size], vec![0u64; support_size]),
+        |k| {
+            let mut rng = streams[k].clone();
+            let mut local_d = vec![0u64; support_size];
+            let mut local_dp = vec![0u64; support_size];
+            for _ in 0..cfg.chunk_trials(k) {
+                local_d[mech_d(&mut rng)] += 1;
+                local_dp[mech_d_prime(&mut rng)] += 1;
+            }
+            (local_d, local_dp)
+        },
+        |(mut acc_d, mut acc_dp), (local_d, local_dp)| {
+            for (a, l) in acc_d.iter_mut().zip(&local_d) {
+                *a += l;
+            }
+            for (a, l) in acc_dp.iter_mut().zip(&local_dp) {
+                *a += l;
+            }
+            (acc_d, acc_dp)
+        },
+    );
+    let eps = smoothed_max_log_ratio(&counts_d, &counts_dp, cfg.trials);
+    Ok(AuditResult {
+        empirical_epsilon: eps,
+        trials: cfg.trials,
+        support_size,
+    })
+}
+
+/// Data-parallel Monte-Carlo audit of a **continuous scalar** mechanism
+/// — the deterministic parallel counterpart of [`audit_continuous`].
+///
+/// Per-chunk histograms are accumulated locally and merged in chunk
+/// order; see [`AuditConfig`] for the determinism contract.
+pub fn audit_continuous_par<F, G>(
+    mech_d: F,
+    mech_d_prime: G,
+    lo: f64,
+    hi: f64,
+    bins: usize,
+    cfg: &AuditConfig,
+    seed: u64,
+) -> Result<AuditResult>
+where
+    F: Fn(&mut Xoshiro256) -> f64 + Sync,
+    G: Fn(&mut Xoshiro256) -> f64 + Sync,
+{
+    cfg.validate()?;
+    // Validate the histogram domain once up front (typed error) so
+    // worker chunks cannot fail.
+    Histogram::new(lo, hi, bins)?;
+    let streams = Xoshiro256::jump_streams(seed, cfg.n_chunks());
+    let (counts_d, counts_dp) = dplearn_parallel::par_map_reduce(
+        cfg.n_chunks(),
+        (vec![0u64; bins], vec![0u64; bins]),
+        |k| {
+            let mut rng = streams[k].clone();
+            let mut h_d = Histogram::new(lo, hi, bins).expect("validated above");
+            let mut h_dp = Histogram::new(lo, hi, bins).expect("validated above");
+            for _ in 0..cfg.chunk_trials(k) {
+                h_d.record(mech_d(&mut rng));
+                h_dp.record(mech_d_prime(&mut rng));
+            }
+            (h_d.counts().to_vec(), h_dp.counts().to_vec())
+        },
+        |(mut acc_d, mut acc_dp), (local_d, local_dp)| {
+            for (a, l) in acc_d.iter_mut().zip(&local_d) {
+                *a += l;
+            }
+            for (a, l) in acc_dp.iter_mut().zip(&local_dp) {
+                *a += l;
+            }
+            (acc_d, acc_dp)
+        },
+    );
+    let eps = tail_max_log_ratio(&counts_d, &counts_dp, cfg.trials);
+    Ok(AuditResult {
+        empirical_epsilon: eps,
+        trials: cfg.trials,
+        support_size: bins,
+    })
 }
 
 /// Statistically certified evidence that a mechanism violates a claimed
@@ -500,5 +677,83 @@ mod tests {
         assert!(audit_discrete(|_r| 0usize, |_r| 0usize, 0, 10, &mut rng).is_err());
         assert!(audit_discrete(|_r| 0usize, |_r| 0usize, 2, 0, &mut rng).is_err());
         assert!(audit_continuous(|_r| 0.0, |_r| 0.0, 0.0, 1.0, 10, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn parallel_continuous_audit_matches_epsilon_bound() {
+        let eps = Epsilon::new(1.0).unwrap();
+        let m = LaplaceMechanism::new(eps, 1.0).unwrap();
+        let cfg = AuditConfig::new(200_000).with_chunk_size(1 << 14);
+        let res = audit_continuous_par(
+            |r| m.release(0.0, r),
+            |r| m.release(1.0, r),
+            -8.0,
+            9.0,
+            40,
+            &cfg,
+            42,
+        )
+        .unwrap();
+        assert!(
+            res.empirical_epsilon <= eps.value() + 0.15,
+            "audited ε̂ = {} should be ≲ ε = 1",
+            res.empirical_epsilon
+        );
+        assert!(res.empirical_epsilon > 0.6, "ε̂ = {}", res.empirical_epsilon);
+        assert_eq!(res.trials, 200_000);
+    }
+
+    #[test]
+    fn parallel_discrete_audit_matches_epsilon() {
+        use crate::randomized_response::RandomizedResponse;
+        let eps = Epsilon::new(1.5).unwrap();
+        let rr = RandomizedResponse::new(eps, 2).unwrap();
+        let cfg = AuditConfig::new(400_000);
+        let res =
+            audit_discrete_par(|r| rr.respond(0, r), |r| rr.respond(1, r), 2, &cfg, 7).unwrap();
+        assert!(
+            (res.empirical_epsilon - 1.5).abs() < 0.05,
+            "ε̂ = {}",
+            res.empirical_epsilon
+        );
+    }
+
+    #[test]
+    fn parallel_audit_is_thread_count_invariant() {
+        let eps = Epsilon::new(1.0).unwrap();
+        let m = LaplaceMechanism::new(eps, 1.0).unwrap();
+        let cfg = AuditConfig::new(20_000).with_chunk_size(1 << 10);
+        let run = || {
+            audit_continuous_par(
+                |r| m.release(0.0, r),
+                |r| m.release(1.0, r),
+                -6.0,
+                7.0,
+                30,
+                &cfg,
+                9,
+            )
+            .unwrap()
+            .empirical_epsilon
+            .to_bits()
+        };
+        dplearn_parallel::set_thread_count(1);
+        let one = run();
+        dplearn_parallel::set_thread_count(4);
+        let four = run();
+        dplearn_parallel::set_thread_count(0);
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn audit_config_validates() {
+        assert!(AuditConfig::new(0).validate().is_err());
+        assert!(AuditConfig::new(10).with_chunk_size(0).validate().is_err());
+        assert!(AuditConfig::new(10).validate().is_ok());
+        assert!(audit_discrete_par(|_r| 0usize, |_r| 0usize, 0, &AuditConfig::new(10), 1).is_err());
+        assert!(
+            audit_continuous_par(|_r| 0.0, |_r| 0.0, 1.0, 0.0, 10, &AuditConfig::new(10), 1)
+                .is_err()
+        );
     }
 }

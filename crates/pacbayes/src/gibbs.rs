@@ -88,6 +88,47 @@ impl Default for MhConfig {
     }
 }
 
+impl MhConfig {
+    /// Reject configurations that would silently degenerate: `thin = 0`
+    /// (an infinite-stride loop that retains nothing), `n_samples = 0`,
+    /// a non-positive or non-finite step, or iteration totals that
+    /// overflow `usize`.
+    pub fn validate(&self) -> Result<()> {
+        if self.n_samples == 0 {
+            return Err(PacBayesError::InvalidParameter {
+                name: "n_samples",
+                reason: "must be positive".to_string(),
+            });
+        }
+        if self.thin == 0 {
+            return Err(PacBayesError::InvalidParameter {
+                name: "thin",
+                reason: "must be at least 1 (0 would retain no draws)".to_string(),
+            });
+        }
+        if !(self.initial_step.is_finite() && self.initial_step > 0.0) {
+            return Err(PacBayesError::InvalidParameter {
+                name: "initial_step",
+                reason: format!("must be finite and positive, got {}", self.initial_step),
+            });
+        }
+        let post = self.n_samples.checked_mul(self.thin);
+        if post.and_then(|p| p.checked_add(self.burn_in)).is_none() {
+            return Err(PacBayesError::InvalidParameter {
+                name: "burn_in/n_samples/thin",
+                reason: "total iteration count overflows usize".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Total chain iterations (`burn_in + n_samples·thin`); valid only
+    /// after [`MhConfig::validate`] has passed.
+    fn total_iterations(&self) -> usize {
+        self.burn_in + self.n_samples * self.thin
+    }
+}
+
 /// Random-walk Metropolis–Hastings sampler for a continuous Gibbs
 /// posterior `π̂(θ) ∝ π(θ)·exp(−λ R̂(θ))` over ℝᵈ.
 pub struct MetropolisGibbs<'a, F> {
@@ -110,12 +151,7 @@ where
                 reason: format!("temperature must be finite and nonnegative, got {lambda}"),
             });
         }
-        if cfg.n_samples == 0 || cfg.thin == 0 {
-            return Err(PacBayesError::InvalidParameter {
-                name: "cfg",
-                reason: "n_samples and thin must be positive".to_string(),
-            });
-        }
+        cfg.validate()?;
         Ok(MetropolisGibbs {
             prior,
             emp_risk,
@@ -138,7 +174,7 @@ where
         let gauss = dplearn_numerics::distributions::Gaussian::standard();
         use dplearn_numerics::distributions::Sample;
 
-        let total = self.cfg.burn_in + self.cfg.n_samples * self.cfg.thin;
+        let total = self.cfg.total_iterations();
         let mut samples = Vec::with_capacity(self.cfg.n_samples);
         let mut accepted_post = 0usize;
         let mut post_iters = 0usize;
@@ -188,6 +224,131 @@ where
             final_step: step,
         };
         (samples, diagnostics)
+    }
+}
+
+/// Pooled diagnostics from a multi-chain Metropolis–Hastings run.
+#[derive(Debug, Clone)]
+pub struct MultiChainDiagnostics {
+    /// Per-chain diagnostics, in chain order.
+    pub per_chain: Vec<MhDiagnostics>,
+    /// Per-chain posterior means, `chain_means[chain][dim]`.
+    pub chain_means: Vec<Vec<f64>>,
+    /// Mean acceptance rate across chains.
+    pub pooled_acceptance: f64,
+    /// Per-dimension potential-scale-reduction statistic (Gelman–Rubin
+    /// R̂ without chain splitting): values near 1 indicate the chains
+    /// explore the same distribution; `NaN` when fewer than 2 chains or
+    /// 2 samples make the statistic undefined.
+    pub rhat: Vec<f64>,
+}
+
+impl<'a, F> MetropolisGibbs<'a, F>
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    /// Run `n_chains` independent chains in parallel, each on its own
+    /// jump-derived RNG stream, and pool the results.
+    ///
+    /// Chain `k` always consumes stream `k` of
+    /// `Xoshiro256::jump_streams(seed, n_chains)` and chains are merged
+    /// in chain order, so the output is **bit-identical at every thread
+    /// count** — only `(config, n_chains, seed)` matter. All chains use
+    /// the same adaptive-step schedule as [`MetropolisGibbs::run`].
+    ///
+    /// Returns per-chain samples (`chains[chain][draw][dim]`) plus
+    /// pooled diagnostics with an R̂-style between/within-chain spread
+    /// check.
+    pub fn sample_chains(
+        &self,
+        n_chains: usize,
+        seed: u64,
+    ) -> Result<(Vec<Vec<Vec<f64>>>, MultiChainDiagnostics)> {
+        if n_chains == 0 {
+            return Err(PacBayesError::InvalidParameter {
+                name: "n_chains",
+                reason: "must be positive".to_string(),
+            });
+        }
+        self.cfg.validate()?;
+        let streams = dplearn_numerics::rng::Xoshiro256::jump_streams(seed, n_chains);
+        let runs: Vec<(Vec<Vec<f64>>, MhDiagnostics)> =
+            dplearn_parallel::par_map_indexed(n_chains, |k| {
+                let mut rng = streams[k].clone();
+                self.run(&mut rng)
+            });
+
+        let d = self.prior.dim();
+        let n = self.cfg.n_samples;
+        let mut chains = Vec::with_capacity(n_chains);
+        let mut per_chain = Vec::with_capacity(n_chains);
+        for (samples, diag) in runs {
+            chains.push(samples);
+            per_chain.push(diag);
+        }
+        let chain_means: Vec<Vec<f64>> = chains
+            .iter()
+            .map(|samples| {
+                let mut mean = vec![0.0; d];
+                for s in samples {
+                    for (m, &v) in mean.iter_mut().zip(s) {
+                        *m += v;
+                    }
+                }
+                mean.iter_mut().for_each(|m| *m /= n as f64);
+                mean
+            })
+            .collect();
+
+        // Gelman–Rubin: W = mean within-chain variance, B/n = variance
+        // of chain means; R̂ = sqrt(((n−1)/n·W + B/n) / W).
+        let m = n_chains as f64;
+        let rhat: Vec<f64> = (0..d)
+            .map(|dim| {
+                if n_chains < 2 || n < 2 {
+                    return f64::NAN;
+                }
+                let grand = chain_means.iter().map(|cm| cm[dim]).sum::<f64>() / m;
+                let b_over_n = chain_means
+                    .iter()
+                    .map(|cm| (cm[dim] - grand).powi(2))
+                    .sum::<f64>()
+                    / (m - 1.0);
+                let w = chains
+                    .iter()
+                    .zip(&chain_means)
+                    .map(|(samples, cm)| {
+                        samples
+                            .iter()
+                            .map(|s| (s[dim] - cm[dim]).powi(2))
+                            .sum::<f64>()
+                            / (n as f64 - 1.0)
+                    })
+                    .sum::<f64>()
+                    / m;
+                if w <= 0.0 {
+                    // Degenerate chains (e.g. zero acceptance): spread
+                    // check is uninformative.
+                    return f64::NAN;
+                }
+                (((n as f64 - 1.0) / n as f64 * w + b_over_n) / w).sqrt()
+            })
+            .collect();
+
+        let pooled_acceptance = per_chain
+            .iter()
+            .map(|diag| diag.acceptance_rate)
+            .sum::<f64>()
+            / m;
+        Ok((
+            chains,
+            MultiChainDiagnostics {
+                per_chain,
+                chain_means,
+                pooled_acceptance,
+                rhat,
+            },
+        ))
     }
 }
 
@@ -325,5 +486,109 @@ mod tests {
             ..MhConfig::default()
         };
         assert!(MetropolisGibbs::new(&prior, |_t: &[f64]| 0.0, 1.0, bad).is_err());
+    }
+
+    #[test]
+    fn mh_config_validate_rejects_footguns() {
+        assert!(MhConfig::default().validate().is_ok());
+        let thin0 = MhConfig {
+            thin: 0,
+            ..MhConfig::default()
+        };
+        assert!(matches!(
+            thin0.validate(),
+            Err(PacBayesError::InvalidParameter { name: "thin", .. })
+        ));
+        let no_samples = MhConfig {
+            n_samples: 0,
+            ..MhConfig::default()
+        };
+        assert!(matches!(
+            no_samples.validate(),
+            Err(PacBayesError::InvalidParameter {
+                name: "n_samples",
+                ..
+            })
+        ));
+        let bad_step = MhConfig {
+            initial_step: 0.0,
+            ..MhConfig::default()
+        };
+        assert!(bad_step.validate().is_err());
+        let nan_step = MhConfig {
+            initial_step: f64::NAN,
+            ..MhConfig::default()
+        };
+        assert!(nan_step.validate().is_err());
+        let overflow = MhConfig {
+            n_samples: usize::MAX,
+            thin: 2,
+            ..MhConfig::default()
+        };
+        assert!(overflow.validate().is_err());
+    }
+
+    #[test]
+    fn multi_chain_recovers_posterior_and_converges() {
+        // Same conjugate setup as the single-chain test: posterior is
+        // N(λ/(1+λ), 1/(1+λ)).
+        let prior = DiagGaussian::isotropic(1, 1.0).unwrap();
+        let lambda = 3.0;
+        let mh = MetropolisGibbs::new(
+            &prior,
+            |t: &[f64]| 0.5 * (t[0] - 1.0).powi(2),
+            lambda,
+            MhConfig {
+                burn_in: 2000,
+                n_samples: 1500,
+                thin: 3,
+                initial_step: 0.5,
+            },
+        )
+        .unwrap();
+        let (chains, diag) = mh.sample_chains(4, 271).unwrap();
+        assert_eq!(chains.len(), 4);
+        assert!(chains.iter().all(|c| c.len() == 1500));
+        assert_eq!(diag.per_chain.len(), 4);
+        assert!(
+            diag.pooled_acceptance > 0.1 && diag.pooled_acceptance < 0.7,
+            "pooled acceptance {}",
+            diag.pooled_acceptance
+        );
+        // Pooled mean across chains matches the conjugate posterior.
+        let pooled: Vec<f64> = chains.iter().flatten().map(|s| s[0]).collect();
+        close(stats::mean(&pooled).unwrap(), lambda / (1.0 + lambda), 0.05);
+        // Chains agree: R̂ close to 1.
+        assert!(
+            diag.rhat[0].is_finite() && (diag.rhat[0] - 1.0).abs() < 0.1,
+            "rhat {}",
+            diag.rhat[0]
+        );
+    }
+
+    #[test]
+    fn multi_chain_is_thread_count_invariant_and_seed_sensitive() {
+        let prior = DiagGaussian::isotropic(2, 1.0).unwrap();
+        let mh = MetropolisGibbs::new(
+            &prior,
+            |t: &[f64]| 0.5 * (t[0] * t[0] + t[1] * t[1]),
+            2.0,
+            MhConfig {
+                burn_in: 200,
+                n_samples: 100,
+                thin: 2,
+                initial_step: 0.4,
+            },
+        )
+        .unwrap();
+        let run = |seed: u64| mh.sample_chains(3, seed).unwrap().0;
+        dplearn_parallel::set_thread_count(1);
+        let one = run(5);
+        dplearn_parallel::set_thread_count(4);
+        let four = run(5);
+        dplearn_parallel::set_thread_count(0);
+        assert_eq!(one, four, "chains must not depend on thread count");
+        assert_ne!(run(5), run(6), "different seeds should differ");
+        assert!(mh.sample_chains(0, 1).is_err());
     }
 }

@@ -1,0 +1,329 @@
+//! Deterministic data-parallel execution for the dplearn workspace.
+//!
+//! Every hot path in the reproduction — Monte-Carlo privacy audits,
+//! multi-chain Gibbs sampling, Blahut–Arimoto, exponential-mechanism
+//! scoring — is embarrassingly parallel. This crate provides the one
+//! primitive they all share: a **chunked, scoped-thread map** whose
+//! output is **bit-identical at every thread count**.
+//!
+//! # The determinism contract
+//!
+//! Work is split into *fixed-size chunks whose boundaries depend only on
+//! the problem size*, never on the number of workers. Each chunk is an
+//! independent computation (callers give stochastic chunks their own RNG
+//! stream — see `Xoshiro256::jump_streams` in `dplearn-numerics`), and
+//! chunk results are merged **in chunk-index order**. Threads only decide
+//! *when* a chunk runs, never *what* it computes or *where* its result
+//! lands, so:
+//!
+//! ```text
+//! result(1 thread) == result(2 threads) == result(N threads), bit for bit
+//! ```
+//!
+//! # Thread-count resolution
+//!
+//! [`thread_count`] resolves, in order: the process-global override set
+//! by [`set_thread_count`] (used by tests and benches), the
+//! `DPLEARN_THREADS` environment variable, and finally
+//! `std::thread::available_parallelism()`. A count of 1 runs inline on
+//! the calling thread with no spawns.
+//!
+//! The crate is dependency-free: only `std::thread::scope` and atomics.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-global thread-count override; 0 means "no override".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Override the worker count for subsequent parallel calls (0 clears the
+/// override). Intended for tests and benchmarks; normal configuration is
+/// the `DPLEARN_THREADS` environment variable.
+///
+/// Because results are thread-count invariant, racing this setting
+/// against in-flight parallel calls can change only their speed, never
+/// their output.
+pub fn set_thread_count(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The number of worker threads parallel calls will use: the
+/// [`set_thread_count`] override if set, else `DPLEARN_THREADS`, else
+/// the machine's available parallelism (minimum 1).
+pub fn thread_count() -> usize {
+    let ov = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if ov > 0 {
+        return ov;
+    }
+    if let Ok(v) = std::env::var("DPLEARN_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Split `n` items into chunks of `chunk_size` and return the chunk
+/// count. Chunk `i` covers `[i*chunk_size, min((i+1)*chunk_size, n))`.
+pub fn chunk_count(n: usize, chunk_size: usize) -> usize {
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    n.div_ceil(chunk_size)
+}
+
+/// Map `f` over chunk indices `0..n_chunks`, returning results in chunk
+/// order. `f(i)` must depend only on `i` (plus captured immutable state)
+/// for the determinism contract to hold; scheduling across workers is
+/// arbitrary, but the returned `Vec` is always `[f(0), f(1), …]`.
+pub fn par_map_indexed<T, F>(n_chunks: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = thread_count().min(n_chunks.max(1));
+    if workers <= 1 || n_chunks <= 1 {
+        return (0..n_chunks).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_chunks {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    // Ordered merge: sorting by chunk index restores the deterministic
+    // sequence regardless of which worker ran which chunk.
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(tagged.len(), n_chunks);
+    tagged.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Map every element of `items` through `f` (called with the element's
+/// index), preserving order. Items are grouped into contiguous blocks to
+/// amortize scheduling; block boundaries depend only on `items.len()`,
+/// so output is thread-count invariant whenever `f` is a pure function
+/// of `(index, item)`.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Fixed block size: targets ~64 blocks for large inputs, never less
+    // than 1 item, and is independent of the worker count.
+    let block = n.div_ceil(64).max(1);
+    let blocks = chunk_count(n, block);
+    let mut out: Vec<Vec<U>> = par_map_indexed(blocks, |b| {
+        let lo = b * block;
+        let hi = (lo + block).min(n);
+        items[lo..hi]
+            .iter()
+            .enumerate()
+            .map(|(k, item)| f(lo + k, item))
+            .collect()
+    });
+    let mut flat = Vec::with_capacity(n);
+    for v in &mut out {
+        flat.append(v);
+    }
+    flat
+}
+
+/// Chunked map-reduce: apply `map` to each chunk index, then fold the
+/// chunk results **strictly in chunk order** with `fold`, starting from
+/// `init`. The fold order is part of the determinism contract: floating-
+/// point accumulation happens in the same association at any thread
+/// count.
+pub fn par_map_reduce<A, T, FM, FR>(n_chunks: usize, init: A, map: FM, fold: FR) -> A
+where
+    T: Send,
+    FM: Fn(usize) -> T + Sync,
+    FR: FnMut(A, T) -> A,
+{
+    par_map_indexed(n_chunks, map).into_iter().fold(init, fold)
+}
+
+/// Apply `f` to disjoint mutable chunks of `items` in parallel. `f`
+/// receives `(chunk_index, start_offset, chunk)`; chunk boundaries are
+/// every `chunk_size` elements, independent of the worker count. Because
+/// each chunk is written exactly once by a pure function of its inputs,
+/// the final contents of `items` are thread-count invariant.
+pub fn par_for_each_chunk_mut<T, F>(items: &mut [T], chunk_size: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, usize, &mut [T]) + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let n = items.len();
+    let workers = thread_count();
+    if workers <= 1 || n <= chunk_size {
+        for (i, chunk) in items.chunks_mut(chunk_size).enumerate() {
+            f(i, i * chunk_size, chunk);
+        }
+        return;
+    }
+    let queue: Mutex<Vec<(usize, usize, &mut [T])>> = Mutex::new(
+        items
+            .chunks_mut(chunk_size)
+            .enumerate()
+            .map(|(i, c)| (i, i * chunk_size, c))
+            .collect(),
+    );
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(chunk_count(n, chunk_size)) {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("chunk queue poisoned").pop();
+                match job {
+                    Some((i, start, chunk)) => f(i, start, chunk),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests that mutate the process-global override serialize on this
+    /// lock so concurrent test threads don't observe each other's
+    /// settings.
+    fn override_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Run `body` at each of the given worker counts and assert all
+    /// results are identical.
+    fn invariant_over_threads<T: PartialEq + std::fmt::Debug>(body: impl Fn() -> T) {
+        let _guard = override_lock();
+        let baseline = {
+            set_thread_count(1);
+            body()
+        };
+        for threads in [2, 3, 8] {
+            set_thread_count(threads);
+            assert_eq!(body(), baseline, "diverged at {threads} threads");
+        }
+        set_thread_count(0);
+    }
+
+    #[test]
+    fn par_map_indexed_preserves_order() {
+        invariant_over_threads(|| par_map_indexed(100, |i| i * i));
+    }
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x) ^ 17).collect();
+        invariant_over_threads(|| {
+            let got = par_map(&items, |i, &x| {
+                assert_eq!(items[i], x);
+                x.wrapping_mul(x) ^ 17
+            });
+            assert_eq!(got, serial);
+            got
+        });
+    }
+
+    #[test]
+    fn par_map_reduce_folds_in_chunk_order() {
+        // String concatenation is order-sensitive: any out-of-order merge
+        // would be caught immediately.
+        invariant_over_threads(|| {
+            par_map_reduce(37, String::new(), |i| format!("[{i}]"), |acc, s| acc + &s)
+        });
+    }
+
+    #[test]
+    fn float_reduction_is_bit_stable() {
+        // Sums of many floats differ under re-association; the ordered
+        // fold must produce identical bits at every thread count.
+        let _guard = override_lock();
+        let bits = |threads: usize| {
+            set_thread_count(threads);
+            let total = par_map_reduce(
+                64,
+                0.0f64,
+                |i| {
+                    let mut s = 0.0f64;
+                    for k in 0..1000 {
+                        s += ((i * 1000 + k) as f64).sqrt();
+                    }
+                    s
+                },
+                |acc, x| acc + x,
+            );
+            set_thread_count(0);
+            total.to_bits()
+        };
+        let b1 = bits(1);
+        assert_eq!(b1, bits(2));
+        assert_eq!(b1, bits(8));
+    }
+
+    #[test]
+    fn par_for_each_chunk_mut_writes_every_slot() {
+        invariant_over_threads(|| {
+            let mut data = vec![0u64; 257];
+            par_for_each_chunk_mut(&mut data, 16, |_i, start, chunk| {
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    *v = (start + k) as u64 + 1;
+                }
+            });
+            assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+            data
+        });
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert!(par_map_indexed(0, |i| i).is_empty());
+        assert_eq!(par_map_indexed(1, |i| i + 5), vec![5]);
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(par_map_reduce(0, 42i32, |_| 1, |a, b| a + b), 42);
+    }
+
+    #[test]
+    fn chunk_count_rounds_up() {
+        assert_eq!(chunk_count(0, 10), 0);
+        assert_eq!(chunk_count(1, 10), 1);
+        assert_eq!(chunk_count(10, 10), 1);
+        assert_eq!(chunk_count(11, 10), 2);
+    }
+
+    #[test]
+    fn env_and_override_resolution() {
+        let _guard = override_lock();
+        set_thread_count(5);
+        assert_eq!(thread_count(), 5);
+        set_thread_count(0);
+        assert!(thread_count() >= 1);
+    }
+}

@@ -82,6 +82,140 @@ fn mechanism_audits_are_bit_reproducible() {
     assert_eq!(run(9).to_bits(), run(9).to_bits());
 }
 
+// ---------------------------------------------------------------------
+// Thread-count invariance
+//
+// The parallel execution layer (dplearn-parallel) promises that every
+// parallelized pipeline is a pure function of its seed *and nothing
+// else* — in particular, not of the worker count. These tests run each
+// parallel hot path at 1, 2, and 8 workers and demand bit-identical
+// outputs. The worker-count override is process-global, so the tests
+// serialize on a shared lock.
+// ---------------------------------------------------------------------
+
+fn thread_override_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Run `body` at 1, 2, and 8 workers and assert all results are equal.
+fn assert_thread_count_invariant<T: PartialEq + std::fmt::Debug>(body: impl Fn() -> T) {
+    let _guard = thread_override_lock();
+    dplearn_parallel::set_thread_count(1);
+    let baseline = body();
+    for threads in [2, 8] {
+        dplearn_parallel::set_thread_count(threads);
+        assert_eq!(body(), baseline, "diverged at {threads} workers");
+    }
+    dplearn_parallel::set_thread_count(0);
+}
+
+#[test]
+fn parallel_continuous_audit_is_thread_count_invariant() {
+    use dplearn::mechanisms::audit::{audit_continuous_par, AuditConfig};
+    use dplearn::mechanisms::laplace::LaplaceMechanism;
+    use dplearn::mechanisms::privacy::Epsilon;
+    let m = LaplaceMechanism::new(Epsilon::new(1.0).unwrap(), 1.0).unwrap();
+    // Small chunks force many chunks, exercising the ordered merge.
+    let cfg = AuditConfig::new(50_000).with_chunk_size(1 << 12);
+    assert_thread_count_invariant(|| {
+        audit_continuous_par(
+            |r| m.release(0.0, r),
+            |r| m.release(1.0, r),
+            -6.0,
+            7.0,
+            30,
+            &cfg,
+            99,
+        )
+        .unwrap()
+        .empirical_epsilon
+        .to_bits()
+    });
+}
+
+#[test]
+fn parallel_discrete_audit_is_thread_count_invariant() {
+    use dplearn::mechanisms::audit::{audit_discrete_par, AuditConfig};
+    use dplearn::mechanisms::privacy::Epsilon;
+    use dplearn::mechanisms::randomized_response::RandomizedResponse;
+    let rr = RandomizedResponse::new(Epsilon::new(0.8).unwrap(), 2).unwrap();
+    let cfg = AuditConfig::new(40_000).with_chunk_size(1 << 12);
+    assert_thread_count_invariant(|| {
+        audit_discrete_par(|r| rr.respond(0, r), |r| rr.respond(1, r), 2, &cfg, 7)
+            .unwrap()
+            .empirical_epsilon
+            .to_bits()
+    });
+}
+
+#[test]
+fn multi_chain_gibbs_is_thread_count_invariant() {
+    use dplearn::pacbayes::gibbs::{MetropolisGibbs, MhConfig};
+    use dplearn::pacbayes::posterior::DiagGaussian;
+    let prior = DiagGaussian::isotropic(2, 1.0).unwrap();
+    let emp_risk = |theta: &[f64]| theta.iter().map(|t| (t - 0.4).powi(2)).sum::<f64>();
+    let cfg = MhConfig {
+        burn_in: 200,
+        n_samples: 100,
+        thin: 2,
+        initial_step: 0.4,
+    };
+    let mh = MetropolisGibbs::new(&prior, emp_risk, 4.0, cfg).unwrap();
+    assert_thread_count_invariant(|| {
+        let (chains, diag) = mh.sample_chains(4, 31).unwrap();
+        let bits: Vec<Vec<Vec<u64>>> = chains
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .map(|s| s.iter().map(|v| v.to_bits()).collect())
+                    .collect()
+            })
+            .collect();
+        let rhat_bits: Vec<u64> = diag.rhat.iter().map(|v| v.to_bits()).collect();
+        (bits, rhat_bits, diag.pooled_acceptance.to_bits())
+    });
+}
+
+#[test]
+fn blahut_arimoto_is_thread_count_invariant() {
+    use dplearn::infotheory::blahut_arimoto::blahut_arimoto;
+    let source = [0.2, 0.5, 0.3];
+    let distortion = vec![
+        vec![0.0, 0.8, 1.2],
+        vec![0.7, 0.0, 0.5],
+        vec![1.1, 0.6, 0.0],
+    ];
+    assert_thread_count_invariant(|| {
+        let rd = blahut_arimoto(&source, &distortion, 2.5, 1e-12, 50_000).unwrap();
+        let kernel_bits: Vec<Vec<u64>> = rd
+            .channel
+            .kernel()
+            .iter()
+            .map(|row| row.iter().map(|v| v.to_bits()).collect())
+            .collect();
+        (kernel_bits, rd.rate.to_bits(), rd.distortion.to_bits())
+    });
+}
+
+#[test]
+fn risk_vector_is_thread_count_invariant() {
+    use dplearn::learning::loss::ZeroOne;
+    // 512 hypotheses × 200 examples = 102 400 loss evaluations — past the
+    // inline threshold, so this exercises the parallel scoring loop.
+    let world = NoisyThreshold::new(0.35, 0.05);
+    let mut rng = Xoshiro256::seed_from(17);
+    let data = world.sample(200, &mut rng);
+    let class = FiniteClass::threshold_grid(0.0, 1.0, 512);
+    assert_thread_count_invariant(|| {
+        class
+            .risk_vector(&ZeroOne, &data)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<u64>>()
+    });
+}
+
 #[test]
 fn substreams_are_independent_of_evaluation_order() {
     // Experiment harnesses hand each trial its own substream; running

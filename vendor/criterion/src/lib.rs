@@ -1,0 +1,245 @@
+//! A minimal, dependency-free stand-in for the [`criterion`] crate.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors
+//! the slice of criterion's API its benches use: `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `measurement_time`, `sample_size`,
+//! and `Bencher::iter`.
+//!
+//! Instead of criterion's full statistical pipeline this runs a **smoke
+//! measurement**: one warm-up call to calibrate, then a timed batch sized
+//! to the configured measurement budget, reporting mean ns/iteration.
+//! Two environment variables tune it:
+//!
+//! * `DPLEARN_BENCH_TIME_MS` — per-benchmark time budget (default 200 ms;
+//!   the smoke mode caps whatever `measurement_time` requested).
+//! * `DPLEARN_BENCH_FULL=1` — honor each group's requested
+//!   `measurement_time` instead of the smoke cap.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn smoke_budget() -> Duration {
+    let ms = std::env::var("DPLEARN_BENCH_TIME_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200u64);
+    Duration::from_millis(ms)
+}
+
+fn full_mode() -> bool {
+    std::env::var("DPLEARN_BENCH_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: smoke_budget(),
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A named benchmark, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `name` run at parameter `parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// A benchmark identified by its parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup {
+    name: String,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Request a per-benchmark measurement budget (capped by the smoke
+    /// budget unless `DPLEARN_BENCH_FULL=1`).
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = if full_mode() {
+            time
+        } else {
+            time.min(smoke_budget())
+        };
+        self
+    }
+
+    /// Accepted for API compatibility; the smoke runner sizes batches by
+    /// time, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measure `f` under this group's settings.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            budget: self.measurement_time,
+            measured: None,
+        };
+        f(&mut bencher);
+        self.report(&id, bencher.measured);
+        self
+    }
+
+    /// Measure `f` against a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            budget: self.measurement_time,
+            measured: None,
+        };
+        f(&mut bencher, input);
+        self.report(&id, bencher.measured);
+        self
+    }
+
+    /// End the group (reporting is incremental, so this is cosmetic).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, measured: Option<(u64, Duration)>) {
+        let full = if self.name.is_empty() {
+            id.label.clone()
+        } else {
+            format!("{}/{}", self.name, id.label)
+        };
+        match measured {
+            Some((iters, total)) => {
+                let per_iter = total.as_nanos() as f64 / iters.max(1) as f64;
+                println!(
+                    "bench {full:<48} {per_iter:>14.1} ns/iter  ({iters} iters in {:.1?})",
+                    total
+                );
+            }
+            None => println!("bench {full:<48} (no measurement)"),
+        }
+    }
+}
+
+/// Runs and times the benchmarked closure.
+pub struct Bencher {
+    budget: Duration,
+    measured: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Time `f`, storing mean-per-iteration statistics for the report.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up/calibration call.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 10_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.measured = Some((iters, start.elapsed()));
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

@@ -15,6 +15,12 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+// Panic-free hardening: library code must surface typed errors, never
+// panic. Bounds-proven kernels opt out per-module with a justification.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)
+)]
 
 pub mod normalize;
 pub mod objective_perturbation;
@@ -89,10 +95,13 @@ pub(crate) fn sample_gamma_norm_vector<R: dplearn_numerics::rng::Rng + ?Sized>(
     d: usize,
     scale: f64,
     rng: &mut R,
-) -> Vec<f64> {
+) -> Result<Vec<f64>> {
     use dplearn_numerics::distributions::{Exponential, Gaussian, Sample};
     // Gamma(d, scale) with integer shape d = sum of d Exp(1/scale).
-    let expo = Exponential::new(1.0 / scale).expect("positive scale");
+    let expo = Exponential::new(1.0 / scale).map_err(|e| BaselineError::InvalidParameter {
+        name: "scale",
+        reason: format!("noise scale must be positive and finite: {e}"),
+    })?;
     let norm: f64 = (0..d).map(|_| expo.sample(rng)).sum();
     // Uniform direction from a normalized Gaussian vector.
     let gauss = Gaussian::standard();
@@ -100,7 +109,7 @@ pub(crate) fn sample_gamma_norm_vector<R: dplearn_numerics::rng::Rng + ?Sized>(
         let dir: Vec<f64> = (0..d).map(|_| gauss.sample(rng)).collect();
         let len = dplearn_numerics::linalg::norm2(&dir);
         if len > 1e-12 {
-            return dir.into_iter().map(|v| v * norm / len).collect();
+            return Ok(dir.into_iter().map(|v| v * norm / len).collect());
         }
     }
 }
@@ -117,7 +126,11 @@ mod tests {
         let d = 3;
         let scale = 2.0;
         let norms: Vec<f64> = (0..50_000)
-            .map(|_| dplearn_numerics::linalg::norm2(&sample_gamma_norm_vector(d, scale, &mut rng)))
+            .map(|_| {
+                dplearn_numerics::linalg::norm2(
+                    &sample_gamma_norm_vector(d, scale, &mut rng).unwrap(),
+                )
+            })
             .collect();
         // Gamma(3, 2): mean 6, var 12.
         assert!((stats::mean(&norms).unwrap() - 6.0).abs() < 0.1);
@@ -130,7 +143,7 @@ mod tests {
         let mut mean = [0.0f64; 2];
         let n = 20_000;
         for _ in 0..n {
-            let v = sample_gamma_norm_vector(2, 1.0, &mut rng);
+            let v = sample_gamma_norm_vector(2, 1.0, &mut rng).unwrap();
             let len = dplearn_numerics::linalg::norm2(&v);
             mean[0] += v[0] / len;
             mean[1] += v[1] / len;

@@ -85,7 +85,7 @@ pub fn train<R: Rng + ?Sized>(
     }
 
     // Step 2: noise with density ∝ exp(−ε′‖b‖/2) ⇒ norm ~ Gamma(d, 2/ε′).
-    let b = sample_gamma_norm_vector(d, 2.0 / eps_prime, rng);
+    let b = sample_gamma_norm_vector(d, 2.0 / eps_prime, rng)?;
 
     // Step 3: minimize the perturbed objective (no bias term).
     let lambda_total = cfg.lambda + delta_reg;

@@ -60,7 +60,7 @@ pub fn train<R: Rng + ?Sized>(
     let n = data.len() as f64;
     // Sensitivity 2/(nΛ); noise density ∝ exp(−‖b‖/scale), scale = 2/(nΛε).
     let scale = 2.0 / (n * cfg.lambda * cfg.epsilon);
-    let noise = sample_gamma_norm_vector(data.dim(), scale, rng);
+    let noise = sample_gamma_norm_vector(data.dim(), scale, rng)?;
     let noise_norm = dplearn_numerics::linalg::norm2(&noise);
     let weights: Vec<f64> = w_star
         .weights

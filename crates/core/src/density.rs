@@ -62,13 +62,13 @@ impl HistogramDensity {
 
     /// Density value at `x` (0 outside the domain).
     pub fn pdf(&self, x: f64) -> f64 {
-        if x < self.lo || x >= self.hi {
+        if x.is_nan() || x < self.lo || x >= self.hi {
             return 0.0;
         }
         let m = self.masses.len();
         let width = (self.hi - self.lo) / m as f64;
         let b = (((x - self.lo) / width).floor() as usize).min(m - 1);
-        self.masses[b] / width
+        self.masses.get(b).copied().unwrap_or(0.0) / width
     }
 
     /// L1 distance `∫ |f − g|` to another density on the same binning.
@@ -95,13 +95,17 @@ pub fn compositions(g: usize, m: usize) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
     let mut current = vec![0usize; m];
     fn recurse(g: usize, idx: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
-        if idx == current.len() - 1 {
-            current[idx] = g;
+        if idx + 1 == current.len() {
+            if let Some(slot) = current.get_mut(idx) {
+                *slot = g;
+            }
             out.push(current.clone());
             return;
         }
         for v in 0..=g {
-            current[idx] = v;
+            if let Some(slot) = current.get_mut(idx) {
+                *slot = v;
+            }
             recurse(g - v, idx + 1, current, out);
         }
     }
@@ -116,7 +120,7 @@ struct DensityHypothesis(HistogramDensity);
 
 impl Predictor for DensityHypothesis {
     fn predict(&self, x: &[f64]) -> f64 {
-        self.0.pdf(x[0])
+        self.0.pdf(x.first().copied().unwrap_or(f64::NAN))
     }
 }
 
@@ -235,8 +239,10 @@ impl PrivateDensity {
         let denom = g + alpha * m as f64;
         let candidates: Vec<HistogramDensity> = dplearn_parallel::par_map(&comps, |_, c| {
             let masses: Vec<f64> = c.iter().map(|&v| (v as f64 + alpha) / denom).collect();
-            HistogramDensity::new(cfg.lo, cfg.hi, masses).expect("valid by construction")
-        });
+            HistogramDensity::new(cfg.lo, cfg.hi, masses)
+        })
+        .into_iter()
+        .collect::<Result<_>>()?;
 
         // The candidate family's density range bounds the NLL from both
         // sides: these two constants define the loss range B.
@@ -273,22 +279,30 @@ impl PrivateDensity {
     }
 
     /// Draw the private release: one candidate density.
+    // The posterior's support equals `candidates.len()` at construction, so
+    // the sampled index is always in bounds.
+    #[allow(clippy::indexing_slicing)]
     pub fn sample_density<R: Rng + ?Sized>(&self, rng: &mut R) -> &HistogramDensity {
         &self.candidates[self.posterior.sample(rng)]
     }
 
     /// Posterior-mean density (diagnostic; not the ε-certified release).
-    pub fn posterior_mean(&self) -> HistogramDensity {
-        let m = self.candidates[0].bins();
-        let mut masses = vec![0.0; m];
+    pub fn posterior_mean(&self) -> Result<HistogramDensity> {
+        let first = self
+            .candidates
+            .first()
+            .ok_or(DplearnError::InvalidParameter {
+                name: "candidates",
+                reason: "density has no candidates".to_string(),
+            })?;
+        let mut masses = vec![0.0; first.bins()];
         for (i, c) in self.candidates.iter().enumerate() {
             let p = self.posterior.prob(i);
             for (acc, &v) in masses.iter_mut().zip(c.masses()) {
                 *acc += p * v;
             }
         }
-        HistogramDensity::new(self.candidates[0].lo, self.candidates[0].hi, masses)
-            .expect("mixture of valid densities")
+        HistogramDensity::new(first.lo, first.hi, masses)
     }
 }
 
@@ -348,7 +362,7 @@ mod tests {
             ..Default::default()
         };
         let pd = PrivateDensity::fit(&data, &cfg).unwrap();
-        let mean = pd.posterior_mean();
+        let mean = pd.posterior_mean().unwrap();
         // True masses are [0.70, 0.075, 0.075, 0.075, 0.075]; the
         // smoothed g = 8 grid quantizes to ≈ 0.71 / ≤ 0.15 cells.
         assert!(mean.masses()[0] > 0.55, "bin 0 mass {}", mean.masses()[0]);

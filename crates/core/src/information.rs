@@ -74,8 +74,10 @@ impl DatasetSpace {
             for _ in 0..n {
                 let idx = c % k;
                 c /= k;
-                examples.push(space[idx].0.clone());
-                p *= space[idx].1;
+                if let Some((example, pe)) = space.get(idx) {
+                    examples.push(example.clone());
+                    p *= pe;
+                }
             }
             datasets.push(Dataset::new(examples)?);
             probs.push(p);
@@ -191,15 +193,13 @@ impl LearningChannel {
     /// rows of neighboring datasets (datasets differing in one example).
     pub fn neighbor_privacy_level(&self, space: &DatasetSpace) -> f64 {
         let mut worst = 0.0f64;
-        for i in 0..space.len() {
-            for j in (i + 1)..space.len() {
-                if !are_neighbors(&space.datasets[i], &space.datasets[j]) {
+        let kernel = self.channel.kernel();
+        for (i, (di, row_i)) in space.datasets.iter().zip(kernel).enumerate() {
+            for (dj, row_j) in space.datasets.iter().zip(kernel).skip(i + 1) {
+                if !are_neighbors(di, dj) {
                     continue;
                 }
-                for (&a, &b) in self.channel.kernel()[i]
-                    .iter()
-                    .zip(&self.channel.kernel()[j])
-                {
+                for (&a, &b) in row_i.iter().zip(row_j) {
                     if a == 0.0 && b == 0.0 {
                         continue;
                     }

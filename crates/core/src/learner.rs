@@ -213,7 +213,9 @@ impl FittedGibbs {
 
     /// `KL(π̂ ‖ π)` in nats.
     pub fn kl_to_prior(&self) -> f64 {
-        kl_finite(&self.posterior, &self.prior).expect("same support by construction")
+        // Posterior and prior share support by construction; NaN marks
+        // the impossible failure branch instead of panicking.
+        kl_finite(&self.posterior, &self.prior).unwrap_or(f64::NAN)
     }
 
     /// Training sample size.
@@ -280,6 +282,9 @@ pub struct McmcGibbs {
 impl McmcGibbs {
     /// Draw one model uniformly from the retained posterior samples (a
     /// single posterior draw is the private release).
+    // `next_index(len)` is `< len` by contract, and `models` is non-empty
+    // at construction, so the lookup cannot fail.
+    #[allow(clippy::indexing_slicing)]
     pub fn sample_model<R: Rng + ?Sized>(&self, rng: &mut R) -> &LinearModel {
         &self.models[rng.next_index(self.models.len())]
     }

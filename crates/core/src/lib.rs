@@ -54,6 +54,12 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+// Panic-free hardening: library code must surface typed errors, never
+// panic. Bounds-proven kernels opt out per-module with a justification.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)
+)]
 
 pub mod aggregation;
 pub mod certificate;
@@ -71,6 +77,7 @@ pub use dplearn_learning as learning;
 pub use dplearn_mechanisms as mechanisms;
 pub use dplearn_numerics as numerics;
 pub use dplearn_pacbayes as pacbayes;
+pub use dplearn_robust as robust;
 
 /// Errors produced by the core layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,6 +97,10 @@ pub enum DplearnError {
     Mechanism(dplearn_mechanisms::MechanismError),
     /// Underlying information-theory error.
     Info(dplearn_infotheory::InfoError),
+    /// Underlying numerics error.
+    Numerics(dplearn_numerics::NumericsError),
+    /// Underlying robustness-layer error (fault plans, retry policies).
+    Robust(dplearn_robust::RobustError),
 }
 
 impl std::fmt::Display for DplearnError {
@@ -102,6 +113,8 @@ impl std::fmt::Display for DplearnError {
             DplearnError::PacBayes(e) => write!(f, "pac-bayes error: {e}"),
             DplearnError::Mechanism(e) => write!(f, "mechanism error: {e}"),
             DplearnError::Info(e) => write!(f, "information error: {e}"),
+            DplearnError::Numerics(e) => write!(f, "numerics error: {e}"),
+            DplearnError::Robust(e) => write!(f, "robustness error: {e}"),
         }
     }
 }
@@ -126,6 +139,16 @@ impl From<dplearn_mechanisms::MechanismError> for DplearnError {
 impl From<dplearn_infotheory::InfoError> for DplearnError {
     fn from(e: dplearn_infotheory::InfoError) -> Self {
         DplearnError::Info(e)
+    }
+}
+impl From<dplearn_numerics::NumericsError> for DplearnError {
+    fn from(e: dplearn_numerics::NumericsError) -> Self {
+        DplearnError::Numerics(e)
+    }
+}
+impl From<dplearn_robust::RobustError> for DplearnError {
+    fn from(e: dplearn_robust::RobustError) -> Self {
+        DplearnError::Robust(e)
     }
 }
 

@@ -128,7 +128,7 @@ impl PrivateRegression {
         let mut intercept = 0.0;
         for (i, h) in self.class.hypotheses().iter().enumerate() {
             let p = self.fitted.posterior.prob(i);
-            slope += p * h.weights[0];
+            slope += p * h.weights.first().copied().unwrap_or(0.0);
             intercept += p * h.bias;
         }
         LinearModel::new(vec![slope], intercept)

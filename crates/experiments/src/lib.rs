@@ -14,9 +14,11 @@ pub const DEFAULT_SEED: u64 = 20_120_330;
 pub fn seed_from_args() -> u64 {
     let args: Vec<String> = std::env::args().collect();
     for w in args.windows(2) {
-        if w[0] == "--seed" {
-            if let Ok(s) = w[1].parse() {
-                return s;
+        if let [flag, value] = w {
+            if flag == "--seed" {
+                if let Ok(s) = value.parse() {
+                    return s;
+                }
             }
         }
     }

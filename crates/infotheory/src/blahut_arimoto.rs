@@ -19,7 +19,8 @@
 
 use crate::channel::DiscreteChannel;
 use crate::{validate_distribution, InfoError, Result};
-use dplearn_numerics::special::{log_sum_exp, xlogx_over_y};
+use dplearn_numerics::special::{kahan_sum, log_sum_exp, xlogx_over_y};
+use dplearn_robust::{ConvergenceReport, RetryPolicy};
 
 /// Result of a Blahut–Arimoto run.
 #[derive(Debug, Clone)]
@@ -36,18 +37,8 @@ pub struct RateDistortion {
     pub final_gap: f64,
 }
 
-/// Run Blahut–Arimoto at Lagrange multiplier `beta ≥ 0` on a source
-/// `p(x)` and distortion matrix `d[x][y]`.
-///
-/// Converges when the output marginal moves less than `tol` in ℓ∞, or
-/// errors after `max_iters`.
-pub fn blahut_arimoto(
-    source: &[f64],
-    distortion: &[Vec<f64>],
-    beta: f64,
-    tol: f64,
-    max_iters: usize,
-) -> Result<RateDistortion> {
+/// Validate Blahut–Arimoto inputs, returning the output-alphabet size.
+fn validate_ba(source: &[f64], distortion: &[Vec<f64>], beta: f64) -> Result<usize> {
     validate_distribution("source", source)?;
     if distortion.len() != source.len() {
         return Err(InfoError::InvalidParameter {
@@ -82,9 +73,33 @@ pub fn blahut_arimoto(
             reason: format!("must be finite and nonnegative, got {beta}"),
         });
     }
+    Ok(ny)
+}
 
-    // Start from the uniform output marginal.
-    let mut r = vec![1.0 / ny as f64; ny];
+/// State left by one [`ba_iterate`] run — kept even on non-convergence so
+/// a retry can damp the marginal and resume rather than start cold.
+struct BaState {
+    kernel: Vec<Vec<f64>>,
+    r: Vec<f64>,
+    gap: f64,
+    iterations: usize,
+    converged: bool,
+}
+
+/// The alternating-minimization loop from marginal `r`, for up to
+/// `max_iters` iterations or until the marginal moves < `tol` in ℓ∞.
+// The chunked updates index rows/columns with offsets handed out by the
+// parallel scheduler, all bounded by the validated kernel dimensions.
+#[allow(clippy::indexing_slicing)]
+fn ba_iterate(
+    source: &[f64],
+    distortion: &[Vec<f64>],
+    beta: f64,
+    tol: f64,
+    max_iters: usize,
+    mut r: Vec<f64>,
+) -> BaState {
+    let ny = r.len();
     let mut kernel = vec![vec![0.0; ny]; source.len()];
     let mut gap = f64::INFINITY;
     let mut iterations = 0;
@@ -156,11 +171,23 @@ pub fn blahut_arimoto(
             break;
         }
     }
-    if gap >= tol {
-        return Err(InfoError::DidNotConverge { iterations });
+    BaState {
+        kernel,
+        r,
+        gap,
+        iterations,
+        converged: gap < tol,
     }
+}
 
-    let channel = DiscreteChannel::new(source.to_vec(), kernel)?;
+/// Package a converged state as a [`RateDistortion`].
+fn ba_finalize(
+    source: &[f64],
+    distortion: &[Vec<f64>],
+    state: BaState,
+    total_iterations: usize,
+) -> Result<RateDistortion> {
+    let channel = DiscreteChannel::new(source.to_vec(), state.kernel)?;
     let rate = channel.mutual_information();
     let mut dist = 0.0;
     for ((&px, row_q), row_d) in source.iter().zip(channel.kernel()).zip(distortion) {
@@ -172,8 +199,95 @@ pub fn blahut_arimoto(
         channel,
         rate,
         distortion: dist,
-        iterations,
-        final_gap: gap,
+        iterations: total_iterations,
+        final_gap: state.gap,
+    })
+}
+
+/// Run Blahut–Arimoto at Lagrange multiplier `beta ≥ 0` on a source
+/// `p(x)` and distortion matrix `d[x][y]`.
+///
+/// Converges when the output marginal moves less than `tol` in ℓ∞, or
+/// errors after `max_iters`. For a self-healing variant that escalates
+/// its iteration budget instead of erroring, see
+/// [`blahut_arimoto_with_retry`].
+pub fn blahut_arimoto(
+    source: &[f64],
+    distortion: &[Vec<f64>],
+    beta: f64,
+    tol: f64,
+    max_iters: usize,
+) -> Result<RateDistortion> {
+    let ny = validate_ba(source, distortion, beta)?;
+    // Start from the uniform output marginal.
+    let r = vec![1.0 / ny as f64; ny];
+    let state = ba_iterate(source, distortion, beta, tol, max_iters, r);
+    if !state.converged {
+        return Err(InfoError::DidNotConverge {
+            iterations: state.iterations,
+        });
+    }
+    let total = state.iterations;
+    ba_finalize(source, distortion, state, total)
+}
+
+/// Blahut–Arimoto with a bounded-restart [`RetryPolicy`] instead of a
+/// bare `max_iters` error.
+///
+/// Attempt 0 runs `policy.base_iters` iterations from the uniform
+/// marginal. Each subsequent attempt resumes from the failed marginal
+/// **damped toward uniform** (`r ← (1−damping)·r + damping·uniform`,
+/// which pulls the iterate off collapsed corners where mass on an output
+/// letter underflowed to zero) with a geometrically larger budget
+/// (`base_iters · growth^attempt`), up to `policy.max_attempts` total
+/// attempts. Deterministic: no randomness, no clocks — the schedule is a
+/// pure function of the policy, so results are bit-identical at every
+/// `DPLEARN_THREADS` setting.
+///
+/// On success returns the solution plus a [`ConvergenceReport`]
+/// recording attempts and total iterations; if every attempt is
+/// exhausted, returns [`InfoError::DidNotConverge`] with the *total*
+/// iteration count across attempts.
+pub fn blahut_arimoto_with_retry(
+    source: &[f64],
+    distortion: &[Vec<f64>],
+    beta: f64,
+    tol: f64,
+    policy: &RetryPolicy,
+) -> Result<(RateDistortion, ConvergenceReport)> {
+    policy.validate().map_err(|e| InfoError::InvalidParameter {
+        name: "policy",
+        reason: e.to_string(),
+    })?;
+    let ny = validate_ba(source, distortion, beta)?;
+    let uniform = 1.0 / ny as f64;
+    let mut r = vec![uniform; ny];
+    let mut total_iterations = 0usize;
+    for attempt in 0..policy.max_attempts {
+        let budget = policy.budget_for(attempt);
+        let state = ba_iterate(source, distortion, beta, tol, budget, r);
+        total_iterations = total_iterations.saturating_add(state.iterations);
+        if state.converged {
+            let report = ConvergenceReport {
+                attempts: attempt + 1,
+                converged: true,
+                degraded: false,
+                total_iterations,
+                final_residual: state.gap,
+            };
+            let rd = ba_finalize(source, distortion, state, total_iterations)?;
+            return Ok((rd, report));
+        }
+        // Damped re-initialization: mix the failed marginal back toward
+        // uniform. Mixing two normalized distributions stays normalized.
+        r = state
+            .r
+            .iter()
+            .map(|&ri| (1.0 - policy.damping) * ri + policy.damping * uniform)
+            .collect();
+    }
+    Err(InfoError::DidNotConverge {
+        iterations: total_iterations,
     })
 }
 
@@ -224,7 +338,7 @@ pub fn lagrangian(
 
 /// Exact KL divergence between two channel rows — helper for tests.
 pub fn row_kl(p: &[f64], q: &[f64]) -> f64 {
-    p.iter().zip(q).map(|(&a, &b)| xlogx_over_y(a, b)).sum()
+    kahan_sum(p.iter().zip(q).map(|(&a, &b)| xlogx_over_y(a, b)))
 }
 
 #[cfg(test)]
@@ -329,6 +443,80 @@ mod tests {
         let four = run();
         dplearn_parallel::set_thread_count(0);
         assert_eq!(one, four);
+    }
+
+    #[test]
+    fn retry_recovers_from_injected_non_convergence() {
+        // An iteration budget far too small for the tolerance: the bare
+        // solver errors, the retried solver escalates geometrically and
+        // converges.
+        let source = [0.2, 0.8];
+        let distortion = hamming(2);
+        let (beta, tol) = (5.0, 1e-13);
+        assert!(matches!(
+            blahut_arimoto(&source, &distortion, beta, tol, 2),
+            Err(InfoError::DidNotConverge { .. })
+        ));
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_iters: 2,
+            growth: 4.0,
+            damping: 0.5,
+        };
+        let (rd, report) = blahut_arimoto_with_retry(&source, &distortion, beta, tol, &policy)
+            .expect("retry should recover");
+        assert!(report.converged && !report.degraded);
+        assert!(report.attempts > 1, "should have needed a restart");
+        assert!(report.total_iterations > 2);
+        assert!(rd.final_gap < tol);
+        // The retried answer matches a single generous run.
+        let direct = blahut_arimoto(&source, &distortion, beta, tol, 100_000).unwrap();
+        close(rd.rate, direct.rate, 1e-9);
+        close(rd.distortion, direct.distortion, 1e-9);
+    }
+
+    #[test]
+    fn retry_is_deterministic_and_first_try_counts_once() {
+        let source = [0.3, 0.45, 0.25];
+        let distortion = hamming(3);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_iters: 50_000,
+            growth: 2.0,
+            damping: 0.5,
+        };
+        let run = || {
+            let (rd, rep) =
+                blahut_arimoto_with_retry(&source, &distortion, 2.0, 1e-12, &policy).unwrap();
+            (rd.rate.to_bits(), rep.attempts, rep.total_iterations)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a.1, 1, "generous budget converges on attempt 1");
+    }
+
+    #[test]
+    fn retry_exhaustion_reports_total_iterations() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_iters: 1,
+            growth: 1.0,
+            damping: 0.0,
+        };
+        match blahut_arimoto_with_retry(&[0.2, 0.8], &hamming(2), 5.0, 1e-15, &policy) {
+            Err(InfoError::DidNotConverge { iterations }) => assert_eq!(iterations, 3),
+            other => panic!("expected DidNotConverge, got {other:?}"),
+        }
+        // An invalid policy is a typed error, not a panic.
+        let bad = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        assert!(matches!(
+            blahut_arimoto_with_retry(&[0.5, 0.5], &hamming(2), 1.0, 1e-9, &bad),
+            Err(InfoError::InvalidParameter { name: "policy", .. })
+        ));
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub fn channel_capacity(kernel: &[Vec<f64>], tol: f64, max_iters: usize) -> Resu
             reason: "need at least one input".to_string(),
         });
     }
-    let ny = kernel[0].len();
+    let ny = kernel.first().map_or(0, |r| r.len());
     for row in kernel {
         crate::validate_distribution("kernel row", row)?;
         if row.len() != ny {

@@ -103,12 +103,14 @@ impl DiscreteChannel {
 
     /// Input entropy `H(X)` in nats.
     pub fn input_entropy(&self) -> f64 {
-        entropy(&self.input).expect("validated at construction")
+        // `input` was validated at construction; NaN marks the
+        // impossible failure branch instead of panicking.
+        entropy(&self.input).unwrap_or(f64::NAN)
     }
 
     /// Output entropy `H(Y)` in nats.
     pub fn output_entropy(&self) -> f64 {
-        entropy(&self.output_marginal()).expect("marginal of valid channel")
+        entropy(&self.output_marginal()).unwrap_or(f64::NAN)
     }
 
     /// The worst-case log-ratio between any two kernel rows — for a
@@ -117,9 +119,9 @@ impl DiscreteChannel {
     /// to those inputs.
     pub fn max_row_log_ratio(&self) -> f64 {
         let mut worst = 0.0f64;
-        for i in 0..self.kernel.len() {
-            for j in (i + 1)..self.kernel.len() {
-                for (&a, &b) in self.kernel[i].iter().zip(&self.kernel[j]) {
+        for (i, row_i) in self.kernel.iter().enumerate() {
+            for row_j in self.kernel.iter().skip(i + 1) {
+                for (&a, &b) in row_i.iter().zip(row_j) {
                     if a == 0.0 && b == 0.0 {
                         continue;
                     }

@@ -5,7 +5,7 @@
 //! (verified in the tests).
 
 use crate::{validate_distribution, InfoError, Result};
-use dplearn_numerics::special::xlogx_over_y;
+use dplearn_numerics::special::{kahan_sum, xlogx_over_y};
 
 fn check_pair(p: &[f64], q: &[f64]) -> Result<()> {
     validate_distribution("p", p)?;
@@ -28,7 +28,9 @@ pub fn total_variation(p: &[f64], q: &[f64]) -> Result<f64> {
 /// KL divergence in nats (may be `+inf`).
 pub fn kl(p: &[f64], q: &[f64]) -> Result<f64> {
     check_pair(p, q)?;
-    Ok(p.iter().zip(q).map(|(&a, &b)| xlogx_over_y(a, b)).sum())
+    Ok(kahan_sum(
+        p.iter().zip(q).map(|(&a, &b)| xlogx_over_y(a, b)),
+    ))
 }
 
 /// Jensen–Shannon divergence in nats: `½KL(p‖m) + ½KL(q‖m)` with

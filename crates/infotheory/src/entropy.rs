@@ -2,7 +2,7 @@
 //! [`nats_to_bits`] to convert).
 
 use crate::{validate_distribution, Result};
-use dplearn_numerics::special::xlogy;
+use dplearn_numerics::special::{kahan_sum, xlogy};
 
 /// Convert nats to bits.
 pub fn nats_to_bits(nats: f64) -> f64 {
@@ -12,7 +12,7 @@ pub fn nats_to_bits(nats: f64) -> f64 {
 /// Shannon entropy `H(p) = −Σ p ln p` in nats.
 pub fn entropy(p: &[f64]) -> Result<f64> {
     validate_distribution("entropy input", p)?;
-    Ok(-p.iter().map(|&x| xlogy(x, x)).sum::<f64>())
+    Ok(-kahan_sum(p.iter().map(|&x| xlogy(x, x))))
 }
 
 /// Cross entropy `H(p, q) = −Σ p ln q` in nats (`+inf` if `q` misses mass

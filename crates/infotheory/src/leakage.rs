@@ -21,8 +21,8 @@ pub fn posterior_vulnerability(channel: &DiscreteChannel) -> f64 {
     let mut total = 0.0;
     for y in 0..channel.n_outputs() {
         let mut best = 0.0f64;
-        for (x, &px) in channel.input().iter().enumerate() {
-            best = best.max(px * channel.kernel()[x][y]);
+        for (&px, row) in channel.input().iter().zip(channel.kernel()) {
+            best = best.max(px * row.get(y).copied().unwrap_or(0.0));
         }
         total += best;
     }

@@ -25,6 +25,12 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+// Panic-free hardening: library code must surface typed errors, never
+// panic. Bounds-proven kernels opt out per-module with a justification.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)
+)]
 
 pub mod blahut_arimoto;
 pub mod capacity;

@@ -68,13 +68,15 @@ pub fn mi_plugin(
     let n = pairs.len() as f64;
     let mut counts = vec![vec![0u64; ny]; nx];
     for &(x, y) in pairs {
-        if x >= nx || y >= ny {
-            return Err(InfoError::InvalidParameter {
-                name: "pairs",
-                reason: format!("observation ({x},{y}) outside alphabet {nx}x{ny}"),
-            });
+        match counts.get_mut(x).and_then(|row| row.get_mut(y)) {
+            Some(c) => *c += 1,
+            None => {
+                return Err(InfoError::InvalidParameter {
+                    name: "pairs",
+                    reason: format!("observation ({x},{y}) outside alphabet {nx}x{ny}"),
+                });
+            }
         }
-        counts[x][y] += 1;
     }
     let joint: Vec<Vec<f64>> = counts
         .iter()
@@ -88,9 +90,9 @@ pub fn mi_plugin(
         let mut col_nonempty = vec![false; ny];
         let mut kxy = 0.0;
         for row in &counts {
-            for (j, &c) in row.iter().enumerate() {
+            for (f, &c) in col_nonempty.iter_mut().zip(row) {
                 if c > 0 {
-                    col_nonempty[j] = true;
+                    *f = true;
                     kxy += 1.0;
                 }
             }

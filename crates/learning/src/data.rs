@@ -95,7 +95,9 @@ impl Dataset {
         assert!(i < self.examples.len(), "replace index out of range");
         assert_eq!(with.x.len(), self.dim(), "replacement dimension mismatch");
         let mut out = self.clone();
-        out.examples[i] = with;
+        if let Some(slot) = out.examples.get_mut(i) {
+            *slot = with;
+        }
         out
     }
 
@@ -107,9 +109,9 @@ impl Dataset {
     /// witness the worst-case privacy loss.
     pub fn replace_one_neighbors(&self, candidates: &[Example]) -> Vec<Dataset> {
         let mut out = Vec::with_capacity(self.len() * candidates.len());
-        for i in 0..self.len() {
+        for (i, e) in self.examples.iter().enumerate() {
             for c in candidates {
-                if *c != self.examples[i] {
+                if c != e {
                     out.push(self.replace(i, c.clone()));
                 }
             }
@@ -132,14 +134,15 @@ impl Dataset {
         }
         let mut idx: Vec<usize> = (0..self.len()).collect();
         rng.shuffle(&mut idx);
-        let cut = (self.len() as f64 * train_fraction).round() as usize;
-        let train: Vec<Example> = idx[..cut]
+        let cut = ((self.len() as f64 * train_fraction).round() as usize).min(idx.len());
+        let (tr, te) = idx.split_at(cut);
+        let train: Vec<Example> = tr
             .iter()
-            .map(|&i| self.examples[i].clone())
+            .filter_map(|&i| self.examples.get(i).cloned())
             .collect();
-        let test: Vec<Example> = idx[cut..]
+        let test: Vec<Example> = te
             .iter()
-            .map(|&i| self.examples[i].clone())
+            .filter_map(|&i| self.examples.get(i).cloned())
             .collect();
         Ok((Dataset { examples: train }, Dataset { examples: test }))
     }

@@ -34,12 +34,21 @@ pub fn erm_finite<P: Predictor + Sync, L: Loss + Sync>(
         return Err(LearningError::EmptyDataset);
     }
     let risks = class.risk_vector(loss, data);
+    if risks.iter().any(|r| r.is_nan()) {
+        return Err(LearningError::InvalidParameter {
+            name: "risks",
+            reason: "empirical risk is NaN for some hypothesis (corrupt loss or data)".to_string(),
+        });
+    }
     let (best_index, best_risk) = risks
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite risks"))
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, &r)| (i, r))
-        .expect("non-empty class");
+        .ok_or(LearningError::InvalidParameter {
+            name: "class",
+            reason: "hypothesis class is empty".to_string(),
+        })?;
     Ok(FiniteErm {
         best_index,
         best_risk,
@@ -130,6 +139,9 @@ impl Default for LinearErmConfig {
 
 /// The regularized empirical objective
 /// `J(w, b) = (1/n) Σ ℓ(yᵢ(⟨w,xᵢ⟩+b)) + λ/2 ‖w‖²` and its gradient.
+// `params` and `grad` both have length `d + fit_bias` by construction in
+// `erm_linear`, so the slice/index operations below cannot go out of bounds.
+#[allow(clippy::indexing_slicing)]
 pub fn linear_objective(
     params: &[f64],
     loss: MarginLoss,
@@ -182,8 +194,15 @@ pub fn erm_linear(loss: MarginLoss, data: &Dataset, cfg: &LinearErmConfig) -> Re
         &x0,
         &gd_cfg,
     );
-    let bias = if cfg.fit_bias { res.x[d] } else { 0.0 };
-    Ok(LinearModel::new(res.x[..d].to_vec(), bias))
+    let bias = if cfg.fit_bias {
+        res.x.get(d).copied().unwrap_or(0.0)
+    } else {
+        0.0
+    };
+    Ok(LinearModel::new(
+        res.x.get(..d).unwrap_or(&[]).to_vec(),
+        bias,
+    ))
 }
 
 #[cfg(test)]

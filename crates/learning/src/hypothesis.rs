@@ -76,7 +76,7 @@ impl ThresholdClassifier {
 
 impl Predictor for ThresholdClassifier {
     fn predict(&self, x: &[f64]) -> f64 {
-        let above = x[0] >= self.threshold;
+        let above = x.first().copied().unwrap_or(f64::NAN) >= self.threshold;
         if above == self.positive_above {
             1.0
         } else {
@@ -127,6 +127,11 @@ impl<P: Predictor> FiniteClass<P> {
     }
 
     /// Borrow hypothesis `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range, mirroring slice indexing.
+    #[allow(clippy::indexing_slicing)]
     pub fn get(&self, i: usize) -> &P {
         &self.hypotheses[i]
     }

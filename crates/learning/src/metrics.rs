@@ -122,9 +122,15 @@ pub fn roc_auc<P: Predictor + ?Sized>(predictor: &P, data: &Dataset) -> Result<f
             reason: "ROC AUC needs both classes present".to_string(),
         });
     }
+    if pos.iter().chain(&neg).any(|v| v.is_nan()) {
+        return Err(LearningError::InvalidParameter {
+            name: "scores",
+            reason: "ROC AUC is undefined for NaN scores".to_string(),
+        });
+    }
     // O(n log n) via sorting the negatives and binary-searching each
     // positive score.
-    neg.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    neg.sort_by(f64::total_cmp);
     let mut total = 0.0;
     for &p in &pos {
         let below = neg.partition_point(|&v| v < p);

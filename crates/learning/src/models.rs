@@ -114,8 +114,11 @@ impl RidgeRegression {
         gram[(d, d)] += 1e-10;
         let xty = x.transpose().matvec(&y)?;
         let sol = gram.solve_spd(&xty)?;
+        // `sol` has length d+1 by construction; the fallbacks are unreachable.
+        let weights = sol.get(..d).unwrap_or(&[]).to_vec();
+        let bias = sol.get(d).copied().unwrap_or(0.0);
         Ok(RidgeRegression {
-            model: LinearModel::new(sol[..d].to_vec(), sol[d]),
+            model: LinearModel::new(weights, bias),
         })
     }
 

@@ -42,13 +42,12 @@ impl GaussianClasses {
     /// Create a generator with class mean `±mean` and within-class
     /// standard deviation `sigma > 0`.
     pub fn new(mean: Vec<f64>, sigma: f64) -> Self {
-        assert!(sigma > 0.0 && sigma.is_finite(), "sigma must be positive");
         assert!(!mean.is_empty(), "mean must be non-empty");
-        GaussianClasses {
-            mean,
-            sigma,
-            noise: Gaussian::new(0.0, sigma).expect("valid sigma"),
-        }
+        let noise = match Gaussian::new(0.0, sigma) {
+            Ok(g) => g,
+            Err(e) => panic!("sigma must be positive and finite: {e}"),
+        };
+        GaussianClasses { mean, sigma, noise }
     }
 
     /// The Bayes-optimal misclassification risk `Φ(−‖μ‖/σ)`.
@@ -103,10 +102,14 @@ impl NoisyThreshold {
             (0.0..0.5).contains(&flip_prob),
             "flip_prob must lie in [0, 1/2)"
         );
+        let uniform = match Uniform::new(0.0, 1.0) {
+            Ok(u) => u,
+            Err(e) => panic!("unit-interval uniform must construct: {e}"),
+        };
         NoisyThreshold {
             threshold,
             flip_prob,
-            uniform: Uniform::new(0.0, 1.0).expect("valid range"),
+            uniform,
         }
     }
 
@@ -148,13 +151,16 @@ impl LinearRegressionTask {
     /// Create the task.
     pub fn new(weights: Vec<f64>, bias: f64, noise: f64) -> Self {
         assert!(!weights.is_empty(), "weights must be non-empty");
-        assert!(noise > 0.0 && noise.is_finite(), "noise must be positive");
+        let e_dist = match Gaussian::new(0.0, noise) {
+            Ok(g) => g,
+            Err(e) => panic!("noise must be positive and finite: {e}"),
+        };
         LinearRegressionTask {
             weights,
             bias,
             noise,
             x_dist: Gaussian::standard(),
-            e_dist: Gaussian::new(0.0, noise).expect("valid noise"),
+            e_dist,
         }
     }
 }

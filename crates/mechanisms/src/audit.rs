@@ -339,16 +339,16 @@ where
 {
     cfg.validate()?;
     // Validate the histogram domain once up front (typed error) so
-    // worker chunks cannot fail.
-    Histogram::new(lo, hi, bins)?;
+    // worker chunks cannot fail; chunks clone this empty prototype.
+    let proto = Histogram::new(lo, hi, bins)?;
     let streams = Xoshiro256::jump_streams(seed, cfg.n_chunks());
     let (counts_d, counts_dp) = dplearn_parallel::par_map_reduce(
         cfg.n_chunks(),
         (vec![0u64; bins], vec![0u64; bins]),
         |k| {
             let mut rng = streams[k].clone();
-            let mut h_d = Histogram::new(lo, hi, bins).expect("validated above");
-            let mut h_dp = Histogram::new(lo, hi, bins).expect("validated above");
+            let mut h_d = proto.clone();
+            let mut h_dp = proto.clone();
             for _ in 0..cfg.chunk_trials(k) {
                 h_d.record(mech_d(&mut rng));
                 h_dp.record(mech_d_prime(&mut rng));

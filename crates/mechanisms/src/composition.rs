@@ -39,8 +39,9 @@ pub fn advanced(per_step: Budget, k: usize, delta_prime: f64) -> Result<Budget> 
     }
     let eps = per_step.epsilon;
     let kf = k as f64;
-    let total_eps =
-        eps * (2.0 * kf * (1.0 / delta_prime).ln()).sqrt() + kf * eps * (eps.exp() - 1.0);
+    // ln(1/δ′) as −ln δ′: the reciprocal overflows to +inf for subnormal
+    // δ′ (e.g. 5e-324), while the logarithm itself stays finite.
+    let total_eps = eps * (-2.0 * kf * delta_prime.ln()).sqrt() + kf * eps * (eps.exp() - 1.0);
     Ok(Budget {
         epsilon: total_eps,
         delta: kf * per_step.delta + delta_prime,
@@ -48,12 +49,19 @@ pub fn advanced(per_step: Budget, k: usize, delta_prime: f64) -> Result<Budget> 
 }
 
 /// A sequential-composition privacy accountant with a hard cap.
+///
+/// The accountant **fails closed**: malformed budgets (NaN, infinite, or
+/// negative components) are rejected before any state changes, and once a
+/// charged operation fails mid-flight (see [`PrivacyAccountant::run`]) the
+/// accountant is poisoned and refuses all further spending — a crashed
+/// mechanism may still have leaked information, so its budget stays spent.
 #[derive(Debug, Clone)]
 pub struct PrivacyAccountant {
     cap: Budget,
     spent_epsilon: f64,
     spent_delta: f64,
     operations: usize,
+    poisoned: bool,
 }
 
 impl PrivacyAccountant {
@@ -64,12 +72,30 @@ impl PrivacyAccountant {
             spent_epsilon: 0.0,
             spent_delta: 0.0,
             operations: 0,
+            poisoned: false,
         }
     }
 
     /// Attempt to spend a budget; errors (and spends nothing) if the cap
-    /// would be exceeded.
+    /// would be exceeded, the budget is malformed, or the accountant has
+    /// been poisoned by a failed charged operation.
     pub fn spend(&mut self, b: Budget) -> Result<()> {
+        if self.poisoned {
+            return Err(MechanismError::AccountantPoisoned);
+        }
+        // `Budget` has public fields, so a hand-built value can smuggle in
+        // NaN or negative components; NaN in particular passes every `>`
+        // comparison below. Reject anything that is not a well-formed
+        // nonnegative charge before touching state.
+        if !(b.epsilon.is_finite() && b.epsilon >= 0.0 && b.delta.is_finite() && b.delta >= 0.0) {
+            return Err(MechanismError::InvalidParameter {
+                name: "budget",
+                reason: format!(
+                    "charge must have finite nonnegative components, got (ε={}, δ={})",
+                    b.epsilon, b.delta
+                ),
+            });
+        }
         let new_eps = self.spent_epsilon + b.epsilon;
         let new_delta = self.spent_delta + b.delta;
         if new_eps > self.cap.epsilon + 1e-12 || new_delta > self.cap.delta + 1e-15 {
@@ -82,6 +108,29 @@ impl PrivacyAccountant {
         self.spent_delta = new_delta;
         self.operations += 1;
         Ok(())
+    }
+
+    /// Charge `b`, then run `op`. The budget is spent **before** the
+    /// operation executes: if `op` fails, the spend is not refunded (the
+    /// mechanism may already have consumed randomness or leaked partial
+    /// output) and the accountant is poisoned so later spends fail too.
+    pub fn run<T, F>(&mut self, b: Budget, op: F) -> Result<T>
+    where
+        F: FnOnce() -> Result<T>,
+    {
+        self.spend(b)?;
+        match op() {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// True once a charged operation has failed.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// Total ε spent so far.
@@ -167,5 +216,83 @@ mod tests {
         let mut acc = PrivacyAccountant::new(b(10.0, 1e-6));
         assert!(acc.spend(b(0.1, 1e-6)).is_ok());
         assert!(acc.spend(b(0.1, 1e-9)).is_err());
+    }
+
+    #[test]
+    fn accountant_rejects_malformed_charges() {
+        // `Budget` has public fields, so bypass `Budget::new` validation.
+        let mut acc = PrivacyAccountant::new(b(1.0, 1e-5));
+        for bad in [
+            Budget {
+                epsilon: f64::NAN,
+                delta: 0.0,
+            },
+            Budget {
+                epsilon: 0.1,
+                delta: f64::NAN,
+            },
+            Budget {
+                epsilon: f64::INFINITY,
+                delta: 0.0,
+            },
+            Budget {
+                epsilon: -0.1,
+                delta: 0.0,
+            },
+            Budget {
+                epsilon: 0.1,
+                delta: -1e-9,
+            },
+        ] {
+            let err = acc.spend(bad).unwrap_err();
+            assert!(
+                matches!(err, MechanismError::InvalidParameter { name: "budget", .. }),
+                "expected fail-closed rejection of {bad:?}, got {err:?}"
+            );
+            assert_eq!(acc.operations(), 0, "state must be untouched");
+            assert_eq!(acc.spent().epsilon, 0.0);
+        }
+        // A well-formed spend still works afterwards.
+        assert!(acc.spend(b(0.5, 0.0)).is_ok());
+    }
+
+    #[test]
+    fn run_charges_before_the_operation_and_poisons_on_failure() {
+        let mut acc = PrivacyAccountant::new(b(1.0, 0.0));
+        // Successful charged operation: budget spent, value returned.
+        let v = acc.run(b(0.3, 0.0), || Ok(42)).unwrap();
+        assert_eq!(v, 42);
+        assert!((acc.spent().epsilon - 0.3).abs() < 1e-12);
+        assert!(!acc.is_poisoned());
+
+        // A mid-flight failure (e.g. the sampler died after drawing some
+        // noise) must still consume the budget and poison the accountant.
+        let err = acc
+            .run::<i32, _>(b(0.3, 0.0), || {
+                Err(MechanismError::InvalidParameter {
+                    name: "simulated",
+                    reason: "sampler failed mid-release".to_string(),
+                })
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MechanismError::InvalidParameter {
+                name: "simulated",
+                ..
+            }
+        ));
+        assert!(
+            (acc.spent().epsilon - 0.6).abs() < 1e-12,
+            "failed operation must still consume its charge"
+        );
+        assert!(acc.is_poisoned());
+
+        // Everything after the poisoning fails closed.
+        let err = acc.spend(b(0.01, 0.0)).unwrap_err();
+        assert!(matches!(err, MechanismError::AccountantPoisoned));
+        let err = acc.run(b(0.01, 0.0), || Ok(1)).unwrap_err();
+        assert!(matches!(err, MechanismError::AccountantPoisoned));
+        assert_eq!(acc.operations(), 2);
     }
 }

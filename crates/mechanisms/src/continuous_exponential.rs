@@ -73,7 +73,7 @@ impl PiecewiseQuality {
             });
         }
         let mut points: Vec<f64> = data.iter().copied().filter(|&d| d > lo && d < hi).collect();
-        points.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+        points.sort_by(f64::total_cmp);
         points.dedup();
         let mut breakpoints = Vec::with_capacity(points.len() + 2);
         breakpoints.push(lo);
@@ -110,7 +110,7 @@ impl PiecewiseQuality {
             });
         }
         let mut points: Vec<f64> = data.iter().copied().filter(|&d| d > lo && d < hi).collect();
-        points.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+        points.sort_by(f64::total_cmp);
         points.dedup();
         let mut breakpoints = Vec::with_capacity(points.len() + 2);
         breakpoints.push(lo);
@@ -143,10 +143,11 @@ impl PiecewiseQuality {
 
     /// Domain of the quality function.
     pub fn domain(&self) -> (f64, f64) {
-        (
-            self.breakpoints[0],
-            *self.breakpoints.last().expect("non-empty"),
-        )
+        // The constructor guarantees ≥ 2 breakpoints; NaN would only be
+        // reachable on a type constructed through unsafe means.
+        let lo = self.breakpoints.first().copied().unwrap_or(f64::NAN);
+        let hi = self.breakpoints.last().copied().unwrap_or(f64::NAN);
+        (lo, hi)
     }
 }
 
@@ -252,7 +253,7 @@ impl ContinuousExponential {
             .chain(&q2.breakpoints)
             .copied()
             .collect();
-        grid.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+        grid.sort_by(f64::total_cmp);
         let (_, hi) = q1.domain();
         for &u in grid.iter().filter(|&&u| u < hi) {
             let r = (t * (q1.eval(u) - q2.eval(u)) - (z1 - z2)).abs();

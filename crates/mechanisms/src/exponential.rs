@@ -163,9 +163,14 @@ impl ExponentialMechanism {
         }
         let mut best = 0usize;
         let mut best_v = f64::NEG_INFINITY;
-        for i in 0..scores.len() {
-            let lp = self.log_prior.as_ref().map_or(0.0, |p| p[i]);
-            let v = t * scores[i] + lp + Gumbel.sample(rng);
+        for (i, &s) in scores.iter().enumerate() {
+            let lp = self
+                .log_prior
+                .as_ref()
+                .and_then(|p| p.get(i))
+                .copied()
+                .unwrap_or(0.0);
+            let v = t * s + lp + Gumbel.sample(rng);
             if v > best_v {
                 best_v = v;
                 best = i;
@@ -195,8 +200,8 @@ pub fn median_quality(data: &[f64], candidates: &[f64]) -> Vec<f64> {
 pub fn mode_quality(data: &[usize], n_candidates: usize) -> Vec<f64> {
     let mut counts = vec![0.0f64; n_candidates];
     for &d in data {
-        if d < n_candidates {
-            counts[d] += 1.0;
+        if let Some(c) = counts.get_mut(d) {
+            *c += 1.0;
         }
     }
     counts

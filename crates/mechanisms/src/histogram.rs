@@ -63,8 +63,11 @@ impl PrivateHistogram {
         let probs = self.probabilities();
         probs
             .iter()
-            .enumerate()
-            .map(|(i, &p)| p / (self.edges[i + 1] - self.edges[i]))
+            .zip(self.edges.windows(2))
+            .map(|(&p, w)| match w {
+                [a, b] => p / (b - a),
+                _ => f64::NAN,
+            })
             .collect()
     }
 }
@@ -96,7 +99,9 @@ pub fn private_histogram<R: Rng + ?Sized>(
     let width = (hi - lo) / bins as f64;
     for &x in data {
         let b = (((x - lo) / width).floor() as i64).clamp(0, bins as i64 - 1) as usize;
-        counts[b] += 1.0;
+        if let Some(c) = counts.get_mut(b) {
+            *c += 1.0;
+        }
     }
     let noise = Laplace::new(0.0, adjacency.histogram_sensitivity() / epsilon.value())?;
     let noisy_counts: Vec<f64> = counts.iter().map(|&c| c + noise.sample(rng)).collect();

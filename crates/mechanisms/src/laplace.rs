@@ -9,7 +9,7 @@
 
 use crate::privacy::Epsilon;
 use crate::{MechanismError, Result};
-use dplearn_numerics::distributions::{Continuous, Laplace, Sample};
+use dplearn_numerics::distributions::{Laplace, Sample};
 use dplearn_numerics::rng::Rng;
 
 /// The scalar Laplace mechanism.
@@ -70,9 +70,12 @@ impl LaplaceMechanism {
     /// Theorem 2.1 states this never exceeds ε when `|a − b| ≤ Δf`; the
     /// audit experiments verify exactly that.
     pub fn privacy_loss_at(&self, output: f64, value_d: f64, value_d_prime: f64) -> f64 {
-        let noise_d = Laplace::new(value_d, self.noise.scale()).expect("valid scale");
-        let noise_dp = Laplace::new(value_d_prime, self.noise.scale()).expect("valid scale");
-        noise_d.ln_pdf(output) - noise_dp.ln_pdf(output)
+        // Same arithmetic as `Laplace::ln_pdf` at the two centers, without
+        // re-constructing the distributions (which could only fail on a
+        // scale we already validated).
+        let b = self.noise.scale();
+        let ln_pdf_at = |loc: f64| -((output - loc).abs() / b) - (2.0 * b).ln();
+        ln_pdf_at(value_d) - ln_pdf_at(value_d_prime)
     }
 
     /// The worst-case privacy loss over all outputs for query values at

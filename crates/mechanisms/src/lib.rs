@@ -34,9 +34,21 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+// Panic-free hardening: library code must surface typed errors, never
+// panic. Bounds-proven kernels opt out per-module with a justification.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)
+)]
 
+// The Monte-Carlo audit estimators index histogram bins and neighbor lists
+// with loop counters bounded by lengths validated at entry.
+#[allow(clippy::indexing_slicing)]
 pub mod audit;
 pub mod composition;
+// The grid sampler walks piecewise-constant envelopes whose index arithmetic
+// is bounded by the grid length fixed at construction.
+#[allow(clippy::indexing_slicing)]
 pub mod continuous_exponential;
 pub mod exponential;
 pub mod gaussian;
@@ -44,6 +56,9 @@ pub mod geometric;
 pub mod histogram;
 pub mod laplace;
 pub mod noisy_max;
+// The rejection loop permutes `0..k` in place; every index is drawn from
+// that range, so direct indexing is bounds-proven.
+#[allow(clippy::indexing_slicing)]
 pub mod permute_and_flip;
 pub mod privacy;
 pub mod randomized_response;
@@ -68,6 +83,9 @@ pub enum MechanismError {
         /// ε remaining in the budget.
         remaining: f64,
     },
+    /// A charged operation failed after its budget was spent; the
+    /// accountant fails closed and refuses all further spending.
+    AccountantPoisoned,
     /// An underlying numerical routine failed.
     Numerics(dplearn_numerics::NumericsError),
 }
@@ -87,6 +105,10 @@ impl std::fmt::Display for MechanismError {
                     "privacy budget exhausted: requested ε={requested}, remaining ε={remaining}"
                 )
             }
+            MechanismError::AccountantPoisoned => write!(
+                f,
+                "privacy accountant poisoned: a charged operation failed, refusing further spends"
+            ),
             MechanismError::Numerics(e) => write!(f, "numerics error: {e}"),
         }
     }

@@ -46,6 +46,15 @@ pub fn report_noisy_max<R: Rng + ?Sized>(
             reason: format!("must be finite and positive, got {sensitivity}"),
         });
     }
+    // A non-finite score silently dominates (or, for NaN, silently loses)
+    // every comparison below, turning the argmax deterministic and voiding
+    // the privacy guarantee — fail closed instead.
+    if scores.iter().any(|s| !s.is_finite()) {
+        return Err(MechanismError::InvalidParameter {
+            name: "scores",
+            reason: "all scores must be finite".to_string(),
+        });
+    }
     let mut best = 0usize;
     let mut best_v = f64::NEG_INFINITY;
     match noise {
@@ -87,6 +96,16 @@ mod tests {
         let eps = Epsilon::new(1.0).unwrap();
         assert!(report_noisy_max(&[], eps, 1.0, NoisyMaxNoise::Laplace, &mut rng).is_err());
         assert!(report_noisy_max(&[1.0], eps, 0.0, NoisyMaxNoise::Laplace, &mut rng).is_err());
+        // Non-finite scores void the privacy guarantee: fail closed for
+        // both noise flavours.
+        for noise in [NoisyMaxNoise::Laplace, NoisyMaxNoise::Gumbel] {
+            for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+                assert!(
+                    report_noisy_max(&[0.0, bad, 1.0], eps, 1.0, noise, &mut rng).is_err(),
+                    "score {bad} must be rejected"
+                );
+            }
+        }
     }
 
     #[test]

@@ -101,6 +101,14 @@ impl PermuteAndFlip {
                 reason: "exact distribution supported for 1..=16 candidates".to_string(),
             });
         }
+        // Same guard as the sampler: a NaN score would otherwise propagate
+        // through every recurrence below and come back as an Ok(NaN) vector.
+        if scores.iter().any(|s| !s.is_finite()) {
+            return Err(MechanismError::InvalidParameter {
+                name: "scores",
+                reason: "scores must be finite".to_string(),
+            });
+        }
         let q_star = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let p: Vec<f64> = scores.iter().map(|&s| (t * (s - q_star)).exp()).collect();
         // f[mask] = probability that a uniformly random ordering of the

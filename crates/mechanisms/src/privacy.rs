@@ -103,11 +103,13 @@ pub trait Neighboring: Sized {
 /// the domain (the worst case for the statistics we audit).
 pub fn replace_one_neighbors(data: &[f64], lo: f64, hi: f64) -> Vec<Vec<f64>> {
     let mut out = Vec::with_capacity(2 * data.len());
-    for i in 0..data.len() {
+    for (i, &x) in data.iter().enumerate() {
         for &v in &[lo, hi] {
-            if data[i] != v {
+            if x != v {
                 let mut d = data.to_vec();
-                d[i] = v;
+                if let Some(slot) = d.get_mut(i) {
+                    *slot = v;
+                }
                 out.push(d);
             }
         }

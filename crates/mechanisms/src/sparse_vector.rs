@@ -44,6 +44,12 @@ impl AboveThreshold {
                 reason: format!("must be finite and positive, got {sensitivity}"),
             });
         }
+        if !threshold.is_finite() {
+            return Err(MechanismError::InvalidParameter {
+                name: "threshold",
+                reason: format!("must be finite, got {threshold}"),
+            });
+        }
         let eps = epsilon.value();
         let threshold_noise = Laplace::new(0.0, 2.0 * sensitivity / eps)?;
         let query_noise = Laplace::new(0.0, 4.0 * sensitivity / eps)?;
@@ -60,6 +66,14 @@ impl AboveThreshold {
             return Err(MechanismError::BudgetExhausted {
                 requested: 0.0,
                 remaining: 0.0,
+            });
+        }
+        // A non-finite query value would make the comparison deterministic
+        // (±inf) or always-false (NaN), breaking the SVT analysis.
+        if !value.is_finite() {
+            return Err(MechanismError::InvalidParameter {
+                name: "value",
+                reason: format!("query value must be finite, got {value}"),
             });
         }
         if value + self.query_noise.sample(rng) >= self.noisy_threshold {
@@ -115,6 +129,26 @@ mod tests {
     #[test]
     fn construction_validates() {
         let mut rng = Xoshiro256::seed_from(7);
-        assert!(AboveThreshold::new(Epsilon::new(1.0).unwrap(), -1.0, 0.0, &mut rng).is_err());
+        let eps = Epsilon::new(1.0).unwrap();
+        assert!(AboveThreshold::new(eps, -1.0, 0.0, &mut rng).is_err());
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(
+                AboveThreshold::new(eps, 1.0, bad, &mut rng).is_err(),
+                "threshold {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_queries_are_rejected_without_spending_the_report() {
+        let mut rng = Xoshiro256::seed_from(11);
+        let eps = Epsilon::new(1.0).unwrap();
+        let mut svt = AboveThreshold::new(eps, 1.0, 0.0, &mut rng).unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(svt.query(bad, &mut rng).is_err(), "query {bad} rejected");
+            assert!(!svt.is_exhausted(), "rejection must not exhaust the SVT");
+        }
+        // The instance still answers well-formed queries afterwards.
+        assert!(svt.query(-1000.0, &mut rng).is_ok());
     }
 }

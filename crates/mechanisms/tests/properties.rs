@@ -119,3 +119,57 @@ proptest! {
         prop_assert!(ab >= 0.0);
     }
 }
+
+// Edge-case behavior of the composition calculus: the robustness layer
+// guarantees these are total functions that never panic and degrade
+// gracefully (saturating to +inf rather than wrapping or going NaN).
+#[test]
+fn composition_of_nothing_is_the_zero_budget() {
+    let seq = sequential(&[]);
+    assert_eq!((seq.epsilon, seq.delta), (0.0, 0.0));
+    let par = parallel(&[]);
+    assert_eq!((par.epsilon, par.delta), (0.0, 0.0));
+}
+
+#[test]
+fn sequential_saturates_instead_of_overflowing() {
+    let huge = Budget {
+        epsilon: f64::MAX,
+        delta: 0.0,
+    };
+    let total = sequential(&[huge, huge, huge]);
+    assert_eq!(total.epsilon, f64::INFINITY);
+    assert!(!total.epsilon.is_nan());
+    assert_eq!(total.delta, 0.0);
+}
+
+#[test]
+fn advanced_rejects_delta_prime_boundaries() {
+    let per = Budget::new(0.1, 0.0).unwrap();
+    assert!(advanced(per, 10, 0.0).is_err());
+    assert!(advanced(per, 10, 1.0).is_err());
+    assert!(advanced(per, 10, -0.5).is_err());
+    assert!(advanced(per, 10, f64::NAN).is_err());
+    // The smallest positive subnormal is a legal (if silly) slack.
+    let b = advanced(per, 10, 5e-324).unwrap();
+    assert!(b.epsilon.is_finite() && b.epsilon > 0.0);
+}
+
+proptest! {
+    /// Sequential composition is monotone: adding a mechanism never
+    /// shrinks the total budget, for any random mix of budgets.
+    #[test]
+    fn sequential_is_monotone_in_the_number_of_mechanisms(
+        eps in prop::collection::vec(1e-3..5.0f64, 1..12),
+        extra in 1e-3..5.0f64,
+    ) {
+        let mut budgets: Vec<Budget> =
+            eps.iter().map(|&e| Budget::new(e, 0.0).unwrap()).collect();
+        let before = sequential(&budgets);
+        budgets.push(Budget::new(extra, 0.0).unwrap());
+        let after = sequential(&budgets);
+        prop_assert!(after.epsilon >= before.epsilon);
+        // And parallel composition is bounded by sequential.
+        prop_assert!(parallel(&budgets).epsilon <= after.epsilon + 1e-12);
+    }
+}

@@ -371,6 +371,9 @@ impl Categorical {
         })
     }
 
+    // Every index here comes from enumerating `0..k` over vectors allocated
+    // with length `k`, so the direct indexing cannot go out of bounds.
+    #[allow(clippy::indexing_slicing)]
     fn build_alias(probs: &[f64]) -> (Vec<usize>, Vec<f64>) {
         // Vose's stable alias construction.
         let k = probs.len();
@@ -418,9 +421,9 @@ impl Categorical {
         self.probs.is_empty()
     }
 
-    /// Normalized probability of category `i`.
+    /// Normalized probability of category `i` (zero when out of range).
     pub fn prob(&self, i: usize) -> f64 {
-        self.probs[i]
+        self.probs.get(i).copied().unwrap_or(0.0)
     }
 
     /// The full normalized probability vector.
@@ -433,10 +436,11 @@ impl Sample for Categorical {
     type Output = usize;
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let i = rng.next_index(self.probs.len());
-        if rng.next_f64() < self.cutoff[i] {
+        let cut = self.cutoff.get(i).copied().unwrap_or(1.0);
+        if rng.next_f64() < cut {
             i
         } else {
-            self.alias[i]
+            self.alias.get(i).copied().unwrap_or(i)
         }
     }
 }

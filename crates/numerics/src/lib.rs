@@ -39,9 +39,18 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+// Panic-free hardening: library code must surface typed errors, never
+// panic. Bounds-proven kernels opt out per-module with a justification.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)
+)]
 
 pub mod distributions;
 pub mod integrate;
+// Dense kernels index with loop counters bounded by dimensions checked at
+// entry; rewriting with `get` would obscure the math without adding safety.
+#[allow(clippy::indexing_slicing)]
 pub mod linalg;
 pub mod optimize;
 pub mod rng;
@@ -75,6 +84,11 @@ pub enum NumericsError {
     },
     /// The input slice was empty where at least one element is required.
     EmptyInput,
+    /// A value that must be finite was NaN or infinite.
+    NonFinite {
+        /// Where the non-finite value was encountered.
+        context: &'static str,
+    },
 }
 
 impl std::fmt::Display for NumericsError {
@@ -93,6 +107,9 @@ impl std::fmt::Display for NumericsError {
                 write!(f, "iteration failed to converge after {iterations} steps")
             }
             NumericsError::EmptyInput => write!(f, "input must be non-empty"),
+            NumericsError::NonFinite { context } => {
+                write!(f, "non-finite value (NaN or ±inf) in {context}")
+            }
         }
     }
 }

@@ -8,6 +8,80 @@
 /// Natural logarithm of 2, `ln 2`.
 pub const LN_2: f64 = std::f64::consts::LN_2;
 
+/// Streaming compensated accumulator (Kahan–Babuška–Neumaier).
+///
+/// Keeps a running error term so that long sums of mixed-magnitude terms
+/// (KL divergences, log-likelihoods, Gibbs weights) lose at most one ulp
+/// to cancellation instead of `O(n)` ulps. Unlike pairwise summation it
+/// is streaming — terms can arrive one at a time in a fixed order, which
+/// keeps parallel chunked reductions bit-deterministic.
+///
+/// ```
+/// use dplearn_numerics::special::KahanSum;
+/// let mut acc = KahanSum::new();
+/// for &x in &[1e16, 1.0, -1e16] {
+///     acc.add(x);
+/// }
+/// assert_eq!(acc.value(), 1.0); // naive summation returns 0.0
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KahanSum {
+    sum: f64,
+    comp: f64,
+}
+
+impl KahanSum {
+    /// An empty accumulator (sum 0).
+    pub fn new() -> Self {
+        KahanSum::default()
+    }
+
+    /// Add one term.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.comp += (self.sum - t) + x;
+        } else {
+            self.comp += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        if self.sum.is_finite() {
+            self.sum + self.comp
+        } else {
+            // An overflowed or NaN sum makes the compensation term
+            // `inf − inf = NaN`; report the raw (correctly signed) sum.
+            self.sum
+        }
+    }
+}
+
+impl Extend<f64> for KahanSum {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for KahanSum {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut acc = KahanSum::new();
+        acc.extend(iter);
+        acc
+    }
+}
+
+/// Compensated sum of an iterator of terms (see [`KahanSum`]).
+pub fn kahan_sum<I: IntoIterator<Item = f64>>(xs: I) -> f64 {
+    xs.into_iter().collect::<KahanSum>().value()
+}
+
 /// `log(exp(a) + exp(b))` computed without overflow.
 pub fn log_add_exp(a: f64, b: f64) -> f64 {
     if a == f64::NEG_INFINITY {
@@ -31,7 +105,7 @@ pub fn log_sum_exp(xs: &[f64]) -> f64 {
     if m == f64::INFINITY {
         return f64::INFINITY;
     }
-    let s: f64 = xs.iter().map(|&x| (x - m).exp()).sum();
+    let s = kahan_sum(xs.iter().map(|&x| (x - m).exp()));
     m + s.ln()
 }
 
@@ -565,6 +639,35 @@ mod tests {
         close(binary_entropy(0.0), 0.0, 1e-15);
         close(binary_entropy(1.0), 0.0, 1e-15);
         assert!(binary_entropy(0.5) > binary_entropy(0.1));
+    }
+
+    #[test]
+    fn kahan_sum_beats_naive_summation() {
+        // Classic cancellation: naive f64 summation returns 0.
+        let terms = [1e16, 1.0, -1e16];
+        assert_eq!(terms.iter().sum::<f64>(), 0.0);
+        assert_eq!(kahan_sum(terms.iter().copied()), 1.0);
+        // Small terms riding on a huge offset that later cancels: naive
+        // summation loses each small term's low bits against 1e10.
+        let mut xs = vec![1e10];
+        xs.extend(std::iter::repeat_n(0.123, 10_000));
+        xs.push(-1e10);
+        let want = 0.123 * 10_000.0;
+        let got = kahan_sum(xs.iter().copied());
+        let naive: f64 = xs.iter().sum();
+        assert!((got - want).abs() < 1e-9, "kahan {got} vs exact {want}");
+        assert!(
+            (naive - want).abs() > (got - want).abs(),
+            "naive {naive} should be worse than kahan {got}"
+        );
+        // Streaming API and FromIterator agree.
+        let mut acc = KahanSum::new();
+        acc.extend(xs.iter().copied());
+        assert_eq!(acc.value(), got);
+        // Non-finite terms propagate instead of vanishing.
+        assert!(kahan_sum([1.0, f64::NAN]).is_nan());
+        assert_eq!(kahan_sum([1.0, f64::INFINITY]), f64::INFINITY);
+        assert_eq!(kahan_sum(std::iter::empty()), 0.0);
     }
 
     #[test]

@@ -5,14 +5,15 @@
 //! outputs; the utility experiments report means with bootstrap intervals.
 
 use crate::rng::Rng;
+use crate::special::kahan_sum;
 use crate::{NumericsError, Result};
 
-/// Arithmetic mean. Errors on empty input.
+/// Arithmetic mean (compensated summation). Errors on empty input.
 pub fn mean(xs: &[f64]) -> Result<f64> {
     if xs.is_empty() {
         return Err(NumericsError::EmptyInput);
     }
-    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+    Ok(kahan_sum(xs.iter().copied()) / xs.len() as f64)
 }
 
 /// Unbiased (n−1) sample variance via Welford's online algorithm.
@@ -55,12 +56,20 @@ pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
             reason: format!("must lie in [0,1], got {q}"),
         });
     }
+    if xs.iter().any(|x| x.is_nan()) {
+        return Err(NumericsError::NonFinite {
+            context: "quantile input",
+        });
+    }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile: NaN in input"));
+    sorted.sort_by(f64::total_cmp);
     let h = q * (sorted.len() - 1) as f64;
     let lo = h.floor() as usize;
     let hi = h.ceil() as usize;
-    Ok(sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo]))
+    match (sorted.get(lo), sorted.get(hi)) {
+        (Some(&a), Some(&b)) => Ok(a + (h - lo as f64) * (b - a)),
+        _ => Err(NumericsError::EmptyInput),
+    }
 }
 
 /// Median (0.5 quantile).
@@ -81,7 +90,7 @@ pub fn covariance(xs: &[f64], ys: &[f64]) -> Result<f64> {
     }
     let mx = mean(xs)?;
     let my = mean(ys)?;
-    let s: f64 = xs.iter().zip(ys).map(|(&x, &y)| (x - mx) * (y - my)).sum();
+    let s = kahan_sum(xs.iter().zip(ys).map(|(&x, &y)| (x - mx) * (y - my)));
     Ok(s / (xs.len() - 1) as f64)
 }
 
@@ -130,8 +139,10 @@ impl Histogram {
     /// Record one observation.
     pub fn record(&mut self, x: f64) {
         let b = self.bin_of(x);
-        self.counts[b] += 1;
-        self.total += 1;
+        if let Some(c) = self.counts.get_mut(b) {
+            *c += 1;
+            self.total += 1;
+        }
     }
 
     /// Raw bin counts.
@@ -144,12 +155,12 @@ impl Histogram {
         self.total
     }
 
-    /// Empirical probability of bin `i`.
+    /// Empirical probability of bin `i` (zero when out of range).
     pub fn frequency(&self, i: usize) -> f64 {
         if self.total == 0 {
             0.0
         } else {
-            self.counts[i] as f64 / self.total as f64
+            self.counts.get(i).copied().unwrap_or(0) as f64 / self.total as f64
         }
     }
 }
@@ -166,8 +177,13 @@ impl Ecdf {
         if xs.is_empty() {
             return Err(NumericsError::EmptyInput);
         }
+        if xs.iter().any(|x| x.is_nan()) {
+            return Err(NumericsError::NonFinite {
+                context: "Ecdf input",
+            });
+        }
         let mut sorted = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("Ecdf: NaN in input"));
+        sorted.sort_by(f64::total_cmp);
         Ok(Ecdf { sorted })
     }
 
@@ -200,7 +216,14 @@ pub fn autocorrelation(xs: &[f64], k: usize) -> Result<f64> {
     if c0 == 0.0 {
         return Ok(0.0);
     }
-    let ck: f64 = xs.windows(k + 1).map(|w| (w[0] - m) * (w[k] - m)).sum();
+    let ck: f64 = xs
+        .windows(k + 1)
+        .map(|w| {
+            let a = w.first().copied().unwrap_or(m);
+            let b = w.last().copied().unwrap_or(m);
+            (a - m) * (b - m)
+        })
+        .sum();
     Ok(ck / c0)
 }
 
@@ -250,7 +273,7 @@ pub fn bootstrap_mean_ci<R: Rng + ?Sized>(
     for _ in 0..resamples {
         let mut s = 0.0;
         for _ in 0..n {
-            s += xs[rng.next_index(n)];
+            s += xs.get(rng.next_index(n)).copied().unwrap_or(0.0);
         }
         means.push(s / n as f64);
     }
@@ -294,6 +317,21 @@ mod tests {
         close(quantile(&xs, 0.5).unwrap(), 2.5, 1e-12);
         close(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0, 1e-12);
         assert!(quantile(&xs, 1.5).is_err());
+    }
+
+    #[test]
+    fn nan_inputs_yield_typed_errors_not_panics() {
+        let with_nan = [1.0, f64::NAN, 2.0];
+        assert!(matches!(
+            quantile(&with_nan, 0.5),
+            Err(NumericsError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            Ecdf::new(&with_nan),
+            Err(NumericsError::NonFinite { .. })
+        ));
+        // Infinities are ordered fine and stay allowed.
+        assert!(quantile(&[f64::NEG_INFINITY, 0.0, 1.0], 0.0).is_ok());
     }
 
     #[test]

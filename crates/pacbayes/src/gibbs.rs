@@ -18,6 +18,7 @@
 use crate::posterior::{DiagGaussian, FinitePosterior};
 use crate::{PacBayesError, Result};
 use dplearn_numerics::rng::Rng;
+use dplearn_robust::ConvergenceReport;
 
 /// The exact Gibbs posterior over a finite class:
 /// `π̂_λ(i) ∝ π(i)·exp(−λ·risks[i])`, computed in log space.
@@ -167,15 +168,27 @@ where
 
     /// Run the chain, returning samples and diagnostics.
     pub fn run<R: Rng + ?Sized>(&self, rng: &mut R) -> (Vec<Vec<f64>>, MhDiagnostics) {
+        let cfg = self.cfg.clone();
+        self.run_with_cfg(rng, &cfg)
+    }
+
+    /// Run the chain under an explicit configuration (used by the
+    /// watchdog to widen proposals on retried chains without rebuilding
+    /// the sampler).
+    fn run_with_cfg<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        cfg: &MhConfig,
+    ) -> (Vec<Vec<f64>>, MhDiagnostics) {
         let d = self.prior.dim();
         let mut theta: Vec<f64> = self.prior.mean().to_vec();
         let mut log_p = self.log_target(&theta);
-        let mut step = self.cfg.initial_step;
+        let mut step = cfg.initial_step;
         let gauss = dplearn_numerics::distributions::Gaussian::standard();
         use dplearn_numerics::distributions::Sample;
 
-        let total = self.cfg.total_iterations();
-        let mut samples = Vec::with_capacity(self.cfg.n_samples);
+        let total = cfg.total_iterations();
+        let mut samples = Vec::with_capacity(cfg.n_samples);
         let mut accepted_post = 0usize;
         let mut post_iters = 0usize;
         // During burn-in, adapt the step toward ~30% acceptance in windows
@@ -192,7 +205,7 @@ where
                 theta = proposal;
                 log_p = log_q;
             }
-            if it < self.cfg.burn_in {
+            if it < cfg.burn_in {
                 if accept {
                     window_accepts += 1;
                 }
@@ -211,12 +224,12 @@ where
                 if accept {
                     accepted_post += 1;
                 }
-                if (it - self.cfg.burn_in + 1).is_multiple_of(self.cfg.thin) {
+                if (it - cfg.burn_in + 1).is_multiple_of(cfg.thin) {
                     samples.push(theta.clone());
                 }
             }
         }
-        debug_assert_eq!(samples.len(), self.cfg.n_samples);
+        debug_assert_eq!(samples.len(), cfg.n_samples);
         debug_assert_eq!(theta.len(), d);
         let diagnostics = MhDiagnostics {
             acceptance_rate: accepted_post as f64 / post_iters.max(1) as f64,
@@ -226,6 +239,60 @@ where
         (samples, diagnostics)
     }
 }
+
+/// Configuration for the R̂-triggered convergence watchdog of
+/// [`MetropolisGibbs::sample_chains_watched`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchdogConfig {
+    /// Re-run chains while the worst-dimension R̂ exceeds this (≥ 1).
+    pub rhat_threshold: f64,
+    /// Total sampling attempts, including the first (≥ 1).
+    pub max_attempts: usize,
+    /// Multiplier applied to `initial_step` per retry (≥ 1): widened
+    /// proposals let re-run chains escape the modes that trapped them.
+    pub step_widen: f64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            rhat_threshold: 1.1,
+            max_attempts: 3,
+            step_widen: 2.0,
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// Reject thresholds or schedules that cannot terminate meaningfully.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.rhat_threshold.is_finite() && self.rhat_threshold >= 1.0) {
+            return Err(PacBayesError::InvalidParameter {
+                name: "rhat_threshold",
+                reason: format!("must be finite and ≥ 1, got {}", self.rhat_threshold),
+            });
+        }
+        if self.max_attempts == 0 {
+            return Err(PacBayesError::InvalidParameter {
+                name: "max_attempts",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        if !(self.step_widen.is_finite() && self.step_widen >= 1.0) {
+            return Err(PacBayesError::InvalidParameter {
+                name: "step_widen",
+                reason: format!("must be finite and ≥ 1, got {}", self.step_widen),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-chain samples from a multi-chain run: `chains[chain][draw][dim]`.
+pub type ChainPool = Vec<Vec<Vec<f64>>>;
+
+/// One chain's output: retained draws plus diagnostics.
+type ChainRun = (Vec<Vec<f64>>, MhDiagnostics);
 
 /// Pooled diagnostics from a multi-chain Metropolis–Hastings run.
 #[derive(Debug, Clone)]
@@ -263,7 +330,7 @@ where
         &self,
         n_chains: usize,
         seed: u64,
-    ) -> Result<(Vec<Vec<Vec<f64>>>, MultiChainDiagnostics)> {
+    ) -> Result<(ChainPool, MultiChainDiagnostics)> {
         if n_chains == 0 {
             return Err(PacBayesError::InvalidParameter {
                 name: "n_chains",
@@ -272,11 +339,10 @@ where
         }
         self.cfg.validate()?;
         let streams = dplearn_numerics::rng::Xoshiro256::jump_streams(seed, n_chains);
-        let runs: Vec<(Vec<Vec<f64>>, MhDiagnostics)> =
-            dplearn_parallel::par_map_indexed(n_chains, |k| {
-                let mut rng = streams[k].clone();
-                self.run(&mut rng)
-            });
+        let runs: Vec<ChainRun> = dplearn_parallel::par_map(&streams, |_, stream| {
+            let mut rng = stream.clone();
+            self.run(&mut rng)
+        });
 
         let d = self.prior.dim();
         let n = self.cfg.n_samples;
@@ -286,69 +352,249 @@ where
             chains.push(samples);
             per_chain.push(diag);
         }
-        let chain_means: Vec<Vec<f64>> = chains
-            .iter()
-            .map(|samples| {
-                let mut mean = vec![0.0; d];
-                for s in samples {
-                    for (m, &v) in mean.iter_mut().zip(s) {
-                        *m += v;
+        let diagnostics = pool_diagnostics(&chains, per_chain, d, n);
+        Ok((chains, diagnostics))
+    }
+
+    /// [`MetropolisGibbs::sample_chains`] guarded by a convergence
+    /// watchdog: while the worst-dimension R̂ exceeds
+    /// `wd.rhat_threshold`, the chains implicated in the disagreement
+    /// (those whose means sit farthest from the pooled mean) are re-run
+    /// on **fresh jump-derived RNG streams** with proposals widened by
+    /// `wd.step_widen` per attempt, up to `wd.max_attempts` total
+    /// attempts.
+    ///
+    /// Never errors on non-convergence: if the budget is exhausted the
+    /// pool is returned as-is with `report.degraded == true` so callers
+    /// can decide whether an under-mixed posterior is acceptable. All
+    /// retry decisions are pure functions of the pooled chain statistics
+    /// and the attempt index — never wall-clock time — so the result is
+    /// bit-identical at every `DPLEARN_THREADS` setting.
+    ///
+    /// With fewer than 2 chains or 2 retained samples R̂ is undefined;
+    /// the watchdog then has nothing to act on and reports a trivially
+    /// converged run with a `NaN` residual.
+    pub fn sample_chains_watched(
+        &self,
+        n_chains: usize,
+        seed: u64,
+        wd: &WatchdogConfig,
+    ) -> Result<(ChainPool, MultiChainDiagnostics, ConvergenceReport)> {
+        wd.validate()?;
+        let (mut chains, mut diag) = self.sample_chains(n_chains, seed)?;
+        let d = self.prior.dim();
+        let n = self.cfg.n_samples;
+        let per_run_iters = self.cfg.total_iterations();
+        let mut total_iterations = n_chains.saturating_mul(per_run_iters);
+
+        if n_chains < 2 || n < 2 {
+            let report = ConvergenceReport {
+                attempts: 1,
+                converged: true,
+                degraded: false,
+                total_iterations,
+                final_residual: f64::NAN,
+            };
+            return Ok((chains, diag, report));
+        }
+
+        let mut per_chain = diag.per_chain.clone();
+        let mut attempt = 1usize;
+        let mut residual = worst_rhat(&diag.rhat);
+        while residual > wd.rhat_threshold && attempt < wd.max_attempts {
+            let rerun = divergent_chains(&diag.chain_means, d);
+            // Fresh, non-overlapping streams per attempt: offset the seed
+            // by attempt · golden-ratio increment, then take the same
+            // per-chain jump streams as the base run.
+            let streams = dplearn_numerics::rng::Xoshiro256::jump_streams(
+                seed.wrapping_add((attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                n_chains,
+            );
+            let widened = {
+                let s = self.cfg.initial_step * wd.step_widen.powi(attempt.min(64) as i32);
+                if s.is_finite() {
+                    s
+                } else {
+                    self.cfg.initial_step
+                }
+            };
+            let retry_cfg = MhConfig {
+                initial_step: widened,
+                ..self.cfg.clone()
+            };
+            let reruns: Vec<(usize, ChainRun)> = dplearn_parallel::par_map(&rerun, |_, &k| {
+                // `rerun` holds chain indices `< n_chains == streams.len()`;
+                // the fallback stream is unreachable.
+                let mut rng = streams
+                    .get(k)
+                    .cloned()
+                    .unwrap_or_else(|| dplearn_numerics::rng::Xoshiro256::seed_from(seed));
+                (k, self.run_with_cfg(&mut rng, &retry_cfg))
+            });
+            total_iterations =
+                total_iterations.saturating_add(rerun.len().saturating_mul(per_run_iters));
+            for (k, (samples, chain_diag)) in reruns {
+                if let Some(slot) = chains.get_mut(k) {
+                    *slot = samples;
+                }
+                if let Some(slot) = per_chain.get_mut(k) {
+                    *slot = chain_diag;
+                }
+            }
+            diag = pool_diagnostics(&chains, per_chain.clone(), d, n);
+            residual = worst_rhat(&diag.rhat);
+            attempt += 1;
+        }
+
+        let converged = residual <= wd.rhat_threshold;
+        let report = ConvergenceReport {
+            attempts: attempt,
+            converged,
+            degraded: !converged,
+            total_iterations,
+            final_residual: residual,
+        };
+        Ok((chains, diag, report))
+    }
+}
+
+/// Worst-dimension R̂ as a scalar divergence residual. `NaN` entries
+/// (degenerate zero-variance chains) count as maximally divergent;
+/// callers must handle the globally-undefined case (< 2 chains or < 2
+/// samples) before calling. An empty slice (zero-dimensional parameter)
+/// is trivially converged.
+fn worst_rhat(rhat: &[f64]) -> f64 {
+    if rhat.is_empty() {
+        return 1.0;
+    }
+    if rhat.iter().any(|r| r.is_nan()) {
+        return f64::INFINITY;
+    }
+    rhat.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+}
+
+/// Chains implicated in divergence: those whose mean deviates from the
+/// grand mean (in ℓ∞) by at least half the worst deviation. Chains with
+/// non-finite means are always implicated; if every deviation is zero
+/// the statistic is uninformative and all chains are re-run. Pure
+/// function of the pooled statistics, so the rerun set is deterministic.
+fn divergent_chains(chain_means: &[Vec<f64>], d: usize) -> Vec<usize> {
+    // Grand mean over *finite* chain means only, so one broken chain
+    // cannot poison the reference point and implicate the healthy ones.
+    let grand: Vec<f64> = (0..d)
+        .map(|dim| {
+            let finite: Vec<f64> = chain_means
+                .iter()
+                .filter_map(|cm| cm.get(dim))
+                .copied()
+                .filter(|v| v.is_finite())
+                .collect();
+            if finite.is_empty() {
+                0.0
+            } else {
+                finite.iter().sum::<f64>() / finite.len() as f64
+            }
+        })
+        .collect();
+    let devs: Vec<f64> = chain_means
+        .iter()
+        .map(|cm| {
+            cm.iter()
+                .zip(&grand)
+                .map(|(&v, &g)| {
+                    let diff = (v - g).abs();
+                    if diff.is_nan() {
+                        f64::INFINITY
+                    } else {
+                        diff
                     }
-                }
-                mean.iter_mut().for_each(|m| *m /= n as f64);
-                mean
-            })
-            .collect();
+                })
+                .fold(0.0f64, f64::max)
+        })
+        .collect();
+    let max_dev = devs.iter().fold(0.0f64, |a, &b| a.max(b));
+    if max_dev <= 0.0 {
+        (0..chain_means.len()).collect()
+    } else {
+        devs.iter()
+            .enumerate()
+            .filter(|&(_, &dv)| dv >= 0.5 * max_dev)
+            .map(|(k, _)| k)
+            .collect()
+    }
+}
 
-        // Gelman–Rubin: W = mean within-chain variance, B/n = variance
-        // of chain means; R̂ = sqrt(((n−1)/n·W + B/n) / W).
-        let m = n_chains as f64;
-        let rhat: Vec<f64> = (0..d)
-            .map(|dim| {
-                if n_chains < 2 || n < 2 {
-                    return f64::NAN;
+/// Pool per-chain runs into [`MultiChainDiagnostics`] (chain means,
+/// Gelman–Rubin R̂, mean acceptance). Pure function of the chain pool, so
+/// the watchdog can recompute it after re-running a subset of chains.
+fn pool_diagnostics(
+    chains: &[Vec<Vec<f64>>],
+    per_chain: Vec<MhDiagnostics>,
+    d: usize,
+    n: usize,
+) -> MultiChainDiagnostics {
+    let n_chains = chains.len();
+    let chain_means: Vec<Vec<f64>> = chains
+        .iter()
+        .map(|samples| {
+            let mut mean = vec![0.0; d];
+            for s in samples {
+                for (m, &v) in mean.iter_mut().zip(s) {
+                    *m += v;
                 }
-                let grand = chain_means.iter().map(|cm| cm[dim]).sum::<f64>() / m;
-                let b_over_n = chain_means
-                    .iter()
-                    .map(|cm| (cm[dim] - grand).powi(2))
-                    .sum::<f64>()
-                    / (m - 1.0);
-                let w = chains
-                    .iter()
-                    .zip(&chain_means)
-                    .map(|(samples, cm)| {
-                        samples
-                            .iter()
-                            .map(|s| (s[dim] - cm[dim]).powi(2))
-                            .sum::<f64>()
-                            / (n as f64 - 1.0)
-                    })
-                    .sum::<f64>()
-                    / m;
-                if w <= 0.0 {
-                    // Degenerate chains (e.g. zero acceptance): spread
-                    // check is uninformative.
-                    return f64::NAN;
-                }
-                (((n as f64 - 1.0) / n as f64 * w + b_over_n) / w).sqrt()
-            })
-            .collect();
+            }
+            mean.iter_mut().for_each(|m| *m /= n as f64);
+            mean
+        })
+        .collect();
 
-        let pooled_acceptance = per_chain
-            .iter()
-            .map(|diag| diag.acceptance_rate)
-            .sum::<f64>()
-            / m;
-        Ok((
-            chains,
-            MultiChainDiagnostics {
-                per_chain,
-                chain_means,
-                pooled_acceptance,
-                rhat,
-            },
-        ))
+    // Gelman–Rubin: W = mean within-chain variance, B/n = variance
+    // of chain means; R̂ = sqrt(((n−1)/n·W + B/n) / W).
+    let m = n_chains as f64;
+    let rhat: Vec<f64> = (0..d)
+        .map(|dim| {
+            if n_chains < 2 || n < 2 {
+                return f64::NAN;
+            }
+            let grand = chain_means.iter().filter_map(|cm| cm.get(dim)).sum::<f64>() / m;
+            let b_over_n = chain_means
+                .iter()
+                .filter_map(|cm| cm.get(dim))
+                .map(|&cmd| (cmd - grand).powi(2))
+                .sum::<f64>()
+                / (m - 1.0);
+            let w = chains
+                .iter()
+                .zip(&chain_means)
+                .map(|(samples, cm)| {
+                    let cmd = cm.get(dim).copied().unwrap_or(0.0);
+                    samples
+                        .iter()
+                        .map(|s| (s.get(dim).copied().unwrap_or(0.0) - cmd).powi(2))
+                        .sum::<f64>()
+                        / (n as f64 - 1.0)
+                })
+                .sum::<f64>()
+                / m;
+            if w <= 0.0 {
+                // Degenerate chains (e.g. zero acceptance): spread
+                // check is uninformative.
+                return f64::NAN;
+            }
+            (((n as f64 - 1.0) / n as f64 * w + b_over_n) / w).sqrt()
+        })
+        .collect();
+
+    let pooled_acceptance = per_chain
+        .iter()
+        .map(|diag| diag.acceptance_rate)
+        .sum::<f64>()
+        / m;
+    MultiChainDiagnostics {
+        per_chain,
+        chain_means,
+        pooled_acceptance,
+        rhat,
     }
 }
 
@@ -590,5 +836,207 @@ mod tests {
         assert_eq!(one, four, "chains must not depend on thread count");
         assert_ne!(run(5), run(6), "different seeds should differ");
         assert!(mh.sample_chains(0, 1).is_err());
+    }
+
+    /// A sharply bimodal Gibbs target: modes at ±3, barrier high enough
+    /// (λ·9 nats) that a narrow-step random walk never crosses.
+    fn bimodal_sampler(
+        prior: &DiagGaussian,
+        initial_step: f64,
+    ) -> MetropolisGibbs<'_, impl Fn(&[f64]) -> f64 + Sync> {
+        MetropolisGibbs::new(
+            prior,
+            |t: &[f64]| {
+                let x = t[0];
+                ((x - 3.0).powi(2)).min((x + 3.0).powi(2))
+            },
+            8.0,
+            MhConfig {
+                burn_in: 200,
+                n_samples: 300,
+                thin: 1,
+                initial_step,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn watchdog_passes_through_when_chains_agree() {
+        // Unimodal conjugate target: first attempt converges, the
+        // watchdog must return exactly what sample_chains returns.
+        let prior = DiagGaussian::isotropic(1, 1.0).unwrap();
+        let mh = MetropolisGibbs::new(
+            &prior,
+            |t: &[f64]| 0.5 * (t[0] - 1.0).powi(2),
+            3.0,
+            MhConfig {
+                burn_in: 1000,
+                n_samples: 800,
+                thin: 2,
+                initial_step: 0.5,
+            },
+        )
+        .unwrap();
+        let (plain, plain_diag) = mh.sample_chains(4, 271).unwrap();
+        let (chains, diag, report) = mh
+            .sample_chains_watched(4, 271, &WatchdogConfig::default())
+            .unwrap();
+        assert_eq!(chains, plain, "converged first try must be a pass-through");
+        assert_eq!(diag.rhat, plain_diag.rhat);
+        assert_eq!(report.attempts, 1);
+        assert!(report.converged && !report.degraded);
+        assert!(report.final_residual.is_finite() && report.final_residual < 1.1);
+        assert_eq!(report.total_iterations, 4 * (1000 + 800 * 2));
+    }
+
+    #[test]
+    fn watchdog_recovers_mode_trapped_chains() {
+        // Narrow proposals trap each chain in whichever mode it falls
+        // into first; with chains split across ±3 the first attempt has
+        // R̂ ≫ threshold. Retries widen the step ×8 per attempt, letting
+        // re-run chains hop modes and mix.
+        let prior = DiagGaussian::isotropic(1, 3.0).unwrap();
+        let mh = bimodal_sampler(&prior, 0.05);
+        let wd = WatchdogConfig {
+            rhat_threshold: 1.2,
+            max_attempts: 4,
+            step_widen: 8.0,
+        };
+        // Establish the injected failure: the bare (unwatched) run on
+        // this seed genuinely diverges.
+        let (_, bare_diag) = mh.sample_chains(4, 97).unwrap();
+        let bare_worst = super::worst_rhat(&bare_diag.rhat);
+        assert!(
+            bare_worst > wd.rhat_threshold,
+            "test premise: bare run should diverge, got R̂ = {bare_worst}"
+        );
+        let (chains, diag, report) = mh.sample_chains_watched(4, 97, &wd).unwrap();
+        assert!(
+            report.converged && !report.degraded,
+            "watchdog should recover: {report}"
+        );
+        assert!(
+            report.attempts > 1,
+            "recovery must require a retry: {report}"
+        );
+        assert!(report.final_residual <= wd.rhat_threshold);
+        assert_eq!(super::worst_rhat(&diag.rhat), report.final_residual);
+        assert_eq!(chains.len(), 4);
+        assert!(chains.iter().all(|c| c.len() == 300));
+        assert!(
+            report.total_iterations > 4 * (200 + 300),
+            "retries must consume extra budget"
+        );
+    }
+
+    #[test]
+    fn watchdog_is_deterministic_across_thread_counts() {
+        let prior = DiagGaussian::isotropic(1, 3.0).unwrap();
+        let mh = bimodal_sampler(&prior, 0.05);
+        let wd = WatchdogConfig {
+            rhat_threshold: 1.2,
+            max_attempts: 4,
+            step_widen: 8.0,
+        };
+        let run = |seed: u64| mh.sample_chains_watched(4, seed, &wd).unwrap();
+        dplearn_parallel::set_thread_count(1);
+        let (c1, d1, r1) = run(97);
+        dplearn_parallel::set_thread_count(4);
+        let (c4, d4, r4) = run(97);
+        dplearn_parallel::set_thread_count(0);
+        assert_eq!(c1, c4, "watched chains must not depend on thread count");
+        assert_eq!(d1.rhat, d4.rhat);
+        assert_eq!(r1, r4, "retry schedule must not depend on thread count");
+    }
+
+    #[test]
+    fn watchdog_reports_degraded_when_budget_exhausted() {
+        // No widening and a single retry: the mode-trapped pool cannot
+        // recover, and the watchdog must degrade gracefully (return the
+        // pool, flag it) rather than error or loop.
+        let prior = DiagGaussian::isotropic(1, 3.0).unwrap();
+        let mh = bimodal_sampler(&prior, 0.05);
+        let wd = WatchdogConfig {
+            rhat_threshold: 1.05,
+            max_attempts: 2,
+            step_widen: 1.0,
+        };
+        let (chains, _diag, report) = mh.sample_chains_watched(4, 97, &wd).unwrap();
+        assert!(!report.converged && report.degraded, "{report}");
+        assert_eq!(report.attempts, 2);
+        assert!(report.final_residual > wd.rhat_threshold);
+        assert_eq!(chains.len(), 4);
+    }
+
+    #[test]
+    fn watchdog_undefined_rhat_is_trivially_converged() {
+        let prior = DiagGaussian::isotropic(1, 1.0).unwrap();
+        let mh = MetropolisGibbs::new(
+            &prior,
+            |t: &[f64]| t[0].powi(2),
+            1.0,
+            MhConfig {
+                burn_in: 50,
+                n_samples: 20,
+                thin: 1,
+                initial_step: 0.5,
+            },
+        )
+        .unwrap();
+        let (chains, _diag, report) = mh
+            .sample_chains_watched(1, 7, &WatchdogConfig::default())
+            .unwrap();
+        assert_eq!(chains.len(), 1);
+        assert_eq!(report.attempts, 1);
+        assert!(report.converged && !report.degraded);
+        assert!(report.final_residual.is_nan());
+    }
+
+    #[test]
+    fn watchdog_validates_config() {
+        let prior = DiagGaussian::isotropic(1, 1.0).unwrap();
+        let mh = MetropolisGibbs::new(&prior, |_t: &[f64]| 0.0, 1.0, MhConfig::default()).unwrap();
+        for bad in [
+            WatchdogConfig {
+                rhat_threshold: 0.9,
+                ..WatchdogConfig::default()
+            },
+            WatchdogConfig {
+                rhat_threshold: f64::NAN,
+                ..WatchdogConfig::default()
+            },
+            WatchdogConfig {
+                max_attempts: 0,
+                ..WatchdogConfig::default()
+            },
+            WatchdogConfig {
+                step_widen: 0.5,
+                ..WatchdogConfig::default()
+            },
+        ] {
+            assert!(
+                mh.sample_chains_watched(2, 1, &bad).is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
+        assert!(WatchdogConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn divergent_chain_selection_is_sound() {
+        // Two far chains, two near: only the far ones are implicated.
+        let means = vec![vec![3.0], vec![-3.0], vec![0.1], vec![-0.1]];
+        assert_eq!(super::divergent_chains(&means, 1), vec![0, 1]);
+        // All identical: uninformative, re-run everything.
+        let same = vec![vec![1.0], vec![1.0], vec![1.0]];
+        assert_eq!(super::divergent_chains(&same, 1), vec![0, 1, 2]);
+        // Non-finite mean: that chain is always implicated.
+        let broken = vec![vec![f64::NAN], vec![0.0], vec![0.0]];
+        assert_eq!(super::divergent_chains(&broken, 1), vec![0]);
+        // worst_rhat: NaN entries are maximally divergent.
+        assert!(super::worst_rhat(&[1.01, f64::NAN]).is_infinite());
+        assert_eq!(super::worst_rhat(&[]), 1.0);
+        assert_eq!(super::worst_rhat(&[1.3, 1.05]), 1.3);
     }
 }

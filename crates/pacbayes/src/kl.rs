@@ -6,7 +6,7 @@
 
 use crate::posterior::{DiagGaussian, FinitePosterior};
 use crate::{PacBayesError, Result};
-use dplearn_numerics::special::xlogx_over_y;
+use dplearn_numerics::special::{kahan_sum, xlogx_over_y};
 
 /// `KL(p ‖ q)` between two finite distributions over the same support,
 /// in nats. Returns `+inf` when absolute continuity fails.
@@ -17,11 +17,12 @@ pub fn kl_finite(p: &FinitePosterior, q: &FinitePosterior) -> Result<f64> {
             reason: format!("support mismatch: {} vs {}", p.len(), q.len()),
         });
     }
-    Ok(p.probs()
-        .iter()
-        .zip(q.probs())
-        .map(|(&a, &b)| xlogx_over_y(a, b))
-        .sum())
+    Ok(kahan_sum(
+        p.probs()
+            .iter()
+            .zip(q.probs())
+            .map(|(&a, &b)| xlogx_over_y(a, b)),
+    ))
 }
 
 /// `KL(p ‖ q)` between two diagonal Gaussians of the same dimension:
@@ -34,9 +35,7 @@ pub fn kl_diag_gaussian(p: &DiagGaussian, q: &DiagGaussian) -> Result<f64> {
         });
     }
     let mut total = 0.0;
-    for i in 0..p.dim() {
-        let (mp, sp) = (p.mean()[i], p.std()[i]);
-        let (mq, sq) = (q.mean()[i], q.std()[i]);
+    for (((&mp, &sp), &mq), &sq) in p.mean().iter().zip(p.std()).zip(q.mean()).zip(q.std()) {
         total += (sq / sp).ln() + (sp * sp + (mp - mq).powi(2)) / (2.0 * sq * sq) - 0.5;
     }
     Ok(total)

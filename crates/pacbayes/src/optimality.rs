@@ -70,7 +70,10 @@ pub fn random_perturbation<R: Rng + ?Sized>(
         .zip(&noise)
         .map(|(&p, &n)| (1.0 - mix) * p + mix * n / total)
         .collect();
-    FinitePosterior::from_probs(probs).expect("mixture of distributions is a distribution")
+    // A convex mixture of two distributions is a distribution; the only
+    // way construction can fail is catastrophic rounding, in which case
+    // the unperturbed base is a valid (if boring) challenger.
+    FinitePosterior::from_probs(probs).unwrap_or_else(|_| base.clone())
 }
 
 /// Result of a Gibbs-optimality search.

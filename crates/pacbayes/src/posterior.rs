@@ -12,7 +12,7 @@
 use crate::{PacBayesError, Result};
 use dplearn_numerics::distributions::{Categorical, Continuous, Gaussian, Sample};
 use dplearn_numerics::rng::Rng;
-use dplearn_numerics::special::{log_sum_exp, xlogy};
+use dplearn_numerics::special::{kahan_sum, log_sum_exp, xlogy};
 
 /// A probability distribution over a finite hypothesis class
 /// `Θ = {θ₀, …, θ_{k−1}}`, stored as an explicit probability vector.
@@ -92,9 +92,9 @@ impl FinitePosterior {
         self.probs.is_empty()
     }
 
-    /// Probability of hypothesis `i`.
+    /// Probability of hypothesis `i` (zero when out of range).
     pub fn prob(&self, i: usize) -> f64 {
-        self.probs[i]
+        self.probs.get(i).copied().unwrap_or(0.0)
     }
 
     /// The probability vector.
@@ -114,12 +114,12 @@ impl FinitePosterior {
             self.probs.len(),
             "expectation: length mismatch"
         );
-        self.probs.iter().zip(values).map(|(&p, &v)| p * v).sum()
+        kahan_sum(self.probs.iter().zip(values).map(|(&p, &v)| p * v))
     }
 
     /// Shannon entropy in nats.
     pub fn entropy(&self) -> f64 {
-        -self.probs.iter().map(|&p| xlogy(p, p)).sum::<f64>()
+        -kahan_sum(self.probs.iter().map(|&p| xlogy(p, p)))
     }
 
     /// The `q`-quantile of a value assignment under this distribution:
@@ -130,11 +130,14 @@ impl FinitePosterior {
     /// # Panics
     ///
     /// Panics on length mismatch or `q ∉ [0, 1]`.
+    // Indices come from sorting `0..values.len()` after the length assert,
+    // so every lookup below is bounds-proven.
+    #[allow(clippy::indexing_slicing)]
     pub fn quantile(&self, values: &[f64], q: f64) -> f64 {
         assert_eq!(values.len(), self.probs.len(), "quantile: length mismatch");
         assert!((0.0..=1.0).contains(&q), "q must lie in [0,1], got {q}");
         let mut order: Vec<usize> = (0..values.len()).collect();
-        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite values"));
+        order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
         let mut cum = 0.0;
         for &i in &order {
             cum += self.probs[i];
@@ -142,14 +145,17 @@ impl FinitePosterior {
                 return values[i];
             }
         }
-        values[*order.last().expect("non-empty")]
+        order.last().map(|&i| values[i]).unwrap_or(f64::NAN)
     }
 
     /// Draw a hypothesis index.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        Categorical::new(&self.probs)
-            .expect("valid probability vector")
-            .sample(rng)
+        // `probs` was validated at construction; if the impossible
+        // happens, index 0 is a deterministic, in-bounds fallback.
+        match Categorical::new(&self.probs) {
+            Ok(cat) => cat.sample(rng),
+            Err(_) => 0,
+        }
     }
 
     /// The mixture `Σᵢ wᵢ πᵢ` of several posteriors (e.g. `E_Ẑ π̂_Ẑ`, the
@@ -161,7 +167,7 @@ impl FinitePosterior {
                 reason: "must be non-empty".to_string(),
             });
         }
-        let k = components[0].1.len();
+        let k = components.first().map_or(0, |(_, c)| c.len());
         let mut probs = vec![0.0; k];
         let mut total_w = 0.0;
         for (w, c) in components {
@@ -235,9 +241,15 @@ impl DiagGaussian {
     /// Log density at a point.
     pub fn ln_pdf(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.dim(), "ln_pdf: dimension mismatch");
+        // Mean/std were validated at construction; NaN marks the
+        // impossible failure branch instead of panicking mid-sum.
         x.iter()
             .zip(self.mean.iter().zip(&self.std))
-            .map(|(&xi, (&m, &s))| Gaussian::new(m, s).expect("valid params").ln_pdf(xi))
+            .map(|(&xi, (&m, &s))| {
+                Gaussian::new(m, s)
+                    .map(|g| g.ln_pdf(xi))
+                    .unwrap_or(f64::NAN)
+            })
             .sum()
     }
 
@@ -246,7 +258,11 @@ impl DiagGaussian {
         self.mean
             .iter()
             .zip(&self.std)
-            .map(|(&m, &s)| Gaussian::new(m, s).expect("valid params").sample(rng))
+            .map(|(&m, &s)| {
+                Gaussian::new(m, s)
+                    .map(|g| g.sample(rng))
+                    .unwrap_or(f64::NAN)
+            })
             .collect()
     }
 }

@@ -14,7 +14,7 @@
 //! bound/privacy tension made explicit.
 
 use crate::bounds::catoni_bound;
-use crate::Result;
+use crate::{PacBayesError, Result};
 
 /// Outcome of λ-grid tuning.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,7 +75,10 @@ where
             best = Some(cand);
         }
     }
-    Ok(best.expect("non-empty grid"))
+    best.ok_or(PacBayesError::InvalidParameter {
+        name: "grid",
+        reason: "λ grid must be non-empty".to_string(),
+    })
 }
 
 #[cfg(test)]

@@ -32,6 +32,12 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+// Panic-free hardening: library code must surface typed errors, never
+// panic. Bounds-proven kernels opt out per-module with a justification.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)
+)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -107,7 +113,12 @@ where
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("parallel worker panicked"))
+            .flat_map(|h| match h.join() {
+                Ok(local) => local,
+                // Re-raise the worker's own panic payload instead of
+                // masking it behind a generic message.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
     // Ordered merge: sorting by chunk index restores the deterministic
@@ -139,7 +150,9 @@ where
     let mut out: Vec<Vec<U>> = par_map_indexed(blocks, |b| {
         let lo = b * block;
         let hi = (lo + block).min(n);
-        items[lo..hi]
+        items
+            .get(lo..hi)
+            .unwrap_or(&[])
             .iter()
             .enumerate()
             .map(|(k, item)| f(lo + k, item))
@@ -195,7 +208,12 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers.min(chunk_count(n, chunk_size)) {
             scope.spawn(|| loop {
-                let job = queue.lock().expect("chunk queue poisoned").pop();
+                // A poisoned queue only means another worker panicked;
+                // the index data inside is still valid, so keep draining.
+                let job = queue
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .pop();
                 match job {
                     Some((i, start, chunk)) => f(i, start, chunk),
                     None => break,

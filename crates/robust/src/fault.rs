@@ -1,0 +1,384 @@
+//! Deterministic fault injection for slices, matrices, and RNG streams.
+//!
+//! A [`FaultPlan`] is a small DSL describing *what* to inject (a
+//! [`FaultClass`]) and *where* (explicit positions, a periodic stride, or
+//! seeded pseudo-random positions). Plans are pure data: the same plan
+//! applied to the same input always corrupts the same entries, so a test
+//! that fails under injection reproduces exactly.
+
+use crate::{Result, RobustError};
+use dplearn_numerics::rng::{Rng, SplitMix64};
+
+/// The class of hostile value a plan injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// A quiet NaN.
+    Nan,
+    /// Positive infinity.
+    PosInf,
+    /// Negative infinity.
+    NegInf,
+    /// The smallest positive subnormal (5e-324), alternating sign per
+    /// injection — exercises underflow and loss-of-precision paths.
+    Subnormal,
+    /// `±f64::MAX`, alternating sign per injection — exercises overflow
+    /// in sums, products, and `exp` arguments.
+    ExtremeMagnitude,
+}
+
+impl FaultClass {
+    /// Every fault class, in a fixed order — iterate this in tests so a
+    /// suite provably covers the whole taxonomy.
+    pub const ALL: [FaultClass; 5] = [
+        FaultClass::Nan,
+        FaultClass::PosInf,
+        FaultClass::NegInf,
+        FaultClass::Subnormal,
+        FaultClass::ExtremeMagnitude,
+    ];
+
+    /// The `k`-th injected value of this class (sign-alternating classes
+    /// use `k`'s parity).
+    pub fn value(&self, k: usize) -> f64 {
+        let sign = if k.is_multiple_of(2) { 1.0 } else { -1.0 };
+        match self {
+            FaultClass::Nan => f64::NAN,
+            FaultClass::PosInf => f64::INFINITY,
+            FaultClass::NegInf => f64::NEG_INFINITY,
+            FaultClass::Subnormal => sign * 5e-324,
+            FaultClass::ExtremeMagnitude => sign * f64::MAX,
+        }
+    }
+
+    /// Short stable name, useful in assertion messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultClass::Nan => "nan",
+            FaultClass::PosInf => "+inf",
+            FaultClass::NegInf => "-inf",
+            FaultClass::Subnormal => "subnormal",
+            FaultClass::ExtremeMagnitude => "extreme",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Positions {
+    /// `count` distinct seeded pseudo-random positions.
+    Random {
+        /// How many entries to corrupt (clamped to the input length).
+        count: usize,
+    },
+    /// Every `stride`-th entry starting at `offset`.
+    Periodic {
+        /// Injection stride (≥ 1).
+        stride: usize,
+        /// First corrupted index.
+        offset: usize,
+    },
+    /// Exactly these indices (out-of-range indices are skipped).
+    Explicit(Vec<usize>),
+}
+
+/// A deterministic fault-injection plan.
+///
+/// Build with [`FaultPlan::new`] and the chainable position selectors;
+/// apply with [`FaultPlan::corrupt_slice`] / [`FaultPlan::corrupt_matrix`]
+/// / [`FaultPlan::wrap_rng`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    class: FaultClass,
+    seed: u64,
+    positions: Positions,
+}
+
+impl FaultPlan {
+    /// A plan injecting `class` at one seeded random position (seed 0).
+    pub fn new(class: FaultClass) -> Self {
+        FaultPlan {
+            class,
+            seed: 0,
+            positions: Positions::Random { count: 1 },
+        }
+    }
+
+    /// Set the seed that drives random position selection.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Corrupt `count` distinct seeded pseudo-random positions.
+    pub fn random(mut self, count: usize) -> Self {
+        self.positions = Positions::Random { count };
+        self
+    }
+
+    /// Corrupt every `stride`-th entry starting at `offset`. A zero
+    /// stride is treated as 1.
+    pub fn every(mut self, stride: usize, offset: usize) -> Self {
+        self.positions = Positions::Periodic {
+            stride: stride.max(1),
+            offset,
+        };
+        self
+    }
+
+    /// Corrupt exactly these indices (out-of-range entries are skipped).
+    pub fn at(mut self, indices: &[usize]) -> Self {
+        self.positions = Positions::Explicit(indices.to_vec());
+        self
+    }
+
+    /// The fault class this plan injects.
+    pub fn class(&self) -> FaultClass {
+        self.class
+    }
+
+    /// The positions this plan would corrupt in an input of length `len`,
+    /// sorted and de-duplicated. Pure: depends only on the plan and `len`.
+    pub fn positions_for(&self, len: usize) -> Vec<usize> {
+        let mut idx = match &self.positions {
+            Positions::Random { count } => {
+                let want = (*count).min(len);
+                let mut rng = SplitMix64::new(self.seed ^ 0xFA17_1A17_FA17_1A17);
+                let mut chosen: Vec<usize> = Vec::with_capacity(want);
+                // Rejection-sample distinct indices; `want ≤ len` bounds
+                // the loop.
+                while chosen.len() < want {
+                    let i = rng.next_index(len);
+                    if !chosen.contains(&i) {
+                        chosen.push(i);
+                    }
+                }
+                chosen
+            }
+            Positions::Periodic { stride, offset } => (*offset..len).step_by(*stride).collect(),
+            Positions::Explicit(v) => v.iter().copied().filter(|&i| i < len).collect(),
+        };
+        idx.sort_unstable();
+        idx.dedup();
+        idx
+    }
+
+    /// Overwrite the planned positions of `xs` with fault values.
+    /// Returns the corrupted indices (empty for an empty slice).
+    pub fn corrupt_slice(&self, xs: &mut [f64]) -> Vec<usize> {
+        let idx = self.positions_for(xs.len());
+        for (k, &i) in idx.iter().enumerate() {
+            if let Some(slot) = xs.get_mut(i) {
+                *slot = self.class.value(k);
+            }
+        }
+        idx
+    }
+
+    /// Corrupt a row-major matrix (e.g. a distortion matrix or a dataset
+    /// of feature rows), treating it as one flat slice. Returns
+    /// `(row, col)` pairs of the corrupted cells.
+    pub fn corrupt_matrix(&self, m: &mut [Vec<f64>]) -> Vec<(usize, usize)> {
+        let total: usize = m.iter().map(Vec::len).sum();
+        let idx = self.positions_for(total);
+        let mut out = Vec::with_capacity(idx.len());
+        let mut starts = Vec::with_capacity(m.len());
+        let mut acc = 0usize;
+        for row in m.iter() {
+            starts.push(acc);
+            acc += row.len();
+        }
+        for (k, &flat) in idx.iter().enumerate() {
+            // Find the row containing flat index `flat`.
+            let r = match starts.binary_search(&flat) {
+                Ok(r) => r,
+                Err(r) => r.saturating_sub(1),
+            };
+            let base = starts.get(r).copied().unwrap_or(0);
+            if let Some(slot) = m.get_mut(r).and_then(|row| row.get_mut(flat - base)) {
+                *slot = self.class.value(k);
+                out.push((r, flat - base));
+            }
+        }
+        out
+    }
+
+    /// Wrap an RNG so that every `stride`-th raw draw (derived from this
+    /// plan's positions; defaults to every 3rd draw for random plans) is
+    /// replaced by an adversarial-extreme word: alternating `0` (which
+    /// maps to uniform draws of exactly 0.0, probing `ln(0)` paths) and
+    /// `u64::MAX` (uniform draws at the top of `[0,1)`).
+    pub fn wrap_rng<R: Rng>(&self, inner: R) -> FaultyRng<R> {
+        let (stride, offset) = match &self.positions {
+            Positions::Periodic { stride, offset } => (*stride as u64, *offset as u64),
+            _ => (3, 1),
+        };
+        FaultyRng {
+            inner,
+            stride,
+            offset,
+            draws: 0,
+            injected: 0,
+        }
+    }
+
+    /// Validate the plan (explicit plans must be non-empty; random plans
+    /// must request at least one position).
+    pub fn validate(&self) -> Result<()> {
+        let empty = match &self.positions {
+            Positions::Random { count } => *count == 0,
+            Positions::Periodic { .. } => false,
+            Positions::Explicit(v) => v.is_empty(),
+        };
+        if empty {
+            return Err(RobustError::InvalidParameter {
+                name: "positions",
+                reason: "plan would inject nothing".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// An RNG adapter that splices adversarial-extreme raw words into an
+/// inner generator's stream at deterministic positions.
+///
+/// Downstream consumers see uniform draws pinned to the boundary of
+/// their range — exactly the inputs that break naive `ln(u)` /
+/// inverse-CDF samplers. The adapter never emits a word the inner
+/// generator could not (any `u64` is a legal draw), so every mechanism
+/// must tolerate the stream *by construction*; the harness checks they
+/// do so without panicking or returning non-finite releases where a
+/// finite release is promised.
+#[derive(Debug, Clone)]
+pub struct FaultyRng<R> {
+    inner: R,
+    stride: u64,
+    offset: u64,
+    draws: u64,
+    injected: u64,
+}
+
+impl<R> FaultyRng<R> {
+    /// Number of raw words injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+}
+
+impl<R: Rng> Rng for FaultyRng<R> {
+    fn next_u64(&mut self) -> u64 {
+        let k = self.draws;
+        self.draws = self.draws.wrapping_add(1);
+        if k >= self.offset && (k - self.offset).is_multiple_of(self.stride) {
+            self.injected += 1;
+            // Alternate the two boundary words. Never inject two zeros
+            // in a row so rejection loops (`next_open_f64`) terminate.
+            if self.injected % 2 == 1 {
+                0
+            } else {
+                u64::MAX
+            }
+        } else {
+            self.inner.next_u64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dplearn_numerics::rng::Xoshiro256;
+
+    #[test]
+    fn plans_are_deterministic() {
+        let plan = FaultPlan::new(FaultClass::Nan).with_seed(42).random(3);
+        let mut a = vec![1.0; 10];
+        let mut b = vec![1.0; 10];
+        let ia = plan.corrupt_slice(&mut a);
+        let ib = plan.corrupt_slice(&mut b);
+        assert_eq!(ia, ib);
+        assert_eq!(ia.len(), 3);
+        for &i in &ia {
+            assert!(a[i].is_nan());
+        }
+        // A different seed picks different positions (w.h.p. for len 10).
+        let other = FaultPlan::new(FaultClass::Nan).with_seed(43).random(3);
+        let mut c = vec![1.0; 10];
+        let ic = other.corrupt_slice(&mut c);
+        assert_eq!(ic.len(), 3);
+    }
+
+    #[test]
+    fn every_class_injects_its_value() {
+        for class in FaultClass::ALL {
+            let mut xs = vec![0.5; 4];
+            let idx = FaultPlan::new(class).at(&[1, 3]).corrupt_slice(&mut xs);
+            assert_eq!(idx, vec![1, 3]);
+            match class {
+                FaultClass::Nan => assert!(xs[1].is_nan() && xs[3].is_nan()),
+                FaultClass::PosInf => assert_eq!(xs[1], f64::INFINITY),
+                FaultClass::NegInf => assert_eq!(xs[1], f64::NEG_INFINITY),
+                FaultClass::Subnormal => {
+                    assert!(xs[1] > 0.0 && xs[1].is_subnormal());
+                    assert!(xs[3] < 0.0 && xs[3].is_subnormal());
+                }
+                FaultClass::ExtremeMagnitude => {
+                    assert_eq!(xs[1], f64::MAX);
+                    assert_eq!(xs[3], -f64::MAX);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_out_of_range_skipped_and_empty_slice_safe() {
+        let plan = FaultPlan::new(FaultClass::PosInf).at(&[0, 99]);
+        let mut xs = vec![1.0, 2.0];
+        assert_eq!(plan.corrupt_slice(&mut xs), vec![0]);
+        let mut empty: Vec<f64> = vec![];
+        assert!(plan.corrupt_slice(&mut empty).is_empty());
+        let rnd = FaultPlan::new(FaultClass::Nan).random(5);
+        assert!(rnd.corrupt_slice(&mut empty).is_empty());
+    }
+
+    #[test]
+    fn matrix_corruption_lands_in_bounds() {
+        let plan = FaultPlan::new(FaultClass::NegInf).with_seed(9).random(4);
+        let mut m = vec![vec![1.0; 3], vec![1.0; 2], vec![1.0; 5]];
+        let cells = plan.corrupt_matrix(&mut m);
+        assert_eq!(cells.len(), 4);
+        for &(r, c) in &cells {
+            assert_eq!(m[r][c], f64::NEG_INFINITY);
+        }
+    }
+
+    #[test]
+    fn faulty_rng_injects_boundary_words_and_terminates() {
+        let plan = FaultPlan::new(FaultClass::ExtremeMagnitude).every(2, 0);
+        let mut rng = plan.wrap_rng(Xoshiro256::seed_from(1));
+        let draws: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert_eq!(draws[0], 0);
+        assert_eq!(draws[2], u64::MAX);
+        assert_eq!(draws[4], 0);
+        assert!(rng.injected() >= 3);
+        // Rejection loops still terminate: next_open_f64 skips the
+        // injected zeros.
+        let u = rng.next_open_f64();
+        assert!(u > 0.0 && u < 1.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(FaultPlan::new(FaultClass::Nan)
+            .random(0)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::new(FaultClass::Nan).at(&[]).validate().is_err());
+        assert!(FaultPlan::new(FaultClass::Nan).validate().is_ok());
+    }
+}

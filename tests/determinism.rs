@@ -230,3 +230,76 @@ fn substreams_are_independent_of_evaluation_order() {
     let backward: Vec<f64> = (0..10).rev().map(trial).rev().collect();
     assert_eq!(forward, backward);
 }
+
+#[test]
+fn watched_gibbs_sampling_is_thread_count_invariant() {
+    use dplearn::pacbayes::gibbs::{MetropolisGibbs, MhConfig, WatchdogConfig};
+    use dplearn::pacbayes::posterior::DiagGaussian;
+    let prior = DiagGaussian::isotropic(2, 1.0).unwrap();
+    let emp_risk = |theta: &[f64]| theta.iter().map(|t| (t - 0.4).powi(2)).sum::<f64>();
+    let cfg = MhConfig {
+        burn_in: 100,
+        n_samples: 80,
+        thin: 1,
+        initial_step: 0.3,
+    };
+    let mh = MetropolisGibbs::new(&prior, emp_risk, 4.0, cfg).unwrap();
+    // An unattainable R-hat threshold forces the watchdog down its full
+    // retry-and-widen schedule; the whole escalation must stay a pure
+    // function of the seed at any worker count.
+    let wd = WatchdogConfig {
+        rhat_threshold: 1.0 + 1e-9,
+        max_attempts: 3,
+        step_widen: 1.5,
+    };
+    assert_thread_count_invariant(|| {
+        let (chains, diag, report) = mh.sample_chains_watched(4, 31, &wd).unwrap();
+        let bits: Vec<Vec<Vec<u64>>> = chains
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .map(|s| s.iter().map(|v| v.to_bits()).collect())
+                    .collect()
+            })
+            .collect();
+        (
+            bits,
+            diag.pooled_acceptance.to_bits(),
+            report.attempts,
+            report.converged,
+            report.degraded,
+            report.total_iterations,
+            report.final_residual.to_bits(),
+        )
+    });
+}
+
+#[test]
+fn blahut_arimoto_retry_is_thread_count_invariant() {
+    use dplearn::infotheory::blahut_arimoto::blahut_arimoto_with_retry;
+    use dplearn::robust::RetryPolicy;
+    let source = [0.2, 0.5, 0.3];
+    let distortion = vec![
+        vec![0.0, 0.8, 1.2],
+        vec![0.7, 0.0, 0.5],
+        vec![1.1, 0.6, 0.0],
+    ];
+    // A starvation-level first budget forces at least one escalation.
+    let policy = RetryPolicy {
+        max_attempts: 4,
+        base_iters: 2,
+        growth: 8.0,
+        damping: 0.5,
+    };
+    assert_thread_count_invariant(|| {
+        let (rd, report) =
+            blahut_arimoto_with_retry(&source, &distortion, 2.5, 1e-12, &policy).unwrap();
+        (
+            rd.rate.to_bits(),
+            rd.distortion.to_bits(),
+            report.attempts,
+            report.converged,
+            report.total_iterations,
+        )
+    });
+}

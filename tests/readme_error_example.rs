@@ -1,0 +1,28 @@
+//! Compile-and-run check for the error-taxonomy example in README.md
+//! ("Errors and robustness"). If this test breaks, update the README.
+
+use dplearn::mechanisms::noisy_max::{report_noisy_max, NoisyMaxNoise};
+use dplearn::mechanisms::privacy::Epsilon;
+use dplearn::numerics::rng::Xoshiro256;
+use dplearn::DplearnError;
+
+fn private_argmax(scores: &[f64]) -> Result<usize, DplearnError> {
+    let mut rng = Xoshiro256::seed_from(7);
+    let eps = Epsilon::new(1.0)?; // MechanismError → DplearnError via `?`
+    Ok(report_noisy_max(
+        scores,
+        eps,
+        1.0,
+        NoisyMaxNoise::Laplace,
+        &mut rng,
+    )?)
+}
+
+#[test]
+fn readme_error_example_runs_as_written() {
+    // A NaN score would make the "randomized" argmax deterministic and
+    // void ε-DP — the mechanism refuses to release anything instead.
+    let err = private_argmax(&[0.2, f64::NAN, 0.9]).unwrap_err();
+    assert!(matches!(err, DplearnError::Mechanism(_)));
+    assert!(private_argmax(&[0.2, 0.4, 0.9]).is_ok());
+}

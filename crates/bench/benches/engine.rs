@@ -1,0 +1,157 @@
+//! Serial vs parallel batch throughput for the `dplearn-engine` serving
+//! subsystem, with a machine-readable `BENCH_engine.json` artifact.
+//!
+//! The engine's batch executor promises bit-identical results at any
+//! worker count (see `tests/determinism.rs`), so this bench measures
+//! pure throughput: the same mixed batch executed with 1 worker and
+//! with the host's available parallelism. Results are written to
+//! `BENCH_engine.json` in the working directory (override the path via
+//! `DPLEARN_BENCH_JSON`); the JSON is hand-assembled so the artifact
+//! needs no serialization dependency.
+//!
+//! Not a criterion harness: the run *is* the measurement, so CI can
+//! treat it as a smoke test and scrape the JSON.
+
+use dplearn::engine::engine::{Engine, EngineConfig};
+use dplearn::engine::request::{QueryKind, QueryRequest, SelectStrategy};
+use dplearn::mechanisms::privacy::Budget;
+use std::hint::black_box;
+use std::io::Write;
+use std::time::Instant;
+
+/// Per-dataset budget generous enough that no request in the workload is
+/// ever rejected: rejections would make the two timed runs do different
+/// work.
+const CAP_EPS: f64 = 1e9;
+
+fn build_engine(datasets: usize, records: usize) -> Engine {
+    let mut e = Engine::new(EngineConfig::default()).unwrap();
+    for d in 0..datasets {
+        let values: Vec<f64> = (0..records)
+            .map(|i| ((i * 31 + d * 17) % 1000) as f64 / 1000.0)
+            .collect();
+        e.register_dataset(
+            &format!("shard{d}"),
+            values,
+            0.0,
+            1.0,
+            Budget::new(CAP_EPS, 1e-6).unwrap(),
+        )
+        .unwrap();
+    }
+    e
+}
+
+/// A mixed workload across datasets: the Gibbs and selection queries do
+/// real per-request work (risk scans over the records), so batch
+/// execution has something to parallelize.
+fn build_batch(datasets: usize, requests: usize) -> Vec<QueryRequest> {
+    (0..requests)
+        .map(|i| {
+            let ds = format!("shard{}", i % datasets);
+            let kind = match i % 4 {
+                0 => QueryKind::LaplaceCount {
+                    lo: 0.0,
+                    hi: 0.5,
+                    epsilon: 0.1,
+                },
+                1 => QueryKind::Select {
+                    bins: 64,
+                    epsilon: 0.1,
+                    strategy: SelectStrategy::PermuteAndFlip,
+                },
+                2 => QueryKind::GibbsQuantile {
+                    quantile: 0.5,
+                    candidates: 257,
+                    epsilon: 0.05,
+                    draws: 4,
+                },
+                _ => QueryKind::SvtRun {
+                    threshold: 100.0,
+                    epsilon: 0.2,
+                    probes: vec![(0.0, 0.2), (0.0, 0.5), (0.0, 0.9)],
+                },
+            };
+            QueryRequest::new(ds, kind)
+        })
+        .collect()
+}
+
+/// Median-of-reps wall time for one full batch, in seconds.
+fn time_batch(
+    threads: usize,
+    datasets: usize,
+    records: usize,
+    batch: &[QueryRequest],
+    reps: usize,
+) -> f64 {
+    dplearn::parallel::set_thread_count(threads);
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            // Fresh engine per rep: ledgers are charged by each run.
+            let mut engine = build_engine(datasets, records);
+            let start = Instant::now();
+            let report = engine.run_batch(batch);
+            let dt = start.elapsed().as_secs_f64();
+            assert_eq!(
+                report.executed(),
+                batch.len(),
+                "workload must execute fully for a fair measurement"
+            );
+            black_box(report);
+            dt
+        })
+        .collect();
+    dplearn::parallel::set_thread_count(0);
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn main() {
+    let datasets = 4usize;
+    let records: usize = std::env::var("DPLEARN_BENCH_RECORDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    let requests: usize = std::env::var("DPLEARN_BENCH_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let reps = 5usize;
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let batch = build_batch(datasets, requests);
+    let serial = time_batch(1, datasets, records, &batch, reps);
+    let parallel = time_batch(workers, datasets, records, &batch, reps);
+    let speedup = serial / parallel;
+
+    println!("engine batch: {requests} requests over {datasets} datasets × {records} records");
+    println!(
+        "  serial   (1 worker):  {:.4} s  ({:.0} req/s)",
+        serial,
+        requests as f64 / serial
+    );
+    println!(
+        "  parallel ({workers} workers): {:.4} s  ({:.0} req/s)",
+        parallel,
+        requests as f64 / parallel
+    );
+    println!("  speedup: {speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"bench\": \"engine_batch\",\n  \"datasets\": {datasets},\n  \
+         \"records_per_dataset\": {records},\n  \"requests\": {requests},\n  \
+         \"reps\": {reps},\n  \"workers_parallel\": {workers},\n  \
+         \"serial_seconds\": {serial:.6},\n  \"parallel_seconds\": {parallel:.6},\n  \
+         \"serial_requests_per_second\": {:.3},\n  \
+         \"parallel_requests_per_second\": {:.3},\n  \"speedup\": {speedup:.4}\n}}\n",
+        requests as f64 / serial,
+        requests as f64 / parallel,
+    );
+    let path =
+        std::env::var("DPLEARN_BENCH_JSON").unwrap_or_else(|_| "BENCH_engine.json".to_string());
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -72,11 +72,13 @@ pub mod tradeoff;
 // Re-export the substrate crates under stable names so downstream users
 // need only one dependency.
 pub use dplearn_baselines as baselines;
+pub use dplearn_engine as engine;
 pub use dplearn_infotheory as infotheory;
 pub use dplearn_learning as learning;
 pub use dplearn_mechanisms as mechanisms;
 pub use dplearn_numerics as numerics;
 pub use dplearn_pacbayes as pacbayes;
+pub use dplearn_parallel as parallel;
 pub use dplearn_robust as robust;
 
 /// Errors produced by the core layer.
@@ -101,6 +103,8 @@ pub enum DplearnError {
     Numerics(dplearn_numerics::NumericsError),
     /// Underlying robustness-layer error (fault plans, retry policies).
     Robust(dplearn_robust::RobustError),
+    /// Underlying serving-engine error.
+    Engine(dplearn_engine::EngineError),
 }
 
 impl std::fmt::Display for DplearnError {
@@ -115,6 +119,7 @@ impl std::fmt::Display for DplearnError {
             DplearnError::Info(e) => write!(f, "information error: {e}"),
             DplearnError::Numerics(e) => write!(f, "numerics error: {e}"),
             DplearnError::Robust(e) => write!(f, "robustness error: {e}"),
+            DplearnError::Engine(e) => write!(f, "engine error: {e}"),
         }
     }
 }
@@ -149,6 +154,11 @@ impl From<dplearn_numerics::NumericsError> for DplearnError {
 impl From<dplearn_robust::RobustError> for DplearnError {
     fn from(e: dplearn_robust::RobustError) -> Self {
         DplearnError::Robust(e)
+    }
+}
+impl From<dplearn_engine::EngineError> for DplearnError {
+    fn from(e: dplearn_engine::EngineError) -> Self {
+        DplearnError::Engine(e)
     }
 }
 

@@ -1,0 +1,218 @@
+//! Immutable, bounds-validated datasets.
+//!
+//! The engine serves queries against datasets of scalar records over a
+//! declared bounded domain `[lo, hi]`. The bounds are not advisory: every
+//! built-in mechanism's sensitivity claim (counts change by ≤ 1, sums by
+//! ≤ `hi − lo` under replace-one adjacency) is **derived from them**, so
+//! registration fails closed on any record outside the domain or any
+//! non-finite record — a NaN row would silently void every downstream DP
+//! guarantee.
+
+use crate::{EngineError, Result};
+
+/// An immutable dataset of scalar records over a bounded domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    name: String,
+    values: Vec<f64>,
+    lo: f64,
+    hi: f64,
+}
+
+impl Dataset {
+    /// Validate and seal a dataset.
+    ///
+    /// Fails closed on: empty name, empty data, non-finite or inverted
+    /// bounds, and any record that is non-finite or outside `[lo, hi]`.
+    pub fn new(name: &str, values: Vec<f64>, lo: f64, hi: f64) -> Result<Self> {
+        if name.is_empty() {
+            return Err(EngineError::InvalidParameter {
+                name: "name",
+                reason: "dataset name must be non-empty".to_string(),
+            });
+        }
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(EngineError::InvalidParameter {
+                name: "bounds",
+                reason: format!("need finite lo < hi, got [{lo}, {hi}]"),
+            });
+        }
+        if values.is_empty() {
+            return Err(EngineError::InvalidParameter {
+                name: "values",
+                reason: "dataset must be non-empty".to_string(),
+            });
+        }
+        for (i, &v) in values.iter().enumerate() {
+            if !v.is_finite() || v < lo || v > hi {
+                return Err(EngineError::InvalidParameter {
+                    name: "values",
+                    reason: format!(
+                        "record {i} is {v}, outside the declared domain [{lo}, {hi}]; \
+                         sensitivity bounds would be void"
+                    ),
+                });
+            }
+        }
+        Ok(Dataset {
+            name: name.to_string(),
+            values,
+            lo,
+            hi,
+        })
+    }
+
+    /// The dataset's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Always false — construction rejects empty datasets; provided for
+    /// the `len`/`is_empty` pair convention.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Lower domain bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper domain bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Domain width `hi − lo` — the replace-one sensitivity of a sum.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// The records (read-only).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of records in `[lo, hi]` (inclusive). Sensitivity 1 under
+    /// replace-one adjacency.
+    pub fn count_in(&self, lo: f64, hi: f64) -> usize {
+        self.values.iter().filter(|&&v| v >= lo && v <= hi).count()
+    }
+
+    /// Sum of all records. Bounded by construction; sensitivity
+    /// [`width`](Dataset::width) under replace-one adjacency.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Histogram of the domain split into `bins` equal-width bins
+    /// (last bin closed), as `f64` counts ready for selection scoring.
+    /// Each count has sensitivity 1 under replace-one adjacency.
+    pub fn bin_counts(&self, bins: usize) -> Result<Vec<f64>> {
+        if bins == 0 {
+            return Err(EngineError::InvalidParameter {
+                name: "bins",
+                reason: "need at least one bin".to_string(),
+            });
+        }
+        let mut counts = vec![0.0f64; bins];
+        let w = self.width() / bins as f64;
+        for &v in &self.values {
+            let idx = (((v - self.lo) / w) as usize).min(bins - 1);
+            if let Some(c) = counts.get_mut(idx) {
+                *c += 1.0;
+            }
+        }
+        Ok(counts)
+    }
+
+    /// `k` evenly spaced candidate points spanning the domain (both
+    /// endpoints included). Data-independent, so safe to publish.
+    pub fn candidate_grid(&self, k: usize) -> Vec<f64> {
+        if k == 1 {
+            return vec![(self.lo + self.hi) / 2.0];
+        }
+        (0..k)
+            .map(|i| self.lo + self.width() * i as f64 / (k - 1) as f64)
+            .collect()
+    }
+
+    /// Empirical rank risk of each candidate `c` as a `q`-quantile
+    /// estimate: `R̂(c) = |#{x ≤ c}/n − q|`. The loss is bounded in
+    /// `[0, 1]` and replacing one record moves each risk by at most
+    /// `1/n` — the Gibbs-posterior quantile mechanism's sensitivity.
+    pub fn rank_risks(&self, candidates: &[f64], q: f64) -> Vec<f64> {
+        let n = self.values.len() as f64;
+        candidates
+            .iter()
+            .map(|&c| {
+                let below = self.values.iter().filter(|&&v| v <= c).count() as f64;
+                (below / n - q).abs()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Dataset::new("d", vec![0.5], 0.0, 1.0).is_ok());
+        assert!(Dataset::new("", vec![0.5], 0.0, 1.0).is_err());
+        assert!(Dataset::new("d", vec![], 0.0, 1.0).is_err());
+        assert!(Dataset::new("d", vec![0.5], 1.0, 0.0).is_err());
+        assert!(Dataset::new("d", vec![0.5], 0.0, f64::INFINITY).is_err());
+        assert!(Dataset::new("d", vec![1.5], 0.0, 1.0).is_err());
+        assert!(Dataset::new("d", vec![f64::NAN], 0.0, 1.0).is_err());
+        assert!(Dataset::new("d", vec![f64::NEG_INFINITY], -1e308, 1.0).is_err());
+    }
+
+    #[test]
+    fn counts_sums_and_bins() {
+        let d = Dataset::new("d", vec![0.1, 0.4, 0.6, 0.9], 0.0, 1.0).unwrap();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.count_in(0.0, 0.5), 2);
+        assert_eq!(d.count_in(0.6, 0.6), 1);
+        assert!((d.sum() - 2.0).abs() < 1e-12);
+        let bins = d.bin_counts(2).unwrap();
+        assert_eq!(bins, vec![2.0, 2.0]);
+        // The top edge lands in the last bin.
+        let edge = Dataset::new("e", vec![1.0], 0.0, 1.0).unwrap();
+        assert_eq!(edge.bin_counts(4).unwrap(), vec![0.0, 0.0, 0.0, 1.0]);
+        assert!(d.bin_counts(0).is_err());
+    }
+
+    #[test]
+    fn candidate_grid_spans_domain() {
+        let d = Dataset::new("d", vec![0.5], -1.0, 3.0).unwrap();
+        let g = d.candidate_grid(5);
+        assert_eq!(g, vec![-1.0, 0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(d.candidate_grid(1), vec![1.0]);
+    }
+
+    #[test]
+    fn rank_risks_are_bounded_and_minimized_at_the_quantile() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64 / 99.0).collect();
+        let d = Dataset::new("d", values, 0.0, 1.0).unwrap();
+        let grid = d.candidate_grid(101);
+        let risks = d.rank_risks(&grid, 0.5);
+        assert!(risks.iter().all(|&r| (0.0..=1.0).contains(&r)));
+        let (argmin, _) = risks
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let best = grid[argmin];
+        assert!(
+            (best - 0.5).abs() < 0.05,
+            "median candidate {best} should be near 0.5"
+        );
+    }
+}

@@ -1,0 +1,715 @@
+//! The query-serving runtime: admission, deterministic batch execution,
+//! fault containment, and SVT session hosting.
+//!
+//! [`Engine::run_batch`] executes in three phases:
+//!
+//! 1. **Sequential admission** (submission order): resolve dataset and
+//!    mechanism, fully validate the request, declare its cost, and charge
+//!    the dataset's ledger. Anything that fails here is
+//!    [`QueryOutcome::Rejected`] with provably zero spend.
+//! 2. **Parallel execution** over `dplearn-parallel`: every request owns
+//!    the RNG stream at its *submission index* from
+//!    [`Xoshiro256::jump_streams`], and retry attempt `k` runs on that
+//!    stream advanced by `k` [`Xoshiro256::long_jump`]s — so results are
+//!    bit-identical at any `DPLEARN_THREADS`, rejected neighbours don't
+//!    shift anyone's stream, and retries never replay randomness.
+//! 3. **Sequential post-processing** (submission order): non-finite
+//!    releases are classified against the fault taxonomy and failed
+//!    closed; a request that failed after its charge poisons **its own
+//!    dataset's ledger only** — the charge stays spent (fail-closed) and
+//!    unrelated datasets keep serving.
+
+use crate::dataset::Dataset;
+use crate::ledger::{BudgetLedger, LeakageLedger};
+use crate::mechanism::{MechanismRegistry, QueryMechanism};
+use crate::report::{BatchReport, EngineReport, EngineTotals};
+use crate::request::{QueryKind, QueryOutcome, QueryRequest, QueryValue};
+use crate::{EngineError, Result};
+use dplearn_mechanisms::privacy::Budget;
+use dplearn_mechanisms::sparse_vector::{AboveThreshold, SvtAnswer, SvtSessionState};
+use dplearn_numerics::rng::{Rng, SplitMix64, Xoshiro256};
+use dplearn_parallel::par_map;
+use dplearn_robust::fault::FaultClass;
+use dplearn_robust::retry::RetryPolicy;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Classify a released scalar against the fault taxonomy. `None` means
+/// the value is a healthy finite float.
+fn classify_release(v: f64) -> Option<FaultClass> {
+    if v.is_nan() {
+        Some(FaultClass::Nan)
+    } else if v == f64::INFINITY {
+        Some(FaultClass::PosInf)
+    } else if v == f64::NEG_INFINITY {
+        Some(FaultClass::NegInf)
+    } else if v != 0.0 && v.abs() < f64::MIN_POSITIVE {
+        Some(FaultClass::Subnormal)
+    } else if v.abs() >= f64::MAX {
+        Some(FaultClass::ExtremeMagnitude)
+    } else {
+        None
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Master seed: every batch and SVT session derives its randomness
+    /// deterministically from this.
+    pub seed: u64,
+    /// Bounded re-execution of faulting queries; only
+    /// [`RetryPolicy::max_attempts`] is consulted (each attempt runs on a
+    /// fresh RNG substream, so iteration budgets don't apply).
+    pub retry: RetryPolicy,
+    /// Slack δ′ of the reported advanced-composition track.
+    pub delta_prime: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            seed: 0xD9_1EA2_0E16,
+            retry: RetryPolicy {
+                max_attempts: 2,
+                base_iters: 1,
+                growth: 1.0,
+                damping: 1.0,
+            },
+            delta_prime: 1e-6,
+        }
+    }
+}
+
+struct DatasetEntry {
+    dataset: Arc<Dataset>,
+    ledger: BudgetLedger,
+}
+
+struct SvtHostedSession {
+    dataset: String,
+    svt: AboveThreshold,
+    rng: Xoshiro256,
+}
+
+/// The privacy-budget-aware query-serving engine.
+///
+/// See the [crate docs](crate) for the architectural tour and the
+/// [module docs](self) for execution semantics.
+pub struct Engine {
+    registry: MechanismRegistry,
+    leakage: LeakageLedger,
+    config: EngineConfig,
+    datasets: BTreeMap<String, DatasetEntry>,
+    sessions: BTreeMap<u64, SvtHostedSession>,
+    batch_counter: u64,
+    session_counter: u64,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("datasets", &self.datasets.keys().collect::<Vec<_>>())
+            .field("mechanisms", &self.registry.names())
+            .field("open_sessions", &self.sessions.len())
+            .field("batches_run", &self.batch_counter)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Build an engine with the standard mechanism registry.
+    pub fn new(config: EngineConfig) -> Result<Self> {
+        Self::with_registry(config, MechanismRegistry::standard())
+    }
+
+    /// Build an engine with a caller-supplied registry.
+    pub fn with_registry(config: EngineConfig, registry: MechanismRegistry) -> Result<Self> {
+        config.retry.validate().map_err(EngineError::Robust)?;
+        let leakage = LeakageLedger::new(config.delta_prime)?;
+        Ok(Engine {
+            registry,
+            leakage,
+            config,
+            datasets: BTreeMap::new(),
+            sessions: BTreeMap::new(),
+            batch_counter: 0,
+            session_counter: 0,
+        })
+    }
+
+    /// Register an additional mechanism (open registry).
+    pub fn register_mechanism(&mut self, mech: Arc<dyn QueryMechanism>) {
+        self.registry.register(mech);
+    }
+
+    /// Register an immutable dataset with budget cap `cap`.
+    ///
+    /// Fails closed on invalid data (see [`Dataset::new`]) and on name
+    /// collisions — datasets are immutable and re-registration would
+    /// silently reset the ledger.
+    pub fn register_dataset(
+        &mut self,
+        name: &str,
+        values: Vec<f64>,
+        lo: f64,
+        hi: f64,
+        cap: Budget,
+    ) -> Result<()> {
+        if self.datasets.contains_key(name) {
+            return Err(EngineError::DuplicateDataset(name.to_string()));
+        }
+        let dataset = Dataset::new(name, values, lo, hi)?;
+        self.datasets.insert(
+            name.to_string(),
+            DatasetEntry {
+                dataset: Arc::new(dataset),
+                ledger: BudgetLedger::new(cap),
+            },
+        );
+        Ok(())
+    }
+
+    /// Registered dataset names, sorted.
+    pub fn dataset_names(&self) -> Vec<&str> {
+        self.datasets.keys().map(String::as_str).collect()
+    }
+
+    /// A registered dataset.
+    pub fn dataset(&self, name: &str) -> Option<&Dataset> {
+        self.datasets.get(name).map(|e| e.dataset.as_ref())
+    }
+
+    /// A dataset's budget ledger (read-only).
+    pub fn ledger(&self, name: &str) -> Option<&BudgetLedger> {
+        self.datasets.get(name).map(|e| &e.ledger)
+    }
+
+    /// The mechanism registry (read-only).
+    pub fn registry(&self) -> &MechanismRegistry {
+        &self.registry
+    }
+
+    /// Serve a single request (a one-element batch; same semantics and
+    /// the same per-batch seed schedule as [`Engine::run_batch`]).
+    pub fn submit(&mut self, request: &QueryRequest) -> QueryOutcome {
+        let mut report = self.run_batch(std::slice::from_ref(request));
+        report.outcomes.pop().unwrap_or(QueryOutcome::Rejected {
+            error: EngineError::InvalidParameter {
+                name: "request",
+                reason: "empty batch".to_string(),
+            },
+        })
+    }
+
+    /// Execute a batch of requests deterministically.
+    ///
+    /// Per-request outcomes come back in submission order. The batch is
+    /// bit-identical for any thread count: request `i` always executes on
+    /// RNG stream `i` of this batch's seed, whether its neighbours were
+    /// admitted or not.
+    pub fn run_batch(&mut self, requests: &[QueryRequest]) -> BatchReport {
+        let batch_seed = self.next_batch_seed();
+        let max_attempts = self.config.retry.max_attempts.max(1);
+
+        // Phase 1 — sequential admission in submission order. Charges
+        // land here, before any execution, so concurrent execution can
+        // never over-spend and rejection order is deterministic.
+        let streams = Xoshiro256::jump_streams(batch_seed, requests.len());
+        let mut slots: Vec<Option<QueryOutcome>> = Vec::with_capacity(requests.len());
+        let mut work: Vec<Option<impl_detail::AdmittedAlias>> = Vec::with_capacity(requests.len());
+        for (req, rng) in requests.iter().zip(streams) {
+            match self.admit_one(req, rng) {
+                Ok(admitted) => {
+                    slots.push(None);
+                    work.push(Some(admitted));
+                }
+                Err(error) => {
+                    if let Some(entry) = self.datasets.get_mut(&req.dataset) {
+                        entry.ledger.note_rejection();
+                    }
+                    slots.push(Some(QueryOutcome::Rejected { error }));
+                    work.push(None);
+                }
+            }
+        }
+
+        // Phase 2 — parallel execution. Chunk boundaries and merge order
+        // are fixed by `par_map`, and each request's randomness depends
+        // only on (batch_seed, submission index, attempt), so the thread
+        // count cannot perturb any released value.
+        type ExecResult = std::result::Result<(QueryValue, usize), (EngineError, usize)>;
+        let executed: Vec<Option<ExecResult>> = par_map(&work, |_, slot| {
+            slot.as_ref().map(|adm| {
+                run_with_retries(
+                    adm.mech.as_ref(),
+                    &adm.kind,
+                    &adm.dataset,
+                    &adm.rng,
+                    max_attempts,
+                )
+            })
+        });
+
+        // Phase 3 — sequential post-processing in submission order:
+        // faults poison their own dataset's ledger, nothing else.
+        let mut outcomes = Vec::with_capacity(requests.len());
+        for (i, ((slot, result), req)) in slots.into_iter().zip(executed).zip(requests).enumerate()
+        {
+            if let Some(rejected) = slot {
+                outcomes.push(rejected);
+                continue;
+            }
+            let cost = work.get(i).and_then(|w| w.as_ref()).map_or(
+                Budget {
+                    epsilon: 0.0,
+                    delta: 0.0,
+                },
+                |w| w.cost,
+            );
+            match result {
+                Some(Ok((value, attempts))) => outcomes.push(QueryOutcome::Executed {
+                    value,
+                    cost,
+                    attempts,
+                }),
+                Some(Err((error, attempts))) => {
+                    let fault = match &error {
+                        EngineError::NonFiniteRelease(class) => Some(*class),
+                        _ => None,
+                    };
+                    if let Some(entry) = self.datasets.get_mut(&req.dataset) {
+                        entry.ledger.poison();
+                    }
+                    outcomes.push(QueryOutcome::Faulted {
+                        error,
+                        cost,
+                        attempts,
+                        fault,
+                    });
+                }
+                // Unreachable: phase 2 maps every non-rejected slot.
+                None => outcomes.push(QueryOutcome::Rejected {
+                    error: EngineError::InvalidParameter {
+                        name: "request",
+                        reason: "executor dropped an admitted request".to_string(),
+                    },
+                }),
+            }
+        }
+        BatchReport {
+            outcomes,
+            batch_seed,
+        }
+    }
+
+    fn admit_one(
+        &mut self,
+        req: &QueryRequest,
+        rng: Xoshiro256,
+    ) -> Result<impl_detail::AdmittedAlias> {
+        let entry = self
+            .datasets
+            .get(&req.dataset)
+            .ok_or_else(|| EngineError::UnknownDataset(req.dataset.clone()))?;
+        let mech = self.registry.resolve(&req.kind)?;
+        let cost = mech.admit(&req.kind, &entry.dataset)?;
+        entry.ledger.admit(&req.dataset, cost)?;
+        // Admission passed on every axis: the charge cannot fail now.
+        let dataset = Arc::clone(&entry.dataset);
+        let entry = self
+            .datasets
+            .get_mut(&req.dataset)
+            .ok_or_else(|| EngineError::UnknownDataset(req.dataset.clone()))?;
+        entry.ledger.charge(&req.dataset, cost)?;
+        Ok(impl_detail::AdmittedAlias {
+            mech,
+            dataset,
+            kind: req.kind.clone(),
+            cost,
+            rng,
+        })
+    }
+
+    fn next_batch_seed(&mut self) -> u64 {
+        let mut sm = SplitMix64::new(self.config.seed ^ self.batch_counter);
+        self.batch_counter += 1;
+        sm.next_u64()
+    }
+
+    // ----------------------------------------------------------------
+    // Hosted multi-turn SVT sessions
+    // ----------------------------------------------------------------
+
+    /// Open a hosted sparse-vector session against `dataset`.
+    ///
+    /// The **whole session** costs `epsilon`, charged here up front
+    /// (AboveThreshold's privacy statement covers the full transcript);
+    /// subsequent [`Engine::svt_query`] calls are free. Returns the
+    /// session id.
+    pub fn svt_open(&mut self, dataset: &str, threshold: f64, epsilon: f64) -> Result<u64> {
+        if !threshold.is_finite() {
+            return Err(EngineError::InvalidParameter {
+                name: "threshold",
+                reason: format!("must be finite, got {threshold}"),
+            });
+        }
+        let eps = dplearn_mechanisms::privacy::Epsilon::new(epsilon)?;
+        if !(4.0 / eps.value()).is_finite() {
+            return Err(EngineError::InvalidParameter {
+                name: "epsilon",
+                reason: format!("SVT noise scales overflow at ε = {epsilon}"),
+            });
+        }
+        let cost = Budget::pure(eps);
+        let entry = self
+            .datasets
+            .get_mut(dataset)
+            .ok_or_else(|| EngineError::UnknownDataset(dataset.to_string()))?;
+        if let Err(e) = entry.ledger.admit(dataset, cost) {
+            entry.ledger.note_rejection();
+            return Err(e);
+        }
+        entry.ledger.charge(dataset, cost)?;
+        let mut rng = Xoshiro256::substream(
+            self.config.seed ^ 0x5654_5F53_4553_5349,
+            self.session_counter,
+        );
+        self.session_counter += 1;
+        let svt = AboveThreshold::new(eps, 1.0, threshold, &mut rng)?;
+        let id = self.session_counter;
+        self.sessions.insert(
+            id,
+            SvtHostedSession {
+                dataset: dataset.to_string(),
+                svt,
+                rng,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Probe an open SVT session with a range count over `[lo, hi]`.
+    /// Costs nothing — the session's ε was charged at
+    /// [`Engine::svt_open`]. The session auto-closes after its first
+    /// `Above` answer (one-shot AboveThreshold).
+    pub fn svt_query(&mut self, session: u64, lo: f64, hi: f64) -> Result<SvtAnswer> {
+        if !(lo.is_finite() && hi.is_finite() && lo <= hi) {
+            return Err(EngineError::InvalidParameter {
+                name: "range",
+                reason: format!("need finite lo ≤ hi, got [{lo}, {hi}]"),
+            });
+        }
+        let hosted = self
+            .sessions
+            .get_mut(&session)
+            .ok_or(EngineError::UnknownSession(session))?;
+        let entry = self
+            .datasets
+            .get(&hosted.dataset)
+            .ok_or_else(|| EngineError::UnknownDataset(hosted.dataset.clone()))?;
+        if entry.ledger.is_poisoned() {
+            return Err(EngineError::DatasetPoisoned(hosted.dataset.clone()));
+        }
+        let count = entry.dataset.count_in(lo, hi) as f64;
+        let mut rng = hosted.rng.clone();
+        let answer = hosted.svt.query(count, &mut rng)?;
+        hosted.rng = rng;
+        Ok(answer)
+    }
+
+    /// Suspend a session into its serializable [`SvtSessionState`] and
+    /// close it. Privacy-neutral: the state carries no fresh information
+    /// beyond what [`Engine::svt_open`] already charged for.
+    ///
+    /// Note the state contains the session's noisy threshold — a
+    /// *secret* of the mechanism. Persist it server-side; releasing it
+    /// would void the SVT privacy analysis.
+    pub fn svt_suspend(&mut self, session: u64) -> Result<(String, SvtSessionState)> {
+        let hosted = self
+            .sessions
+            .remove(&session)
+            .ok_or(EngineError::UnknownSession(session))?;
+        Ok((hosted.dataset, hosted.svt.suspend()))
+    }
+
+    /// Resume a suspended session against `dataset`. Costs nothing (the
+    /// original [`Engine::svt_open`] charge covers the whole session,
+    /// however it is split across suspensions). Returns the new id.
+    pub fn svt_resume(&mut self, dataset: &str, state: SvtSessionState) -> Result<u64> {
+        if !self.datasets.contains_key(dataset) {
+            return Err(EngineError::UnknownDataset(dataset.to_string()));
+        }
+        let svt = AboveThreshold::resume(state)?;
+        let rng = Xoshiro256::substream(
+            self.config.seed ^ 0x5654_5F53_4553_5349,
+            self.session_counter,
+        );
+        self.session_counter += 1;
+        let id = self.session_counter;
+        self.sessions.insert(
+            id,
+            SvtHostedSession {
+                dataset: dataset.to_string(),
+                svt,
+                rng,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Close a session, discarding its state.
+    pub fn svt_close(&mut self, session: u64) -> Result<()> {
+        self.sessions
+            .remove(&session)
+            .map(|_| ())
+            .ok_or(EngineError::UnknownSession(session))
+    }
+
+    /// Open SVT session count.
+    pub fn open_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    // ----------------------------------------------------------------
+    // Reporting
+    // ----------------------------------------------------------------
+
+    /// The engine-wide leakage report: per-dataset budget/MI summaries
+    /// plus aggregate totals.
+    pub fn report(&self) -> EngineReport {
+        let datasets: Vec<_> = self
+            .datasets
+            .iter()
+            .map(|(name, entry)| {
+                self.leakage
+                    .summarize(name, entry.dataset.len(), &entry.ledger)
+            })
+            .collect();
+        let totals = EngineTotals::from_summaries(&datasets);
+        EngineReport {
+            datasets,
+            totals,
+            mechanisms: self
+                .registry
+                .names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            batches_run: self.batch_counter,
+            open_sessions: self.sessions.len(),
+        }
+    }
+}
+
+/// Execute with bounded retries: attempt `k` (0-based) runs on the
+/// request's base stream advanced by `k` long-jumps, so retried
+/// randomness never overlaps the failed attempt's and the schedule is
+/// identical at any thread count. Returns `(value, attempts)` or
+/// `(terminal error, attempts)`.
+fn run_with_retries(
+    mech: &dyn QueryMechanism,
+    kind: &QueryKind,
+    dataset: &Dataset,
+    base_rng: &Xoshiro256,
+    max_attempts: usize,
+) -> std::result::Result<(QueryValue, usize), (EngineError, usize)> {
+    let mut last_err = EngineError::InvalidParameter {
+        name: "max_attempts",
+        reason: "no attempt ran".to_string(),
+    };
+    for attempt in 0..max_attempts {
+        let mut rng = base_rng.clone();
+        for _ in 0..attempt {
+            rng.long_jump();
+        }
+        match mech.execute(kind, dataset, &mut rng) {
+            Ok(value) => {
+                let fault = value
+                    .released_scalars()
+                    .iter()
+                    .find_map(|&v| classify_release(v));
+                match fault {
+                    None => return Ok((value, attempt + 1)),
+                    Some(class) => last_err = EngineError::NonFiniteRelease(class),
+                }
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    Err((last_err, max_attempts))
+}
+
+mod impl_detail {
+    //! Private carrier for admitted work items (kept out of the public
+    //! API surface).
+    use super::*;
+
+    pub struct AdmittedAlias {
+        pub mech: Arc<dyn QueryMechanism>,
+        pub dataset: Arc<Dataset>,
+        pub kind: QueryKind,
+        pub cost: Budget,
+        pub rng: Xoshiro256,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::SelectStrategy;
+
+    fn engine_with(name: &str, cap_eps: f64) -> Engine {
+        let mut e = Engine::new(EngineConfig::default()).unwrap();
+        let values: Vec<f64> = (0..100).map(|i| (i % 10) as f64 / 10.0).collect();
+        e.register_dataset(name, values, 0.0, 1.0, Budget::new(cap_eps, 1e-6).unwrap())
+            .unwrap();
+        e
+    }
+
+    #[test]
+    fn classify_release_covers_the_taxonomy() {
+        assert_eq!(classify_release(f64::NAN), Some(FaultClass::Nan));
+        assert_eq!(classify_release(f64::INFINITY), Some(FaultClass::PosInf));
+        assert_eq!(
+            classify_release(f64::NEG_INFINITY),
+            Some(FaultClass::NegInf)
+        );
+        assert_eq!(classify_release(5e-324), Some(FaultClass::Subnormal));
+        assert_eq!(
+            classify_release(f64::MAX),
+            Some(FaultClass::ExtremeMagnitude)
+        );
+        assert_eq!(classify_release(0.0), None);
+        assert_eq!(classify_release(-3.5), None);
+    }
+
+    #[test]
+    fn duplicate_dataset_is_rejected() {
+        let mut e = engine_with("d", 1.0);
+        let err = e
+            .register_dataset("d", vec![0.5], 0.0, 1.0, Budget::new(1.0, 1e-6).unwrap())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::DuplicateDataset(_)));
+    }
+
+    #[test]
+    fn batch_mixes_outcomes_and_meters_budget() {
+        let mut e = engine_with("d", 1.0);
+        let batch = vec![
+            QueryRequest::new(
+                "d",
+                QueryKind::LaplaceCount {
+                    lo: 0.0,
+                    hi: 0.5,
+                    epsilon: 0.4,
+                },
+            ),
+            QueryRequest::new("missing", QueryKind::LaplaceSum { epsilon: 0.1 }),
+            QueryRequest::new(
+                "d",
+                QueryKind::Select {
+                    bins: 10,
+                    epsilon: 0.5,
+                    strategy: SelectStrategy::Exponential,
+                },
+            ),
+            // 0.4 + 0.5 spent; 0.2 > 0.1 remaining → rejected, zero spend.
+            QueryRequest::new("d", QueryKind::LaplaceSum { epsilon: 0.2 }),
+        ];
+        let report = e.run_batch(&batch);
+        assert_eq!(report.outcomes.len(), 4);
+        assert!(report.outcomes[0].is_executed());
+        assert!(matches!(
+            report.outcomes[1],
+            QueryOutcome::Rejected {
+                error: EngineError::UnknownDataset(_)
+            }
+        ));
+        assert!(report.outcomes[2].is_executed());
+        assert!(matches!(
+            report.outcomes[3],
+            QueryOutcome::Rejected {
+                error: EngineError::BudgetExhausted { .. }
+            }
+        ));
+        let snap = e.ledger("d").unwrap().snapshot();
+        assert!((snap.spent.epsilon - 0.9).abs() < 1e-12);
+        assert_eq!(snap.operations, 2);
+        assert_eq!(e.ledger("d").unwrap().rejected(), 1);
+    }
+
+    #[test]
+    fn submit_matches_single_element_batch_semantics() {
+        let mut e = engine_with("d", 1.0);
+        let req = QueryRequest::new(
+            "d",
+            QueryKind::LaplaceCount {
+                lo: 0.0,
+                hi: 1.0,
+                epsilon: 0.1,
+            },
+        );
+        let out = e.submit(&req);
+        assert!(out.is_executed());
+        assert!((e.ledger("d").unwrap().snapshot().spent.epsilon - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn svt_session_lifecycle_with_suspend_resume() {
+        let mut e = engine_with("d", 2.0);
+        let id = e.svt_open("d", 200.0, 1.0).unwrap();
+        // Whole session charged at open.
+        assert!((e.ledger("d").unwrap().snapshot().spent.epsilon - 1.0).abs() < 1e-12);
+        // Low-count probes: queries are free.
+        let a1 = e.svt_query(id, 0.45, 0.451).unwrap();
+        let _a2 = e.svt_query(id, 0.35, 0.351).unwrap();
+        assert!(matches!(a1, SvtAnswer::Above | SvtAnswer::Below));
+        assert!((e.ledger("d").unwrap().snapshot().spent.epsilon - 1.0).abs() < 1e-12);
+
+        let (ds, state) = e.svt_suspend(id).unwrap();
+        assert_eq!(ds, "d");
+        assert!(e.svt_query(id, 0.0, 1.0).is_err(), "suspended id is gone");
+        let id2 = e.svt_resume(&ds, state).unwrap();
+        // Still serving, still free.
+        let _ = e.svt_query(id2, 0.0, 0.1);
+        assert!((e.ledger("d").unwrap().snapshot().spent.epsilon - 1.0).abs() < 1e-12);
+        e.svt_close(id2).unwrap();
+        assert_eq!(e.open_sessions(), 0);
+        assert!(e.svt_close(id2).is_err());
+    }
+
+    #[test]
+    fn svt_open_rejects_over_budget_without_spending() {
+        let mut e = engine_with("d", 0.5);
+        let err = e.svt_open("d", 10.0, 0.6).unwrap_err();
+        assert!(matches!(err, EngineError::BudgetExhausted { .. }));
+        assert_eq!(e.ledger("d").unwrap().snapshot().spent.epsilon, 0.0);
+        assert_eq!(e.ledger("d").unwrap().rejected(), 1);
+        assert_eq!(e.open_sessions(), 0);
+    }
+
+    #[test]
+    fn report_aggregates_all_datasets() {
+        let mut e = engine_with("a", 1.0);
+        let values: Vec<f64> = (0..50).map(|i| i as f64 / 50.0).collect();
+        e.register_dataset("b", values, 0.0, 1.0, Budget::new(2.0, 1e-6).unwrap())
+            .unwrap();
+        e.submit(&QueryRequest::new(
+            "a",
+            QueryKind::LaplaceSum { epsilon: 0.25 },
+        ));
+        e.submit(&QueryRequest::new(
+            "b",
+            QueryKind::LaplaceSum { epsilon: 0.5 },
+        ));
+        let report = e.report();
+        assert_eq!(report.datasets.len(), 2);
+        assert_eq!(report.totals.datasets, 2);
+        assert_eq!(report.totals.operations, 2);
+        assert!((report.totals.spent_epsilon - 0.75).abs() < 1e-12);
+        assert!(report.totals.mi_bound_nats > 0.0);
+        let text = report.to_string();
+        assert!(text.contains("a") && text.contains("b"));
+    }
+}

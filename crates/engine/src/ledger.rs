@@ -1,0 +1,326 @@
+//! Per-dataset budget ledgers and the mutual-information leakage ledger.
+//!
+//! Each registered dataset carries a [`BudgetLedger`] with two tracks:
+//!
+//! * **Basic track (enforcing):** a fail-closed
+//!   [`PrivacyAccountant`] under sequential composition — the hard cap.
+//!   Admission control consults it without charging
+//!   ([`PrivacyAccountant::can_spend`]); charges happen only for admitted
+//!   requests, and a mid-flight execution failure poisons the ledger so
+//!   the dataset refuses all further queries.
+//! * **Advanced track (reported):** the advanced-composition theorem
+//!   (Dwork, Rothblum & Vadhan 2010) applied to the ledger's charge
+//!   history, giving the tighter `(ε, δ)` statement that the same trace
+//!   satisfies. Reported alongside the basic track; enforcement stays on
+//!   the (strictly conservative) basic track.
+//!
+//! The [`LeakageLedger`] converts each dataset's spent-ε trace into the
+//! paper's information-theoretic currency: an ε-DP release channel
+//! `Ẑ → θ` leaks at most `n · ε` nats about an `n`-record dataset
+//! (`dplearn_infotheory::dp_bounds`), so the ledger's ε totals double as
+//! channel-capacity / mutual-information upper bounds.
+
+use crate::{EngineError, Result};
+use dplearn_infotheory::dp_bounds;
+use dplearn_mechanisms::composition::{advanced, AccountantSnapshot, PrivacyAccountant};
+use dplearn_mechanisms::privacy::Budget;
+
+/// A fail-closed, dual-track privacy-budget ledger for one dataset.
+#[derive(Debug, Clone)]
+pub struct BudgetLedger {
+    accountant: PrivacyAccountant,
+    history: Vec<Budget>,
+    rejected: u64,
+    faulted: u64,
+}
+
+impl BudgetLedger {
+    /// A ledger enforcing `cap` under basic composition.
+    pub fn new(cap: Budget) -> Self {
+        BudgetLedger {
+            accountant: PrivacyAccountant::new(cap),
+            history: Vec::new(),
+            rejected: 0,
+            faulted: 0,
+        }
+    }
+
+    /// Admission check: would a charge of `cost` be accepted right now?
+    /// Never mutates state. Errors distinguish a poisoned ledger from an
+    /// exhausted one so callers can report precisely.
+    pub fn admit(&self, dataset: &str, cost: Budget) -> Result<()> {
+        if self.accountant.is_poisoned() {
+            return Err(EngineError::DatasetPoisoned(dataset.to_string()));
+        }
+        if !self.accountant.can_spend(cost) {
+            return Err(EngineError::BudgetExhausted {
+                dataset: dataset.to_string(),
+                requested_epsilon: cost.epsilon,
+                remaining_epsilon: self.accountant.remaining().epsilon,
+            });
+        }
+        Ok(())
+    }
+
+    /// Charge an admitted cost. Mirrors [`BudgetLedger::admit`]; callers
+    /// should admit first so rejections provably spend nothing.
+    pub fn charge(&mut self, dataset: &str, cost: Budget) -> Result<()> {
+        self.admit(dataset, cost)?;
+        self.accountant
+            .spend(cost)
+            .map_err(EngineError::Mechanism)?;
+        self.history.push(cost);
+        Ok(())
+    }
+
+    /// Poison the ledger: a charged query failed mid-flight, so the
+    /// budget stays spent and the dataset fails closed.
+    pub fn poison(&mut self) {
+        self.faulted += 1;
+        self.accountant.poison();
+    }
+
+    /// Record an admission rejection (zero spend).
+    pub fn note_rejection(&mut self) {
+        self.rejected += 1;
+    }
+
+    /// True once a charged query has failed mid-flight.
+    pub fn is_poisoned(&self) -> bool {
+        self.accountant.is_poisoned()
+    }
+
+    /// Point-in-time view of the enforcing (basic) track.
+    pub fn snapshot(&self) -> AccountantSnapshot {
+        self.accountant.snapshot()
+    }
+
+    /// Every successful charge, in order.
+    pub fn history(&self) -> &[Budget] {
+        &self.history
+    }
+
+    /// Requests rejected at admission (zero spend).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Charged requests that failed mid-flight (budget spent, ledger
+    /// poisoned).
+    pub fn faulted(&self) -> u64 {
+        self.faulted
+    }
+
+    /// The advanced-composition `(ε, δ)` statement for this ledger's
+    /// charge history at slack `delta_prime`: treats the `k` charges as
+    /// `k` adaptive runs at the *largest* per-step budget (a conservative
+    /// upper bound for heterogeneous traces). `None` when no charge has
+    /// landed yet.
+    pub fn advanced_spent(&self, delta_prime: f64) -> Result<Option<Budget>> {
+        if self.history.is_empty() {
+            return Ok(None);
+        }
+        let per_step = Budget {
+            epsilon: self
+                .history
+                .iter()
+                .map(|b| b.epsilon)
+                .fold(0.0f64, f64::max),
+            delta: self.history.iter().map(|b| b.delta).fold(0.0f64, f64::max),
+        };
+        // `advanced` rejects ε = 0; an all-zero history leaks nothing.
+        if per_step.epsilon == 0.0 {
+            return Ok(Some(Budget {
+                epsilon: 0.0,
+                delta: per_step.delta * self.history.len() as f64,
+            }));
+        }
+        let total =
+            advanced(per_step, self.history.len(), delta_prime).map_err(EngineError::Mechanism)?;
+        Ok(Some(total))
+    }
+}
+
+/// Per-dataset leakage summary: budget spend translated into
+/// mutual-information upper bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeakageSummary {
+    /// Dataset name.
+    pub dataset: String,
+    /// Number of records `n`.
+    pub n_records: usize,
+    /// Basic-composition spend (the enforcing track).
+    pub basic: Budget,
+    /// Advanced-composition `(ε, δ)` statement for the same trace
+    /// (`None` before the first charge).
+    pub advanced: Option<Budget>,
+    /// The ε the leakage bounds use: the smaller of the two tracks
+    /// (advanced composition beats basic for many small charges).
+    pub reported_epsilon: f64,
+    /// δ riding along with [`reported_epsilon`](Self::reported_epsilon)
+    /// (0 when the basic track wins and all charges were pure).
+    pub reported_delta: f64,
+    /// Upper bound on `I(Ẑ; θ)` in nats: `n · ε` (Theorem 4.2 side of
+    /// the ledger). For δ > 0 this is the ε-part bound — the δ slack is
+    /// reported, not folded in.
+    pub mi_bound_nats: f64,
+    /// The same bound in bits.
+    pub mi_bound_bits: f64,
+    /// Per-record bound `I(Zᵢ; θ | Z₍₋ᵢ₎) ≤ ε` nats.
+    pub per_record_bound_nats: f64,
+    /// Successful charges.
+    pub operations: usize,
+    /// Admission rejections (zero spend).
+    pub rejected: u64,
+    /// Mid-flight faults (budget spent, ledger poisoned).
+    pub faulted: u64,
+    /// Whether the ledger is poisoned.
+    pub poisoned: bool,
+}
+
+/// Converts budget ledgers into mutual-information leakage summaries.
+///
+/// Stateless: all state lives in the per-dataset [`BudgetLedger`]s; the
+/// leakage ledger is the information-theoretic *view* of that state.
+#[derive(Debug, Clone, Copy)]
+pub struct LeakageLedger {
+    delta_prime: f64,
+}
+
+impl LeakageLedger {
+    /// A leakage ledger using slack `delta_prime` for the
+    /// advanced-composition track.
+    pub fn new(delta_prime: f64) -> Result<Self> {
+        if !(delta_prime > 0.0 && delta_prime < 1.0) {
+            return Err(EngineError::InvalidParameter {
+                name: "delta_prime",
+                reason: format!("must lie in (0,1), got {delta_prime}"),
+            });
+        }
+        Ok(LeakageLedger { delta_prime })
+    }
+
+    /// The advanced-composition slack.
+    pub fn delta_prime(&self) -> f64 {
+        self.delta_prime
+    }
+
+    /// Summarize one dataset's ledger.
+    pub fn summarize(
+        &self,
+        dataset: &str,
+        n_records: usize,
+        ledger: &BudgetLedger,
+    ) -> LeakageSummary {
+        let snap = ledger.snapshot();
+        let advanced = ledger.advanced_spent(self.delta_prime).unwrap_or(None);
+        let (reported_epsilon, reported_delta) = match advanced {
+            Some(adv) if adv.epsilon < snap.spent.epsilon => (adv.epsilon, adv.delta),
+            _ => (snap.spent.epsilon, snap.spent.delta),
+        };
+        LeakageSummary {
+            dataset: dataset.to_string(),
+            n_records,
+            basic: snap.spent,
+            advanced,
+            reported_epsilon,
+            reported_delta,
+            mi_bound_nats: dp_bounds::mi_bound_nats(reported_epsilon, n_records),
+            mi_bound_bits: dp_bounds::mi_bound_bits(reported_epsilon, n_records),
+            per_record_bound_nats: dp_bounds::per_record_mi_bound_nats(reported_epsilon),
+            operations: snap.operations,
+            rejected: ledger.rejected(),
+            faulted: ledger.faulted(),
+            poisoned: snap.poisoned,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(e: f64, d: f64) -> Budget {
+        Budget {
+            epsilon: e,
+            delta: d,
+        }
+    }
+
+    #[test]
+    fn admit_then_charge_enforces_cap() {
+        let mut l = BudgetLedger::new(b(1.0, 0.0));
+        assert!(l.admit("d", b(0.6, 0.0)).is_ok());
+        l.charge("d", b(0.6, 0.0)).unwrap();
+        assert!(l.admit("d", b(0.4, 0.0)).is_ok());
+        let err = l.admit("d", b(0.5, 0.0)).unwrap_err();
+        assert!(matches!(err, EngineError::BudgetExhausted { .. }));
+        // The failed admission didn't change anything.
+        assert_eq!(l.history().len(), 1);
+        assert!((l.snapshot().spent.epsilon - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisoned_ledger_fails_closed() {
+        let mut l = BudgetLedger::new(b(1.0, 0.0));
+        l.charge("d", b(0.2, 0.0)).unwrap();
+        l.poison();
+        assert!(l.is_poisoned());
+        assert_eq!(l.faulted(), 1);
+        let err = l.admit("d", b(0.1, 0.0)).unwrap_err();
+        assert!(matches!(err, EngineError::DatasetPoisoned(_)));
+        assert!(l.charge("d", b(0.1, 0.0)).is_err());
+        // The spend made before poisoning stays spent.
+        assert!((l.snapshot().spent.epsilon - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advanced_track_beats_basic_for_many_small_charges() {
+        let mut l = BudgetLedger::new(b(10.0, 0.0));
+        for _ in 0..100 {
+            l.charge("d", b(0.05, 0.0)).unwrap();
+        }
+        let basic = l.snapshot().spent.epsilon;
+        let adv = l.advanced_spent(1e-6).unwrap().unwrap();
+        assert!(
+            adv.epsilon < basic,
+            "advanced {} should beat basic {basic}",
+            adv.epsilon
+        );
+        assert!((adv.delta - 1e-6).abs() < 1e-12);
+        // Empty ledger has no advanced statement.
+        let empty = BudgetLedger::new(b(1.0, 0.0));
+        assert_eq!(empty.advanced_spent(1e-6).unwrap(), None);
+    }
+
+    #[test]
+    fn leakage_summary_reports_the_tighter_track() {
+        let mut l = BudgetLedger::new(b(10.0, 0.0));
+        for _ in 0..100 {
+            l.charge("d", b(0.05, 0.0)).unwrap();
+        }
+        let leak = LeakageLedger::new(1e-6).unwrap().summarize("d", 50, &l);
+        assert_eq!(leak.n_records, 50);
+        assert!((leak.basic.epsilon - 5.0).abs() < 1e-9);
+        assert!(leak.reported_epsilon < leak.basic.epsilon);
+        assert!((leak.mi_bound_nats - 50.0 * leak.reported_epsilon).abs() < 1e-9);
+        assert!(leak.mi_bound_bits > leak.mi_bound_nats);
+        assert_eq!(leak.operations, 100);
+        assert!(!leak.poisoned);
+        // A single large charge: basic wins, bound uses it exactly.
+        let mut one = BudgetLedger::new(b(2.0, 0.0));
+        one.charge("d", b(1.0, 0.0)).unwrap();
+        let leak1 = LeakageLedger::new(1e-6).unwrap().summarize("d", 10, &one);
+        assert!((leak1.reported_epsilon - 1.0).abs() < 1e-12);
+        assert!((leak1.mi_bound_nats - 10.0).abs() < 1e-9);
+        assert_eq!(leak1.per_record_bound_nats, leak1.reported_epsilon);
+    }
+
+    #[test]
+    fn leakage_ledger_validates_slack() {
+        assert!(LeakageLedger::new(0.0).is_err());
+        assert!(LeakageLedger::new(1.0).is_err());
+        assert!(LeakageLedger::new(f64::NAN).is_err());
+        assert!(LeakageLedger::new(1e-9).is_ok());
+    }
+}

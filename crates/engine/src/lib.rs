@@ -1,0 +1,207 @@
+//! # dplearn-engine — a privacy-budget-aware query-serving subsystem
+//!
+//! The paper's central object is the channel `Ẑ → θ` (Figure 1 /
+//! Theorem 4.2): every released answer spends privacy budget *and* leaks
+//! mutual information. A server for differentially-private learning is
+//! therefore a **budget-metered channel multiplexer**, and this crate is
+//! that server's synchronous core:
+//!
+//! * [`dataset::Dataset`] / a per-dataset [`ledger::BudgetLedger`] — the
+//!   engine holds immutable, bounds-validated datasets, each with a
+//!   fail-closed budget ledger (a basic-composition ε track enforced by
+//!   [`dplearn_mechanisms::composition::PrivacyAccountant`], plus an
+//!   advanced-composition (ε, δ) track reported alongside it).
+//! * [`mechanism::MechanismRegistry`] — typed [`request::QueryRequest`]s
+//!   dispatch to registered [`mechanism::QueryMechanism`]s (Laplace
+//!   count/sum, exponential and permute-and-flip selection, noisy-max,
+//!   SVT sessions, Gibbs-posterior quantile sampling via
+//!   `dplearn-pacbayes`). Every mechanism declares its sensitivity and
+//!   budget cost **up front**, so admission control can
+//!   reject-before-execute: an over-budget or malformed request spends
+//!   exactly zero budget.
+//! * [`engine::Engine`] — the request/response runtime: sequential
+//!   admission, then a deterministic batch executor over
+//!   `dplearn-parallel` (requests sharded by
+//!   [`dplearn_numerics::rng::Xoshiro256::jump_streams`]; results are
+//!   bit-identical at any `DPLEARN_THREADS`). A
+//!   [`dplearn_robust::RetryPolicy`] drives bounded re-execution of
+//!   faulting queries on fresh RNG substreams; a query that still fails
+//!   poisons **only its own dataset's ledger** — unrelated datasets keep
+//!   serving.
+//! * [`ledger::LeakageLedger`] — converts each dataset's spent-ε trace
+//!   into channel-capacity / mutual-information upper bounds via
+//!   [`dplearn_infotheory::dp_bounds`], surfaced in a
+//!   [`report::EngineReport`].
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use dplearn_engine::engine::{Engine, EngineConfig};
+//! use dplearn_engine::request::{QueryKind, QueryRequest, SelectStrategy};
+//! use dplearn_mechanisms::privacy::Budget;
+//!
+//! let mut engine = Engine::new(EngineConfig::default()).unwrap();
+//! let values: Vec<f64> = (0..100).map(|i| (i % 10) as f64 / 10.0).collect();
+//! engine
+//!     .register_dataset("ages", values, 0.0, 1.0, Budget::new(1.0, 1e-6).unwrap())
+//!     .unwrap();
+//!
+//! let batch = vec![
+//!     QueryRequest::new("ages", QueryKind::LaplaceCount { lo: 0.0, hi: 0.5, epsilon: 0.1 }),
+//!     QueryRequest::new(
+//!         "ages",
+//!         QueryKind::Select { bins: 10, epsilon: 0.2, strategy: SelectStrategy::PermuteAndFlip },
+//!     ),
+//! ];
+//! let report = engine.run_batch(&batch);
+//! assert!(report.outcomes.iter().all(|o| o.is_executed()));
+//! // The leakage ledger bounds what the two answers revealed about `ages`.
+//! let leak = engine.report();
+//! assert!(leak.datasets[0].mi_bound_nats > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+// Panic-free hardening: library code must surface typed errors, never
+// panic. Bounds-proven kernels opt out per-module with a justification.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)
+)]
+
+pub mod dataset;
+pub mod engine;
+pub mod ledger;
+pub mod mechanism;
+pub mod report;
+pub mod request;
+
+pub use dataset::Dataset;
+pub use engine::{Engine, EngineConfig};
+pub use ledger::{BudgetLedger, LeakageLedger, LeakageSummary};
+pub use mechanism::{MechanismRegistry, QueryMechanism};
+pub use report::{BatchReport, EngineReport, EngineTotals};
+pub use request::{QueryKind, QueryOutcome, QueryRequest, QueryValue, SelectStrategy};
+
+use dplearn_robust::fault::FaultClass;
+
+/// Errors produced by the serving engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A request or configuration parameter was invalid.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The named dataset is not registered.
+    UnknownDataset(String),
+    /// A dataset with this name is already registered (datasets are
+    /// immutable; re-registration would silently reset the ledger).
+    DuplicateDataset(String),
+    /// No mechanism with this name is registered.
+    UnknownMechanism(String),
+    /// The dataset's ledger is poisoned: a charged query failed
+    /// mid-flight, so the ledger fails closed and the dataset refuses
+    /// all further queries.
+    DatasetPoisoned(String),
+    /// Admission control rejected the request: the declared cost exceeds
+    /// the dataset's remaining budget. Nothing was spent.
+    BudgetExhausted {
+        /// The dataset whose ledger rejected the charge.
+        dataset: String,
+        /// ε the request declared.
+        requested_epsilon: f64,
+        /// ε remaining in the dataset's ledger.
+        remaining_epsilon: f64,
+    },
+    /// No hosted SVT session with this id.
+    UnknownSession(u64),
+    /// A mechanism released a non-finite value; the engine classifies it
+    /// against the fault taxonomy and fails the query closed.
+    NonFiniteRelease(FaultClass),
+    /// An underlying mechanism failed.
+    Mechanism(dplearn_mechanisms::MechanismError),
+    /// An underlying PAC-Bayes routine failed.
+    PacBayes(dplearn_pacbayes::PacBayesError),
+    /// An underlying numerical routine failed.
+    Numerics(dplearn_numerics::NumericsError),
+    /// A robustness-layer policy was invalid.
+    Robust(dplearn_robust::RobustError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            EngineError::UnknownDataset(name) => write!(f, "unknown dataset `{name}`"),
+            EngineError::DuplicateDataset(name) => {
+                write!(f, "dataset `{name}` is already registered")
+            }
+            EngineError::UnknownMechanism(name) => write!(f, "unknown mechanism `{name}`"),
+            EngineError::DatasetPoisoned(name) => write!(
+                f,
+                "dataset `{name}` ledger is poisoned: a charged query failed mid-flight"
+            ),
+            EngineError::BudgetExhausted {
+                dataset,
+                requested_epsilon,
+                remaining_epsilon,
+            } => write!(
+                f,
+                "budget exhausted on `{dataset}`: requested ε={requested_epsilon}, \
+                 remaining ε={remaining_epsilon}"
+            ),
+            EngineError::UnknownSession(id) => write!(f, "unknown SVT session {id}"),
+            EngineError::NonFiniteRelease(class) => {
+                write!(f, "mechanism released a non-finite value ({class})")
+            }
+            EngineError::Mechanism(e) => write!(f, "mechanism error: {e}"),
+            EngineError::PacBayes(e) => write!(f, "pac-bayes error: {e}"),
+            EngineError::Numerics(e) => write!(f, "numerics error: {e}"),
+            EngineError::Robust(e) => write!(f, "robustness error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Mechanism(e) => Some(e),
+            EngineError::PacBayes(e) => Some(e),
+            EngineError::Numerics(e) => Some(e),
+            EngineError::Robust(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dplearn_mechanisms::MechanismError> for EngineError {
+    fn from(e: dplearn_mechanisms::MechanismError) -> Self {
+        EngineError::Mechanism(e)
+    }
+}
+
+impl From<dplearn_pacbayes::PacBayesError> for EngineError {
+    fn from(e: dplearn_pacbayes::PacBayesError) -> Self {
+        EngineError::PacBayes(e)
+    }
+}
+
+impl From<dplearn_numerics::NumericsError> for EngineError {
+    fn from(e: dplearn_numerics::NumericsError) -> Self {
+        EngineError::Numerics(e)
+    }
+}
+
+impl From<dplearn_robust::RobustError> for EngineError {
+    fn from(e: dplearn_robust::RobustError) -> Self {
+        EngineError::Robust(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, EngineError>;

@@ -1,0 +1,780 @@
+//! The mechanism registry: typed queries dispatch to registered
+//! [`QueryMechanism`]s.
+//!
+//! Every mechanism splits its work into two phases with a hard contract:
+//!
+//! 1. [`QueryMechanism::admit`] — validate the request **completely**
+//!    (every parameter that could make execution fail, including derived
+//!    noise scales that might overflow) and declare the budget cost.
+//!    Must not consume randomness and must not touch any ledger. Any
+//!    request rejected here has provably spent zero budget.
+//! 2. [`QueryMechanism::execute`] — run the admitted query against the
+//!    dataset with a caller-supplied RNG. By the time this runs, the
+//!    budget is already charged (charge-before-release, matching
+//!    [`dplearn_mechanisms::composition::PrivacyAccountant::run`]); a
+//!    failure here poisons the dataset's ledger.
+//!
+//! The registry ships six built-ins covering the paper's mechanism
+//! toolkit and is open: [`MechanismRegistry::register`] accepts any
+//! `Arc<dyn QueryMechanism>`, dispatched via [`QueryKind::Custom`].
+
+use crate::dataset::Dataset;
+use crate::request::{QueryKind, QueryValue, SelectStrategy};
+use crate::{EngineError, Result};
+use dplearn_mechanisms::exponential::ExponentialMechanism;
+use dplearn_mechanisms::laplace::LaplaceMechanism;
+use dplearn_mechanisms::noisy_max::report_noisy_max;
+use dplearn_mechanisms::permute_and_flip::PermuteAndFlip;
+use dplearn_mechanisms::privacy::{Budget, Epsilon};
+use dplearn_mechanisms::sparse_vector::AboveThreshold;
+use dplearn_numerics::rng::Rng;
+use dplearn_pacbayes::gibbs::gibbs_finite;
+use dplearn_pacbayes::posterior::FinitePosterior;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Upper limit on per-request combinatorics (bins, candidates, probes,
+/// draws): large enough for any realistic query, small enough that a
+/// hostile request cannot turn admission into an allocation bomb.
+pub const MAX_REQUEST_WIDTH: usize = 65_536;
+
+/// A query-serving mechanism: declares its cost up front, then executes.
+pub trait QueryMechanism: Send + Sync {
+    /// Stable registry name.
+    fn name(&self) -> &'static str;
+
+    /// Validate `kind` against `dataset` and declare the budget charge.
+    /// Must catch everything that could fail in
+    /// [`execute`](QueryMechanism::execute) short of RNG-dependent
+    /// surprises, must not consume randomness, and must not mutate
+    /// anything.
+    fn admit(&self, kind: &QueryKind, dataset: &Dataset) -> Result<Budget>;
+
+    /// Run the admitted query. The budget is already charged.
+    fn execute(&self, kind: &QueryKind, dataset: &Dataset, rng: &mut dyn Rng)
+        -> Result<QueryValue>;
+}
+
+fn wrong_kind(mechanism: &'static str) -> EngineError {
+    EngineError::InvalidParameter {
+        name: "kind",
+        reason: format!("request kind does not match mechanism `{mechanism}`"),
+    }
+}
+
+fn validated_epsilon(epsilon: f64) -> Result<Epsilon> {
+    Epsilon::new(epsilon).map_err(EngineError::Mechanism)
+}
+
+fn validated_width(name: &'static str, value: usize, min: usize) -> Result<usize> {
+    if value < min || value > MAX_REQUEST_WIDTH {
+        return Err(EngineError::InvalidParameter {
+            name,
+            reason: format!("must lie in [{min}, {MAX_REQUEST_WIDTH}], got {value}"),
+        });
+    }
+    Ok(value)
+}
+
+fn validated_range(lo: f64, hi: f64) -> Result<()> {
+    if !(lo.is_finite() && hi.is_finite() && lo <= hi) {
+        return Err(EngineError::InvalidParameter {
+            name: "range",
+            reason: format!("need finite lo ≤ hi, got [{lo}, {hi}]"),
+        });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Built-in mechanisms
+// ---------------------------------------------------------------------
+
+/// Laplace-noised range count (sensitivity 1).
+#[derive(Debug, Default)]
+pub struct LaplaceCountMechanism;
+
+impl QueryMechanism for LaplaceCountMechanism {
+    fn name(&self) -> &'static str {
+        "laplace_count"
+    }
+
+    fn admit(&self, kind: &QueryKind, _dataset: &Dataset) -> Result<Budget> {
+        let QueryKind::LaplaceCount { lo, hi, epsilon } = *kind else {
+            return Err(wrong_kind(self.name()));
+        };
+        validated_range(lo, hi)?;
+        let eps = validated_epsilon(epsilon)?;
+        // Constructing the mechanism here catches calibration overflow
+        // (e.g. a subnormal ε whose noise scale is +∞) before any charge.
+        LaplaceMechanism::new(eps, 1.0).map_err(EngineError::Mechanism)?;
+        Ok(Budget::pure(eps))
+    }
+
+    fn execute(
+        &self,
+        kind: &QueryKind,
+        dataset: &Dataset,
+        rng: &mut dyn Rng,
+    ) -> Result<QueryValue> {
+        let QueryKind::LaplaceCount { lo, hi, epsilon } = *kind else {
+            return Err(wrong_kind(self.name()));
+        };
+        let mech = LaplaceMechanism::new(validated_epsilon(epsilon)?, 1.0)
+            .map_err(EngineError::Mechanism)?;
+        let true_count = dataset.count_in(lo, hi) as f64;
+        Ok(QueryValue::Scalar(mech.release(true_count, rng)))
+    }
+}
+
+/// Laplace-noised sum (sensitivity = domain width).
+#[derive(Debug, Default)]
+pub struct LaplaceSumMechanism;
+
+impl QueryMechanism for LaplaceSumMechanism {
+    fn name(&self) -> &'static str {
+        "laplace_sum"
+    }
+
+    fn admit(&self, kind: &QueryKind, dataset: &Dataset) -> Result<Budget> {
+        let QueryKind::LaplaceSum { epsilon } = *kind else {
+            return Err(wrong_kind(self.name()));
+        };
+        let eps = validated_epsilon(epsilon)?;
+        LaplaceMechanism::new(eps, dataset.width()).map_err(EngineError::Mechanism)?;
+        Ok(Budget::pure(eps))
+    }
+
+    fn execute(
+        &self,
+        kind: &QueryKind,
+        dataset: &Dataset,
+        rng: &mut dyn Rng,
+    ) -> Result<QueryValue> {
+        let QueryKind::LaplaceSum { epsilon } = *kind else {
+            return Err(wrong_kind(self.name()));
+        };
+        let mech = LaplaceMechanism::new(validated_epsilon(epsilon)?, dataset.width())
+            .map_err(EngineError::Mechanism)?;
+        Ok(QueryValue::Scalar(mech.release(dataset.sum(), rng)))
+    }
+}
+
+/// Private selection of the most populated histogram bin, via the
+/// exponential mechanism or permute-and-flip (quality sensitivity 1).
+#[derive(Debug, Default)]
+pub struct SelectBinMechanism;
+
+impl QueryMechanism for SelectBinMechanism {
+    fn name(&self) -> &'static str {
+        "select_bin"
+    }
+
+    fn admit(&self, kind: &QueryKind, _dataset: &Dataset) -> Result<Budget> {
+        let QueryKind::Select {
+            bins,
+            epsilon,
+            strategy,
+        } = *kind
+        else {
+            return Err(wrong_kind(self.name()));
+        };
+        validated_width("bins", bins, 1)?;
+        let eps = validated_epsilon(epsilon)?;
+        match strategy {
+            SelectStrategy::Exponential => {
+                let mech = ExponentialMechanism::new(bins, 1.0).map_err(EngineError::Mechanism)?;
+                let t = mech.temperature_for(eps);
+                if !t.is_finite() {
+                    return Err(EngineError::InvalidParameter {
+                        name: "epsilon",
+                        reason: format!("temperature ε/(2Δq) = {t} is not finite"),
+                    });
+                }
+            }
+            SelectStrategy::PermuteAndFlip => {
+                PermuteAndFlip::new(1.0).map_err(EngineError::Mechanism)?;
+            }
+        }
+        Ok(Budget::pure(eps))
+    }
+
+    fn execute(
+        &self,
+        kind: &QueryKind,
+        dataset: &Dataset,
+        rng: &mut dyn Rng,
+    ) -> Result<QueryValue> {
+        let QueryKind::Select {
+            bins,
+            epsilon,
+            strategy,
+        } = *kind
+        else {
+            return Err(wrong_kind(self.name()));
+        };
+        let eps = validated_epsilon(epsilon)?;
+        let scores = dataset.bin_counts(bins)?;
+        let idx = match strategy {
+            SelectStrategy::Exponential => ExponentialMechanism::new(bins, 1.0)
+                .and_then(|m| m.select(&scores, eps, rng))
+                .map_err(EngineError::Mechanism)?,
+            SelectStrategy::PermuteAndFlip => PermuteAndFlip::new(1.0)
+                .and_then(|m| m.select(&scores, eps, rng))
+                .map_err(EngineError::Mechanism)?,
+        };
+        Ok(QueryValue::Index(idx))
+    }
+}
+
+/// Report-noisy-max over histogram-bin counts (sensitivity 1).
+#[derive(Debug, Default)]
+pub struct NoisyMaxBinMechanism;
+
+impl QueryMechanism for NoisyMaxBinMechanism {
+    fn name(&self) -> &'static str {
+        "noisy_max_bin"
+    }
+
+    fn admit(&self, kind: &QueryKind, _dataset: &Dataset) -> Result<Budget> {
+        let QueryKind::NoisyMax {
+            bins,
+            epsilon,
+            noise: _,
+        } = *kind
+        else {
+            return Err(wrong_kind(self.name()));
+        };
+        validated_width("bins", bins, 1)?;
+        let eps = validated_epsilon(epsilon)?;
+        // Laplace scale 2Δ/ε must stay finite (subnormal ε overflows it).
+        let scale = 2.0 / eps.value();
+        if !scale.is_finite() {
+            return Err(EngineError::InvalidParameter {
+                name: "epsilon",
+                reason: format!("noise scale 2Δ/ε = {scale} is not finite"),
+            });
+        }
+        Ok(Budget::pure(eps))
+    }
+
+    fn execute(
+        &self,
+        kind: &QueryKind,
+        dataset: &Dataset,
+        rng: &mut dyn Rng,
+    ) -> Result<QueryValue> {
+        let QueryKind::NoisyMax {
+            bins,
+            epsilon,
+            noise,
+        } = *kind
+        else {
+            return Err(wrong_kind(self.name()));
+        };
+        let eps = validated_epsilon(epsilon)?;
+        let scores = dataset.bin_counts(bins)?;
+        let idx =
+            report_noisy_max(&scores, eps, 1.0, noise, rng).map_err(EngineError::Mechanism)?;
+        Ok(QueryValue::Index(idx))
+    }
+}
+
+/// A self-contained sparse-vector (AboveThreshold) session over
+/// range-count probes (sensitivity 1). The full transcript costs ε.
+#[derive(Debug, Default)]
+pub struct SvtRunMechanism;
+
+impl QueryMechanism for SvtRunMechanism {
+    fn name(&self) -> &'static str {
+        "svt_run"
+    }
+
+    fn admit(&self, kind: &QueryKind, _dataset: &Dataset) -> Result<Budget> {
+        let QueryKind::SvtRun {
+            threshold,
+            epsilon,
+            ref probes,
+        } = *kind
+        else {
+            return Err(wrong_kind(self.name()));
+        };
+        if !threshold.is_finite() {
+            return Err(EngineError::InvalidParameter {
+                name: "threshold",
+                reason: format!("must be finite, got {threshold}"),
+            });
+        }
+        validated_width("probes", probes.len(), 1)?;
+        for &(lo, hi) in probes {
+            validated_range(lo, hi)?;
+        }
+        let eps = validated_epsilon(epsilon)?;
+        // AboveThreshold draws threshold noise at construction, so the
+        // scale checks happen here by hand: 2Δ/ε and 4Δ/ε must be finite.
+        if !(2.0 / eps.value()).is_finite() || !(4.0 / eps.value()).is_finite() {
+            return Err(EngineError::InvalidParameter {
+                name: "epsilon",
+                reason: format!("SVT noise scales overflow at ε = {epsilon}"),
+            });
+        }
+        Ok(Budget::pure(eps))
+    }
+
+    fn execute(
+        &self,
+        kind: &QueryKind,
+        dataset: &Dataset,
+        rng: &mut dyn Rng,
+    ) -> Result<QueryValue> {
+        let QueryKind::SvtRun {
+            threshold,
+            epsilon,
+            ref probes,
+        } = *kind
+        else {
+            return Err(wrong_kind(self.name()));
+        };
+        let eps = validated_epsilon(epsilon)?;
+        let mut svt =
+            AboveThreshold::new(eps, 1.0, threshold, rng).map_err(EngineError::Mechanism)?;
+        let mut transcript = Vec::with_capacity(probes.len());
+        for &(lo, hi) in probes {
+            let count = dataset.count_in(lo, hi) as f64;
+            let answer = svt.query(count, rng).map_err(EngineError::Mechanism)?;
+            let fired = answer == dplearn_mechanisms::sparse_vector::SvtAnswer::Above;
+            transcript.push(answer);
+            if fired {
+                break;
+            }
+        }
+        Ok(QueryValue::SvtTranscript(transcript))
+    }
+}
+
+/// Gibbs-posterior quantile sampling (paper Theorem 4.1): the posterior
+/// `π̂(c) ∝ exp(−λ R̂(c))` over a candidate grid, with λ calibrated so
+/// each draw is an ε-DP exponential-mechanism release. Charges
+/// `ε · draws`.
+#[derive(Debug, Default)]
+pub struct GibbsQuantileMechanism;
+
+impl GibbsQuantileMechanism {
+    /// λ achieving per-draw target ε: the Gibbs posterior at inverse
+    /// temperature λ is `2λΔR̂`-DP with `ΔR̂ = 1/n`, so `λ = ε·n/2`.
+    fn lambda_for(epsilon: Epsilon, n: usize) -> f64 {
+        epsilon.value() * n as f64 / 2.0
+    }
+}
+
+impl QueryMechanism for GibbsQuantileMechanism {
+    fn name(&self) -> &'static str {
+        "gibbs_quantile"
+    }
+
+    fn admit(&self, kind: &QueryKind, dataset: &Dataset) -> Result<Budget> {
+        let QueryKind::GibbsQuantile {
+            quantile,
+            candidates,
+            epsilon,
+            draws,
+        } = *kind
+        else {
+            return Err(wrong_kind(self.name()));
+        };
+        if !(quantile.is_finite() && quantile > 0.0 && quantile < 1.0) {
+            return Err(EngineError::InvalidParameter {
+                name: "quantile",
+                reason: format!("must lie in (0,1), got {quantile}"),
+            });
+        }
+        validated_width("candidates", candidates, 2)?;
+        validated_width("draws", draws, 1)?;
+        let eps = validated_epsilon(epsilon)?;
+        let lambda = Self::lambda_for(eps, dataset.len());
+        if !lambda.is_finite() {
+            return Err(EngineError::InvalidParameter {
+                name: "epsilon",
+                reason: format!("Gibbs temperature λ = ε·n/2 = {lambda} is not finite"),
+            });
+        }
+        // Each draw is an independent ε-DP release: sequential
+        // composition makes the declared cost ε·draws.
+        let total = eps.value() * draws as f64;
+        Budget::new(total, 0.0).map_err(EngineError::Mechanism)
+    }
+
+    fn execute(
+        &self,
+        kind: &QueryKind,
+        dataset: &Dataset,
+        rng: &mut dyn Rng,
+    ) -> Result<QueryValue> {
+        let QueryKind::GibbsQuantile {
+            quantile,
+            candidates,
+            epsilon,
+            draws,
+        } = *kind
+        else {
+            return Err(wrong_kind(self.name()));
+        };
+        let eps = validated_epsilon(epsilon)?;
+        let grid = dataset.candidate_grid(candidates);
+        let risks = dataset.rank_risks(&grid, quantile);
+        let prior = FinitePosterior::uniform(candidates).map_err(EngineError::PacBayes)?;
+        let posterior = gibbs_finite(&prior, &risks, Self::lambda_for(eps, dataset.len()))
+            .map_err(EngineError::PacBayes)?;
+        let mut out = Vec::with_capacity(draws);
+        for _ in 0..draws {
+            let idx = posterior.sample(rng);
+            let value = grid
+                .get(idx)
+                .copied()
+                .ok_or(EngineError::InvalidParameter {
+                    name: "draws",
+                    reason: format!("posterior drew out-of-grid index {idx}"),
+                })?;
+            out.push(value);
+        }
+        Ok(QueryValue::Draws(out))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+/// A name-keyed registry of [`QueryMechanism`]s.
+#[derive(Clone)]
+pub struct MechanismRegistry {
+    handlers: BTreeMap<String, Arc<dyn QueryMechanism>>,
+}
+
+impl std::fmt::Debug for MechanismRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MechanismRegistry")
+            .field("mechanisms", &self.names())
+            .finish()
+    }
+}
+
+impl MechanismRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        MechanismRegistry {
+            handlers: BTreeMap::new(),
+        }
+    }
+
+    /// The standard registry: all six built-in mechanisms.
+    pub fn standard() -> Self {
+        let mut reg = Self::empty();
+        reg.register(Arc::new(LaplaceCountMechanism));
+        reg.register(Arc::new(LaplaceSumMechanism));
+        reg.register(Arc::new(SelectBinMechanism));
+        reg.register(Arc::new(NoisyMaxBinMechanism));
+        reg.register(Arc::new(SvtRunMechanism));
+        reg.register(Arc::new(GibbsQuantileMechanism));
+        reg
+    }
+
+    /// Register (or replace) a mechanism under its declared name;
+    /// returns the previous handler if one was replaced.
+    pub fn register(&mut self, mech: Arc<dyn QueryMechanism>) -> Option<Arc<dyn QueryMechanism>> {
+        self.handlers.insert(mech.name().to_string(), mech)
+    }
+
+    /// Look up a mechanism by name.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn QueryMechanism>> {
+        self.handlers.get(name).cloned()
+    }
+
+    /// Resolve the handler for a request kind.
+    pub fn resolve(&self, kind: &QueryKind) -> Result<Arc<dyn QueryMechanism>> {
+        let name = kind.mechanism_name();
+        self.get(name)
+            .ok_or_else(|| EngineError::UnknownMechanism(name.to_string()))
+    }
+
+    /// Registered mechanism names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.handlers.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered mechanisms.
+    pub fn len(&self) -> usize {
+        self.handlers.len()
+    }
+
+    /// True when no mechanism is registered.
+    pub fn is_empty(&self) -> bool {
+        self.handlers.is_empty()
+    }
+}
+
+impl Default for MechanismRegistry {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dplearn_numerics::rng::Xoshiro256;
+
+    fn dataset() -> Dataset {
+        let values: Vec<f64> = (0..200).map(|i| (i % 100) as f64 / 100.0).collect();
+        Dataset::new("t", values, 0.0, 1.0).unwrap()
+    }
+
+    #[test]
+    fn standard_registry_has_all_builtins() {
+        let reg = MechanismRegistry::standard();
+        assert_eq!(
+            reg.names(),
+            vec![
+                "gibbs_quantile",
+                "laplace_count",
+                "laplace_sum",
+                "noisy_max_bin",
+                "select_bin",
+                "svt_run"
+            ]
+        );
+        assert_eq!(reg.len(), 6);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn admit_declares_costs_without_randomness() {
+        let ds = dataset();
+        let reg = MechanismRegistry::standard();
+        let cases = [
+            (
+                QueryKind::LaplaceCount {
+                    lo: 0.0,
+                    hi: 0.5,
+                    epsilon: 0.25,
+                },
+                0.25,
+            ),
+            (QueryKind::LaplaceSum { epsilon: 0.5 }, 0.5),
+            (
+                QueryKind::Select {
+                    bins: 8,
+                    epsilon: 0.125,
+                    strategy: SelectStrategy::Exponential,
+                },
+                0.125,
+            ),
+            (
+                QueryKind::SvtRun {
+                    threshold: 10.0,
+                    epsilon: 0.4,
+                    probes: vec![(0.0, 0.1), (0.0, 0.9)],
+                },
+                0.4,
+            ),
+            // Gibbs: per-draw ε times number of draws.
+            (
+                QueryKind::GibbsQuantile {
+                    quantile: 0.5,
+                    candidates: 16,
+                    epsilon: 0.1,
+                    draws: 5,
+                },
+                0.5,
+            ),
+        ];
+        for (kind, want_eps) in cases {
+            let mech = reg.resolve(&kind).unwrap();
+            let cost = mech.admit(&kind, &ds).unwrap();
+            assert!(
+                (cost.epsilon - want_eps).abs() < 1e-12,
+                "{}: cost {} want {want_eps}",
+                mech.name(),
+                cost.epsilon
+            );
+            assert_eq!(cost.delta, 0.0, "built-ins are pure DP");
+        }
+    }
+
+    #[test]
+    fn admit_rejects_malformed_parameters() {
+        let ds = dataset();
+        let reg = MechanismRegistry::standard();
+        let bad = [
+            QueryKind::LaplaceCount {
+                lo: 0.0,
+                hi: 0.5,
+                epsilon: f64::NAN,
+            },
+            QueryKind::LaplaceCount {
+                lo: f64::NEG_INFINITY,
+                hi: 0.5,
+                epsilon: 0.1,
+            },
+            QueryKind::LaplaceCount {
+                lo: 0.5,
+                hi: 0.0,
+                epsilon: 0.1,
+            },
+            // Subnormal ε: the Laplace scale 1/ε overflows to +∞.
+            QueryKind::LaplaceCount {
+                lo: 0.0,
+                hi: 0.5,
+                epsilon: 5e-324,
+            },
+            QueryKind::LaplaceSum { epsilon: -1.0 },
+            QueryKind::Select {
+                bins: 0,
+                epsilon: 0.1,
+                strategy: SelectStrategy::Exponential,
+            },
+            QueryKind::Select {
+                bins: MAX_REQUEST_WIDTH + 1,
+                epsilon: 0.1,
+                strategy: SelectStrategy::PermuteAndFlip,
+            },
+            QueryKind::NoisyMax {
+                bins: 4,
+                epsilon: 5e-324,
+                noise: NoisyMaxNoise::Laplace,
+            },
+            QueryKind::SvtRun {
+                threshold: f64::INFINITY,
+                epsilon: 0.1,
+                probes: vec![(0.0, 1.0)],
+            },
+            QueryKind::SvtRun {
+                threshold: 0.0,
+                epsilon: 0.1,
+                probes: vec![],
+            },
+            QueryKind::SvtRun {
+                threshold: 0.0,
+                epsilon: 0.1,
+                probes: vec![(0.0, f64::NAN)],
+            },
+            QueryKind::GibbsQuantile {
+                quantile: 1.5,
+                candidates: 8,
+                epsilon: 0.1,
+                draws: 1,
+            },
+            QueryKind::GibbsQuantile {
+                quantile: 0.5,
+                candidates: 1,
+                epsilon: 0.1,
+                draws: 1,
+            },
+            QueryKind::GibbsQuantile {
+                quantile: 0.5,
+                candidates: 8,
+                epsilon: f64::MAX,
+                draws: 2,
+            },
+        ];
+        for kind in bad {
+            let mech = reg.resolve(&kind).unwrap();
+            assert!(
+                mech.admit(&kind, &ds).is_err(),
+                "{:?} must be rejected at admission",
+                kind
+            );
+        }
+    }
+
+    use crate::request::NoisyMaxNoise;
+
+    #[test]
+    fn execute_produces_well_typed_values() {
+        let ds = dataset();
+        let reg = MechanismRegistry::standard();
+        let mut rng = Xoshiro256::seed_from(11);
+        let count_kind = QueryKind::LaplaceCount {
+            lo: 0.0,
+            hi: 0.49,
+            epsilon: 2.0,
+        };
+        let mech = reg.resolve(&count_kind).unwrap();
+        match mech.execute(&count_kind, &ds, &mut rng).unwrap() {
+            QueryValue::Scalar(v) => assert!(v.is_finite()),
+            other => panic!("expected scalar, got {other:?}"),
+        }
+
+        let select_kind = QueryKind::Select {
+            bins: 10,
+            epsilon: 4.0,
+            strategy: SelectStrategy::PermuteAndFlip,
+        };
+        let mech = reg.resolve(&select_kind).unwrap();
+        match mech.execute(&select_kind, &ds, &mut rng).unwrap() {
+            QueryValue::Index(i) => assert!(i < 10),
+            other => panic!("expected index, got {other:?}"),
+        }
+
+        let gibbs_kind = QueryKind::GibbsQuantile {
+            quantile: 0.5,
+            candidates: 32,
+            epsilon: 1.0,
+            draws: 4,
+        };
+        let mech = reg.resolve(&gibbs_kind).unwrap();
+        match mech.execute(&gibbs_kind, &ds, &mut rng).unwrap() {
+            QueryValue::Draws(d) => {
+                assert_eq!(d.len(), 4);
+                assert!(d.iter().all(|v| (0.0..=1.0).contains(v)));
+            }
+            other => panic!("expected draws, got {other:?}"),
+        }
+
+        let svt_kind = QueryKind::SvtRun {
+            threshold: 50.0,
+            epsilon: 8.0,
+            probes: vec![(0.9, 0.91), (0.0, 1.0), (0.0, 0.1)],
+        };
+        let mech = reg.resolve(&svt_kind).unwrap();
+        match mech.execute(&svt_kind, &ds, &mut rng).unwrap() {
+            QueryValue::SvtTranscript(t) => {
+                assert!(!t.is_empty() && t.len() <= 3);
+            }
+            other => panic!("expected transcript, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_kind_is_rejected() {
+        let ds = dataset();
+        let mech = LaplaceCountMechanism;
+        let kind = QueryKind::LaplaceSum { epsilon: 0.1 };
+        assert!(mech.admit(&kind, &ds).is_err());
+        let mut rng = Xoshiro256::seed_from(1);
+        assert!(mech.execute(&kind, &ds, &mut rng).is_err());
+    }
+
+    #[test]
+    fn gibbs_quantile_concentrates_near_the_true_quantile() {
+        let ds = dataset();
+        let kind = QueryKind::GibbsQuantile {
+            quantile: 0.5,
+            candidates: 101,
+            epsilon: 5.0,
+            draws: 200,
+        };
+        let mech = GibbsQuantileMechanism;
+        let mut rng = Xoshiro256::seed_from(99);
+        let QueryValue::Draws(draws) = mech.execute(&kind, &ds, &mut rng).unwrap() else {
+            panic!("expected draws");
+        };
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        // ε=5, n=200 → λ=500: the posterior is sharply peaked at the
+        // empirical median (≈ 0.5 for the 0..100 sawtooth).
+        assert!(
+            (mean - 0.5).abs() < 0.1,
+            "posterior mean {mean} should be near the median"
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! Engine-level reports: per-batch outcomes and the engine-wide
+//! budget/leakage summary.
+
+use crate::ledger::LeakageSummary;
+use crate::request::QueryOutcome;
+
+/// The result of one [`Engine::run_batch`](crate::engine::Engine::run_batch)
+/// call: per-request outcomes in submission order plus the batch's
+/// derived RNG seed (for audit replay).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// Per-request outcomes, in submission order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// The seed this batch's RNG streams were jumped from.
+    pub batch_seed: u64,
+}
+
+impl BatchReport {
+    /// Number of executed requests.
+    pub fn executed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_executed()).count()
+    }
+
+    /// Number of requests rejected at admission (zero spend).
+    pub fn rejected(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_rejected()).count()
+    }
+
+    /// Number of requests that faulted after their charge.
+    pub fn faulted(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_faulted()).count()
+    }
+
+    /// Total ε this batch spent (executed + faulted requests).
+    pub fn spent_epsilon(&self) -> f64 {
+        self.outcomes.iter().map(|o| o.spent().epsilon).sum()
+    }
+}
+
+/// Aggregate totals across every registered dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineTotals {
+    /// Registered datasets.
+    pub datasets: usize,
+    /// Successful charges across all ledgers.
+    pub operations: usize,
+    /// Admission rejections across all ledgers (zero spend).
+    pub rejected: u64,
+    /// Mid-flight faults across all ledgers.
+    pub faulted: u64,
+    /// Datasets whose ledger is poisoned.
+    pub poisoned: usize,
+    /// Total basic-composition ε spent across datasets.
+    pub spent_epsilon: f64,
+    /// Sum of per-dataset MI upper bounds, in nats. (Budgets — and hence
+    /// the paper's MI bounds — add across disjoint datasets.)
+    pub mi_bound_nats: f64,
+}
+
+impl EngineTotals {
+    /// Fold per-dataset summaries into engine totals.
+    pub fn from_summaries(summaries: &[LeakageSummary]) -> Self {
+        let mut t = EngineTotals {
+            datasets: summaries.len(),
+            operations: 0,
+            rejected: 0,
+            faulted: 0,
+            poisoned: 0,
+            spent_epsilon: 0.0,
+            mi_bound_nats: 0.0,
+        };
+        for s in summaries {
+            t.operations += s.operations;
+            t.rejected += s.rejected;
+            t.faulted += s.faulted;
+            t.poisoned += usize::from(s.poisoned);
+            t.spent_epsilon += s.basic.epsilon;
+            t.mi_bound_nats += s.mi_bound_nats;
+        }
+        t
+    }
+}
+
+/// The engine-wide report: one [`LeakageSummary`] per dataset (sorted by
+/// name), aggregate totals, and the serving configuration snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineReport {
+    /// Per-dataset summaries, sorted by dataset name.
+    pub datasets: Vec<LeakageSummary>,
+    /// Aggregates over [`datasets`](Self::datasets).
+    pub totals: EngineTotals,
+    /// Registered mechanism names, sorted.
+    pub mechanisms: Vec<String>,
+    /// Batches served so far.
+    pub batches_run: u64,
+    /// Currently open SVT sessions.
+    pub open_sessions: usize,
+}
+
+impl std::fmt::Display for EngineReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "dplearn-engine report — {} dataset(s), {} batch(es), {} open SVT session(s)",
+            self.totals.datasets, self.batches_run, self.open_sessions
+        )?;
+        writeln!(f, "mechanisms: {}", self.mechanisms.join(", "))?;
+        for s in &self.datasets {
+            writeln!(
+                f,
+                "  {name}: n={n} ops={ops} rejected={rej} faulted={flt}{poison}",
+                name = s.dataset,
+                n = s.n_records,
+                ops = s.operations,
+                rej = s.rejected,
+                flt = s.faulted,
+                poison = if s.poisoned { " POISONED" } else { "" },
+            )?;
+            writeln!(
+                f,
+                "    spent ε={basic:.6} (basic){adv}",
+                basic = s.basic.epsilon,
+                adv = match s.advanced {
+                    Some(a) => format!(", ({:.6}, {:.2e})-DP (advanced)", a.epsilon, a.delta),
+                    None => String::new(),
+                },
+            )?;
+            writeln!(
+                f,
+                "    leakage ≤ {nats:.4} nats = {bits:.4} bits \
+                 (per-record ≤ {pr:.6} nats) at reported ε={eps:.6}",
+                nats = s.mi_bound_nats,
+                bits = s.mi_bound_bits,
+                pr = s.per_record_bound_nats,
+                eps = s.reported_epsilon,
+            )?;
+        }
+        write!(
+            f,
+            "totals: ops={} rejected={} faulted={} poisoned={} \
+             ε={:.6} leakage ≤ {:.4} nats",
+            self.totals.operations,
+            self.totals.rejected,
+            self.totals.faulted,
+            self.totals.poisoned,
+            self.totals.spent_epsilon,
+            self.totals.mi_bound_nats
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{QueryOutcome, QueryValue};
+    use crate::EngineError;
+    use dplearn_mechanisms::privacy::Budget;
+
+    fn summary(name: &str, eps: f64, poisoned: bool) -> LeakageSummary {
+        LeakageSummary {
+            dataset: name.to_string(),
+            n_records: 10,
+            basic: Budget {
+                epsilon: eps,
+                delta: 0.0,
+            },
+            advanced: None,
+            reported_epsilon: eps,
+            reported_delta: 0.0,
+            mi_bound_nats: 10.0 * eps,
+            mi_bound_bits: 10.0 * eps / std::f64::consts::LN_2,
+            per_record_bound_nats: eps,
+            operations: 3,
+            rejected: 1,
+            faulted: u64::from(poisoned),
+            poisoned,
+        }
+    }
+
+    #[test]
+    fn totals_fold_across_datasets() {
+        let summaries = vec![summary("a", 0.5, false), summary("b", 1.5, true)];
+        let t = EngineTotals::from_summaries(&summaries);
+        assert_eq!(t.datasets, 2);
+        assert_eq!(t.operations, 6);
+        assert_eq!(t.rejected, 2);
+        assert_eq!(t.faulted, 1);
+        assert_eq!(t.poisoned, 1);
+        assert!((t.spent_epsilon - 2.0).abs() < 1e-12);
+        assert!((t.mi_bound_nats - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_display_mentions_every_dataset() {
+        let summaries = vec![summary("alpha", 0.5, false), summary("beta", 0.25, true)];
+        let totals = EngineTotals::from_summaries(&summaries);
+        let report = EngineReport {
+            datasets: summaries,
+            totals,
+            mechanisms: vec!["laplace_count".to_string()],
+            batches_run: 4,
+            open_sessions: 1,
+        };
+        let text = report.to_string();
+        assert!(text.contains("alpha"));
+        assert!(text.contains("beta"));
+        assert!(text.contains("POISONED"));
+        assert!(text.contains("laplace_count"));
+    }
+
+    #[test]
+    fn batch_report_counts_and_spend() {
+        let cost = Budget {
+            epsilon: 0.25,
+            delta: 0.0,
+        };
+        let report = BatchReport {
+            outcomes: vec![
+                QueryOutcome::Executed {
+                    value: QueryValue::Scalar(1.0),
+                    cost,
+                    attempts: 1,
+                },
+                QueryOutcome::Rejected {
+                    error: EngineError::UnknownDataset("x".to_string()),
+                },
+                QueryOutcome::Faulted {
+                    error: EngineError::UnknownDataset("x".to_string()),
+                    cost,
+                    attempts: 2,
+                    fault: None,
+                },
+            ],
+            batch_seed: 7,
+        };
+        assert_eq!(report.executed(), 1);
+        assert_eq!(report.rejected(), 1);
+        assert_eq!(report.faulted(), 1);
+        assert!((report.spent_epsilon() - 0.5).abs() < 1e-12);
+    }
+}

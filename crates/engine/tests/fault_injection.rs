@@ -1,0 +1,280 @@
+//! Fault-injection suite for the serving engine.
+//!
+//! The acceptance bar: rejected and faulting requests **provably spend
+//! zero budget at admission time**, and a fault that lands after a
+//! charge is contained — the charge stays spent, the dataset's ledger
+//! poisons, and every other dataset keeps serving. All five
+//! [`FaultClass`]es are driven through the engine twice: once through
+//! request *parameters* (caught at admission, zero spend) and once
+//! through a registered faulty mechanism's *releases* (caught at
+//! post-processing, charge kept, ledger poisoned).
+
+use dplearn_engine::engine::{Engine, EngineConfig};
+use dplearn_engine::mechanism::QueryMechanism;
+use dplearn_engine::request::{QueryKind, QueryOutcome, QueryRequest};
+use dplearn_engine::{Dataset, EngineError};
+use dplearn_mechanisms::privacy::Budget;
+use dplearn_numerics::rng::Rng;
+use dplearn_robust::fault::FaultClass;
+use dplearn_robust::retry::RetryPolicy;
+use std::sync::Arc;
+
+fn engine(cap_eps: f64) -> Engine {
+    let config = EngineConfig {
+        retry: RetryPolicy {
+            max_attempts: 3,
+            base_iters: 1,
+            growth: 1.0,
+            damping: 1.0,
+        },
+        ..EngineConfig::default()
+    };
+    let mut e = Engine::new(config).unwrap();
+    let values: Vec<f64> = (0..100).map(|i| (i % 10) as f64 / 10.0).collect();
+    e.register_dataset(
+        "main",
+        values,
+        0.0,
+        1.0,
+        Budget::new(cap_eps, 1e-6).unwrap(),
+    )
+    .unwrap();
+    e
+}
+
+/// Every fault-class value, injected as the request's ε parameter, is
+/// rejected at admission — before any charge. NaN/±∞/−MAX are invalid
+/// epsilons; the subnormal overflows the Laplace noise scale to +∞; and
+/// +MAX is a *valid* epsilon that admission control rejects as
+/// over-budget. In all cases the ledger must show zero spend.
+#[test]
+fn fault_class_parameters_spend_zero_budget() {
+    let mut e = engine(1.0);
+    let mut requests = Vec::new();
+    for class in FaultClass::ALL {
+        // Both parities: sign-alternating classes inject ±MAX / ±5e-324.
+        for k in 0..2 {
+            requests.push(QueryRequest::new(
+                "main",
+                QueryKind::LaplaceCount {
+                    lo: 0.0,
+                    hi: 1.0,
+                    epsilon: class.value(k),
+                },
+            ));
+        }
+    }
+    let report = e.run_batch(&requests);
+    assert_eq!(report.outcomes.len(), 10);
+    for (i, out) in report.outcomes.iter().enumerate() {
+        assert!(
+            out.is_rejected(),
+            "request {i} must be rejected, got {out:?}"
+        );
+        assert_eq!(out.spent().epsilon, 0.0);
+        assert_eq!(out.spent().delta, 0.0);
+    }
+    let ledger = e.ledger("main").unwrap();
+    assert_eq!(ledger.snapshot().spent.epsilon, 0.0, "no charge may land");
+    assert_eq!(ledger.snapshot().operations, 0);
+    assert_eq!(ledger.history().len(), 0);
+    assert_eq!(ledger.rejected(), 10);
+    assert!(!ledger.is_poisoned(), "admission rejections never poison");
+
+    // The dataset still serves fine after the barrage.
+    let ok = e.submit(&QueryRequest::new(
+        "main",
+        QueryKind::LaplaceCount {
+            lo: 0.0,
+            hi: 1.0,
+            epsilon: 0.5,
+        },
+    ));
+    assert!(ok.is_executed());
+}
+
+/// A mechanism whose releases carry an injected fault value.
+struct FaultyMechanism {
+    class: FaultClass,
+}
+
+impl QueryMechanism for FaultyMechanism {
+    fn name(&self) -> &'static str {
+        "faulty"
+    }
+
+    fn admit(&self, _kind: &QueryKind, _dataset: &Dataset) -> Result<Budget, EngineError> {
+        Budget::new(0.25, 0.0).map_err(EngineError::Mechanism)
+    }
+
+    fn execute(
+        &self,
+        _kind: &QueryKind,
+        _dataset: &Dataset,
+        rng: &mut dyn Rng,
+    ) -> Result<dplearn_engine::QueryValue, EngineError> {
+        // Consume randomness like a real mechanism, then release the
+        // injected fault on every attempt.
+        let k = (rng.next_f64() * 2.0) as usize;
+        Ok(dplearn_engine::QueryValue::Scalar(self.class.value(k)))
+    }
+}
+
+/// All five fault classes, released mid-flight by a charged mechanism:
+/// the engine retries on fresh substreams, classifies the terminal
+/// fault, keeps the charge (fail-closed), and poisons exactly the
+/// faulted dataset — sibling datasets keep serving.
+#[test]
+fn mid_flight_faults_poison_only_their_dataset_and_keep_the_charge() {
+    let mut e = engine(1.0);
+    let values: Vec<f64> = (0..50).map(|i| i as f64 / 50.0).collect();
+    for class in FaultClass::ALL {
+        let name = format!("victim_{class}");
+        e.register_dataset(
+            &name,
+            values.clone(),
+            0.0,
+            1.0,
+            Budget::new(1.0, 1e-6).unwrap(),
+        )
+        .unwrap();
+    }
+
+    for class in FaultClass::ALL {
+        e.register_mechanism(Arc::new(FaultyMechanism { class }));
+        let name = format!("victim_{class}");
+        let out = e.submit(&QueryRequest::new(
+            &name,
+            QueryKind::Custom {
+                mechanism: "faulty".to_string(),
+                params: vec![],
+            },
+        ));
+        match out {
+            QueryOutcome::Faulted {
+                error,
+                cost,
+                attempts,
+                fault,
+            } => {
+                assert_eq!(
+                    fault,
+                    Some(class),
+                    "terminal fault must classify as {class}"
+                );
+                assert!(matches!(error, EngineError::NonFiniteRelease(c) if c == class));
+                assert!((cost.epsilon - 0.25).abs() < 1e-12);
+                assert_eq!(attempts, 3, "all retry attempts must be consumed");
+            }
+            other => panic!("{class}: expected Faulted, got {other:?}"),
+        }
+        let ledger = e.ledger(&name).unwrap();
+        assert!(ledger.is_poisoned(), "{class}: faulted dataset must poison");
+        assert!(
+            (ledger.snapshot().spent.epsilon - 0.25).abs() < 1e-12,
+            "{class}: the charge stays spent (fail-closed, no refund)"
+        );
+        assert_eq!(ledger.faulted(), 1);
+
+        // Poisoned datasets refuse everything afterwards.
+        let refused = e.submit(&QueryRequest::new(
+            &name,
+            QueryKind::LaplaceSum { epsilon: 0.01 },
+        ));
+        assert!(matches!(
+            refused,
+            QueryOutcome::Rejected {
+                error: EngineError::DatasetPoisoned(_)
+            }
+        ));
+    }
+
+    // The unrelated dataset never noticed.
+    let main = e.ledger("main").unwrap();
+    assert!(!main.is_poisoned());
+    assert_eq!(main.snapshot().spent.epsilon, 0.0);
+    let ok = e.submit(&QueryRequest::new(
+        "main",
+        QueryKind::LaplaceSum { epsilon: 0.3 },
+    ));
+    assert!(ok.is_executed(), "sibling datasets keep serving");
+}
+
+/// A mechanism that errors outright (no release at all) after its charge:
+/// same containment contract as a non-finite release.
+struct ErroringMechanism;
+
+impl QueryMechanism for ErroringMechanism {
+    fn name(&self) -> &'static str {
+        "erroring"
+    }
+
+    fn admit(&self, _kind: &QueryKind, _dataset: &Dataset) -> Result<Budget, EngineError> {
+        Budget::new(0.5, 0.0).map_err(EngineError::Mechanism)
+    }
+
+    fn execute(
+        &self,
+        _kind: &QueryKind,
+        _dataset: &Dataset,
+        _rng: &mut dyn Rng,
+    ) -> Result<dplearn_engine::QueryValue, EngineError> {
+        Err(EngineError::InvalidParameter {
+            name: "simulated",
+            reason: "mid-flight failure".to_string(),
+        })
+    }
+}
+
+#[test]
+fn hard_errors_after_charge_poison_and_keep_the_spend() {
+    let mut e = engine(1.0);
+    e.register_mechanism(Arc::new(ErroringMechanism));
+    let out = e.submit(&QueryRequest::new(
+        "main",
+        QueryKind::Custom {
+            mechanism: "erroring".to_string(),
+            params: vec![],
+        },
+    ));
+    match out {
+        QueryOutcome::Faulted { cost, fault, .. } => {
+            assert!((cost.epsilon - 0.5).abs() < 1e-12);
+            assert_eq!(fault, None, "hard errors carry no fault taxonomy class");
+        }
+        other => panic!("expected Faulted, got {other:?}"),
+    }
+    let ledger = e.ledger("main").unwrap();
+    assert!(ledger.is_poisoned());
+    assert!((ledger.snapshot().spent.epsilon - 0.5).abs() < 1e-12);
+}
+
+/// Budget exhaustion mid-batch: the over-budget request is rejected with
+/// zero spend while admitted neighbours (before *and* after it in
+/// submission order) execute — admission is per-request, not
+/// all-or-nothing.
+#[test]
+fn over_budget_requests_reject_without_partial_spend() {
+    let mut e = engine(1.0);
+    let batch = vec![
+        QueryRequest::new("main", QueryKind::LaplaceSum { epsilon: 0.6 }),
+        // 0.5 > 0.4 remaining: rejected, spends nothing.
+        QueryRequest::new("main", QueryKind::LaplaceSum { epsilon: 0.5 }),
+        QueryRequest::new("main", QueryKind::LaplaceSum { epsilon: 0.4 }),
+    ];
+    let report = e.run_batch(&batch);
+    assert!(report.outcomes[0].is_executed());
+    assert!(matches!(
+        &report.outcomes[1],
+        QueryOutcome::Rejected {
+            error: EngineError::BudgetExhausted {
+                requested_epsilon,
+                ..
+            }
+        } if (requested_epsilon - 0.5).abs() < 1e-12
+    ));
+    assert!(report.outcomes[2].is_executed());
+    let snap = e.ledger("main").unwrap().snapshot();
+    assert!((snap.spent.epsilon - 1.0).abs() < 1e-9);
+    assert_eq!(snap.operations, 2);
+}

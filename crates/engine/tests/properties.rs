@@ -1,0 +1,185 @@
+//! Property tests for the serving engine's accounting invariants.
+//!
+//! The load-bearing claim: **the ledger never over-spends**, under any
+//! interleaving of admitted, over-budget, malformed, and cross-dataset
+//! requests — and the books always balance: the accountant's spent total
+//! equals the sum of per-outcome charges, rejections contribute exactly
+//! zero, and admission order never lets a later request sneak past a cap
+//! an earlier one exhausted.
+
+use dplearn_engine::engine::{Engine, EngineConfig};
+use dplearn_engine::request::{QueryKind, QueryRequest, SelectStrategy};
+use dplearn_mechanisms::privacy::Budget;
+use proptest::prelude::*;
+
+/// Decode one request from three generated scalars. The decoder is
+/// deliberately adversarial: roughly a third of requests are malformed
+/// or aimed at a missing dataset, and ε magnitudes span from trivially
+/// admissible to instantly over-budget.
+fn decode_request(which: u8, eps_raw: f64, aux: u8) -> QueryRequest {
+    let dataset = match which % 4 {
+        0 | 1 => "alpha",
+        2 => "beta",
+        _ => {
+            if aux.is_multiple_of(3) {
+                "missing"
+            } else {
+                "alpha"
+            }
+        }
+    };
+    let epsilon = match aux % 5 {
+        // Admissible magnitudes…
+        0..=2 => eps_raw,
+        // …a budget-buster…
+        3 => eps_raw * 1e6,
+        // …and malformed parameters.
+        _ => match aux % 3 {
+            0 => f64::NAN,
+            1 => -eps_raw,
+            _ => f64::INFINITY,
+        },
+    };
+    let kind = match which % 5 {
+        0 => QueryKind::LaplaceCount {
+            lo: 0.0,
+            hi: 0.5,
+            epsilon,
+        },
+        1 => QueryKind::LaplaceSum { epsilon },
+        2 => QueryKind::Select {
+            bins: 1 + (aux as usize % 12),
+            epsilon,
+            strategy: if aux.is_multiple_of(2) {
+                SelectStrategy::Exponential
+            } else {
+                SelectStrategy::PermuteAndFlip
+            },
+        },
+        3 => QueryKind::SvtRun {
+            threshold: 5.0,
+            epsilon,
+            probes: vec![(0.0, 0.3), (0.0, 0.9)],
+        },
+        _ => QueryKind::GibbsQuantile {
+            quantile: 0.5,
+            candidates: 8,
+            epsilon,
+            draws: 1 + (aux as usize % 3),
+        },
+    };
+    QueryRequest::new(dataset, kind)
+}
+
+proptest! {
+    /// Under any request interleaving, for any cap and batch split:
+    /// no ledger exceeds its cap, the accountant total equals the sum of
+    /// outcome charges, and rejected requests contribute exactly zero.
+    #[test]
+    fn ledger_never_overspends_under_any_interleaving(
+        cap_alpha in 0.2..3.0f64,
+        cap_beta in 0.2..3.0f64,
+        whichs in prop::collection::vec(0u8..=255, 1..40),
+        eps_raws in prop::collection::vec(0.01..0.5f64, 1..40),
+        auxs in prop::collection::vec(0u8..=255, 1..40),
+        split in 0usize..40,
+    ) {
+        let n = whichs.len().min(eps_raws.len()).min(auxs.len());
+        let requests: Vec<QueryRequest> = (0..n)
+            .map(|i| decode_request(whichs[i], eps_raws[i], auxs[i]))
+            .collect();
+
+        let mut e = Engine::new(EngineConfig::default()).unwrap();
+        let values: Vec<f64> = (0..40).map(|i| (i % 8) as f64 / 8.0).collect();
+        e.register_dataset("alpha", values.clone(), 0.0, 1.0,
+            Budget::new(cap_alpha, 1e-6).unwrap()).unwrap();
+        e.register_dataset("beta", values, 0.0, 1.0,
+            Budget::new(cap_beta, 1e-6).unwrap()).unwrap();
+
+        // Split the trace into two batches at an arbitrary point: the
+        // invariants must hold across batch boundaries too.
+        let cut = split.min(n);
+        let mut outcomes = e.run_batch(&requests[..cut]).outcomes;
+        outcomes.extend(e.run_batch(&requests[cut..]).outcomes);
+        prop_assert_eq!(outcomes.len(), n);
+
+        for (name, cap) in [("alpha", cap_alpha), ("beta", cap_beta)] {
+            let ledger = e.ledger(name).unwrap();
+            let snap = ledger.snapshot();
+            // 1. Hard cap, with only the accountant's admission slack.
+            prop_assert!(
+                snap.spent.epsilon <= cap + 1e-9,
+                "{} over-spent: {} > cap {}", name, snap.spent.epsilon, cap
+            );
+            // 2. Books balance: accountant total == sum of outcome costs.
+            let charged: f64 = outcomes
+                .iter()
+                .zip(&requests)
+                .filter(|(_, r)| r.dataset == name)
+                .map(|(o, _)| o.spent().epsilon)
+                .sum();
+            prop_assert!(
+                (snap.spent.epsilon - charged).abs() < 1e-9,
+                "{} accountant says {} but outcomes sum to {}",
+                name, snap.spent.epsilon, charged
+            );
+            // 3. History length == executed/faulted count for this dataset.
+            let charged_ops = outcomes
+                .iter()
+                .zip(&requests)
+                .filter(|(o, r)| r.dataset == name && !o.is_rejected())
+                .count();
+            prop_assert_eq!(ledger.history().len(), charged_ops);
+            // 4. Rejections really were free.
+            let rejected = outcomes
+                .iter()
+                .zip(&requests)
+                .filter(|(o, r)| r.dataset == name && o.is_rejected())
+                .count() as u64;
+            prop_assert_eq!(ledger.rejected(), rejected);
+            for (o, _) in outcomes.iter().zip(&requests).filter(|(_, r)| r.dataset == name) {
+                if o.is_rejected() {
+                    prop_assert_eq!(o.spent().epsilon, 0.0);
+                }
+            }
+        }
+    }
+
+    /// Once a cap is exhausted, every later request on that dataset is
+    /// rejected — admission can never be revived by interleaving other
+    /// datasets' traffic.
+    #[test]
+    fn exhaustion_is_permanent(
+        cap in 0.1..1.0f64,
+        eps in 0.02..0.2f64,
+        extra in 1usize..20,
+    ) {
+        let mut e = Engine::new(EngineConfig::default()).unwrap();
+        let values: Vec<f64> = (0..20).map(|i| i as f64 / 20.0).collect();
+        e.register_dataset("d", values.clone(), 0.0, 1.0,
+            Budget::new(cap, 1e-6).unwrap()).unwrap();
+        e.register_dataset("other", values, 0.0, 1.0,
+            Budget::new(10.0, 1e-6).unwrap()).unwrap();
+
+        let req = |ds: &str| QueryRequest::new(ds, QueryKind::LaplaceSum { epsilon: eps });
+        let mut exhausted = false;
+        for i in 0..(((cap / eps) as usize) + extra + 5) {
+            // Interleave unrelated traffic that must never matter.
+            if i % 3 == 1 {
+                let _ = e.submit(&req("other"));
+            }
+            let out = e.submit(&req("d"));
+            if exhausted {
+                prop_assert!(out.is_rejected(), "request {i} admitted after exhaustion");
+            } else if out.is_rejected() {
+                exhausted = true;
+            }
+        }
+        prop_assert!(exhausted, "cap {cap} was never exhausted at ε {eps} per request");
+        let snap = e.ledger("d").unwrap().snapshot();
+        prop_assert!(snap.spent.epsilon <= cap + 1e-9);
+        // The final admitted count is exactly ⌊cap/ε⌋ (within float slack).
+        let max_admits = ((cap + 1e-9) / eps) as usize;
+        prop_assert!(snap.operations <= max_admits);
+    }
+}

@@ -133,7 +133,7 @@ impl Dataset {
             });
         }
         let mut idx: Vec<usize> = (0..self.len()).collect();
-        rng.shuffle(&mut idx);
+        dplearn_numerics::rng::shuffle_in_place(rng, &mut idx);
         let cut = ((self.len() as f64 * train_fraction).round() as usize).min(idx.len());
         let (tr, te) = idx.split_at(cut);
         let train: Vec<Example> = tr

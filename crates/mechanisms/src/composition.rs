@@ -133,6 +133,61 @@ impl PrivacyAccountant {
         self.poisoned
     }
 
+    /// Poison the accountant directly: all further spends fail with
+    /// [`MechanismError::AccountantPoisoned`].
+    ///
+    /// [`PrivacyAccountant::run`] poisons automatically when a charged
+    /// closure fails; this entry point exists for executors that charge
+    /// and execute in separate phases (e.g. a batch engine that admits
+    /// requests sequentially but runs them in parallel) and must fail the
+    /// ledger closed when a mid-flight execution dies elsewhere.
+    pub fn poison(&mut self) {
+        self.poisoned = true;
+    }
+
+    /// The total budget cap this accountant enforces.
+    pub fn cap(&self) -> Budget {
+        self.cap
+    }
+
+    /// Remaining (ε, δ) before the cap, component-wise, clamped at zero.
+    ///
+    /// Unlike a trial [`PrivacyAccountant::spend`], this never mutates
+    /// state, so callers (admission controllers, dashboards) can query
+    /// headroom without risking a partial charge.
+    pub fn remaining(&self) -> Budget {
+        Budget {
+            epsilon: (self.cap.epsilon - self.spent_epsilon).max(0.0),
+            delta: (self.cap.delta - self.spent_delta).max(0.0),
+        }
+    }
+
+    /// Whether a spend of `b` would be admitted right now, without
+    /// charging anything. Mirrors the exact checks of
+    /// [`PrivacyAccountant::spend`] (poisoning, malformed charges, and
+    /// both cap components, including the same tolerances).
+    pub fn can_spend(&self, b: Budget) -> bool {
+        if self.poisoned {
+            return false;
+        }
+        if !(b.epsilon.is_finite() && b.epsilon >= 0.0 && b.delta.is_finite() && b.delta >= 0.0) {
+            return false;
+        }
+        self.spent_epsilon + b.epsilon <= self.cap.epsilon + 1e-12
+            && self.spent_delta + b.delta <= self.cap.delta + 1e-15
+    }
+
+    /// An immutable copy of the accountant's full state.
+    pub fn snapshot(&self) -> AccountantSnapshot {
+        AccountantSnapshot {
+            cap: self.cap,
+            spent: self.spent(),
+            remaining: self.remaining(),
+            operations: self.operations,
+            poisoned: self.poisoned,
+        }
+    }
+
     /// Total ε spent so far.
     pub fn spent(&self) -> Budget {
         Budget {
@@ -150,6 +205,26 @@ impl PrivacyAccountant {
     pub fn operations(&self) -> usize {
         self.operations
     }
+}
+
+/// A point-in-time view of a [`PrivacyAccountant`]: the cap, what has
+/// been spent against it, the remaining headroom, and whether the
+/// accountant has been poisoned. Produced by
+/// [`PrivacyAccountant::snapshot`]; plain copyable data suitable for
+/// reports and logs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccountantSnapshot {
+    /// The total budget cap.
+    pub cap: Budget,
+    /// Budget spent so far.
+    pub spent: Budget,
+    /// Remaining headroom (component-wise, clamped at zero).
+    pub remaining: Budget,
+    /// Number of successful spends.
+    pub operations: usize,
+    /// Whether a charged operation has failed (all further spends are
+    /// refused).
+    pub poisoned: bool,
 }
 
 #[cfg(test)]
@@ -254,6 +329,69 @@ mod tests {
         }
         // A well-formed spend still works afterwards.
         assert!(acc.spend(b(0.5, 0.0)).is_ok());
+    }
+
+    #[test]
+    fn remaining_and_snapshot_report_without_charging() {
+        let mut acc = PrivacyAccountant::new(b(1.0, 1e-5));
+        let before = acc.snapshot();
+        assert_eq!(before.cap, b(1.0, 1e-5));
+        assert_eq!(before.spent.epsilon, 0.0);
+        assert_eq!(before.remaining, b(1.0, 1e-5));
+        assert_eq!(before.operations, 0);
+        assert!(!before.poisoned);
+
+        acc.spend(b(0.25, 4e-6)).unwrap();
+        let rem = acc.remaining();
+        assert!((rem.epsilon - 0.75).abs() < 1e-12);
+        assert!((rem.delta - 6e-6).abs() < 1e-18);
+        let snap = acc.snapshot();
+        assert!((snap.spent.epsilon - 0.25).abs() < 1e-12);
+        assert_eq!(snap.operations, 1);
+
+        // Reading state must not change it: repeated snapshots agree and
+        // the accountant still admits exactly what it did before.
+        assert_eq!(acc.snapshot(), snap);
+        assert_eq!(acc.operations(), 1);
+
+        // Remaining clamps at zero once overspent to tolerance.
+        acc.spend(b(0.75, 6e-6)).unwrap();
+        assert_eq!(acc.remaining().epsilon, 0.0);
+        assert!(acc.remaining().delta < 1e-18);
+    }
+
+    #[test]
+    fn can_spend_mirrors_spend_without_mutation() {
+        let mut acc = PrivacyAccountant::new(b(1.0, 1e-6));
+        assert!(acc.can_spend(b(1.0, 1e-6)));
+        assert!(!acc.can_spend(b(1.01, 0.0)));
+        assert!(!acc.can_spend(b(0.1, 2e-6)));
+        assert!(!acc.can_spend(Budget {
+            epsilon: f64::NAN,
+            delta: 0.0,
+        }));
+        assert!(!acc.can_spend(Budget {
+            epsilon: -0.1,
+            delta: 0.0,
+        }));
+        // Trial queries never charge.
+        assert_eq!(acc.operations(), 0);
+        assert_eq!(acc.spent().epsilon, 0.0);
+
+        // Agreement with the real spend on a boundary case.
+        assert!(acc.can_spend(b(0.6, 0.0)));
+        acc.spend(b(0.6, 0.0)).unwrap();
+        assert!(acc.can_spend(b(0.4, 0.0)));
+        assert!(!acc.can_spend(b(0.41, 0.0)));
+        assert!(acc.spend(b(0.41, 0.0)).is_err());
+
+        // Poisoning closes the trial gate too.
+        acc.poison();
+        assert!(!acc.can_spend(Budget {
+            epsilon: 0.0,
+            delta: 0.0,
+        }));
+        assert!(acc.snapshot().poisoned);
     }
 
     #[test]

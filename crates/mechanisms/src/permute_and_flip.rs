@@ -66,7 +66,7 @@ impl PermuteAndFlip {
         let q_star = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let mut order: Vec<usize> = (0..scores.len()).collect();
         loop {
-            rng.shuffle(&mut order);
+            dplearn_numerics::rng::shuffle_in_place(rng, &mut order);
             for &i in &order {
                 let accept = (t * (scores[i] - q_star)).exp();
                 if rng.next_bool(accept) {

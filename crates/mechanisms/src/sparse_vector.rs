@@ -88,6 +88,114 @@ impl AboveThreshold {
     pub fn is_exhausted(&self) -> bool {
         self.exhausted
     }
+
+    /// Capture the session's resumable state.
+    ///
+    /// The noisy threshold is the only secret the mechanism carries
+    /// between queries; the query-noise scale is public calibration and
+    /// the exhaustion flag is public output. Persisting and later
+    /// [`resume`](AboveThreshold::resume)-ing a session is therefore
+    /// privacy-neutral: the suspended interaction continues under the
+    /// same ε guarantee as if it had never paused. (Fresh query noise is
+    /// drawn after resumption, which the SVT analysis already assumes —
+    /// query noise is drawn independently per query.)
+    ///
+    /// **Handle with care:** the state embeds the noisy threshold, which
+    /// must not be released to the analyst (only `Below`/`Above` answers
+    /// are public). Treat a suspended session like the live mechanism.
+    pub fn suspend(&self) -> SvtSessionState {
+        SvtSessionState {
+            noisy_threshold: self.noisy_threshold,
+            query_scale: self.query_noise.scale(),
+            exhausted: self.exhausted,
+        }
+    }
+
+    /// Rebuild a session from a previously
+    /// [`suspend`](AboveThreshold::suspend)-ed state, validating it.
+    pub fn resume(state: SvtSessionState) -> Result<Self> {
+        if !state.noisy_threshold.is_finite() {
+            return Err(MechanismError::InvalidParameter {
+                name: "noisy_threshold",
+                reason: format!("must be finite, got {}", state.noisy_threshold),
+            });
+        }
+        let query_noise = Laplace::new(0.0, state.query_scale)?;
+        Ok(AboveThreshold {
+            noisy_threshold: state.noisy_threshold,
+            query_noise,
+            exhausted: state.exhausted,
+        })
+    }
+}
+
+/// Serializable state of a suspended [`AboveThreshold`] session.
+///
+/// Plain copyable data: persist it however you like, or use the
+/// fixed-width [`to_bytes`](SvtSessionState::to_bytes) /
+/// [`from_bytes`](SvtSessionState::from_bytes) encoding for transport.
+/// See [`AboveThreshold::suspend`] for the privacy contract.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvtSessionState {
+    /// The (secret) noisy threshold drawn at session start.
+    pub noisy_threshold: f64,
+    /// Laplace scale of the per-query noise (`4Δ/ε`).
+    pub query_scale: f64,
+    /// Whether the single positive report has been spent.
+    pub exhausted: bool,
+}
+
+impl SvtSessionState {
+    /// Length of the [`to_bytes`](SvtSessionState::to_bytes) encoding.
+    pub const ENCODED_LEN: usize = 17;
+
+    /// Fixed-width little-endian encoding: two `f64`s then one flag byte.
+    pub fn to_bytes(&self) -> [u8; Self::ENCODED_LEN] {
+        let mut out = [0u8; Self::ENCODED_LEN];
+        out[..8].copy_from_slice(&self.noisy_threshold.to_le_bytes());
+        out[8..16].copy_from_slice(&self.query_scale.to_le_bytes());
+        out[16] = u8::from(self.exhausted);
+        out
+    }
+
+    /// Decode a [`to_bytes`](SvtSessionState::to_bytes) buffer. Rejects
+    /// wrong lengths and malformed flag bytes; numeric validation happens
+    /// in [`AboveThreshold::resume`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let arr: &[u8; Self::ENCODED_LEN] =
+            bytes
+                .try_into()
+                .map_err(|_| MechanismError::InvalidParameter {
+                    name: "bytes",
+                    reason: format!("expected {} bytes, got {}", Self::ENCODED_LEN, bytes.len()),
+                })?;
+        let f64_at = |range: std::ops::Range<usize>| {
+            arr.get(range)
+                .and_then(|s| <[u8; 8]>::try_from(s).ok())
+                .map(f64::from_le_bytes)
+        };
+        let (Some(noisy_threshold), Some(query_scale)) = (f64_at(0..8), f64_at(8..16)) else {
+            return Err(MechanismError::InvalidParameter {
+                name: "bytes",
+                reason: "internal slicing failed".to_string(),
+            });
+        };
+        let exhausted = match arr[16] {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(MechanismError::InvalidParameter {
+                    name: "bytes",
+                    reason: format!("exhausted flag must be 0 or 1, got {other}"),
+                })
+            }
+        };
+        Ok(SvtSessionState {
+            noisy_threshold,
+            query_scale,
+            exhausted,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -136,6 +244,66 @@ mod tests {
                 AboveThreshold::new(eps, 1.0, bad, &mut rng).is_err(),
                 "threshold {bad} must be rejected"
             );
+        }
+    }
+
+    #[test]
+    fn suspend_resume_round_trips_and_preserves_exhaustion() {
+        let mut rng = Xoshiro256::seed_from(21);
+        let eps = Epsilon::new(2.0).unwrap();
+        let svt = AboveThreshold::new(eps, 1.0, 5.0, &mut rng).unwrap();
+        let state = svt.suspend();
+        assert!(!state.exhausted);
+        assert!((state.query_scale - 4.0 / 2.0).abs() < 1e-12);
+
+        // Resume and keep querying: a clearly-below probe answers Below,
+        // a clearly-above probe fires, and the fired flag survives a
+        // second suspend/resume round trip.
+        let mut resumed = AboveThreshold::resume(state).unwrap();
+        assert_eq!(resumed.query(-1000.0, &mut rng).unwrap(), SvtAnswer::Below);
+        assert_eq!(resumed.query(1000.0, &mut rng).unwrap(), SvtAnswer::Above);
+        let fired = resumed.suspend();
+        assert!(fired.exhausted);
+        let mut resumed_again = AboveThreshold::resume(fired).unwrap();
+        assert!(resumed_again.is_exhausted());
+        assert!(resumed_again.query(0.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn session_state_byte_encoding_round_trips() {
+        let state = SvtSessionState {
+            noisy_threshold: -3.25,
+            query_scale: 8.0,
+            exhausted: true,
+        };
+        let bytes = state.to_bytes();
+        assert_eq!(bytes.len(), SvtSessionState::ENCODED_LEN);
+        assert_eq!(SvtSessionState::from_bytes(&bytes).unwrap(), state);
+
+        // Wrong length and malformed flag bytes are rejected.
+        assert!(SvtSessionState::from_bytes(&bytes[..16]).is_err());
+        let mut bad = bytes;
+        bad[16] = 7;
+        assert!(SvtSessionState::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn resume_validates_state() {
+        for bad_threshold in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(AboveThreshold::resume(SvtSessionState {
+                noisy_threshold: bad_threshold,
+                query_scale: 1.0,
+                exhausted: false,
+            })
+            .is_err());
+        }
+        for bad_scale in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(AboveThreshold::resume(SvtSessionState {
+                noisy_threshold: 0.0,
+                query_scale: bad_scale,
+                exhausted: false,
+            })
+            .is_err());
         }
     }
 

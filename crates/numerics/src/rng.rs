@@ -78,11 +78,27 @@ pub trait Rng {
     }
 
     /// Shuffle a slice in place with the Fisher–Yates algorithm.
-    fn shuffle<T>(&mut self, xs: &mut [T]) {
+    ///
+    /// `Self: Sized` keeps the trait dyn-compatible (generic methods
+    /// cannot live in a vtable); call it on concrete generators, or
+    /// reborrow `&mut *dyn_rng` through a `Rng for &mut R` adapter.
+    fn shuffle<T>(&mut self, xs: &mut [T])
+    where
+        Self: Sized,
+    {
         for i in (1..xs.len()).rev() {
             let j = self.next_index(i + 1);
             xs.swap(i, j);
         }
+    }
+}
+
+/// Shuffle a slice in place with Fisher–Yates. Free-function form of
+/// [`Rng::shuffle`] usable through unsized generators (`&mut dyn Rng`).
+pub fn shuffle_in_place<R: Rng + ?Sized, T>(rng: &mut R, xs: &mut [T]) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.next_index(i + 1);
+        xs.swap(i, j);
     }
 }
 

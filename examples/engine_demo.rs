@@ -1,0 +1,145 @@
+//! End-to-end tour of the `dplearn-engine` serving subsystem.
+//!
+//! Registers a synthetic dataset behind a privacy-budget ledger, serves
+//! mixed query batches until admission control exhausts the budget,
+//! hosts a suspend/resume sparse-vector session, and prints the final
+//! `EngineReport` — the budget trace converted into the paper's
+//! mutual-information leakage bounds.
+//!
+//! Run with: `cargo run --release --example engine_demo`
+
+use dplearn::engine::engine::{Engine, EngineConfig};
+use dplearn::engine::request::{
+    NoisyMaxNoise, QueryKind, QueryOutcome, QueryRequest, SelectStrategy,
+};
+use dplearn::mechanisms::privacy::Budget;
+use dplearn::numerics::rng::{Rng, Xoshiro256};
+
+fn describe(out: &QueryOutcome) -> String {
+    match out {
+        QueryOutcome::Executed { value, cost, .. } => {
+            format!("executed (ε = {:.2}): {value:?}", cost.epsilon)
+        }
+        QueryOutcome::Rejected { error } => format!("REJECTED, zero spend: {error}"),
+        QueryOutcome::Faulted { error, cost, .. } => {
+            format!("FAULTED after charging ε = {:.2}: {error}", cost.epsilon)
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A synthetic "incomes" dataset: 2 000 records in [0, 1], bimodal.
+    let mut rng = Xoshiro256::seed_from(42);
+    let values: Vec<f64> = (0..2000)
+        .map(|i| {
+            let center = if i % 3 == 0 { 0.25 } else { 0.65 };
+            (center + 0.12 * (rng.next_f64() - 0.5)).clamp(0.0, 1.0)
+        })
+        .collect();
+
+    let mut engine = Engine::new(EngineConfig::default())?;
+    engine.register_dataset("incomes", values, 0.0, 1.0, Budget::new(2.0, 1e-6)?)?;
+    println!("registered `incomes` with budget cap ε = 2.0");
+    println!("mechanisms on offer: {:?}\n", engine.registry().names());
+
+    // --- Batch 1: a mixed workload, every built-in mechanism. --------
+    let batch = vec![
+        QueryRequest::new(
+            "incomes",
+            QueryKind::LaplaceCount {
+                lo: 0.0,
+                hi: 0.4,
+                epsilon: 0.2,
+            },
+        ),
+        QueryRequest::new("incomes", QueryKind::LaplaceSum { epsilon: 0.2 }),
+        QueryRequest::new(
+            "incomes",
+            QueryKind::Select {
+                bins: 10,
+                epsilon: 0.2,
+                strategy: SelectStrategy::PermuteAndFlip,
+            },
+        ),
+        QueryRequest::new(
+            "incomes",
+            QueryKind::NoisyMax {
+                bins: 10,
+                epsilon: 0.2,
+                noise: NoisyMaxNoise::Laplace,
+            },
+        ),
+        QueryRequest::new(
+            "incomes",
+            QueryKind::GibbsQuantile {
+                quantile: 0.5,
+                candidates: 51,
+                epsilon: 0.1,
+                draws: 3,
+            },
+        ),
+    ];
+    println!("--- batch 1: mixed workload ---");
+    let report = engine.run_batch(&batch);
+    for (req, out) in batch.iter().zip(&report.outcomes) {
+        println!("  {:<14} {}", req.kind.mechanism_name(), describe(out));
+    }
+    println!(
+        "  batch spent ε = {:.2} ({} executed / {} rejected)\n",
+        report.spent_epsilon(),
+        report.executed(),
+        report.rejected(),
+    );
+
+    // --- A hosted SVT session, suspended and resumed. ----------------
+    println!("--- sparse-vector session (whole session costs ε = 0.4) ---");
+    let session = engine.svt_open("incomes", 150.0, 0.4)?;
+    let probes = [(0.00, 0.05), (0.10, 0.15), (0.20, 0.30)];
+    let (first, rest) = probes.split_at(1);
+    for &(lo, hi) in first {
+        println!(
+            "  probe [{lo:.2}, {hi:.2}] → {:?}",
+            engine.svt_query(session, lo, hi)?
+        );
+    }
+    // Suspend mid-session (e.g. to persist across a restart)…
+    let (dataset, state) = engine.svt_suspend(session)?;
+    println!("  suspended → {} bytes of state", state.to_bytes().len());
+    // …and pick up exactly where we left off, at no extra budget.
+    let session = engine.svt_resume(&dataset, state)?;
+    for &(lo, hi) in rest {
+        match engine.svt_query(session, lo, hi) {
+            Ok(answer) => println!("  probe [{lo:.2}, {hi:.2}] → {answer:?}"),
+            Err(e) => {
+                println!("  probe [{lo:.2}, {hi:.2}] → session over: {e}");
+                break;
+            }
+        }
+    }
+    let _ = engine.svt_close(session);
+    println!();
+
+    // --- Batch 2: drive the ledger to exhaustion. --------------------
+    println!("--- batch 2: repeat counts until admission control says no ---");
+    let greedy: Vec<QueryRequest> = (0..8)
+        .map(|i| {
+            QueryRequest::new(
+                "incomes",
+                QueryKind::LaplaceCount {
+                    lo: 0.1 * i as f64,
+                    hi: 0.1 * i as f64 + 0.1,
+                    epsilon: 0.15,
+                },
+            )
+        })
+        .collect();
+    let report = engine.run_batch(&greedy);
+    for (i, out) in report.outcomes.iter().enumerate() {
+        println!("  count #{i}: {}", describe(out));
+    }
+    println!();
+
+    // --- The ledger's verdict. ---------------------------------------
+    println!("{}", engine.report());
+    Ok(())
+}

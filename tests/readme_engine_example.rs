@@ -1,0 +1,43 @@
+//! Compile-and-run check for the serving-engine example in README.md
+//! ("Serving queries"). If this test breaks, update the README.
+
+use dplearn::engine::engine::{Engine, EngineConfig};
+use dplearn::engine::request::{QueryKind, QueryRequest, SelectStrategy};
+use dplearn::mechanisms::privacy::Budget;
+use dplearn::DplearnError;
+
+#[test]
+fn readme_engine_example_runs_as_written() -> Result<(), DplearnError> {
+    let mut engine = Engine::new(EngineConfig::default())?;
+    let records: Vec<f64> = (0..500).map(|i| (i % 50) as f64 / 50.0).collect();
+    engine.register_dataset("ages", records, 0.0, 1.0, Budget::new(1.0, 1e-6)?)?;
+
+    let report = engine.run_batch(&[
+        QueryRequest::new(
+            "ages",
+            QueryKind::LaplaceCount {
+                lo: 0.0,
+                hi: 0.5,
+                epsilon: 0.3,
+            },
+        ),
+        QueryRequest::new(
+            "ages",
+            QueryKind::Select {
+                bins: 10,
+                epsilon: 0.4,
+                strategy: SelectStrategy::PermuteAndFlip,
+            },
+        ),
+        // 0.7 spent, 0.3 left — this one is rejected and spends nothing:
+        QueryRequest::new("ages", QueryKind::LaplaceSum { epsilon: 0.5 }),
+    ]);
+    assert_eq!(report.executed(), 2);
+    assert_eq!(report.rejected(), 1);
+
+    // The ledger's verdict: spent ε per track, and the MI bound n·ε.
+    let leak = &engine.report().datasets[0];
+    assert!((leak.basic.epsilon - 0.7).abs() < 1e-9);
+    assert!((leak.mi_bound_nats - 500.0 * 0.7).abs() < 1e-6);
+    Ok(())
+}

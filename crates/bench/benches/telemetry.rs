@@ -1,0 +1,205 @@
+//! Telemetry overhead on the engine's batch hot path, with a
+//! machine-readable `BENCH_telemetry.json` artifact.
+//!
+//! Three measurements:
+//!
+//! 1. The batch with the default `NoopRecorder` (the uninstrumented
+//!    configuration every caller gets for free).
+//! 2. The same batch with a `MemoryRecorder` attached (full counters,
+//!    gauges, histograms, spans).
+//! 3. A microbenchmark of the per-event cost of dispatching to
+//!    `NoopRecorder` through `&dyn Recorder`, scaled by the *exact*
+//!    number of recorder calls a batch makes (counted with a probe
+//!    recorder) to give the estimated share of batch wall time the
+//!    no-op instrumentation costs — the `noop_overhead_percent` the
+//!    acceptance bar holds below 3%.
+//!
+//! Not a criterion harness: the run *is* the measurement, so CI can
+//! treat it as a smoke test and scrape the JSON. Results are written to
+//! `BENCH_telemetry.json` (override via `DPLEARN_BENCH_JSON`); workload
+//! size via `DPLEARN_BENCH_RECORDS` / `DPLEARN_BENCH_REQUESTS`.
+
+use dplearn::engine::engine::{Engine, EngineConfig};
+use dplearn::engine::request::{QueryKind, QueryRequest, SelectStrategy};
+use dplearn::mechanisms::privacy::Budget;
+use dplearn::telemetry::{MemoryRecorder, NoopRecorder, Recorder};
+use std::hint::black_box;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Generous enough that no request is ever rejected: rejections would
+/// make the compared runs do different work.
+const CAP_EPS: f64 = 1e9;
+
+fn build_engine(records: usize) -> Engine {
+    let mut e = Engine::new(EngineConfig::default()).unwrap();
+    let values: Vec<f64> = (0..records)
+        .map(|i| ((i * 31) % 1000) as f64 / 1000.0)
+        .collect();
+    e.register_dataset(
+        "shard0",
+        values,
+        0.0,
+        1.0,
+        Budget::new(CAP_EPS, 1e-6).unwrap(),
+    )
+    .unwrap();
+    e
+}
+
+/// Same mixed workload shape as the engine bench, on one dataset.
+fn build_batch(requests: usize) -> Vec<QueryRequest> {
+    (0..requests)
+        .map(|i| {
+            let kind = match i % 4 {
+                0 => QueryKind::LaplaceCount {
+                    lo: 0.0,
+                    hi: 0.5,
+                    epsilon: 0.1,
+                },
+                1 => QueryKind::Select {
+                    bins: 64,
+                    epsilon: 0.1,
+                    strategy: SelectStrategy::PermuteAndFlip,
+                },
+                2 => QueryKind::GibbsQuantile {
+                    quantile: 0.5,
+                    candidates: 257,
+                    epsilon: 0.05,
+                    draws: 4,
+                },
+                _ => QueryKind::SvtRun {
+                    threshold: 100.0,
+                    epsilon: 0.2,
+                    probes: vec![(0.0, 0.2), (0.0, 0.5), (0.0, 0.9)],
+                },
+            };
+            QueryRequest::new("shard0", kind)
+        })
+        .collect()
+}
+
+/// Median wall time of one full batch under the given recorder (`None`
+/// leaves the engine's default `NoopRecorder` in place), in seconds.
+fn time_batch(
+    records: usize,
+    batch: &[QueryRequest],
+    reps: usize,
+    recorder: Option<Arc<dyn Recorder>>,
+) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            // Fresh engine per rep: ledgers are charged by each run.
+            let mut engine = build_engine(records);
+            if let Some(r) = &recorder {
+                engine.set_recorder(Arc::clone(r));
+            }
+            let start = Instant::now();
+            let report = engine.run_batch(batch);
+            let dt = start.elapsed().as_secs_f64();
+            assert_eq!(
+                report.executed(),
+                batch.len(),
+                "workload must execute fully for a fair measurement"
+            );
+            black_box(report);
+            dt
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// Counts every recorder call the *disabled* path makes (it reports
+/// `enabled() == false`, exactly like `NoopRecorder`), so the noop
+/// microbenchmark can be scaled by the true per-batch event count.
+struct CountingDisabled(AtomicU64);
+
+impl Recorder for CountingDisabled {
+    fn enabled(&self) -> bool {
+        self.0.fetch_add(1, Ordering::Relaxed);
+        false
+    }
+    fn counter_add(&self, _name: &'static str, _label: &str, _delta: u64) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+    fn gauge_set(&self, _name: &'static str, _label: &str, _value: f64) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+    fn histogram_record(&self, _name: &'static str, _label: &str, _value: f64) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+    fn span_begin(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed);
+        0
+    }
+    fn span_end(&self, _name: &'static str, _label: &str, _begin: u64) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Per-event cost of a dynamic dispatch into `NoopRecorder`, in nanos.
+fn noop_event_nanos(events: u64) -> f64 {
+    let recorder: &dyn Recorder = black_box(&NoopRecorder);
+    let start = Instant::now();
+    for i in 0..events {
+        recorder.counter_add("bench.telemetry.event", "", black_box(i & 1));
+    }
+    start.elapsed().as_secs_f64() * 1e9 / events as f64
+}
+
+fn main() {
+    let records: usize = std::env::var("DPLEARN_BENCH_RECORDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    let requests: usize = std::env::var("DPLEARN_BENCH_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let reps = 5usize;
+    let batch = build_batch(requests);
+
+    // Exact number of recorder calls the noop path receives per batch.
+    let probe = Arc::new(CountingDisabled(AtomicU64::new(0)));
+    {
+        let mut engine = build_engine(records);
+        engine.set_recorder(probe.clone() as Arc<dyn Recorder>);
+        let report = engine.run_batch(&batch);
+        assert_eq!(report.executed(), batch.len());
+    }
+    let events_per_batch = probe.0.load(Ordering::Relaxed);
+
+    let noop = time_batch(records, &batch, reps, None);
+    let memory = time_batch(records, &batch, reps, Some(Arc::new(MemoryRecorder::new())));
+    let per_event = noop_event_nanos(20_000_000);
+
+    let noop_overhead_percent = events_per_batch as f64 * per_event / (noop * 1e9) * 100.0;
+    let memory_overhead_percent = (memory - noop) / noop * 100.0;
+
+    println!("telemetry on engine batch: {requests} requests × {records} records");
+    println!("  noop recorder:   {noop:.4} s");
+    println!("  memory recorder: {memory:.4} s  ({memory_overhead_percent:+.2}% vs noop)");
+    println!(
+        "  noop events/batch: {events_per_batch}  @ {per_event:.2} ns/event \
+         → {noop_overhead_percent:.4}% of batch wall time"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"telemetry_overhead\",\n  \
+         \"records_per_dataset\": {records},\n  \"requests\": {requests},\n  \
+         \"reps\": {reps},\n  \"events_per_batch\": {events_per_batch},\n  \
+         \"noop_event_nanos\": {per_event:.4},\n  \
+         \"noop_seconds\": {noop:.6},\n  \"memory_seconds\": {memory:.6},\n  \
+         \"noop_overhead_percent\": {noop_overhead_percent:.4},\n  \
+         \"memory_overhead_percent\": {memory_overhead_percent:.4}\n}}\n"
+    );
+    let path =
+        std::env::var("DPLEARN_BENCH_JSON").unwrap_or_else(|_| "BENCH_telemetry.json".to_string());
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

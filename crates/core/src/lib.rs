@@ -80,6 +80,7 @@ pub use dplearn_numerics as numerics;
 pub use dplearn_pacbayes as pacbayes;
 pub use dplearn_parallel as parallel;
 pub use dplearn_robust as robust;
+pub use dplearn_telemetry as telemetry;
 
 /// Errors produced by the core layer.
 #[derive(Debug, Clone, PartialEq)]

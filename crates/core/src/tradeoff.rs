@@ -77,7 +77,7 @@ pub fn epsilon_sweep<P: Predictor + Sync, L: Loss + Sync>(
             expected_empirical_risk: lc.expected_empirical_risk(),
             expected_true_risk: true_risk,
             mi_nats: lc.mutual_information(),
-            mi_bound_nats: dp_bounds::mi_bound_nats(eps, n),
+            mi_bound_nats: dp_bounds::mi_bound_nats(eps, n)?,
             leakage_bits: leakage::min_entropy_leakage_bits(&lc.channel),
             realized_epsilon: lc.neighbor_privacy_level(&space),
         });

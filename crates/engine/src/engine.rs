@@ -31,11 +31,24 @@ use dplearn_numerics::rng::{Rng, SplitMix64, Xoshiro256};
 use dplearn_parallel::par_map;
 use dplearn_robust::fault::FaultClass;
 use dplearn_robust::retry::RetryPolicy;
-use std::collections::BTreeMap;
+use dplearn_telemetry::{NoopRecorder, Recorder, SpanTimer};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Classify a released scalar against the fault taxonomy. `None` means
 /// the value is a healthy finite float.
+/// Stable, allocation-free label for a fault class (used as the dynamic
+/// dimension of the `engine.faults` counter).
+fn fault_label(class: FaultClass) -> &'static str {
+    match class {
+        FaultClass::Nan => "nan",
+        FaultClass::PosInf => "pos_inf",
+        FaultClass::NegInf => "neg_inf",
+        FaultClass::Subnormal => "subnormal",
+        FaultClass::ExtremeMagnitude => "extreme_magnitude",
+    }
+}
+
 fn classify_release(v: f64) -> Option<FaultClass> {
     if v.is_nan() {
         Some(FaultClass::Nan)
@@ -104,6 +117,7 @@ pub struct Engine {
     sessions: BTreeMap<u64, SvtHostedSession>,
     batch_counter: u64,
     session_counter: u64,
+    recorder: Arc<dyn Recorder>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -135,7 +149,22 @@ impl Engine {
             sessions: BTreeMap::new(),
             batch_counter: 0,
             session_counter: 0,
+            recorder: Arc::new(NoopRecorder),
         })
+    }
+
+    /// Install a telemetry sink. The default is
+    /// [`NoopRecorder`], whose per-event cost is a short-circuiting
+    /// virtual call. Only *values* recorded from sequential control
+    /// paths land here, so recorded metrics are bit-identical at any
+    /// `DPLEARN_THREADS` (span timings excluded by design).
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = recorder;
+    }
+
+    /// The installed telemetry sink.
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.recorder
     }
 
     /// Register an additional mechanism (open registry).
@@ -209,22 +238,37 @@ impl Engine {
     /// RNG stream `i` of this batch's seed, whether its neighbours were
     /// admitted or not.
     pub fn run_batch(&mut self, requests: &[QueryRequest]) -> BatchReport {
+        let recorder = Arc::clone(&self.recorder);
+        let _batch_span = SpanTimer::new(recorder.as_ref(), "engine.batch.wall", "");
+        recorder.counter_add("engine.batches", "", 1);
+        recorder.counter_add("engine.requests.submitted", "", requests.len() as u64);
+
         let batch_seed = self.next_batch_seed();
         let max_attempts = self.config.retry.max_attempts.max(1);
 
         // Phase 1 — sequential admission in submission order. Charges
         // land here, before any execution, so concurrent execution can
         // never over-spend and rejection order is deterministic.
+        // (Telemetry is recorded from this sequential loop — never from
+        // phase 2's worker closures — which is what makes recorded
+        // values thread-count invariant.)
         let streams = Xoshiro256::jump_streams(batch_seed, requests.len());
         let mut slots: Vec<Option<QueryOutcome>> = Vec::with_capacity(requests.len());
         let mut work: Vec<Option<impl_detail::AdmittedAlias>> = Vec::with_capacity(requests.len());
         for (req, rng) in requests.iter().zip(streams) {
             match self.admit_one(req, rng) {
                 Ok(admitted) => {
+                    recorder.counter_add("engine.requests.admitted", "", 1);
+                    recorder.histogram_record(
+                        "engine.request.epsilon",
+                        &req.dataset,
+                        admitted.cost.epsilon,
+                    );
                     slots.push(None);
                     work.push(Some(admitted));
                 }
                 Err(error) => {
+                    recorder.counter_add("engine.requests.rejected", "", 1);
                     if let Some(entry) = self.datasets.get_mut(&req.dataset) {
                         entry.ledger.note_rejection();
                     }
@@ -268,16 +312,25 @@ impl Engine {
                 |w| w.cost,
             );
             match result {
-                Some(Ok((value, attempts))) => outcomes.push(QueryOutcome::Executed {
-                    value,
-                    cost,
-                    attempts,
-                }),
+                Some(Ok((value, attempts))) => {
+                    recorder.counter_add("engine.requests.executed", "", 1);
+                    recorder.counter_add("engine.retries", "", attempts.saturating_sub(1) as u64);
+                    outcomes.push(QueryOutcome::Executed {
+                        value,
+                        cost,
+                        attempts,
+                    });
+                }
                 Some(Err((error, attempts))) => {
                     let fault = match &error {
                         EngineError::NonFiniteRelease(class) => Some(*class),
                         _ => None,
                     };
+                    recorder.counter_add("engine.requests.faulted", "", 1);
+                    recorder.counter_add("engine.retries", "", attempts.saturating_sub(1) as u64);
+                    if let Some(class) = fault {
+                        recorder.counter_add("engine.faults", fault_label(class), 1);
+                    }
                     if let Some(entry) = self.datasets.get_mut(&req.dataset) {
                         entry.ledger.poison();
                     }
@@ -297,6 +350,47 @@ impl Engine {
                 }),
             }
         }
+        // Post-batch gauges: ε spend, remaining headroom, and the
+        // paper's MI bound for every dataset the batch touched. Guarded
+        // by `enabled()` so the NoopRecorder path skips the summary
+        // walk entirely; still sequential (submission-independent
+        // BTreeSet order), so values stay thread-count invariant.
+        if recorder.enabled() {
+            let touched: BTreeSet<&str> = requests.iter().map(|r| r.dataset.as_str()).collect();
+            for name in touched {
+                let Some(entry) = self.datasets.get(name) else {
+                    continue;
+                };
+                let snap = entry.ledger.snapshot();
+                recorder.gauge_set("engine.dataset.spent_epsilon", name, snap.spent.epsilon);
+                recorder.gauge_set(
+                    "engine.dataset.remaining_epsilon",
+                    name,
+                    snap.remaining.epsilon,
+                );
+                match self
+                    .leakage
+                    .summarize(name, entry.dataset.len(), &entry.ledger)
+                {
+                    Ok(summary) => {
+                        recorder.gauge_set(
+                            "engine.dataset.mi_bound_nats",
+                            name,
+                            summary.mi_bound_nats,
+                        );
+                        recorder.gauge_set(
+                            "engine.dataset.reported_epsilon",
+                            name,
+                            summary.reported_epsilon,
+                        );
+                    }
+                    // A corrupted trace surfaces as a typed error from
+                    // the leakage path; count it rather than lose it.
+                    Err(_) => recorder.counter_add("engine.leakage.errors", name, 1),
+                }
+            }
+        }
+
         BatchReport {
             outcomes,
             batch_seed,
@@ -477,17 +571,20 @@ impl Engine {
 
     /// The engine-wide leakage report: per-dataset budget/MI summaries
     /// plus aggregate totals.
-    pub fn report(&self) -> EngineReport {
-        let datasets: Vec<_> = self
+    ///
+    /// Errors only if a ledger's ε trace is corrupted (the leakage
+    /// path's ε→MI conversions fail closed instead of panicking).
+    pub fn report(&self) -> Result<EngineReport> {
+        let datasets = self
             .datasets
             .iter()
             .map(|(name, entry)| {
                 self.leakage
                     .summarize(name, entry.dataset.len(), &entry.ledger)
             })
-            .collect();
+            .collect::<Result<Vec<_>>>()?;
         let totals = EngineTotals::from_summaries(&datasets);
-        EngineReport {
+        Ok(EngineReport {
             datasets,
             totals,
             mechanisms: self
@@ -498,7 +595,19 @@ impl Engine {
                 .collect(),
             batches_run: self.batch_counter,
             open_sessions: self.sessions.len(),
-        }
+            telemetry: None,
+        })
+    }
+
+    /// [`Engine::report`] with the installed recorder's snapshot
+    /// attached (when the sink aggregates — the default
+    /// [`NoopRecorder`] does not, leaving `telemetry` as `None`).
+    pub fn report_with_telemetry(&self) -> Result<EngineReport> {
+        let report = self.report()?;
+        Ok(match self.recorder.snapshot() {
+            Some(snapshot) => report.with_telemetry(snapshot),
+            None => report,
+        })
     }
 }
 
@@ -703,13 +812,73 @@ mod tests {
             "b",
             QueryKind::LaplaceSum { epsilon: 0.5 },
         ));
-        let report = e.report();
+        let report = e.report().unwrap();
         assert_eq!(report.datasets.len(), 2);
         assert_eq!(report.totals.datasets, 2);
         assert_eq!(report.totals.operations, 2);
         assert!((report.totals.spent_epsilon - 0.75).abs() < 1e-12);
         assert!(report.totals.mi_bound_nats > 0.0);
+        assert!(report.telemetry.is_none());
         let text = report.to_string();
         assert!(text.contains("a") && text.contains("b"));
+    }
+
+    #[test]
+    fn run_batch_records_admissions_rejections_and_budget_gauges() {
+        use dplearn_telemetry::MemoryRecorder;
+
+        let mut e = engine_with("d", 1.0);
+        let recorder = Arc::new(MemoryRecorder::new());
+        e.set_recorder(recorder.clone());
+
+        let batch = vec![
+            QueryRequest::new(
+                "d",
+                QueryKind::LaplaceCount {
+                    lo: 0.0,
+                    hi: 0.5,
+                    epsilon: 0.4,
+                },
+            ),
+            QueryRequest::new("missing", QueryKind::LaplaceSum { epsilon: 0.1 }),
+            QueryRequest::new("d", QueryKind::LaplaceSum { epsilon: 0.3 }),
+        ];
+        let _ = e.run_batch(&batch);
+
+        let snap = recorder.snapshot().unwrap();
+        let counter = |key: &str| {
+            snap.counters
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(counter("engine.batches"), Some(1));
+        assert_eq!(counter("engine.requests.submitted"), Some(3));
+        assert_eq!(counter("engine.requests.admitted"), Some(2));
+        assert_eq!(counter("engine.requests.rejected"), Some(1));
+        assert_eq!(counter("engine.requests.executed"), Some(2));
+        assert_eq!(counter("engine.requests.faulted"), None);
+
+        let gauge = |key: &str| snap.gauges.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
+        let spent = gauge("engine.dataset.spent_epsilon{d}").unwrap();
+        assert!((spent - 0.7).abs() < 1e-12);
+        let remaining = gauge("engine.dataset.remaining_epsilon{d}").unwrap();
+        assert!((remaining - 0.3).abs() < 1e-12);
+        assert!(gauge("engine.dataset.mi_bound_nats{d}").unwrap() > 0.0);
+
+        // The per-request ε histogram saw both admitted costs.
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|(k, _)| k == "engine.request.epsilon{d}")
+            .map(|(_, h)| h)
+            .unwrap();
+        assert_eq!(hist.total, 2);
+        assert!((hist.sum - 0.7).abs() < 1e-12);
+
+        // And the snapshot rides along on the report.
+        let report = e.report_with_telemetry().unwrap();
+        assert_eq!(report.telemetry.as_ref(), Some(&snap));
+        assert!(report.to_string().contains("telemetry:"));
     }
 }

@@ -24,6 +24,7 @@ use crate::{EngineError, Result};
 use dplearn_infotheory::dp_bounds;
 use dplearn_mechanisms::composition::{advanced, AccountantSnapshot, PrivacyAccountant};
 use dplearn_mechanisms::privacy::Budget;
+use dplearn_numerics::special::kahan_sum;
 
 /// A fail-closed, dual-track privacy-budget ledger for one dataset.
 #[derive(Debug, Clone)]
@@ -206,33 +207,45 @@ impl LeakageLedger {
     }
 
     /// Summarize one dataset's ledger.
+    ///
+    /// The `basic` spend is recomputed from the charge history with
+    /// Kahan-compensated summation (the accountant's own running total
+    /// is incremental and drifts over long traces), and the ε→MI
+    /// conversions surface typed errors instead of panicking if the
+    /// trace is ever corrupted.
     pub fn summarize(
         &self,
         dataset: &str,
         n_records: usize,
         ledger: &BudgetLedger,
-    ) -> LeakageSummary {
+    ) -> Result<LeakageSummary> {
         let snap = ledger.snapshot();
+        // Reported numbers come from a compensated re-sum of the exact
+        // charge history; enforcement stays on the accountant's track.
+        let basic = Budget {
+            epsilon: kahan_sum(ledger.history().iter().map(|b| b.epsilon)),
+            delta: kahan_sum(ledger.history().iter().map(|b| b.delta)),
+        };
         let advanced = ledger.advanced_spent(self.delta_prime).unwrap_or(None);
         let (reported_epsilon, reported_delta) = match advanced {
-            Some(adv) if adv.epsilon < snap.spent.epsilon => (adv.epsilon, adv.delta),
-            _ => (snap.spent.epsilon, snap.spent.delta),
+            Some(adv) if adv.epsilon < basic.epsilon => (adv.epsilon, adv.delta),
+            _ => (basic.epsilon, basic.delta),
         };
-        LeakageSummary {
+        Ok(LeakageSummary {
             dataset: dataset.to_string(),
             n_records,
-            basic: snap.spent,
+            basic,
             advanced,
             reported_epsilon,
             reported_delta,
-            mi_bound_nats: dp_bounds::mi_bound_nats(reported_epsilon, n_records),
-            mi_bound_bits: dp_bounds::mi_bound_bits(reported_epsilon, n_records),
-            per_record_bound_nats: dp_bounds::per_record_mi_bound_nats(reported_epsilon),
+            mi_bound_nats: dp_bounds::mi_bound_nats(reported_epsilon, n_records)?,
+            mi_bound_bits: dp_bounds::mi_bound_bits(reported_epsilon, n_records)?,
+            per_record_bound_nats: dp_bounds::per_record_mi_bound_nats(reported_epsilon)?,
             operations: snap.operations,
             rejected: ledger.rejected(),
             faulted: ledger.faulted(),
             poisoned: snap.poisoned,
-        }
+        })
     }
 }
 
@@ -299,7 +312,10 @@ mod tests {
         for _ in 0..100 {
             l.charge("d", b(0.05, 0.0)).unwrap();
         }
-        let leak = LeakageLedger::new(1e-6).unwrap().summarize("d", 50, &l);
+        let leak = LeakageLedger::new(1e-6)
+            .unwrap()
+            .summarize("d", 50, &l)
+            .unwrap();
         assert_eq!(leak.n_records, 50);
         assert!((leak.basic.epsilon - 5.0).abs() < 1e-9);
         assert!(leak.reported_epsilon < leak.basic.epsilon);
@@ -310,7 +326,10 @@ mod tests {
         // A single large charge: basic wins, bound uses it exactly.
         let mut one = BudgetLedger::new(b(2.0, 0.0));
         one.charge("d", b(1.0, 0.0)).unwrap();
-        let leak1 = LeakageLedger::new(1e-6).unwrap().summarize("d", 10, &one);
+        let leak1 = LeakageLedger::new(1e-6)
+            .unwrap()
+            .summarize("d", 10, &one)
+            .unwrap();
         assert!((leak1.reported_epsilon - 1.0).abs() < 1e-12);
         assert!((leak1.mi_bound_nats - 10.0).abs() < 1e-9);
         assert_eq!(leak1.per_record_bound_nats, leak1.reported_epsilon);

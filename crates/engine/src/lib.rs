@@ -56,7 +56,7 @@
 //! let report = engine.run_batch(&batch);
 //! assert!(report.outcomes.iter().all(|o| o.is_executed()));
 //! // The leakage ledger bounds what the two answers revealed about `ages`.
-//! let leak = engine.report();
+//! let leak = engine.report().unwrap();
 //! assert!(leak.datasets[0].mi_bound_nats > 0.0);
 //! ```
 
@@ -121,6 +121,9 @@ pub enum EngineError {
     /// A mechanism released a non-finite value; the engine classifies it
     /// against the fault taxonomy and fails the query closed.
     NonFiniteRelease(FaultClass),
+    /// An information-theoretic conversion failed (e.g. the leakage
+    /// ledger fed a corrupted ε into the MI bounds).
+    Info(dplearn_infotheory::InfoError),
     /// An underlying mechanism failed.
     Mechanism(dplearn_mechanisms::MechanismError),
     /// An underlying PAC-Bayes routine failed.
@@ -159,6 +162,7 @@ impl std::fmt::Display for EngineError {
             EngineError::NonFiniteRelease(class) => {
                 write!(f, "mechanism released a non-finite value ({class})")
             }
+            EngineError::Info(e) => write!(f, "info-theory error: {e}"),
             EngineError::Mechanism(e) => write!(f, "mechanism error: {e}"),
             EngineError::PacBayes(e) => write!(f, "pac-bayes error: {e}"),
             EngineError::Numerics(e) => write!(f, "numerics error: {e}"),
@@ -170,12 +174,19 @@ impl std::fmt::Display for EngineError {
 impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            EngineError::Info(e) => Some(e),
             EngineError::Mechanism(e) => Some(e),
             EngineError::PacBayes(e) => Some(e),
             EngineError::Numerics(e) => Some(e),
             EngineError::Robust(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<dplearn_infotheory::InfoError> for EngineError {
+    fn from(e: dplearn_infotheory::InfoError) -> Self {
+        EngineError::Info(e)
     }
 }
 

@@ -3,6 +3,8 @@
 
 use crate::ledger::LeakageSummary;
 use crate::request::QueryOutcome;
+use dplearn_numerics::special::kahan_sum;
+use dplearn_telemetry::TelemetrySnapshot;
 
 /// The result of one [`Engine::run_batch`](crate::engine::Engine::run_batch)
 /// call: per-request outcomes in submission order plus the batch's
@@ -32,8 +34,10 @@ impl BatchReport {
     }
 
     /// Total ε this batch spent (executed + faulted requests).
+    /// Kahan-compensated so long batches agree with the ledger's own
+    /// compensated totals instead of drifting term by term.
     pub fn spent_epsilon(&self) -> f64 {
-        self.outcomes.iter().map(|o| o.spent().epsilon).sum()
+        kahan_sum(self.outcomes.iter().map(|o| o.spent().epsilon))
     }
 }
 
@@ -58,7 +62,9 @@ pub struct EngineTotals {
 }
 
 impl EngineTotals {
-    /// Fold per-dataset summaries into engine totals.
+    /// Fold per-dataset summaries into engine totals. The ε and MI
+    /// accumulations are Kahan-compensated, matching every other ε
+    /// accumulation in the workspace.
     pub fn from_summaries(summaries: &[LeakageSummary]) -> Self {
         let mut t = EngineTotals {
             datasets: summaries.len(),
@@ -74,9 +80,9 @@ impl EngineTotals {
             t.rejected += s.rejected;
             t.faulted += s.faulted;
             t.poisoned += usize::from(s.poisoned);
-            t.spent_epsilon += s.basic.epsilon;
-            t.mi_bound_nats += s.mi_bound_nats;
         }
+        t.spent_epsilon = kahan_sum(summaries.iter().map(|s| s.basic.epsilon));
+        t.mi_bound_nats = kahan_sum(summaries.iter().map(|s| s.mi_bound_nats));
         t
     }
 }
@@ -95,6 +101,20 @@ pub struct EngineReport {
     pub batches_run: u64,
     /// Currently open SVT sessions.
     pub open_sessions: usize,
+    /// Telemetry snapshot attached via
+    /// [`with_telemetry`](Self::with_telemetry), if any. Snapshot
+    /// equality follows [`TelemetrySnapshot`]'s contract: values are
+    /// compared bit-exactly, wall-clock timings are ignored.
+    pub telemetry: Option<TelemetrySnapshot>,
+}
+
+impl EngineReport {
+    /// Attach a telemetry snapshot to this report (builder-style).
+    #[must_use]
+    pub fn with_telemetry(mut self, snapshot: TelemetrySnapshot) -> Self {
+        self.telemetry = Some(snapshot);
+        self
+    }
 }
 
 impl std::fmt::Display for EngineReport {
@@ -145,7 +165,18 @@ impl std::fmt::Display for EngineReport {
             self.totals.poisoned,
             self.totals.spent_epsilon,
             self.totals.mi_bound_nats
-        )
+        )?;
+        if let Some(t) = &self.telemetry {
+            write!(
+                f,
+                "\ntelemetry: {} counter(s), {} gauge(s), {} histogram(s), {} timing(s)",
+                t.counters.len(),
+                t.gauges.len(),
+                t.histograms.len(),
+                t.timings.len()
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -200,6 +231,7 @@ mod tests {
             mechanisms: vec!["laplace_count".to_string()],
             batches_run: 4,
             open_sessions: 1,
+            telemetry: None,
         };
         let text = report.to_string();
         assert!(text.contains("alpha"));

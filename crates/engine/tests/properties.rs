@@ -183,3 +183,73 @@ proptest! {
         prop_assert!(snap.operations <= max_admits);
     }
 }
+
+/// Regression for the naive-summation drift bug: over a 10⁴-query batch
+/// the report totals must agree with a Kahan-compensated re-sum of the
+/// ledger's own charge history — bit for bit, since both sides now use
+/// the same compensated path — rather than inheriting the accountant's
+/// incremental running total.
+#[test]
+fn kahan_report_totals_agree_with_ledger_over_ten_thousand_queries() {
+    use dplearn_numerics::special::kahan_sum;
+
+    let mut engine = Engine::new(EngineConfig::default()).unwrap();
+    let values: Vec<f64> = (0..100).map(|i| (i % 10) as f64 / 10.0).collect();
+    engine
+        .register_dataset("alpha", values, 0.0, 1.0, Budget::new(1e9, 1e-6).unwrap())
+        .unwrap();
+
+    let batch: Vec<QueryRequest> = (0..10_000)
+        .map(|i| {
+            // Tiny, deliberately awkward ε per query: repeated addition
+            // of these drifts visibly under naive summation.
+            let epsilon = 1e-3 + 1e-10 * (i % 997) as f64;
+            QueryRequest::new(
+                "alpha",
+                QueryKind::LaplaceCount {
+                    lo: 0.0,
+                    hi: 0.5,
+                    epsilon,
+                },
+            )
+        })
+        .collect();
+    let report = engine.run_batch(&batch);
+    assert_eq!(report.executed(), 10_000);
+
+    let ledger = engine.ledger("alpha").unwrap();
+    let history_kahan = kahan_sum(ledger.history().iter().map(|b| b.epsilon));
+
+    // The batch report's compensated total is bit-identical to a
+    // compensated re-sum of the ledger's charge history (same values,
+    // same order, same algorithm)…
+    assert_eq!(report.spent_epsilon().to_bits(), history_kahan.to_bits());
+
+    // …and the engine-wide report totals take the same compensated path.
+    let engine_report = engine.report().unwrap();
+    assert_eq!(
+        engine_report.totals.spent_epsilon.to_bits(),
+        history_kahan.to_bits()
+    );
+    assert_eq!(
+        engine_report.datasets[0].basic.epsilon.to_bits(),
+        history_kahan.to_bits()
+    );
+
+    // The accountant's incremental track (the enforcing side) still sums
+    // naively in charge order — the drifting baseline this bug was
+    // about. It must stay within float noise of the compensated truth,
+    // and the reports no longer inherit its drift.
+    let snap = ledger.snapshot();
+    let naive_resum = ledger
+        .history()
+        .iter()
+        .map(|b| b.epsilon)
+        .fold(0.0f64, |acc, x| acc + x);
+    assert_eq!(
+        snap.spent.epsilon.to_bits(),
+        naive_resum.to_bits(),
+        "enforcing track is (still) a naive incremental sum"
+    );
+    assert!((snap.spent.epsilon - history_kahan).abs() < 1e-9);
+}

@@ -61,7 +61,7 @@ fn main() {
         let mi = lc.mutual_information();
         // Capacity = leakage under the adversary's worst-case prior on Ẑ.
         let capacity = dplearn::infotheory::capacity::capacity_of(&lc.channel, 1e-9).unwrap();
-        let upper = dplearn::infotheory::dp_bounds::mi_bound_nats(eps, n);
+        let upper = dplearn::infotheory::dp_bounds::mi_bound_nats(eps, n).unwrap();
         let bayes = channel_input_bayes_error(&lc.channel);
         let fano = channel_input_reconstruction_error_bound(&lc.channel).unwrap();
         let vuln = posterior_vulnerability(&lc.channel);

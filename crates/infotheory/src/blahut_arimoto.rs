@@ -21,6 +21,7 @@ use crate::channel::DiscreteChannel;
 use crate::{validate_distribution, InfoError, Result};
 use dplearn_numerics::special::{kahan_sum, log_sum_exp, xlogx_over_y};
 use dplearn_robust::{ConvergenceReport, RetryPolicy};
+use dplearn_telemetry::{NoopRecorder, Recorder};
 
 /// Result of a Blahut–Arimoto run.
 #[derive(Debug, Clone)]
@@ -98,11 +99,15 @@ fn ba_iterate(
     tol: f64,
     max_iters: usize,
     mut r: Vec<f64>,
+    recorder: &dyn Recorder,
 ) -> BaState {
     let ny = r.len();
     let mut kernel = vec![vec![0.0; ny]; source.len()];
     let mut gap = f64::INFINITY;
     let mut iterations = 0;
+    // Hoisted so the noop path pays one virtual call per run, not one
+    // per iteration.
+    let observe = recorder.enabled();
     // Fixed chunk sizes (independent of the worker count — part of the
     // determinism contract; see dplearn-parallel). Row updates are
     // per-row independent, and the marginal is accumulated per *column*
@@ -167,6 +172,12 @@ fn ba_iterate(
             .map(|(&a, &b)| (a - b).abs())
             .fold(0.0, f64::max);
         r = new_r;
+        // Recorded from the sequential outer loop: the gap sequence is
+        // a pure function of (source, distortion, beta, r₀), so the
+        // histogram is bit-identical at every thread count.
+        if observe {
+            recorder.histogram_record("infotheory.ba.gap", "", gap);
+        }
         if gap < tol {
             break;
         }
@@ -221,7 +232,7 @@ pub fn blahut_arimoto(
     let ny = validate_ba(source, distortion, beta)?;
     // Start from the uniform output marginal.
     let r = vec![1.0 / ny as f64; ny];
-    let state = ba_iterate(source, distortion, beta, tol, max_iters, r);
+    let state = ba_iterate(source, distortion, beta, tol, max_iters, r, &NoopRecorder);
     if !state.converged {
         return Err(InfoError::DidNotConverge {
             iterations: state.iterations,
@@ -255,6 +266,27 @@ pub fn blahut_arimoto_with_retry(
     tol: f64,
     policy: &RetryPolicy,
 ) -> Result<(RateDistortion, ConvergenceReport)> {
+    blahut_arimoto_with_retry_recorded(source, distortion, beta, tol, policy, &NoopRecorder)
+}
+
+/// [`blahut_arimoto_with_retry`] with telemetry: every outer-loop ℓ∞
+/// marginal gap lands in the `infotheory.ba.gap` histogram, each damped
+/// restart bumps the `infotheory.ba.restarts` counter, and the run ends
+/// with `infotheory.ba.iterations` (total across attempts), an
+/// `infotheory.ba.final_gap` gauge, and either an `infotheory.ba.runs`
+/// or `infotheory.ba.nonconverged` counter.
+///
+/// The recorder never influences the iteration — all metrics come from
+/// the sequential outer loop, so recorded values are bit-identical at
+/// every `DPLEARN_THREADS` setting.
+pub fn blahut_arimoto_with_retry_recorded(
+    source: &[f64],
+    distortion: &[Vec<f64>],
+    beta: f64,
+    tol: f64,
+    policy: &RetryPolicy,
+    recorder: &dyn Recorder,
+) -> Result<(RateDistortion, ConvergenceReport)> {
     policy.validate().map_err(|e| InfoError::InvalidParameter {
         name: "policy",
         reason: e.to_string(),
@@ -263,9 +295,10 @@ pub fn blahut_arimoto_with_retry(
     let uniform = 1.0 / ny as f64;
     let mut r = vec![uniform; ny];
     let mut total_iterations = 0usize;
+    let observe = recorder.enabled();
     for attempt in 0..policy.max_attempts {
         let budget = policy.budget_for(attempt);
-        let state = ba_iterate(source, distortion, beta, tol, budget, r);
+        let state = ba_iterate(source, distortion, beta, tol, budget, r, recorder);
         total_iterations = total_iterations.saturating_add(state.iterations);
         if state.converged {
             let report = ConvergenceReport {
@@ -275,16 +308,28 @@ pub fn blahut_arimoto_with_retry(
                 total_iterations,
                 final_residual: state.gap,
             };
+            if observe {
+                recorder.counter_add("infotheory.ba.runs", "", 1);
+                recorder.counter_add("infotheory.ba.iterations", "", total_iterations as u64);
+                recorder.gauge_set("infotheory.ba.final_gap", "", state.gap);
+            }
             let rd = ba_finalize(source, distortion, state, total_iterations)?;
             return Ok((rd, report));
         }
         // Damped re-initialization: mix the failed marginal back toward
         // uniform. Mixing two normalized distributions stays normalized.
+        if observe && attempt + 1 < policy.max_attempts {
+            recorder.counter_add("infotheory.ba.restarts", "", 1);
+        }
         r = state
             .r
             .iter()
             .map(|&ri| (1.0 - policy.damping) * ri + policy.damping * uniform)
             .collect();
+    }
+    if observe {
+        recorder.counter_add("infotheory.ba.nonconverged", "", 1);
+        recorder.counter_add("infotheory.ba.iterations", "", total_iterations as u64);
     }
     Err(InfoError::DidNotConverge {
         iterations: total_iterations,
@@ -517,6 +562,84 @@ mod tests {
             blahut_arimoto_with_retry(&[0.5, 0.5], &hamming(2), 1.0, 1e-9, &bad),
             Err(InfoError::InvalidParameter { name: "policy", .. })
         ));
+    }
+
+    #[test]
+    fn recorded_retry_matches_plain_and_traces_the_gap() {
+        use dplearn_telemetry::MemoryRecorder;
+        let source = [0.2, 0.8];
+        let distortion = hamming(2);
+        let (beta, tol) = (5.0, 1e-13);
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_iters: 2,
+            growth: 4.0,
+            damping: 0.5,
+        };
+        let recorder = MemoryRecorder::new();
+        let (plain, plain_rep) =
+            blahut_arimoto_with_retry(&source, &distortion, beta, tol, &policy).unwrap();
+        let (rd, rep) =
+            blahut_arimoto_with_retry_recorded(&source, &distortion, beta, tol, &policy, &recorder)
+                .unwrap();
+        // Observing the run must not change it.
+        assert_eq!(rd.rate.to_bits(), plain.rate.to_bits());
+        assert_eq!(rep, plain_rep);
+        assert!(
+            rep.attempts > 1,
+            "premise: small base budget forces restarts"
+        );
+
+        let snap = recorder.snapshot().unwrap();
+        let counter = |key: &str| {
+            snap.counters
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|&(_, v)| v)
+        };
+        assert_eq!(counter("infotheory.ba.runs"), Some(1));
+        assert_eq!(
+            counter("infotheory.ba.restarts"),
+            Some(rep.attempts as u64 - 1)
+        );
+        assert_eq!(
+            counter("infotheory.ba.iterations"),
+            Some(rep.total_iterations as u64)
+        );
+        // One gap observation per outer iteration across all attempts.
+        let gap = snap
+            .histograms
+            .iter()
+            .find(|(k, _)| k == "infotheory.ba.gap")
+            .map(|(_, h)| h)
+            .unwrap();
+        assert_eq!(
+            gap.total + gap.non_finite,
+            rep.total_iterations as u64,
+            "one gap point per iteration"
+        );
+        // Non-convergence is itself observable.
+        let starved = RetryPolicy {
+            max_attempts: 2,
+            base_iters: 1,
+            growth: 1.0,
+            damping: 0.0,
+        };
+        let rec2 = MemoryRecorder::new();
+        assert!(blahut_arimoto_with_retry_recorded(
+            &source,
+            &distortion,
+            beta,
+            1e-15,
+            &starved,
+            &rec2
+        )
+        .is_err());
+        let snap2 = rec2.snapshot().unwrap();
+        assert!(snap2
+            .counters
+            .iter()
+            .any(|(k, v)| k == "infotheory.ba.nonconverged" && *v == 1));
     }
 
     #[test]

@@ -16,32 +16,56 @@
 //! concentrated posteriors — experiment E7 reports both sides to show the
 //! slack — but it is the cleanly provable anchor connecting the privacy
 //! parameter to the paper's mutual-information story.
+//!
+//! These conversions sit on the engine's leakage path
+//! (`LeakageLedger`), so per the workspace panic-free policy they
+//! return typed [`InfoError`]s instead of asserting: a negative or NaN
+//! ε from a corrupted ledger must surface as a `Result`, not a panic
+//! mid-report. `ε = +∞` is **accepted** — advanced composition
+//! legitimately yields an infinite ε when `1/δ′` overflows, and the
+//! bound `∞` is still a (vacuously) correct bound.
 
-/// Upper bound on `I(Ẑ; θ)` in **nats** for an ε-DP mechanism on a sample
-/// of `n` records.
-pub fn mi_bound_nats(epsilon: f64, n: usize) -> f64 {
-    assert!(epsilon >= 0.0, "epsilon must be nonnegative");
-    epsilon * n as f64
+use crate::{InfoError, Result};
+
+fn validate_epsilon(epsilon: f64) -> Result<f64> {
+    if epsilon.is_nan() || epsilon < 0.0 {
+        return Err(InfoError::InvalidParameter {
+            name: "epsilon",
+            reason: format!("must be nonnegative (or +inf), got {epsilon}"),
+        });
+    }
+    Ok(epsilon)
 }
 
-/// Upper bound on `I(Ẑ; θ)` in **bits**.
-pub fn mi_bound_bits(epsilon: f64, n: usize) -> f64 {
-    mi_bound_nats(epsilon, n) / std::f64::consts::LN_2
+/// Upper bound on `I(Ẑ; θ)` in **nats** for an ε-DP mechanism on a sample
+/// of `n` records. Errors on NaN or negative ε.
+pub fn mi_bound_nats(epsilon: f64, n: usize) -> Result<f64> {
+    let eps = validate_epsilon(epsilon)?;
+    // 0·∞ would be NaN; n = 0 records leak exactly nothing.
+    if n == 0 {
+        return Ok(0.0);
+    }
+    Ok(eps * n as f64)
+}
+
+/// Upper bound on `I(Ẑ; θ)` in **bits**. Errors on NaN or negative ε.
+pub fn mi_bound_bits(epsilon: f64, n: usize) -> Result<f64> {
+    Ok(mi_bound_nats(epsilon, n)? / std::f64::consts::LN_2)
 }
 
 /// Per-record bound: `I(Zᵢ; θ | Z₍₋ᵢ₎) ≤ ε` nats. Exposed for
 /// completeness and used in tests against exactly computable channels.
-pub fn per_record_mi_bound_nats(epsilon: f64) -> f64 {
-    assert!(epsilon >= 0.0, "epsilon must be nonnegative");
-    epsilon
+/// Errors on NaN or negative ε.
+pub fn per_record_mi_bound_nats(epsilon: f64) -> Result<f64> {
+    validate_epsilon(epsilon)
 }
 
 /// KL bound: any two output distributions of an ε-DP mechanism on
 /// neighboring inputs satisfy `KL(p ‖ q) ≤ ε` nats (since
 /// `KL(p‖q) = E_p ln(p/q) ≤ sup ln(p/q) ≤ ε`). Helper for tests.
-pub fn neighbor_kl_bound_nats(epsilon: f64) -> f64 {
-    assert!(epsilon >= 0.0, "epsilon must be nonnegative");
-    epsilon
+/// Errors on NaN or negative ε.
+pub fn neighbor_kl_bound_nats(epsilon: f64) -> Result<f64> {
+    validate_epsilon(epsilon)
 }
 
 #[cfg(test)]
@@ -51,9 +75,10 @@ mod tests {
 
     #[test]
     fn bounds_scale_linearly() {
-        assert_eq!(mi_bound_nats(0.5, 10), 5.0);
-        assert!((mi_bound_bits(1.0, 2) - 2.0 / std::f64::consts::LN_2).abs() < 1e-12);
-        assert_eq!(per_record_mi_bound_nats(0.3), 0.3);
+        assert_eq!(mi_bound_nats(0.5, 10).unwrap(), 5.0);
+        assert!((mi_bound_bits(1.0, 2).unwrap() - 2.0 / std::f64::consts::LN_2).abs() < 1e-12);
+        assert_eq!(per_record_mi_bound_nats(0.3).unwrap(), 0.3);
+        assert_eq!(neighbor_kl_bound_nats(0.3).unwrap(), 0.3);
     }
 
     #[test]
@@ -68,7 +93,7 @@ mod tests {
             assert!((c.max_row_log_ratio() - eps).abs() < 1e-9);
             let mi = c.mutual_information();
             assert!(
-                mi <= per_record_mi_bound_nats(eps) + 1e-12,
+                mi <= per_record_mi_bound_nats(eps).unwrap() + 1e-12,
                 "ε={eps}: MI {mi} exceeds bound"
             );
         }
@@ -85,12 +110,47 @@ mod tests {
             DiscreteChannel::new(vec![0.5, 0.5], vec![vec![p, 1.0 - p], vec![1.0 - p, p]]).unwrap();
         let mi = c.mutual_information();
         assert!(mi < eps * eps); // quadratic behaviour
-        assert!(mi <= per_record_mi_bound_nats(eps));
+        assert!(mi <= per_record_mi_bound_nats(eps).unwrap());
     }
 
     #[test]
-    #[should_panic(expected = "nonnegative")]
-    fn negative_epsilon_panics() {
-        let _ = mi_bound_nats(-1.0, 5);
+    fn invalid_epsilon_is_a_typed_error_not_a_panic() {
+        for bad in [-1.0, -f64::MIN_POSITIVE, f64::NAN, f64::NEG_INFINITY] {
+            for res in [
+                mi_bound_nats(bad, 5),
+                mi_bound_bits(bad, 5),
+                per_record_mi_bound_nats(bad),
+                neighbor_kl_bound_nats(bad),
+            ] {
+                assert!(
+                    matches!(
+                        res,
+                        Err(InfoError::InvalidParameter {
+                            name: "epsilon",
+                            ..
+                        })
+                    ),
+                    "ε={bad}: expected InvalidParameter, got {res:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn infinite_epsilon_is_accepted() {
+        // Advanced composition can legitimately report ε = ∞ (1/δ′
+        // overflow); the MI bound degrades to the vacuous ∞, not an error.
+        assert_eq!(mi_bound_nats(f64::INFINITY, 3).unwrap(), f64::INFINITY);
+        assert_eq!(mi_bound_nats(f64::INFINITY, 0).unwrap(), 0.0);
+        assert_eq!(
+            per_record_mi_bound_nats(f64::INFINITY).unwrap(),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn zero_records_leak_nothing() {
+        assert_eq!(mi_bound_nats(0.7, 0).unwrap(), 0.0);
+        assert_eq!(mi_bound_bits(0.7, 0).unwrap(), 0.0);
     }
 }

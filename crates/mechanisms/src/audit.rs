@@ -18,6 +18,7 @@
 use crate::{MechanismError, Result};
 use dplearn_numerics::rng::{Rng, Xoshiro256};
 use dplearn_numerics::stats::Histogram;
+use dplearn_telemetry::{NoopRecorder, Recorder, SpanTimer};
 
 /// Outcome of a privacy audit on one neighbor pair.
 #[derive(Debug, Clone, Copy)]
@@ -280,6 +281,32 @@ where
     F: Fn(&mut Xoshiro256) -> usize + Sync,
     G: Fn(&mut Xoshiro256) -> usize + Sync,
 {
+    audit_discrete_par_recorded(mech_d, mech_d_prime, support_size, cfg, seed, &NoopRecorder)
+}
+
+/// [`audit_discrete_par`] with telemetry: counts audit runs, trials, and
+/// chunks under the `mechanisms.audit.*` names (label `discrete`),
+/// records the estimated ε̂ in the
+/// `mechanisms.audit.empirical_epsilon{discrete}` histogram, and times
+/// the whole audit with a `mechanisms.audit.wall{discrete}` span.
+///
+/// All values are recorded after the chunk counts are merged in chunk
+/// order, so recorded values are bit-identical at every
+/// `DPLEARN_THREADS` setting (span timings are wall-clock and excluded
+/// from snapshot comparison by design).
+pub fn audit_discrete_par_recorded<F, G>(
+    mech_d: F,
+    mech_d_prime: G,
+    support_size: usize,
+    cfg: &AuditConfig,
+    seed: u64,
+    recorder: &dyn Recorder,
+) -> Result<AuditResult>
+where
+    F: Fn(&mut Xoshiro256) -> usize + Sync,
+    G: Fn(&mut Xoshiro256) -> usize + Sync,
+{
+    let _span = SpanTimer::new(recorder, "mechanisms.audit.wall", "discrete");
     if support_size == 0 {
         return Err(MechanismError::InvalidParameter {
             name: "support_size",
@@ -312,6 +339,12 @@ where
         },
     );
     let eps = smoothed_max_log_ratio(&counts_d, &counts_dp, cfg.trials);
+    if recorder.enabled() {
+        recorder.counter_add("mechanisms.audit.runs", "discrete", 1);
+        recorder.counter_add("mechanisms.audit.trials", "discrete", cfg.trials);
+        recorder.counter_add("mechanisms.audit.chunks", "discrete", cfg.n_chunks() as u64);
+        recorder.histogram_record("mechanisms.audit.empirical_epsilon", "discrete", eps);
+    }
     Ok(AuditResult {
         empirical_epsilon: eps,
         trials: cfg.trials,
@@ -337,6 +370,28 @@ where
     F: Fn(&mut Xoshiro256) -> f64 + Sync,
     G: Fn(&mut Xoshiro256) -> f64 + Sync,
 {
+    audit_continuous_par_recorded(mech_d, mech_d_prime, lo, hi, bins, cfg, seed, &NoopRecorder)
+}
+
+/// [`audit_continuous_par`] with telemetry — the continuous counterpart
+/// of [`audit_discrete_par_recorded`], reporting under the same
+/// `mechanisms.audit.*` names with label `continuous`.
+#[allow(clippy::too_many_arguments)]
+pub fn audit_continuous_par_recorded<F, G>(
+    mech_d: F,
+    mech_d_prime: G,
+    lo: f64,
+    hi: f64,
+    bins: usize,
+    cfg: &AuditConfig,
+    seed: u64,
+    recorder: &dyn Recorder,
+) -> Result<AuditResult>
+where
+    F: Fn(&mut Xoshiro256) -> f64 + Sync,
+    G: Fn(&mut Xoshiro256) -> f64 + Sync,
+{
+    let _span = SpanTimer::new(recorder, "mechanisms.audit.wall", "continuous");
     cfg.validate()?;
     // Validate the histogram domain once up front (typed error) so
     // worker chunks cannot fail; chunks clone this empty prototype.
@@ -366,6 +421,16 @@ where
         },
     );
     let eps = tail_max_log_ratio(&counts_d, &counts_dp, cfg.trials);
+    if recorder.enabled() {
+        recorder.counter_add("mechanisms.audit.runs", "continuous", 1);
+        recorder.counter_add("mechanisms.audit.trials", "continuous", cfg.trials);
+        recorder.counter_add(
+            "mechanisms.audit.chunks",
+            "continuous",
+            cfg.n_chunks() as u64,
+        );
+        recorder.histogram_record("mechanisms.audit.empirical_epsilon", "continuous", eps);
+    }
     Ok(AuditResult {
         empirical_epsilon: eps,
         trials: cfg.trials,
@@ -743,6 +808,73 @@ mod tests {
         let four = run();
         dplearn_parallel::set_thread_count(0);
         assert_eq!(one, four);
+    }
+
+    #[test]
+    fn recorded_audits_match_plain_and_count_trials() {
+        use dplearn_telemetry::MemoryRecorder;
+        let eps = Epsilon::new(1.0).unwrap();
+        let m = LaplaceMechanism::new(eps, 1.0).unwrap();
+        let cfg = AuditConfig::new(20_000).with_chunk_size(1 << 10);
+        let recorder = MemoryRecorder::new();
+        let plain = audit_continuous_par(
+            |r| m.release(0.0, r),
+            |r| m.release(1.0, r),
+            -6.0,
+            7.0,
+            30,
+            &cfg,
+            9,
+        )
+        .unwrap();
+        let observed = audit_continuous_par_recorded(
+            |r| m.release(0.0, r),
+            |r| m.release(1.0, r),
+            -6.0,
+            7.0,
+            30,
+            &cfg,
+            9,
+            &recorder,
+        )
+        .unwrap();
+        // Observing the audit must not change it.
+        assert_eq!(
+            observed.empirical_epsilon.to_bits(),
+            plain.empirical_epsilon.to_bits()
+        );
+        let _ =
+            audit_discrete_par_recorded(|_r| 0usize, |_r| 0usize, 2, &cfg, 9, &recorder).unwrap();
+
+        let snap = recorder.snapshot().unwrap();
+        let counter = |key: &str| {
+            snap.counters
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|&(_, v)| v)
+        };
+        assert_eq!(counter("mechanisms.audit.runs{continuous}"), Some(1));
+        assert_eq!(counter("mechanisms.audit.trials{continuous}"), Some(20_000));
+        assert_eq!(counter("mechanisms.audit.chunks{continuous}"), Some(20));
+        assert_eq!(counter("mechanisms.audit.runs{discrete}"), Some(1));
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|(k, _)| k == "mechanisms.audit.empirical_epsilon{continuous}")
+            .map(|(_, h)| h)
+            .unwrap();
+        assert_eq!(hist.total, 1);
+        assert_eq!(
+            hist.sum.to_bits(),
+            plain.empirical_epsilon.to_bits(),
+            "single observation: sum is the ε̂ itself"
+        );
+        // The wall-clock span is captured (value not compared — timings
+        // are excluded from snapshot equality by design).
+        assert!(snap
+            .timings
+            .iter()
+            .any(|(k, t)| k == "mechanisms.audit.wall{continuous}" && t.count == 1));
     }
 
     #[test]

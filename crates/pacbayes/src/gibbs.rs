@@ -19,6 +19,7 @@ use crate::posterior::{DiagGaussian, FinitePosterior};
 use crate::{PacBayesError, Result};
 use dplearn_numerics::rng::Rng;
 use dplearn_robust::ConvergenceReport;
+use dplearn_telemetry::{NoopRecorder, Recorder};
 
 /// The exact Gibbs posterior over a finite class:
 /// `π̂_λ(i) ∝ π(i)·exp(−λ·risks[i])`, computed in log space.
@@ -331,6 +332,26 @@ where
         n_chains: usize,
         seed: u64,
     ) -> Result<(ChainPool, MultiChainDiagnostics)> {
+        self.sample_chains_recorded(n_chains, seed, &NoopRecorder)
+    }
+
+    /// [`MetropolisGibbs::sample_chains`] with telemetry: per-chain
+    /// acceptance rates (`pacbayes.mcmc.chain.acceptance` histogram),
+    /// pooled acceptance (`pacbayes.mcmc.pooled_acceptance` gauge), the
+    /// worst-dimension R̂ (`pacbayes.mcmc.rhat` histogram), and run/chain
+    /// counters.
+    ///
+    /// All metrics are recorded from the sequential pooling path after
+    /// the parallel chains are merged in chain order, so recorded
+    /// *values* are bit-identical at every `DPLEARN_THREADS` setting
+    /// (span timings are wall-clock and excluded from snapshot
+    /// comparison by design).
+    pub fn sample_chains_recorded(
+        &self,
+        n_chains: usize,
+        seed: u64,
+        recorder: &dyn Recorder,
+    ) -> Result<(ChainPool, MultiChainDiagnostics)> {
         if n_chains == 0 {
             return Err(PacBayesError::InvalidParameter {
                 name: "n_chains",
@@ -353,6 +374,23 @@ where
             per_chain.push(diag);
         }
         let diagnostics = pool_diagnostics(&chains, per_chain, d, n);
+        if recorder.enabled() {
+            recorder.counter_add("pacbayes.mcmc.runs", "", 1);
+            recorder.counter_add("pacbayes.mcmc.chains", "", n_chains as u64);
+            for diag in &diagnostics.per_chain {
+                recorder.histogram_record(
+                    "pacbayes.mcmc.chain.acceptance",
+                    "",
+                    diag.acceptance_rate,
+                );
+            }
+            recorder.gauge_set(
+                "pacbayes.mcmc.pooled_acceptance",
+                "",
+                diagnostics.pooled_acceptance,
+            );
+            recorder.histogram_record("pacbayes.mcmc.rhat", "", worst_rhat(&diagnostics.rhat));
+        }
         Ok((chains, diagnostics))
     }
 
@@ -380,8 +418,32 @@ where
         seed: u64,
         wd: &WatchdogConfig,
     ) -> Result<(ChainPool, MultiChainDiagnostics, ConvergenceReport)> {
+        self.sample_chains_watched_recorded(n_chains, seed, wd, &NoopRecorder)
+    }
+
+    /// [`MetropolisGibbs::sample_chains_watched`] with telemetry: on top
+    /// of the base-run metrics of
+    /// [`MetropolisGibbs::sample_chains_recorded`], records the R̂
+    /// residual observed after every attempt
+    /// (`pacbayes.mcmc.rhat.trajectory` histogram), each proposal
+    /// widening (`pacbayes.mcmc.widening_events` counter plus the number
+    /// of re-run chains in `pacbayes.mcmc.rerun_chains`), the final
+    /// attempt count and residual, and whether the pool was returned
+    /// degraded.
+    ///
+    /// The watchdog's retry decisions never depend on the recorder, and
+    /// every metric is recorded from the sequential retry loop — the
+    /// recorded values inherit the thread-count invariance of the
+    /// underlying sampler.
+    pub fn sample_chains_watched_recorded(
+        &self,
+        n_chains: usize,
+        seed: u64,
+        wd: &WatchdogConfig,
+        recorder: &dyn Recorder,
+    ) -> Result<(ChainPool, MultiChainDiagnostics, ConvergenceReport)> {
         wd.validate()?;
-        let (mut chains, mut diag) = self.sample_chains(n_chains, seed)?;
+        let (mut chains, mut diag) = self.sample_chains_recorded(n_chains, seed, recorder)?;
         let d = self.prior.dim();
         let n = self.cfg.n_samples;
         let per_run_iters = self.cfg.total_iterations();
@@ -395,12 +457,18 @@ where
                 total_iterations,
                 final_residual: f64::NAN,
             };
+            if recorder.enabled() {
+                recorder.counter_add("pacbayes.mcmc.attempts", "", 1);
+            }
             return Ok((chains, diag, report));
         }
 
         let mut per_chain = diag.per_chain.clone();
         let mut attempt = 1usize;
         let mut residual = worst_rhat(&diag.rhat);
+        if recorder.enabled() {
+            recorder.histogram_record("pacbayes.mcmc.rhat.trajectory", "", residual);
+        }
         while residual > wd.rhat_threshold && attempt < wd.max_attempts {
             let rerun = divergent_chains(&diag.chain_means, d);
             // Fresh, non-overlapping streams per attempt: offset the seed
@@ -444,6 +512,12 @@ where
             diag = pool_diagnostics(&chains, per_chain.clone(), d, n);
             residual = worst_rhat(&diag.rhat);
             attempt += 1;
+            if recorder.enabled() {
+                recorder.counter_add("pacbayes.mcmc.widening_events", "", 1);
+                recorder.counter_add("pacbayes.mcmc.rerun_chains", "", rerun.len() as u64);
+                recorder.gauge_set("pacbayes.mcmc.widened_step", "", widened);
+                recorder.histogram_record("pacbayes.mcmc.rhat.trajectory", "", residual);
+            }
         }
 
         let converged = residual <= wd.rhat_threshold;
@@ -454,6 +528,13 @@ where
             total_iterations,
             final_residual: residual,
         };
+        if recorder.enabled() {
+            recorder.counter_add("pacbayes.mcmc.attempts", "", attempt as u64);
+            recorder.gauge_set("pacbayes.mcmc.final_residual", "", residual);
+            if !converged {
+                recorder.counter_add("pacbayes.mcmc.degraded", "", 1);
+            }
+        }
         Ok((chains, diag, report))
     }
 }
@@ -1021,6 +1102,65 @@ mod tests {
             );
         }
         assert!(WatchdogConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn recorded_sampling_matches_plain_and_counts_widening_events() {
+        use dplearn_telemetry::MemoryRecorder;
+        let prior = DiagGaussian::isotropic(1, 3.0).unwrap();
+        let mh = bimodal_sampler(&prior, 0.05);
+        let wd = WatchdogConfig {
+            rhat_threshold: 1.2,
+            max_attempts: 4,
+            step_widen: 8.0,
+        };
+        let recorder = MemoryRecorder::new();
+        let (plain, _, plain_report) = mh.sample_chains_watched(4, 97, &wd).unwrap();
+        let (observed, _, report) = mh
+            .sample_chains_watched_recorded(4, 97, &wd, &recorder)
+            .unwrap();
+        // Observing the run must not change it.
+        assert_eq!(observed, plain);
+        assert_eq!(report, plain_report);
+        assert!(report.attempts > 1, "premise: this seed needs retries");
+
+        let snap = recorder.snapshot().unwrap();
+        let counter = |key: &str| {
+            snap.counters
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|&(_, v)| v)
+        };
+        assert_eq!(counter("pacbayes.mcmc.runs"), Some(1));
+        assert_eq!(counter("pacbayes.mcmc.chains"), Some(4));
+        assert_eq!(
+            counter("pacbayes.mcmc.attempts"),
+            Some(report.attempts as u64)
+        );
+        assert_eq!(
+            counter("pacbayes.mcmc.widening_events"),
+            Some(report.attempts as u64 - 1)
+        );
+        assert!(counter("pacbayes.mcmc.rerun_chains").unwrap_or(0) >= 1);
+        // The R̂ trajectory has one observation per attempt.
+        let traj = snap
+            .histograms
+            .iter()
+            .find(|(k, _)| k == "pacbayes.mcmc.rhat.trajectory")
+            .map(|(_, h)| h)
+            .unwrap();
+        assert_eq!(
+            traj.total + traj.non_finite,
+            report.attempts as u64,
+            "one trajectory point per attempt"
+        );
+        let final_residual = snap
+            .gauges
+            .iter()
+            .find(|(k, _)| k == "pacbayes.mcmc.final_residual")
+            .map(|&(_, v)| v)
+            .unwrap();
+        assert_eq!(final_residual.to_bits(), report.final_residual.to_bits());
     }
 
     #[test]

@@ -32,14 +32,28 @@ pub struct TunedBound {
 }
 
 /// Geometric grid of `g` temperatures spanning `[lo, hi]`.
-pub fn geometric_grid(lo: f64, hi: f64, g: usize) -> Vec<f64> {
-    assert!(g >= 1 && lo > 0.0 && lo <= hi, "need g ≥ 1 and 0 < lo ≤ hi");
-    if g == 1 {
-        return vec![(lo * hi).sqrt()];
+///
+/// Errors (no panics — this is library code on the tuning path) unless
+/// `g ≥ 1` and `0 < lo ≤ hi` with both endpoints finite.
+pub fn geometric_grid(lo: f64, hi: f64, g: usize) -> Result<Vec<f64>> {
+    if g < 1 {
+        return Err(PacBayesError::InvalidParameter {
+            name: "g",
+            reason: "grid needs at least one point".to_string(),
+        });
     }
-    (0..g)
+    if !(lo.is_finite() && hi.is_finite() && lo > 0.0 && lo <= hi) {
+        return Err(PacBayesError::InvalidParameter {
+            name: "lo/hi",
+            reason: format!("need finite 0 < lo ≤ hi, got [{lo}, {hi}]"),
+        });
+    }
+    if g == 1 {
+        return Ok(vec![(lo * hi).sqrt()]);
+    }
+    Ok((0..g)
         .map(|i| lo * (hi / lo).powf(i as f64 / (g - 1) as f64))
-        .collect()
+        .collect())
 }
 
 /// Evaluate Catoni's bound over a λ grid with a union bound and return
@@ -49,6 +63,11 @@ pub fn geometric_grid(lo: f64, hi: f64, g: usize) -> Vec<f64> {
 /// `(E_{π̂_λ}[R̂], KL(π̂_λ ‖ π))` — the caller computes the Gibbs posterior
 /// per grid point (it depends on λ). Risks must already be rescaled to
 /// `[0, 1]`; `loss_bound` and `n` are used only to report the implied ε.
+///
+/// Fails closed: an empty grid is a typed error, and a non-finite
+/// `(risk, kl)` pair from the caller's closure is rejected *before* it
+/// can flow into the bound comparison (a NaN would silently lose every
+/// `<` comparison and corrupt the argmin).
 pub fn tuned_catoni_bound<F>(
     grid: &[f64],
     n: usize,
@@ -59,26 +78,39 @@ pub fn tuned_catoni_bound<F>(
 where
     F: FnMut(f64) -> (f64, f64),
 {
-    assert!(!grid.is_empty(), "grid must be non-empty");
+    // Splitting off the first point both rejects the empty grid up
+    // front and seeds the running best, so no unreachable "empty after
+    // iterating" arm is needed.
+    let (&first, rest) = grid
+        .split_first()
+        .ok_or_else(|| PacBayesError::InvalidParameter {
+            name: "grid",
+            reason: "λ grid must be non-empty".to_string(),
+        })?;
     let delta_per_point = delta / grid.len() as f64;
-    let mut best: Option<TunedBound> = None;
-    for &lambda in grid {
+    let mut eval = |lambda: f64| -> Result<TunedBound> {
         let (risk, kl) = gibbs_risk_at(lambda);
-        let bound = catoni_bound(risk, kl, n, lambda, delta_per_point)?;
-        let cand = TunedBound {
-            bound,
+        if !(risk.is_finite() && kl.is_finite()) {
+            return Err(PacBayesError::InvalidParameter {
+                name: "gibbs_risk_at",
+                reason: format!("non-finite (risk, kl) = ({risk}, {kl}) at λ = {lambda}"),
+            });
+        }
+        Ok(TunedBound {
+            bound: catoni_bound(risk, kl, n, lambda, delta_per_point)?,
             lambda,
             delta_per_point,
             implied_epsilon: 2.0 * lambda * loss_bound / n as f64,
-        };
-        if best.is_none_or(|b| cand.bound < b.bound) {
-            best = Some(cand);
+        })
+    };
+    let mut best = eval(first)?;
+    for &lambda in rest {
+        let cand = eval(lambda)?;
+        if cand.bound < best.bound {
+            best = cand;
         }
     }
-    best.ok_or(PacBayesError::InvalidParameter {
-        name: "grid",
-        reason: "λ grid must be non-empty".to_string(),
-    })
+    Ok(best)
 }
 
 #[cfg(test)]
@@ -90,18 +122,64 @@ mod tests {
 
     #[test]
     fn geometric_grid_shape() {
-        let g = geometric_grid(1.0, 100.0, 3);
+        let g = geometric_grid(1.0, 100.0, 3).unwrap();
         assert_eq!(g.len(), 3);
         assert!((g[0] - 1.0).abs() < 1e-12);
         assert!((g[1] - 10.0).abs() < 1e-9);
         assert!((g[2] - 100.0).abs() < 1e-9);
-        assert_eq!(geometric_grid(4.0, 4.0, 1), vec![4.0]);
+        assert_eq!(geometric_grid(4.0, 4.0, 1).unwrap(), vec![4.0]);
     }
 
     #[test]
-    #[should_panic(expected = "g ≥ 1")]
-    fn geometric_grid_validates() {
-        let _ = geometric_grid(1.0, 100.0, 0);
+    fn geometric_grid_validates_with_typed_errors() {
+        for bad in [
+            geometric_grid(1.0, 100.0, 0),
+            geometric_grid(0.0, 100.0, 3),
+            geometric_grid(-1.0, 100.0, 3),
+            geometric_grid(10.0, 1.0, 3),
+            geometric_grid(1.0, f64::INFINITY, 3),
+            geometric_grid(f64::NAN, 100.0, 3),
+        ] {
+            assert!(
+                matches!(bad, Err(PacBayesError::InvalidParameter { .. })),
+                "expected InvalidParameter, got {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tuned_bound_rejects_empty_grid_and_nan_closures() {
+        let empty = tuned_catoni_bound(&[], 100, 0.05, 1.0, |_l| (0.1, 0.5));
+        assert!(matches!(
+            empty,
+            Err(PacBayesError::InvalidParameter { name: "grid", .. })
+        ));
+        // A NaN risk/KL pair must fail closed, not silently lose the
+        // argmin comparison.
+        for (risk, kl) in [(f64::NAN, 0.5), (0.1, f64::NAN), (f64::INFINITY, 0.5)] {
+            let got = tuned_catoni_bound(&[1.0, 2.0], 100, 0.05, 1.0, |_l| (risk, kl));
+            assert!(
+                matches!(
+                    got,
+                    Err(PacBayesError::InvalidParameter {
+                        name: "gibbs_risk_at",
+                        ..
+                    })
+                ),
+                "(risk, kl) = ({risk}, {kl}): got {got:?}"
+            );
+        }
+        // …even when only a later grid point degenerates.
+        let mut calls = 0;
+        let got = tuned_catoni_bound(&[1.0, 2.0, 3.0], 100, 0.05, 1.0, |_l| {
+            calls += 1;
+            if calls == 3 {
+                (f64::NAN, 0.5)
+            } else {
+                (0.1, 0.5)
+            }
+        });
+        assert!(got.is_err());
     }
 
     #[test]
@@ -115,7 +193,7 @@ mod tests {
             let g = gibbs_finite(&prior, &risks, lambda).unwrap();
             (g.expectation(&risks), kl_finite(&g, &prior).unwrap())
         };
-        let grid = geometric_grid(1.0, n as f64, 20);
+        let grid = geometric_grid(1.0, n as f64, 20).unwrap();
         let tuned = tuned_catoni_bound(&grid, n, delta, 1.0, eval).unwrap();
         // A genuinely mischosen cold temperature at FULL δ (an advantage
         // for it) is still far worse than the tuned bound.
@@ -146,7 +224,7 @@ mod tests {
 
     #[test]
     fn union_bound_costs_show_up_in_delta() {
-        let grid = geometric_grid(1.0, 100.0, 10);
+        let grid = geometric_grid(1.0, 100.0, 10).unwrap();
         let t = tuned_catoni_bound(&grid, 200, 0.05, 1.0, |_l| (0.1, 0.5)).unwrap();
         assert!((t.delta_per_point - 0.005).abs() < 1e-12);
     }

@@ -1,0 +1,63 @@
+//! Zero-dependency observability layer for the dplearn workspace.
+//!
+//! The paper's central object is a *quantity* — the mutual-information
+//! leakage implied by the privacy budget — and a production serving stack
+//! has to be able to watch that quantity (and every other runtime signal:
+//! admissions, rejections, retries, fault classes, sampler acceptance
+//! rates, solver gaps) without perturbing the computation it observes.
+//! This crate is that layer.
+//!
+//! # Design
+//!
+//! * [`Recorder`] is an object-safe trait with four instrument families:
+//!   **counters** (monotone `u64` event counts), **gauges** (last-write
+//!   `f64` levels), **fixed-bucket histograms** (`f64` value
+//!   distributions), and **span timers** (wall-clock durations). Every
+//!   method has a no-op default, so implementing a custom sink is
+//!   opt-in per instrument.
+//! * [`NoopRecorder`] is the default sink: every method is an empty
+//!   inlineable body, [`Recorder::enabled`] returns `false` so callers
+//!   can skip metric *preparation* (string formatting, summary walks),
+//!   and the path is verified **allocation-free per event** by a
+//!   property test. Disabled instrumentation costs ~nothing.
+//! * [`MemoryRecorder`] aggregates in memory behind a mutex and exports
+//!   a [`TelemetrySnapshot`] — plain sorted vectors with a stable-key
+//!   JSON rendering ([`TelemetrySnapshot::to_json`]). Timestamps are
+//!   **caller-supplied**; nothing in this crate calls `SystemTime::now`.
+//! * Time is injected through the [`Clock`] trait: [`MonotonicClock`]
+//!   for production, [`ManualClock`] for deterministic tests.
+//!
+//! # The determinism contract
+//!
+//! Instrumented dplearn code records counters, gauges, and histograms
+//! only from *sequential* control paths (batch admission and
+//! post-processing, pooled MCMC diagnostics, solver outer loops), never
+//! from inside worker closures. Recorded **values** are therefore
+//! bit-identical at every `DPLEARN_THREADS` setting. Span timings are
+//! wall-clock and excluded by design: they live in a separate field that
+//! [`TelemetrySnapshot`]'s `PartialEq` does not compare.
+//!
+//! # Metric naming
+//!
+//! Names are `&'static str` in dotted `subsystem.object.event` form
+//! (`engine.requests.admitted`, `mcmc.chains.acceptance_rate`,
+//! `ba.iteration.gap`). The free-form `label` string carries the one
+//! dynamic dimension (dataset name, fault class, chain id); snapshot
+//! keys render as `name{label}`, or bare `name` when the label is empty.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)
+)]
+
+pub mod clock;
+pub mod memory;
+pub mod recorder;
+pub mod snapshot;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use memory::{FixedHistogram, MemoryRecorder};
+pub use recorder::{NoopRecorder, Recorder, SpanTimer};
+pub use snapshot::{HistogramSnapshot, TelemetrySnapshot, TimingSnapshot};

@@ -1,0 +1,371 @@
+//! In-memory aggregating recorder.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::recorder::Recorder;
+use crate::snapshot::{metric_key, HistogramSnapshot, TelemetrySnapshot, TimingSnapshot};
+
+/// Default histogram bucket upper bounds, log-spaced to cover the
+/// workspace's natural scales (ε costs, convergence gaps, acceptance
+/// rates) when a metric has no registered buckets of its own.
+pub const DEFAULT_BUCKET_BOUNDS: [f64; 9] = [1e-4, 1e-3, 1e-2, 1e-1, 0.5, 1.0, 10.0, 100.0, 1e6];
+
+/// A histogram with fixed bucket boundaries chosen at registration time.
+///
+/// `bounds` are strictly increasing upper edges; `counts` has
+/// `bounds.len() + 1` entries, the last being the overflow bucket.
+/// Non-finite observations are tallied separately in `non_finite` and do
+/// not contribute to buckets, sum, min, or max — fixed boundaries plus
+/// quarantined non-finites keep merged snapshots exactly comparable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedHistogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    comp: f64,
+    min: f64,
+    max: f64,
+    non_finite: u64,
+}
+
+impl FixedHistogram {
+    /// A histogram with the given strictly-increasing finite upper
+    /// bounds. Returns `None` for empty, non-finite, or unordered
+    /// bounds.
+    pub fn new(bounds: &[f64]) -> Option<Self> {
+        if bounds.is_empty()
+            || bounds.iter().any(|b| !b.is_finite())
+            || bounds.windows(2).any(|w| match w {
+                [a, b] => a >= b,
+                _ => false,
+            })
+        {
+            return None;
+        }
+        Some(Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: 0.0,
+            comp: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            non_finite: 0,
+        })
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            self.non_finite += 1;
+            return;
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        if let Some(c) = self.counts.get_mut(idx) {
+            *c += 1;
+        }
+        self.total += 1;
+        // Kahan-compensated running sum: observations arrive in a
+        // deterministic sequential order, so the result is reproducible.
+        let y = value - self.comp;
+        let t = self.sum + y;
+        self.comp = (t - self.sum) - y;
+        self.sum = t;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Export as plain data.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self.counts.clone(),
+            total: self.total,
+            sum: self.sum,
+            min: (self.total > 0).then_some(self.min),
+            max: (self.total > 0).then_some(self.max),
+            non_finite: self.non_finite,
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct TimingStats {
+    count: u64,
+    total_nanos: u64,
+    min_nanos: u64,
+    max_nanos: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, FixedHistogram>,
+    timings: BTreeMap<String, TimingStats>,
+    /// Per-metric-name bucket overrides (all labels of a name share
+    /// bounds, so snapshots stay mergeable across labels).
+    buckets: BTreeMap<&'static str, Vec<f64>>,
+}
+
+/// An aggregating [`Recorder`] that keeps everything in memory behind a
+/// mutex and exports [`TelemetrySnapshot`]s.
+///
+/// Aggregation state is keyed by the rendered `name{label}` string, so
+/// snapshots come out already sorted and stable. The injected [`Clock`]
+/// feeds span timers only; counters, gauges, and histograms never touch
+/// time.
+pub struct MemoryRecorder {
+    clock: Box<dyn Clock>,
+    inner: Mutex<Inner>,
+}
+
+impl Default for MemoryRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for MemoryRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryRecorder").finish_non_exhaustive()
+    }
+}
+
+impl MemoryRecorder {
+    /// A recorder timing spans with a fresh [`MonotonicClock`].
+    pub fn new() -> Self {
+        Self::with_clock(Box::new(MonotonicClock::new()))
+    }
+
+    /// A recorder timing spans with the given clock (inject a
+    /// [`crate::ManualClock`] for deterministic timing tests).
+    pub fn with_clock(clock: Box<dyn Clock>) -> Self {
+        Self {
+            clock,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Register custom histogram bucket bounds for every label of
+    /// `name`. Must be called before the first observation of that
+    /// metric; returns `false` (and changes nothing) if the bounds are
+    /// invalid or the metric already has recorded histograms.
+    pub fn set_buckets(&self, name: &'static str, bounds: &[f64]) -> bool {
+        if FixedHistogram::new(bounds).is_none() {
+            return false;
+        }
+        let mut inner = self.lock();
+        let prefix_in_use = inner.histograms.keys().any(|k| {
+            k == name || k.starts_with(name) && k.as_bytes().get(name.len()) == Some(&b'{')
+        });
+        if prefix_in_use {
+            return false;
+        }
+        inner.buckets.insert(name, bounds.to_vec());
+        true
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned metrics mutex must not cascade panics into library
+        // code: the aggregation state is plain-old-data and remains
+        // usable, so recover the guard.
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn counter_add(&self, name: &'static str, label: &str, delta: u64) {
+        let key = metric_key(name, label);
+        let mut inner = self.lock();
+        let slot = inner.counters.entry(key).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    fn gauge_set(&self, name: &'static str, label: &str, value: f64) {
+        let key = metric_key(name, label);
+        self.lock().gauges.insert(key, value);
+    }
+
+    fn histogram_record(&self, name: &'static str, label: &str, value: f64) {
+        let key = metric_key(name, label);
+        let mut inner = self.lock();
+        if !inner.histograms.contains_key(&key) {
+            let bounds = inner
+                .buckets
+                .get(name)
+                .cloned()
+                .unwrap_or_else(|| DEFAULT_BUCKET_BOUNDS.to_vec());
+            // Bounds were validated at registration (and the defaults
+            // are valid), so construction cannot fail; skip the
+            // observation entirely if it somehow does.
+            let Some(h) = FixedHistogram::new(&bounds) else {
+                return;
+            };
+            inner.histograms.insert(key.clone(), h);
+        }
+        if let Some(h) = inner.histograms.get_mut(&key) {
+            h.record(value);
+        }
+    }
+
+    fn span_begin(&self) -> u64 {
+        self.clock.now_nanos()
+    }
+
+    fn span_end(&self, name: &'static str, label: &str, begin: u64) {
+        let elapsed = self.clock.now_nanos().saturating_sub(begin);
+        let key = metric_key(name, label);
+        let mut inner = self.lock();
+        let t = inner.timings.entry(key).or_default();
+        if t.count == 0 {
+            t.min_nanos = elapsed;
+            t.max_nanos = elapsed;
+        } else {
+            t.min_nanos = t.min_nanos.min(elapsed);
+            t.max_nanos = t.max_nanos.max(elapsed);
+        }
+        t.count += 1;
+        t.total_nanos = t.total_nanos.saturating_add(elapsed);
+    }
+
+    fn snapshot(&self) -> Option<TelemetrySnapshot> {
+        let inner = self.lock();
+        Some(TelemetrySnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), v))
+                .collect(),
+            gauges: inner.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+            timings: inner
+                .timings
+                .iter()
+                .map(|(k, t)| {
+                    (
+                        k.clone(),
+                        TimingSnapshot {
+                            count: t.count,
+                            total_nanos: t.total_nanos,
+                            min_nanos: t.min_nanos,
+                            max_nanos: t.max_nanos,
+                        },
+                    )
+                })
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::recorder::SpanTimer;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_accumulate_and_saturate() {
+        let r = MemoryRecorder::new();
+        r.counter_add("c", "", 2);
+        r.counter_add("c", "", 3);
+        r.counter_add("c", "x", u64::MAX);
+        r.counter_add("c", "x", 1);
+        let snap = r.snapshot().unwrap();
+        assert_eq!(
+            snap.counters,
+            vec![("c".into(), 5), ("c{x}".into(), u64::MAX)]
+        );
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let r = MemoryRecorder::new();
+        r.gauge_set("g", "a", 1.0);
+        r.gauge_set("g", "a", -2.5);
+        let snap = r.snapshot().unwrap();
+        assert_eq!(snap.gauges, vec![("g{a}".into(), -2.5)]);
+    }
+
+    #[test]
+    fn histogram_buckets_and_non_finite_quarantine() {
+        let r = MemoryRecorder::new();
+        assert!(r.set_buckets("h", &[1.0, 2.0]));
+        for v in [0.5, 1.0, 1.5, 5.0, f64::NAN, f64::INFINITY] {
+            r.histogram_record("h", "", v);
+        }
+        let snap = r.snapshot().unwrap();
+        let (key, h) = &snap.histograms[0];
+        assert_eq!(key, "h");
+        assert_eq!(h.bounds, vec![1.0, 2.0]);
+        assert_eq!(h.counts, vec![2, 1, 1]); // ≤1, ≤2, overflow
+        assert_eq!(h.total, 4);
+        assert_eq!(h.non_finite, 2);
+        assert_eq!(h.min, Some(0.5));
+        assert_eq!(h.max, Some(5.0));
+        assert!((h.sum - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_registration_fails_closed() {
+        let r = MemoryRecorder::new();
+        assert!(!r.set_buckets("h", &[])); // empty
+        assert!(!r.set_buckets("h", &[2.0, 1.0])); // unordered
+        assert!(!r.set_buckets("h", &[1.0, f64::NAN])); // non-finite
+        r.histogram_record("h", "lbl", 0.2);
+        assert!(!r.set_buckets("h", &[1.0, 2.0])); // already in use
+        assert!(r.set_buckets("hh", &[1.0, 2.0])); // distinct name is fine
+    }
+
+    #[test]
+    fn span_timings_use_injected_clock() {
+        let clock = Arc::new(ManualClock::new(0));
+        struct Shared(Arc<ManualClock>);
+        impl Clock for Shared {
+            fn now_nanos(&self) -> u64 {
+                self.0.now_nanos()
+            }
+        }
+        let r = MemoryRecorder::with_clock(Box::new(Shared(clock.clone())));
+        {
+            let _span = SpanTimer::new(&r, "t", "");
+            clock.advance(250);
+        }
+        {
+            let _span = SpanTimer::new(&r, "t", "");
+            clock.advance(100);
+        }
+        let snap = r.snapshot().unwrap();
+        let (key, t) = &snap.timings[0];
+        assert_eq!(key, "t");
+        assert_eq!((t.count, t.total_nanos), (2, 350));
+        assert_eq!((t.min_nanos, t.max_nanos), (100, 250));
+    }
+
+    #[test]
+    fn histogram_rejects_bad_bounds() {
+        assert!(FixedHistogram::new(&[]).is_none());
+        assert!(FixedHistogram::new(&[1.0, 1.0]).is_none());
+        assert!(FixedHistogram::new(&[f64::INFINITY]).is_none());
+        assert!(FixedHistogram::new(&[0.1, 0.2, 0.3]).is_some());
+    }
+}

@@ -1,0 +1,378 @@
+//! Exported snapshot types and the stable-key JSON rendering.
+
+/// Render the aggregation key for a metric: `name{label}`, or the bare
+/// `name` when `label` is empty.
+pub fn metric_key(name: &str, label: &str) -> String {
+    if label.is_empty() {
+        name.to_owned()
+    } else {
+        let mut k = String::with_capacity(name.len() + label.len() + 2);
+        k.push_str(name);
+        k.push('{');
+        k.push_str(label);
+        k.push('}');
+        k
+    }
+}
+
+/// Exported state of one fixed-bucket histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Strictly-increasing finite bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; `bounds.len() + 1` entries, last is overflow.
+    pub counts: Vec<u64>,
+    /// Number of finite observations.
+    pub total: u64,
+    /// Kahan-compensated sum of finite observations.
+    pub sum: f64,
+    /// Smallest finite observation, if any.
+    pub min: Option<f64>,
+    /// Largest finite observation, if any.
+    pub max: Option<f64>,
+    /// Number of non-finite observations (quarantined from buckets).
+    pub non_finite: u64,
+}
+
+/// Exported state of one span timer. Wall-clock data: **outside** the
+/// determinism contract and excluded from snapshot equality.
+#[derive(Debug, Clone)]
+pub struct TimingSnapshot {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total elapsed nanoseconds across spans (saturating).
+    pub total_nanos: u64,
+    /// Shortest span, nanoseconds.
+    pub min_nanos: u64,
+    /// Longest span, nanoseconds.
+    pub max_nanos: u64,
+}
+
+/// A point-in-time export of everything a recorder aggregated, as plain
+/// sorted `(key, value)` vectors.
+///
+/// # Equality
+///
+/// `PartialEq` compares counters, gauges, and histograms **bit-exactly**
+/// (floats via `to_bits`, so `NaN == NaN` and `0.0 != -0.0`) and ignores
+/// `timings` entirely: recorded values are part of the determinism
+/// contract, wall-clock durations are not. The thread-invariance suite
+/// leans on exactly this.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySnapshot {
+    /// Monotone event counts, sorted by key.
+    pub counters: Vec<(String, u64)>,
+    /// Last-write-wins levels, sorted by key.
+    pub gauges: Vec<(String, f64)>,
+    /// Fixed-bucket value distributions, sorted by key.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Span timings, sorted by key — wall-clock noise, **not compared**.
+    pub timings: Vec<(String, TimingSnapshot)>,
+}
+
+fn bits(x: f64) -> u64 {
+    x.to_bits()
+}
+
+fn opt_bits(x: Option<f64>) -> Option<u64> {
+    x.map(f64::to_bits)
+}
+
+impl PartialEq for TelemetrySnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.counters == other.counters
+            && self.gauges.len() == other.gauges.len()
+            && self
+                .gauges
+                .iter()
+                .zip(&other.gauges)
+                .all(|((ka, va), (kb, vb))| ka == kb && bits(*va) == bits(*vb))
+            && self.histograms.len() == other.histograms.len()
+            && self
+                .histograms
+                .iter()
+                .zip(&other.histograms)
+                .all(|((ka, ha), (kb, hb))| {
+                    ka == kb
+                        && ha.counts == hb.counts
+                        && ha.total == hb.total
+                        && ha.non_finite == hb.non_finite
+                        && bits(ha.sum) == bits(hb.sum)
+                        && opt_bits(ha.min) == opt_bits(hb.min)
+                        && opt_bits(ha.max) == opt_bits(hb.max)
+                        && ha.bounds.len() == hb.bounds.len()
+                        && ha
+                            .bounds
+                            .iter()
+                            .zip(&hb.bounds)
+                            .all(|(a, b)| bits(*a) == bits(*b))
+                })
+        // `timings` intentionally not compared.
+    }
+}
+
+/// Minimal JSON string escaping for metric keys (names and labels are
+/// code-controlled, but labels may carry user dataset names).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render an `f64` as a JSON value. Finite values use Rust's shortest
+/// round-trip formatting (valid JSON numbers); non-finite values become
+/// the strings `"inf"`, `"-inf"`, `"nan"` since JSON has no literals
+/// for them.
+fn json_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        out.push_str(&format!("{x:?}"));
+    } else if x.is_nan() {
+        out.push_str("\"nan\"");
+    } else if x > 0.0 {
+        out.push_str("\"inf\"");
+    } else {
+        out.push_str("\"-inf\"");
+    }
+}
+
+fn json_opt_f64(out: &mut String, x: Option<f64>) {
+    match x {
+        Some(v) => json_f64(out, v),
+        None => out.push_str("null"),
+    }
+}
+
+fn push_key(out: &mut String, key: &str) {
+    out.push('"');
+    escape_into(out, key);
+    out.push_str("\":");
+}
+
+fn json_f64_array(out: &mut String, xs: &[f64]) {
+    out.push('[');
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_f64(out, *x);
+    }
+    out.push(']');
+}
+
+fn json_u64_array(out: &mut String, xs: &[u64]) {
+    out.push('[');
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&x.to_string());
+    }
+    out.push(']');
+}
+
+impl TelemetrySnapshot {
+    /// Serialize to a JSON object with **stable key order** (keys come
+    /// out sorted because aggregation is BTreeMap-backed; this method
+    /// preserves that order verbatim). The timestamp is caller-supplied
+    /// — nothing in this crate reads wall-clock time of day — so two
+    /// exports of the same state with the same timestamp are
+    /// byte-identical.
+    pub fn to_json(&self, timestamp_nanos: u64) -> String {
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        push_key(&mut out, "timestamp_nanos");
+        out.push_str(&timestamp_nanos.to_string());
+
+        out.push(',');
+        push_key(&mut out, "counters");
+        out.push('{');
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_key(&mut out, k);
+            out.push_str(&v.to_string());
+        }
+        out.push('}');
+
+        out.push(',');
+        push_key(&mut out, "gauges");
+        out.push('{');
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_key(&mut out, k);
+            json_f64(&mut out, *v);
+        }
+        out.push('}');
+
+        out.push(',');
+        push_key(&mut out, "histograms");
+        out.push('{');
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_key(&mut out, k);
+            out.push('{');
+            push_key(&mut out, "bounds");
+            json_f64_array(&mut out, &h.bounds);
+            out.push(',');
+            push_key(&mut out, "counts");
+            json_u64_array(&mut out, &h.counts);
+            out.push(',');
+            push_key(&mut out, "total");
+            out.push_str(&h.total.to_string());
+            out.push(',');
+            push_key(&mut out, "sum");
+            json_f64(&mut out, h.sum);
+            out.push(',');
+            push_key(&mut out, "min");
+            json_opt_f64(&mut out, h.min);
+            out.push(',');
+            push_key(&mut out, "max");
+            json_opt_f64(&mut out, h.max);
+            out.push(',');
+            push_key(&mut out, "non_finite");
+            out.push_str(&h.non_finite.to_string());
+            out.push('}');
+        }
+        out.push('}');
+
+        out.push(',');
+        push_key(&mut out, "timings");
+        out.push('{');
+        for (i, (k, t)) in self.timings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_key(&mut out, k);
+            out.push('{');
+            push_key(&mut out, "count");
+            out.push_str(&t.count.to_string());
+            out.push(',');
+            push_key(&mut out, "total_nanos");
+            out.push_str(&t.total_nanos.to_string());
+            out.push(',');
+            push_key(&mut out, "min_nanos");
+            out.push_str(&t.min_nanos.to_string());
+            out.push(',');
+            push_key(&mut out, "max_nanos");
+            out.push_str(&t.max_nanos.to_string());
+            out.push('}');
+        }
+        out.push('}');
+
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: vec![("a".into(), 1), ("b{x}".into(), 2)],
+            gauges: vec![("g".into(), 0.5)],
+            histograms: vec![(
+                "h".into(),
+                HistogramSnapshot {
+                    bounds: vec![1.0, 2.0],
+                    counts: vec![1, 0, 1],
+                    total: 2,
+                    sum: 3.25,
+                    min: Some(0.25),
+                    max: Some(3.0),
+                    non_finite: 1,
+                },
+            )],
+            timings: vec![(
+                "t".into(),
+                TimingSnapshot {
+                    count: 3,
+                    total_nanos: 900,
+                    min_nanos: 100,
+                    max_nanos: 500,
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn metric_key_renders_label() {
+        assert_eq!(metric_key("n", ""), "n");
+        assert_eq!(metric_key("n", "lbl"), "n{lbl}");
+    }
+
+    #[test]
+    fn equality_ignores_timings() {
+        let a = sample();
+        let mut b = sample();
+        b.timings.clear();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn equality_is_bit_exact_on_values() {
+        let a = sample();
+        let mut b = sample();
+        b.gauges[0].1 = f64::from_bits(b.gauges[0].1.to_bits() + 1); // one ULP
+        assert_ne!(a, b);
+
+        // NaN gauges still compare equal to themselves (to_bits).
+        let mut c = sample();
+        c.gauges[0].1 = f64::NAN;
+        let mut d = sample();
+        d.gauges[0].1 = f64::NAN;
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn json_is_stable_and_escapes() {
+        let mut s = sample();
+        s.counters.push(("weird\"key\\".into(), 7));
+        let j1 = s.to_json(123);
+        let j2 = s.to_json(123);
+        assert_eq!(j1, j2, "same state + timestamp ⇒ byte-identical");
+        assert!(j1.starts_with("{\"timestamp_nanos\":123,"));
+        assert!(j1.contains("\"weird\\\"key\\\\\":7"));
+        assert!(j1.contains("\"h\":{\"bounds\":[1.0,2.0],\"counts\":[1,0,1]"));
+        assert!(j1.contains("\"timings\":{\"t\":{\"count\":3"));
+    }
+
+    #[test]
+    fn json_handles_non_finite_and_empty() {
+        let snap = TelemetrySnapshot {
+            gauges: vec![
+                ("inf".into(), f64::INFINITY),
+                ("nan".into(), f64::NAN),
+                ("ninf".into(), f64::NEG_INFINITY),
+            ],
+            ..Default::default()
+        };
+        let j = snap.to_json(0);
+        assert!(j.contains("\"inf\":\"inf\""));
+        assert!(j.contains("\"nan\":\"nan\""));
+        assert!(j.contains("\"ninf\":\"-inf\""));
+
+        let empty = TelemetrySnapshot::default().to_json(5);
+        assert_eq!(
+            empty,
+            "{\"timestamp_nanos\":5,\"counters\":{},\"gauges\":{},\
+             \"histograms\":{},\"timings\":{}}"
+        );
+    }
+}

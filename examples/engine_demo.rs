@@ -14,6 +14,7 @@ use dplearn::engine::request::{
 };
 use dplearn::mechanisms::privacy::Budget;
 use dplearn::numerics::rng::{Rng, Xoshiro256};
+use dplearn::telemetry::{MemoryRecorder, Recorder};
 
 fn describe(out: &QueryOutcome) -> String {
     match out {
@@ -140,6 +141,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     // --- The ledger's verdict. ---------------------------------------
-    println!("{}", engine.report());
+    println!("{}", engine.report()?);
+
+    // --- What the engine saw, as telemetry. --------------------------
+    // (The demo re-runs batch 1 on an instrumented engine; see the
+    // README "Observing the engine" section.)
+    let mut observed = Engine::new(EngineConfig::default())?;
+    observed.register_dataset(
+        "incomes",
+        engine
+            .dataset("incomes")
+            .map(|d| d.values().to_vec())
+            .unwrap_or_default(),
+        0.0,
+        1.0,
+        Budget::new(2.0, 1e-6)?,
+    )?;
+    let recorder = std::sync::Arc::new(MemoryRecorder::new());
+    observed.set_recorder(recorder.clone());
+    let _ = observed.run_batch(&batch);
+    if let Some(snapshot) = recorder.snapshot() {
+        println!("\n--- telemetry snapshot (timestamp is caller-supplied) ---");
+        println!("{}", snapshot.to_json(0));
+    }
     Ok(())
 }

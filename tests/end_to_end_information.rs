@@ -38,7 +38,7 @@ fn figure_1_pipeline_is_internally_consistent() {
     assert!(lc.neighbor_privacy_level(&space) <= eps + 1e-9);
 
     // DP ⇒ MI bound with n = 2 records.
-    assert!(mi <= dplearn::infotheory::dp_bounds::mi_bound_nats(eps, 2));
+    assert!(mi <= dplearn::infotheory::dp_bounds::mi_bound_nats(eps, 2).unwrap());
 
     // Blahut–Arimoto confirms the Gibbs-family optimality of Theorem 4.2.
     let witness = theorem_42_witness(&space, &lc.risks, lambda).unwrap();

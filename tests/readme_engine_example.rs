@@ -36,7 +36,8 @@ fn readme_engine_example_runs_as_written() -> Result<(), DplearnError> {
     assert_eq!(report.rejected(), 1);
 
     // The ledger's verdict: spent ε per track, and the MI bound n·ε.
-    let leak = &engine.report().datasets[0];
+    let verdict = engine.report()?;
+    let leak = &verdict.datasets[0];
     assert!((leak.basic.epsilon - 0.7).abs() < 1e-9);
     assert!((leak.mi_bound_nats - 500.0 * 0.7).abs() < 1e-6);
     Ok(())

@@ -1,0 +1,55 @@
+//! Compile-and-run check for the telemetry example in README.md
+//! ("Observing the engine"). If this test breaks, update the README.
+
+use dplearn::engine::engine::{Engine, EngineConfig};
+use dplearn::engine::request::{QueryKind, QueryRequest};
+use dplearn::mechanisms::privacy::Budget;
+use dplearn::telemetry::{MemoryRecorder, Recorder};
+use dplearn::DplearnError;
+use std::sync::Arc;
+
+#[test]
+fn readme_telemetry_example_runs_as_written() -> Result<(), DplearnError> {
+    let mut engine = Engine::new(EngineConfig::default())?;
+    let records: Vec<f64> = (0..500).map(|i| (i % 50) as f64 / 50.0).collect();
+    engine.register_dataset("ages", records, 0.0, 1.0, Budget::new(1.0, 1e-6)?)?;
+
+    // Attach a recorder: every batch now leaves a metrics trail.
+    let recorder = Arc::new(MemoryRecorder::new());
+    engine.set_recorder(recorder.clone());
+
+    let _ = engine.run_batch(&[
+        QueryRequest::new(
+            "ages",
+            QueryKind::LaplaceCount {
+                lo: 0.0,
+                hi: 0.5,
+                epsilon: 0.3,
+            },
+        ),
+        QueryRequest::new("ages", QueryKind::LaplaceSum { epsilon: 0.5 }),
+    ]);
+
+    let snap = recorder
+        .snapshot()
+        .expect("MemoryRecorder always snapshots");
+    assert!(snap
+        .counters
+        .iter()
+        .any(|(k, v)| k == "engine.requests.executed" && *v == 2));
+    // Budget gauges mirror the ledger: 0.8 of the ε = 1.0 cap is spent.
+    assert!(snap
+        .gauges
+        .iter()
+        .any(|(k, v)| { k == "engine.dataset.spent_epsilon{ages}" && (*v - 0.8).abs() < 1e-9 }));
+
+    // Export is deterministic: the caller supplies the timestamp, keys are
+    // sorted, floats render stably — artifacts diff cleanly across runs.
+    let json = snap.to_json(0);
+    assert!(json.starts_with("{\"timestamp_nanos\":0"));
+
+    // Or carry the snapshot inside the serving report itself:
+    let report = engine.report_with_telemetry()?;
+    assert!(report.telemetry.is_some());
+    Ok(())
+}

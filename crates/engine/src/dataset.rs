@@ -10,13 +10,97 @@
 
 use crate::{EngineError, Result};
 
-/// An immutable dataset of scalar records over a bounded domain.
+/// Sufficient statistics of a [`Dataset`], computed once at registration
+/// and shared read-only across the engine's parallel batch phase.
+///
+/// Everything a built-in mechanism reads from the raw records is
+/// derivable from these: the count, the sum (records are clamp-validated
+/// into `[lo, hi]` at construction, so this *is* the clamped sum the
+/// Laplace-sum sensitivity argument is stated over), and a sorted copy
+/// that turns every rank query (interval counts, quantile risks) into
+/// binary searches. Counts obtained by `partition_point` on the sorted
+/// copy are exactly the counts a linear scan of the raw records produces,
+/// so every downstream release is bit-identical to the scan-per-request
+/// implementation.
 #[derive(Debug, Clone, PartialEq)]
+pub struct SufficientStats {
+    count: usize,
+    sum: f64,
+    sorted: Vec<f64>,
+}
+
+impl SufficientStats {
+    fn build(values: &[f64]) -> Self {
+        // Same iteration order as `values.iter().sum()` over the raw
+        // records: the cached sum is bit-identical to a per-request scan.
+        let sum = values.iter().sum();
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable_by(f64::total_cmp);
+        SufficientStats {
+            count: values.len(),
+            sum,
+            sorted,
+        }
+    }
+
+    /// Number of records.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Sum of all records (equal to the clamped sum — records are
+    /// validated into the declared domain at construction).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// The records in ascending order.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// `#{v ≤ x}` via binary search — identical to the count a linear
+    /// scan produces.
+    pub fn rank(&self, x: f64) -> usize {
+        self.sorted.partition_point(|&v| v <= x)
+    }
+
+    /// `#{lo ≤ v ≤ hi}` via two binary searches.
+    // The negated comparison is deliberate: `!(lo <= hi)` is true for
+    // inverted *and* NaN bounds, which must both match no record.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn count_between(&self, lo: f64, hi: f64) -> usize {
+        // Empty, inverted, or NaN intervals match no record — exactly as
+        // the linear scan's `v >= lo && v <= hi` filter behaves.
+        if !(lo <= hi) {
+            return 0;
+        }
+        self.sorted
+            .partition_point(|&v| v <= hi)
+            .saturating_sub(self.sorted.partition_point(|&v| v < lo))
+    }
+}
+
+/// An immutable dataset of scalar records over a bounded domain.
+#[derive(Debug, Clone)]
 pub struct Dataset {
     name: String,
     values: Vec<f64>,
     lo: f64,
     hi: f64,
+    // Derived deterministically from `values` at construction; excluded
+    // from equality (two datasets are equal iff their declared contents
+    // are).
+    stats: SufficientStats,
+}
+
+impl PartialEq for Dataset {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.values == other.values
+            && self.lo == other.lo
+            && self.hi == other.hi
+    }
 }
 
 impl Dataset {
@@ -54,12 +138,19 @@ impl Dataset {
                 });
             }
         }
+        let stats = SufficientStats::build(&values);
         Ok(Dataset {
             name: name.to_string(),
             values,
             lo,
             hi,
+            stats,
         })
+    }
+
+    /// The sufficient statistics computed at registration.
+    pub fn stats(&self) -> &SufficientStats {
+        &self.stats
     }
 
     /// The dataset's registered name.
@@ -100,14 +191,21 @@ impl Dataset {
 
     /// Number of records in `[lo, hi]` (inclusive). Sensitivity 1 under
     /// replace-one adjacency.
+    ///
+    /// Answered from the sorted sufficient-statistic copy in O(log n) —
+    /// the count is exactly what a linear scan of the records returns.
     pub fn count_in(&self, lo: f64, hi: f64) -> usize {
-        self.values.iter().filter(|&&v| v >= lo && v <= hi).count()
+        self.stats.count_between(lo, hi)
     }
 
     /// Sum of all records. Bounded by construction; sensitivity
     /// [`width`](Dataset::width) under replace-one adjacency.
+    ///
+    /// Returned from the sufficient-statistic cache (computed at
+    /// registration in record order, so bit-identical to a per-request
+    /// scan).
     pub fn sum(&self) -> f64 {
-        self.values.iter().sum()
+        self.stats.sum
     }
 
     /// Histogram of the domain split into `bins` equal-width bins
@@ -146,12 +244,16 @@ impl Dataset {
     /// estimate: `R̂(c) = |#{x ≤ c}/n − q|`. The loss is bounded in
     /// `[0, 1]` and replacing one record moves each risk by at most
     /// `1/n` — the Gibbs-posterior quantile mechanism's sensitivity.
+    ///
+    /// Each rank is a binary search of the sorted sufficient-statistic
+    /// copy (O(k log n) instead of O(k·n)); the integer ranks — and hence
+    /// the risks — are bit-identical to the linear-scan evaluation.
     pub fn rank_risks(&self, candidates: &[f64], q: f64) -> Vec<f64> {
         let n = self.values.len() as f64;
         candidates
             .iter()
             .map(|&c| {
-                let below = self.values.iter().filter(|&&v| v <= c).count() as f64;
+                let below = self.stats.rank(c) as f64;
                 (below / n - q).abs()
             })
             .collect()
@@ -195,6 +297,73 @@ mod tests {
         let g = d.candidate_grid(5);
         assert_eq!(g, vec![-1.0, 0.0, 1.0, 2.0, 3.0]);
         assert_eq!(d.candidate_grid(1), vec![1.0]);
+    }
+
+    #[test]
+    fn sufficient_stats_match_linear_scans_bit_for_bit() {
+        // Awkward values: duplicates, domain endpoints, negatives.
+        let values = vec![0.25, -1.0, 0.25, 3.0, 1.5, -0.5, 3.0, 0.0, 2.75];
+        let d = Dataset::new("d", values.clone(), -1.0, 3.0).unwrap();
+        let s = d.stats();
+        assert_eq!(s.count(), values.len());
+        assert_eq!(s.sum().to_bits(), values.iter().sum::<f64>().to_bits());
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(s.sorted(), sorted.as_slice());
+        // count_in answered from the sorted copy equals the linear scan
+        // for every probe interval, including empty, inverted, and
+        // endpoint-touching ones.
+        let probes = [
+            (-1.0, 3.0),
+            (0.0, 0.25),
+            (0.25, 0.25),
+            (2.0, 1.0), // inverted → 0
+            (-5.0, -2.0),
+            (3.0, 3.0),
+            (f64::NAN, 1.0),
+        ];
+        for &(lo, hi) in &probes {
+            let scan = values.iter().filter(|&&v| v >= lo && v <= hi).count();
+            assert_eq!(d.count_in(lo, hi), scan, "probe [{lo}, {hi}]");
+        }
+        // Ranks match the scan count at every candidate.
+        for &c in &[-2.0, -1.0, 0.1, 0.25, 2.9, 3.0, 4.0] {
+            let scan = values.iter().filter(|&&v| v <= c).count();
+            assert_eq!(s.rank(c), scan, "rank at {c}");
+        }
+    }
+
+    #[test]
+    fn rank_risks_match_linear_scan_reference() {
+        let values: Vec<f64> = (0..257).map(|i| (i as f64 * 37.0) % 100.0).collect();
+        let d = Dataset::new("d", values.clone(), 0.0, 100.0).unwrap();
+        let grid = d.candidate_grid(33);
+        let n = values.len() as f64;
+        for &q in &[0.1, 0.5, 0.9] {
+            let fast = d.rank_risks(&grid, q);
+            let reference: Vec<f64> = grid
+                .iter()
+                .map(|&c| {
+                    let below = values.iter().filter(|&&v| v <= c).count() as f64;
+                    (below / n - q).abs()
+                })
+                .collect();
+            for (f, r) in fast.iter().zip(&reference) {
+                assert_eq!(f.to_bits(), r.to_bits(), "risk drifted at q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn equality_ignores_the_derived_cache() {
+        let a = Dataset::new("d", vec![0.2, 0.8], 0.0, 1.0).unwrap();
+        let b = Dataset::new("d", vec![0.2, 0.8], 0.0, 1.0).unwrap();
+        let c = Dataset::new("d", vec![0.8, 0.2], 0.0, 1.0).unwrap();
+        assert_eq!(a, b);
+        // Same multiset, different record order: distinct datasets even
+        // though the sorted sufficient statistics coincide.
+        assert_ne!(a, c);
+        assert_eq!(a.stats().sorted(), c.stats().sorted());
     }
 
     #[test]

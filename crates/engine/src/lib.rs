@@ -76,7 +76,7 @@ pub mod mechanism;
 pub mod report;
 pub mod request;
 
-pub use dataset::Dataset;
+pub use dataset::{Dataset, SufficientStats};
 pub use engine::{Engine, EngineConfig};
 pub use ledger::{BudgetLedger, LeakageLedger, LeakageSummary};
 pub use mechanism::{MechanismRegistry, QueryMechanism};

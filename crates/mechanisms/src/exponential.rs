@@ -24,6 +24,7 @@ use crate::privacy::Epsilon;
 use crate::{MechanismError, Result};
 use dplearn_numerics::distributions::{Categorical, Gumbel, Sample};
 use dplearn_numerics::rng::Rng;
+use dplearn_numerics::special::log_sum_exp;
 
 /// The exponential mechanism over a finite candidate set.
 ///
@@ -140,6 +141,57 @@ impl ExponentialMechanism {
         Ok(self.sampling_distribution(scores, t)?.sample(rng))
     }
 
+    /// Prepare the selection distribution once for a **target** privacy
+    /// level ε, amortizing the per-draw cost over repeated sampling. See
+    /// [`PreparedSelection`].
+    pub fn prepare(&self, scores: &[f64], epsilon: Epsilon) -> Result<PreparedSelection> {
+        self.prepare_with_temperature(scores, self.temperature_for(epsilon))
+    }
+
+    /// Prepare the selection distribution once at raw temperature `t`.
+    ///
+    /// The stabilized log-weights, the log-sum-exp normalizer, the
+    /// cumulative table, and the alias table are all computed here, so
+    /// every subsequent [`PreparedSelection::draw`] is O(1) and
+    /// **bit-identical** to calling
+    /// [`select_with_temperature`](Self::select_with_temperature) with the
+    /// same RNG stream.
+    pub fn prepare_with_temperature(&self, scores: &[f64], t: f64) -> Result<PreparedSelection> {
+        if scores.len() != self.n_candidates {
+            return Err(MechanismError::InvalidParameter {
+                name: "scores",
+                reason: format!(
+                    "expected {} scores, got {}",
+                    self.n_candidates,
+                    scores.len()
+                ),
+            });
+        }
+        let log_weights: Vec<f64> = match &self.log_prior {
+            Some(lp) => scores.iter().zip(lp).map(|(&s, &p)| t * s + p).collect(),
+            None => scores.iter().map(|&s| t * s).collect(),
+        };
+        // Same constructor `sampling_distribution` delegates to, so the
+        // alias table (and hence the RNG-consumption pattern of `draw`)
+        // matches the uncached path bit for bit.
+        let dist = Categorical::from_log_weights(&log_weights)?;
+        let log_normalizer = log_sum_exp(&log_weights);
+        let mut cumulative = Vec::with_capacity(dist.len());
+        let mut acc = 0.0f64;
+        for &p in dist.probs() {
+            acc += p;
+            cumulative.push(acc);
+        }
+        Ok(PreparedSelection {
+            log_weights,
+            log_normalizer,
+            cumulative,
+            dist,
+            temperature: t,
+            privacy_epsilon: self.privacy_of_temperature(t),
+        })
+    }
+
     /// Gumbel-max sampling at temperature `t` — equivalent in distribution
     /// to [`select_with_temperature`](Self::select_with_temperature), but
     /// avoids building the full categorical table. Only valid with a
@@ -177,6 +229,108 @@ impl ExponentialMechanism {
             }
         }
         Ok(best)
+    }
+}
+
+/// A selection distribution precomputed once per `(scores, temperature)`
+/// pair, amortizing the per-call normalization of
+/// [`ExponentialMechanism::select`] over repeated draws.
+///
+/// Three sampling paths are offered:
+///
+/// - [`draw`](Self::draw): the **bit-identity** path. Consumes the RNG
+///   exactly like the uncached `select()` / `select_with_temperature()`
+///   (one index draw + one uniform against the shared alias table), so on
+///   the same RNG stream it returns the same candidate, bit for bit. The
+///   per-call O(k) rebuild of log-weights, normalizer, and alias table is
+///   what the preparation amortizes away.
+/// - [`draw_inverse_cdf`](Self::draw_inverse_cdf): O(log k) binary search
+///   of the precomputed cumulative table on one uniform. Equivalent in
+///   **distribution**, not bitstream.
+/// - [`draw_gumbel`](Self::draw_gumbel): Gumbel-max over the precomputed
+///   stabilized log-weights, never touching the normalizer. Equivalent in
+///   **distribution**, not bitstream.
+///
+/// The distribution-only paths are pinned to the mechanism's declared
+/// privacy budget by the `audit_discrete_par` empirical-ε harness (see
+/// `tests/prepared_equivalence.rs` in this crate).
+#[derive(Debug, Clone)]
+pub struct PreparedSelection {
+    log_weights: Vec<f64>,
+    log_normalizer: f64,
+    cumulative: Vec<f64>,
+    dist: Categorical,
+    temperature: f64,
+    privacy_epsilon: f64,
+}
+
+impl PreparedSelection {
+    /// Draw a candidate index, bit-identical to the uncached
+    /// [`ExponentialMechanism::select_with_temperature`] on the same RNG
+    /// stream (and to [`ExponentialMechanism::select`] when prepared via
+    /// [`ExponentialMechanism::prepare`]).
+    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.dist.sample(rng)
+    }
+
+    /// Draw via inverse-CDF lookup on the precomputed cumulative table:
+    /// one uniform, one O(log k) binary search. Distribution-equivalent to
+    /// [`draw`](Self::draw) but **not** bitstream-identical.
+    pub fn draw_inverse_cdf<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u = rng.next_f64();
+        let i = self.cumulative.partition_point(|&c| c <= u);
+        i.min(self.cumulative.len().saturating_sub(1))
+    }
+
+    /// Draw via Gumbel-max over the precomputed stabilized log-weights.
+    /// Distribution-equivalent to [`draw`](Self::draw) but **not**
+    /// bitstream-identical; never evaluates the normalizer.
+    pub fn draw_gumbel<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let mut best = 0usize;
+        let mut best_v = f64::NEG_INFINITY;
+        for (i, &lw) in self.log_weights.iter().enumerate() {
+            let v = lw + Gumbel.sample(rng);
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// The stabilized log-weights `t·q(u) + log π(u)`.
+    pub fn log_weights(&self) -> &[f64] {
+        &self.log_weights
+    }
+
+    /// The log-sum-exp normalizer `log Σ exp(t·q(u) + log π(u))`.
+    pub fn log_normalizer(&self) -> f64 {
+        self.log_normalizer
+    }
+
+    /// The normalized probability of candidate `i` (zero out of range).
+    pub fn prob(&self, i: usize) -> f64 {
+        self.dist.prob(i)
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// True when there are no candidates (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.dist.is_empty()
+    }
+
+    /// The temperature this distribution was prepared at.
+    pub fn temperature(&self) -> f64 {
+        self.temperature
+    }
+
+    /// The privacy level `ε = 2 t Δq` of every draw from this table.
+    pub fn privacy_epsilon(&self) -> f64 {
+        self.privacy_epsilon
     }
 }
 
@@ -324,5 +478,170 @@ mod tests {
         let data = [0usize, 1, 1, 2, 1];
         let q = mode_quality(&data, 3);
         assert_eq!(q, vec![1.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn prepared_draw_is_bit_identical_to_select() {
+        let m = ExponentialMechanism::new(5, 1.0)
+            .unwrap()
+            .with_log_prior(vec![0.0, -0.5, 0.3, -1.0, 0.1])
+            .unwrap();
+        let scores = [0.3, -0.2, 1.1, 0.7, -2.5];
+        let eps = Epsilon::new(1.3).unwrap();
+        let prepared = m.prepare(&scores, eps).unwrap();
+        let mut r1 = Xoshiro256::seed_from(42);
+        let mut r2 = Xoshiro256::seed_from(42);
+        for _ in 0..10_000 {
+            assert_eq!(
+                m.select(&scores, eps, &mut r1).unwrap(),
+                prepared.draw(&mut r2)
+            );
+        }
+        // The RNG streams themselves must stay in lockstep too.
+        assert_eq!(r1.next_u64(), r2.next_u64());
+    }
+
+    #[test]
+    fn prepared_exposes_the_normalized_distribution() {
+        let m = ExponentialMechanism::new(3, 1.0).unwrap();
+        let scores = [0.0, 1.0, 2.0];
+        let t = 0.8;
+        let prepared = m.prepare_with_temperature(&scores, t).unwrap();
+        let dist = m.sampling_distribution(&scores, t).unwrap();
+        let logits: Vec<f64> = scores.iter().map(|&s| t * s).collect();
+        assert_eq!(prepared.log_weights(), logits.as_slice());
+        assert_eq!(prepared.log_normalizer(), log_sum_exp(&logits));
+        assert_eq!(prepared.len(), 3);
+        assert!(!prepared.is_empty());
+        assert_eq!(prepared.temperature(), t);
+        assert!((prepared.privacy_epsilon() - m.privacy_of_temperature(t)).abs() < 1e-15);
+        for i in 0..3 {
+            assert_eq!(prepared.prob(i), dist.prob(i));
+        }
+    }
+
+    #[test]
+    fn prepared_validates_score_length() {
+        let m = ExponentialMechanism::new(3, 1.0).unwrap();
+        assert!(m.prepare_with_temperature(&[0.0, 1.0], 1.0).is_err());
+        assert!(m
+            .prepare_with_temperature(&[0.0, f64::INFINITY, 1.0], 1.0)
+            .is_err());
+    }
+
+    #[test]
+    fn inverse_cdf_and_gumbel_fast_paths_match_in_distribution() {
+        let m = ExponentialMechanism::new(4, 1.0).unwrap();
+        let scores = [0.3, -0.2, 1.1, 0.7];
+        let t = 1.5;
+        let prepared = m.prepare_with_temperature(&scores, t).unwrap();
+        let mut rng = Xoshiro256::seed_from(99);
+        let n = 200_000;
+        let mut inv = [0usize; 4];
+        let mut gum = [0usize; 4];
+        for _ in 0..n {
+            inv[prepared.draw_inverse_cdf(&mut rng)] += 1;
+            gum[prepared.draw_gumbel(&mut rng)] += 1;
+        }
+        for i in 0..4 {
+            let p = prepared.prob(i);
+            assert!(
+                (inv[i] as f64 / n as f64 - p).abs() < 0.006,
+                "inverse-cdf at {i}"
+            );
+            assert!(
+                (gum[i] as f64 / n as f64 - p).abs() < 0.006,
+                "gumbel at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_cdf_handles_degenerate_mass() {
+        let m = ExponentialMechanism::new(3, 1.0).unwrap();
+        // Candidate 1 takes essentially all mass at this temperature.
+        let prepared = m
+            .prepare_with_temperature(&[0.0, 2000.0, 0.0], 1.0)
+            .unwrap();
+        let mut rng = Xoshiro256::seed_from(11);
+        for _ in 0..1000 {
+            assert_eq!(prepared.draw_inverse_cdf(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn median_quality_empty_data() {
+        // n = 0: every candidate has rank 0 and quality -|0 - 0| = 0.
+        let q = median_quality(&[], &[1.0, 2.0, 3.0]);
+        assert_eq!(q, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn median_quality_single_candidate_and_no_candidates() {
+        let data = [1.0, 2.0, 3.0];
+        let q = median_quality(&data, &[2.5]);
+        assert_eq!(q.len(), 1);
+        assert!((q[0] - -0.5).abs() < 1e-12); // rank 2, n/2 = 1.5
+        assert!(median_quality(&data, &[]).is_empty());
+    }
+
+    #[test]
+    fn median_quality_ties_share_rank() {
+        // All records equal: candidates below get rank 0, at/above get rank n.
+        let data = [5.0; 4];
+        let q = median_quality(&data, &[4.0, 5.0, 6.0]);
+        assert_eq!(q, vec![-2.0, -2.0, -2.0]);
+    }
+
+    #[test]
+    fn median_quality_sensitivity_is_one_under_neighbors() {
+        // Brute force: replacing any one record moves every candidate's
+        // quality by at most 1 (sensitivity-1 claim of the docstring).
+        let data = [0.5, 1.5, 2.5, 3.5, 9.0];
+        let candidates: Vec<f64> = (0..=10).map(|i| i as f64).collect();
+        let replacements = [-3.0, 0.0, 2.0, 4.0, 50.0];
+        let base = median_quality(&data, &candidates);
+        for i in 0..data.len() {
+            for &r in &replacements {
+                let mut neighbor = data;
+                neighbor[i] = r;
+                let q = median_quality(&neighbor, &candidates);
+                for (a, b) in base.iter().zip(&q) {
+                    assert!((a - b).abs() <= 1.0 + 1e-12, "Δq = {} > 1", (a - b).abs());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mode_quality_empty_data_and_out_of_range() {
+        assert_eq!(mode_quality(&[], 3), vec![0.0, 0.0, 0.0]);
+        // Out-of-range records are ignored rather than panicking.
+        assert_eq!(mode_quality(&[7usize, 1], 2), vec![0.0, 1.0]);
+        assert!(mode_quality(&[0usize], 0).is_empty());
+    }
+
+    #[test]
+    fn mode_quality_single_candidate_and_ties() {
+        assert_eq!(mode_quality(&[0usize, 0, 0], 1), vec![3.0]);
+        // A two-way tie keeps both counts equal.
+        assert_eq!(mode_quality(&[0usize, 1, 0, 1], 2), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn mode_quality_sensitivity_is_one_under_neighbors() {
+        let data = [0usize, 1, 1, 2, 1, 0];
+        let k = 4;
+        let base = mode_quality(&data, k);
+        for i in 0..data.len() {
+            for r in 0..k {
+                let mut neighbor = data;
+                neighbor[i] = r;
+                let q = mode_quality(&neighbor, k);
+                for (a, b) in base.iter().zip(&q) {
+                    assert!((a - b).abs() <= 1.0, "Δq = {}", (a - b).abs());
+                }
+            }
+        }
     }
 }

@@ -90,6 +90,43 @@ impl PermuteAndFlip {
         self.select_with_temperature(scores, self.temperature_for(epsilon), rng)
     }
 
+    /// Prepare the mechanism once for a **target** privacy level ε; see
+    /// [`PreparedPermuteAndFlip`].
+    pub fn prepare(&self, scores: &[f64], epsilon: Epsilon) -> Result<PreparedPermuteAndFlip> {
+        self.prepare_with_temperature(scores, self.temperature_for(epsilon))
+    }
+
+    /// Prepare the mechanism once at raw temperature `t`: validates the
+    /// scores and precomputes `q*` and every acceptance probability
+    /// `exp(t·(q(u) − q*))`, so repeated [`PreparedPermuteAndFlip::draw`]
+    /// calls skip the per-call O(k) validation/exponentiation while staying
+    /// **bit-identical** to [`select_with_temperature`](Self::select_with_temperature)
+    /// on the same RNG stream.
+    pub fn prepare_with_temperature(
+        &self,
+        scores: &[f64],
+        t: f64,
+    ) -> Result<PreparedPermuteAndFlip> {
+        if scores.is_empty() {
+            return Err(MechanismError::InvalidParameter {
+                name: "scores",
+                reason: "candidate set must be non-empty".to_string(),
+            });
+        }
+        if scores.iter().any(|s| !s.is_finite()) {
+            return Err(MechanismError::InvalidParameter {
+                name: "scores",
+                reason: "scores must be finite".to_string(),
+            });
+        }
+        let q_star = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let accept: Vec<f64> = scores.iter().map(|&s| (t * (s - q_star)).exp()).collect();
+        Ok(PreparedPermuteAndFlip {
+            accept,
+            privacy_epsilon: 2.0 * t * self.quality_sensitivity,
+        })
+    }
+
     /// Exact output distribution at temperature `t`, by dynamic
     /// enumeration over permutations — O(k²·2ᵏ); use only for small `k`
     /// (tests and audits).
@@ -163,6 +200,54 @@ impl PermuteAndFlip {
         // (the un-normalized masses already sum to 1 when some p_i = 1).
         let total: f64 = out.iter().sum();
         Ok(out.into_iter().map(|v| v / total).collect())
+    }
+}
+
+/// Permute-and-flip with the score validation, `q*`, and acceptance
+/// probabilities precomputed once per `(scores, temperature)` pair.
+///
+/// [`draw`](Self::draw) consumes the RNG exactly like the uncached
+/// [`PermuteAndFlip::select_with_temperature`] (one Fisher–Yates shuffle,
+/// then one Bernoulli per visited candidate), so repeated draws are
+/// bit-identical to the uncached path on the same RNG stream.
+#[derive(Debug, Clone)]
+pub struct PreparedPermuteAndFlip {
+    accept: Vec<f64>,
+    privacy_epsilon: f64,
+}
+
+impl PreparedPermuteAndFlip {
+    /// Draw a candidate index, bit-identical to the uncached
+    /// [`PermuteAndFlip::select_with_temperature`] on the same RNG stream.
+    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let mut order: Vec<usize> = (0..self.accept.len()).collect();
+        loop {
+            dplearn_numerics::rng::shuffle_in_place(rng, &mut order);
+            for &i in &order {
+                let accept = self.accept.get(i).copied().unwrap_or(1.0);
+                if rng.next_bool(accept) {
+                    return i;
+                }
+            }
+            // Same defensive re-loop as the uncached path: the max-score
+            // candidate has acceptance probability exactly 1, so a single
+            // pass always terminates in exact arithmetic.
+        }
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// True when there are no candidates (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.accept.is_empty()
+    }
+
+    /// The privacy level `ε = 2 t Δq` of every draw.
+    pub fn privacy_epsilon(&self) -> f64 {
+        self.privacy_epsilon
     }
 }
 
@@ -252,6 +337,34 @@ mod tests {
         let worst = max_log_ratio(&p, &q).unwrap();
         assert!(worst <= eps.value() + 1e-9, "audited ε̂ {worst}");
         assert!(worst > 0.1);
+    }
+
+    #[test]
+    fn prepared_draw_is_bit_identical_to_select() {
+        let m = PermuteAndFlip::new(1.0).unwrap();
+        let scores = [0.0, 1.0, 2.0, 0.5, -1.5];
+        let eps = Epsilon::new(0.8).unwrap();
+        let prepared = m.prepare(&scores, eps).unwrap();
+        let mut r1 = Xoshiro256::seed_from(17);
+        let mut r2 = Xoshiro256::seed_from(17);
+        for _ in 0..10_000 {
+            assert_eq!(
+                m.select(&scores, eps, &mut r1).unwrap(),
+                prepared.draw(&mut r2)
+            );
+        }
+        assert_eq!(r1.next_u64(), r2.next_u64());
+    }
+
+    #[test]
+    fn prepared_validates_like_the_uncached_path() {
+        let m = PermuteAndFlip::new(1.0).unwrap();
+        assert!(m.prepare_with_temperature(&[], 1.0).is_err());
+        assert!(m.prepare_with_temperature(&[1.0, f64::NAN], 1.0).is_err());
+        let p = m.prepare_with_temperature(&[1.0, 2.0], 0.5).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert!((p.privacy_epsilon() - 1.0).abs() < 1e-15);
     }
 
     #[test]

@@ -195,15 +195,17 @@ where
         // During burn-in, adapt the step toward ~30% acceptance in windows
         // of 100 proposals (Robbins–Monro-style multiplicative update).
         let mut window_accepts = 0usize;
+        // One proposal buffer for the whole chain: accepted states swap
+        // into `theta` instead of allocating a fresh Vec per iteration.
+        let mut proposal = vec![0.0f64; d];
         for it in 0..total {
-            let proposal: Vec<f64> = theta
-                .iter()
-                .map(|&t| t + step * gauss.sample(rng))
-                .collect();
+            for (p, &t) in proposal.iter_mut().zip(&theta) {
+                *p = t + step * gauss.sample(rng);
+            }
             let log_q = self.log_target(&proposal);
             let accept = (log_q - log_p) >= rng.next_open_f64().ln();
             if accept {
-                theta = proposal;
+                std::mem::swap(&mut theta, &mut proposal);
                 log_p = log_q;
             }
             if it < cfg.burn_in {

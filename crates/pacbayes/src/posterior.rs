@@ -10,18 +10,37 @@
 //!   models, used with the Metropolis sampler.
 
 use crate::{PacBayesError, Result};
-use dplearn_numerics::distributions::{Categorical, Continuous, Gaussian, Sample};
+use dplearn_numerics::distributions::{Categorical, Gaussian, Sample};
 use dplearn_numerics::rng::Rng;
 use dplearn_numerics::special::{kahan_sum, log_sum_exp, xlogy};
 
 /// A probability distribution over a finite hypothesis class
 /// `Θ = {θ₀, …, θ_{k−1}}`, stored as an explicit probability vector.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct FinitePosterior {
     probs: Vec<f64>,
+    // Alias table built once at construction so repeated `sample` calls
+    // skip the O(k) Vose rebuild. Derived deterministically from `probs`
+    // (and excluded from PartialEq), so draws are bit-identical to
+    // sampling from a freshly built table.
+    alias: Option<Categorical>,
+}
+
+impl PartialEq for FinitePosterior {
+    fn eq(&self, other: &Self) -> bool {
+        self.probs == other.probs
+    }
 }
 
 impl FinitePosterior {
+    fn from_validated(probs: Vec<f64>) -> Self {
+        // Every constructor validates `probs` to a positive, finite unit
+        // sum, so the alias build cannot fail; `None` marks the
+        // impossible branch and falls back deterministically in `sample`.
+        let alias = Categorical::new(&probs).ok();
+        FinitePosterior { probs, alias }
+    }
+
     /// The uniform distribution over `k` hypotheses.
     pub fn uniform(k: usize) -> Result<Self> {
         if k == 0 {
@@ -30,9 +49,7 @@ impl FinitePosterior {
                 reason: "hypothesis space must be non-empty".to_string(),
             });
         }
-        Ok(FinitePosterior {
-            probs: vec![1.0 / k as f64; k],
-        })
+        Ok(FinitePosterior::from_validated(vec![1.0 / k as f64; k]))
     }
 
     /// From an explicit probability vector (validated to sum to 1).
@@ -59,7 +76,7 @@ impl FinitePosterior {
                 reason: format!("must sum to 1, got {total}"),
             });
         }
-        Ok(FinitePosterior { probs })
+        Ok(FinitePosterior::from_validated(probs))
     }
 
     /// From unnormalized log weights (normalized in log space).
@@ -77,9 +94,9 @@ impl FinitePosterior {
                 reason: format!("log-normalizer is not finite ({z})"),
             });
         }
-        Ok(FinitePosterior {
-            probs: log_weights.iter().map(|&lw| (lw - z).exp()).collect(),
-        })
+        Ok(FinitePosterior::from_validated(
+            log_weights.iter().map(|&lw| (lw - z).exp()).collect(),
+        ))
     }
 
     /// Number of hypotheses.
@@ -149,12 +166,16 @@ impl FinitePosterior {
     }
 
     /// Draw a hypothesis index.
+    ///
+    /// Samples from the alias table built at construction — O(1) per draw
+    /// and bit-identical to rebuilding the table per call (the table is a
+    /// pure function of `probs`).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         // `probs` was validated at construction; if the impossible
         // happens, index 0 is a deterministic, in-bounds fallback.
-        match Categorical::new(&self.probs) {
-            Ok(cat) => cat.sample(rng),
-            Err(_) => 0,
+        match &self.alias {
+            Some(cat) => cat.sample(rng),
+            None => 0,
         }
     }
 
@@ -198,6 +219,10 @@ impl FinitePosterior {
 pub struct DiagGaussian {
     mean: Vec<f64>,
     std: Vec<f64>,
+    // Per-coordinate `ln σᵢ`, cached at construction so every `ln_pdf`
+    // call skips d logarithms. Derived deterministically from `std`, so
+    // the derived PartialEq/Clone semantics are unchanged.
+    ln_std: Vec<f64>,
 }
 
 impl DiagGaussian {
@@ -215,7 +240,8 @@ impl DiagGaussian {
                 reason: "standard deviations must be finite and positive".to_string(),
             });
         }
-        Ok(DiagGaussian { mean, std })
+        let ln_std = std.iter().map(|&s| s.ln()).collect();
+        Ok(DiagGaussian { mean, std, ln_std })
     }
 
     /// Isotropic Gaussian `N(0, σ² I)` in `d` dimensions.
@@ -239,16 +265,20 @@ impl DiagGaussian {
     }
 
     /// Log density at a point.
+    ///
+    /// Uses the `ln σᵢ` values cached at construction; each term keeps the
+    /// exact expression tree of [`Gaussian::ln_pdf`]
+    /// (`-0.5·z² − ln σ − 0.5·ln 2π`, left-associated), so the result is
+    /// bit-identical to summing the per-coordinate `Gaussian::ln_pdf`
+    /// calls while skipping `d` logarithms per evaluation.
     pub fn ln_pdf(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.dim(), "ln_pdf: dimension mismatch");
-        // Mean/std were validated at construction; NaN marks the
-        // impossible failure branch instead of panicking mid-sum.
+        let half_ln_2pi = 0.5 * (2.0 * std::f64::consts::PI).ln();
         x.iter()
-            .zip(self.mean.iter().zip(&self.std))
-            .map(|(&xi, (&m, &s))| {
-                Gaussian::new(m, s)
-                    .map(|g| g.ln_pdf(xi))
-                    .unwrap_or(f64::NAN)
+            .zip(self.mean.iter().zip(self.std.iter().zip(&self.ln_std)))
+            .map(|(&xi, (&m, (&s, &ln_s)))| {
+                let z = (xi - m) / s;
+                -0.5 * z * z - ln_s - half_ln_2pi
             })
             .sum()
     }
@@ -270,6 +300,7 @@ impl DiagGaussian {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dplearn_numerics::distributions::Continuous;
     use dplearn_numerics::rng::Xoshiro256;
 
     fn close(a: f64, b: f64, tol: f64) {
@@ -345,6 +376,29 @@ mod tests {
         let want = Gaussian::new(1.0, 2.0).unwrap().ln_pdf(0.0)
             + Gaussian::new(-1.0, 0.5).unwrap().ln_pdf(0.0);
         close(g.ln_pdf(&x), want, 1e-12);
+    }
+
+    #[test]
+    fn diag_gaussian_cached_ln_pdf_is_bit_identical_to_reference() {
+        // The cached-constant evaluation must match a per-coordinate
+        // Gaussian::ln_pdf sum bit for bit (not just approximately): the
+        // MH sampler's accept/reject decisions depend on the exact bits.
+        let means = [0.0, 1.5, -2.25, 1e6];
+        let stds = [1.0, 0.125, 3.7, 42.0];
+        let g = DiagGaussian::new(means.to_vec(), stds.to_vec()).unwrap();
+        let points = [
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![1.0, -1.0, 2.5, 999_999.5],
+            vec![-3.5, 0.1, 1e-8, 1e6],
+        ];
+        for x in &points {
+            let reference: f64 = x
+                .iter()
+                .zip(means.iter().zip(&stds))
+                .map(|(&xi, (&m, &s))| Gaussian::new(m, s).unwrap().ln_pdf(xi))
+                .sum();
+            assert_eq!(g.ln_pdf(x).to_bits(), reference.to_bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! Compile-and-run check for the prepared-selection example in README.md
+//! ("Fast paths"). If this test breaks, update the README.
+
+use dplearn::mechanisms::exponential::ExponentialMechanism;
+use dplearn::mechanisms::privacy::Epsilon;
+use dplearn::numerics::rng::Xoshiro256;
+use dplearn::DplearnError;
+
+#[test]
+fn readme_fastpath_example_runs_as_written() -> Result<(), DplearnError> {
+    let scores = vec![0.1, 2.0, 0.7, 1.4];
+    let mech = ExponentialMechanism::new(scores.len(), 1.0)?;
+    let eps = Epsilon::new(1.0)?;
+
+    // Build the stabilized log-weights, normalizer, cumulative table, and
+    // alias table once; every subsequent draw is O(1).
+    let prepared = mech.prepare(&scores, eps)?;
+    let mut rng = Xoshiro256::seed_from(42);
+    let winners: Vec<usize> = (0..1000).map(|_| prepared.draw(&mut rng)).collect();
+
+    // Same stream through the uncached path → the same winners, bit for bit.
+    let mut replay = Xoshiro256::seed_from(42);
+    for &w in &winners {
+        assert_eq!(w, mech.select(&scores, eps, &mut replay)?);
+    }
+
+    // Opt-in fast paths (Gumbel-max, inverse-CDF) consume the stream
+    // differently: equal in distribution, pinned to the declared ε by an
+    // empirical audit in CI, but not draw-for-draw reproducible against
+    // `select` — choose them explicitly.
+    let _winner = prepared.draw_gumbel(&mut rng);
+    Ok(())
+}

@@ -17,7 +17,11 @@
 //! * `blahut_arimoto` — the scratch-reusing solver vs a replica with
 //!   the same fixed-chunk parallel structure that reallocates its row
 //!   logits and marginal and takes `nx·ny` logarithms per iteration.
-//!   Kernels and iteration counts are asserted identical.
+//!   Kernels and iteration counts are asserted identical. The section
+//!   also reports per-iteration dispatch overhead: each iteration runs
+//!   two parallel sections (row update + marginal), so it carries the
+//!   measured per-section cost of the persistent pool alongside what a
+//!   scoped-spawn dispatcher would have charged.
 //! * `engine_batch` — the batch's dataset reads (counts, sums, rank
 //!   risks) replayed against the per-request linear scans the engine
 //!   used before `SufficientStats`, vs the sorted-copy reads it uses
@@ -321,6 +325,35 @@ fn uncached_ba(
     (kernel, iterations)
 }
 
+/// Per-section dispatch overhead in microseconds: a no-op parallel
+/// section through the persistent pool vs a scoped-spawn replica of the
+/// pre-pool dispatcher. At 1 configured worker both run inline.
+fn bench_dispatch(reps: usize) -> (f64, f64) {
+    const SECTIONS: usize = 2_000;
+    let workers = dplearn::parallel::thread_count();
+    let chunks = workers.max(2);
+    // Warm the pool so worker-thread creation is not billed to the
+    // steady-state sections.
+    black_box(dplearn::parallel::par_map_indexed(chunks, |k| k));
+    let pool = median_secs(reps, || {
+        for _ in 0..SECTIONS {
+            black_box(dplearn::parallel::par_map_indexed(chunks, |k| k));
+        }
+    });
+    let spawn = median_secs(reps, || {
+        let helpers = workers.saturating_sub(1);
+        for _ in 0..SECTIONS {
+            std::thread::scope(|s| {
+                for _ in 0..helpers {
+                    s.spawn(|| black_box(0usize));
+                }
+                black_box(0usize)
+            });
+        }
+    });
+    (pool / SECTIONS as f64 * 1e6, spawn / SECTIONS as f64 * 1e6)
+}
+
 fn bench_ba(n: usize, reps: usize) -> (f64, f64, usize) {
     let (source, distortion) = ba_problem(n);
     let beta = 8.0;
@@ -545,13 +578,22 @@ fn main() {
             extra: format!("\"dim\": {mh_dim}, \"iterations\": {iters}"),
         });
 
+        let (pool_us, spawn_us) = bench_dispatch(reps);
         let (u, c, iters) = bench_ba(ba_n, reps);
         sections.push(Section {
             name: "blahut_arimoto",
             threads,
             uncached: u,
             cached: c,
-            extra: format!("\"alphabet\": {ba_n}, \"iterations\": {iters}"),
+            // Two parallel sections per iteration: row update + marginal.
+            extra: format!(
+                "\"alphabet\": {ba_n}, \"iterations\": {iters}, \
+                 \"parallel_sections_per_iteration\": 2, \
+                 \"pool_dispatch_us_per_iteration\": {:.3}, \
+                 \"scoped_spawn_us_per_iteration\": {:.3}",
+                2.0 * pool_us,
+                2.0 * spawn_us
+            ),
         });
 
         let (u, c, e2e) = bench_engine(datasets, records, requests, reps);

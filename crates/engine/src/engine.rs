@@ -627,11 +627,17 @@ fn run_with_retries(
         name: "max_attempts",
         reason: "no attempt ran".to_string(),
     };
+    // `stream` tracks the base stream advanced by `attempt` long-jumps,
+    // maintained incrementally (one jump per retry rather than re-deriving
+    // `attempt` jumps from the base — same bits, O(attempts) total work).
+    // Each attempt executes on a clone so the mechanism's draws never
+    // perturb the jump schedule.
+    let mut stream = base_rng.clone();
     for attempt in 0..max_attempts {
-        let mut rng = base_rng.clone();
-        for _ in 0..attempt {
-            rng.long_jump();
+        if attempt > 0 {
+            stream.long_jump();
         }
+        let mut rng = stream.clone();
         match mech.execute(kind, dataset, &mut rng) {
             Ok(value) => {
                 let fault = value
@@ -674,6 +680,97 @@ mod tests {
         e.register_dataset(name, values, 0.0, 1.0, Budget::new(cap_eps, 1e-6).unwrap())
             .unwrap();
         e
+    }
+
+    /// Faults once, then releases one raw RNG draw — so the released
+    /// value *is* the identity of the substream the retry ran on.
+    struct FlakyProbe {
+        calls: std::sync::atomic::AtomicUsize,
+    }
+
+    impl QueryMechanism for FlakyProbe {
+        fn name(&self) -> &'static str {
+            "flaky_probe"
+        }
+        fn admit(&self, kind: &QueryKind, _dataset: &Dataset) -> Result<Budget> {
+            match kind {
+                QueryKind::Custom { .. } => Budget::new(0.05, 1e-9).map_err(EngineError::Mechanism),
+                _ => Err(EngineError::InvalidParameter {
+                    name: "kind",
+                    reason: "flaky_probe only serves Custom".to_string(),
+                }),
+            }
+        }
+        fn execute(
+            &self,
+            _kind: &QueryKind,
+            _dataset: &Dataset,
+            rng: &mut dyn Rng,
+        ) -> Result<QueryValue> {
+            use std::sync::atomic::Ordering;
+            if self.calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                // Consume a draw so a stream-reuse bug would be visible,
+                // then fault: NaN forces the engine to retry.
+                let _ = rng.next_open_f64();
+                Ok(QueryValue::Scalar(f64::NAN))
+            } else {
+                Ok(QueryValue::Scalar(rng.next_open_f64()))
+            }
+        }
+    }
+
+    #[test]
+    fn retried_request_lands_on_long_jump_advanced_substream() {
+        // Regression pin for the retry contract under the worker pool:
+        // attempt k of request i must draw from stream i of
+        // jump_streams(batch_seed, n) advanced by exactly k long-jumps,
+        // regardless of which pool thread runs the retry.
+        dplearn_parallel::set_thread_count(4);
+        let mut e = engine_with("d", 1.0);
+        e.register_mechanism(Arc::new(FlakyProbe {
+            calls: std::sync::atomic::AtomicUsize::new(0),
+        }));
+        let batch = vec![
+            QueryRequest::new(
+                "d",
+                QueryKind::LaplaceCount {
+                    lo: 0.0,
+                    hi: 0.5,
+                    epsilon: 0.1,
+                },
+            ),
+            QueryRequest::new(
+                "d",
+                QueryKind::Custom {
+                    mechanism: "flaky_probe".to_string(),
+                    params: vec![],
+                },
+            ),
+        ];
+        let report = e.run_batch(&batch);
+        dplearn_parallel::set_thread_count(0);
+
+        let QueryOutcome::Executed {
+            value, attempts, ..
+        } = &report.outcomes[1]
+        else {
+            panic!("flaky request should execute, got {:?}", report.outcomes[1]);
+        };
+        assert_eq!(*attempts, 2, "first attempt faults, second succeeds");
+        let QueryValue::Scalar(got) = value else {
+            panic!("expected a scalar release");
+        };
+        // Re-derive the expected substream: request index 1's base
+        // stream, advanced by one long-jump for retry attempt 1.
+        let mut streams = Xoshiro256::jump_streams(report.batch_seed, batch.len());
+        let mut expect = streams.remove(1);
+        expect.long_jump();
+        let want = expect.next_open_f64();
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "retry did not land on the long-jump-advanced substream"
+        );
     }
 
     #[test]

@@ -93,34 +93,64 @@ struct BaState {
 /// logs' data-independent half), the per-iteration `ln r(y)` cache, and
 /// the next-marginal accumulator.
 ///
+/// The kernel and `β·d` matrices are **flat row-major** `nx·ny` buffers
+/// (row `x` occupies `[x·ny, (x+1)·ny)`): one contiguous allocation each
+/// instead of `nx` boxed rows, so the per-row logit sweep and the
+/// column-sliced marginal accumulation walk cache lines without pointer
+/// chasing and autovectorize. Flattening changes the *layout* only —
+/// every row slice sees the same values in the same order, so arithmetic
+/// order (and therefore every iterate) is unchanged bit for bit.
+///
 /// Caching `β·d` and `ln r` replaces the `nx·ny` logarithms the naive
 /// per-cell `ln r(y) − β·d(x,y)` evaluation pays per iteration with `ny`
 /// logarithms; every cached value is the identical subexpression the
 /// naive evaluation computes, so the iterates are bit-identical (pinned
 /// by `scratch_reuse_output_is_bit_identical_to_naive_reference`).
 struct BaScratch {
-    kernel: Vec<Vec<f64>>,
-    beta_d: Vec<Vec<f64>>,
+    /// Output-alphabet size: the row stride of `kernel` and `beta_d`.
+    ny: usize,
+    /// `q(y|x)` as a flat row-major `nx·ny` matrix.
+    kernel: Vec<f64>,
+    /// `β·d(x,y)` as a flat row-major `nx·ny` matrix.
+    beta_d: Vec<f64>,
     ln_r: Vec<f64>,
     new_r: Vec<f64>,
 }
 
 impl BaScratch {
     fn new(distortion: &[Vec<f64>], beta: f64, ny: usize) -> Self {
+        let nx = distortion.len();
+        let mut beta_d = Vec::with_capacity(nx * ny);
+        for row in distortion {
+            beta_d.extend(row.iter().map(|&d| beta * d));
+        }
         BaScratch {
-            kernel: vec![vec![0.0; ny]; distortion.len()],
-            beta_d: distortion
-                .iter()
-                .map(|row| row.iter().map(|&d| beta * d).collect())
-                .collect(),
+            ny,
+            kernel: vec![0.0; nx * ny],
+            beta_d,
             ln_r: vec![0.0; ny],
             new_r: vec![0.0; ny],
         }
     }
 }
 
+/// Rebuild per-row `Vec`s from a flat row-major kernel — the boundary
+/// back to [`DiscreteChannel`], which owns its rows.
+fn rows_from_flat(flat: Vec<f64>, ny: usize) -> Vec<Vec<f64>> {
+    flat.chunks(ny).map(<[f64]>::to_vec).collect()
+}
+
+/// Approximate cost in [`dplearn_parallel::par_threshold`] units
+/// (≈ nanoseconds) of one kernel cell in the row update: a subtraction,
+/// its share of a `log_sum_exp`, and an `exp`.
+const ROW_CELL_COST: u64 = 16;
+
 /// The alternating-minimization loop from marginal `r`, for up to
 /// `max_iters` iterations or until the marginal moves < `tol` in ℓ∞.
+///
+/// `lse` is the row normalizer: [`log_sum_exp`] on the default
+/// bit-identical path, `log_sum_exp_fast` on the opt-in reordered-sum
+/// path (see [`blahut_arimoto_fast`]).
 // The chunked updates index rows/columns with offsets handed out by the
 // parallel scheduler, all bounded by the validated kernel dimensions.
 #[allow(clippy::indexing_slicing)]
@@ -131,13 +161,17 @@ fn ba_iterate(
     mut r: Vec<f64>,
     scratch: &mut BaScratch,
     recorder: &dyn Recorder,
+    lse: fn(&[f64]) -> f64,
 ) -> BaState {
     let BaScratch {
+        ny,
         kernel,
         beta_d,
         ln_r,
         new_r,
     } = scratch;
+    let ny = *ny;
+    let nx = source.len();
     let beta_d = &*beta_d;
     let mut gap = f64::INFINITY;
     let mut iterations = 0;
@@ -148,9 +182,14 @@ fn ba_iterate(
     // determinism contract; see dplearn-parallel). Row updates are
     // per-row independent, and the marginal is accumulated per *column*
     // in source order, so both stages are bit-identical to the serial
-    // loops at every thread count.
-    let row_chunk = source.len().div_ceil(64).max(1);
+    // loops at every thread count. Row chunks are sized in *cells* but
+    // always a whole number of rows, so chunk boundaries never split a
+    // row.
+    let row_chunk_cells = source.len().div_ceil(64).max(1) * ny;
     let col_chunk = new_r.len().div_ceil(64).max(1);
+    // Per-column cost of the marginal update: one fused multiply-add per
+    // source letter.
+    let col_cost = (2 * nx) as u64;
     while iterations < max_iters {
         iterations += 1;
         // The data-dependent half of the logits, once per iteration
@@ -167,21 +206,27 @@ fn ba_iterate(
         // kernel with prior r. Rows are independent Gibbs updates, so
         // they parallelize freely. The logits are written into the
         // kernel row itself and exponentiated in place: no per-row
-        // allocation.
+        // allocation, and both matrices are one contiguous sweep.
         {
             let ln_r = &*ln_r;
-            dplearn_parallel::par_for_each_chunk_mut(kernel, row_chunk, |_chunk, start, rows| {
-                for (offset, row_q) in rows.iter_mut().enumerate() {
-                    let row_bd = &beta_d[start + offset];
-                    for ((q, &l), &bd) in row_q.iter_mut().zip(ln_r).zip(row_bd) {
-                        *q = l - bd;
+            dplearn_parallel::par_for_each_chunk_mut_with_cost(
+                kernel,
+                row_chunk_cells,
+                ROW_CELL_COST,
+                |_chunk, start, cells| {
+                    for (offset_row, row_q) in cells.chunks_mut(ny).enumerate() {
+                        let row0 = start + offset_row * ny;
+                        let row_bd = &beta_d[row0..row0 + ny];
+                        for ((q, &l), &bd) in row_q.iter_mut().zip(ln_r).zip(row_bd) {
+                            *q = l - bd;
+                        }
+                        let z = lse(row_q);
+                        for q in row_q.iter_mut() {
+                            *q = (*q - z).exp();
+                        }
                     }
-                    let z = log_sum_exp(row_q);
-                    for q in row_q.iter_mut() {
-                        *q = (*q - z).exp();
-                    }
-                }
-            });
+                },
+            );
         }
         // Update output marginal r(y) = Σ_x p(x) q(y|x), parallel over
         // output columns: each column sums its x-contributions in source
@@ -189,14 +234,20 @@ fn ba_iterate(
         new_r.fill(0.0);
         {
             let kernel = &*kernel;
-            dplearn_parallel::par_for_each_chunk_mut(new_r, col_chunk, |_chunk, start, cols| {
-                let width = cols.len();
-                for (&px, row_q) in source.iter().zip(kernel) {
-                    for (nr, &q) in cols.iter_mut().zip(&row_q[start..start + width]) {
-                        *nr += px * q;
+            dplearn_parallel::par_for_each_chunk_mut_with_cost(
+                new_r,
+                col_chunk,
+                col_cost,
+                |_chunk, start, cols| {
+                    let width = cols.len();
+                    for (x, &px) in source.iter().enumerate() {
+                        let row0 = x * ny + start;
+                        for (nr, &q) in cols.iter_mut().zip(&kernel[row0..row0 + width]) {
+                            *nr += px * q;
+                        }
                     }
-                }
-            });
+                },
+            );
         }
         gap = r
             .iter()
@@ -223,15 +274,16 @@ fn ba_iterate(
 }
 
 /// Package a converged state as a [`RateDistortion`], taking ownership of
-/// the kernel the run left in its scratch space.
+/// the flat row-major kernel the run left in its scratch space.
 fn ba_finalize(
     source: &[f64],
     distortion: &[Vec<f64>],
-    kernel: Vec<Vec<f64>>,
+    kernel: Vec<f64>,
+    ny: usize,
     state: BaState,
     total_iterations: usize,
 ) -> Result<RateDistortion> {
-    let channel = DiscreteChannel::new(source.to_vec(), kernel)?;
+    let channel = DiscreteChannel::new(source.to_vec(), rows_from_flat(kernel, ny))?;
     let rate = channel.mutual_information();
     let mut dist = 0.0;
     for ((&px, row_q), row_d) in source.iter().zip(channel.kernel()).zip(distortion) {
@@ -262,11 +314,51 @@ pub fn blahut_arimoto(
     tol: f64,
     max_iters: usize,
 ) -> Result<RateDistortion> {
+    ba_run(source, distortion, beta, tol, max_iters, log_sum_exp)
+}
+
+/// [`blahut_arimoto`] on the **reordered-sum fast path**: row normalizers
+/// use `log_sum_exp_fast` (four-lane uncompensated exp-sum) instead of
+/// the serial Kahan [`log_sum_exp`].
+///
+/// Per the workspace pinning contract this path is *not* bit-identical
+/// to [`blahut_arimoto`] — the per-row sums associate differently, so
+/// iterates drift by ulps — but it converges to the same fixed point:
+/// the `fast_path_reaches_the_same_fixed_point` test pins closeness of
+/// rate/distortion and a tiny [`gibbs_fixed_point_gap`], and the
+/// `kernel_fastpaths` suite pins distribution-equivalence. It *is*
+/// thread-count invariant: the lane reassociation is fixed per row, not
+/// scheduling-dependent.
+pub fn blahut_arimoto_fast(
+    source: &[f64],
+    distortion: &[Vec<f64>],
+    beta: f64,
+    tol: f64,
+    max_iters: usize,
+) -> Result<RateDistortion> {
+    ba_run(
+        source,
+        distortion,
+        beta,
+        tol,
+        max_iters,
+        dplearn_numerics::special::log_sum_exp_fast,
+    )
+}
+
+fn ba_run(
+    source: &[f64],
+    distortion: &[Vec<f64>],
+    beta: f64,
+    tol: f64,
+    max_iters: usize,
+    lse: fn(&[f64]) -> f64,
+) -> Result<RateDistortion> {
     let ny = validate_ba(source, distortion, beta)?;
     // Start from the uniform output marginal.
     let r = vec![1.0 / ny as f64; ny];
     let mut scratch = BaScratch::new(distortion, beta, ny);
-    let state = ba_iterate(source, tol, max_iters, r, &mut scratch, &NoopRecorder);
+    let state = ba_iterate(source, tol, max_iters, r, &mut scratch, &NoopRecorder, lse);
     if !state.converged {
         return Err(InfoError::DidNotConverge {
             iterations: state.iterations,
@@ -277,6 +369,7 @@ pub fn blahut_arimoto(
         source,
         distortion,
         std::mem::take(&mut scratch.kernel),
+        ny,
         state,
         total,
     )
@@ -341,7 +434,7 @@ pub fn blahut_arimoto_with_retry_recorded(
     let mut scratch = BaScratch::new(distortion, beta, ny);
     for attempt in 0..policy.max_attempts {
         let budget = policy.budget_for(attempt);
-        let state = ba_iterate(source, tol, budget, r, &mut scratch, recorder);
+        let state = ba_iterate(source, tol, budget, r, &mut scratch, recorder, log_sum_exp);
         total_iterations = total_iterations.saturating_add(state.iterations);
         if state.converged {
             let report = ConvergenceReport {
@@ -360,6 +453,7 @@ pub fn blahut_arimoto_with_retry_recorded(
                 source,
                 distortion,
                 std::mem::take(&mut scratch.kernel),
+                ny,
                 state,
                 total_iterations,
             )?;
@@ -619,9 +713,17 @@ mod tests {
         for attempt in 0.. {
             let budget = policy.budget_for(attempt);
             let mut scratch = BaScratch::new(&distortion, beta, ny);
-            let state = ba_iterate(&source, tol, budget, r, &mut scratch, &NoopRecorder);
+            let state = ba_iterate(
+                &source,
+                tol,
+                budget,
+                r,
+                &mut scratch,
+                &NoopRecorder,
+                log_sum_exp,
+            );
             if state.converged {
-                for (row, want_row) in rd.channel.kernel().iter().zip(&scratch.kernel) {
+                for (row, want_row) in rd.channel.kernel().iter().zip(scratch.kernel.chunks(ny)) {
                     for (&q, &wq) in row.iter().zip(want_row) {
                         assert_eq!(q.to_bits(), wq.to_bits());
                     }
@@ -663,6 +765,34 @@ mod tests {
         let four = run();
         dplearn_parallel::set_thread_count(0);
         assert_eq!(one, four);
+    }
+
+    #[test]
+    fn fast_path_reaches_the_same_fixed_point() {
+        // The reordered-sum fast path is not bit-identical to the
+        // default, but it must land on the same rate–distortion point
+        // and satisfy the Gibbs fixed-point identity just as tightly.
+        let source = [0.3, 0.45, 0.25];
+        let distortion = vec![
+            vec![0.0, 0.6, 1.0],
+            vec![0.5, 0.0, 0.4],
+            vec![1.0, 0.7, 0.0],
+        ];
+        let beta = 3.0;
+        let slow = blahut_arimoto(&source, &distortion, beta, 1e-13, 50_000).unwrap();
+        let fast = blahut_arimoto_fast(&source, &distortion, beta, 1e-13, 50_000).unwrap();
+        close(fast.rate, slow.rate, 1e-9);
+        close(fast.distortion, slow.distortion, 1e-9);
+        let gap = gibbs_fixed_point_gap(&fast, &distortion, beta);
+        assert!(gap < 1e-9, "fast-path Gibbs fixed-point gap {gap}");
+        // And the fast path is still thread-count invariant.
+        let bits = |threads| {
+            dplearn_parallel::set_thread_count(threads);
+            let rd = blahut_arimoto_fast(&source, &distortion, beta, 1e-13, 50_000).unwrap();
+            dplearn_parallel::set_thread_count(0);
+            rd.rate.to_bits()
+        };
+        assert_eq!(bits(1), bits(4));
     }
 
     #[test]

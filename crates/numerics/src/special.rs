@@ -109,6 +109,57 @@ pub fn log_sum_exp(xs: &[f64]) -> f64 {
     m + s.ln()
 }
 
+/// `log Σᵢ exp(xᵢ)` — the vectorization-friendly fast path.
+///
+/// Semantics match [`log_sum_exp`] (`-inf` for an empty slice, `+inf`
+/// when any term is `+inf`) but the inner loops run over four
+/// independent lanes so the compiler can keep SIMD units busy:
+///
+/// * The **max scan** is four-lane but still *exact* — a maximum is the
+///   same value under any association, so the pivot `m` is bit-identical
+///   to the sequential fold in [`log_sum_exp`].
+/// * The **exp-sum** is four-lane and *uncompensated*: terms are added
+///   in a different association than the serial Kahan sum, so the
+///   result may differ from [`log_sum_exp`] in the last few ulps.
+///
+/// Per the workspace's pinning contract, this reordered-sum fast path is
+/// **opt-in**: default call sites keep [`log_sum_exp`] for bit-identical
+/// results, and consumers that switch (e.g. `blahut_arimoto_fast`, the
+/// MH fast log-prior) are pinned by `audit_discrete_par`
+/// distribution-equivalence instead of bit-identity.
+pub fn log_sum_exp_fast(xs: &[f64]) -> f64 {
+    const LANES: usize = 4;
+    let mut lane_max = [f64::NEG_INFINITY; LANES];
+    let mut chunks = xs.chunks_exact(LANES);
+    for c in chunks.by_ref() {
+        for (m, &x) in lane_max.iter_mut().zip(c) {
+            *m = m.max(x);
+        }
+    }
+    let mut m = lane_max.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    for &x in chunks.remainder() {
+        m = m.max(x);
+    }
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    if m == f64::INFINITY {
+        return f64::INFINITY;
+    }
+    let mut lane_sum = [0.0f64; LANES];
+    let mut chunks = xs.chunks_exact(LANES);
+    for c in chunks.by_ref() {
+        for (s, &x) in lane_sum.iter_mut().zip(c) {
+            *s += (x - m).exp();
+        }
+    }
+    let mut total: f64 = lane_sum.iter().sum();
+    for &x in chunks.remainder() {
+        total += (x - m).exp();
+    }
+    m + total.ln()
+}
+
 /// `log(1 + exp(x))` without overflow (the softplus function).
 pub fn log1p_exp(x: f64) -> f64 {
     if x > 0.0 {
@@ -480,6 +531,36 @@ mod tests {
     #[test]
     fn log_sum_exp_empty_is_neg_inf() {
         assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn log_sum_exp_fast_matches_slow_edge_cases() {
+        assert_eq!(log_sum_exp_fast(&[]), f64::NEG_INFINITY);
+        assert_eq!(log_sum_exp_fast(&[f64::NEG_INFINITY; 7]), f64::NEG_INFINITY);
+        assert_eq!(log_sum_exp_fast(&[1.0, f64::INFINITY]), f64::INFINITY);
+        // Huge magnitudes: the pivot keeps both stable.
+        close(log_sum_exp_fast(&[1000.0, 1000.0]), 1000.0 + LN_2, 1e-9);
+        close(log_sum_exp_fast(&[-1000.0, -1000.0]), -1000.0 + LN_2, 1e-9);
+    }
+
+    #[test]
+    fn log_sum_exp_fast_tracks_slow_within_ulps() {
+        // Deterministic pseudo-random logits over every length that
+        // exercises lane remainders 0..=3.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 40.0 - 20.0
+        };
+        for len in [1usize, 2, 3, 4, 5, 7, 8, 63, 64, 65, 256, 1000] {
+            let xs: Vec<f64> = (0..len).map(|_| next()).collect();
+            let slow = log_sum_exp(&xs);
+            let fast = log_sum_exp_fast(&xs);
+            let tol = 1e-13 * slow.abs().max(1.0);
+            close(fast, slow, tol);
+        }
     }
 
     #[test]

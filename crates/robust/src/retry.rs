@@ -12,6 +12,14 @@
 //! Determinism contract: a policy is pure data and its schedule depends
 //! only on the attempt index — never on wall-clock time — so retrying
 //! pipelines stay bit-identical at every `DPLEARN_THREADS` setting.
+//!
+//! Interaction with the worker pool (`dplearn-parallel`): a retry loop
+//! drives one parallel section per attempt against the process-wide
+//! persistent pool. Each dispatch is fully joined before the wrapper
+//! regains control, so **no pool state crosses a restart boundary** — no
+//! in-pool-section marker on the calling thread, no stale task, no
+//! half-claimed chunks. The `retry_restarts_do_not_leak_pool_state`
+//! fault-injection test pins this.
 
 use crate::{Result, RobustError};
 

@@ -250,6 +250,37 @@ fn sampling_survives_adversarial_rng_streams() {
 }
 
 #[test]
+fn retry_restarts_do_not_leak_pool_state() {
+    // Retry wrappers drive many parallel sections back to back (one per
+    // attempt). None of that may leak worker-pool state into the caller:
+    // after a restart-heavy solve the calling thread must not be marked
+    // as inside a pool section, and the pool must serve later parallel
+    // calls with bit-identical results.
+    dplearn_parallel::set_thread_count(4);
+    let policy = RetryPolicy {
+        max_attempts: 8,
+        base_iters: 2,
+        growth: 4.0,
+        damping: 0.5,
+    };
+    let source = [0.2, 0.8];
+    let distortion = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+    let (_, report) = blahut_arimoto_with_retry(&source, &distortion, 5.0, 1e-13, &policy)
+        .expect("retry should converge");
+    assert!(report.attempts > 1, "premise: restarts must happen");
+    assert!(
+        !dplearn_parallel::in_pool_section(),
+        "pool section flag leaked across retry restarts"
+    );
+    // The pool is still healthy: a fresh dispatch matches serial bits.
+    let pooled = dplearn_parallel::par_map_indexed(100, |i| ((i as f64) + 0.5).sqrt().to_bits());
+    dplearn_parallel::set_thread_count(1);
+    let serial = dplearn_parallel::par_map_indexed(100, |i| ((i as f64) + 0.5).sqrt().to_bits());
+    dplearn_parallel::set_thread_count(0);
+    assert_eq!(pooled, serial);
+}
+
+#[test]
 fn blahut_arimoto_under_all_fault_classes() {
     let policy = RetryPolicy {
         max_attempts: 2,

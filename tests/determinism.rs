@@ -552,3 +552,72 @@ fn audit_and_ba_telemetry_is_thread_count_invariant() {
         recorder.snapshot().unwrap()
     });
 }
+
+// ---------------------------------------------------------------------
+// Worker-pool reuse
+//
+// The persistent pool (PR 6) replaces spawn-per-call scoped threads.
+// These cases pin the pool-specific hazards: state leaking between
+// consecutive dispatches, state leaking across retry restarts, and
+// nested dispatch from inside a worker (which must degrade to serial,
+// not deadlock).
+// ---------------------------------------------------------------------
+
+#[test]
+fn consecutive_par_map_calls_reuse_pool_bit_identically() {
+    // Two back-to-back dispatches on the same warm pool: the second call
+    // must see no residue of the first (no stale task, no claimed-chunk
+    // counter, no section marker).
+    assert_thread_count_invariant(|| {
+        let items: Vec<f64> = (0..5000).map(|i| i as f64 * 0.37).collect();
+        let a: Vec<u64> = dplearn_parallel::par_map(&items, |i, &x| (x.sin() + i as f64).to_bits());
+        let b: Vec<u64> = dplearn_parallel::par_map(&items, |i, &x| (x.cos() - i as f64).to_bits());
+        (a, b)
+    });
+}
+
+#[test]
+fn pool_survives_blahut_arimoto_retry_restarts() {
+    use dplearn::infotheory::blahut_arimoto::blahut_arimoto_with_retry;
+    use dplearn::robust::RetryPolicy;
+    // A restart-heavy solve (each attempt is its own run of pool
+    // dispatches), then an unrelated parallel call on the same pool:
+    // both must be thread-count invariant, and the retry must not leave
+    // the caller marked as in a pool section.
+    let source = [0.2, 0.8];
+    let distortion = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+    let policy = RetryPolicy {
+        max_attempts: 8,
+        base_iters: 2,
+        growth: 4.0,
+        damping: 0.5,
+    };
+    assert_thread_count_invariant(|| {
+        let (rd, report) =
+            blahut_arimoto_with_retry(&source, &distortion, 5.0, 1e-13, &policy).unwrap();
+        assert!(report.attempts > 1, "premise: restarts must happen");
+        assert!(
+            !dplearn_parallel::in_pool_section(),
+            "retry leaked the pool-section marker"
+        );
+        let after: Vec<u64> =
+            dplearn_parallel::par_map_indexed(257, |i| ((i as f64).sqrt() + 1.0).to_bits());
+        (rd.rate.to_bits(), report.attempts, after)
+    });
+}
+
+#[test]
+fn nested_pool_dispatch_falls_back_to_serial_not_deadlock() {
+    // A parallel call issued from inside a pool worker must run inline
+    // (serial) on that worker with identical results — never re-enter
+    // the dispatcher. A deadlock here would hang the suite, so merely
+    // completing is half the assertion; bit-identity is the other half.
+    assert_thread_count_invariant(|| {
+        dplearn_parallel::par_map_indexed(16, |i| {
+            let inner: Vec<u64> = dplearn_parallel::par_map_indexed(16, move |j| {
+                ((i * 16 + j) as f64).sqrt().to_bits()
+            });
+            inner
+        })
+    });
+}

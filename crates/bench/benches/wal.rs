@@ -1,0 +1,196 @@
+//! Write-ahead-log overhead and recovery throughput, with a
+//! machine-readable `BENCH_wal.json` artifact.
+//!
+//! Three measurements:
+//!
+//! 1. The engine's batch hot path with no WAL attached vs with an
+//!    in-memory WAL under `FsyncPolicy::EveryAppend` — the durability
+//!    tax on admission (one intent frame per admitted request, one
+//!    commit frame per executed one, all from sequential paths).
+//! 2. Raw frame append cost: CRC-framed encode + storage append, in
+//!    nanos per record.
+//! 3. Recovery throughput: `wal::replay` over a log of N
+//!    intent/commit pairs, and the full `Engine::recover` (replay plus
+//!    bit-exact ledger restoration), in records per second.
+//!
+//! Not a criterion harness: the run *is* the measurement, so CI can
+//! treat it as a smoke test and scrape the JSON. Results are written
+//! to `BENCH_wal.json` (override via `DPLEARN_BENCH_WAL_JSON`); log
+//! size via `DPLEARN_BENCH_WAL_RECORDS`.
+
+use dplearn::engine::engine::{Engine, EngineConfig};
+use dplearn::engine::request::{QueryKind, QueryRequest};
+use dplearn::engine::wal::{self, FsyncPolicy, MemoryWal, WalRecord, WalStorage};
+use dplearn::mechanisms::privacy::Budget;
+use std::hint::black_box;
+use std::io::Write;
+use std::time::Instant;
+
+/// Generous enough that no request is ever rejected: rejections skip
+/// the intent append and would make the compared runs do different
+/// work.
+const CAP_EPS: f64 = 1e9;
+
+fn build_engine(with_wal: bool) -> Engine {
+    let mut e = Engine::new(EngineConfig::default()).unwrap();
+    if with_wal {
+        e.attach_wal(MemoryWal::new(), FsyncPolicy::EveryAppend)
+            .unwrap();
+    }
+    let values: Vec<f64> = (0..2_000)
+        .map(|i| ((i * 31) % 1000) as f64 / 1000.0)
+        .collect();
+    e.register_dataset(
+        "shard0",
+        values,
+        0.0,
+        1.0,
+        Budget::new(CAP_EPS, 1e-6).unwrap(),
+    )
+    .unwrap();
+    e
+}
+
+fn build_batch(requests: usize) -> Vec<QueryRequest> {
+    (0..requests)
+        .map(|_| {
+            QueryRequest::new(
+                "shard0",
+                QueryKind::LaplaceCount {
+                    lo: 0.0,
+                    hi: 0.5,
+                    epsilon: 1e-3,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Median wall time of one full batch, in seconds.
+fn time_batch(batch: &[QueryRequest], reps: usize, with_wal: bool) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            // Fresh engine per rep: ledgers are charged by each run.
+            let mut engine = build_engine(with_wal);
+            let start = Instant::now();
+            let report = engine.run_batch(batch);
+            let dt = start.elapsed().as_secs_f64();
+            assert_eq!(
+                report.executed(),
+                batch.len(),
+                "workload must execute fully for a fair measurement"
+            );
+            black_box(report);
+            dt
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// A log image of one registration plus `pairs` intent/commit pairs —
+/// the shape a long-lived serving process leaves behind.
+fn build_log_image(pairs: usize) -> Vec<u8> {
+    let cap = Budget::new(CAP_EPS, 1e-6).unwrap();
+    let cost = Budget::new(1e-3, 0.0).unwrap();
+    let mut image = Vec::new();
+    image.extend_from_slice(
+        &WalRecord::DatasetRegistered {
+            dataset: "shard0".to_string(),
+            cap,
+        }
+        .encode_frame()
+        .unwrap(),
+    );
+    for seq in 0..pairs as u64 {
+        image.extend_from_slice(
+            &WalRecord::Intent {
+                seq,
+                dataset: "shard0".to_string(),
+                cost,
+            }
+            .encode_frame()
+            .unwrap(),
+        );
+        image.extend_from_slice(&WalRecord::Commit { seq }.encode_frame().unwrap());
+    }
+    image
+}
+
+fn main() {
+    let pairs: usize = std::env::var("DPLEARN_BENCH_WAL_RECORDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    let requests = 256usize;
+    let reps = 5usize;
+    let batch = build_batch(requests);
+
+    // 1. Durability tax on the batch hot path.
+    let no_wal = time_batch(&batch, reps, false);
+    let with_wal = time_batch(&batch, reps, true);
+    let overhead_percent = (with_wal - no_wal) / no_wal * 100.0;
+
+    // 2. Raw append cost: encode + CRC + storage append per record.
+    let cost = Budget::new(1e-3, 0.0).unwrap();
+    let mut storage = MemoryWal::new();
+    let start = Instant::now();
+    for seq in 0..pairs as u64 {
+        let frame = WalRecord::Intent {
+            seq,
+            dataset: "shard0".to_string(),
+            cost,
+        }
+        .encode_frame()
+        .unwrap();
+        storage.append(&frame).unwrap();
+    }
+    let append_nanos = start.elapsed().as_secs_f64() * 1e9 / pairs as f64;
+    black_box(storage.bytes().len());
+
+    // 3. Recovery throughput over a committed-pairs log.
+    let image = build_log_image(pairs);
+    let records = 1 + 2 * pairs;
+    let start = Instant::now();
+    let replayed = wal::replay(&image).unwrap();
+    let replay_seconds = start.elapsed().as_secs_f64();
+    assert_eq!(replayed.records, records);
+    black_box(&replayed);
+    let replay_per_sec = records as f64 / replay_seconds;
+
+    let start = Instant::now();
+    let engine = Engine::recover(
+        EngineConfig::default(),
+        MemoryWal::from_bytes(image.clone()),
+    )
+    .unwrap();
+    let recover_seconds = start.elapsed().as_secs_f64();
+    assert_eq!(engine.recovered_pending(), vec!["shard0"]);
+    black_box(&engine);
+
+    println!("wal durability: batch of {requests} laplace counts, log of {records} records");
+    println!("  no wal:   {no_wal:.6} s");
+    println!("  with wal: {with_wal:.6} s  ({overhead_percent:+.2}% durability tax)");
+    println!("  append:   {append_nanos:.1} ns/record");
+    println!(
+        "  replay:   {replay_seconds:.6} s  ({replay_per_sec:.0} records/s), \
+         full recover {recover_seconds:.6} s"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"wal_durability\",\n  \
+         \"batch_requests\": {requests},\n  \"reps\": {reps},\n  \
+         \"no_wal_seconds\": {no_wal:.6},\n  \"wal_seconds\": {with_wal:.6},\n  \
+         \"wal_overhead_percent\": {overhead_percent:.4},\n  \
+         \"append_nanos\": {append_nanos:.2},\n  \
+         \"log_records\": {records},\n  \
+         \"replay_seconds\": {replay_seconds:.6},\n  \
+         \"replay_records_per_sec\": {replay_per_sec:.0},\n  \
+         \"recover_seconds\": {recover_seconds:.6}\n}}\n"
+    );
+    let path =
+        std::env::var("DPLEARN_BENCH_WAL_JSON").unwrap_or_else(|_| "BENCH_wal.json".to_string());
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(json.as_bytes()).unwrap();
+    println!("wrote {path}");
+}

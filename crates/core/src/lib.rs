@@ -106,6 +106,9 @@ pub enum DplearnError {
     Robust(dplearn_robust::RobustError),
     /// Underlying serving-engine error.
     Engine(dplearn_engine::EngineError),
+    /// Underlying write-ahead-log durability error (crash-safe budget
+    /// accounting).
+    Durability(dplearn_engine::wal::DurabilityError),
 }
 
 impl std::fmt::Display for DplearnError {
@@ -121,6 +124,7 @@ impl std::fmt::Display for DplearnError {
             DplearnError::Numerics(e) => write!(f, "numerics error: {e}"),
             DplearnError::Robust(e) => write!(f, "robustness error: {e}"),
             DplearnError::Engine(e) => write!(f, "engine error: {e}"),
+            DplearnError::Durability(e) => write!(f, "durability error: {e}"),
         }
     }
 }
@@ -160,6 +164,11 @@ impl From<dplearn_robust::RobustError> for DplearnError {
 impl From<dplearn_engine::EngineError> for DplearnError {
     fn from(e: dplearn_engine::EngineError) -> Self {
         DplearnError::Engine(e)
+    }
+}
+impl From<dplearn_engine::wal::DurabilityError> for DplearnError {
+    fn from(e: dplearn_engine::wal::DurabilityError) -> Self {
+        DplearnError::Durability(e)
     }
 }
 

@@ -24,7 +24,9 @@ use crate::ledger::{BudgetLedger, LeakageLedger};
 use crate::mechanism::{MechanismRegistry, QueryMechanism};
 use crate::report::{BatchReport, EngineReport, EngineTotals};
 use crate::request::{QueryKind, QueryOutcome, QueryRequest, QueryValue};
+use crate::wal::{self, DurabilityError, FsyncPolicy, WalRecord, WalStorage, WriteAheadLog};
 use crate::{EngineError, Result};
+use dplearn_mechanisms::composition::PoisonReason;
 use dplearn_mechanisms::privacy::Budget;
 use dplearn_mechanisms::sparse_vector::{AboveThreshold, SvtAnswer, SvtSessionState};
 use dplearn_numerics::rng::{Rng, SplitMix64, Xoshiro256};
@@ -118,6 +120,14 @@ pub struct Engine {
     batch_counter: u64,
     session_counter: u64,
     recorder: Arc<dyn Recorder>,
+    wal: Option<WriteAheadLog>,
+    /// Ledgers rebuilt by [`Engine::recover`] whose datasets have not
+    /// been re-registered yet. The spend is real; the data is the
+    /// operator's to re-supply.
+    pending_recovered: BTreeMap<String, BudgetLedger>,
+    /// Durably suspended SVT sessions (from a live suspend or a
+    /// recovered log), by original session id.
+    suspended_states: BTreeMap<u64, (String, SvtSessionState)>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -127,6 +137,11 @@ impl std::fmt::Debug for Engine {
             .field("mechanisms", &self.registry.names())
             .field("open_sessions", &self.sessions.len())
             .field("batches_run", &self.batch_counter)
+            .field("wal", &self.wal.is_some())
+            .field(
+                "pending_recovered",
+                &self.pending_recovered.keys().collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -150,7 +165,192 @@ impl Engine {
             batch_counter: 0,
             session_counter: 0,
             recorder: Arc::new(NoopRecorder),
+            wal: None,
+            pending_recovered: BTreeMap::new(),
+            suspended_states: BTreeMap::new(),
         })
+    }
+
+    /// Attach a write-ahead log so every subsequent charge survives a
+    /// crash (see the [`wal`] module docs for the guarantee).
+    ///
+    /// Must be called **before the first charge**: an engine that
+    /// already has spend history would produce a log that under-counts
+    /// on replay, so this fails closed with
+    /// [`DurabilityError::AttachAfterCharges`]. Datasets registered
+    /// before the attach (with pristine ledgers) are fine — their
+    /// registrations are written to the log here.
+    pub fn attach_wal(
+        &mut self,
+        storage: impl WalStorage + 'static,
+        policy: FsyncPolicy,
+    ) -> Result<()> {
+        if self.wal.is_some() {
+            return Err(EngineError::InvalidParameter {
+                name: "wal",
+                reason: "a write-ahead log is already attached".to_string(),
+            });
+        }
+        let dirty = self.batch_counter > 0
+            || !self.sessions.is_empty()
+            || !self.suspended_states.is_empty()
+            || self
+                .datasets
+                .values()
+                .any(|e| !e.ledger.history().is_empty() || e.ledger.is_poisoned());
+        if dirty {
+            return Err(EngineError::Durability(DurabilityError::AttachAfterCharges));
+        }
+        let mut log = WriteAheadLog::new(storage, policy);
+        for (name, entry) in &self.datasets {
+            log.append(
+                &WalRecord::DatasetRegistered {
+                    dataset: name.clone(),
+                    cap: entry.ledger.snapshot().cap,
+                },
+                self.recorder.as_ref(),
+            )
+            .map_err(EngineError::Durability)?;
+        }
+        self.wal = Some(log);
+        Ok(())
+    }
+
+    /// Whether a write-ahead log is attached.
+    pub fn has_wal(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Force a durability barrier on the attached log (no-op without
+    /// one). Only needed under [`FsyncPolicy::Manual`].
+    pub fn wal_flush(&mut self) -> Result<()> {
+        match &mut self.wal {
+            Some(log) => log.flush().map_err(EngineError::Durability),
+            None => Ok(()),
+        }
+    }
+
+    /// Rebuild an engine from a write-ahead log after a crash, with the
+    /// standard mechanism registry and no telemetry.
+    ///
+    /// Every ledger the log describes comes back as **pending**: its
+    /// spend, poisoned state, and fault counters are fully restored, and
+    /// it is re-armed the moment [`Engine::register_dataset`] re-supplies
+    /// the data under the same name (the budget cap must match the log).
+    /// Durably suspended SVT sessions come back resumable via
+    /// [`Engine::svt_resume_suspended`]. Unmatched intents are charged
+    /// conservatively and poison their dataset; see [`wal::replay`] for
+    /// the full fail-closed contract.
+    pub fn recover(config: EngineConfig, storage: impl WalStorage + 'static) -> Result<Self> {
+        Self::recover_with_registry(
+            config,
+            MechanismRegistry::standard(),
+            storage,
+            FsyncPolicy::EveryAppend,
+            Arc::new(NoopRecorder),
+        )
+    }
+
+    /// [`Engine::recover`] with a caller-supplied registry, fsync
+    /// policy, and telemetry sink.
+    pub fn recover_with_registry(
+        config: EngineConfig,
+        registry: MechanismRegistry,
+        mut storage: impl WalStorage + 'static,
+        policy: FsyncPolicy,
+        recorder: Arc<dyn Recorder>,
+    ) -> Result<Self> {
+        let bytes = storage.snapshot().map_err(EngineError::Durability)?;
+        let recovered = wal::replay(&bytes).map_err(EngineError::Durability)?;
+        recorder.counter_add("wal.recovery.replays", "", 1);
+        recorder.counter_add("wal.recovery.records", "", recovered.records as u64);
+        recorder.counter_add(
+            "wal.recovery.conservative_intents",
+            "",
+            recovered.conservative_intents,
+        );
+        recorder.counter_add("wal.recovery.datasets", "", recovered.ledgers.len() as u64);
+        recorder.counter_add(
+            "wal.recovery.sessions",
+            "",
+            recovered.suspended.len() as u64,
+        );
+        if recovered.truncated_tail {
+            recorder.counter_add(
+                "wal.recovery.truncated_bytes",
+                "",
+                bytes.len().saturating_sub(recovered.consumed) as u64,
+            );
+            storage
+                .truncate(recovered.consumed)
+                .map_err(EngineError::Durability)?;
+        }
+        let mut engine = Self::with_registry(config, registry)?;
+        engine.recorder = recorder;
+        for (name, rl) in &recovered.ledgers {
+            engine.pending_recovered.insert(name.clone(), rl.restore()?);
+        }
+        engine.suspended_states = recovered.suspended;
+        engine.session_counter = recovered.next_session;
+        let mut log = WriteAheadLog::new(storage, policy);
+        log.set_next_intent(recovered.next_intent);
+        engine.wal = Some(log);
+        Ok(engine)
+    }
+
+    /// Datasets recovered from the log but not yet re-registered,
+    /// sorted. Their ledgers are live (and included in
+    /// [`Engine::report`] with `n_records = 0`); the data is not.
+    pub fn recovered_pending(&self) -> Vec<&str> {
+        self.pending_recovered.keys().map(String::as_str).collect()
+    }
+
+    /// A canonical byte dump of all durable accounting state —
+    /// per-dataset caps, exact spend bits, charge histories, poisoned
+    /// state, fault counters, and suspended sessions. Two engines with
+    /// equal digests are accounting-equivalent; crash-recovery tests use
+    /// this to assert replay idempotence and thread-count invariance.
+    pub fn durability_digest(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut names: BTreeSet<&String> = self.datasets.keys().collect();
+        names.extend(self.pending_recovered.keys());
+        for name in names {
+            let ledger = match self.datasets.get(name.as_str()) {
+                Some(entry) => &entry.ledger,
+                None => match self.pending_recovered.get(name.as_str()) {
+                    Some(ledger) => ledger,
+                    None => continue,
+                },
+            };
+            let snap = ledger.snapshot();
+            out.extend_from_slice(name.as_bytes());
+            out.push(0);
+            out.extend_from_slice(&snap.cap.epsilon.to_bits().to_le_bytes());
+            out.extend_from_slice(&snap.cap.delta.to_bits().to_le_bytes());
+            out.extend_from_slice(&snap.spent.epsilon.to_bits().to_le_bytes());
+            out.extend_from_slice(&snap.spent.delta.to_bits().to_le_bytes());
+            out.extend_from_slice(&(snap.operations as u64).to_le_bytes());
+            out.push(u8::from(snap.poisoned));
+            match ledger.poison_reason() {
+                Some(reason) => out.extend_from_slice(reason.to_string().as_bytes()),
+                None => out.extend_from_slice(b"healthy"),
+            }
+            out.push(0);
+            out.extend_from_slice(&ledger.faulted().to_le_bytes());
+            out.extend_from_slice(&ledger.conservative().to_le_bytes());
+            out.extend_from_slice(&(ledger.history().len() as u64).to_le_bytes());
+            for b in ledger.history() {
+                out.extend_from_slice(&b.epsilon.to_bits().to_le_bytes());
+                out.extend_from_slice(&b.delta.to_bits().to_le_bytes());
+            }
+        }
+        for (id, (dataset, state)) in &self.suspended_states {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(dataset.as_bytes());
+            out.push(0);
+            out.extend_from_slice(&state.to_bytes());
+        }
+        out
     }
 
     /// Install a telemetry sink. The default is
@@ -189,11 +389,45 @@ impl Engine {
             return Err(EngineError::DuplicateDataset(name.to_string()));
         }
         let dataset = Dataset::new(name, values, lo, hi)?;
+        let ledger = if let Some(recovered) = self.pending_recovered.get(name) {
+            // Re-registration after crash recovery: the recovered ledger
+            // (with its spend, poisoned state, and fault counters) is
+            // installed as-is. The cap must match the durable record —
+            // silently widening a recovered cap would launder spent ε.
+            let logged = recovered.snapshot().cap;
+            if logged.epsilon.to_bits() != cap.epsilon.to_bits()
+                || logged.delta.to_bits() != cap.delta.to_bits()
+            {
+                return Err(EngineError::Durability(
+                    DurabilityError::RecoveredCapMismatch {
+                        dataset: name.to_string(),
+                        logged_epsilon: logged.epsilon,
+                        registered_epsilon: cap.epsilon,
+                    },
+                ));
+            }
+            // Already registered in the log — no new record.
+            self.pending_recovered
+                .remove(name)
+                .unwrap_or_else(|| BudgetLedger::new(cap))
+        } else {
+            if let Some(log) = &mut self.wal {
+                log.append(
+                    &WalRecord::DatasetRegistered {
+                        dataset: name.to_string(),
+                        cap,
+                    },
+                    self.recorder.as_ref(),
+                )
+                .map_err(EngineError::Durability)?;
+            }
+            BudgetLedger::new(cap)
+        };
         self.datasets.insert(
             name.to_string(),
             DatasetEntry {
                 dataset: Arc::new(dataset),
-                ledger: BudgetLedger::new(cap),
+                ledger,
             },
         );
         Ok(())
@@ -311,10 +545,30 @@ impl Engine {
                 },
                 |w| w.cost,
             );
+            let intent_seq = work
+                .get(i)
+                .and_then(|w| w.as_ref())
+                .and_then(|w| w.intent_seq);
             match result {
                 Some(Ok((value, attempts))) => {
                     recorder.counter_add("engine.requests.executed", "", 1);
                     recorder.counter_add("engine.retries", "", attempts.saturating_sub(1) as u64);
+                    if let (Some(log), Some(seq)) = (&mut self.wal, intent_seq) {
+                        if log
+                            .append(&WalRecord::Commit { seq }, recorder.as_ref())
+                            .is_err()
+                        {
+                            recorder.counter_add("wal.append_errors", "", 1);
+                            // Fail closed: the unresolved durable intent
+                            // will be conservatively re-charged (and the
+                            // dataset poisoned) on recovery, so poison the
+                            // live ledger too — durable and live state
+                            // must not diverge.
+                            if let Some(entry) = self.datasets.get_mut(&req.dataset) {
+                                entry.ledger.poison(PoisonReason::DurabilityFailure);
+                            }
+                        }
+                    }
                     outcomes.push(QueryOutcome::Executed {
                         value,
                         cost,
@@ -331,8 +585,38 @@ impl Engine {
                     if let Some(class) = fault {
                         recorder.counter_add("engine.faults", fault_label(class), 1);
                     }
+                    let reason = match fault {
+                        Some(class) => PoisonReason::NumericFault(fault_label(class)),
+                        None => PoisonReason::ChargedOperationFailed,
+                    };
+                    if let Some(log) = &mut self.wal {
+                        // Poison before commit: a crash between the two
+                        // leaves an unresolved intent, which recovery
+                        // charges conservatively AND poisons — strictly
+                        // more conservative than what happened.
+                        if log
+                            .append(
+                                &WalRecord::Poison {
+                                    dataset: req.dataset.clone(),
+                                    reason,
+                                },
+                                recorder.as_ref(),
+                            )
+                            .is_err()
+                        {
+                            recorder.counter_add("wal.append_errors", "", 1);
+                        }
+                        if let Some(seq) = intent_seq {
+                            if log
+                                .append(&WalRecord::Commit { seq }, recorder.as_ref())
+                                .is_err()
+                            {
+                                recorder.counter_add("wal.append_errors", "", 1);
+                            }
+                        }
+                    }
                     if let Some(entry) = self.datasets.get_mut(&req.dataset) {
-                        entry.ledger.poison();
+                        entry.ledger.poison(reason);
                     }
                     outcomes.push(QueryOutcome::Faulted {
                         error,
@@ -409,19 +693,52 @@ impl Engine {
         let mech = self.registry.resolve(&req.kind)?;
         let cost = mech.admit(&req.kind, &entry.dataset)?;
         entry.ledger.admit(&req.dataset, cost)?;
-        // Admission passed on every axis: the charge cannot fail now.
         let dataset = Arc::clone(&entry.dataset);
+        // Durable intent BEFORE the charge lands (and long before the
+        // mechanism executes): if the intent cannot be made durable the
+        // request is rejected with provably zero spend.
+        let recorder = Arc::clone(&self.recorder);
+        let intent_seq = match &mut self.wal {
+            Some(log) => {
+                let seq = log.next_intent_seq();
+                log.append(
+                    &WalRecord::Intent {
+                        seq,
+                        dataset: req.dataset.clone(),
+                        cost,
+                    },
+                    recorder.as_ref(),
+                )
+                .map_err(EngineError::Durability)?;
+                Some(seq)
+            }
+            None => None,
+        };
+        // Admission passed on every axis: the charge cannot fail now.
         let entry = self
             .datasets
             .get_mut(&req.dataset)
             .ok_or_else(|| EngineError::UnknownDataset(req.dataset.clone()))?;
-        entry.ledger.charge(&req.dataset, cost)?;
+        if let Err(error) = entry.ledger.charge(&req.dataset, cost) {
+            // Unreachable after a successful admit, but if it ever fires
+            // the durable intent must be resolved as never-charged.
+            if let (Some(log), Some(seq)) = (&mut self.wal, intent_seq) {
+                if log
+                    .append(&WalRecord::Abort { seq }, recorder.as_ref())
+                    .is_err()
+                {
+                    recorder.counter_add("wal.append_errors", "", 1);
+                }
+            }
+            return Err(error);
+        }
         Ok(impl_detail::AdmittedAlias {
             mech,
             dataset,
             kind: req.kind.clone(),
             cost,
             rng,
+            intent_seq,
         })
     }
 
@@ -456,15 +773,65 @@ impl Engine {
             });
         }
         let cost = Budget::pure(eps);
+        {
+            let entry = self
+                .datasets
+                .get_mut(dataset)
+                .ok_or_else(|| EngineError::UnknownDataset(dataset.to_string()))?;
+            if let Err(e) = entry.ledger.admit(dataset, cost) {
+                entry.ledger.note_rejection();
+                return Err(e);
+            }
+        }
+        // Same intent/commit bracket as batch admission: the whole
+        // session's ε is durably intended before the charge lands.
+        let recorder = Arc::clone(&self.recorder);
+        let intent_seq = match &mut self.wal {
+            Some(log) => {
+                let seq = log.next_intent_seq();
+                if let Err(e) = log.append(
+                    &WalRecord::Intent {
+                        seq,
+                        dataset: dataset.to_string(),
+                        cost,
+                    },
+                    recorder.as_ref(),
+                ) {
+                    if let Some(entry) = self.datasets.get_mut(dataset) {
+                        entry.ledger.note_rejection();
+                    }
+                    return Err(EngineError::Durability(e));
+                }
+                Some(seq)
+            }
+            None => None,
+        };
         let entry = self
             .datasets
             .get_mut(dataset)
             .ok_or_else(|| EngineError::UnknownDataset(dataset.to_string()))?;
-        if let Err(e) = entry.ledger.admit(dataset, cost) {
-            entry.ledger.note_rejection();
-            return Err(e);
+        if let Err(error) = entry.ledger.charge(dataset, cost) {
+            if let (Some(log), Some(seq)) = (&mut self.wal, intent_seq) {
+                if log
+                    .append(&WalRecord::Abort { seq }, recorder.as_ref())
+                    .is_err()
+                {
+                    recorder.counter_add("wal.append_errors", "", 1);
+                }
+            }
+            return Err(error);
         }
-        entry.ledger.charge(dataset, cost)?;
+        if let (Some(log), Some(seq)) = (&mut self.wal, intent_seq) {
+            if log
+                .append(&WalRecord::Commit { seq }, recorder.as_ref())
+                .is_err()
+            {
+                recorder.counter_add("wal.append_errors", "", 1);
+                if let Some(entry) = self.datasets.get_mut(dataset) {
+                    entry.ledger.poison(PoisonReason::DurabilityFailure);
+                }
+            }
+        }
         let mut rng = Xoshiro256::substream(
             self.config.seed ^ 0x5654_5F53_4553_5349,
             self.session_counter,
@@ -519,22 +886,67 @@ impl Engine {
     /// Note the state contains the session's noisy threshold — a
     /// *secret* of the mechanism. Persist it server-side; releasing it
     /// would void the SVT privacy analysis.
+    /// With a write-ahead log attached, the suspension is made durable
+    /// before the session closes: a crash after this returns leaves the
+    /// state recoverable via [`Engine::svt_resume_suspended`]. If the
+    /// durable record cannot be appended the session **stays open** and
+    /// the error is returned — a silently lost "resumable" session would
+    /// betray the caller.
     pub fn svt_suspend(&mut self, session: u64) -> Result<(String, SvtSessionState)> {
         let hosted = self
             .sessions
-            .remove(&session)
+            .get(&session)
             .ok_or(EngineError::UnknownSession(session))?;
-        Ok((hosted.dataset, hosted.svt.suspend()))
+        let dataset = hosted.dataset.clone();
+        let state = hosted.svt.suspend();
+        if let Some(log) = &mut self.wal {
+            let recorder = Arc::clone(&self.recorder);
+            log.append(
+                &WalRecord::SvtSuspended {
+                    session,
+                    dataset: dataset.clone(),
+                    state,
+                },
+                recorder.as_ref(),
+            )
+            .map_err(EngineError::Durability)?;
+            self.suspended_states
+                .insert(session, (dataset.clone(), state));
+        }
+        self.sessions.remove(&session);
+        Ok((dataset, state))
     }
 
     /// Resume a suspended session against `dataset`. Costs nothing (the
     /// original [`Engine::svt_open`] charge covers the whole session,
     /// however it is split across suspensions). Returns the new id.
+    ///
+    /// Fails closed on a poisoned dataset: in particular, a dataset a
+    /// crash recovery charged conservatively (an intent with no durable
+    /// commit) refuses to resume its sessions — the accounting around
+    /// the crash cannot be trusted enough to keep releasing through it.
     pub fn svt_resume(&mut self, dataset: &str, state: SvtSessionState) -> Result<u64> {
-        if !self.datasets.contains_key(dataset) {
-            return Err(EngineError::UnknownDataset(dataset.to_string()));
+        let entry = self
+            .datasets
+            .get(dataset)
+            .ok_or_else(|| EngineError::UnknownDataset(dataset.to_string()))?;
+        if entry.ledger.is_poisoned() {
+            return Err(EngineError::DatasetPoisoned(dataset.to_string()));
         }
         let svt = AboveThreshold::resume(state)?;
+        // If this resume matches a durably suspended session, consume its
+        // record so recovery won't resurrect it alongside the live one.
+        let matched = self.suspended_states.iter().find_map(|(id, (ds, st))| {
+            (ds == dataset && st.to_bytes() == state.to_bytes()).then_some(*id)
+        });
+        if let Some(id) = matched {
+            if let Some(log) = &mut self.wal {
+                let recorder = Arc::clone(&self.recorder);
+                log.append(&WalRecord::SvtResumed { session: id }, recorder.as_ref())
+                    .map_err(EngineError::Durability)?;
+            }
+            self.suspended_states.remove(&id);
+        }
         let rng = Xoshiro256::substream(
             self.config.seed ^ 0x5654_5F53_4553_5349,
             self.session_counter,
@@ -550,6 +962,30 @@ impl Engine {
             },
         );
         Ok(id)
+    }
+
+    /// Resume a durably suspended session by its original id (the
+    /// post-crash counterpart of holding the [`SvtSessionState`] in
+    /// hand). Same semantics as [`Engine::svt_resume`], including the
+    /// poisoned-dataset refusal; the dataset must have been
+    /// re-registered first.
+    pub fn svt_resume_suspended(&mut self, session: u64) -> Result<u64> {
+        let (dataset, state) = self
+            .suspended_states
+            .get(&session)
+            .cloned()
+            .ok_or(EngineError::UnknownSession(session))?;
+        self.svt_resume(&dataset, state)
+    }
+
+    /// Ids of durably suspended (crash-recoverable) sessions, sorted.
+    pub fn suspended_sessions(&self) -> Vec<u64> {
+        self.suspended_states.keys().copied().collect()
+    }
+
+    /// The dataset and state of a durably suspended session.
+    pub fn suspended_state(&self, session: u64) -> Option<&(String, SvtSessionState)> {
+        self.suspended_states.get(&session)
     }
 
     /// Close a session, discarding its state.
@@ -575,12 +1011,23 @@ impl Engine {
     /// Errors only if a ledger's ε trace is corrupted (the leakage
     /// path's ε→MI conversions fail closed instead of panicking).
     pub fn report(&self) -> Result<EngineReport> {
-        let datasets = self
-            .datasets
-            .iter()
-            .map(|(name, entry)| {
-                self.leakage
-                    .summarize(name, entry.dataset.len(), &entry.ledger)
+        // Registered datasets plus recovered-but-not-yet-re-registered
+        // ones (reported with n_records = 0: the data isn't loaded, but
+        // the spend is real and must stay visible).
+        let mut names: BTreeSet<&String> = self.datasets.keys().collect();
+        names.extend(self.pending_recovered.keys());
+        let datasets = names
+            .into_iter()
+            .filter_map(|name| match self.datasets.get(name.as_str()) {
+                Some(entry) => Some(self.leakage.summarize(
+                    name,
+                    entry.dataset.len(),
+                    &entry.ledger,
+                )),
+                None => self
+                    .pending_recovered
+                    .get(name.as_str())
+                    .map(|ledger| self.leakage.summarize(name, 0, ledger)),
             })
             .collect::<Result<Vec<_>>>()?;
         let totals = EngineTotals::from_summaries(&datasets);
@@ -666,6 +1113,9 @@ mod impl_detail {
         pub kind: QueryKind,
         pub cost: Budget,
         pub rng: Xoshiro256,
+        /// Sequence number of this charge's durable intent record
+        /// (`None` when no write-ahead log is attached).
+        pub intent_seq: Option<u64>,
     }
 }
 

@@ -22,7 +22,9 @@
 
 use crate::{EngineError, Result};
 use dplearn_infotheory::dp_bounds;
-use dplearn_mechanisms::composition::{advanced, AccountantSnapshot, PrivacyAccountant};
+use dplearn_mechanisms::composition::{
+    advanced, AccountantSnapshot, PoisonReason, PrivacyAccountant,
+};
 use dplearn_mechanisms::privacy::Budget;
 use dplearn_numerics::special::kahan_sum;
 
@@ -33,6 +35,7 @@ pub struct BudgetLedger {
     history: Vec<Budget>,
     rejected: u64,
     faulted: u64,
+    conservative: u64,
 }
 
 impl BudgetLedger {
@@ -43,7 +46,37 @@ impl BudgetLedger {
             history: Vec::new(),
             rejected: 0,
             faulted: 0,
+            conservative: 0,
         }
+    }
+
+    /// Rebuild a ledger from a durable (write-ahead-log) trace: `charges`
+    /// are force-spent in order — past the cap and through poisoning,
+    /// because the log is ground truth — then the poisoned state and
+    /// fault counters are reinstated. Used only by
+    /// [`Engine::recover`](crate::engine::Engine::recover); live serving
+    /// always goes through [`BudgetLedger::charge`].
+    pub fn restore(
+        cap: Budget,
+        charges: &[Budget],
+        poison: Option<PoisonReason>,
+        faulted: u64,
+        conservative: u64,
+    ) -> Result<Self> {
+        let mut ledger = BudgetLedger::new(cap);
+        for &cost in charges {
+            ledger
+                .accountant
+                .force_spend(cost)
+                .map_err(EngineError::Mechanism)?;
+            ledger.history.push(cost);
+        }
+        if let Some(reason) = poison {
+            ledger.accountant.poison_with(reason);
+        }
+        ledger.faulted = faulted;
+        ledger.conservative = conservative;
+        Ok(ledger)
     }
 
     /// Admission check: would a charge of `cost` be accepted right now?
@@ -75,10 +108,12 @@ impl BudgetLedger {
     }
 
     /// Poison the ledger: a charged query failed mid-flight, so the
-    /// budget stays spent and the dataset fails closed.
-    pub fn poison(&mut self) {
+    /// budget stays spent and the dataset fails closed. `reason`
+    /// preserves the originating fault class for reports and the
+    /// durable log (first reason wins if poisoned repeatedly).
+    pub fn poison(&mut self, reason: PoisonReason) {
         self.faulted += 1;
-        self.accountant.poison();
+        self.accountant.poison_with(reason);
     }
 
     /// Record an admission rejection (zero spend).
@@ -89,6 +124,17 @@ impl BudgetLedger {
     /// True once a charged query has failed mid-flight.
     pub fn is_poisoned(&self) -> bool {
         self.accountant.is_poisoned()
+    }
+
+    /// Why the ledger was poisoned (`None` while healthy).
+    pub fn poison_reason(&self) -> Option<PoisonReason> {
+        self.accountant.poison_reason()
+    }
+
+    /// Charges assumed spent by fail-closed crash recovery (intents with
+    /// no durable commit). Zero on a ledger that never crashed.
+    pub fn conservative(&self) -> u64 {
+        self.conservative
     }
 
     /// Point-in-time view of the enforcing (basic) track.
@@ -177,6 +223,10 @@ pub struct LeakageSummary {
     pub faulted: u64,
     /// Whether the ledger is poisoned.
     pub poisoned: bool,
+    /// Why the ledger was poisoned (`None` while healthy).
+    pub poison_reason: Option<PoisonReason>,
+    /// Charges assumed spent by fail-closed crash recovery.
+    pub conservative: u64,
 }
 
 /// Converts budget ledgers into mutual-information leakage summaries.
@@ -245,6 +295,8 @@ impl LeakageLedger {
             rejected: ledger.rejected(),
             faulted: ledger.faulted(),
             poisoned: snap.poisoned,
+            poison_reason: ledger.poison_reason(),
+            conservative: ledger.conservative(),
         })
     }
 }
@@ -277,8 +329,9 @@ mod tests {
     fn poisoned_ledger_fails_closed() {
         let mut l = BudgetLedger::new(b(1.0, 0.0));
         l.charge("d", b(0.2, 0.0)).unwrap();
-        l.poison();
+        l.poison(PoisonReason::NumericFault("nan"));
         assert!(l.is_poisoned());
+        assert_eq!(l.poison_reason(), Some(PoisonReason::NumericFault("nan")));
         assert_eq!(l.faulted(), 1);
         let err = l.admit("d", b(0.1, 0.0)).unwrap_err();
         assert!(matches!(err, EngineError::DatasetPoisoned(_)));
@@ -333,6 +386,49 @@ mod tests {
         assert!((leak1.reported_epsilon - 1.0).abs() < 1e-12);
         assert!((leak1.mi_bound_nats - 10.0).abs() < 1e-9);
         assert_eq!(leak1.per_record_bound_nats, leak1.reported_epsilon);
+    }
+
+    #[test]
+    fn restore_replays_a_trace_bit_identically_even_past_the_cap() {
+        // A live ledger: two charges, then a mid-flight fault.
+        let mut live = BudgetLedger::new(b(1.0, 1e-6));
+        live.charge("d", b(0.3, 1e-7)).unwrap();
+        live.charge("d", b(0.4, 0.0)).unwrap();
+        live.poison(PoisonReason::NumericFault("pos_inf"));
+        let restored = BudgetLedger::restore(
+            b(1.0, 1e-6),
+            live.history(),
+            live.poison_reason(),
+            live.faulted(),
+            live.conservative(),
+        )
+        .unwrap();
+        // Bit-identical spend (same additions in the same order).
+        assert_eq!(
+            restored.snapshot().spent.epsilon.to_bits(),
+            live.snapshot().spent.epsilon.to_bits()
+        );
+        assert_eq!(
+            restored.snapshot().spent.delta.to_bits(),
+            live.snapshot().spent.delta.to_bits()
+        );
+        assert_eq!(restored.history(), live.history());
+        assert!(restored.is_poisoned());
+        assert_eq!(restored.poison_reason(), live.poison_reason());
+        assert_eq!(restored.faulted(), 1);
+        // Conservative recovery can legitimately exceed the cap.
+        let over = BudgetLedger::restore(
+            b(1.0, 0.0),
+            &[b(0.8, 0.0), b(0.8, 0.0)],
+            Some(PoisonReason::ConservativeRecovery),
+            1,
+            1,
+        )
+        .unwrap();
+        assert!(over.snapshot().spent.epsilon > 1.0);
+        assert_eq!(over.conservative(), 1);
+        assert!(over.is_poisoned());
+        assert!(over.admit("d", b(0.0, 0.0)).is_err());
     }
 
     #[test]

@@ -32,6 +32,12 @@
 //!   into channel-capacity / mutual-information upper bounds via
 //!   [`dplearn_infotheory::dp_bounds`], surfaced in a
 //!   [`report::EngineReport`].
+//! * [`wal`] — crash-safe budget durability: a CRC-framed write-ahead
+//!   log records a charge *intent* before any mechanism executes and a
+//!   commit after, so [`engine::Engine::recover`] can rebuild every
+//!   ledger after an unclean death — treating any intent without a
+//!   commit as spent (fail closed) and any torn tail record as a
+//!   truncation point.
 //!
 //! ## Quick tour
 //!
@@ -75,6 +81,7 @@ pub mod ledger;
 pub mod mechanism;
 pub mod report;
 pub mod request;
+pub mod wal;
 
 pub use dataset::{Dataset, SufficientStats};
 pub use engine::{Engine, EngineConfig};
@@ -82,6 +89,9 @@ pub use ledger::{BudgetLedger, LeakageLedger, LeakageSummary};
 pub use mechanism::{MechanismRegistry, QueryMechanism};
 pub use report::{BatchReport, EngineReport, EngineTotals};
 pub use request::{QueryKind, QueryOutcome, QueryRequest, QueryValue, SelectStrategy};
+pub use wal::{
+    CrashableWal, DurabilityError, FileWal, FsyncPolicy, MemoryWal, WalStorage, WriteAheadLog,
+};
 
 use dplearn_robust::fault::FaultClass;
 
@@ -132,6 +142,9 @@ pub enum EngineError {
     Numerics(dplearn_numerics::NumericsError),
     /// A robustness-layer policy was invalid.
     Robust(dplearn_robust::RobustError),
+    /// The write-ahead durability layer failed (storage i/o, log
+    /// corruption, or a fail-closed recovery refusal).
+    Durability(wal::DurabilityError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -167,6 +180,7 @@ impl std::fmt::Display for EngineError {
             EngineError::PacBayes(e) => write!(f, "pac-bayes error: {e}"),
             EngineError::Numerics(e) => write!(f, "numerics error: {e}"),
             EngineError::Robust(e) => write!(f, "robustness error: {e}"),
+            EngineError::Durability(e) => write!(f, "durability error: {e}"),
         }
     }
 }
@@ -179,6 +193,7 @@ impl std::error::Error for EngineError {
             EngineError::PacBayes(e) => Some(e),
             EngineError::Numerics(e) => Some(e),
             EngineError::Robust(e) => Some(e),
+            EngineError::Durability(e) => Some(e),
             _ => None,
         }
     }
@@ -211,6 +226,12 @@ impl From<dplearn_numerics::NumericsError> for EngineError {
 impl From<dplearn_robust::RobustError> for EngineError {
     fn from(e: dplearn_robust::RobustError) -> Self {
         EngineError::Robust(e)
+    }
+}
+
+impl From<wal::DurabilityError> for EngineError {
+    fn from(e: wal::DurabilityError) -> Self {
+        EngineError::Durability(e)
     }
 }
 

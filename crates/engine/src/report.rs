@@ -128,13 +128,22 @@ impl std::fmt::Display for EngineReport {
         for s in &self.datasets {
             writeln!(
                 f,
-                "  {name}: n={n} ops={ops} rejected={rej} faulted={flt}{poison}",
+                "  {name}: n={n} ops={ops} rejected={rej} faulted={flt}{poison}{cons}",
                 name = s.dataset,
                 n = s.n_records,
                 ops = s.operations,
                 rej = s.rejected,
                 flt = s.faulted,
-                poison = if s.poisoned { " POISONED" } else { "" },
+                poison = match (s.poisoned, s.poison_reason) {
+                    (true, Some(reason)) => format!(" POISONED({reason})"),
+                    (true, None) => " POISONED".to_string(),
+                    (false, _) => String::new(),
+                },
+                cons = if s.conservative > 0 {
+                    format!(" conservative={}", s.conservative)
+                } else {
+                    String::new()
+                },
             )?;
             writeln!(
                 f,
@@ -188,6 +197,7 @@ mod tests {
     use dplearn_mechanisms::privacy::Budget;
 
     fn summary(name: &str, eps: f64, poisoned: bool) -> LeakageSummary {
+        use dplearn_mechanisms::composition::PoisonReason;
         LeakageSummary {
             dataset: name.to_string(),
             n_records: 10,
@@ -205,6 +215,8 @@ mod tests {
             rejected: 1,
             faulted: u64::from(poisoned),
             poisoned,
+            poison_reason: poisoned.then_some(PoisonReason::NumericFault("nan")),
+            conservative: 0,
         }
     }
 
@@ -236,7 +248,7 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("alpha"));
         assert!(text.contains("beta"));
-        assert!(text.contains("POISONED"));
+        assert!(text.contains("POISONED(numeric_fault(nan))"));
         assert!(text.contains("laplace_count"));
     }
 

@@ -1,0 +1,1448 @@
+//! Write-ahead durability for the engine's privacy accounting.
+//!
+//! The paper's guarantee — spent ε upper-bounds the mutual information a
+//! release channel leaks — is only as strong as the accounting that
+//! tracks the spend. A process crash that forgets a [`BudgetLedger`]
+//! silently resets a dataset's spent ε to zero, which is not a
+//! bookkeeping bug but a **privacy violation**: queries the crashed
+//! process already answered leaked information the reborn process no
+//! longer charges for. This module makes the accounting survive crashes,
+//! with a fail-closed bias at every ambiguity:
+//!
+//! * **Intent before execution.** Every admitted charge appends an
+//!   [`WalRecord::Intent`] *before* the ledger is charged and long
+//!   before the mechanism executes; the matching [`WalRecord::Commit`]
+//!   lands in the sequential post-processing phase. Recovery treats an
+//!   intent with no commit as **spent** (the mechanism may have executed
+//!   before the crash) and poisons the dataset with
+//!   [`PoisonReason::ConservativeRecovery`]. Rejected requests never
+//!   write an intent, so rejections provably spend zero even through a
+//!   crash.
+//! * **CRC-framed, length-prefixed records.** Each record is framed as
+//!   `len:u32le ‖ crc32(len‖payload):u32le ‖ payload`. A torn or
+//!   bit-flipped **tail** record (the only kind an append-only crash can
+//!   produce) is a truncation point: every preceding record is honored.
+//!   Corruption strictly *before* the tail cannot come from a torn
+//!   append, so it fails recovery with a typed [`DurabilityError`] —
+//!   never a panic, never a silent undercount.
+//! * **Injectable storage.** The engine writes through the
+//!   [`WalStorage`] trait: [`FileWal`] for real deployments,
+//!   [`MemoryWal`] as the deterministic in-memory implementation, and
+//!   [`CrashableWal`] wiring a [`dplearn_robust::crash::CrashPlan`] into
+//!   the byte stream so tests can kill the "process" at every append
+//!   boundary, mid-frame, and with flipped bits.
+//!
+//! Determinism: all WAL appends happen on the engine's **sequential**
+//! control paths (admission and post-processing), so the byte stream —
+//! and therefore every recovered ledger — is bit-identical at any
+//! `DPLEARN_THREADS` setting. Replay itself is single-threaded and pure.
+
+use crate::ledger::BudgetLedger;
+use dplearn_mechanisms::composition::PoisonReason;
+use dplearn_mechanisms::privacy::Budget;
+use dplearn_mechanisms::sparse_vector::SvtSessionState;
+use dplearn_robust::crash::{CrashPlan, WriteDisposition};
+use dplearn_telemetry::Recorder;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Errors produced by the durability layer.
+///
+/// Recovery **never panics**: a corrupt, truncated-in-the-middle, or
+/// semantically impossible log surfaces as one of these. Only tail
+/// damage (the kind an append-only crash can actually produce) is
+/// repaired silently — by truncation, after honoring every record
+/// before it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DurabilityError {
+    /// Underlying storage I/O failed.
+    Io(String),
+    /// A record strictly before the log tail is corrupt (bad CRC or
+    /// malformed payload). An append-only crash only damages the tail,
+    /// so mid-log corruption means the storage itself is unsound and
+    /// recovery fails closed.
+    CorruptRecord {
+        /// Byte offset of the offending frame.
+        offset: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A record type tag this build does not understand. Fail closed:
+    /// skipping an unknown record could skip a charge.
+    UnknownRecordType {
+        /// Byte offset of the offending frame.
+        offset: usize,
+        /// The unknown tag.
+        tag: u8,
+    },
+    /// A commit/abort/resume referenced a sequence number with no
+    /// matching open intent or suspended session — impossible in a log
+    /// the engine wrote, so the log is unsound.
+    OrphanSequence {
+        /// The dangling sequence number.
+        seq: u64,
+        /// Which reference dangled.
+        reason: &'static str,
+    },
+    /// Two registration records for the same dataset name.
+    DuplicateDataset(String),
+    /// A charge or poison record referenced a dataset the log never
+    /// registered.
+    UnknownDatasetInLog(String),
+    /// A record could not be encoded (e.g. a dataset name longer than
+    /// the 16-bit length prefix allows).
+    Unencodable(String),
+    /// Write-ahead logging must start before the first charge: attaching
+    /// a WAL to an engine with spend history would produce a log that
+    /// under-counts on replay.
+    AttachAfterCharges,
+    /// A recovered dataset was re-registered with a different budget cap
+    /// than the log recorded.
+    RecoveredCapMismatch {
+        /// The dataset being re-registered.
+        dataset: String,
+        /// ε cap recorded in the log.
+        logged_epsilon: f64,
+        /// ε cap the re-registration declared.
+        registered_epsilon: f64,
+    },
+}
+
+impl std::fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurabilityError::Io(e) => write!(f, "wal storage i/o failed: {e}"),
+            DurabilityError::CorruptRecord { offset, reason } => {
+                write!(f, "corrupt wal record at byte {offset}: {reason}")
+            }
+            DurabilityError::UnknownRecordType { offset, tag } => {
+                write!(f, "unknown wal record type {tag} at byte {offset}")
+            }
+            DurabilityError::OrphanSequence { seq, reason } => {
+                write!(f, "wal references unknown sequence {seq}: {reason}")
+            }
+            DurabilityError::DuplicateDataset(name) => {
+                write!(f, "dataset `{name}` registered twice in the wal")
+            }
+            DurabilityError::UnknownDatasetInLog(name) => {
+                write!(f, "wal references unregistered dataset `{name}`")
+            }
+            DurabilityError::Unencodable(reason) => {
+                write!(f, "wal record not encodable: {reason}")
+            }
+            DurabilityError::AttachAfterCharges => write!(
+                f,
+                "write-ahead logging must be attached before the first charge"
+            ),
+            DurabilityError::RecoveredCapMismatch {
+                dataset,
+                logged_epsilon,
+                registered_epsilon,
+            } => write!(
+                f,
+                "dataset `{dataset}` re-registered with cap ε={registered_epsilon}, \
+                 but the wal recorded ε={logged_epsilon}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {}
+
+/// Durability-layer result alias.
+pub type WalResult<T> = std::result::Result<T, DurabilityError>;
+
+// ---------------------------------------------------------------------
+// CRC32 (IEEE, reflected) — dependency-free, table-driven.
+// ---------------------------------------------------------------------
+
+// The `while i < 256` bound proves the index; `.get_mut` is not usable
+// in a const fn on this toolchain.
+#[allow(clippy::indexing_slicing)]
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC32 over `bytes` (the checksum `cksum`-style tools and zip use).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        let idx = ((crc ^ b as u32) & 0xFF) as usize;
+        // Indexing a 256-entry table with a masked byte is bounds-proven.
+        #[allow(clippy::indexing_slicing)]
+        {
+            crc = (crc >> 8) ^ CRC_TABLE[idx];
+        }
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------
+// Record codec
+// ---------------------------------------------------------------------
+
+/// One durable accounting event. The log is the ground truth the engine
+/// trusts after a crash, so the record set covers everything a
+/// [`BudgetLedger`] or suspended SVT session is rebuilt from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A dataset was registered with the given budget cap. Records the
+    /// cap only — the data itself is the operator's to re-supply on
+    /// recovery; the ledger must survive without it.
+    DatasetRegistered {
+        /// Dataset name.
+        dataset: String,
+        /// Budget cap the ledger enforces.
+        cap: Budget,
+    },
+    /// An admitted request is about to be charged `cost` and executed.
+    /// Written **before** the charge lands and before any mechanism
+    /// runs; an intent with no matching commit is conservatively
+    /// treated as spent on recovery.
+    Intent {
+        /// Monotonically increasing intent sequence number.
+        seq: u64,
+        /// The dataset being charged.
+        dataset: String,
+        /// The declared cost.
+        cost: Budget,
+    },
+    /// Intent `seq`'s charge landed (whether or not the release later
+    /// faulted — a faulted charge stays spent).
+    Commit {
+        /// The intent this commit resolves.
+        seq: u64,
+    },
+    /// Intent `seq` provably never charged (the charge failed between
+    /// intent and ledger mutation). Zero spend.
+    Abort {
+        /// The intent this abort resolves.
+        seq: u64,
+    },
+    /// A dataset's ledger was poisoned, with the originating fault
+    /// class preserved for post-crash triage.
+    Poison {
+        /// The poisoned dataset.
+        dataset: String,
+        /// Why it was poisoned.
+        reason: PoisonReason,
+    },
+    /// A hosted SVT session was suspended into its serializable state.
+    /// The state embeds the session's noisy threshold — a mechanism
+    /// secret — so the log must be kept server-side, like the ledger.
+    SvtSuspended {
+        /// The suspended session's id.
+        session: u64,
+        /// The dataset the session ran against.
+        dataset: String,
+        /// The 17-byte resumable state.
+        state: SvtSessionState,
+    },
+    /// A previously suspended session was resumed (and is live again —
+    /// live sessions are not recoverable, but their ε was charged at
+    /// open, so losing one in a crash is privacy-safe).
+    SvtResumed {
+        /// The suspended session that was consumed.
+        session: u64,
+    },
+}
+
+const TAG_DATASET: u8 = 1;
+const TAG_INTENT: u8 = 2;
+const TAG_COMMIT: u8 = 3;
+const TAG_ABORT: u8 = 4;
+const TAG_POISON: u8 = 5;
+const TAG_SVT_SUSPENDED: u8 = 6;
+const TAG_SVT_RESUMED: u8 = 7;
+
+const REASON_MANUAL: u8 = 0;
+const REASON_CHARGED_OP_FAILED: u8 = 1;
+const REASON_NUMERIC: u8 = 2;
+const REASON_CONSERVATIVE: u8 = 3;
+const REASON_DURABILITY: u8 = 4;
+
+const FAULT_LABELS: [&str; 5] = [
+    "nan",
+    "pos_inf",
+    "neg_inf",
+    "subnormal",
+    "extreme_magnitude",
+];
+const FAULT_LABEL_OTHER: u8 = 255;
+
+fn encode_reason(reason: PoisonReason, out: &mut Vec<u8>) {
+    match reason {
+        PoisonReason::Manual => out.push(REASON_MANUAL),
+        PoisonReason::ChargedOperationFailed => out.push(REASON_CHARGED_OP_FAILED),
+        PoisonReason::NumericFault(label) => {
+            out.push(REASON_NUMERIC);
+            let code = FAULT_LABELS
+                .iter()
+                .position(|&l| l == label)
+                .map_or(FAULT_LABEL_OTHER, |i| i as u8);
+            out.push(code);
+        }
+        PoisonReason::ConservativeRecovery => out.push(REASON_CONSERVATIVE),
+        PoisonReason::DurabilityFailure => out.push(REASON_DURABILITY),
+    }
+}
+
+/// Strict little-endian payload reader: every decode must consume the
+/// payload exactly, so trailing or missing bytes surface as corruption.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    offset: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8], offset: usize) -> Self {
+        Cursor {
+            bytes,
+            pos: 0,
+            offset,
+        }
+    }
+
+    fn corrupt(&self, reason: &str) -> DurabilityError {
+        DurabilityError::CorruptRecord {
+            offset: self.offset,
+            reason: reason.to_string(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> WalResult<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| self.corrupt("length overflow"))?;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.corrupt("payload shorter than its fields"))?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> WalResult<u8> {
+        Ok(*self.take(1)?.first().unwrap_or(&0))
+    }
+
+    fn u16(&mut self) -> WalResult<u16> {
+        let b = self.take(2)?;
+        let arr: [u8; 2] = b.try_into().map_err(|_| self.corrupt("u16 field"))?;
+        Ok(u16::from_le_bytes(arr))
+    }
+
+    fn u64(&mut self) -> WalResult<u64> {
+        let b = self.take(8)?;
+        let arr: [u8; 8] = b.try_into().map_err(|_| self.corrupt("u64 field"))?;
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    fn f64(&mut self) -> WalResult<f64> {
+        let b = self.take(8)?;
+        let arr: [u8; 8] = b.try_into().map_err(|_| self.corrupt("f64 field"))?;
+        Ok(f64::from_le_bytes(arr))
+    }
+
+    fn name(&mut self) -> WalResult<String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.corrupt("dataset name is not utf-8"))
+    }
+
+    fn budget(&mut self, what: &str) -> WalResult<Budget> {
+        let epsilon = self.f64()?;
+        let delta = self.f64()?;
+        if !(epsilon.is_finite() && epsilon >= 0.0 && delta.is_finite() && delta >= 0.0) {
+            return Err(self.corrupt(&format!(
+                "{what} must have finite nonnegative components, got (ε={epsilon}, δ={delta})"
+            )));
+        }
+        Ok(Budget { epsilon, delta })
+    }
+
+    fn finish(self) -> WalResult<()> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(self.corrupt("trailing bytes after record payload"))
+        }
+    }
+}
+
+impl WalRecord {
+    /// Encode this record's payload (type tag + fields, no framing).
+    pub fn encode_payload(&self) -> WalResult<Vec<u8>> {
+        fn push_name(out: &mut Vec<u8>, name: &str) -> WalResult<()> {
+            let len = u16::try_from(name.len()).map_err(|_| {
+                DurabilityError::Unencodable(format!(
+                    "dataset name is {} bytes; the wal caps names at 65535",
+                    name.len()
+                ))
+            })?;
+            out.extend_from_slice(&len.to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            Ok(())
+        }
+        let mut out = Vec::new();
+        match self {
+            WalRecord::DatasetRegistered { dataset, cap } => {
+                out.push(TAG_DATASET);
+                push_name(&mut out, dataset)?;
+                out.extend_from_slice(&cap.epsilon.to_le_bytes());
+                out.extend_from_slice(&cap.delta.to_le_bytes());
+            }
+            WalRecord::Intent { seq, dataset, cost } => {
+                out.push(TAG_INTENT);
+                out.extend_from_slice(&seq.to_le_bytes());
+                push_name(&mut out, dataset)?;
+                out.extend_from_slice(&cost.epsilon.to_le_bytes());
+                out.extend_from_slice(&cost.delta.to_le_bytes());
+            }
+            WalRecord::Commit { seq } => {
+                out.push(TAG_COMMIT);
+                out.extend_from_slice(&seq.to_le_bytes());
+            }
+            WalRecord::Abort { seq } => {
+                out.push(TAG_ABORT);
+                out.extend_from_slice(&seq.to_le_bytes());
+            }
+            WalRecord::Poison { dataset, reason } => {
+                out.push(TAG_POISON);
+                push_name(&mut out, dataset)?;
+                encode_reason(*reason, &mut out);
+            }
+            WalRecord::SvtSuspended {
+                session,
+                dataset,
+                state,
+            } => {
+                out.push(TAG_SVT_SUSPENDED);
+                out.extend_from_slice(&session.to_le_bytes());
+                push_name(&mut out, dataset)?;
+                out.extend_from_slice(&state.to_bytes());
+            }
+            WalRecord::SvtResumed { session } => {
+                out.push(TAG_SVT_RESUMED);
+                out.extend_from_slice(&session.to_le_bytes());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decode one payload (exactly; trailing bytes are corruption).
+    /// `offset` is the frame's byte offset, for error reporting.
+    pub fn decode_payload(payload: &[u8], offset: usize) -> WalResult<Self> {
+        let mut cur = Cursor::new(payload, offset);
+        let tag = cur.u8()?;
+        let record = match tag {
+            TAG_DATASET => {
+                let dataset = cur.name()?;
+                let cap = cur.budget("cap")?;
+                WalRecord::DatasetRegistered { dataset, cap }
+            }
+            TAG_INTENT => {
+                let seq = cur.u64()?;
+                let dataset = cur.name()?;
+                let cost = cur.budget("cost")?;
+                WalRecord::Intent { seq, dataset, cost }
+            }
+            TAG_COMMIT => WalRecord::Commit { seq: cur.u64()? },
+            TAG_ABORT => WalRecord::Abort { seq: cur.u64()? },
+            TAG_POISON => {
+                let dataset = cur.name()?;
+                let reason = match cur.u8()? {
+                    REASON_MANUAL => PoisonReason::Manual,
+                    REASON_CHARGED_OP_FAILED => PoisonReason::ChargedOperationFailed,
+                    REASON_NUMERIC => {
+                        let code = cur.u8()?;
+                        let label = FAULT_LABELS
+                            .get(code as usize)
+                            .copied()
+                            .unwrap_or("unknown");
+                        PoisonReason::NumericFault(label)
+                    }
+                    REASON_CONSERVATIVE => PoisonReason::ConservativeRecovery,
+                    REASON_DURABILITY => PoisonReason::DurabilityFailure,
+                    other => {
+                        return Err(cur.corrupt(&format!("unknown poison reason code {other}")))
+                    }
+                };
+                WalRecord::Poison { dataset, reason }
+            }
+            TAG_SVT_SUSPENDED => {
+                let session = cur.u64()?;
+                let dataset = cur.name()?;
+                let raw = cur.take(SvtSessionState::ENCODED_LEN)?.to_vec();
+                let state = SvtSessionState::from_bytes(&raw).map_err(|e| {
+                    DurabilityError::CorruptRecord {
+                        offset,
+                        reason: format!("svt state: {e}"),
+                    }
+                })?;
+                WalRecord::SvtSuspended {
+                    session,
+                    dataset,
+                    state,
+                }
+            }
+            TAG_SVT_RESUMED => WalRecord::SvtResumed {
+                session: cur.u64()?,
+            },
+            tag => return Err(DurabilityError::UnknownRecordType { offset, tag }),
+        };
+        cur.finish()?;
+        Ok(record)
+    }
+
+    /// Encode this record as one framed log entry:
+    /// `len:u32le ‖ crc32(len‖payload):u32le ‖ payload`.
+    pub fn encode_frame(&self) -> WalResult<Vec<u8>> {
+        let payload = self.encode_payload()?;
+        let len = u32::try_from(payload.len())
+            .map_err(|_| DurabilityError::Unencodable("record exceeds 4 GiB".to_string()))?;
+        let mut checked = Vec::with_capacity(4 + payload.len());
+        checked.extend_from_slice(&len.to_le_bytes());
+        checked.extend_from_slice(&payload);
+        let crc = crc32(&checked);
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&crc.to_le_bytes());
+        frame.extend_from_slice(&payload);
+        Ok(frame)
+    }
+}
+
+/// The outcome of scanning a raw log image into frames.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameScan {
+    /// Decoded records with their frame byte offsets, in log order.
+    pub records: Vec<(usize, WalRecord)>,
+    /// Bytes of valid log consumed; anything past this is a damaged
+    /// tail a recovered writer must truncate before appending.
+    pub consumed: usize,
+    /// Whether a torn or corrupt tail was dropped.
+    pub truncated_tail: bool,
+}
+
+/// Scan a log image into records, honoring the torn-tail rule.
+///
+/// Tail damage — an incomplete header, a payload shorter than its
+/// length prefix claims, or a CRC mismatch on the **final** frame — is a
+/// truncation point: scanning stops and everything before it is
+/// returned. A CRC or decode failure on a frame that is *followed by
+/// more bytes* cannot be a torn append and fails with a typed error.
+pub fn scan_frames(bytes: &[u8]) -> WalResult<FrameScan> {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let remaining = bytes.len() - offset;
+        if remaining < 8 {
+            // Torn header.
+            return Ok(FrameScan {
+                records,
+                consumed: offset,
+                truncated_tail: true,
+            });
+        }
+        let header = bytes.get(offset..offset + 8).unwrap_or(&[]);
+        let len_bytes: [u8; 4] = header
+            .get(..4)
+            .and_then(|s| s.try_into().ok())
+            .unwrap_or([0; 4]);
+        let crc_bytes: [u8; 4] = header
+            .get(4..8)
+            .and_then(|s| s.try_into().ok())
+            .unwrap_or([0; 4]);
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        let stored_crc = u32::from_le_bytes(crc_bytes);
+        if len > remaining - 8 {
+            // Torn payload (or a corrupted length field on the final
+            // frame — indistinguishable from a torn append, and equally
+            // safe to drop: only the tail record is forfeited).
+            return Ok(FrameScan {
+                records,
+                consumed: offset,
+                truncated_tail: true,
+            });
+        }
+        let payload = bytes.get(offset + 8..offset + 8 + len).unwrap_or(&[]);
+        let mut checked = Vec::with_capacity(4 + len);
+        checked.extend_from_slice(&len_bytes);
+        checked.extend_from_slice(payload);
+        let frame_end = offset + 8 + len;
+        let is_tail = frame_end == bytes.len();
+        if crc32(&checked) != stored_crc {
+            if is_tail {
+                return Ok(FrameScan {
+                    records,
+                    consumed: offset,
+                    truncated_tail: true,
+                });
+            }
+            return Err(DurabilityError::CorruptRecord {
+                offset,
+                reason: "crc mismatch before the log tail".to_string(),
+            });
+        }
+        match WalRecord::decode_payload(payload, offset) {
+            Ok(record) => records.push((offset, record)),
+            // A CRC-valid but undecodable tail record is still tail
+            // damage (e.g. a bit flip that happened to fix up the CRC is
+            // astronomically unlikely; a half-baked writer is not).
+            Err(e) if is_tail => {
+                let _ = e;
+                return Ok(FrameScan {
+                    records,
+                    consumed: offset,
+                    truncated_tail: true,
+                });
+            }
+            Err(e) => return Err(e),
+        }
+        offset = frame_end;
+    }
+    Ok(FrameScan {
+        records,
+        consumed: offset,
+        truncated_tail: false,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Storage backends
+// ---------------------------------------------------------------------
+
+/// Injectable append-only byte storage for the write-ahead log.
+///
+/// Implementations must make `append` atomic-or-prefix under crashes
+/// (an interrupted append may persist any prefix of the frame, never a
+/// suffix or an interleaving) and `flush` a durability barrier.
+pub trait WalStorage: Send {
+    /// Append one framed record.
+    fn append(&mut self, frame: &[u8]) -> WalResult<()>;
+    /// Durability barrier: everything appended so far must survive a
+    /// crash after this returns.
+    fn flush(&mut self) -> WalResult<()>;
+    /// The full durable contents, from the beginning.
+    fn snapshot(&self) -> WalResult<Vec<u8>>;
+    /// Discard everything past `len` bytes (recovery uses this to drop
+    /// a damaged tail before the log is appended to again).
+    fn truncate(&mut self, len: usize) -> WalResult<()>;
+}
+
+fn lock_bytes(buf: &Arc<Mutex<Vec<u8>>>) -> std::sync::MutexGuard<'_, Vec<u8>> {
+    // A panicked holder can only be another test thread; the byte
+    // buffer itself is always in a consistent state.
+    buf.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Deterministic in-memory log storage (the reference implementation
+/// tests recover against).
+#[derive(Debug, Clone, Default)]
+pub struct MemoryWal {
+    bytes: Arc<Mutex<Vec<u8>>>,
+}
+
+impl MemoryWal {
+    /// An empty in-memory log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An in-memory log pre-loaded with a durable image (e.g. the bytes
+    /// a crashed [`CrashableWal`] left behind).
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        MemoryWal {
+            bytes: Arc::new(Mutex::new(bytes)),
+        }
+    }
+
+    /// A live handle onto the same buffer: clones of a `MemoryWal`
+    /// share storage, so a test can keep one and give the other to the
+    /// engine.
+    pub fn handle(&self) -> MemoryWal {
+        self.clone()
+    }
+
+    /// The current contents.
+    pub fn bytes(&self) -> Vec<u8> {
+        lock_bytes(&self.bytes).clone()
+    }
+}
+
+impl WalStorage for MemoryWal {
+    fn append(&mut self, frame: &[u8]) -> WalResult<()> {
+        lock_bytes(&self.bytes).extend_from_slice(frame);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> WalResult<()> {
+        Ok(())
+    }
+
+    fn snapshot(&self) -> WalResult<Vec<u8>> {
+        Ok(self.bytes())
+    }
+
+    fn truncate(&mut self, len: usize) -> WalResult<()> {
+        let mut guard = lock_bytes(&self.bytes);
+        if len <= guard.len() {
+            guard.truncate(len);
+        }
+        Ok(())
+    }
+}
+
+/// File-backed log storage: append-only writes, `sync_data` as the
+/// durability barrier.
+#[derive(Debug)]
+pub struct FileWal {
+    file: std::fs::File,
+}
+
+impl FileWal {
+    /// Open (creating if absent) the log at `path` for appending.
+    pub fn open(path: impl AsRef<std::path::Path>) -> WalResult<Self> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| DurabilityError::Io(e.to_string()))?;
+        Ok(FileWal { file })
+    }
+}
+
+impl WalStorage for FileWal {
+    fn append(&mut self, frame: &[u8]) -> WalResult<()> {
+        self.file
+            .write_all(frame)
+            .map_err(|e| DurabilityError::Io(e.to_string()))
+    }
+
+    fn flush(&mut self) -> WalResult<()> {
+        self.file
+            .sync_data()
+            .map_err(|e| DurabilityError::Io(e.to_string()))
+    }
+
+    fn snapshot(&self) -> WalResult<Vec<u8>> {
+        let mut clone = self
+            .file
+            .try_clone()
+            .map_err(|e| DurabilityError::Io(e.to_string()))?;
+        clone
+            .seek(SeekFrom::Start(0))
+            .map_err(|e| DurabilityError::Io(e.to_string()))?;
+        let mut bytes = Vec::new();
+        clone
+            .read_to_end(&mut bytes)
+            .map_err(|e| DurabilityError::Io(e.to_string()))?;
+        Ok(bytes)
+    }
+
+    fn truncate(&mut self, len: usize) -> WalResult<()> {
+        self.file
+            .set_len(len as u64)
+            .map_err(|e| DurabilityError::Io(e.to_string()))
+    }
+}
+
+/// Crash-injected storage for tests: persists exactly what a real
+/// process death at the planned [`dplearn_robust::crash::CrashPoint`]
+/// would have left on disk.
+///
+/// After the simulated death this wrapper **silently accepts and
+/// discards** every further write: the in-test engine keeps running (its
+/// post-crash behavior is irrelevant and is discarded by the harness),
+/// while the durable image stays frozen at the crash instant. Recover
+/// the image with [`CrashableWal::durable_image`] +
+/// [`MemoryWal::from_bytes`].
+#[derive(Debug)]
+pub struct CrashableWal {
+    plan: CrashPlan,
+    bytes: Arc<Mutex<Vec<u8>>>,
+    appends: u64,
+    crashed: bool,
+}
+
+impl CrashableWal {
+    /// Storage that dies per `plan`. Returns the storage and a handle
+    /// the test keeps for reading the durable image after the "crash".
+    pub fn new(plan: CrashPlan) -> (Self, MemoryWal) {
+        let bytes = Arc::new(Mutex::new(Vec::new()));
+        let handle = MemoryWal {
+            bytes: Arc::clone(&bytes),
+        };
+        (
+            CrashableWal {
+                plan,
+                bytes,
+                appends: 0,
+                crashed: false,
+            },
+            handle,
+        )
+    }
+
+    /// Appends attempted so far (including post-death ones).
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// Whether the simulated process has died.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// The bytes that actually reached "disk".
+    pub fn durable_image(&self) -> Vec<u8> {
+        lock_bytes(&self.bytes).clone()
+    }
+}
+
+impl WalStorage for CrashableWal {
+    fn append(&mut self, frame: &[u8]) -> WalResult<()> {
+        let index = self.appends;
+        self.appends += 1;
+        match self.plan.disposition(index, frame, self.crashed) {
+            WriteDisposition::Persist => {
+                lock_bytes(&self.bytes).extend_from_slice(frame);
+            }
+            WriteDisposition::PersistThenCrash(surviving) => {
+                lock_bytes(&self.bytes).extend_from_slice(&surviving);
+                self.crashed = true;
+            }
+            WriteDisposition::Dead => {}
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> WalResult<()> {
+        Ok(())
+    }
+
+    fn snapshot(&self) -> WalResult<Vec<u8>> {
+        Ok(self.durable_image())
+    }
+
+    fn truncate(&mut self, len: usize) -> WalResult<()> {
+        if !self.crashed {
+            let mut guard = lock_bytes(&self.bytes);
+            if len <= guard.len() {
+                guard.truncate(len);
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// The writer
+// ---------------------------------------------------------------------
+
+/// When the log forces a durability barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// Flush after **every** append (the default). Required for the
+    /// strict fail-closed guarantee: the intent must be durable before
+    /// the mechanism may execute.
+    #[default]
+    EveryAppend,
+    /// Flush only after resolution records (commit/abort/poison/SVT).
+    /// Cheaper, but an execution can begin before its intent is
+    /// durable, so a crash inside that window may under-count by the
+    /// in-flight request. Use only when the storage medium makes
+    /// per-append flushes prohibitive *and* that window is acceptable.
+    OnCommit,
+    /// Never flush implicitly; the caller drives
+    /// [`WriteAheadLog::flush`] (e.g. from a timer). Weakest guarantee.
+    Manual,
+}
+
+/// The engine's append-side handle on a write-ahead log.
+pub struct WriteAheadLog {
+    storage: Box<dyn WalStorage>,
+    policy: FsyncPolicy,
+    next_intent: u64,
+}
+
+impl std::fmt::Debug for WriteAheadLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriteAheadLog")
+            .field("policy", &self.policy)
+            .field("next_intent", &self.next_intent)
+            .finish()
+    }
+}
+
+impl WriteAheadLog {
+    /// Wrap `storage` under `policy`, starting intent numbering at 0.
+    pub fn new(storage: impl WalStorage + 'static, policy: FsyncPolicy) -> Self {
+        WriteAheadLog {
+            storage: Box::new(storage),
+            policy,
+            next_intent: 0,
+        }
+    }
+
+    /// The fsync policy in force.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    pub(crate) fn set_next_intent(&mut self, next: u64) {
+        self.next_intent = next;
+    }
+
+    pub(crate) fn next_intent_seq(&mut self) -> u64 {
+        let seq = self.next_intent;
+        self.next_intent = self.next_intent.wrapping_add(1);
+        seq
+    }
+
+    /// Force a durability barrier now.
+    pub fn flush(&mut self) -> WalResult<()> {
+        self.storage.flush()
+    }
+
+    /// Append one record, flushing per policy. Telemetry is recorded
+    /// from the (sequential) calling path, so counters stay
+    /// thread-count invariant.
+    pub(crate) fn append(&mut self, record: &WalRecord, recorder: &dyn Recorder) -> WalResult<()> {
+        let frame = record.encode_frame()?;
+        self.storage.append(&frame)?;
+        recorder.counter_add("wal.appends", record_label(record), 1);
+        recorder.counter_add("wal.bytes", "", frame.len() as u64);
+        let flush_now = match self.policy {
+            FsyncPolicy::EveryAppend => true,
+            FsyncPolicy::OnCommit => !matches!(record, WalRecord::Intent { .. }),
+            FsyncPolicy::Manual => false,
+        };
+        if flush_now {
+            self.storage.flush()?;
+            recorder.counter_add("wal.flushes", "", 1);
+        }
+        Ok(())
+    }
+}
+
+fn record_label(record: &WalRecord) -> &'static str {
+    match record {
+        WalRecord::DatasetRegistered { .. } => "dataset",
+        WalRecord::Intent { .. } => "intent",
+        WalRecord::Commit { .. } => "commit",
+        WalRecord::Abort { .. } => "abort",
+        WalRecord::Poison { .. } => "poison",
+        WalRecord::SvtSuspended { .. } => "svt_suspended",
+        WalRecord::SvtResumed { .. } => "svt_resumed",
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------
+
+/// One dataset's accounting, rebuilt from the log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredLedger {
+    /// The budget cap the log recorded at registration.
+    pub cap: Budget,
+    /// Every charge that landed (committed) or must be assumed to have
+    /// landed (unresolved intent), in log order.
+    pub charges: Vec<Budget>,
+    /// Poisoned state carried over (first recorded reason wins; an
+    /// unresolved intent poisons with
+    /// [`PoisonReason::ConservativeRecovery`] if nothing earlier did).
+    pub poison: Option<PoisonReason>,
+    /// Fault events: poison records plus conservatively charged
+    /// intents.
+    pub faulted: u64,
+    /// How many of [`charges`](Self::charges) were conservative
+    /// (intent with no commit).
+    pub conservative: u64,
+}
+
+/// Everything [`Engine::recover`](crate::engine::Engine::recover)
+/// rebuilds from a log image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredState {
+    /// Per-dataset rebuilt ledgers, by name.
+    pub ledgers: BTreeMap<String, RecoveredLedger>,
+    /// Suspended (and not since resumed) SVT sessions.
+    pub suspended: BTreeMap<u64, (String, SvtSessionState)>,
+    /// The next intent sequence number a recovered writer must use.
+    pub next_intent: u64,
+    /// Lower bound for the recovered engine's session counter (past the
+    /// largest session id the log mentions).
+    pub next_session: u64,
+    /// Valid log bytes; the tail past this point (if any) was damaged
+    /// and must be truncated before appending resumes.
+    pub consumed: usize,
+    /// Whether a torn/corrupt tail was dropped.
+    pub truncated_tail: bool,
+    /// Records replayed.
+    pub records: usize,
+    /// Intents charged conservatively (no commit found).
+    pub conservative_intents: u64,
+}
+
+/// Replay a log image into recovered accounting state.
+///
+/// Fail-closed semantics:
+/// * committed intents charge their recorded cost, in log order;
+/// * aborted intents charge nothing;
+/// * unresolved intents charge their recorded cost **and poison their
+///   dataset** — the mechanism may have executed before the crash;
+/// * a damaged tail truncates (all preceding records honored); damage
+///   before the tail is a typed error;
+/// * any semantically impossible log (unknown dataset, dangling
+///   sequence, duplicate registration) is a typed error — never a
+///   guess, never a panic.
+pub fn replay(bytes: &[u8]) -> WalResult<RecoveredState> {
+    let scan = scan_frames(bytes)?;
+    let mut ledgers: BTreeMap<String, RecoveredLedger> = BTreeMap::new();
+    let mut open_intents: BTreeMap<u64, (String, Budget)> = BTreeMap::new();
+    let mut resolved: BTreeSet<u64> = BTreeSet::new();
+    let mut suspended: BTreeMap<u64, (String, SvtSessionState)> = BTreeMap::new();
+    let mut max_seq: Option<u64> = None;
+    let mut max_session: Option<u64> = None;
+    let records = scan.records.len();
+
+    for (offset, record) in scan.records {
+        match record {
+            WalRecord::DatasetRegistered { dataset, cap } => {
+                if ledgers.contains_key(&dataset) {
+                    return Err(DurabilityError::DuplicateDataset(dataset));
+                }
+                ledgers.insert(
+                    dataset,
+                    RecoveredLedger {
+                        cap,
+                        charges: Vec::new(),
+                        poison: None,
+                        faulted: 0,
+                        conservative: 0,
+                    },
+                );
+            }
+            WalRecord::Intent { seq, dataset, cost } => {
+                if !ledgers.contains_key(&dataset) {
+                    return Err(DurabilityError::UnknownDatasetInLog(dataset));
+                }
+                if open_intents.contains_key(&seq) || resolved.contains(&seq) {
+                    return Err(DurabilityError::CorruptRecord {
+                        offset,
+                        reason: format!("intent sequence {seq} reused"),
+                    });
+                }
+                max_seq = Some(max_seq.map_or(seq, |m| m.max(seq)));
+                open_intents.insert(seq, (dataset, cost));
+            }
+            WalRecord::Commit { seq } => {
+                let (dataset, cost) =
+                    open_intents
+                        .remove(&seq)
+                        .ok_or(DurabilityError::OrphanSequence {
+                            seq,
+                            reason: "commit without an open intent",
+                        })?;
+                resolved.insert(seq);
+                let ledger = ledgers
+                    .get_mut(&dataset)
+                    .ok_or(DurabilityError::UnknownDatasetInLog(dataset.clone()))?;
+                ledger.charges.push(cost);
+            }
+            WalRecord::Abort { seq } => {
+                open_intents
+                    .remove(&seq)
+                    .ok_or(DurabilityError::OrphanSequence {
+                        seq,
+                        reason: "abort without an open intent",
+                    })?;
+                resolved.insert(seq);
+            }
+            WalRecord::Poison { dataset, reason } => {
+                let ledger = ledgers
+                    .get_mut(&dataset)
+                    .ok_or(DurabilityError::UnknownDatasetInLog(dataset.clone()))?;
+                ledger.poison = ledger.poison.or(Some(reason));
+                ledger.faulted += 1;
+            }
+            WalRecord::SvtSuspended {
+                session,
+                dataset,
+                state,
+            } => {
+                if !ledgers.contains_key(&dataset) {
+                    return Err(DurabilityError::UnknownDatasetInLog(dataset));
+                }
+                if suspended.contains_key(&session) {
+                    return Err(DurabilityError::CorruptRecord {
+                        offset,
+                        reason: format!("session {session} suspended twice"),
+                    });
+                }
+                max_session = Some(max_session.map_or(session, |m| m.max(session)));
+                suspended.insert(session, (dataset, state));
+            }
+            WalRecord::SvtResumed { session } => {
+                max_session = Some(max_session.map_or(session, |m| m.max(session)));
+                suspended
+                    .remove(&session)
+                    .ok_or(DurabilityError::OrphanSequence {
+                        seq: session,
+                        reason: "resume without a suspended session",
+                    })?;
+            }
+        }
+    }
+
+    // Fail closed: every unresolved intent is assumed to have charged
+    // (and possibly executed), in sequence order for determinism.
+    let conservative_intents = open_intents.len() as u64;
+    for (_seq, (dataset, cost)) in open_intents {
+        let ledger = ledgers
+            .get_mut(&dataset)
+            .ok_or(DurabilityError::UnknownDatasetInLog(dataset.clone()))?;
+        ledger.charges.push(cost);
+        ledger.conservative += 1;
+        ledger.faulted += 1;
+        ledger.poison = ledger.poison.or(Some(PoisonReason::ConservativeRecovery));
+    }
+
+    Ok(RecoveredState {
+        ledgers,
+        suspended,
+        next_intent: max_seq.map_or(0, |m| m.wrapping_add(1)),
+        next_session: max_session.map_or(0, |m| m.wrapping_add(1)),
+        consumed: scan.consumed,
+        truncated_tail: scan.truncated_tail,
+        records,
+        conservative_intents,
+    })
+}
+
+impl RecoveredLedger {
+    /// Rebuild the live [`BudgetLedger`] this recovered state describes.
+    pub fn restore(&self) -> crate::Result<BudgetLedger> {
+        BudgetLedger::restore(
+            self.cap,
+            &self.charges,
+            self.poison,
+            self.faulted,
+            self.conservative,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dplearn_robust::crash::CrashPoint;
+
+    fn b(e: f64, d: f64) -> Budget {
+        Budget {
+            epsilon: e,
+            delta: d,
+        }
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_roundtrip_through_frames() {
+        let records = vec![
+            WalRecord::DatasetRegistered {
+                dataset: "ages".to_string(),
+                cap: b(1.5, 1e-6),
+            },
+            WalRecord::Intent {
+                seq: 0,
+                dataset: "ages".to_string(),
+                cost: b(0.25, 0.0),
+            },
+            WalRecord::Commit { seq: 0 },
+            WalRecord::Abort { seq: 1 },
+            WalRecord::Poison {
+                dataset: "ages".to_string(),
+                reason: PoisonReason::NumericFault("nan"),
+            },
+            WalRecord::SvtSuspended {
+                session: 7,
+                dataset: "ages".to_string(),
+                state: SvtSessionState {
+                    noisy_threshold: 9.75,
+                    query_scale: 4.0,
+                    exhausted: false,
+                },
+            },
+            WalRecord::SvtResumed { session: 7 },
+        ];
+        let mut log = Vec::new();
+        for r in &records {
+            log.extend_from_slice(&r.encode_frame().unwrap());
+        }
+        let scan = scan_frames(&log).unwrap();
+        assert!(!scan.truncated_tail);
+        assert_eq!(scan.consumed, log.len());
+        let decoded: Vec<WalRecord> = scan.records.into_iter().map(|(_, r)| r).collect();
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn torn_tail_truncates_and_honors_the_prefix() {
+        let a = WalRecord::DatasetRegistered {
+            dataset: "d".to_string(),
+            cap: b(1.0, 0.0),
+        }
+        .encode_frame()
+        .unwrap();
+        let c = WalRecord::Intent {
+            seq: 0,
+            dataset: "d".to_string(),
+            cost: b(0.1, 0.0),
+        }
+        .encode_frame()
+        .unwrap();
+        // Tear the second frame at every possible byte count. keep=0
+        // leaves a clean frame boundary (nothing of the second frame
+        // ever reached disk), so only keep ≥ 1 reports a torn tail.
+        for keep in 0..c.len() {
+            let mut log = a.clone();
+            log.extend_from_slice(&c[..keep]);
+            let scan = scan_frames(&log).unwrap();
+            assert_eq!(scan.records.len(), 1, "keep={keep}");
+            assert_eq!(scan.consumed, a.len(), "keep={keep}");
+            assert_eq!(scan.truncated_tail, keep > 0, "keep={keep}");
+        }
+        // A fully present second frame scans cleanly.
+        let mut log = a.clone();
+        log.extend_from_slice(&c);
+        let scan = scan_frames(&log).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert!(!scan.truncated_tail);
+    }
+
+    #[test]
+    fn mid_log_corruption_is_a_typed_error_tail_corruption_truncates() {
+        let a = WalRecord::DatasetRegistered {
+            dataset: "d".to_string(),
+            cap: b(1.0, 0.0),
+        }
+        .encode_frame()
+        .unwrap();
+        let c = WalRecord::Commit { seq: 3 }.encode_frame().unwrap();
+        let mut log = a.clone();
+        log.extend_from_slice(&c);
+
+        // Flip a payload bit in the FIRST frame: mid-log corruption.
+        let mut corrupt_mid = log.clone();
+        corrupt_mid[9] ^= 0x40;
+        match scan_frames(&corrupt_mid) {
+            Err(DurabilityError::CorruptRecord { offset: 0, .. }) => {}
+            other => panic!("expected mid-log corruption error, got {other:?}"),
+        }
+
+        // Flip a payload bit in the LAST frame: tail damage, truncates.
+        let mut corrupt_tail = log.clone();
+        let tail_payload = a.len() + 9;
+        corrupt_tail[tail_payload] ^= 0x40;
+        let scan = scan_frames(&corrupt_tail).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.consumed, a.len());
+        assert!(scan.truncated_tail);
+    }
+
+    #[test]
+    fn replay_is_fail_closed_on_unresolved_intents() {
+        let mut log = Vec::new();
+        for r in [
+            WalRecord::DatasetRegistered {
+                dataset: "d".to_string(),
+                cap: b(2.0, 0.0),
+            },
+            WalRecord::Intent {
+                seq: 0,
+                dataset: "d".to_string(),
+                cost: b(0.5, 0.0),
+            },
+            WalRecord::Commit { seq: 0 },
+            WalRecord::Intent {
+                seq: 1,
+                dataset: "d".to_string(),
+                cost: b(0.25, 0.0),
+            },
+            // seq 1 never commits: the crash hit between execution and
+            // resolution. It must be charged AND poison the dataset.
+        ] {
+            log.extend_from_slice(&r.encode_frame().unwrap());
+        }
+        let state = replay(&log).unwrap();
+        let d = &state.ledgers["d"];
+        assert_eq!(d.charges, vec![b(0.5, 0.0), b(0.25, 0.0)]);
+        assert_eq!(d.conservative, 1);
+        assert_eq!(d.faulted, 1);
+        assert_eq!(d.poison, Some(PoisonReason::ConservativeRecovery));
+        assert_eq!(state.conservative_intents, 1);
+        assert_eq!(state.next_intent, 2);
+
+        // An aborted intent, by contrast, provably spends zero.
+        let mut log2 = Vec::new();
+        for r in [
+            WalRecord::DatasetRegistered {
+                dataset: "d".to_string(),
+                cap: b(2.0, 0.0),
+            },
+            WalRecord::Intent {
+                seq: 0,
+                dataset: "d".to_string(),
+                cost: b(0.5, 0.0),
+            },
+            WalRecord::Abort { seq: 0 },
+        ] {
+            log2.extend_from_slice(&r.encode_frame().unwrap());
+        }
+        let state2 = replay(&log2).unwrap();
+        let d2 = &state2.ledgers["d"];
+        assert!(d2.charges.is_empty());
+        assert_eq!(d2.poison, None);
+    }
+
+    #[test]
+    fn replay_rejects_semantically_impossible_logs() {
+        let reg = WalRecord::DatasetRegistered {
+            dataset: "d".to_string(),
+            cap: b(1.0, 0.0),
+        };
+        // Commit with no intent.
+        let mut log = reg.encode_frame().unwrap();
+        log.extend_from_slice(&WalRecord::Commit { seq: 9 }.encode_frame().unwrap());
+        assert!(matches!(
+            replay(&log),
+            Err(DurabilityError::OrphanSequence { seq: 9, .. })
+        ));
+        // Intent against an unregistered dataset.
+        let log2 = WalRecord::Intent {
+            seq: 0,
+            dataset: "ghost".to_string(),
+            cost: b(0.1, 0.0),
+        }
+        .encode_frame()
+        .unwrap();
+        assert!(matches!(
+            replay(&log2),
+            Err(DurabilityError::UnknownDatasetInLog(_))
+        ));
+        // Duplicate registration.
+        let mut log3 = reg.encode_frame().unwrap();
+        log3.extend_from_slice(&reg.encode_frame().unwrap());
+        assert!(matches!(
+            replay(&log3),
+            Err(DurabilityError::DuplicateDataset(_))
+        ));
+        // Unknown record tag (mid-log → typed error).
+        let mut payload = vec![99u8];
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        let len = payload.len() as u32;
+        let mut checked = len.to_le_bytes().to_vec();
+        checked.extend_from_slice(&payload);
+        let crc = crc32(&checked);
+        let mut log4 = Vec::new();
+        log4.extend_from_slice(&len.to_le_bytes());
+        log4.extend_from_slice(&crc.to_le_bytes());
+        log4.extend_from_slice(&payload);
+        log4.extend_from_slice(&reg.encode_frame().unwrap());
+        assert!(matches!(
+            scan_frames(&log4),
+            Err(DurabilityError::UnknownRecordType { tag: 99, .. })
+        ));
+        // Non-finite cost bits (hand-built log) fail typed.
+        let mut bad_cost = vec![TAG_INTENT];
+        bad_cost.extend_from_slice(&0u64.to_le_bytes());
+        bad_cost.extend_from_slice(&1u16.to_le_bytes());
+        bad_cost.push(b'd');
+        bad_cost.extend_from_slice(&f64::NAN.to_le_bytes());
+        bad_cost.extend_from_slice(&0.0f64.to_le_bytes());
+        assert!(matches!(
+            WalRecord::decode_payload(&bad_cost, 0),
+            Err(DurabilityError::CorruptRecord { .. })
+        ));
+    }
+
+    #[test]
+    fn crashable_wal_persists_exactly_the_planned_prefix() {
+        let frame_a = WalRecord::Commit { seq: 0 }.encode_frame().unwrap();
+        let frame_b = WalRecord::Commit { seq: 1 }.encode_frame().unwrap();
+        let plan = CrashPlan::at(CrashPoint::TornWrite { index: 1, keep: 5 }).unwrap();
+        let (mut wal, handle) = CrashableWal::new(plan);
+        wal.append(&frame_a).unwrap();
+        wal.append(&frame_b).unwrap();
+        // The "process" is dead; later writes vanish.
+        wal.append(&frame_a).unwrap();
+        assert!(wal.crashed());
+        let mut want = frame_a.clone();
+        want.extend_from_slice(&frame_b[..5]);
+        assert_eq!(handle.bytes(), want);
+        // And the image recovers as a torn tail.
+        let scan = scan_frames(&handle.bytes()).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert!(scan.truncated_tail);
+    }
+
+    #[test]
+    fn file_wal_roundtrips_and_truncates() {
+        let path =
+            std::env::temp_dir().join(format!("dplearn_wal_test_{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = FileWal::open(&path).unwrap();
+            wal.append(
+                &WalRecord::DatasetRegistered {
+                    dataset: "d".to_string(),
+                    cap: b(1.0, 0.0),
+                }
+                .encode_frame()
+                .unwrap(),
+            )
+            .unwrap();
+            wal.flush().unwrap();
+            let extra = WalRecord::Commit { seq: 0 }.encode_frame().unwrap();
+            wal.append(&extra).unwrap();
+            let full = wal.snapshot().unwrap();
+            wal.truncate(full.len() - extra.len()).unwrap();
+        }
+        // Reopen: only the first record survives the truncation.
+        let wal = FileWal::open(&path).unwrap();
+        let scan = scan_frames(&wal.snapshot().unwrap()).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert!(!scan.truncated_tail);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,733 @@
+//! Crash-recovery acceptance suite for the write-ahead budget ledger.
+//!
+//! The bar, from the durability contract: after a crash at **any**
+//! instant — before an append, after it, mid-frame (torn write), or
+//! with a corrupted tail record — [`Engine::recover`] rebuilds every
+//! ledger such that the recovered spent ε is never *less* than what a
+//! crash-free oracle says could have been released, rejections spend
+//! exactly zero, recovery is deterministic and thread-count invariant,
+//! and replay is idempotent. Suspended SVT sessions round-trip their
+//! 17-byte state bit-identically — unless their dataset was charged
+//! conservatively, in which case resumption is refused.
+
+use dplearn_engine::engine::{Engine, EngineConfig};
+use dplearn_engine::mechanism::QueryMechanism;
+use dplearn_engine::request::{QueryKind, QueryRequest};
+use dplearn_engine::wal::{self, CrashableWal, FsyncPolicy, MemoryWal, WalRecord};
+use dplearn_engine::{Dataset, EngineError, FileWal};
+use dplearn_mechanisms::privacy::Budget;
+use dplearn_numerics::rng::Rng;
+use dplearn_robust::crash::{CrashPlan, CrashPoint};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+fn cap_alpha() -> Budget {
+    Budget::new(1.0, 1e-6).unwrap()
+}
+
+fn cap_beta() -> Budget {
+    Budget::new(0.5, 1e-6).unwrap()
+}
+
+fn values(n: usize) -> Vec<f64> {
+    (0..n).map(|i| (i % 10) as f64 / 10.0).collect()
+}
+
+/// A mechanism that charges 0.25 ε and then releases NaN on every
+/// attempt — the canonical "charged, then faulted mid-flight" query.
+struct FaultyNan;
+
+impl QueryMechanism for FaultyNan {
+    fn name(&self) -> &'static str {
+        "faulty"
+    }
+
+    fn admit(&self, _kind: &QueryKind, _dataset: &Dataset) -> Result<Budget, EngineError> {
+        Budget::new(0.25, 0.0).map_err(EngineError::Mechanism)
+    }
+
+    fn execute(
+        &self,
+        _kind: &QueryKind,
+        _dataset: &Dataset,
+        rng: &mut dyn Rng,
+    ) -> Result<dplearn_engine::QueryValue, EngineError> {
+        let _ = rng.next_f64();
+        Ok(dplearn_engine::QueryValue::Scalar(f64::NAN))
+    }
+}
+
+/// Total WAL appends the reference workload performs when nothing
+/// crashes. The sweep and the oracle both key on this; the test that
+/// builds the oracle asserts it so a workload change can't silently
+/// shrink coverage.
+const ORACLE_APPENDS: u64 = 12;
+
+/// The reference workload, identical for every crash plan (the
+/// crash-aware storage silently discards post-death writes, so the
+/// *live* run is the same regardless of where the log dies):
+///
+/// | append | record                                   |
+/// |-------:|------------------------------------------|
+/// |  0     | `DatasetRegistered("alpha", 1.0)`        |
+/// |  1     | `DatasetRegistered("beta", 0.5)`         |
+/// |  2     | `Intent(0, alpha, 0.2)` (batch 1)        |
+/// |  3     | `Intent(1, beta, 0.2)`                   |
+/// |  4     | `Commit(0)`                              |
+/// |  5     | `Commit(1)`                              |
+/// |  6     | `Intent(2, alpha, 0.25)` (faulty batch)  |
+/// |  7     | `Poison(alpha, numeric_fault(nan))`      |
+/// |  8     | `Commit(2)`                              |
+/// |  9     | `Intent(3, beta, 0.1)` (svt_open)        |
+/// | 10     | `Commit(3)`                              |
+/// | 11     | `SvtSuspended(sid, beta, state)`         |
+///
+/// Batch 1 also carries two requests that are rejected at admission (an
+/// unknown dataset and an over-budget ε=0.4 on beta) — those must never
+/// reach the log at all.
+fn run_workload(plan: CrashPlan) -> (Engine, Vec<u8>) {
+    let (storage, handle) = CrashableWal::new(plan);
+    let mut e = Engine::new(EngineConfig::default()).unwrap();
+    e.register_mechanism(Arc::new(FaultyNan));
+    e.attach_wal(storage, FsyncPolicy::EveryAppend).unwrap();
+    e.register_dataset("alpha", values(100), 0.0, 1.0, cap_alpha())
+        .unwrap();
+    e.register_dataset("beta", values(50), 0.0, 1.0, cap_beta())
+        .unwrap();
+
+    let batch = vec![
+        QueryRequest::new(
+            "alpha",
+            QueryKind::LaplaceCount {
+                lo: 0.0,
+                hi: 0.5,
+                epsilon: 0.2,
+            },
+        ),
+        QueryRequest::new("beta", QueryKind::LaplaceSum { epsilon: 0.2 }),
+        QueryRequest::new("missing", QueryKind::LaplaceSum { epsilon: 0.1 }),
+        QueryRequest::new("beta", QueryKind::LaplaceSum { epsilon: 0.4 }),
+    ];
+    let r1 = e.run_batch(&batch);
+    assert_eq!(r1.executed(), 2);
+    assert_eq!(r1.rejected(), 2, "unknown dataset + over-budget ε");
+
+    let r2 = e.run_batch(&[QueryRequest::new(
+        "alpha",
+        QueryKind::Custom {
+            mechanism: "faulty".to_string(),
+            params: vec![],
+        },
+    )]);
+    assert_eq!(r2.faulted(), 1);
+
+    let sid = e.svt_open("beta", 40.0, 0.1).unwrap();
+    let _ = e.svt_query(sid, 0.0, 1.0).unwrap();
+    let (ds, _state) = e.svt_suspend(sid).unwrap();
+    assert_eq!(ds, "beta");
+
+    let image = handle.bytes();
+    (e, image)
+}
+
+/// How many complete oracle records the durable image retains under
+/// `plan`. Torn keeps are chosen below the 17-byte minimum frame length
+/// and the flip byte hits the CRC-covered payload, so a damaged append
+/// always truncates to the preceding frame boundary.
+fn durable_records(plan: &CrashPlan) -> usize {
+    match plan.point() {
+        None => ORACLE_APPENDS as usize,
+        Some(CrashPoint::AfterAppend(i)) => i as usize + 1,
+        Some(
+            CrashPoint::BeforeAppend(i)
+            | CrashPoint::TornWrite { index: i, .. }
+            | CrashPoint::BitFlip { index: i, .. },
+        ) => i as usize,
+    }
+}
+
+/// Per-dataset accounting a fail-closed recovery must land on, computed
+/// independently of `wal::replay` by folding the durable record prefix:
+/// committed intents charge at their commit's log position, unresolved
+/// intents charge conservatively at the end (and poison), aborted
+/// intents charge nothing.
+#[derive(Debug, Clone, Default)]
+struct Expect {
+    spent_epsilon: f64,
+    operations: u64,
+    poisoned: bool,
+    conservative: u64,
+}
+
+fn expected_state(records: &[WalRecord]) -> BTreeMap<String, Expect> {
+    let mut expect: BTreeMap<String, Expect> = BTreeMap::new();
+    let mut intents: BTreeMap<u64, (String, f64)> = BTreeMap::new();
+    let mut commits_in_order: Vec<u64> = Vec::new();
+    let mut resolved: BTreeSet<u64> = BTreeSet::new();
+    for record in records {
+        match record {
+            WalRecord::DatasetRegistered { dataset, .. } => {
+                expect.entry(dataset.clone()).or_default();
+            }
+            WalRecord::Intent { seq, dataset, cost } => {
+                intents.insert(*seq, (dataset.clone(), cost.epsilon));
+            }
+            WalRecord::Commit { seq } => {
+                commits_in_order.push(*seq);
+                resolved.insert(*seq);
+            }
+            WalRecord::Abort { seq } => {
+                resolved.insert(*seq);
+            }
+            WalRecord::Poison { dataset, .. } => {
+                expect.entry(dataset.clone()).or_default().poisoned = true;
+            }
+            WalRecord::SvtSuspended { .. } | WalRecord::SvtResumed { .. } => {}
+        }
+    }
+    for seq in commits_in_order {
+        if let Some((dataset, eps)) = intents.get(&seq) {
+            let ent = expect.entry(dataset.clone()).or_default();
+            ent.spent_epsilon += eps;
+            ent.operations += 1;
+        }
+    }
+    for (seq, (dataset, eps)) in &intents {
+        if !resolved.contains(seq) {
+            let ent = expect.entry(dataset.clone()).or_default();
+            ent.spent_epsilon += eps;
+            ent.operations += 1;
+            ent.conservative += 1;
+            ent.poisoned = true;
+        }
+    }
+    expect
+}
+
+/// ε that provably landed: committed intents only. Recovery may charge
+/// more (conservative intents) but never less.
+fn committed_floor(records: &[WalRecord], dataset: &str) -> f64 {
+    let mut intents: BTreeMap<u64, (String, f64)> = BTreeMap::new();
+    let mut floor = 0.0;
+    for record in records {
+        match record {
+            WalRecord::Intent { seq, dataset, cost } => {
+                intents.insert(*seq, (dataset.clone(), cost.epsilon));
+            }
+            WalRecord::Commit { seq } => {
+                if let Some((ds, eps)) = intents.get(seq) {
+                    if ds == dataset {
+                        floor += eps;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    floor
+}
+
+fn oracle_records() -> Vec<WalRecord> {
+    let (_live, image) = run_workload(CrashPlan::never());
+    let scan = wal::scan_frames(&image).unwrap();
+    assert!(!scan.truncated_tail);
+    let records: Vec<WalRecord> = scan.records.into_iter().map(|(_, r)| r).collect();
+    assert_eq!(
+        records.len(),
+        ORACLE_APPENDS as usize,
+        "the reference workload's append schedule changed — update ORACLE_APPENDS \
+         and the sweep coverage"
+    );
+    records
+}
+
+fn recover(image: Vec<u8>) -> Result<Engine, EngineError> {
+    Engine::recover(EngineConfig::default(), MemoryWal::from_bytes(image))
+}
+
+/// Crash-free round trip: recovering the full log lands on accounting
+/// state bit-identical to the live engine's — exact spend bits, charge
+/// histories, poison reason, fault counters, and the suspended SVT
+/// session.
+#[test]
+fn crash_free_recovery_is_bit_identical_to_the_live_engine() {
+    let (live, image) = run_workload(CrashPlan::never());
+    let rec = recover(image).unwrap();
+    assert_eq!(rec.recovered_pending(), vec!["alpha", "beta"]);
+    assert_eq!(
+        live.durability_digest(),
+        rec.durability_digest(),
+        "recovered accounting must be bit-identical to the live engine"
+    );
+    // The spend is visible before the data is re-supplied.
+    let report = rec.report().unwrap();
+    let alpha = report
+        .datasets
+        .iter()
+        .find(|s| s.dataset == "alpha")
+        .unwrap();
+    assert_eq!(alpha.n_records, 0, "data is not loaded yet");
+    assert!(alpha.poisoned, "the faulted dataset stays poisoned");
+    assert!(alpha.basic.epsilon > 0.44, "0.2 + 0.25 spent");
+}
+
+/// The tentpole acceptance test: drive a crash at every append index in
+/// every flavour (before, after, torn at two byte counts, tail bit
+/// flip), recover, and check the rebuilt ledgers against an independent
+/// fold of the durable record prefix — exact spend bits, operation and
+/// conservative counters, poisoned state — plus the fail-closed floor
+/// (never less ε than the committed prefix) and recovery determinism.
+#[test]
+fn exhaustive_crash_sweep_never_undercounts_spent_epsilon() {
+    let oracle = oracle_records();
+    // keep ∈ {1, 9} is always mid-frame (min frame = 17 bytes); flip
+    // byte 8 is the first payload byte, squarely under the frame CRC.
+    for plan in CrashPlan::sweep(ORACLE_APPENDS, &[1, 9], &[8]) {
+        let (_live, image) = run_workload(plan);
+        let keep = durable_records(&plan);
+        let scan = wal::scan_frames(&image)
+            .unwrap_or_else(|e| panic!("plan {plan:?}: durable image must scan, got {e}"));
+        assert_eq!(
+            scan.records.len(),
+            keep,
+            "plan {plan:?}: durable image retained an unexpected record count"
+        );
+        let prefix = &oracle[..keep];
+        let expect = expected_state(prefix);
+
+        let mut rec = recover(image.clone())
+            .unwrap_or_else(|e| panic!("plan {plan:?}: recovery must succeed, got {e}"));
+        let again = recover(image).unwrap();
+        assert_eq!(
+            rec.durability_digest(),
+            again.durability_digest(),
+            "plan {plan:?}: recovery must be deterministic"
+        );
+
+        // Re-register the data; the recovered ledgers are installed as-is.
+        if expect.contains_key("alpha") {
+            rec.register_dataset("alpha", values(100), 0.0, 1.0, cap_alpha())
+                .unwrap();
+        }
+        if expect.contains_key("beta") {
+            rec.register_dataset("beta", values(50), 0.0, 1.0, cap_beta())
+                .unwrap();
+        }
+
+        for (name, exp) in &expect {
+            let ledger = rec.ledger(name).unwrap();
+            let snap = ledger.snapshot();
+            assert_eq!(
+                snap.spent.epsilon.to_bits(),
+                exp.spent_epsilon.to_bits(),
+                "plan {plan:?} `{name}`: recovered spend {} must equal the \
+                 durable-prefix oracle {}",
+                snap.spent.epsilon,
+                exp.spent_epsilon,
+            );
+            assert_eq!(
+                snap.operations as u64, exp.operations,
+                "plan {plan:?} `{name}`"
+            );
+            assert_eq!(
+                ledger.is_poisoned(),
+                exp.poisoned,
+                "plan {plan:?} `{name}`: poisoned state must survive"
+            );
+            assert_eq!(
+                ledger.conservative(),
+                exp.conservative,
+                "plan {plan:?} `{name}`: conservative-charge counter"
+            );
+            // Fail-closed: never report less than what provably landed.
+            let floor = committed_floor(prefix, name);
+            assert!(
+                snap.spent.epsilon >= floor,
+                "plan {plan:?} `{name}`: recovered ε {} under-counts the committed floor {floor}",
+                snap.spent.epsilon,
+            );
+        }
+        // The two admission rejections never reach the log: beta can
+        // never come back owing the rejected ε = 0.4.
+        if let Some(beta) = expect.get("beta") {
+            assert!(
+                beta.spent_epsilon <= 0.3 + 1e-12,
+                "plan {plan:?}: a rejected request leaked into the log"
+            );
+        }
+
+        let suspended = prefix
+            .iter()
+            .filter(|r| matches!(r, WalRecord::SvtSuspended { .. }))
+            .count();
+        assert_eq!(
+            rec.suspended_sessions().len(),
+            suspended,
+            "plan {plan:?}: suspended-session survival"
+        );
+    }
+}
+
+/// The durable image and the recovered accounting digest are
+/// bit-identical at any `DPLEARN_THREADS` — the WAL is written only
+/// from sequential control paths.
+#[test]
+fn durable_image_and_recovery_are_thread_count_invariant() {
+    let plans = [
+        CrashPlan::never(),
+        CrashPlan::at(CrashPoint::AfterAppend(6)).unwrap(),
+    ];
+    for plan in plans {
+        let mut baseline: Option<(Vec<u8>, Vec<u8>, Vec<u8>)> = None;
+        for threads in [1usize, 2, 8] {
+            dplearn_parallel::set_thread_count(threads);
+            let (live, image) = run_workload(plan);
+            let rec = recover(image.clone()).unwrap();
+            let got = (image, live.durability_digest(), rec.durability_digest());
+            match &baseline {
+                None => baseline = Some(got),
+                Some(expected) => {
+                    assert_eq!(
+                        expected.0, got.0,
+                        "plan {plan:?}: durable image differs at {threads} thread(s)"
+                    );
+                    assert_eq!(
+                        expected.1, got.1,
+                        "plan {plan:?}: live digest differs at {threads} thread(s)"
+                    );
+                    assert_eq!(
+                        expected.2, got.2,
+                        "plan {plan:?}: recovered digest differs at {threads} thread(s)"
+                    );
+                }
+            }
+        }
+        dplearn_parallel::set_thread_count(0);
+    }
+}
+
+/// A suspended SVT session survives a crash: the 17-byte state comes
+/// back bit-identical, resumes without spending fresh ε, and the resume
+/// itself is durable (a second crash no longer resurrects the session).
+#[test]
+fn svt_session_survives_a_crash_and_resumes_bit_identically() {
+    let (storage, handle) = CrashableWal::new(CrashPlan::never());
+    let mut e = Engine::new(EngineConfig::default()).unwrap();
+    e.attach_wal(storage, FsyncPolicy::EveryAppend).unwrap();
+    e.register_dataset("d", values(100), 0.0, 1.0, cap_alpha())
+        .unwrap();
+    // Threshold far above any noisy count: the probes below stay firmly
+    // on the `Below` side, so the one-shot session survives them.
+    let sid = e.svt_open("d", 500.0, 0.5).unwrap();
+    let _ = e.svt_query(sid, 0.0, 0.2).unwrap();
+    let (ds, state) = e.svt_suspend(sid).unwrap();
+    assert_eq!(ds, "d");
+    drop(e); // the crash
+
+    let store = MemoryWal::from_bytes(handle.bytes());
+    let tail = store.handle();
+    let mut rec = Engine::recover(EngineConfig::default(), store).unwrap();
+    assert_eq!(rec.suspended_sessions(), vec![sid]);
+    let (rds, rstate) = rec.suspended_state(sid).unwrap();
+    assert_eq!(rds, "d");
+    assert_eq!(
+        rstate.to_bytes(),
+        state.to_bytes(),
+        "the 17-byte session state must round-trip bit-identically"
+    );
+
+    rec.register_dataset("d", values(100), 0.0, 1.0, cap_alpha())
+        .unwrap();
+    let spent_before = rec.ledger("d").unwrap().snapshot().spent.epsilon;
+    let resumed = rec.svt_resume_suspended(sid).unwrap();
+    assert!(rec.suspended_sessions().is_empty());
+    let _ = rec.svt_query(resumed, 0.0, 0.2).unwrap();
+    assert_eq!(
+        rec.ledger("d").unwrap().snapshot().spent.epsilon,
+        spent_before,
+        "resume costs nothing — svt_open already charged the whole session"
+    );
+    drop(rec); // a second crash, after the durable resume
+
+    let rec2 =
+        Engine::recover(EngineConfig::default(), MemoryWal::from_bytes(tail.bytes())).unwrap();
+    assert!(
+        rec2.suspended_sessions().is_empty(),
+        "a resumed session must not be resurrected by the next recovery"
+    );
+}
+
+/// A dataset that recovery had to charge conservatively (an intent with
+/// no durable commit) refuses to resume its suspended sessions: the
+/// accounting around the crash cannot be trusted enough to keep
+/// releasing through it.
+#[test]
+fn recovery_refuses_to_resume_sessions_on_a_conservatively_charged_dataset() {
+    // Appends: 0 register, 1 svt intent, 2 svt commit, 3 suspend,
+    // 4 batch intent, 5 batch commit. Crash after 4: the batch query's
+    // commit is lost, so recovery must assume the release happened.
+    let plan = CrashPlan::at(CrashPoint::AfterAppend(4)).unwrap();
+    let (storage, handle) = CrashableWal::new(plan);
+    let mut e = Engine::new(EngineConfig::default()).unwrap();
+    e.attach_wal(storage, FsyncPolicy::EveryAppend).unwrap();
+    e.register_dataset("d", values(100), 0.0, 1.0, cap_alpha())
+        .unwrap();
+    let sid = e.svt_open("d", 40.0, 0.2).unwrap();
+    let (_, _state) = e.svt_suspend(sid).unwrap();
+    let out = e.submit(&QueryRequest::new(
+        "d",
+        QueryKind::LaplaceCount {
+            lo: 0.0,
+            hi: 0.5,
+            epsilon: 0.1,
+        },
+    ));
+    assert!(
+        out.is_executed(),
+        "the live run never noticed the dying log"
+    );
+    drop(e);
+
+    let mut rec = recover(handle.bytes()).unwrap();
+    assert_eq!(rec.suspended_sessions(), vec![sid]);
+    rec.register_dataset("d", values(100), 0.0, 1.0, cap_alpha())
+        .unwrap();
+    let ledger = rec.ledger("d").unwrap();
+    assert!(ledger.is_poisoned(), "conservative recovery must poison");
+    assert_eq!(ledger.conservative(), 1);
+    let mut expected = 0.0f64;
+    expected += 0.2;
+    expected += 0.1;
+    assert_eq!(
+        ledger.snapshot().spent.epsilon.to_bits(),
+        expected.to_bits(),
+        "the unresolved intent is charged in full"
+    );
+    match rec.svt_resume_suspended(sid) {
+        Err(EngineError::DatasetPoisoned(name)) => assert_eq!(name, "d"),
+        other => panic!("resume on a conservatively charged dataset must refuse, got {other:?}"),
+    }
+}
+
+/// Fuzz the tail-integrity machinery: flip every single byte of a
+/// pristine log (two masks each) and recover. Recovery must never
+/// panic; it either succeeds — honoring at least every record before
+/// the damaged frame — or fails with a typed durability error.
+#[test]
+fn every_single_byte_corruption_recovers_fail_closed_or_errors_typed() {
+    let store = MemoryWal::new();
+    let handle = store.handle();
+    let mut e = Engine::new(EngineConfig::default()).unwrap();
+    e.attach_wal(store, FsyncPolicy::EveryAppend).unwrap();
+    e.register_dataset("d", values(100), 0.0, 1.0, cap_alpha())
+        .unwrap();
+    let report = e.run_batch(&[
+        QueryRequest::new(
+            "d",
+            QueryKind::LaplaceCount {
+                lo: 0.0,
+                hi: 0.5,
+                epsilon: 0.2,
+            },
+        ),
+        QueryRequest::new("d", QueryKind::LaplaceSum { epsilon: 0.3 }),
+    ]);
+    assert_eq!(report.executed(), 2);
+    drop(e);
+
+    let image = handle.bytes();
+    let scan = wal::scan_frames(&image).unwrap();
+    let offsets: Vec<usize> = scan.records.iter().map(|(o, _)| *o).collect();
+    let records: Vec<WalRecord> = scan.records.into_iter().map(|(_, r)| r).collect();
+
+    for byte in 0..image.len() {
+        for mask in [0x01u8, 0x80] {
+            let mut corrupt = image.clone();
+            corrupt[byte] ^= mask;
+            match recover(corrupt) {
+                Ok(rec) => {
+                    // Every record in the frames strictly before the
+                    // damaged one is honored: any intent there is spent
+                    // (committed or conservative), so the recovered ε
+                    // can only exceed that floor.
+                    let frame = offsets.iter().rposition(|&o| o <= byte).unwrap();
+                    let floor: f64 = records[..frame]
+                        .iter()
+                        .filter_map(|r| match r {
+                            WalRecord::Intent { dataset, cost, .. } if dataset == "d" => {
+                                Some(cost.epsilon)
+                            }
+                            _ => None,
+                        })
+                        .sum();
+                    let rep = rec.report().unwrap();
+                    let spent = rep
+                        .datasets
+                        .iter()
+                        .find(|s| s.dataset == "d")
+                        .map(|s| s.basic.epsilon)
+                        .unwrap_or(0.0);
+                    assert!(
+                        spent + 1e-9 >= floor,
+                        "byte {byte} mask {mask:#04x}: recovered ε {spent} under-counts \
+                         the intact prefix ({floor})"
+                    );
+                }
+                Err(EngineError::Durability(_)) => {} // typed fail-closed refusal
+                Err(other) => {
+                    panic!(
+                        "byte {byte} mask {mask:#04x}: expected a durability error, got {other:?}"
+                    )
+                }
+            }
+        }
+    }
+}
+
+/// The end-to-end file-backed path: write through a `FileWal`, drop the
+/// engine without any shutdown handshake, and recover a fresh process's
+/// engine from the same path.
+#[test]
+fn file_backed_wal_recovers_across_process_boundaries() {
+    let path =
+        std::env::temp_dir().join(format!("dplearn_crash_recovery_{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    {
+        let mut e = Engine::new(EngineConfig::default()).unwrap();
+        e.attach_wal(FileWal::open(&path).unwrap(), FsyncPolicy::EveryAppend)
+            .unwrap();
+        e.register_dataset("d", values(100), 0.0, 1.0, cap_alpha())
+            .unwrap();
+        let report = e.run_batch(&[QueryRequest::new(
+            "d",
+            QueryKind::LaplaceCount {
+                lo: 0.0,
+                hi: 1.0,
+                epsilon: 0.2,
+            },
+        )]);
+        assert_eq!(report.executed(), 1);
+        // No clean shutdown: the engine is simply dropped.
+    }
+    let mut rec = Engine::recover(EngineConfig::default(), FileWal::open(&path).unwrap()).unwrap();
+    assert_eq!(rec.recovered_pending(), vec!["d"]);
+    rec.register_dataset("d", values(100), 0.0, 1.0, cap_alpha())
+        .unwrap();
+    let snap = rec.ledger("d").unwrap().snapshot();
+    assert_eq!(snap.spent.epsilon.to_bits(), 0.2f64.to_bits());
+    assert_eq!(snap.operations, 1);
+    std::fs::remove_file(&path).ok();
+}
+
+/// WAL telemetry flows from sequential control paths only, so the
+/// counters are exact: one append per schedule row, every append
+/// flushed under `FsyncPolicy::EveryAppend`, and the recovery counters
+/// describe the replay precisely.
+#[test]
+fn wal_telemetry_counts_every_append_and_recovery() {
+    use dplearn_telemetry::{MemoryRecorder, Recorder};
+
+    let recorder = Arc::new(MemoryRecorder::new());
+    let (storage, handle) = CrashableWal::new(CrashPlan::never());
+    let mut e = Engine::new(EngineConfig::default()).unwrap();
+    e.set_recorder(recorder.clone());
+    e.register_mechanism(Arc::new(FaultyNan));
+    e.attach_wal(storage, FsyncPolicy::EveryAppend).unwrap();
+    e.register_dataset("alpha", values(100), 0.0, 1.0, cap_alpha())
+        .unwrap();
+    e.register_dataset("beta", values(50), 0.0, 1.0, cap_beta())
+        .unwrap();
+    let _ = e.run_batch(&[QueryRequest::new(
+        "alpha",
+        QueryKind::LaplaceCount {
+            lo: 0.0,
+            hi: 0.5,
+            epsilon: 0.2,
+        },
+    )]);
+    let snap = recorder.snapshot().unwrap();
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    assert_eq!(counter("wal.appends{dataset}"), 2);
+    assert_eq!(counter("wal.appends{intent}"), 1);
+    assert_eq!(counter("wal.appends{commit}"), 1);
+    assert_eq!(counter("wal.flushes"), 4, "EveryAppend flushes each frame");
+    assert!(counter("wal.bytes") > 0);
+
+    // Recovery counters, through the recorder-carrying entry point.
+    use dplearn_engine::mechanism::MechanismRegistry;
+    let rec_recorder = Arc::new(MemoryRecorder::new());
+    let _rec = Engine::recover_with_registry(
+        EngineConfig::default(),
+        MechanismRegistry::standard(),
+        MemoryWal::from_bytes(handle.bytes()),
+        FsyncPolicy::EveryAppend,
+        rec_recorder.clone(),
+    )
+    .unwrap();
+    let snap = rec_recorder.snapshot().unwrap();
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    assert_eq!(counter("wal.recovery.replays"), 1);
+    assert_eq!(counter("wal.recovery.records"), 4);
+    assert_eq!(counter("wal.recovery.datasets"), 2);
+    assert_eq!(counter("wal.recovery.conservative_intents"), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Replay is idempotent under any crash point: recovering the same
+    /// image twice, and recovering the (tail-truncated) log a recovered
+    /// engine leaves behind, always land on the same accounting digest.
+    #[test]
+    fn wal_replay_is_idempotent_for_any_crash_point(
+        index in 0u64..ORACLE_APPENDS,
+        variant in 0u8..4,
+        keep in 1usize..16,
+    ) {
+        let point = match variant {
+            0 => CrashPoint::BeforeAppend(index),
+            1 => CrashPoint::AfterAppend(index),
+            2 => CrashPoint::TornWrite { index, keep },
+            _ => CrashPoint::BitFlip { index, byte: keep, mask: 0x80 },
+        };
+        let plan = CrashPlan::at(point).unwrap();
+        let (_live, image) = run_workload(plan);
+        // A bit flip landing in a frame's length field may legitimately
+        // be refused as typed corruption; everything else must recover.
+        match recover(image.clone()) {
+            Ok(first) => {
+                let digest = first.durability_digest();
+                let second = recover(image.clone()).unwrap();
+                prop_assert_eq!(&digest, &second.durability_digest());
+
+                // Recover from the log the first recovery truncated.
+                let store = MemoryWal::from_bytes(image);
+                let handle = store.handle();
+                let third = Engine::recover(EngineConfig::default(), store).unwrap();
+                prop_assert_eq!(&digest, &third.durability_digest());
+                drop(third);
+                let fourth = recover(handle.bytes()).unwrap();
+                prop_assert_eq!(&digest, &fourth.durability_digest());
+            }
+            Err(e) => {
+                prop_assert!(
+                    matches!(e, EngineError::Durability(_)),
+                    "recovery refusals must be typed durability errors, got {:?}", e
+                );
+            }
+        }
+    }
+}

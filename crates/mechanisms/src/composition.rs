@@ -48,6 +48,57 @@ pub fn advanced(per_step: Budget, k: usize, delta_prime: f64) -> Result<Budget> 
     })
 }
 
+/// Why an accountant (or the ledger wrapping it) was poisoned.
+///
+/// Poisoning is fail-closed: the budget stays spent and all further
+/// spending is refused. The *reason* matters for post-incident triage —
+/// a numeric fault in a mechanism points at the release path, a failed
+/// charged operation at the executor, and a conservative recovery charge
+/// at an unclean shutdown — so it is preserved in the poisoned state and
+/// surfaced through snapshots and engine reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoisonReason {
+    /// [`PrivacyAccountant::poison`] was called without a more specific
+    /// reason (legacy call sites, manual fail-closed shutdowns).
+    Manual,
+    /// A charged operation failed mid-flight
+    /// (see [`PrivacyAccountant::run`]).
+    ChargedOperationFailed,
+    /// A mechanism released a non-finite or otherwise fault-classified
+    /// value; the label is the executor's stable fault-taxonomy name
+    /// (e.g. `"nan"`, `"pos_inf"`).
+    NumericFault(&'static str),
+    /// Durable-ledger recovery found a charge intent with no matching
+    /// commit and charged it conservatively: the mechanism may have
+    /// executed before the crash, so the dataset fails closed.
+    ConservativeRecovery,
+    /// The durability layer failed while the accounting was mid-flight
+    /// (e.g. a write-ahead-log append error after a charge landed).
+    DurabilityFailure,
+}
+
+impl PoisonReason {
+    /// Stable, allocation-free label for reports and telemetry keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PoisonReason::Manual => "manual",
+            PoisonReason::ChargedOperationFailed => "charged_operation_failed",
+            PoisonReason::NumericFault(_) => "numeric_fault",
+            PoisonReason::ConservativeRecovery => "conservative_recovery",
+            PoisonReason::DurabilityFailure => "durability_failure",
+        }
+    }
+}
+
+impl std::fmt::Display for PoisonReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoisonReason::NumericFault(class) => write!(f, "numeric_fault({class})"),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
 /// A sequential-composition privacy accountant with a hard cap.
 ///
 /// The accountant **fails closed**: malformed budgets (NaN, infinite, or
@@ -62,6 +113,7 @@ pub struct PrivacyAccountant {
     spent_delta: f64,
     operations: usize,
     poisoned: bool,
+    poison_reason: Option<PoisonReason>,
 }
 
 impl PrivacyAccountant {
@@ -73,6 +125,7 @@ impl PrivacyAccountant {
             spent_delta: 0.0,
             operations: 0,
             poisoned: false,
+            poison_reason: None,
         }
     }
 
@@ -122,7 +175,7 @@ impl PrivacyAccountant {
         match op() {
             Ok(v) => Ok(v),
             Err(e) => {
-                self.poisoned = true;
+                self.poison_with(PoisonReason::ChargedOperationFailed);
                 Err(e)
             }
         }
@@ -141,8 +194,50 @@ impl PrivacyAccountant {
     /// and execute in separate phases (e.g. a batch engine that admits
     /// requests sequentially but runs them in parallel) and must fail the
     /// ledger closed when a mid-flight execution dies elsewhere.
+    /// Records [`PoisonReason::Manual`]; prefer
+    /// [`PrivacyAccountant::poison_with`] when the fault class is known.
     pub fn poison(&mut self) {
+        self.poison_with(PoisonReason::Manual);
+    }
+
+    /// Poison the accountant, preserving *why* for post-incident triage.
+    /// The first reason wins: poisoning an already-poisoned accountant
+    /// never rewrites the originating fault.
+    pub fn poison_with(&mut self, reason: PoisonReason) {
+        if !self.poisoned {
+            self.poison_reason = Some(reason);
+        }
         self.poisoned = true;
+    }
+
+    /// Why the accountant was poisoned (`None` while healthy).
+    pub fn poison_reason(&self) -> Option<PoisonReason> {
+        self.poison_reason
+    }
+
+    /// Unconditionally record a spend that is already known to have
+    /// happened — past the cap and even on a poisoned accountant.
+    ///
+    /// This exists for **durable-ledger restoration only**: a write-ahead
+    /// log replay must reconstruct every charge that landed (or may have
+    /// landed) before a crash, and refusing any of them would *under*-count
+    /// spent ε — the one failure mode the fail-closed design forbids.
+    /// Malformed (non-finite or negative) charges are still rejected; a
+    /// corrupt log must surface as a typed error, not as state.
+    pub fn force_spend(&mut self, b: Budget) -> Result<()> {
+        if !(b.epsilon.is_finite() && b.epsilon >= 0.0 && b.delta.is_finite() && b.delta >= 0.0) {
+            return Err(MechanismError::InvalidParameter {
+                name: "budget",
+                reason: format!(
+                    "restored charge must have finite nonnegative components, got (ε={}, δ={})",
+                    b.epsilon, b.delta
+                ),
+            });
+        }
+        self.spent_epsilon += b.epsilon;
+        self.spent_delta += b.delta;
+        self.operations += 1;
+        Ok(())
     }
 
     /// The total budget cap this accountant enforces.
@@ -185,6 +280,7 @@ impl PrivacyAccountant {
             remaining: self.remaining(),
             operations: self.operations,
             poisoned: self.poisoned,
+            poison_reason: self.poison_reason,
         }
     }
 
@@ -225,6 +321,8 @@ pub struct AccountantSnapshot {
     /// Whether a charged operation has failed (all further spends are
     /// refused).
     pub poisoned: bool,
+    /// Why the accountant was poisoned (`None` while healthy).
+    pub poison_reason: Option<PoisonReason>,
 }
 
 #[cfg(test)]
@@ -392,6 +490,67 @@ mod tests {
             delta: 0.0,
         }));
         assert!(acc.snapshot().poisoned);
+    }
+
+    #[test]
+    fn poison_reason_is_preserved_and_first_reason_wins() {
+        let mut acc = PrivacyAccountant::new(b(1.0, 0.0));
+        assert_eq!(acc.poison_reason(), None);
+        acc.poison_with(PoisonReason::NumericFault("nan"));
+        assert!(acc.is_poisoned());
+        assert_eq!(acc.poison_reason(), Some(PoisonReason::NumericFault("nan")));
+        // Later poisonings never rewrite the originating fault.
+        acc.poison();
+        acc.poison_with(PoisonReason::ConservativeRecovery);
+        assert_eq!(acc.poison_reason(), Some(PoisonReason::NumericFault("nan")));
+        assert_eq!(
+            acc.snapshot().poison_reason,
+            Some(PoisonReason::NumericFault("nan"))
+        );
+        assert_eq!(
+            acc.poison_reason().unwrap().to_string(),
+            "numeric_fault(nan)"
+        );
+
+        // Bare poison() records the legacy Manual reason.
+        let mut legacy = PrivacyAccountant::new(b(1.0, 0.0));
+        legacy.poison();
+        assert_eq!(legacy.poison_reason(), Some(PoisonReason::Manual));
+
+        // run() records the mid-flight failure class.
+        let mut ran = PrivacyAccountant::new(b(1.0, 0.0));
+        let _ = ran.run::<(), _>(b(0.1, 0.0), || Err(MechanismError::AccountantPoisoned));
+        assert_eq!(
+            ran.poison_reason(),
+            Some(PoisonReason::ChargedOperationFailed)
+        );
+    }
+
+    #[test]
+    fn force_spend_restores_past_cap_and_through_poisoning() {
+        let mut acc = PrivacyAccountant::new(b(1.0, 0.0));
+        acc.force_spend(b(0.8, 0.0)).unwrap();
+        acc.poison_with(PoisonReason::ConservativeRecovery);
+        // Restoration ignores both the cap and the poisoned gate: the
+        // charge already happened, refusing it would under-count.
+        acc.force_spend(b(0.8, 0.0)).unwrap();
+        assert!((acc.spent().epsilon - 1.6).abs() < 1e-12);
+        assert_eq!(acc.operations(), 2);
+        assert!(acc.is_poisoned());
+        // Malformed restorations still fail closed as typed errors.
+        assert!(acc
+            .force_spend(Budget {
+                epsilon: f64::NAN,
+                delta: 0.0,
+            })
+            .is_err());
+        assert!(acc
+            .force_spend(Budget {
+                epsilon: -0.1,
+                delta: 0.0,
+            })
+            .is_err());
+        assert_eq!(acc.operations(), 2, "rejected restorations spend nothing");
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! Deterministic crash-point injection for durable (write-ahead-log)
+//! storage.
+//!
+//! A write-ahead log's whole value is what survives an unclean death, so
+//! its tests must be able to die **at every interesting instant**: before
+//! an append persists anything, after it persists fully, halfway through
+//! a frame (a torn write), and with a flipped bit (in-flight or media
+//! corruption caught by the CRC). A [`CrashPlan`] names exactly one such
+//! instant; a storage wrapper (e.g. the engine's `CrashableWal`) consults
+//! [`CrashPlan::disposition`] on every append and persists precisely what
+//! a real crash at that instant would have left on disk.
+//!
+//! Determinism contract: a plan is pure data keyed on the **append
+//! index** — never on time, thread identity, or randomness — so a crash
+//! sweep replays bit-identically at every `DPLEARN_THREADS` setting, and
+//! [`CrashPlan::sweep`] enumerates the same plans in the same order on
+//! every run.
+
+use crate::{Result, RobustError};
+
+/// The instant at which the simulated process dies, keyed on the 0-based
+/// index of the WAL append being performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Die before append `index` persists any byte: the frame is lost
+    /// entirely, everything earlier is durable.
+    BeforeAppend(u64),
+    /// Die after append `index` is fully durable (flush included): the
+    /// frame survives, nothing later does.
+    AfterAppend(u64),
+    /// Die mid-append: only the first `keep` bytes of frame `index`
+    /// reach the disk — the canonical torn write a crash-safe reader
+    /// must treat as a truncation point.
+    TornWrite {
+        /// Which append is torn.
+        index: u64,
+        /// How many leading bytes of the frame survive. A `keep` at or
+        /// beyond the frame length persists the whole frame (equivalent
+        /// to [`CrashPoint::AfterAppend`]).
+        keep: usize,
+    },
+    /// Die after append `index` lands with one bit flipped — modelling
+    /// in-flight or at-rest corruption of the tail record that the
+    /// frame CRC must catch.
+    BitFlip {
+        /// Which append is corrupted.
+        index: u64,
+        /// Byte offset within the frame (clamped to the frame length).
+        byte: usize,
+        /// XOR mask applied to that byte (`0` is rejected — it would
+        /// make the "corruption" a no-op).
+        mask: u8,
+    },
+}
+
+impl CrashPoint {
+    /// The append index the crash is keyed on.
+    pub fn index(&self) -> u64 {
+        match *self {
+            CrashPoint::BeforeAppend(i)
+            | CrashPoint::AfterAppend(i)
+            | CrashPoint::TornWrite { index: i, .. }
+            | CrashPoint::BitFlip { index: i, .. } => i,
+        }
+    }
+}
+
+/// What a crash-aware storage wrapper should persist for one append.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteDisposition {
+    /// Persist the frame unchanged; the process stays alive.
+    Persist,
+    /// Persist exactly `bytes` (possibly empty, possibly corrupted),
+    /// then the process is dead: this append and every later operation
+    /// persist nothing more.
+    PersistThenCrash(Vec<u8>),
+    /// The process is already dead: persist nothing.
+    Dead,
+}
+
+/// A deterministic single-crash schedule for a write-ahead log.
+///
+/// `CrashPlan::never()` never crashes (the oracle configuration);
+/// `CrashPlan::at(point)` dies exactly once, at `point`. The plan itself
+/// is stateless — the wrapper tracks the running append index and
+/// whether the crash has fired — so one plan value can drive any number
+/// of replayed runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    point: Option<CrashPoint>,
+}
+
+impl CrashPlan {
+    /// A plan that never crashes.
+    pub fn never() -> Self {
+        CrashPlan { point: None }
+    }
+
+    /// A plan that crashes exactly once, at `point`. Rejects a
+    /// [`CrashPoint::BitFlip`] with a zero mask (a no-op "corruption"
+    /// would silently weaken a sweep).
+    pub fn at(point: CrashPoint) -> Result<Self> {
+        if let CrashPoint::BitFlip { mask: 0, .. } = point {
+            return Err(RobustError::InvalidParameter {
+                name: "mask",
+                reason: "bit-flip mask must be nonzero".to_string(),
+            });
+        }
+        Ok(CrashPlan { point: Some(point) })
+    }
+
+    /// The configured crash instant, if any.
+    pub fn point(&self) -> Option<CrashPoint> {
+        self.point
+    }
+
+    /// Decide what append `index` (0-based) with frame contents `frame`
+    /// persists. `crashed` is the wrapper's "process already died" flag;
+    /// pass the value from the previous disposition's outcome.
+    pub fn disposition(&self, index: u64, frame: &[u8], crashed: bool) -> WriteDisposition {
+        if crashed {
+            return WriteDisposition::Dead;
+        }
+        match self.point {
+            None => WriteDisposition::Persist,
+            Some(point) if point.index() != index => WriteDisposition::Persist,
+            Some(CrashPoint::BeforeAppend(_)) => WriteDisposition::PersistThenCrash(Vec::new()),
+            Some(CrashPoint::AfterAppend(_)) => WriteDisposition::PersistThenCrash(frame.to_vec()),
+            Some(CrashPoint::TornWrite { keep, .. }) => {
+                let keep = keep.min(frame.len());
+                WriteDisposition::PersistThenCrash(frame.get(..keep).unwrap_or(&[]).to_vec())
+            }
+            Some(CrashPoint::BitFlip { byte, mask, .. }) => {
+                let mut corrupted = frame.to_vec();
+                let at = byte.min(corrupted.len().saturating_sub(1));
+                if let Some(b) = corrupted.get_mut(at) {
+                    *b ^= mask;
+                }
+                WriteDisposition::PersistThenCrash(corrupted)
+            }
+        }
+    }
+
+    /// Enumerate the standard crash sweep for a log of `appends` frames:
+    /// for every append index, a crash before it, after it, torn at each
+    /// of `torn_keeps` byte counts, and a bit flip at each of
+    /// `flip_bytes` offsets (mask `0x80`). Deterministic order: by append
+    /// index, then by variant in the order above.
+    pub fn sweep(appends: u64, torn_keeps: &[usize], flip_bytes: &[usize]) -> Vec<CrashPlan> {
+        let mut plans = Vec::new();
+        for index in 0..appends {
+            plans.push(CrashPlan {
+                point: Some(CrashPoint::BeforeAppend(index)),
+            });
+            plans.push(CrashPlan {
+                point: Some(CrashPoint::AfterAppend(index)),
+            });
+            for &keep in torn_keeps {
+                plans.push(CrashPlan {
+                    point: Some(CrashPoint::TornWrite { index, keep }),
+                });
+            }
+            for &byte in flip_bytes {
+                plans.push(CrashPlan {
+                    point: Some(CrashPoint::BitFlip {
+                        index,
+                        byte,
+                        mask: 0x80,
+                    }),
+                });
+            }
+        }
+        plans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_plan_always_persists() {
+        let plan = CrashPlan::never();
+        for i in 0..5 {
+            assert_eq!(
+                plan.disposition(i, b"frame", false),
+                WriteDisposition::Persist
+            );
+        }
+    }
+
+    #[test]
+    fn crash_points_persist_exactly_what_a_real_crash_would() {
+        let frame = b"\x01\x02\x03\x04";
+        let before = CrashPlan::at(CrashPoint::BeforeAppend(1)).unwrap();
+        assert_eq!(
+            before.disposition(0, frame, false),
+            WriteDisposition::Persist
+        );
+        assert_eq!(
+            before.disposition(1, frame, false),
+            WriteDisposition::PersistThenCrash(Vec::new())
+        );
+        assert_eq!(before.disposition(2, frame, true), WriteDisposition::Dead);
+
+        let after = CrashPlan::at(CrashPoint::AfterAppend(0)).unwrap();
+        assert_eq!(
+            after.disposition(0, frame, false),
+            WriteDisposition::PersistThenCrash(frame.to_vec())
+        );
+
+        let torn = CrashPlan::at(CrashPoint::TornWrite { index: 0, keep: 2 }).unwrap();
+        assert_eq!(
+            torn.disposition(0, frame, false),
+            WriteDisposition::PersistThenCrash(vec![0x01, 0x02])
+        );
+        // keep beyond the frame persists everything.
+        let long = CrashPlan::at(CrashPoint::TornWrite { index: 0, keep: 99 }).unwrap();
+        assert_eq!(
+            long.disposition(0, frame, false),
+            WriteDisposition::PersistThenCrash(frame.to_vec())
+        );
+
+        let flip = CrashPlan::at(CrashPoint::BitFlip {
+            index: 0,
+            byte: 3,
+            mask: 0x80,
+        })
+        .unwrap();
+        assert_eq!(
+            flip.disposition(0, frame, false),
+            WriteDisposition::PersistThenCrash(vec![0x01, 0x02, 0x03, 0x84])
+        );
+        // Offsets beyond the frame clamp to the last byte.
+        let clamp = CrashPlan::at(CrashPoint::BitFlip {
+            index: 0,
+            byte: 999,
+            mask: 0x01,
+        })
+        .unwrap();
+        assert_eq!(
+            clamp.disposition(0, frame, false),
+            WriteDisposition::PersistThenCrash(vec![0x01, 0x02, 0x03, 0x05])
+        );
+    }
+
+    #[test]
+    fn zero_mask_is_rejected() {
+        assert!(CrashPlan::at(CrashPoint::BitFlip {
+            index: 0,
+            byte: 0,
+            mask: 0,
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn sweep_enumerates_deterministically() {
+        let a = CrashPlan::sweep(3, &[1, 4], &[0]);
+        let b = CrashPlan::sweep(3, &[1, 4], &[0]);
+        assert_eq!(a, b);
+        // 3 appends × (before + after + 2 torn + 1 flip) = 15 plans.
+        assert_eq!(a.len(), 15);
+        assert_eq!(a[0].point(), Some(CrashPoint::BeforeAppend(0)));
+        assert_eq!(a[1].point(), Some(CrashPoint::AfterAppend(0)));
+        assert!(a.iter().all(|p| p.point().is_some()));
+    }
+}

@@ -45,9 +45,11 @@
     deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)
 )]
 
+pub mod crash;
 pub mod fault;
 pub mod retry;
 
+pub use crash::{CrashPlan, CrashPoint, WriteDisposition};
 pub use fault::{FaultClass, FaultPlan, FaultyRng};
 pub use retry::{ConvergenceReport, RetryPolicy};
 

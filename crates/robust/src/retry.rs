@@ -91,13 +91,26 @@ impl RetryPolicy {
     }
 
     /// Iteration budget of attempt `attempt` (0-based):
-    /// `base_iters · growth^attempt`, saturating.
+    /// `base_iters · growth^attempt`, saturating at `usize::MAX`.
+    ///
+    /// The escalation is computed in `f64` (the growth factor is
+    /// fractional), which cannot represent every `usize` above 2⁵³: a
+    /// naive `base_iters as f64` rounds, and for pathological
+    /// `base_iters` the product could round *down* — an overflow
+    /// "wrapping" the budget into a value smaller than the base. The
+    /// result is therefore clamped to never fall below `base_iters`, so
+    /// the schedule is monotone in `attempt` and attempt 0 always gets
+    /// exactly its configured budget.
     pub fn budget_for(&self, attempt: usize) -> usize {
         let b = self.base_iters as f64 * self.growth.powi(attempt.min(10_000) as i32);
-        if b >= usize::MAX as f64 {
+        // NaN (never produced by a validated policy, but `Budget`-style
+        // defensiveness is cheap) and +inf both saturate.
+        if !b.is_finite() || b >= usize::MAX as f64 {
             usize::MAX
         } else {
-            (b as usize).max(1)
+            // `as usize` saturates rather than wraps, and the clamp
+            // repairs any downward rounding of the f64 round-trip.
+            (b as usize).max(self.base_iters).max(1)
         }
     }
 
@@ -180,6 +193,53 @@ mod tests {
             damping: 0.0,
         };
         assert_eq!(huge.budget_for(50), usize::MAX);
+        assert_eq!(huge.total_budget(), usize::MAX);
+    }
+
+    #[test]
+    fn budget_never_falls_below_base_at_the_overflow_boundary() {
+        // Above 2^53, `base_iters as f64` rounds: 2^53 + 1 rounds down to
+        // 2^53, so the unclamped product reports a budget *smaller* than
+        // the configured base — a geometric "escalation" that shrinks.
+        let base = (1usize << 53) + 1;
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_iters: base,
+            growth: 1.0,
+            damping: 0.0,
+        };
+        assert!(p.validate().is_ok());
+        for attempt in 0..4 {
+            assert!(
+                p.budget_for(attempt) >= base,
+                "attempt {attempt}: budget {} fell below base {base}",
+                p.budget_for(attempt)
+            );
+        }
+        // Monotone even with fractional growth straddling the boundary.
+        let q = RetryPolicy {
+            max_attempts: 8,
+            base_iters: base,
+            growth: 1.0000000001,
+            damping: 0.0,
+        };
+        let mut prev = 0usize;
+        for attempt in 0..8 {
+            let b = q.budget_for(attempt);
+            assert!(b >= prev, "schedule must be monotone: {b} < {prev}");
+            assert!(b >= base);
+            prev = b;
+        }
+        // Saturation still engages well past the representable range,
+        // and the total never wraps into a small value.
+        let huge = RetryPolicy {
+            max_attempts: 10_000,
+            base_iters: usize::MAX,
+            growth: 10.0,
+            damping: 0.0,
+        };
+        assert_eq!(huge.budget_for(0), usize::MAX);
+        assert_eq!(huge.budget_for(9_999), usize::MAX);
         assert_eq!(huge.total_budget(), usize::MAX);
     }
 

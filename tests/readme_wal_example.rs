@@ -1,0 +1,42 @@
+//! Compile-and-run check for the crash-recovery example in README.md
+//! ("Surviving crashes"). If this test breaks, update the README.
+
+use dplearn::engine::engine::{Engine, EngineConfig};
+use dplearn::engine::request::{QueryKind, QueryRequest};
+use dplearn::engine::wal::{FsyncPolicy, MemoryWal};
+use dplearn::mechanisms::privacy::Budget;
+use dplearn::DplearnError;
+
+#[test]
+fn readme_wal_example_runs_as_written() -> Result<(), DplearnError> {
+    // Attach a log before any charge. MemoryWal is the deterministic
+    // in-memory storage; FileWal::open("budgets.wal") is the real thing.
+    let storage = MemoryWal::new();
+    let wal = storage.handle(); // the bytes that survive the "crash"
+    let mut engine = Engine::new(EngineConfig::default())?;
+    engine.attach_wal(storage, FsyncPolicy::EveryAppend)?;
+
+    let records: Vec<f64> = (0..500).map(|i| (i % 50) as f64 / 50.0).collect();
+    engine.register_dataset("ages", records.clone(), 0.0, 1.0, Budget::new(1.0, 1e-6)?)?;
+    let report = engine.run_batch(&[QueryRequest::new(
+        "ages",
+        QueryKind::LaplaceCount {
+            lo: 0.0,
+            hi: 0.5,
+            epsilon: 0.3,
+        },
+    )]);
+    assert_eq!(report.executed(), 1);
+    drop(engine); // the process dies — no shutdown handshake
+
+    // Recovery replays the log fail-closed. The spend comes back before
+    // the data does: re-registering under the same name (and the same cap
+    // — anything else is refused) re-arms the dataset with its ledger.
+    let mut recovered =
+        Engine::recover(EngineConfig::default(), MemoryWal::from_bytes(wal.bytes()))?;
+    assert_eq!(recovered.recovered_pending(), vec!["ages"]);
+    recovered.register_dataset("ages", records, 0.0, 1.0, Budget::new(1.0, 1e-6)?)?;
+    let snap = recovered.ledger("ages").expect("re-registered").snapshot();
+    assert_eq!(snap.spent.epsilon.to_bits(), 0.3f64.to_bits()); // bit-identical
+    Ok(())
+}

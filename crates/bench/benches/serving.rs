@@ -1,0 +1,248 @@
+//! Serving-loop throughput and correctness smoke, with a
+//! machine-readable `BENCH_serving.json` artifact.
+//!
+//! Three measurements over a ≥10⁵-request, ≥64-tenant open-loop
+//! workload:
+//!
+//! 1. Drain throughput at shard counts 1 and 4 — requests/second for
+//!    the full control-plane + data-plane cycle (route, admit, execute,
+//!    reassemble in ticket order). On a multicore box with enough
+//!    worker threads the 4-shard fleet should beat the single shard;
+//!    CI enforces that on the JSON.
+//! 2. Rejected requests provably spend zero: a tenant whose cap is
+//!    below every request's ε ends the run with bit-exact 0.0 spend.
+//! 3. Per-shard crash recovery is bit-identical to the crash-free
+//!    oracle at 1, 2, and 8 worker threads (post-commit crash point, so
+//!    the durable image is complete).
+//!
+//! Not a criterion harness: the run *is* the measurement, so CI can
+//! treat it as a smoke test and scrape the JSON. Results are written to
+//! `BENCH_serving.json` (override via `DPLEARN_BENCH_SERVING_JSON`);
+//! request count via `DPLEARN_BENCH_SERVE_REQUESTS`.
+
+use dplearn::engine::engine::Engine;
+use dplearn::engine::request::{QueryKind, QueryRequest};
+use dplearn::engine::wal::{CrashableWal, FsyncPolicy, MemoryWal};
+use dplearn::mechanisms::privacy::Budget;
+use dplearn_robust::crash::{CrashPoint, FleetCrashPlan};
+use dplearn_serve::{ServeConfig, ServingLoop, ShardRouter};
+use std::hint::black_box;
+use std::io::Write;
+use std::time::Instant;
+
+const TENANTS: usize = 64;
+const TICK_BUDGET: usize = 4_096;
+
+fn values(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 31) % 1000) as f64 / 1000.0).collect()
+}
+
+fn cap(epsilon: f64) -> Budget {
+    Budget::new(epsilon, 1e-6).unwrap()
+}
+
+fn count_req(tenant: &str, epsilon: f64) -> QueryRequest {
+    QueryRequest::new(
+        tenant,
+        QueryKind::LaplaceCount {
+            lo: 0.0,
+            hi: 0.5,
+            epsilon,
+        },
+    )
+}
+
+fn config(shards: usize) -> ServeConfig {
+    ServeConfig {
+        shards,
+        ..ServeConfig::default()
+    }
+}
+
+/// Drain `requests` admissions spread over `TENANTS` tenants through a
+/// `shards`-shard fleet; returns (seconds, requests/second).
+fn throughput(shards: usize, requests: usize) -> (f64, f64) {
+    let mut serving = ServingLoop::new(config(shards)).unwrap();
+    let tenants: Vec<String> = (0..TENANTS).map(|i| format!("tenant-{i:03}")).collect();
+    for tenant in &tenants {
+        // Caps generous enough that nothing is rejected: rejections
+        // skip execution and would flatter the measured rate.
+        serving
+            .register_tenant(tenant, values(256), 0.0, 1.0, cap(1e9))
+            .unwrap();
+    }
+    for i in 0..requests {
+        serving.enqueue(count_req(&tenants[i % TENANTS], 1e-4));
+    }
+    assert_eq!(serving.queue_depth(), requests);
+
+    let start = Instant::now();
+    let mut executed = 0usize;
+    while serving.queue_depth() > 0 {
+        let report = serving.tick_bounded(TICK_BUDGET);
+        executed += report.executed();
+        black_box(report.outcomes.len());
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    assert_eq!(executed, requests, "workload must execute fully");
+    (seconds, requests as f64 / seconds)
+}
+
+/// Rejections must spend exactly zero: a tenant capped below every
+/// request's ε ends with bit-exact 0.0 spend and a full reject count.
+fn rejected_spend_is_zero() -> (usize, bool) {
+    let rejections = 512usize;
+    let mut serving = ServingLoop::new(config(4)).unwrap();
+    serving
+        .register_tenant("starved", values(64), 0.0, 1.0, cap(0.05))
+        .unwrap();
+    for _ in 0..rejections {
+        serving.enqueue(count_req("starved", 0.5));
+    }
+    let mut rejected = 0usize;
+    while serving.queue_depth() > 0 {
+        rejected += serving.tick_bounded(TICK_BUDGET).rejected();
+    }
+    let snap = serving.ledger("starved").unwrap().snapshot();
+    let zero = snap.spent.epsilon.to_bits() == 0.0f64.to_bits() && snap.operations == 0;
+    assert_eq!(rejected, rejections);
+    assert!(zero, "rejections must not spend budget");
+    (rejected, zero)
+}
+
+/// Run the fixed durable workload (2 tenants on distinct shards, 2
+/// ticks) under `plan`; returns the per-shard durable images, the
+/// victim tenant, and the victim's live spend bits.
+fn durable_workload(plan: &FleetCrashPlan) -> (Vec<MemoryWal>, String, u64) {
+    let shards = plan.shards();
+    let router = ShardRouter::new(shards).unwrap();
+    let victim_shard = plan.crashing_shard().unwrap_or(0);
+    let pick = |shard: usize, salt: &str| -> String {
+        (0u64..)
+            .map(|i| format!("{salt}-{i}"))
+            .find(|name| router.route(name) == shard)
+            .unwrap()
+    };
+    let victim = pick(victim_shard, "victim");
+    let sibling = pick((victim_shard + 1) % shards, "sibling");
+
+    let mut storages = Vec::new();
+    let mut handles = Vec::new();
+    for k in 0..shards {
+        let (storage, handle) = CrashableWal::new(plan.shard(k));
+        storages.push(storage);
+        handles.push(handle);
+    }
+    let mut serving = ServingLoop::new(config(shards)).unwrap();
+    serving
+        .attach_wal(storages, FsyncPolicy::EveryAppend)
+        .unwrap();
+    serving
+        .register_tenant(&victim, values(50), 0.0, 1.0, cap(1.0))
+        .unwrap();
+    serving
+        .register_tenant(&sibling, values(50), 0.0, 1.0, cap(1.0))
+        .unwrap();
+    for _ in 0..2 {
+        serving.enqueue(count_req(&victim, 0.1));
+        serving.enqueue(count_req(&sibling, 0.1));
+    }
+    assert_eq!(serving.tick().executed(), 4);
+    serving.enqueue(count_req(&victim, 0.05));
+    assert_eq!(serving.tick().executed(), 1);
+    let spent_bits = serving
+        .ledger(&victim)
+        .unwrap()
+        .snapshot()
+        .spent
+        .epsilon
+        .to_bits();
+    (handles, victim, spent_bits)
+}
+
+/// Crash-vs-oracle recovery digests must agree bit-for-bit at every
+/// worker-thread count. Returns true when they all match.
+fn recovery_is_bit_identical(thread_counts: &[usize]) -> bool {
+    let shards = 2usize;
+    // Crash-free oracle at 1 thread.
+    dplearn::parallel::set_thread_count(1);
+    let (oracle_handles, victim, oracle_bits) = durable_workload(&FleetCrashPlan::never(shards));
+    let router = ShardRouter::new(shards).unwrap();
+    let victim_shard = router.route(&victim);
+    let oracle = Engine::recover(
+        config(shards).shard_engine_config(victim_shard),
+        MemoryWal::from_bytes(oracle_handles[victim_shard].bytes()),
+    )
+    .unwrap();
+    let oracle_digest = oracle.durability_digest();
+
+    // Crash immediately after the final commit (victim-shard appends:
+    // registration 0, intents 1-2, commits 3-4, intent 5, commit 6):
+    // the durable image is complete, so recovery must reproduce the
+    // oracle exactly — at any worker-thread count.
+    let plan =
+        FleetCrashPlan::crash_shard(shards, victim_shard, CrashPoint::AfterAppend(6)).unwrap();
+    let mut identical = true;
+    for &threads in thread_counts {
+        dplearn::parallel::set_thread_count(threads);
+        let (handles, v, live_bits) = durable_workload(&plan);
+        assert_eq!(v, victim);
+        let recovered = Engine::recover(
+            config(shards).shard_engine_config(victim_shard),
+            MemoryWal::from_bytes(handles[victim_shard].bytes()),
+        )
+        .unwrap();
+        identical &= recovered.durability_digest() == oracle_digest;
+        identical &= live_bits == oracle_bits;
+    }
+    dplearn::parallel::set_thread_count(0);
+    identical
+}
+
+fn main() {
+    let requests: usize = std::env::var("DPLEARN_BENCH_SERVE_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000)
+        .max(100_000);
+    let hardware_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let configured_threads = dplearn::parallel::thread_count();
+
+    let (s1_seconds, s1_rps) = throughput(1, requests);
+    let (s4_seconds, s4_rps) = throughput(4, requests);
+    let (rejected, rejected_zero) = rejected_spend_is_zero();
+    let recovery_threads = [1usize, 2, 8];
+    let recovery_ok = recovery_is_bit_identical(&recovery_threads);
+
+    println!(
+        "serving: {requests} requests over {TENANTS} tenants \
+         ({hardware_threads} hw threads, {configured_threads} configured)"
+    );
+    println!("  1 shard:  {s1_seconds:.4} s  ({s1_rps:.0} req/s)");
+    println!("  4 shards: {s4_seconds:.4} s  ({s4_rps:.0} req/s)");
+    println!("  rejected: {rejected} requests, zero-spend: {rejected_zero}");
+    println!("  recovery bit-identical at {recovery_threads:?} threads: {recovery_ok}");
+    assert!(rejected_zero, "rejection spent budget");
+    assert!(recovery_ok, "recovery digests diverged");
+
+    let json = format!(
+        "{{\n  \"bench\": \"serving_loop\",\n  \
+         \"requests\": {requests},\n  \"tenants\": {TENANTS},\n  \
+         \"hardware_threads\": {hardware_threads},\n  \
+         \"configured_threads\": {configured_threads},\n  \
+         \"shard_counts\": [1, 4],\n  \
+         \"shards1_seconds\": {s1_seconds:.6},\n  \
+         \"shards1_rps\": {s1_rps:.1},\n  \
+         \"shards4_seconds\": {s4_seconds:.6},\n  \
+         \"shards4_rps\": {s4_rps:.1},\n  \
+         \"rejected_requests\": {rejected},\n  \
+         \"rejected_spend_bits_zero\": {rejected_zero},\n  \
+         \"recovery_thread_counts\": [1, 2, 8],\n  \
+         \"recovery_bit_identical\": {recovery_ok}\n}}\n"
+    );
+    let path = std::env::var("DPLEARN_BENCH_SERVING_JSON")
+        .unwrap_or_else(|_| "BENCH_serving.json".to_string());
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(json.as_bytes()).unwrap();
+    println!("wrote {path}");
+}

@@ -1,0 +1,97 @@
+//! Regression tests pinning the engine's deterministic report ordering.
+//!
+//! The serving layer merges per-shard [`EngineReport`]s into one fleet
+//! view and relies on every engine listing its datasets in sorted name
+//! order regardless of registration order. That contract is cheap to
+//! uphold (the engine stores datasets in a `BTreeMap`) but easy to
+//! break silently in a refactor, so this file pins it.
+
+use dplearn_engine::engine::{Engine, EngineConfig};
+use dplearn_engine::request::{QueryKind, QueryRequest};
+use dplearn_mechanisms::privacy::Budget;
+
+fn engine_with(names: &[&str]) -> Engine {
+    let mut engine = Engine::new(EngineConfig::default()).unwrap();
+    for name in names {
+        engine
+            .register_dataset(
+                name,
+                (0..20).map(|i| i as f64 / 20.0).collect(),
+                0.0,
+                1.0,
+                Budget::new(4.0, 1e-6).unwrap(),
+            )
+            .unwrap();
+    }
+    engine
+}
+
+#[test]
+fn dataset_names_are_sorted_regardless_of_registration_order() {
+    let interleaved = ["zeta", "alpha", "mu", "beta", "omega", "gamma"];
+    let engine = engine_with(&interleaved);
+    let mut expected: Vec<&str> = interleaved.to_vec();
+    expected.sort_unstable();
+    assert_eq!(engine.dataset_names(), expected);
+}
+
+#[test]
+fn report_lists_datasets_in_sorted_order_after_mixed_traffic() {
+    let mut engine = engine_with(&["zeta", "alpha", "mu"]);
+    // Traffic in non-sorted dataset order must not perturb report order.
+    let outcomes = engine.run_batch(&[
+        QueryRequest::new("mu", QueryKind::LaplaceSum { epsilon: 0.3 }),
+        QueryRequest::new("zeta", QueryKind::LaplaceSum { epsilon: 0.2 }),
+        QueryRequest::new("alpha", QueryKind::LaplaceSum { epsilon: 0.1 }),
+    ]);
+    assert_eq!(outcomes.executed(), 3);
+    // Late registration slots into sorted position, not at the end.
+    engine
+        .register_dataset(
+            "delta",
+            vec![0.5; 10],
+            0.0,
+            1.0,
+            Budget::new(1.0, 1e-6).unwrap(),
+        )
+        .unwrap();
+
+    let report = engine.report().unwrap();
+    let listed: Vec<&str> = report.datasets.iter().map(|s| s.dataset.as_str()).collect();
+    assert_eq!(listed, ["alpha", "delta", "mu", "zeta"]);
+    assert_eq!(engine.dataset_names(), ["alpha", "delta", "mu", "zeta"]);
+}
+
+#[test]
+fn two_registration_orders_produce_identical_reports() {
+    let names_a = ["c", "a", "b", "e", "d"];
+    let names_b = ["a", "b", "c", "d", "e"];
+    let mut forward = engine_with(&names_a);
+    let mut reversed = engine_with(&names_b);
+
+    let traffic: Vec<QueryRequest> = ["b", "d", "a"]
+        .iter()
+        .map(|t| QueryRequest::new(*t, QueryKind::LaplaceSum { epsilon: 0.25 }))
+        .collect();
+    forward.run_batch(&traffic);
+    reversed.run_batch(&traffic);
+
+    let fwd = forward.report().unwrap();
+    let rev = reversed.report().unwrap();
+    let fwd_names: Vec<&str> = fwd.datasets.iter().map(|s| s.dataset.as_str()).collect();
+    let rev_names: Vec<&str> = rev.datasets.iter().map(|s| s.dataset.as_str()).collect();
+    assert_eq!(fwd_names, rev_names);
+    for (f, r) in fwd.datasets.iter().zip(&rev.datasets) {
+        assert_eq!(
+            f.reported_epsilon.to_bits(),
+            r.reported_epsilon.to_bits(),
+            "dataset {} spend must not depend on registration order",
+            f.dataset
+        );
+        assert_eq!(f.operations, r.operations);
+    }
+    assert_eq!(
+        fwd.totals.spent_epsilon.to_bits(),
+        rev.totals.spent_epsilon.to_bits()
+    );
+}

@@ -459,6 +459,27 @@ pub fn par_for_each_chunk_mut_with_cost<T, F>(
     });
 }
 
+/// Apply `f` to every element of `items` in parallel, one element per
+/// pool chunk: `f(index, &mut item)`. The coarse-grained sibling of
+/// [`par_for_each_chunk_mut`], for executors that each own one large
+/// unit of work (a serving shard, a per-partition engine) where
+/// per-item dispatch cost is negligible next to the work itself —
+/// chunks of one element are dispatched unconditionally, with no serial
+/// cutover. Each element is written exactly once by a pure function of
+/// `(index, element)`, so the final contents are thread-count
+/// invariant.
+pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    par_for_each_chunk_mut(items, 1, |_chunk, start, chunk_items| {
+        for (offset, item) in chunk_items.iter_mut().enumerate() {
+            f(start + offset, item);
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -554,6 +575,27 @@ mod tests {
             assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
             data
         });
+    }
+
+    #[test]
+    fn par_for_each_mut_visits_every_element_once() {
+        invariant_over_threads(|| {
+            let mut data = vec![0u64; 97];
+            par_for_each_mut(&mut data, |i, v| {
+                *v = (i as u64).wrapping_mul(0x9E37_79B9) ^ 3;
+            });
+            assert!(data
+                .iter()
+                .enumerate()
+                .all(|(i, &v)| v == (i as u64).wrapping_mul(0x9E37_79B9) ^ 3));
+            data
+        });
+        // Degenerate inputs.
+        let mut empty: Vec<u64> = Vec::new();
+        par_for_each_mut(&mut empty, |_, _| unreachable!());
+        let mut one = vec![7u64];
+        par_for_each_mut(&mut one, |i, v| *v += i as u64 + 1);
+        assert_eq!(one, vec![8]);
     }
 
     #[test]

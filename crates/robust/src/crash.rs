@@ -174,6 +174,62 @@ impl CrashPlan {
     }
 }
 
+/// A per-shard crash schedule for a sharded serving fleet: shard `k`
+/// runs under `plans[k]`. Built either all-healthy
+/// ([`FleetCrashPlan::never`]) or with exactly one crashing shard
+/// ([`FleetCrashPlan::crash_shard`]), matching the serving layer's
+/// blast-radius contract: one shard dies, its siblings keep serving.
+///
+/// Like [`CrashPlan`], a fleet plan is pure data — keyed on shard index
+/// and append index only — so sharded crash sweeps replay
+/// bit-identically at every `DPLEARN_THREADS`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetCrashPlan {
+    plans: Vec<CrashPlan>,
+}
+
+impl FleetCrashPlan {
+    /// A fleet of `shards` shards, none of which crash.
+    pub fn never(shards: usize) -> Self {
+        FleetCrashPlan {
+            plans: vec![CrashPlan::never(); shards],
+        }
+    }
+
+    /// A fleet where only shard `shard` crashes, at `point` (indices
+    /// count that shard's **own** WAL appends). Out-of-range shards and
+    /// zero-mask bit flips are refused.
+    pub fn crash_shard(shards: usize, shard: usize, point: CrashPoint) -> Result<Self> {
+        if shard >= shards {
+            return Err(RobustError::InvalidParameter {
+                name: "shard",
+                reason: format!("shard {shard} out of range for {shards} shard(s)"),
+            });
+        }
+        let mut fleet = Self::never(shards);
+        if let Some(slot) = fleet.plans.get_mut(shard) {
+            *slot = CrashPlan::at(point)?;
+        }
+        Ok(fleet)
+    }
+
+    /// Number of shards in the fleet.
+    pub fn shards(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// The plan for shard `k` ([`CrashPlan::never`] out of range, so a
+    /// wrapper can always consult it safely).
+    pub fn shard(&self, k: usize) -> CrashPlan {
+        self.plans.get(k).copied().unwrap_or_else(CrashPlan::never)
+    }
+
+    /// The index of the crashing shard, if any.
+    pub fn crashing_shard(&self) -> Option<usize> {
+        self.plans.iter().position(|p| p.point().is_some())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +307,37 @@ mod tests {
             byte: 0,
             mask: 0,
         })
+        .is_err());
+    }
+
+    #[test]
+    fn fleet_plan_isolates_the_crashing_shard() {
+        let fleet = FleetCrashPlan::crash_shard(4, 2, CrashPoint::AfterAppend(3)).unwrap();
+        assert_eq!(fleet.shards(), 4);
+        assert_eq!(fleet.crashing_shard(), Some(2));
+        assert_eq!(fleet.shard(2).point(), Some(CrashPoint::AfterAppend(3)));
+        for k in [0usize, 1, 3] {
+            assert_eq!(
+                fleet.shard(k),
+                CrashPlan::never(),
+                "shard {k} must be healthy"
+            );
+        }
+        // Out-of-range consultation is total and healthy.
+        assert_eq!(fleet.shard(99), CrashPlan::never());
+
+        let healthy = FleetCrashPlan::never(3);
+        assert_eq!(healthy.crashing_shard(), None);
+        assert!(FleetCrashPlan::crash_shard(2, 2, CrashPoint::BeforeAppend(0)).is_err());
+        assert!(FleetCrashPlan::crash_shard(
+            2,
+            0,
+            CrashPoint::BitFlip {
+                index: 0,
+                byte: 0,
+                mask: 0
+            }
+        )
         .is_err());
     }
 

@@ -1,0 +1,225 @@
+//! Fleet-wide reporting: deterministic merge of per-shard
+//! [`EngineReport`]s into one view of every tenant's spent ε and
+//! mutual-information bound.
+//!
+//! The merge is pure data plumbing with two contractual properties:
+//!
+//! * **Deterministic ordering** — merged summaries are sorted by tenant
+//!   name, so the fleet report is byte-stable regardless of shard count
+//!   or the interleaving in which tenants were registered (each shard's
+//!   own report is already sorted; the merge re-sorts the
+//!   concatenation).
+//! * **Lossless triage state** — a shard's [`LeakageSummary`] carries
+//!   its poison *reason* (numeric fault, conservative crash recovery,
+//!   …); the merge preserves it verbatim so post-crash triage works at
+//!   the serving layer exactly as it does on a single engine.
+
+use dplearn_engine::report::{EngineReport, EngineTotals};
+use dplearn_engine::LeakageSummary;
+
+/// The serving-layer report: every tenant's leakage summary across all
+/// shards, per-shard subtotals, and fleet totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Number of shards merged.
+    pub shards: usize,
+    /// Per-shard aggregate totals, indexed by shard id.
+    pub per_shard: Vec<EngineTotals>,
+    /// Every tenant's summary, sorted by tenant name. Poison reasons
+    /// survive the merge verbatim.
+    pub datasets: Vec<LeakageSummary>,
+    /// Fleet-wide totals over [`datasets`](Self::datasets)
+    /// (Kahan-compensated ε and MI sums, matching the engine's own
+    /// accumulation).
+    pub totals: EngineTotals,
+    /// Serving-loop ticks executed so far.
+    pub ticks: u64,
+}
+
+impl FleetReport {
+    /// Merge per-shard engine reports (indexed by shard id) into one
+    /// fleet report. Sorting by tenant name makes the output
+    /// independent of which shard a tenant landed on and of
+    /// registration interleaving.
+    pub fn from_shard_reports(reports: &[EngineReport], ticks: u64) -> Self {
+        let mut datasets: Vec<LeakageSummary> = reports
+            .iter()
+            .flat_map(|r| r.datasets.iter().cloned())
+            .collect();
+        datasets.sort_by(|a, b| a.dataset.cmp(&b.dataset));
+        let totals = EngineTotals::from_summaries(&datasets);
+        FleetReport {
+            shards: reports.len(),
+            per_shard: reports.iter().map(|r| r.totals).collect(),
+            datasets,
+            totals,
+            ticks,
+        }
+    }
+
+    /// The summary for one tenant, if registered anywhere in the fleet.
+    pub fn tenant(&self, name: &str) -> Option<&LeakageSummary> {
+        self.datasets.iter().find(|s| s.dataset == name)
+    }
+
+    /// Tenants whose ledger is poisoned, with the preserved reason text.
+    pub fn poisoned_tenants(&self) -> Vec<(&str, String)> {
+        self.datasets
+            .iter()
+            .filter(|s| s.poisoned)
+            .map(|s| {
+                let reason = match s.poison_reason {
+                    Some(r) => r.to_string(),
+                    None => "unknown".to_string(),
+                };
+                (s.dataset.as_str(), reason)
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "dplearn-serve fleet report — {} shard(s), {} tenant(s), {} tick(s)",
+            self.shards, self.totals.datasets, self.ticks
+        )?;
+        for (shard, t) in self.per_shard.iter().enumerate() {
+            writeln!(
+                f,
+                "  shard {shard}: tenants={} ops={} rejected={} faulted={} poisoned={} ε={:.6}",
+                t.datasets, t.operations, t.rejected, t.faulted, t.poisoned, t.spent_epsilon
+            )?;
+        }
+        for s in &self.datasets {
+            writeln!(
+                f,
+                "  {name}: ops={ops} rejected={rej} faulted={flt} \
+                 ε={eps:.6} leakage ≤ {nats:.4} nats{poison}",
+                name = s.dataset,
+                ops = s.operations,
+                rej = s.rejected,
+                flt = s.faulted,
+                eps = s.basic.epsilon,
+                nats = s.mi_bound_nats,
+                poison = match (s.poisoned, s.poison_reason) {
+                    (true, Some(reason)) => format!(" POISONED({reason})"),
+                    (true, None) => " POISONED".to_string(),
+                    (false, _) => String::new(),
+                },
+            )?;
+        }
+        write!(
+            f,
+            "fleet totals: ops={} rejected={} faulted={} poisoned={} \
+             ε={:.6} leakage ≤ {:.4} nats",
+            self.totals.operations,
+            self.totals.rejected,
+            self.totals.faulted,
+            self.totals.poisoned,
+            self.totals.spent_epsilon,
+            self.totals.mi_bound_nats
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dplearn_mechanisms::composition::PoisonReason;
+    use dplearn_mechanisms::privacy::Budget;
+
+    fn summary(name: &str, eps: f64, reason: Option<PoisonReason>) -> LeakageSummary {
+        LeakageSummary {
+            dataset: name.to_string(),
+            n_records: 10,
+            basic: Budget {
+                epsilon: eps,
+                delta: 0.0,
+            },
+            advanced: None,
+            reported_epsilon: eps,
+            reported_delta: 0.0,
+            mi_bound_nats: 10.0 * eps,
+            mi_bound_bits: 10.0 * eps / std::f64::consts::LN_2,
+            per_record_bound_nats: eps,
+            operations: 2,
+            rejected: 1,
+            faulted: 0,
+            poisoned: reason.is_some(),
+            poison_reason: reason,
+            conservative: 0,
+        }
+    }
+
+    fn report(summaries: Vec<LeakageSummary>) -> EngineReport {
+        let totals = EngineTotals::from_summaries(&summaries);
+        EngineReport {
+            datasets: summaries,
+            totals,
+            mechanisms: vec!["laplace_count".to_string()],
+            batches_run: 1,
+            open_sessions: 0,
+            telemetry: None,
+        }
+    }
+
+    #[test]
+    fn merge_sorts_by_tenant_regardless_of_shard() {
+        let a = report(vec![
+            summary("zeta", 0.5, None),
+            summary("alpha", 0.25, None),
+        ]);
+        let b = report(vec![summary("mid", 0.125, None)]);
+        let forward = FleetReport::from_shard_reports(&[a.clone(), b.clone()], 3);
+        let reversed = FleetReport::from_shard_reports(&[b, a], 3);
+        let names: Vec<&str> = forward
+            .datasets
+            .iter()
+            .map(|s| s.dataset.as_str())
+            .collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+        // Shard order changes per-shard subtotals but not the merged
+        // tenant view or the fleet totals.
+        assert_eq!(forward.datasets, reversed.datasets);
+        assert_eq!(forward.totals, reversed.totals);
+    }
+
+    #[test]
+    fn merge_preserves_poison_reason() {
+        let poisoned = summary("hurt", 0.5, Some(PoisonReason::ConservativeRecovery));
+        let fleet = FleetReport::from_shard_reports(
+            &[
+                report(vec![summary("fine", 0.1, None)]),
+                report(vec![poisoned]),
+            ],
+            1,
+        );
+        assert_eq!(fleet.totals.poisoned, 1);
+        let hurt = fleet.tenant("hurt").unwrap();
+        assert_eq!(hurt.poison_reason, Some(PoisonReason::ConservativeRecovery));
+        assert_eq!(
+            fleet.poisoned_tenants(),
+            vec![("hurt", PoisonReason::ConservativeRecovery.to_string())]
+        );
+        let text = fleet.to_string();
+        assert!(
+            text.contains(&format!("POISONED({})", PoisonReason::ConservativeRecovery)),
+            "display must carry the reason: {text}"
+        );
+    }
+
+    #[test]
+    fn totals_are_kahan_folded_over_all_shards() {
+        let a = report(vec![summary("a", 0.5, None)]);
+        let b = report(vec![summary("b", 0.25, None)]);
+        let fleet = FleetReport::from_shard_reports(&[a, b], 0);
+        assert_eq!(fleet.totals.datasets, 2);
+        assert_eq!(fleet.totals.operations, 4);
+        assert_eq!(fleet.totals.rejected, 2);
+        assert!((fleet.totals.spent_epsilon - 0.75).abs() < 1e-12);
+        assert!((fleet.totals.mi_bound_nats - 7.5).abs() < 1e-12);
+        assert_eq!(fleet.per_shard.len(), 2);
+    }
+}

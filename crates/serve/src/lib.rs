@@ -1,0 +1,125 @@
+//! # dplearn-serve — sharded multi-tenant serving over the dplearn engine
+//!
+//! The engine (`dplearn-engine`) is a deterministic single-registry
+//! batch executor; production traffic is a continuous stream from many
+//! tenants. This crate turns N independent engines into one serving
+//! fleet with a strict **control-plane / data-plane split**:
+//!
+//! * **Control plane** — a sequential intake queue with monotone
+//!   tickets, tenant → shard routing by a stable FNV-1a hash
+//!   ([`router::ShardRouter`]), and per-shard admission that reuses the
+//!   engine's reject-before-execute guarantee: a rejected request
+//!   provably spends zero ε on its tenant's ledger.
+//! * **Data plane** — per-shard executors dispatched onto the
+//!   persistent worker pool (`dplearn-parallel`), one shard per chunk.
+//!   Each shard owns its slice of the dataset registry, its own
+//!   `BudgetLedger`s, and its own write-ahead-log handle, so the
+//!   intent/commit durability protocol is written through **per shard
+//!   with no cross-shard lock**, and one shard's crash (recovered
+//!   fail-closed, bit-identically to the crash-free oracle) never
+//!   stalls its siblings.
+//!
+//! Determinism contract: the same `enqueue`/`tick` sequence at the same
+//! shard count produces bit-identical outcomes, ledger states, and
+//! recorded telemetry values at any `DPLEARN_THREADS` — every source of
+//! randomness is a pure function of the master seed, the shard index,
+//! and the shard-local request order.
+//!
+//! Fleet-wide accounting stays first-class: [`fleet::FleetReport`]
+//! merges per-shard leakage summaries into one sorted per-tenant view
+//! of spent ε and the paper's mutual-information bounds, preserving
+//! poison *reasons* for post-crash triage.
+
+#![deny(missing_docs)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)
+)]
+
+pub mod fleet;
+pub mod router;
+pub mod serving;
+
+pub use fleet::FleetReport;
+pub use router::{fnv1a64, ShardRouter};
+pub use serving::{ServeConfig, ServingLoop, SessionHandle, ShardTick, TickReport};
+
+use dplearn_engine::EngineError;
+
+/// Errors produced by the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A shard's engine refused the operation (admission, durability,
+    /// session, or mechanism error — see [`EngineError`]).
+    Engine(EngineError),
+    /// The configured shard count is unusable (zero).
+    InvalidShardCount(usize),
+    /// A shard index was out of range for this fleet.
+    UnknownShard {
+        /// The requested shard.
+        shard: usize,
+        /// How many shards the fleet has.
+        shards: usize,
+    },
+    /// `attach_wal`/`recover` received the wrong number of per-shard
+    /// storages — shard count is part of the durable layout.
+    StorageCount {
+        /// Shards in the fleet.
+        expected: usize,
+        /// Storages supplied.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Engine(e) => write!(f, "shard engine error: {e}"),
+            ServeError::InvalidShardCount(n) => {
+                write!(f, "invalid shard count {n}: need at least 1 shard")
+            }
+            ServeError::UnknownShard { shard, shards } => {
+                write!(f, "unknown shard {shard} (fleet has {shards})")
+            }
+            ServeError::StorageCount { expected, got } => write!(
+                f,
+                "per-shard storage count mismatch: fleet has {expected} shard(s), got {got} storage(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_chain() {
+        let e = ServeError::InvalidShardCount(0);
+        assert!(e.to_string().contains("at least 1"));
+        let e = ServeError::UnknownShard {
+            shard: 9,
+            shards: 4,
+        };
+        assert!(e.to_string().contains("unknown shard 9"));
+        let e = ServeError::StorageCount {
+            expected: 4,
+            got: 2,
+        };
+        assert!(e.to_string().contains("mismatch"));
+        let e = ServeError::Engine(EngineError::UnknownDataset("x".to_string()));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

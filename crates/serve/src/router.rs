@@ -1,0 +1,106 @@
+//! Stable tenant → shard routing.
+//!
+//! Routing must be a **pure function of the tenant name and the shard
+//! count**: the serving loop, the recovery path, and any external
+//! log-replay tool must all agree on which shard owns a tenant, across
+//! processes and process restarts. A keyed or randomized hash would
+//! break that contract, so the router uses FNV-1a — a fixed, well-known
+//! 64-bit hash with good dispersion on short strings — reduced modulo
+//! the shard count.
+
+use crate::{Result, ServeError};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over the UTF-8 bytes of `s`. Stable across platforms and
+/// process runs — this exact function is part of the routing contract.
+pub fn fnv1a64(s: &str) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in s.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Deterministic tenant → shard router: `fnv1a64(tenant) % shards`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// A router over `shards` shards. Zero shards is refused — there
+    /// would be nowhere to route.
+    pub fn new(shards: usize) -> Result<Self> {
+        if shards == 0 {
+            return Err(ServeError::InvalidShardCount(0));
+        }
+        Ok(ShardRouter { shards })
+    }
+
+    /// Number of shards routed over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard that owns `tenant`. Total: every tenant name maps to
+    /// exactly one shard in `0..shards`.
+    pub fn route(&self, tenant: &str) -> usize {
+        // shards >= 1 by construction, so the modulo is well-defined.
+        (fnv1a64(tenant) % self.shards as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_shards_is_refused() {
+        assert!(matches!(
+            ShardRouter::new(0),
+            Err(ServeError::InvalidShardCount(0))
+        ));
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        let router = ShardRouter::new(4).unwrap();
+        for i in 0..256 {
+            let tenant = format!("tenant-{i}");
+            let shard = router.route(&tenant);
+            assert!(shard < 4);
+            assert_eq!(shard, router.route(&tenant), "routing must be pure");
+        }
+    }
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a64(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64("foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn many_tenants_spread_over_shards() {
+        let router = ShardRouter::new(8).unwrap();
+        let mut seen = vec![0usize; 8];
+        for i in 0..512 {
+            if let Some(slot) = seen.get_mut(router.route(&format!("tenant-{i}"))) {
+                *slot += 1;
+            }
+        }
+        // Dispersion sanity: no shard is starved outright.
+        assert!(seen.iter().all(|&n| n > 0), "spread: {seen:?}");
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        let router = ShardRouter::new(1).unwrap();
+        assert_eq!(router.route("anything"), 0);
+        assert_eq!(router.route(""), 0);
+    }
+}

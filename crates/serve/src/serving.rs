@@ -1,0 +1,785 @@
+//! The sharded serving loop: a sequential control plane over a
+//! pool-parallel data plane.
+//!
+//! # Architecture
+//!
+//! * **Control plane (sequential).** [`ServingLoop::enqueue`] appends
+//!   requests to a fleet-wide intake queue and hands out monotone
+//!   tickets. [`ServingLoop::tick`] drains the queue and routes every
+//!   request to the shard that owns its tenant
+//!   ([`ShardRouter`]: a pure FNV-1a hash of
+//!   the tenant name). All telemetry — queue-depth gauges, per-shard
+//!   admission/rejection counters — is recorded here, on the sequential
+//!   path, so recorded values are bit-identical at any
+//!   `DPLEARN_THREADS`.
+//! * **Data plane (parallel).** Each shard owns a full
+//!   [`Engine`] — its slice of the dataset registry, its own
+//!   [`BudgetLedger`]s, and its own
+//!   write-ahead-log handle. [`ServingLoop::tick`] dispatches one shard
+//!   per chunk onto the persistent worker pool
+//!   ([`dplearn_parallel::par_for_each_mut`]); shards never share a
+//!   lock, a ledger, or a log. Admission inside each shard reuses the
+//!   engine's reject-before-execute guarantee, so a rejected request
+//!   provably spends zero on its tenant's ledger.
+//!
+//! # Determinism contract
+//!
+//! Given the same sequence of `enqueue`/`tick` calls and the same shard
+//! count, every outcome, every ledger state, and every recorded
+//! telemetry value is **bit-identical at any `DPLEARN_THREADS`**: each
+//! shard's engine derives its randomness only from its own seed (a
+//! SplitMix64 expansion of the master seed by shard index) and its own
+//! request sequence, and outcomes are re-assembled in ticket order on
+//! the sequential path. Shard-local crash recovery inherits the
+//! engine's fail-closed WAL contract: a recovered shard's accounting is
+//! bit-identical to the crash-free oracle, and sibling shards are
+//! untouched.
+
+use crate::fleet::FleetReport;
+use crate::router::ShardRouter;
+use crate::{Result, ServeError};
+use dplearn_engine::engine::{Engine, EngineConfig};
+use dplearn_engine::mechanism::{MechanismRegistry, QueryMechanism};
+use dplearn_engine::report::BatchReport;
+use dplearn_engine::request::{QueryOutcome, QueryRequest};
+use dplearn_engine::wal::{FsyncPolicy, WalStorage};
+use dplearn_engine::{BudgetLedger, EngineError};
+use dplearn_mechanisms::privacy::Budget;
+use dplearn_mechanisms::sparse_vector::{SvtAnswer, SvtSessionState};
+use dplearn_numerics::rng::{Rng, SplitMix64};
+use dplearn_telemetry::{NoopRecorder, Recorder, SpanTimer, TelemetrySnapshot};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// SplitMix64's golden-ratio increment: seeding shard `k` at
+/// `seed + k·γ` makes the shard seeds exactly the consecutive outputs
+/// of the SplitMix64 stream started at `seed` — distinct, well-mixed,
+/// and reproducible from the master seed alone.
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Serving-loop configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of shards (each a full engine with its own registry
+    /// slice, ledgers, and WAL handle). Must be at least 1.
+    pub shards: usize,
+    /// Master seed; shard `k`'s engine runs on a SplitMix64-derived
+    /// seed so shards draw from disjoint, reproducible streams.
+    pub seed: u64,
+    /// Template engine configuration (retry policy, δ′). The `seed`
+    /// field is overridden per shard.
+    pub engine: EngineConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 4,
+            seed: 0x5E4E_D1CE_5EED,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The engine configuration shard `k` runs on: the template with a
+    /// SplitMix64-derived seed. Pure — recovery reconstructs the exact
+    /// same per-shard configs from the master config.
+    pub fn shard_engine_config(&self, shard: usize) -> EngineConfig {
+        let mut sm = SplitMix64::new(
+            self.seed
+                .wrapping_add((shard as u64).wrapping_mul(GOLDEN_GAMMA)),
+        );
+        let mut cfg = self.engine.clone();
+        cfg.seed = sm.next_u64();
+        cfg
+    }
+}
+
+/// One shard: a full engine plus its staged work for the current tick.
+struct Shard {
+    engine: Engine,
+    /// Tickets of the requests staged this tick, parallel to `pending`.
+    tickets: Vec<u64>,
+    /// Requests staged this tick, in routing order.
+    pending: Vec<QueryRequest>,
+    /// The batch report the data plane produced this tick.
+    last: Option<BatchReport>,
+    /// Telemetry label (`"shard-<k>"`), built once.
+    label: String,
+}
+
+/// Per-shard outcome counts for one tick, derived on the sequential
+/// post-processing path from the shard's deterministic [`BatchReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardTick {
+    /// Shard id.
+    pub shard: usize,
+    /// Requests routed to this shard this tick.
+    pub routed: usize,
+    /// Requests executed (admitted, charged, released).
+    pub executed: usize,
+    /// Requests rejected at admission — provably zero spend.
+    pub rejected: usize,
+    /// Requests that faulted after their charge.
+    pub faulted: usize,
+    /// ε the shard spent this tick (Kahan-compensated).
+    pub spent_epsilon: f64,
+}
+
+/// Everything one [`ServingLoop::tick`] produced: per-request outcomes
+/// in ticket (enqueue) order plus per-shard counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickReport {
+    /// `(ticket, outcome)` pairs, sorted by ticket — the order the
+    /// requests were enqueued in, regardless of shard routing.
+    pub outcomes: Vec<(u64, QueryOutcome)>,
+    /// Per-shard counts, indexed by shard id.
+    pub shards: Vec<ShardTick>,
+}
+
+impl TickReport {
+    /// Requests executed across all shards.
+    pub fn executed(&self) -> usize {
+        self.shards.iter().map(|s| s.executed).sum()
+    }
+
+    /// Requests rejected (zero spend) across all shards.
+    pub fn rejected(&self) -> usize {
+        self.shards.iter().map(|s| s.rejected).sum()
+    }
+
+    /// Requests faulted across all shards.
+    pub fn faulted(&self) -> usize {
+        self.shards.iter().map(|s| s.faulted).sum()
+    }
+}
+
+/// A fleet-wide SVT session handle: the owning shard plus the shard's
+/// local session id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionHandle {
+    /// Shard the session lives on.
+    pub shard: usize,
+    /// The shard-local session id.
+    pub session: u64,
+}
+
+/// The sharded, continuously-admitting serving loop. See the [module
+/// docs](self) for the control-plane / data-plane split and the
+/// determinism contract.
+pub struct ServingLoop {
+    config: ServeConfig,
+    router: ShardRouter,
+    shards: Vec<Shard>,
+    queue: VecDeque<(u64, QueryRequest)>,
+    recorder: Arc<dyn Recorder>,
+    mechs: Vec<Arc<dyn QueryMechanism>>,
+    next_ticket: u64,
+    ticks: u64,
+}
+
+impl std::fmt::Debug for ServingLoop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServingLoop")
+            .field("shards", &self.shards.len())
+            .field("queued", &self.queue.len())
+            .field("ticks", &self.ticks)
+            .finish()
+    }
+}
+
+impl ServingLoop {
+    /// Build a serving loop with `config.shards` empty shards.
+    pub fn new(config: ServeConfig) -> Result<Self> {
+        let router = ShardRouter::new(config.shards)?;
+        let mut shards = Vec::with_capacity(config.shards);
+        for k in 0..config.shards {
+            shards.push(Shard {
+                engine: Engine::new(config.shard_engine_config(k))?,
+                tickets: Vec::new(),
+                pending: Vec::new(),
+                last: None,
+                label: format!("shard-{k}"),
+            });
+        }
+        Ok(ServingLoop {
+            config,
+            router,
+            shards,
+            queue: VecDeque::new(),
+            recorder: Arc::new(NoopRecorder),
+            mechs: Vec::new(),
+            next_ticket: 0,
+            ticks: 0,
+        })
+    }
+
+    /// Rebuild a serving loop after a crash from one write-ahead log
+    /// per shard (indexed by shard id; the count must match
+    /// `config.shards` — shard count is part of the durable layout).
+    /// Every shard recovers independently under the engine's
+    /// fail-closed contract; re-register each tenant's data (same name,
+    /// same cap) to re-arm its recovered ledger.
+    pub fn recover<S: WalStorage + 'static>(
+        config: ServeConfig,
+        storages: Vec<S>,
+        policy: FsyncPolicy,
+    ) -> Result<Self> {
+        if storages.len() != config.shards {
+            return Err(ServeError::StorageCount {
+                expected: config.shards,
+                got: storages.len(),
+            });
+        }
+        let router = ShardRouter::new(config.shards)?;
+        let mut shards = Vec::with_capacity(config.shards);
+        for (k, storage) in storages.into_iter().enumerate() {
+            let engine = Engine::recover_with_registry(
+                config.shard_engine_config(k),
+                MechanismRegistry::standard(),
+                storage,
+                policy,
+                Arc::new(NoopRecorder),
+            )?;
+            shards.push(Shard {
+                engine,
+                tickets: Vec::new(),
+                pending: Vec::new(),
+                last: None,
+                label: format!("shard-{k}"),
+            });
+        }
+        Ok(ServingLoop {
+            config,
+            router,
+            shards,
+            queue: VecDeque::new(),
+            recorder: Arc::new(NoopRecorder),
+            mechs: Vec::new(),
+            next_ticket: 0,
+            ticks: 0,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard that owns `tenant` (pure routing; works for
+    /// unregistered tenants too).
+    pub fn tenant_shard(&self, tenant: &str) -> usize {
+        self.router.route(tenant)
+    }
+
+    /// Install the serving loop's telemetry sink (control-plane
+    /// metrics: queue depth, per-shard admission/outcome counters, tick
+    /// wall spans). Values are only recorded from sequential paths.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = recorder;
+    }
+
+    /// Install a telemetry sink on one shard's engine. Each shard
+    /// records only from its own sequential batch phases, so per-shard
+    /// snapshots stay thread-invariant.
+    pub fn set_shard_recorder(&mut self, shard: usize, recorder: Arc<dyn Recorder>) -> Result<()> {
+        let n = self.shards.len();
+        match self.shards.get_mut(shard) {
+            Some(s) => {
+                s.engine.set_recorder(recorder);
+                Ok(())
+            }
+            None => Err(ServeError::UnknownShard { shard, shards: n }),
+        }
+    }
+
+    /// Register an additional mechanism on every shard (and remember it
+    /// for [`ServingLoop::recover_shard`]).
+    pub fn register_mechanism(&mut self, mech: Arc<dyn QueryMechanism>) {
+        for shard in &mut self.shards {
+            shard.engine.register_mechanism(Arc::clone(&mech));
+        }
+        self.mechs.push(mech);
+    }
+
+    /// Attach one write-ahead log per shard (indexed by shard id). Must
+    /// run before any charge, like [`Engine::attach_wal`]; tenants
+    /// registered earlier are written through here.
+    pub fn attach_wal<S: WalStorage + 'static>(
+        &mut self,
+        storages: Vec<S>,
+        policy: FsyncPolicy,
+    ) -> Result<()> {
+        if storages.len() != self.shards.len() {
+            return Err(ServeError::StorageCount {
+                expected: self.shards.len(),
+                got: storages.len(),
+            });
+        }
+        for (shard, storage) in self.shards.iter_mut().zip(storages) {
+            shard.engine.attach_wal(storage, policy)?;
+        }
+        Ok(())
+    }
+
+    /// Register a tenant's dataset on its owning shard; returns the
+    /// shard id. After a crash this re-arms the shard's recovered
+    /// ledger (the cap must bit-match the logged cap).
+    pub fn register_tenant(
+        &mut self,
+        tenant: &str,
+        values: Vec<f64>,
+        lo: f64,
+        hi: f64,
+        cap: Budget,
+    ) -> Result<usize> {
+        let shard = self.router.route(tenant);
+        let n = self.shards.len();
+        let entry = self
+            .shards
+            .get_mut(shard)
+            .ok_or(ServeError::UnknownShard { shard, shards: n })?;
+        entry.engine.register_dataset(tenant, values, lo, hi, cap)?;
+        self.recorder.counter_add("serve.tenants.registered", "", 1);
+        Ok(shard)
+    }
+
+    /// All registered tenants, sorted by name (merged across shards —
+    /// each shard's listing is itself sorted).
+    pub fn tenants(&self) -> Vec<&str> {
+        let mut all: Vec<&str> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.engine.dataset_names())
+            .collect();
+        all.sort_unstable();
+        all
+    }
+
+    /// The budget ledger for `tenant` on its owning shard.
+    pub fn ledger(&self, tenant: &str) -> Option<&BudgetLedger> {
+        self.shards
+            .get(self.router.route(tenant))
+            .and_then(|s| s.engine.ledger(tenant))
+    }
+
+    /// Read access to one shard's engine (tests, digests, reports).
+    pub fn shard_engine(&self, shard: usize) -> Option<&Engine> {
+        self.shards.get(shard).map(|s| &s.engine)
+    }
+
+    /// Queue a request; returns its ticket (monotone admission order).
+    /// The request is routed and executed on the next
+    /// [`ServingLoop::tick`].
+    pub fn enqueue(&mut self, request: QueryRequest) -> u64 {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.queue.push_back((ticket, request));
+        self.recorder.counter_add("serve.requests.enqueued", "", 1);
+        self.recorder
+            .gauge_set("serve.queue.depth", "", self.queue.len() as f64);
+        ticket
+    }
+
+    /// Requests waiting for the next tick.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Ticks executed so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Drain the intake queue through one control-plane/data-plane
+    /// cycle (at most `max_requests` requests; the rest stay queued).
+    ///
+    /// Phases: (1) sequential routing of queued requests to their
+    /// owning shards; (2) parallel per-shard batch execution on the
+    /// worker pool — one shard per chunk, no cross-shard state; (3)
+    /// sequential re-assembly of outcomes in ticket order plus
+    /// telemetry. Bit-identical at any `DPLEARN_THREADS`.
+    pub fn tick_bounded(&mut self, max_requests: usize) -> TickReport {
+        let span = SpanTimer::new(self.recorder.as_ref(), "serve.tick.wall", "");
+
+        // Phase 1 — control plane: route.
+        let take = self.queue.len().min(max_requests);
+        for _ in 0..take {
+            let Some((ticket, request)) = self.queue.pop_front() else {
+                break;
+            };
+            let shard = self.router.route(&request.dataset);
+            if let Some(entry) = self.shards.get_mut(shard) {
+                entry.tickets.push(ticket);
+                entry.pending.push(request);
+            }
+        }
+        self.recorder
+            .gauge_set("serve.queue.depth", "", self.queue.len() as f64);
+        for shard in &self.shards {
+            if !shard.pending.is_empty() {
+                self.recorder.counter_add(
+                    "serve.shard.routed",
+                    &shard.label,
+                    shard.pending.len() as u64,
+                );
+            }
+        }
+
+        // Phase 2 — data plane: one shard per pool chunk. Each closure
+        // touches only its own shard; engines record to their own
+        // sinks from their own sequential phases.
+        dplearn_parallel::par_for_each_mut(&mut self.shards, |_, shard| {
+            shard.last = if shard.pending.is_empty() {
+                None
+            } else {
+                Some(shard.engine.run_batch(&shard.pending))
+            };
+        });
+
+        // Phase 3 — sequential post-processing: re-assemble in ticket
+        // order, count outcomes, record telemetry.
+        let mut outcomes: Vec<(u64, QueryOutcome)> = Vec::with_capacity(take);
+        let mut per_shard = Vec::with_capacity(self.shards.len());
+        for (k, shard) in self.shards.iter_mut().enumerate() {
+            let mut tick = ShardTick {
+                shard: k,
+                routed: shard.tickets.len(),
+                executed: 0,
+                rejected: 0,
+                faulted: 0,
+                spent_epsilon: 0.0,
+            };
+            if let Some(report) = shard.last.take() {
+                tick.executed = report.executed();
+                tick.rejected = report.rejected();
+                tick.faulted = report.faulted();
+                tick.spent_epsilon = report.spent_epsilon();
+                for (ticket, outcome) in shard.tickets.drain(..).zip(report.outcomes) {
+                    outcomes.push((ticket, outcome));
+                }
+            }
+            shard.pending.clear();
+            shard.tickets.clear();
+            self.recorder
+                .counter_add("serve.shard.executed", &shard.label, tick.executed as u64);
+            self.recorder
+                .counter_add("serve.shard.rejected", &shard.label, tick.rejected as u64);
+            self.recorder
+                .counter_add("serve.shard.faulted", &shard.label, tick.faulted as u64);
+            self.recorder.histogram_record(
+                "serve.shard.batch_size",
+                &shard.label,
+                tick.routed as f64,
+            );
+            per_shard.push(tick);
+        }
+        outcomes.sort_by_key(|(ticket, _)| *ticket);
+        self.ticks += 1;
+        self.recorder.counter_add("serve.ticks", "", 1);
+        drop(span);
+        TickReport {
+            outcomes,
+            shards: per_shard,
+        }
+    }
+
+    /// [`ServingLoop::tick_bounded`] with no request cap: drain the
+    /// whole queue.
+    pub fn tick(&mut self) -> TickReport {
+        self.tick_bounded(usize::MAX)
+    }
+
+    /// Open a hosted SVT session for `tenant` on its owning shard. The
+    /// whole session's ε is charged up front by the shard's engine.
+    pub fn svt_open(
+        &mut self,
+        tenant: &str,
+        threshold: f64,
+        epsilon: f64,
+    ) -> Result<SessionHandle> {
+        let shard = self.router.route(tenant);
+        let n = self.shards.len();
+        let entry = self
+            .shards
+            .get_mut(shard)
+            .ok_or(ServeError::UnknownShard { shard, shards: n })?;
+        let session = entry.engine.svt_open(tenant, threshold, epsilon)?;
+        self.recorder
+            .counter_add("serve.svt.opened", &entry.label, 1);
+        Ok(SessionHandle { shard, session })
+    }
+
+    /// Run one free SVT probe on an open session.
+    pub fn svt_query(&mut self, handle: SessionHandle, lo: f64, hi: f64) -> Result<SvtAnswer> {
+        let n = self.shards.len();
+        let entry = self
+            .shards
+            .get_mut(handle.shard)
+            .ok_or(ServeError::UnknownShard {
+                shard: handle.shard,
+                shards: n,
+            })?;
+        Ok(entry.engine.svt_query(handle.session, lo, hi)?)
+    }
+
+    /// Suspend a session into its durable 17-byte state (written
+    /// through the owning shard's WAL when one is attached). Returns
+    /// the owning tenant and the state.
+    pub fn svt_suspend(&mut self, handle: SessionHandle) -> Result<(String, SvtSessionState)> {
+        let n = self.shards.len();
+        let entry = self
+            .shards
+            .get_mut(handle.shard)
+            .ok_or(ServeError::UnknownShard {
+                shard: handle.shard,
+                shards: n,
+            })?;
+        let out = entry.engine.svt_suspend(handle.session)?;
+        self.recorder
+            .counter_add("serve.svt.suspended", &entry.label, 1);
+        Ok(out)
+    }
+
+    /// Resume a suspended session on the tenant's owning shard. Refused
+    /// when the tenant's ledger is poisoned — in particular after a
+    /// conservative crash recovery, matching the engine's contract.
+    pub fn svt_resume(&mut self, tenant: &str, state: SvtSessionState) -> Result<SessionHandle> {
+        let shard = self.router.route(tenant);
+        let n = self.shards.len();
+        let entry = self
+            .shards
+            .get_mut(shard)
+            .ok_or(ServeError::UnknownShard { shard, shards: n })?;
+        let session = entry.engine.svt_resume(tenant, state)?;
+        self.recorder
+            .counter_add("serve.svt.resumed", &entry.label, 1);
+        Ok(SessionHandle { shard, session })
+    }
+
+    /// Recover one shard in place from its write-ahead log — the other
+    /// shards are untouched and keep serving. Mechanisms registered via
+    /// [`ServingLoop::register_mechanism`] are re-installed; the
+    /// tenant's data must be re-registered to re-arm recovered ledgers.
+    pub fn recover_shard<S: WalStorage + 'static>(
+        &mut self,
+        shard: usize,
+        storage: S,
+    ) -> Result<()> {
+        let n = self.shards.len();
+        let entry = self
+            .shards
+            .get_mut(shard)
+            .ok_or(ServeError::UnknownShard { shard, shards: n })?;
+        let mut engine = Engine::recover_with_registry(
+            self.config.shard_engine_config(shard),
+            MechanismRegistry::standard(),
+            storage,
+            FsyncPolicy::EveryAppend,
+            Arc::new(NoopRecorder),
+        )?;
+        for mech in &self.mechs {
+            engine.register_mechanism(Arc::clone(mech));
+        }
+        entry.engine = engine;
+        entry.tickets.clear();
+        entry.pending.clear();
+        entry.last = None;
+        self.recorder
+            .counter_add("serve.shard.recovered", &entry.label, 1);
+        Ok(())
+    }
+
+    /// The fleet-wide report: per-shard engine reports merged into one
+    /// sorted per-tenant view (poison reasons preserved; see
+    /// [`FleetReport`]).
+    pub fn report(&self) -> Result<FleetReport> {
+        let mut reports = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            reports.push(shard.engine.report()?);
+        }
+        Ok(FleetReport::from_shard_reports(&reports, self.ticks))
+    }
+
+    /// Merge the loop's own telemetry snapshot with every shard
+    /// engine's snapshot ([`TelemetrySnapshot::merge`]: counters sum,
+    /// so e.g. `engine.requests.executed` becomes the fleet total).
+    pub fn fleet_telemetry(&self) -> TelemetrySnapshot {
+        let mut merged = self.recorder.snapshot().unwrap_or_default();
+        for shard in &self.shards {
+            if let Some(snap) = shard.engine.recorder().snapshot() {
+                merged = merged.merge(&snap);
+            }
+        }
+        merged
+    }
+
+    /// Concatenated per-shard durability digests (shard id prefixed) —
+    /// two fleets with equal digests are accounting-equivalent.
+    pub fn durability_digest(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (k, shard) in self.shards.iter().enumerate() {
+            out.extend_from_slice(&(k as u64).to_le_bytes());
+            out.extend_from_slice(&shard.engine.durability_digest());
+        }
+        out
+    }
+}
+
+/// Convenience: map an engine error out of a shard operation.
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dplearn_engine::request::QueryKind;
+
+    fn cap(eps: f64) -> Budget {
+        Budget::new(eps, 1e-6).unwrap()
+    }
+
+    fn values(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i % 10) as f64 / 10.0).collect()
+    }
+
+    fn count_req(tenant: &str, eps: f64) -> QueryRequest {
+        QueryRequest::new(
+            tenant,
+            QueryKind::LaplaceCount {
+                lo: 0.0,
+                hi: 0.5,
+                epsilon: eps,
+            },
+        )
+    }
+
+    #[test]
+    fn routing_registers_on_owning_shard_only() {
+        let mut serving = ServingLoop::new(ServeConfig {
+            shards: 4,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let shard = serving
+            .register_tenant("tenant-7", values(50), 0.0, 1.0, cap(1.0))
+            .unwrap();
+        assert_eq!(shard, serving.tenant_shard("tenant-7"));
+        for k in 0..4 {
+            let names = serving.shard_engine(k).unwrap().dataset_names();
+            if k == shard {
+                assert_eq!(names, vec!["tenant-7"]);
+            } else {
+                assert!(names.is_empty());
+            }
+        }
+        assert_eq!(serving.tenants(), vec!["tenant-7"]);
+    }
+
+    #[test]
+    fn tick_preserves_ticket_order_across_shards() {
+        let mut serving = ServingLoop::new(ServeConfig {
+            shards: 3,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        for i in 0..9 {
+            serving
+                .register_tenant(&format!("t{i}"), values(30), 0.0, 1.0, cap(5.0))
+                .unwrap();
+        }
+        let tickets: Vec<u64> = (0..30)
+            .map(|i| serving.enqueue(count_req(&format!("t{}", i % 9), 0.01)))
+            .collect();
+        assert_eq!(serving.queue_depth(), 30);
+        let report = serving.tick();
+        assert_eq!(serving.queue_depth(), 0);
+        let got: Vec<u64> = report.outcomes.iter().map(|(t, _)| *t).collect();
+        assert_eq!(got, tickets, "outcomes come back in enqueue order");
+        assert_eq!(report.executed(), 30);
+        assert_eq!(report.rejected(), 0);
+    }
+
+    #[test]
+    fn bounded_tick_leaves_excess_queued() {
+        let mut serving = ServingLoop::new(ServeConfig {
+            shards: 2,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        serving
+            .register_tenant("a", values(20), 0.0, 1.0, cap(5.0))
+            .unwrap();
+        for _ in 0..10 {
+            serving.enqueue(count_req("a", 0.01));
+        }
+        let first = serving.tick_bounded(4);
+        assert_eq!(first.outcomes.len(), 4);
+        assert_eq!(serving.queue_depth(), 6);
+        let second = serving.tick();
+        assert_eq!(second.outcomes.len(), 6);
+        assert_eq!(serving.queue_depth(), 0);
+    }
+
+    #[test]
+    fn rejection_spends_zero_on_the_tenant_ledger() {
+        let mut serving = ServingLoop::new(ServeConfig::default()).unwrap();
+        serving
+            .register_tenant("tiny", values(20), 0.0, 1.0, cap(0.05))
+            .unwrap();
+        serving.enqueue(count_req("tiny", 0.2)); // over budget
+        serving.enqueue(count_req("missing", 0.1)); // unknown tenant
+        let report = serving.tick();
+        assert_eq!(report.rejected(), 2);
+        assert_eq!(report.executed(), 0);
+        let snap = serving.ledger("tiny").unwrap().snapshot();
+        assert_eq!(snap.spent.epsilon.to_bits(), 0.0f64.to_bits());
+        assert_eq!(serving.ledger("tiny").unwrap().rejected(), 1);
+    }
+
+    #[test]
+    fn unknown_tenant_rejects_instead_of_panicking() {
+        let mut serving = ServingLoop::new(ServeConfig::default()).unwrap();
+        serving.enqueue(count_req("ghost", 0.1));
+        let report = serving.tick();
+        assert_eq!(report.rejected(), 1);
+        assert!(matches!(
+            report.outcomes.first(),
+            Some((0, QueryOutcome::Rejected { .. }))
+        ));
+    }
+
+    #[test]
+    fn shard_seeds_are_distinct_and_reproducible() {
+        let config = ServeConfig::default();
+        let seeds: Vec<u64> = (0..8).map(|k| config.shard_engine_config(k).seed).collect();
+        let again: Vec<u64> = (0..8).map(|k| config.shard_engine_config(k).seed).collect();
+        assert_eq!(seeds, again);
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "shard seeds must be distinct");
+    }
+
+    #[test]
+    fn storage_count_mismatch_is_refused() {
+        use dplearn_engine::wal::MemoryWal;
+        let mut serving = ServingLoop::new(ServeConfig {
+            shards: 4,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let storages: Vec<MemoryWal> = (0..3).map(|_| MemoryWal::new()).collect();
+        assert!(matches!(
+            serving.attach_wal(storages, FsyncPolicy::EveryAppend),
+            Err(ServeError::StorageCount {
+                expected: 4,
+                got: 3
+            })
+        ));
+    }
+}

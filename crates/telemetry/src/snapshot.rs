@@ -181,6 +181,95 @@ fn json_u64_array(out: &mut String, xs: &[u64]) {
 }
 
 impl TelemetrySnapshot {
+    /// Merge two snapshots into a fleet-wide view — pure data, so the
+    /// result is deterministic whenever both inputs are.
+    ///
+    /// Semantics per metric family, on key collision:
+    ///
+    /// * **counters** — summed (shard event counts add up to the fleet
+    ///   count);
+    /// * **gauges** — `other` wins (last-write-wins, matching a
+    ///   recorder's own gauge semantics);
+    /// * **histograms** — merged bucket-wise when the bucket bounds are
+    ///   bit-identical (counts/totals/sums add, min/max widen);
+    ///   otherwise `other` replaces `self` — merging mismatched bucket
+    ///   layouts would fabricate counts;
+    /// * **timings** — counts and totals add, min/max widen
+    ///   (wall-clock data: outside the determinism contract, like
+    ///   everywhere else in this crate).
+    ///
+    /// Keys absent from one side pass through unchanged. Output vectors
+    /// stay sorted by key.
+    #[must_use]
+    pub fn merge(&self, other: &TelemetrySnapshot) -> TelemetrySnapshot {
+        use std::collections::BTreeMap;
+
+        let mut counters: BTreeMap<String, u64> = self.counters.iter().cloned().collect();
+        for (k, v) in &other.counters {
+            *counters.entry(k.clone()).or_insert(0) += v;
+        }
+
+        let mut gauges: BTreeMap<String, f64> = self.gauges.iter().cloned().collect();
+        for (k, v) in &other.gauges {
+            gauges.insert(k.clone(), *v);
+        }
+
+        let mut histograms: BTreeMap<String, HistogramSnapshot> =
+            self.histograms.iter().cloned().collect();
+        for (k, h) in &other.histograms {
+            match histograms.get_mut(k) {
+                Some(mine)
+                    if mine.bounds.len() == h.bounds.len()
+                        && mine
+                            .bounds
+                            .iter()
+                            .zip(&h.bounds)
+                            .all(|(a, b)| bits(*a) == bits(*b)) =>
+                {
+                    for (c, add) in mine.counts.iter_mut().zip(&h.counts) {
+                        *c += add;
+                    }
+                    mine.total += h.total;
+                    mine.sum += h.sum;
+                    mine.min = match (mine.min, h.min) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    };
+                    mine.max = match (mine.max, h.max) {
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                        (a, b) => a.or(b),
+                    };
+                    mine.non_finite += h.non_finite;
+                }
+                _ => {
+                    histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+
+        let mut timings: BTreeMap<String, TimingSnapshot> = self.timings.iter().cloned().collect();
+        for (k, t) in &other.timings {
+            match timings.get_mut(k) {
+                Some(mine) => {
+                    mine.count += t.count;
+                    mine.total_nanos = mine.total_nanos.saturating_add(t.total_nanos);
+                    mine.min_nanos = mine.min_nanos.min(t.min_nanos);
+                    mine.max_nanos = mine.max_nanos.max(t.max_nanos);
+                }
+                None => {
+                    timings.insert(k.clone(), t.clone());
+                }
+            }
+        }
+
+        TelemetrySnapshot {
+            counters: counters.into_iter().collect(),
+            gauges: gauges.into_iter().collect(),
+            histograms: histograms.into_iter().collect(),
+            timings: timings.into_iter().collect(),
+        }
+    }
+
     /// Serialize to a JSON object with **stable key order** (keys come
     /// out sorted because aggregation is BTreeMap-backed; this method
     /// preserves that order verbatim). The timestamp is caller-supplied
@@ -351,6 +440,59 @@ mod tests {
         assert!(j1.contains("\"weird\\\"key\\\\\":7"));
         assert!(j1.contains("\"h\":{\"bounds\":[1.0,2.0],\"counts\":[1,0,1]"));
         assert!(j1.contains("\"timings\":{\"t\":{\"count\":3"));
+    }
+
+    #[test]
+    fn merge_sums_counters_and_keeps_sorted_keys() {
+        let a = TelemetrySnapshot {
+            counters: vec![("x".into(), 2), ("z".into(), 5)],
+            gauges: vec![("g".into(), 1.0)],
+            ..Default::default()
+        };
+        let b = TelemetrySnapshot {
+            counters: vec![("x".into(), 3), ("y".into(), 1)],
+            gauges: vec![("g".into(), 2.5)],
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(
+            m.counters,
+            vec![("x".into(), 5), ("y".into(), 1), ("z".into(), 5)]
+        );
+        assert_eq!(m.gauges, vec![("g".into(), 2.5)], "gauges: other wins");
+        // Merge of deterministic inputs is deterministic.
+        assert_eq!(m, a.merge(&b));
+    }
+
+    #[test]
+    fn merge_adds_matching_histograms_and_replaces_mismatched() {
+        let a = sample();
+        let m = a.merge(&sample());
+        let (_, h) = &m.histograms[0];
+        assert_eq!(h.counts, vec![2, 0, 2]);
+        assert_eq!(h.total, 4);
+        assert_eq!(h.non_finite, 2);
+        assert_eq!(h.min, Some(0.25));
+        assert_eq!(h.max, Some(3.0));
+        let (_, t) = &m.timings[0];
+        assert_eq!(t.count, 6);
+        assert_eq!(t.total_nanos, 1800);
+
+        // Mismatched bounds: other replaces.
+        let mut b = sample();
+        b.histograms[0].1.bounds = vec![10.0, 20.0];
+        b.histograms[0].1.counts = vec![9, 9, 9];
+        let m = a.merge(&b);
+        assert_eq!(m.histograms[0].1.counts, vec![9, 9, 9]);
+    }
+
+    #[test]
+    fn merge_passes_through_disjoint_keys() {
+        let a = sample();
+        let m = a.merge(&TelemetrySnapshot::default());
+        assert_eq!(m, a);
+        let m = TelemetrySnapshot::default().merge(&a);
+        assert_eq!(m, a);
     }
 
     #[test]

@@ -467,7 +467,7 @@ fn replay_batch_reads(ds: &[Dataset], batch: &[QueryRequest], scans: bool) -> f6
                 candidates,
                 ..
             } => {
-                let grid = d.candidate_grid(*candidates);
+                let grid = d.candidate_grid(*candidates).unwrap_or_default();
                 let risks = if scans {
                     scan_rank_risks(d.values(), &grid, *quantile)
                 } else {

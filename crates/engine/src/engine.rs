@@ -19,14 +19,17 @@
 //!    dataset's ledger only** — the charge stays spent (fail-closed) and
 //!    unrelated datasets keep serving.
 
-use crate::dataset::Dataset;
+use crate::dataset::{Dataset, StatsMode};
 use crate::ledger::{BudgetLedger, LeakageLedger};
 use crate::mechanism::{MechanismRegistry, QueryMechanism};
 use crate::report::{BatchReport, EngineReport, EngineTotals};
 use crate::request::{QueryKind, QueryOutcome, QueryRequest, QueryValue};
-use crate::wal::{self, DurabilityError, FsyncPolicy, WalRecord, WalStorage, WriteAheadLog};
+use crate::wal::{
+    self, DurabilityError, FsyncPolicy, RecoveredCounter, WalRecord, WalStorage, WriteAheadLog,
+};
 use crate::{EngineError, Result};
 use dplearn_mechanisms::composition::PoisonReason;
+use dplearn_mechanisms::continual::TreeCounter;
 use dplearn_mechanisms::privacy::Budget;
 use dplearn_mechanisms::sparse_vector::{AboveThreshold, SvtAnswer, SvtSessionState};
 use dplearn_numerics::rng::{Rng, SplitMix64, Xoshiro256};
@@ -107,6 +110,11 @@ struct SvtHostedSession {
     rng: Xoshiro256,
 }
 
+struct ContinualHostedSession {
+    dataset: String,
+    counter: TreeCounter,
+}
+
 /// The privacy-budget-aware query-serving engine.
 ///
 /// See the [crate docs](crate) for the architectural tour and the
@@ -128,6 +136,15 @@ pub struct Engine {
     /// Durably suspended SVT sessions (from a live suspend or a
     /// recovered log), by original session id.
     suspended_states: BTreeMap<u64, (String, SvtSessionState)>,
+    /// Live continual-release counters, by session id (shared id space
+    /// with SVT sessions).
+    counters: BTreeMap<u64, ContinualHostedSession>,
+    /// Stream batches recovered from the log for datasets not yet
+    /// re-registered; applied in log order at re-registration.
+    pending_appends: BTreeMap<String, Vec<Vec<f64>>>,
+    /// Continual counters recovered from the log, re-armed when their
+    /// dataset is re-registered.
+    pending_counters: BTreeMap<u64, RecoveredCounter>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -168,6 +185,9 @@ impl Engine {
             wal: None,
             pending_recovered: BTreeMap::new(),
             suspended_states: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            pending_appends: BTreeMap::new(),
+            pending_counters: BTreeMap::new(),
         })
     }
 
@@ -291,6 +311,22 @@ impl Engine {
             engine.pending_recovered.insert(name.clone(), rl.restore()?);
         }
         engine.suspended_states = recovered.suspended;
+        engine.pending_appends = recovered.appends;
+        engine.pending_counters = recovered.counters;
+        engine.recorder.counter_add(
+            "wal.recovery.appends",
+            "",
+            engine
+                .pending_appends
+                .values()
+                .map(|v| v.len() as u64)
+                .sum(),
+        );
+        engine.recorder.counter_add(
+            "wal.recovery.counters",
+            "",
+            engine.pending_counters.len() as u64,
+        );
         engine.session_counter = recovered.next_session;
         let mut log = WriteAheadLog::new(storage, policy);
         log.set_next_intent(recovered.next_intent);
@@ -372,11 +408,12 @@ impl Engine {
         self.registry.register(mech);
     }
 
-    /// Register an immutable dataset with budget cap `cap`.
+    /// Register a dataset with budget cap `cap` and exact-mode
+    /// statistics. The dataset can grow afterwards via
+    /// [`Engine::append_dataset`]; its name, bounds, and cap are fixed.
     ///
     /// Fails closed on invalid data (see [`Dataset::new`]) and on name
-    /// collisions — datasets are immutable and re-registration would
-    /// silently reset the ledger.
+    /// collisions — re-registration would silently reset the ledger.
     pub fn register_dataset(
         &mut self,
         name: &str,
@@ -385,10 +422,42 @@ impl Engine {
         hi: f64,
         cap: Budget,
     ) -> Result<()> {
+        self.register_dataset_with_mode(name, values, lo, hi, cap, StatsMode::Exact)
+    }
+
+    /// [`Engine::register_dataset`] with an explicit statistics mode —
+    /// use `StatsMode::Sketch { .. }` for datasets expected to absorb
+    /// large streams (see [`Dataset::with_mode`]).
+    ///
+    /// After crash recovery, re-registering a recovered dataset also
+    /// replays its durably logged stream state: every
+    /// [`WalRecord::DatasetAppended`] batch is re-applied in log order
+    /// (fail closed if any batch violates the re-declared domain) and
+    /// every continual counter opened on the dataset is re-armed with
+    /// its original session id, noise tape, and observation history —
+    /// bit-identical to the crash-free engine.
+    pub fn register_dataset_with_mode(
+        &mut self,
+        name: &str,
+        values: Vec<f64>,
+        lo: f64,
+        hi: f64,
+        cap: Budget,
+        mode: StatsMode,
+    ) -> Result<()> {
         if self.datasets.contains_key(name) {
             return Err(EngineError::DuplicateDataset(name.to_string()));
         }
-        let dataset = Dataset::new(name, values, lo, hi)?;
+        let mut dataset = Dataset::with_mode(name, values, lo, hi, mode)?;
+        // Replay the recovered stream BEFORE installing anything: a
+        // batch outside the re-declared domain fails the whole
+        // re-registration, leaving the ledger pending (fail closed).
+        let replayed_appends = self.pending_appends.get(name).cloned();
+        if let Some(batches) = &replayed_appends {
+            for batch in batches {
+                dataset.append(batch)?;
+            }
+        }
         let ledger = if let Some(recovered) = self.pending_recovered.get(name) {
             // Re-registration after crash recovery: the recovered ledger
             // (with its spend, poisoned state, and fault counters) is
@@ -430,7 +499,96 @@ impl Engine {
                 ledger,
             },
         );
+        if replayed_appends.is_some() {
+            self.pending_appends.remove(name);
+        }
+        // Re-arm recovered continual counters on this dataset: their ε
+        // was charged before the crash and their noise tape is a pure
+        // function of (config seed, session id), so replaying the
+        // logged observations reproduces every release bit-for-bit.
+        let to_rearm: Vec<u64> = self
+            .pending_counters
+            .iter()
+            .filter(|(_, c)| c.dataset == name)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in to_rearm {
+            let Some(rc) = self.pending_counters.remove(&id) else {
+                continue;
+            };
+            let eps = dplearn_mechanisms::privacy::Epsilon::new(rc.epsilon)?;
+            let mut counter = TreeCounter::new(eps, rc.horizon, self.continual_seed(id))?;
+            for &step in &rc.observed {
+                counter.observe(step)?;
+            }
+            self.counters.insert(
+                id,
+                ContinualHostedSession {
+                    dataset: name.to_string(),
+                    counter,
+                },
+            );
+        }
         Ok(())
+    }
+
+    /// Append a validated batch of records to a registered dataset's
+    /// stream. Durable-first: with a WAL attached, the
+    /// [`WalRecord::DatasetAppended`] record is written (and flushed per
+    /// policy) **before** any live state mutates, so the durable log and
+    /// the live stream can never diverge — if the append record cannot
+    /// be made durable, nothing changes and the error surfaces.
+    ///
+    /// Every open continual counter on the dataset observes the batch
+    /// as one time step, all on this sequential control path (ingest
+    /// telemetry and counter observations are thread-count invariant).
+    /// Appending to a *poisoned* dataset is allowed: ingest is
+    /// orthogonal to release accounting — the data keeps accumulating
+    /// while releases stay refused.
+    ///
+    /// Returns the dataset's new epoch.
+    pub fn append_dataset(&mut self, name: &str, values: &[f64]) -> Result<u64> {
+        let entry = self
+            .datasets
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownDataset(name.to_string()))?;
+        entry.dataset.validate_batch(values)?;
+        let next_epoch = entry.dataset.epoch() + 1;
+        let recorder = Arc::clone(&self.recorder);
+        if let Some(log) = &mut self.wal {
+            log.append(
+                &WalRecord::DatasetAppended {
+                    dataset: name.to_string(),
+                    epoch: next_epoch,
+                    values: values.to_vec(),
+                },
+                recorder.as_ref(),
+            )
+            .map_err(EngineError::Durability)?;
+        }
+        let entry = self
+            .datasets
+            .get_mut(name)
+            .ok_or_else(|| EngineError::UnknownDataset(name.to_string()))?;
+        // The batch was validated above; Dataset::append re-validates
+        // and cannot fail here (all-or-nothing either way).
+        Arc::make_mut(&mut entry.dataset).append(values)?;
+        recorder.counter_add("engine.ingest.batches", name, 1);
+        recorder.counter_add("engine.ingest.records", name, values.len() as u64);
+        for hosted in self.counters.values_mut() {
+            if hosted.dataset != name {
+                continue;
+            }
+            if hosted.counter.is_exhausted() {
+                // The horizon the counter's ε was charged over is spent.
+                // Ingest must not fail because of it — the counter just
+                // stops observing (its past releases stay available).
+                recorder.counter_add("engine.continual.horizon_exhausted", name, 1);
+                continue;
+            }
+            hosted.counter.observe(values.len() as u64)?;
+        }
+        Ok(next_epoch)
     }
 
     /// Registered dataset names, sorted.
@@ -1002,6 +1160,225 @@ impl Engine {
     }
 
     // ----------------------------------------------------------------
+    // Hosted continual-release counters
+    // ----------------------------------------------------------------
+
+    /// The noise-tape seed for continual counter `id` — a pure function
+    /// of the engine config seed and the session id, so a recovered
+    /// engine re-derives the identical tape from the
+    /// [`WalRecord::ContinualOpened`] record alone.
+    fn continual_seed(&self, id: u64) -> u64 {
+        SplitMix64::new(self.config.seed ^ 0x434F_4E54_5F43_5452 ^ id).next_u64()
+    }
+
+    /// Open a continual-release counter on `dataset`'s stream.
+    ///
+    /// The **entire release sequence** over at most `horizon` observed
+    /// steps costs `epsilon`, charged here up front through the same
+    /// durable intent/commit bracket as every other charge (binary tree
+    /// aggregation: each appended batch lands in ≤ ⌊log₂ horizon⌋ + 1
+    /// dyadic nodes, each noised at Laplace scale L/ε — see
+    /// [`TreeCounter`]). Subsequent [`Engine::continual_release`] calls
+    /// are free, and the composed ε flows into the dataset's MI bound in
+    /// [`Engine::report`] like any other spend.
+    ///
+    /// From now on every [`Engine::append_dataset`] batch on `dataset`
+    /// is one observed step. Returns the counter's session id.
+    pub fn continual_open(&mut self, dataset: &str, epsilon: f64, horizon: u64) -> Result<u64> {
+        let eps = dplearn_mechanisms::privacy::Epsilon::new(epsilon)?;
+        if horizon == 0 {
+            return Err(EngineError::InvalidParameter {
+                name: "horizon",
+                reason: "continual counter needs a horizon of at least one step".to_string(),
+            });
+        }
+        let cost = Budget::pure(eps);
+        {
+            let entry = self
+                .datasets
+                .get_mut(dataset)
+                .ok_or_else(|| EngineError::UnknownDataset(dataset.to_string()))?;
+            if let Err(e) = entry.ledger.admit(dataset, cost) {
+                entry.ledger.note_rejection();
+                return Err(e);
+            }
+        }
+        let recorder = Arc::clone(&self.recorder);
+        let intent_seq = match &mut self.wal {
+            Some(log) => {
+                let seq = log.next_intent_seq();
+                if let Err(e) = log.append(
+                    &WalRecord::Intent {
+                        seq,
+                        dataset: dataset.to_string(),
+                        cost,
+                    },
+                    recorder.as_ref(),
+                ) {
+                    if let Some(entry) = self.datasets.get_mut(dataset) {
+                        entry.ledger.note_rejection();
+                    }
+                    return Err(EngineError::Durability(e));
+                }
+                Some(seq)
+            }
+            None => None,
+        };
+        let entry = self
+            .datasets
+            .get_mut(dataset)
+            .ok_or_else(|| EngineError::UnknownDataset(dataset.to_string()))?;
+        if let Err(error) = entry.ledger.charge(dataset, cost) {
+            if let (Some(log), Some(seq)) = (&mut self.wal, intent_seq) {
+                if log
+                    .append(&WalRecord::Abort { seq }, recorder.as_ref())
+                    .is_err()
+                {
+                    recorder.counter_add("wal.append_errors", "", 1);
+                }
+            }
+            return Err(error);
+        }
+        if let (Some(log), Some(seq)) = (&mut self.wal, intent_seq) {
+            if log
+                .append(&WalRecord::Commit { seq }, recorder.as_ref())
+                .is_err()
+            {
+                recorder.counter_add("wal.append_errors", "", 1);
+                if let Some(entry) = self.datasets.get_mut(dataset) {
+                    entry.ledger.poison(PoisonReason::DurabilityFailure);
+                }
+            }
+        }
+        self.session_counter += 1;
+        let id = self.session_counter;
+        // Durable open record AFTER the commit: a crash between the two
+        // loses the counter but keeps its charge — strictly conservative
+        // (spent ε with nothing released), never the reverse. If the
+        // record itself cannot be appended, fail the open the same way:
+        // the ε stays durably spent, no live counter exists.
+        if let Some(log) = &mut self.wal {
+            log.append(
+                &WalRecord::ContinualOpened {
+                    session: id,
+                    dataset: dataset.to_string(),
+                    epsilon: eps.value(),
+                    horizon,
+                },
+                recorder.as_ref(),
+            )
+            .map_err(EngineError::Durability)?;
+        }
+        let counter = TreeCounter::new(eps, horizon, self.continual_seed(id))?;
+        self.counters.insert(
+            id,
+            ContinualHostedSession {
+                dataset: dataset.to_string(),
+                counter,
+            },
+        );
+        recorder.counter_add("engine.continual.opened", dataset, 1);
+        Ok(id)
+    }
+
+    /// The noisy running count after counter `session`'s most recent
+    /// observed step. Free — the whole sequence was charged at
+    /// [`Engine::continual_open`]. Fails closed on a poisoned dataset
+    /// (same refusal as [`Engine::svt_query`]) and before the first
+    /// observed step.
+    pub fn continual_release(&self, session: u64) -> Result<f64> {
+        let hosted = self
+            .counters
+            .get(&session)
+            .ok_or(EngineError::UnknownSession(session))?;
+        self.continual_release_at(session, hosted.counter.steps())
+    }
+
+    /// The noisy running count after observed step `t` (1-based).
+    /// Bit-identical however many steps have arrived since — node noise
+    /// is a pure function of the counter's seed.
+    pub fn continual_release_at(&self, session: u64, t: u64) -> Result<f64> {
+        let hosted = self
+            .counters
+            .get(&session)
+            .ok_or(EngineError::UnknownSession(session))?;
+        let entry = self
+            .datasets
+            .get(&hosted.dataset)
+            .ok_or_else(|| EngineError::UnknownDataset(hosted.dataset.clone()))?;
+        if entry.ledger.is_poisoned() {
+            return Err(EngineError::DatasetPoisoned(hosted.dataset.clone()));
+        }
+        Ok(hosted.counter.release_at(t)?)
+    }
+
+    /// Number of stream steps counter `session` has observed.
+    pub fn continual_steps(&self, session: u64) -> Result<u64> {
+        self.counters
+            .get(&session)
+            .map(|h| h.counter.steps())
+            .ok_or(EngineError::UnknownSession(session))
+    }
+
+    /// Close a continual counter, discarding it. (Its ε stays spent —
+    /// the charge covered the full horizon whether or not it was used.)
+    pub fn continual_close(&mut self, session: u64) -> Result<()> {
+        self.counters
+            .remove(&session)
+            .map(|_| ())
+            .ok_or(EngineError::UnknownSession(session))
+    }
+
+    /// Open continual counter count (recovered-but-pending ones appear
+    /// once their dataset is re-registered).
+    pub fn open_counters(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// A canonical byte dump of all streaming state — per-dataset
+    /// epochs, counts, running-sum bits, batch history, and every live
+    /// continual counter's parameters plus its full release tape (bits).
+    /// Two engines with equal stream digests serve bit-identical
+    /// stream-derived answers; crash-recovery tests compare a recovered
+    /// engine against the crash-free oracle with this. Complementary to
+    /// [`Engine::durability_digest`], which covers the accounting.
+    pub fn stream_digest(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (name, entry) in &self.datasets {
+            let d = &entry.dataset;
+            out.extend_from_slice(name.as_bytes());
+            out.push(0);
+            out.extend_from_slice(&d.epoch().to_le_bytes());
+            out.extend_from_slice(&(d.len() as u64).to_le_bytes());
+            out.extend_from_slice(&d.sum().to_bits().to_le_bytes());
+            out.extend_from_slice(&(d.batch_lens().len() as u64).to_le_bytes());
+            for &b in d.batch_lens() {
+                out.extend_from_slice(&(b as u64).to_le_bytes());
+            }
+            out.push(u8::from(d.stats().is_exact()));
+            out.extend_from_slice(&d.stats().rank_error_bound().to_le_bytes());
+            // Rank probes over the domain pin the rank structure's
+            // observable behavior without exposing its internals.
+            for i in 0..=16u32 {
+                let x = d.lo() + d.width() * f64::from(i) / 16.0;
+                out.extend_from_slice(&(d.stats().rank(x) as u64).to_le_bytes());
+            }
+        }
+        for (id, hosted) in &self.counters {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(hosted.dataset.as_bytes());
+            out.push(0);
+            out.extend_from_slice(&hosted.counter.epsilon().to_bits().to_le_bytes());
+            out.extend_from_slice(&hosted.counter.horizon().to_le_bytes());
+            out.extend_from_slice(&hosted.counter.steps().to_le_bytes());
+            for r in hosted.counter.release_all() {
+                out.extend_from_slice(&r.to_bits().to_le_bytes());
+            }
+        }
+        out
+    }
+
+    // ----------------------------------------------------------------
     // Reporting
     // ----------------------------------------------------------------
 
@@ -1427,5 +1804,234 @@ mod tests {
         let report = e.report_with_telemetry().unwrap();
         assert_eq!(report.telemetry.as_ref(), Some(&snap));
         assert!(report.to_string().contains("telemetry:"));
+    }
+
+    #[test]
+    fn append_bumps_epoch_and_records_ingest_telemetry() {
+        use dplearn_telemetry::MemoryRecorder;
+
+        let mut e = engine_with("d", 1.0);
+        let recorder = Arc::new(MemoryRecorder::new());
+        e.set_recorder(recorder.clone());
+        assert_eq!(e.dataset("d").unwrap().epoch(), 0);
+
+        assert_eq!(e.append_dataset("d", &[0.25, 0.75]).unwrap(), 1);
+        assert_eq!(e.append_dataset("d", &[0.5]).unwrap(), 2);
+        let d = e.dataset("d").unwrap();
+        assert_eq!(d.epoch(), 2);
+        assert_eq!(d.len(), 103);
+        assert_eq!(d.batch_lens(), &[100, 2, 1]);
+
+        // Out-of-domain and empty batches fail closed with no mutation.
+        assert!(e.append_dataset("d", &[2.0]).is_err());
+        assert!(e.append_dataset("d", &[]).is_err());
+        assert!(e.append_dataset("missing", &[0.5]).is_err());
+        assert_eq!(e.dataset("d").unwrap().epoch(), 2);
+
+        let snap = recorder.snapshot().unwrap();
+        let counter = |key: &str| {
+            snap.counters
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(counter("engine.ingest.batches{d}"), Some(2));
+        assert_eq!(counter("engine.ingest.records{d}"), Some(3));
+    }
+
+    #[test]
+    fn continual_lifecycle_charges_once_and_tracks_the_stream() {
+        let mut e = engine_with("d", 2.0);
+        let id = e.continual_open("d", 1.0, 8).unwrap();
+        // Whole release sequence charged at open; the spend shows up in
+        // the dataset's MI bound like any other composed ε.
+        assert!((e.ledger("d").unwrap().snapshot().spent.epsilon - 1.0).abs() < 1e-12);
+        let report = e.report().unwrap();
+        let summary = report.datasets.iter().find(|s| s.dataset == "d").unwrap();
+        assert!(
+            summary.mi_bound_nats > 0.0,
+            "continual ε must flow into the MI bound"
+        );
+
+        // No step observed yet → release fails closed.
+        assert!(e.continual_release(id).is_err());
+
+        e.append_dataset("d", &[0.25; 10]).unwrap();
+        e.append_dataset("d", &[0.5; 5]).unwrap();
+        assert_eq!(e.continual_steps(id).unwrap(), 2);
+        let r1 = e.continual_release_at(id, 1).unwrap();
+        let r2 = e.continual_release_at(id, 2).unwrap();
+        // ε = 1 over horizon 8 → scale 4: releases are near the true
+        // prefixes 10 and 15 with overwhelming probability.
+        assert!((r1 - 10.0).abs() < 200.0 && (r2 - 15.0).abs() < 200.0);
+
+        // Releases are pure functions of (seed, step): asking again or
+        // after more arrivals reproduces the same bits.
+        e.append_dataset("d", &[0.75]).unwrap();
+        assert_eq!(
+            e.continual_release_at(id, 1).unwrap().to_bits(),
+            r1.to_bits()
+        );
+        assert_eq!(
+            e.continual_release_at(id, 2).unwrap().to_bits(),
+            r2.to_bits()
+        );
+        assert_eq!(
+            e.continual_release(id).unwrap().to_bits(),
+            e.continual_release_at(id, 3).unwrap().to_bits()
+        );
+
+        // Releases past the observed step fail closed; so does a second
+        // open that would exceed the cap.
+        assert!(e.continual_release_at(id, 4).is_err());
+        assert!(e.continual_open("d", 1.5, 8).is_err());
+        assert_eq!(e.ledger("d").unwrap().rejected(), 1);
+
+        e.continual_close(id).unwrap();
+        assert!(e.continual_release(id).is_err());
+        assert_eq!(e.open_counters(), 0);
+        // The charge stays spent after close.
+        assert!((e.ledger("d").unwrap().snapshot().spent.epsilon - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn continual_horizon_exhaustion_never_fails_ingest() {
+        let mut e = engine_with("d", 2.0);
+        let id = e.continual_open("d", 1.0, 2).unwrap();
+        e.append_dataset("d", &[0.1]).unwrap();
+        e.append_dataset("d", &[0.2]).unwrap();
+        // Horizon spent: the append still lands, the counter just stops.
+        let epoch = e.append_dataset("d", &[0.3]).unwrap();
+        assert_eq!(epoch, 3);
+        assert_eq!(e.continual_steps(id).unwrap(), 2);
+        assert_eq!(e.dataset("d").unwrap().len(), 103);
+    }
+
+    #[test]
+    fn continual_open_validates_parameters_before_any_charge() {
+        let mut e = engine_with("d", 2.0);
+        assert!(e.continual_open("d", f64::NAN, 8).is_err());
+        assert!(e.continual_open("d", -1.0, 8).is_err());
+        assert!(e.continual_open("d", 1.0, 0).is_err());
+        assert!(e.continual_open("missing", 1.0, 8).is_err());
+        assert_eq!(e.ledger("d").unwrap().snapshot().spent.epsilon, 0.0);
+    }
+
+    #[test]
+    fn recovered_stream_state_matches_the_crash_free_oracle_bit_for_bit() {
+        use crate::wal::MemoryWal;
+
+        let values: Vec<f64> = (0..100).map(|i| (i % 10) as f64 / 10.0).collect();
+        let cap = Budget::new(2.0, 1e-6).unwrap();
+
+        // Crash-free oracle (no WAL): same config, same operations.
+        let mut oracle = Engine::new(EngineConfig::default()).unwrap();
+        oracle
+            .register_dataset("d", values.clone(), 0.0, 1.0, cap)
+            .unwrap();
+
+        // Durable engine: register, stream, open a counter, stream more.
+        let storage = MemoryWal::new();
+        let handle = storage.handle();
+        let mut live = Engine::new(EngineConfig::default()).unwrap();
+        live.attach_wal(storage, FsyncPolicy::EveryAppend).unwrap();
+        live.register_dataset("d", values, 0.0, 1.0, cap).unwrap();
+
+        for engine in [&mut oracle, &mut live] {
+            engine.append_dataset("d", &[0.25, 0.75]).unwrap();
+            let id = engine.continual_open("d", 1.0, 8).unwrap();
+            assert_eq!(id, 1);
+            engine.append_dataset("d", &[0.5; 7]).unwrap();
+            engine.append_dataset("d", &[0.125]).unwrap();
+        }
+
+        // Recover from the durable image and re-register the dataset.
+        let mut recovered = Engine::recover(
+            EngineConfig::default(),
+            MemoryWal::from_bytes(handle.bytes()),
+        )
+        .unwrap();
+        assert_eq!(recovered.recovered_pending(), vec!["d"]);
+        assert_eq!(recovered.open_counters(), 0, "counter waits for its data");
+        let values: Vec<f64> = (0..100).map(|i| (i % 10) as f64 / 10.0).collect();
+        recovered
+            .register_dataset("d", values, 0.0, 1.0, cap)
+            .unwrap();
+
+        assert_eq!(recovered.open_counters(), 1);
+        assert_eq!(
+            recovered.stream_digest(),
+            oracle.stream_digest(),
+            "recovered stream state must be bit-identical to the crash-free oracle"
+        );
+        assert_eq!(
+            recovered.continual_release_at(1, 2).unwrap().to_bits(),
+            oracle.continual_release_at(1, 2).unwrap().to_bits()
+        );
+        // And the accounting recovered too: the counter's ε is spent.
+        assert!((recovered.ledger("d").unwrap().snapshot().spent.epsilon - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_rejects_stream_batches_outside_the_redeclared_domain() {
+        use crate::wal::MemoryWal;
+
+        let cap = Budget::new(1.0, 1e-6).unwrap();
+        let storage = MemoryWal::new();
+        let handle = storage.handle();
+        let mut live = Engine::new(EngineConfig::default()).unwrap();
+        live.attach_wal(storage, FsyncPolicy::EveryAppend).unwrap();
+        live.register_dataset("d", vec![0.5], 0.0, 1.0, cap)
+            .unwrap();
+        live.append_dataset("d", &[0.9]).unwrap();
+
+        let mut recovered = Engine::recover(
+            EngineConfig::default(),
+            MemoryWal::from_bytes(handle.bytes()),
+        )
+        .unwrap();
+        // Re-declare a narrower domain: the logged batch [0.9] no longer
+        // fits, so re-registration fails closed and nothing installs.
+        let err = recovered
+            .register_dataset("d", vec![0.5], 0.0, 0.8, cap)
+            .unwrap_err();
+        assert!(
+            matches!(err, EngineError::InvalidParameter { .. }),
+            "got {err:?}"
+        );
+        assert!(recovered.dataset("d").is_none());
+        assert_eq!(recovered.recovered_pending(), vec!["d"]);
+    }
+
+    #[test]
+    fn continual_count_query_runs_through_the_batch_path() {
+        let mut e = engine_with("d", 2.0);
+        e.append_dataset("d", &[0.25, 0.75]).unwrap();
+        let out = e.submit(&QueryRequest::new(
+            "d",
+            QueryKind::ContinualCount {
+                epsilon: 1.0,
+                horizon: 8,
+            },
+        ));
+        let QueryOutcome::Executed { value, cost, .. } = out else {
+            panic!("continual count should execute, got {out:?}");
+        };
+        assert!((cost.epsilon - 1.0).abs() < 1e-12);
+        let QueryValue::Draws(tape) = value else {
+            panic!("expected the release tape");
+        };
+        assert_eq!(tape.len(), 2, "one release per arrival batch");
+        // A horizon shorter than the arrived batches is rejected with
+        // zero spend.
+        let out = e.submit(&QueryRequest::new(
+            "d",
+            QueryKind::ContinualCount {
+                epsilon: 0.1,
+                horizon: 1,
+            },
+        ));
+        assert!(out.is_rejected());
+        assert!((e.ledger("d").unwrap().snapshot().spent.epsilon - 1.0).abs() < 1e-12);
     }
 }

@@ -14,13 +14,14 @@
 //!    [`dplearn_mechanisms::composition::PrivacyAccountant::run`]); a
 //!    failure here poisons the dataset's ledger.
 //!
-//! The registry ships six built-ins covering the paper's mechanism
+//! The registry ships seven built-ins covering the paper's mechanism
 //! toolkit and is open: [`MechanismRegistry::register`] accepts any
 //! `Arc<dyn QueryMechanism>`, dispatched via [`QueryKind::Custom`].
 
 use crate::dataset::Dataset;
 use crate::request::{QueryKind, QueryValue, SelectStrategy};
 use crate::{EngineError, Result};
+use dplearn_mechanisms::continual::TreeCounter;
 use dplearn_mechanisms::exponential::ExponentialMechanism;
 use dplearn_mechanisms::laplace::LaplaceMechanism;
 use dplearn_mechanisms::noisy_max::report_noisy_max;
@@ -420,7 +421,7 @@ impl QueryMechanism for GibbsQuantileMechanism {
             return Err(wrong_kind(self.name()));
         };
         let eps = validated_epsilon(epsilon)?;
-        let grid = dataset.candidate_grid(candidates);
+        let grid = dataset.candidate_grid(candidates)?;
         let risks = dataset.rank_risks(&grid, quantile);
         let prior = FinitePosterior::uniform(candidates).map_err(EngineError::PacBayes)?;
         let posterior = gibbs_finite(&prior, &risks, Self::lambda_for(eps, dataset.len()))
@@ -438,6 +439,72 @@ impl QueryMechanism for GibbsQuantileMechanism {
             out.push(value);
         }
         Ok(QueryValue::Draws(out))
+    }
+}
+
+/// Continual-release counting over the dataset's arrival batches: a
+/// binary tree-aggregation counter (Dwork–Naor–Pitassi–Rothblum /
+/// Chan–Shi–Song) replays the stream's batch sizes and releases one
+/// noisy running record-count per batch. The entire tape costs
+/// `epsilon` — each record touches at most `⌊log₂ horizon⌋ + 1` tree
+/// nodes, each noised at scale `levels/ε`.
+#[derive(Debug, Default)]
+pub struct ContinualCountMechanism;
+
+impl QueryMechanism for ContinualCountMechanism {
+    fn name(&self) -> &'static str {
+        "continual_count"
+    }
+
+    fn admit(&self, kind: &QueryKind, dataset: &Dataset) -> Result<Budget> {
+        let QueryKind::ContinualCount { epsilon, horizon } = *kind else {
+            return Err(wrong_kind(self.name()));
+        };
+        let eps = validated_epsilon(epsilon)?;
+        let batches = dataset.batch_lens().len();
+        validated_width("horizon (batches arrived)", batches, 1)?;
+        if horizon < batches as u64 {
+            return Err(EngineError::InvalidParameter {
+                name: "horizon",
+                reason: format!(
+                    "must cover every arrived batch: horizon {horizon} < {batches} batches"
+                ),
+            });
+        }
+        if horizon > MAX_REQUEST_WIDTH as u64 {
+            return Err(EngineError::InvalidParameter {
+                name: "horizon",
+                reason: format!("must be at most {MAX_REQUEST_WIDTH}, got {horizon}"),
+            });
+        }
+        // Surface noise-scale overflow (levels/ε) at admission, before
+        // any charge, by constructing the counter once without drawing.
+        TreeCounter::new(eps, horizon, 0).map_err(EngineError::Mechanism)?;
+        Ok(Budget::pure(eps))
+    }
+
+    fn execute(
+        &self,
+        kind: &QueryKind,
+        dataset: &Dataset,
+        rng: &mut dyn Rng,
+    ) -> Result<QueryValue> {
+        let QueryKind::ContinualCount { epsilon, horizon } = *kind else {
+            return Err(wrong_kind(self.name()));
+        };
+        let eps = validated_epsilon(epsilon)?;
+        let mut counter =
+            TreeCounter::new(eps, horizon, rng.next_u64()).map_err(EngineError::Mechanism)?;
+        for &len in dataset.batch_lens() {
+            counter
+                .observe(len as u64)
+                .map_err(EngineError::Mechanism)?;
+        }
+        let mut tape = Vec::with_capacity(dataset.batch_lens().len());
+        for t in 1..=counter.steps() {
+            tape.push(counter.release_at(t).map_err(EngineError::Mechanism)?);
+        }
+        Ok(QueryValue::Draws(tape))
     }
 }
 
@@ -467,7 +534,7 @@ impl MechanismRegistry {
         }
     }
 
-    /// The standard registry: all six built-in mechanisms.
+    /// The standard registry: all seven built-in mechanisms.
     pub fn standard() -> Self {
         let mut reg = Self::empty();
         reg.register(Arc::new(LaplaceCountMechanism));
@@ -476,6 +543,7 @@ impl MechanismRegistry {
         reg.register(Arc::new(NoisyMaxBinMechanism));
         reg.register(Arc::new(SvtRunMechanism));
         reg.register(Arc::new(GibbsQuantileMechanism));
+        reg.register(Arc::new(ContinualCountMechanism));
         reg
     }
 
@@ -535,6 +603,7 @@ mod tests {
         assert_eq!(
             reg.names(),
             vec![
+                "continual_count",
                 "gibbs_quantile",
                 "laplace_count",
                 "laplace_sum",
@@ -543,7 +612,7 @@ mod tests {
                 "svt_run"
             ]
         );
-        assert_eq!(reg.len(), 6);
+        assert_eq!(reg.len(), 7);
         assert!(!reg.is_empty());
     }
 
@@ -586,6 +655,14 @@ mod tests {
                     draws: 5,
                 },
                 0.5,
+            ),
+            // Continual count: the whole release tape costs ε once.
+            (
+                QueryKind::ContinualCount {
+                    epsilon: 0.3,
+                    horizon: 16,
+                },
+                0.3,
             ),
         ];
         for (kind, want_eps) in cases {
@@ -676,6 +753,24 @@ mod tests {
                 epsilon: f64::MAX,
                 draws: 2,
             },
+            QueryKind::ContinualCount {
+                epsilon: f64::NAN,
+                horizon: 16,
+            },
+            // Horizon shorter than the batches already arrived.
+            QueryKind::ContinualCount {
+                epsilon: 0.1,
+                horizon: 0,
+            },
+            QueryKind::ContinualCount {
+                epsilon: 0.1,
+                horizon: MAX_REQUEST_WIDTH as u64 + 1,
+            },
+            // Subnormal ε: the per-node scale levels/ε overflows.
+            QueryKind::ContinualCount {
+                epsilon: 5e-324,
+                horizon: 16,
+            },
         ];
         for kind in bad {
             let mech = reg.resolve(&kind).unwrap();
@@ -742,6 +837,30 @@ mod tests {
                 assert!(!t.is_empty() && t.len() <= 3);
             }
             other => panic!("expected transcript, got {other:?}"),
+        }
+
+        // Continual count over a streamed dataset: one release per batch,
+        // tracking the true running count at high ε.
+        let mut streamed = dataset();
+        streamed.append(&[0.25, 0.75]).unwrap();
+        streamed.append(&[0.5]).unwrap();
+        let cc_kind = QueryKind::ContinualCount {
+            epsilon: 1e6,
+            horizon: 8,
+        };
+        let mech = reg.resolve(&cc_kind).unwrap();
+        match mech.execute(&cc_kind, &streamed, &mut rng).unwrap() {
+            QueryValue::Draws(tape) => {
+                assert_eq!(tape.len(), 3, "one release per arrival batch");
+                let prefixes = [200.0, 202.0, 203.0];
+                for (got, want) in tape.iter().zip(prefixes) {
+                    assert!(
+                        (got - want).abs() < 1.0,
+                        "release {got} should track true prefix {want}"
+                    );
+                }
+            }
+            other => panic!("expected draws, got {other:?}"),
         }
     }
 

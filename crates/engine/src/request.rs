@@ -91,6 +91,21 @@ pub enum QueryKind {
         /// Number of posterior draws to release.
         draws: usize,
     },
+    /// Release the dataset's full continual-count tape: one noisy
+    /// running record-count per arrival batch (registration batch
+    /// first), produced by a binary tree-aggregation counter over a
+    /// horizon of `horizon` steps. The **whole tape** costs `epsilon`
+    /// regardless of how many batches have arrived (continual
+    /// observation; see [`dplearn_mechanisms::continual::TreeCounter`]).
+    /// (For a live counter that follows the stream as it grows use
+    /// [`Engine::continual_open`](crate::engine::Engine::continual_open).)
+    ContinualCount {
+        /// Target privacy level of the entire release sequence.
+        epsilon: f64,
+        /// Maximum number of steps the ε accounting covers; must be at
+        /// least the number of batches that have arrived.
+        horizon: u64,
+    },
     /// Dispatch to a custom mechanism registered under `mechanism`,
     /// passing opaque scalar parameters through.
     Custom {
@@ -111,6 +126,7 @@ impl QueryKind {
             QueryKind::NoisyMax { .. } => "noisy_max_bin",
             QueryKind::SvtRun { .. } => "svt_run",
             QueryKind::GibbsQuantile { .. } => "gibbs_quantile",
+            QueryKind::ContinualCount { .. } => "continual_count",
             QueryKind::Custom { mechanism, .. } => mechanism,
         }
     }
@@ -282,6 +298,13 @@ mod tests {
                     draws: 1,
                 },
                 "gibbs_quantile",
+            ),
+            (
+                QueryKind::ContinualCount {
+                    epsilon: 0.1,
+                    horizon: 16,
+                },
+                "continual_count",
             ),
         ];
         for (kind, want) in kinds {

@@ -264,6 +264,42 @@ pub enum WalRecord {
         /// The suspended session that was consumed.
         session: u64,
     },
+    /// A validated batch of records was appended to a registered
+    /// dataset's stream. Unlike registration (which logs the cap only —
+    /// the initial data is the operator's to re-supply), appended
+    /// batches **are** logged verbatim: a stream is ephemeral, nobody
+    /// can re-supply it, and without the values a recovered engine
+    /// could not rebuild the stream state the continual counters and
+    /// sufficient statistics were derived from. The log already holds
+    /// mechanism secrets (SVT thresholds), so it is server-side trusted
+    /// either way.
+    DatasetAppended {
+        /// The dataset the batch landed on.
+        dataset: String,
+        /// The dataset epoch this append produced (1 for the first
+        /// append after registration; replay enforces contiguity).
+        epoch: u64,
+        /// The validated batch, in arrival order.
+        values: Vec<f64>,
+    },
+    /// A continual-release counter was opened against a dataset, with
+    /// its full ε (for the whole release sequence over the horizon)
+    /// already charged by the surrounding intent/commit bracket. The
+    /// counter's noise tape is a pure function of a seed the engine
+    /// derives from its config and the session id, so recovery re-arms
+    /// the counter from this record plus the subsequent
+    /// [`WalRecord::DatasetAppended`] stream — bit-identical releases,
+    /// no secrets stored.
+    ContinualOpened {
+        /// The counter's session id (shares the SVT session id space).
+        session: u64,
+        /// The dataset whose stream the counter observes.
+        dataset: String,
+        /// Total ε for the full release sequence.
+        epsilon: f64,
+        /// Maximum number of observed steps.
+        horizon: u64,
+    },
 }
 
 const TAG_DATASET: u8 = 1;
@@ -273,6 +309,8 @@ const TAG_ABORT: u8 = 4;
 const TAG_POISON: u8 = 5;
 const TAG_SVT_SUSPENDED: u8 = 6;
 const TAG_SVT_RESUMED: u8 = 7;
+const TAG_DATASET_APPENDED: u8 = 8;
+const TAG_CONTINUAL_OPENED: u8 = 9;
 
 const REASON_MANUAL: u8 = 0;
 const REASON_CHARGED_OP_FAILED: u8 = 1;
@@ -351,6 +389,12 @@ impl<'a> Cursor<'a> {
         let b = self.take(2)?;
         let arr: [u8; 2] = b.try_into().map_err(|_| self.corrupt("u16 field"))?;
         Ok(u16::from_le_bytes(arr))
+    }
+
+    fn u32(&mut self) -> WalResult<u32> {
+        let b = self.take(4)?;
+        let arr: [u8; 4] = b.try_into().map_err(|_| self.corrupt("u32 field"))?;
+        Ok(u32::from_le_bytes(arr))
     }
 
     fn u64(&mut self) -> WalResult<u64> {
@@ -447,6 +491,37 @@ impl WalRecord {
                 out.push(TAG_SVT_RESUMED);
                 out.extend_from_slice(&session.to_le_bytes());
             }
+            WalRecord::DatasetAppended {
+                dataset,
+                epoch,
+                values,
+            } => {
+                out.push(TAG_DATASET_APPENDED);
+                push_name(&mut out, dataset)?;
+                out.extend_from_slice(&epoch.to_le_bytes());
+                let n = u32::try_from(values.len()).map_err(|_| {
+                    DurabilityError::Unencodable(format!(
+                        "append batch of {} records exceeds the u32 frame count",
+                        values.len()
+                    ))
+                })?;
+                out.extend_from_slice(&n.to_le_bytes());
+                for v in values {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            WalRecord::ContinualOpened {
+                session,
+                dataset,
+                epsilon,
+                horizon,
+            } => {
+                out.push(TAG_CONTINUAL_OPENED);
+                out.extend_from_slice(&session.to_le_bytes());
+                push_name(&mut out, dataset)?;
+                out.extend_from_slice(&epsilon.to_le_bytes());
+                out.extend_from_slice(&horizon.to_le_bytes());
+            }
         }
         Ok(out)
     }
@@ -510,6 +585,49 @@ impl WalRecord {
             TAG_SVT_RESUMED => WalRecord::SvtResumed {
                 session: cur.u64()?,
             },
+            TAG_DATASET_APPENDED => {
+                let dataset = cur.name()?;
+                let epoch = cur.u64()?;
+                let n = cur.u32()? as usize;
+                if n == 0 {
+                    return Err(cur.corrupt("append batch must be non-empty"));
+                }
+                let mut values = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    let v = cur.f64()?;
+                    // The engine only logs domain-validated batches, so a
+                    // non-finite record can only be corruption.
+                    if !v.is_finite() {
+                        return Err(cur.corrupt(&format!("non-finite appended record {v}")));
+                    }
+                    values.push(v);
+                }
+                WalRecord::DatasetAppended {
+                    dataset,
+                    epoch,
+                    values,
+                }
+            }
+            TAG_CONTINUAL_OPENED => {
+                let session = cur.u64()?;
+                let dataset = cur.name()?;
+                let epsilon = cur.f64()?;
+                let horizon = cur.u64()?;
+                if !(epsilon.is_finite() && epsilon > 0.0) {
+                    return Err(cur.corrupt(&format!(
+                        "continual counter ε must be finite and positive, got {epsilon}"
+                    )));
+                }
+                if horizon == 0 {
+                    return Err(cur.corrupt("continual counter horizon must be ≥ 1"));
+                }
+                WalRecord::ContinualOpened {
+                    session,
+                    dataset,
+                    epsilon,
+                    horizon,
+                }
+            }
             tag => return Err(DurabilityError::UnknownRecordType { offset, tag }),
         };
         cur.finish()?;
@@ -958,6 +1076,8 @@ fn record_label(record: &WalRecord) -> &'static str {
         WalRecord::Poison { .. } => "poison",
         WalRecord::SvtSuspended { .. } => "svt_suspended",
         WalRecord::SvtResumed { .. } => "svt_resumed",
+        WalRecord::DatasetAppended { .. } => "dataset_appended",
+        WalRecord::ContinualOpened { .. } => "continual_opened",
     }
 }
 
@@ -985,6 +1105,24 @@ pub struct RecoveredLedger {
     pub conservative: u64,
 }
 
+/// A continual-release counter rebuilt from the log: its public
+/// parameters plus the batch sizes it observed after opening. The noise
+/// tape is derived, not stored — the engine re-arms the counter from its
+/// config seed and the session id, and replaying these observations
+/// reproduces every release bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredCounter {
+    /// The dataset whose stream the counter observes.
+    pub dataset: String,
+    /// Total ε for the full release sequence (already charged).
+    pub epsilon: f64,
+    /// Maximum number of observed steps.
+    pub horizon: u64,
+    /// Per-step record counts observed since the counter opened, in log
+    /// order (one step per append batch).
+    pub observed: Vec<u64>,
+}
+
 /// Everything [`Engine::recover`](crate::engine::Engine::recover)
 /// rebuilds from a log image.
 #[derive(Debug, Clone, PartialEq)]
@@ -993,6 +1131,12 @@ pub struct RecoveredState {
     pub ledgers: BTreeMap<String, RecoveredLedger>,
     /// Suspended (and not since resumed) SVT sessions.
     pub suspended: BTreeMap<u64, (String, SvtSessionState)>,
+    /// Per-dataset appended batches in log order (epoch-contiguous,
+    /// validated). Applied when the dataset is re-registered so the
+    /// recovered stream state matches the crash-free engine exactly.
+    pub appends: BTreeMap<String, Vec<Vec<f64>>>,
+    /// Continual counters to re-arm, by session id.
+    pub counters: BTreeMap<u64, RecoveredCounter>,
     /// The next intent sequence number a recovered writer must use.
     pub next_intent: u64,
     /// Lower bound for the recovered engine's session counter (past the
@@ -1027,6 +1171,8 @@ pub fn replay(bytes: &[u8]) -> WalResult<RecoveredState> {
     let mut open_intents: BTreeMap<u64, (String, Budget)> = BTreeMap::new();
     let mut resolved: BTreeSet<u64> = BTreeSet::new();
     let mut suspended: BTreeMap<u64, (String, SvtSessionState)> = BTreeMap::new();
+    let mut appends: BTreeMap<String, Vec<Vec<f64>>> = BTreeMap::new();
+    let mut counters: BTreeMap<u64, RecoveredCounter> = BTreeMap::new();
     let mut max_seq: Option<u64> = None;
     let mut max_session: Option<u64> = None;
     let records = scan.records.len();
@@ -1117,6 +1263,64 @@ pub fn replay(bytes: &[u8]) -> WalResult<RecoveredState> {
                         reason: "resume without a suspended session",
                     })?;
             }
+            WalRecord::DatasetAppended {
+                dataset,
+                epoch,
+                values,
+            } => {
+                if !ledgers.contains_key(&dataset) {
+                    return Err(DurabilityError::UnknownDatasetInLog(dataset));
+                }
+                let stream = appends.entry(dataset.clone()).or_default();
+                // Epoch contiguity: registration is epoch 0, so the k-th
+                // logged append must carry epoch k. A gap means a lost or
+                // reordered record — the stream state would silently
+                // diverge from what the counters observed, so fail closed.
+                let expected = stream.len() as u64 + 1;
+                if epoch != expected {
+                    return Err(DurabilityError::CorruptRecord {
+                        offset,
+                        reason: format!(
+                            "append to `{dataset}` carries epoch {epoch}, expected {expected}"
+                        ),
+                    });
+                }
+                let step = values.len() as u64;
+                stream.push(values);
+                // Every live counter on this dataset observes the batch
+                // as one time step.
+                for counter in counters.values_mut() {
+                    if counter.dataset == dataset {
+                        counter.observed.push(step);
+                    }
+                }
+            }
+            WalRecord::ContinualOpened {
+                session,
+                dataset,
+                epsilon,
+                horizon,
+            } => {
+                if !ledgers.contains_key(&dataset) {
+                    return Err(DurabilityError::UnknownDatasetInLog(dataset));
+                }
+                if counters.contains_key(&session) {
+                    return Err(DurabilityError::CorruptRecord {
+                        offset,
+                        reason: format!("continual session {session} opened twice"),
+                    });
+                }
+                max_session = Some(max_session.map_or(session, |m| m.max(session)));
+                counters.insert(
+                    session,
+                    RecoveredCounter {
+                        dataset,
+                        epsilon,
+                        horizon,
+                        observed: Vec::new(),
+                    },
+                );
+            }
         }
     }
 
@@ -1136,6 +1340,8 @@ pub fn replay(bytes: &[u8]) -> WalResult<RecoveredState> {
     Ok(RecoveredState {
         ledgers,
         suspended,
+        appends,
+        counters,
         next_intent: max_seq.map_or(0, |m| m.wrapping_add(1)),
         next_session: max_session.map_or(0, |m| m.wrapping_add(1)),
         consumed: scan.consumed,
@@ -1204,6 +1410,17 @@ mod tests {
                 },
             },
             WalRecord::SvtResumed { session: 7 },
+            WalRecord::DatasetAppended {
+                dataset: "ages".to_string(),
+                epoch: 1,
+                values: vec![0.25, 0.75, 0.5],
+            },
+            WalRecord::ContinualOpened {
+                session: 8,
+                dataset: "ages".to_string(),
+                epsilon: 0.5,
+                horizon: 1024,
+            },
         ];
         let mut log = Vec::new();
         for r in &records {
@@ -1392,6 +1609,122 @@ mod tests {
         bad_cost.extend_from_slice(&0.0f64.to_le_bytes());
         assert!(matches!(
             WalRecord::decode_payload(&bad_cost, 0),
+            Err(DurabilityError::CorruptRecord { .. })
+        ));
+    }
+
+    #[test]
+    fn replay_rebuilds_streams_and_counters_in_log_order() {
+        let mut log = Vec::new();
+        for r in [
+            WalRecord::DatasetRegistered {
+                dataset: "d".to_string(),
+                cap: b(2.0, 0.0),
+            },
+            // First append happens before any counter opens: the stream
+            // sees it, no counter does.
+            WalRecord::DatasetAppended {
+                dataset: "d".to_string(),
+                epoch: 1,
+                values: vec![0.1, 0.2],
+            },
+            WalRecord::ContinualOpened {
+                session: 3,
+                dataset: "d".to_string(),
+                epsilon: 0.5,
+                horizon: 16,
+            },
+            WalRecord::DatasetAppended {
+                dataset: "d".to_string(),
+                epoch: 2,
+                values: vec![0.3, 0.4, 0.5],
+            },
+            WalRecord::DatasetAppended {
+                dataset: "d".to_string(),
+                epoch: 3,
+                values: vec![0.6],
+            },
+        ] {
+            log.extend_from_slice(&r.encode_frame().unwrap());
+        }
+        let state = replay(&log).unwrap();
+        assert_eq!(
+            state.appends["d"],
+            vec![vec![0.1, 0.2], vec![0.3, 0.4, 0.5], vec![0.6]]
+        );
+        let counter = &state.counters[&3];
+        assert_eq!(counter.dataset, "d");
+        assert_eq!(counter.epsilon, 0.5);
+        assert_eq!(counter.horizon, 16);
+        assert_eq!(counter.observed, vec![3, 1], "only post-open batches");
+        assert_eq!(state.next_session, 4, "counter ids advance the space");
+    }
+
+    #[test]
+    fn replay_rejects_epoch_gaps_and_unknown_stream_targets() {
+        let reg = WalRecord::DatasetRegistered {
+            dataset: "d".to_string(),
+            cap: b(1.0, 0.0),
+        };
+        // Epoch gap (first append must be epoch 1).
+        let mut log = reg.encode_frame().unwrap();
+        log.extend_from_slice(
+            &WalRecord::DatasetAppended {
+                dataset: "d".to_string(),
+                epoch: 2,
+                values: vec![0.5],
+            }
+            .encode_frame()
+            .unwrap(),
+        );
+        assert!(matches!(
+            replay(&log),
+            Err(DurabilityError::CorruptRecord { .. })
+        ));
+        // Append to a dataset the log never registered.
+        let log2 = WalRecord::DatasetAppended {
+            dataset: "ghost".to_string(),
+            epoch: 1,
+            values: vec![0.5],
+        }
+        .encode_frame()
+        .unwrap();
+        assert!(matches!(
+            replay(&log2),
+            Err(DurabilityError::UnknownDatasetInLog(_))
+        ));
+        // Counter against an unregistered dataset.
+        let log3 = WalRecord::ContinualOpened {
+            session: 0,
+            dataset: "ghost".to_string(),
+            epsilon: 0.5,
+            horizon: 8,
+        }
+        .encode_frame()
+        .unwrap();
+        assert!(matches!(
+            replay(&log3),
+            Err(DurabilityError::UnknownDatasetInLog(_))
+        ));
+        // Hand-built payloads with impossible fields decode as corrupt.
+        let mut nan_append = vec![TAG_DATASET_APPENDED];
+        nan_append.extend_from_slice(&1u16.to_le_bytes());
+        nan_append.push(b'd');
+        nan_append.extend_from_slice(&1u64.to_le_bytes());
+        nan_append.extend_from_slice(&1u32.to_le_bytes());
+        nan_append.extend_from_slice(&f64::NAN.to_le_bytes());
+        assert!(matches!(
+            WalRecord::decode_payload(&nan_append, 0),
+            Err(DurabilityError::CorruptRecord { .. })
+        ));
+        let mut zero_horizon = vec![TAG_CONTINUAL_OPENED];
+        zero_horizon.extend_from_slice(&0u64.to_le_bytes());
+        zero_horizon.extend_from_slice(&1u16.to_le_bytes());
+        zero_horizon.push(b'd');
+        zero_horizon.extend_from_slice(&0.5f64.to_le_bytes());
+        zero_horizon.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            WalRecord::decode_payload(&zero_horizon, 0),
             Err(DurabilityError::CorruptRecord { .. })
         ));
     }

@@ -183,7 +183,10 @@ fn expected_state(records: &[WalRecord]) -> BTreeMap<String, Expect> {
             WalRecord::Poison { dataset, .. } => {
                 expect.entry(dataset.clone()).or_default().poisoned = true;
             }
-            WalRecord::SvtSuspended { .. } | WalRecord::SvtResumed { .. } => {}
+            WalRecord::SvtSuspended { .. }
+            | WalRecord::SvtResumed { .. }
+            | WalRecord::DatasetAppended { .. }
+            | WalRecord::ContinualOpened { .. } => {}
         }
     }
     for seq in commits_in_order {
@@ -726,6 +729,116 @@ proptest! {
                 prop_assert!(
                     matches!(e, EngineError::Durability(_)),
                     "recovery refusals must be typed durability errors, got {:?}", e
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Streaming: crash sweep over the append/continual-counter log records
+// ---------------------------------------------------------------------
+
+/// Total WAL appends the streaming workload performs crash-free.
+const STREAM_APPENDS: u64 = 8;
+
+fn stream_batch(i: usize) -> Vec<f64> {
+    (0..=i)
+        .map(|j| ((i * 7 + j * 3) % 10) as f64 / 10.0)
+        .collect()
+}
+
+/// The streaming reference workload:
+///
+/// | append | record                                |
+/// |-------:|---------------------------------------|
+/// |  0     | `DatasetRegistered("stream", 1.0)`    |
+/// |  1     | `DatasetAppended(epoch 1)`            |
+/// |  2     | `DatasetAppended(epoch 2)`            |
+/// |  3     | `Intent(0, stream, 0.4)` (continual)  |
+/// |  4     | `Commit(0)`                           |
+/// |  5     | `ContinualOpened(1, stream, 0.4, 16)` |
+/// |  6     | `DatasetAppended(epoch 3)`            |
+/// |  7     | `DatasetAppended(epoch 4)`            |
+fn run_stream_workload(plan: CrashPlan) -> (Engine, Vec<u8>) {
+    let (storage, handle) = CrashableWal::new(plan);
+    let mut e = Engine::new(EngineConfig::default()).unwrap();
+    e.attach_wal(storage, FsyncPolicy::EveryAppend).unwrap();
+    e.register_dataset("stream", values(40), 0.0, 1.0, cap_alpha())
+        .unwrap();
+    e.append_dataset("stream", &stream_batch(0)).unwrap();
+    e.append_dataset("stream", &stream_batch(1)).unwrap();
+    let sid = e.continual_open("stream", 0.4, 16).unwrap();
+    assert_eq!(sid, 1);
+    e.append_dataset("stream", &stream_batch(2)).unwrap();
+    e.append_dataset("stream", &stream_batch(3)).unwrap();
+    (e, handle.bytes())
+}
+
+/// The streaming tentpole acceptance test: crash at every append index
+/// in every flavour, recover, re-register, and demand the recovered
+/// stream state — epochs, sufficient statistics, batch history, and the
+/// continual counter's full release tape — be **bit-identical** to a
+/// crash-free oracle that performed exactly the durably-logged
+/// operations.
+#[test]
+fn streaming_crash_sweep_recovers_bit_identical_stream_state() {
+    for plan in CrashPlan::sweep(STREAM_APPENDS, &[1, 9], &[8]) {
+        let (_live, image) = run_stream_workload(plan);
+        let keep = durable_records(&plan);
+        let scan = wal::scan_frames(&image)
+            .unwrap_or_else(|e| panic!("plan {plan:?}: durable image must scan, got {e}"));
+        assert_eq!(scan.records.len(), keep, "plan {plan:?}");
+        let prefix: Vec<WalRecord> = scan.records.into_iter().map(|(_, r)| r).collect();
+
+        let mut rec = recover(image)
+            .unwrap_or_else(|e| panic!("plan {plan:?}: recovery must succeed, got {e}"));
+        if keep == 0 {
+            assert!(rec.recovered_pending().is_empty());
+            continue;
+        }
+        rec.register_dataset("stream", values(40), 0.0, 1.0, cap_alpha())
+            .unwrap();
+
+        // Crash-free oracle: replay exactly the durable stream records
+        // on a WAL-less engine with the same config (same counter seed).
+        let mut oracle = Engine::new(EngineConfig::default()).unwrap();
+        oracle
+            .register_dataset("stream", values(40), 0.0, 1.0, cap_alpha())
+            .unwrap();
+        for record in &prefix {
+            match record {
+                WalRecord::DatasetAppended { values, .. } => {
+                    oracle.append_dataset("stream", values).unwrap();
+                }
+                WalRecord::ContinualOpened {
+                    session,
+                    epsilon,
+                    horizon,
+                    ..
+                } => {
+                    let sid = oracle.continual_open("stream", *epsilon, *horizon).unwrap();
+                    assert_eq!(sid, *session, "plan {plan:?}: session id drift");
+                }
+                _ => {}
+            }
+        }
+
+        assert_eq!(
+            rec.stream_digest(),
+            oracle.stream_digest(),
+            "plan {plan:?}: recovered stream state must be bit-identical to the \
+             crash-free oracle"
+        );
+        // When the counter survived, its releases match bit-for-bit.
+        if rec.open_counters() == 1 {
+            let steps = rec.continual_steps(1).unwrap();
+            assert_eq!(steps, oracle.continual_steps(1).unwrap());
+            for t in 1..=steps {
+                assert_eq!(
+                    rec.continual_release_at(1, t).unwrap().to_bits(),
+                    oracle.continual_release_at(1, t).unwrap().to_bits(),
+                    "plan {plan:?}: release tape diverged at step {t}"
                 );
             }
         }

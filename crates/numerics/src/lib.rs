@@ -24,6 +24,9 @@
 //! * [`integrate`] — Simpson and adaptive-Simpson quadrature.
 //! * [`stats`] — summary statistics, histograms, empirical CDFs, and
 //!   bootstrap confidence intervals.
+//! * [`sketch`] — deterministic mergeable rank/quantile sketches with
+//!   exactly-tracked worst-case error, for streaming sufficient
+//!   statistics.
 //!
 //! # Example
 //!
@@ -54,6 +57,7 @@ pub mod integrate;
 pub mod linalg;
 pub mod optimize;
 pub mod rng;
+pub mod sketch;
 pub mod special;
 pub mod stats;
 

@@ -38,6 +38,7 @@
 use crate::fleet::FleetReport;
 use crate::router::ShardRouter;
 use crate::{Result, ServeError};
+use dplearn_engine::dataset::StatsMode;
 use dplearn_engine::engine::{Engine, EngineConfig};
 use dplearn_engine::mechanism::{MechanismRegistry, QueryMechanism};
 use dplearn_engine::report::BatchReport;
@@ -334,15 +335,104 @@ impl ServingLoop {
         hi: f64,
         cap: Budget,
     ) -> Result<usize> {
+        self.register_tenant_with_mode(tenant, values, lo, hi, cap, StatsMode::Exact)
+    }
+
+    /// [`ServingLoop::register_tenant`] with an explicit sufficient-
+    /// statistics mode — use `StatsMode::Sketch { .. }` for tenants
+    /// expected to stream large volumes through
+    /// [`ServingLoop::append`].
+    pub fn register_tenant_with_mode(
+        &mut self,
+        tenant: &str,
+        values: Vec<f64>,
+        lo: f64,
+        hi: f64,
+        cap: Budget,
+        mode: StatsMode,
+    ) -> Result<usize> {
         let shard = self.router.route(tenant);
         let n = self.shards.len();
         let entry = self
             .shards
             .get_mut(shard)
             .ok_or(ServeError::UnknownShard { shard, shards: n })?;
-        entry.engine.register_dataset(tenant, values, lo, hi, cap)?;
+        entry
+            .engine
+            .register_dataset_with_mode(tenant, values, lo, hi, cap, mode)?;
         self.recorder.counter_add("serve.tenants.registered", "", 1);
         Ok(shard)
+    }
+
+    /// Append a batch of records to `tenant`'s stream on its owning
+    /// shard. Pure control-plane routing (the same FNV-1a hash as
+    /// queries) into [`Engine::append_dataset`]'s durable-first append,
+    /// all on the sequential path — ingest state and telemetry are
+    /// bit-identical at any `DPLEARN_THREADS`. Returns the tenant's new
+    /// stream epoch.
+    pub fn append(&mut self, tenant: &str, values: &[f64]) -> Result<u64> {
+        let shard = self.router.route(tenant);
+        let n = self.shards.len();
+        let entry = self
+            .shards
+            .get_mut(shard)
+            .ok_or(ServeError::UnknownShard { shard, shards: n })?;
+        let epoch = entry.engine.append_dataset(tenant, values)?;
+        self.recorder
+            .counter_add("serve.ingest.batches", &entry.label, 1);
+        self.recorder
+            .counter_add("serve.ingest.records", &entry.label, values.len() as u64);
+        Ok(epoch)
+    }
+
+    /// Open a continual-release counter on `tenant`'s stream (owning
+    /// shard). The whole release sequence is charged `epsilon` up front
+    /// by the shard's engine; every subsequent [`ServingLoop::append`]
+    /// on the tenant is one observed step.
+    pub fn continual_open(
+        &mut self,
+        tenant: &str,
+        epsilon: f64,
+        horizon: u64,
+    ) -> Result<SessionHandle> {
+        let shard = self.router.route(tenant);
+        let n = self.shards.len();
+        let entry = self
+            .shards
+            .get_mut(shard)
+            .ok_or(ServeError::UnknownShard { shard, shards: n })?;
+        let session = entry.engine.continual_open(tenant, epsilon, horizon)?;
+        self.recorder
+            .counter_add("serve.continual.opened", &entry.label, 1);
+        Ok(SessionHandle { shard, session })
+    }
+
+    /// The counter's noisy running count after its latest observed step
+    /// (free; the sequence was charged at open).
+    pub fn continual_release(&self, handle: SessionHandle) -> Result<f64> {
+        let n = self.shards.len();
+        let entry = self
+            .shards
+            .get(handle.shard)
+            .ok_or(ServeError::UnknownShard {
+                shard: handle.shard,
+                shards: n,
+            })?;
+        Ok(entry.engine.continual_release(handle.session)?)
+    }
+
+    /// The noisy running count after observed step `t` (1-based);
+    /// bit-identical however many steps have arrived since.
+    pub fn continual_release_at(&self, handle: SessionHandle, t: u64) -> Result<f64> {
+        let n = self.shards.len();
+        let entry = self
+            .shards
+            .get(handle.shard)
+            .ok_or(ServeError::UnknownShard {
+                shard: handle.shard,
+                shards: n,
+            })?;
+        Ok(entry.engine.continual_release_at(handle.session, t)?)
     }
 
     /// All registered tenants, sorted by name (merged across shards —
@@ -625,6 +715,18 @@ impl ServingLoop {
         }
         out
     }
+
+    /// Concatenated per-shard stream digests (shard id prefixed) — two
+    /// fleets with equal digests serve bit-identical stream-derived
+    /// answers (see [`Engine::stream_digest`]).
+    pub fn stream_digest(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (k, shard) in self.shards.iter().enumerate() {
+            out.extend_from_slice(&(k as u64).to_le_bytes());
+            out.extend_from_slice(&shard.engine.stream_digest());
+        }
+        out
+    }
 }
 
 /// Convenience: map an engine error out of a shard operation.
@@ -763,6 +865,102 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), seeds.len(), "shard seeds must be distinct");
+    }
+
+    #[test]
+    fn appends_route_to_the_owning_shard_and_feed_its_counter() {
+        let mut serving = ServingLoop::new(ServeConfig {
+            shards: 4,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let shard = serving
+            .register_tenant("streamy", values(50), 0.0, 1.0, cap(2.0))
+            .unwrap();
+        let handle = serving.continual_open("streamy", 1.0, 16).unwrap();
+        assert_eq!(handle.shard, shard);
+
+        assert_eq!(serving.append("streamy", &[0.25, 0.75]).unwrap(), 1);
+        assert_eq!(serving.append("streamy", &[0.5]).unwrap(), 2);
+        assert!(serving.append("ghost", &[0.5]).is_err());
+
+        // Only the owning shard's engine saw the stream.
+        for k in 0..4 {
+            let engine = serving.shard_engine(k).unwrap();
+            if k == shard {
+                let d = engine.dataset("streamy").unwrap();
+                assert_eq!(d.epoch(), 2);
+                assert_eq!(d.len(), 53);
+            } else {
+                assert!(engine.dataset("streamy").is_none());
+            }
+        }
+
+        // The counter observed both batches; releases are stable.
+        let r1 = serving.continual_release_at(handle, 1).unwrap();
+        let latest = serving.continual_release(handle).unwrap();
+        serving.append("streamy", &[0.125]).unwrap();
+        assert_eq!(
+            serving.continual_release_at(handle, 1).unwrap().to_bits(),
+            r1.to_bits()
+        );
+        assert_eq!(
+            serving.continual_release_at(handle, 2).unwrap().to_bits(),
+            latest.to_bits()
+        );
+        // Whole sequence charged once at open.
+        let snap = serving.ledger("streamy").unwrap().snapshot();
+        assert!((snap.spent.epsilon - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovered_shard_stream_state_matches_the_crash_free_fleet() {
+        use dplearn_engine::wal::MemoryWal;
+
+        let config = ServeConfig {
+            shards: 3,
+            ..ServeConfig::default()
+        };
+        let mut oracle = ServingLoop::new(config.clone()).unwrap();
+        let storages: Vec<MemoryWal> = (0..3).map(|_| MemoryWal::new()).collect();
+        let handles: Vec<MemoryWal> = storages.iter().map(MemoryWal::handle).collect();
+        let mut live = ServingLoop::new(config.clone()).unwrap();
+        live.attach_wal(storages, FsyncPolicy::EveryAppend).unwrap();
+
+        for serving in [&mut oracle, &mut live] {
+            for t in 0..6 {
+                serving
+                    .register_tenant(&format!("t{t}"), values(20), 0.0, 1.0, cap(2.0))
+                    .unwrap();
+            }
+            serving.continual_open("t2", 0.5, 8).unwrap();
+            for round in 0..4u64 {
+                for t in 0..6 {
+                    let batch = vec![(round as f64) / 10.0; t + 1];
+                    serving.append(&format!("t{t}"), &batch).unwrap();
+                }
+            }
+        }
+
+        // Rebuild the whole fleet from the per-shard durable images and
+        // re-register every tenant: stream state must come back
+        // bit-identical, counters included.
+        let images: Vec<MemoryWal> = handles
+            .iter()
+            .map(|h| MemoryWal::from_bytes(h.bytes()))
+            .collect();
+        let mut recovered = ServingLoop::recover(config, images, FsyncPolicy::EveryAppend).unwrap();
+        for t in 0..6 {
+            recovered
+                .register_tenant(&format!("t{t}"), values(20), 0.0, 1.0, cap(2.0))
+                .unwrap();
+        }
+        assert_eq!(
+            recovered.stream_digest(),
+            oracle.stream_digest(),
+            "recovered fleet streams must be bit-identical to the crash-free oracle"
+        );
+        assert_eq!(recovered.durability_digest(), live.durability_digest());
     }
 
     #[test]

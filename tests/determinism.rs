@@ -372,6 +372,92 @@ fn engine_batches_are_thread_count_invariant() {
 }
 
 #[test]
+fn streamed_batches_are_thread_count_invariant() {
+    use dplearn::engine::dataset::StatsMode;
+    use dplearn::engine::request::{QueryKind, QueryRequest};
+    use dplearn::mechanisms::privacy::Budget;
+    use dplearn_serve::{ServeConfig, ServingLoop};
+
+    // The streaming acceptance bar: a fleet fed by interleaved appends,
+    // continual-counter opens/releases, and query ticks must end in
+    // bit-identical state — stream digests (epochs, sufficient stats,
+    // release tapes), accounting digests, and every outcome — at any
+    // DPLEARN_THREADS.
+    assert_thread_count_invariant(|| {
+        let mut fleet = ServingLoop::new(ServeConfig {
+            shards: 3,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        for t in 0..6 {
+            let records: Vec<f64> = (0..40).map(|j| (j % 10) as f64 / 10.0).collect();
+            let mode = if t % 2 == 0 {
+                StatsMode::Exact
+            } else {
+                StatsMode::Sketch { k: 32 }
+            };
+            fleet
+                .register_tenant_with_mode(
+                    &format!("t{t}"),
+                    records,
+                    0.0,
+                    1.0,
+                    Budget::new(4.0, 1e-6).unwrap(),
+                    mode,
+                )
+                .unwrap();
+        }
+        let h2 = fleet.continual_open("t2", 0.5, 32).unwrap();
+        let h5 = fleet.continual_open("t5", 0.25, 32).unwrap();
+
+        let mut fingerprint: Vec<u64> = Vec::new();
+        for round in 0..4u64 {
+            for t in 0..6usize {
+                let batch: Vec<f64> = (0..(t + 2))
+                    .map(|j| ((round as usize * 3 + j) % 10) as f64 / 10.0)
+                    .collect();
+                fingerprint.push(fleet.append(&format!("t{t}"), &batch).unwrap());
+            }
+            for t in 0..6usize {
+                fleet.enqueue(QueryRequest::new(
+                    format!("t{t}"),
+                    QueryKind::LaplaceCount {
+                        lo: 0.0,
+                        hi: 0.5,
+                        epsilon: 0.05,
+                    },
+                ));
+            }
+            fleet.enqueue(QueryRequest::new(
+                "t3",
+                QueryKind::ContinualCount {
+                    epsilon: 0.1,
+                    horizon: 64,
+                },
+            ));
+            let report = fleet.tick();
+            for (ticket, outcome) in &report.outcomes {
+                fingerprint.push(*ticket);
+                match outcome.value() {
+                    Some(dplearn::engine::QueryValue::Scalar(v)) => fingerprint.push(v.to_bits()),
+                    Some(dplearn::engine::QueryValue::Draws(vs)) => {
+                        fingerprint.extend(vs.iter().map(|v| v.to_bits()));
+                    }
+                    _ => fingerprint.push(u64::MAX),
+                }
+            }
+            fingerprint.push(fleet.continual_release(h2).unwrap().to_bits());
+            fingerprint.push(fleet.continual_release(h5).unwrap().to_bits());
+        }
+        (
+            fingerprint,
+            fleet.stream_digest(),
+            fleet.durability_digest(),
+        )
+    });
+}
+
+#[test]
 fn blahut_arimoto_retry_is_thread_count_invariant() {
     use dplearn::infotheory::blahut_arimoto::blahut_arimoto_with_retry;
     use dplearn::robust::RetryPolicy;

@@ -120,10 +120,13 @@ impl SufficientStats {
     /// validated into the declared domain before they reach the
     /// accumulator). See the type docs for the running-sum semantics.
     pub fn sum(&self) -> f64 {
-        if self.sum.is_finite() {
-            self.sum + self.comp
-        } else {
+        // A zero compensation is skipped rather than added: `-0.0 + 0.0`
+        // is `+0.0`, which would break the pre-append bit-identity
+        // contract for datasets whose build-time sum is `-0.0`.
+        if self.comp == 0.0 || !self.sum.is_finite() {
             self.sum
+        } else {
+            self.sum + self.comp
         }
     }
 
@@ -694,6 +697,20 @@ mod tests {
             matches!(err, EngineError::InvalidParameter { name: "k", .. }),
             "want typed InvalidParameter, got {err:?}"
         );
+    }
+
+    #[test]
+    fn zero_compensation_preserves_sum_bits() {
+        // Regression: `sum + comp` with comp == +0.0 flips a `-0.0`
+        // accumulator to `+0.0`; a zero compensation must be skipped so
+        // the accumulator comes back bit-for-bit.
+        let mut s = SufficientStats::build(&[-0.0, -0.0], StatsMode::Exact);
+        s.sum = -0.0;
+        assert_eq!(s.sum().to_bits(), (-0.0f64).to_bits());
+        // A live compensation still participates.
+        s.sum = 1.0;
+        s.comp = 0.5;
+        assert_eq!(s.sum(), 1.5);
     }
 
     #[test]

@@ -435,7 +435,9 @@ impl Engine {
     /// (fail closed if any batch violates the re-declared domain) and
     /// every continual counter opened on the dataset is re-armed with
     /// its original session id, noise tape, and observation history —
-    /// bit-identical to the crash-free engine.
+    /// bit-identical to the crash-free engine. Re-registration is
+    /// all-or-nothing: on any error the engine and its pending recovery
+    /// state are untouched, so a corrected call can be retried.
     pub fn register_dataset_with_mode(
         &mut self,
         name: &str,
@@ -452,13 +454,42 @@ impl Engine {
         // Replay the recovered stream BEFORE installing anything: a
         // batch outside the re-declared domain fails the whole
         // re-registration, leaving the ledger pending (fail closed).
-        let replayed_appends = self.pending_appends.get(name).cloned();
-        if let Some(batches) = &replayed_appends {
+        if let Some(batches) = self.pending_appends.get(name) {
             for batch in batches {
                 dataset.append(batch)?;
             }
         }
-        let ledger = if let Some(recovered) = self.pending_recovered.get(name) {
+        // Re-arm recovered continual counters on this dataset into a
+        // local staging area: their ε was charged before the crash and
+        // their noise tape is a pure function of (config seed, session
+        // id), so replaying the logged observations reproduces every
+        // release bit-for-bit. Staging keeps re-registration
+        // all-or-nothing — if any counter fails to re-arm, the engine
+        // is untouched (dataset unregistered, every pending_* entry
+        // intact) and re-registration can be retried.
+        let mut rearmed: Vec<(u64, ContinualHostedSession)> = Vec::new();
+        for (&id, rc) in self
+            .pending_counters
+            .iter()
+            .filter(|(_, c)| c.dataset == name)
+        {
+            let eps = dplearn_mechanisms::privacy::Epsilon::new(rc.epsilon)?;
+            let mut counter = TreeCounter::new(eps, rc.horizon, self.continual_seed(id))?;
+            // The live engine never observes past the horizon (ingest
+            // skips exhausted counters), so cap the replay the same way
+            // even if a hand-built history runs longer.
+            for &step in rc.observed.iter().take(rc.horizon as usize) {
+                counter.observe(step)?;
+            }
+            rearmed.push((
+                id,
+                ContinualHostedSession {
+                    dataset: name.to_string(),
+                    counter,
+                },
+            ));
+        }
+        let fresh_ledger = if let Some(recovered) = self.pending_recovered.get(name) {
             // Re-registration after crash recovery: the recovered ledger
             // (with its spend, poisoned state, and fault counters) is
             // installed as-is. The cap must match the durable record —
@@ -476,10 +507,11 @@ impl Engine {
                 ));
             }
             // Already registered in the log — no new record.
-            self.pending_recovered
-                .remove(name)
-                .unwrap_or_else(|| BudgetLedger::new(cap))
+            None
         } else {
+            // The WAL append is the last fallible step; nothing has
+            // mutated yet, so a durability failure leaves the engine
+            // exactly as it was.
             if let Some(log) = &mut self.wal {
                 log.append(
                     &WalRecord::DatasetRegistered {
@@ -490,7 +522,15 @@ impl Engine {
                 )
                 .map_err(EngineError::Durability)?;
             }
-            BudgetLedger::new(cap)
+            Some(BudgetLedger::new(cap))
+        };
+        // Commit point — everything below is infallible.
+        let ledger = match fresh_ledger {
+            Some(ledger) => ledger,
+            None => self
+                .pending_recovered
+                .remove(name)
+                .unwrap_or_else(|| BudgetLedger::new(cap)),
         };
         self.datasets.insert(
             name.to_string(),
@@ -499,35 +539,10 @@ impl Engine {
                 ledger,
             },
         );
-        if replayed_appends.is_some() {
-            self.pending_appends.remove(name);
-        }
-        // Re-arm recovered continual counters on this dataset: their ε
-        // was charged before the crash and their noise tape is a pure
-        // function of (config seed, session id), so replaying the
-        // logged observations reproduces every release bit-for-bit.
-        let to_rearm: Vec<u64> = self
-            .pending_counters
-            .iter()
-            .filter(|(_, c)| c.dataset == name)
-            .map(|(id, _)| *id)
-            .collect();
-        for id in to_rearm {
-            let Some(rc) = self.pending_counters.remove(&id) else {
-                continue;
-            };
-            let eps = dplearn_mechanisms::privacy::Epsilon::new(rc.epsilon)?;
-            let mut counter = TreeCounter::new(eps, rc.horizon, self.continual_seed(id))?;
-            for &step in &rc.observed {
-                counter.observe(step)?;
-            }
-            self.counters.insert(
-                id,
-                ContinualHostedSession {
-                    dataset: name.to_string(),
-                    counter,
-                },
-            );
+        self.pending_appends.remove(name);
+        for (id, hosted) in rearmed {
+            self.pending_counters.remove(&id);
+            self.counters.insert(id, hosted);
         }
         Ok(())
     }

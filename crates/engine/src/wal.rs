@@ -1119,7 +1119,8 @@ pub struct RecoveredCounter {
     /// Maximum number of observed steps.
     pub horizon: u64,
     /// Per-step record counts observed since the counter opened, in log
-    /// order (one step per append batch).
+    /// order (one step per append batch), capped at `horizon` — batches
+    /// past the horizon were never observed by the live counter.
     pub observed: Vec<u64>,
 }
 
@@ -1288,9 +1289,16 @@ pub fn replay(bytes: &[u8]) -> WalResult<RecoveredState> {
                 let step = values.len() as u64;
                 stream.push(values);
                 // Every live counter on this dataset observes the batch
-                // as one time step.
+                // as one time step — but only up to its horizon. The
+                // live engine skips observations on exhausted counters
+                // (ingest never fails over a spent horizon), so the
+                // replayed history must stop there too, or re-arming
+                // would replay an observation the live counter never
+                // made and reject a valid pre-crash state.
                 for counter in counters.values_mut() {
-                    if counter.dataset == dataset {
+                    if counter.dataset == dataset
+                        && (counter.observed.len() as u64) < counter.horizon
+                    {
                         counter.observed.push(step);
                     }
                 }

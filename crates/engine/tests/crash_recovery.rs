@@ -844,3 +844,96 @@ fn streaming_crash_sweep_recovers_bit_identical_stream_state() {
         }
     }
 }
+
+/// Crash-free reference for the horizon-exhaustion regressions below:
+/// a counter with horizon 2 whose dataset then absorbs **3** appends —
+/// the live engine logs all three `DatasetAppended` records but the
+/// counter only observes the first two (ingest skips exhausted
+/// counters).
+fn run_horizon_exhausted_workload() -> (Engine, Vec<u8>) {
+    let (storage, handle) = CrashableWal::new(CrashPlan::never());
+    let mut e = Engine::new(EngineConfig::default()).unwrap();
+    e.attach_wal(storage, FsyncPolicy::EveryAppend).unwrap();
+    e.register_dataset("stream", values(40), 0.0, 1.0, cap_alpha())
+        .unwrap();
+    let sid = e.continual_open("stream", 0.4, 2).unwrap();
+    assert_eq!(sid, 1);
+    for i in 0..3 {
+        e.append_dataset("stream", &stream_batch(i)).unwrap();
+    }
+    assert_eq!(e.continual_steps(sid).unwrap(), 2, "horizon caps at 2");
+    (e, handle.bytes())
+}
+
+/// Regression: appends past a counter's horizon are durably logged but
+/// never observed live, so recovery must not replay them into the
+/// counter either — re-registration used to fail a perfectly valid
+/// pre-crash state with `BudgetExhausted`.
+#[test]
+fn recovery_with_horizon_exhausted_counter_is_bit_identical() {
+    let (live, image) = run_horizon_exhausted_workload();
+    let mut rec = recover(image).unwrap();
+    rec.register_dataset("stream", values(40), 0.0, 1.0, cap_alpha())
+        .expect("re-registration must succeed past the counter horizon");
+    assert_eq!(
+        rec.stream_digest(),
+        live.stream_digest(),
+        "recovered stream state must match the crash-free engine"
+    );
+    assert_eq!(rec.open_counters(), 1);
+    let steps = rec.continual_steps(1).unwrap();
+    assert_eq!(steps, live.continual_steps(1).unwrap());
+    assert_eq!(steps, 2, "the counter observed exactly its horizon");
+    for t in 1..=steps {
+        assert_eq!(
+            rec.continual_release_at(1, t).unwrap().to_bits(),
+            live.continual_release_at(1, t).unwrap().to_bits(),
+            "release tape diverged at step {t}"
+        );
+    }
+}
+
+/// Re-registration is all-or-nothing: an attempt that fails mid-replay
+/// (here: a durably logged batch outside a narrower re-declared domain)
+/// must leave the engine untouched — dataset unregistered, ledger still
+/// pending, counters still recoverable — so a corrected call succeeds
+/// with the full bit-identical state.
+#[test]
+fn failed_re_registration_leaves_recovery_state_untouched() {
+    let (live, image) = run_horizon_exhausted_workload();
+    let mut rec = recover(image).unwrap();
+
+    // stream_batch(0) contains 0.0, outside [0.5, 1.0]: the replayed
+    // append fails after the base values were accepted.
+    let err = rec
+        .register_dataset("stream", vec![0.6; 40], 0.5, 1.0, cap_alpha())
+        .unwrap_err();
+    assert!(
+        matches!(err, EngineError::InvalidParameter { .. }),
+        "expected a domain violation, got {err}"
+    );
+    assert!(rec.dataset("stream").is_none(), "dataset must not register");
+    assert_eq!(
+        rec.recovered_pending(),
+        vec!["stream"],
+        "the recovered ledger must stay pending after a failed attempt"
+    );
+    assert_eq!(rec.open_counters(), 0, "no counter may be re-armed");
+
+    // A mismatched cap also fails late — and must also leave the
+    // pending state consumable by the retry below.
+    let err = rec
+        .register_dataset("stream", values(40), 0.0, 1.0, cap_beta())
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Durability(_)), "got {err}");
+    assert_eq!(rec.recovered_pending(), vec!["stream"]);
+    assert_eq!(rec.open_counters(), 0);
+
+    // The corrected retry recovers everything.
+    rec.register_dataset("stream", values(40), 0.0, 1.0, cap_alpha())
+        .unwrap();
+    assert!(rec.recovered_pending().is_empty());
+    assert_eq!(rec.stream_digest(), live.stream_digest());
+    assert_eq!(rec.open_counters(), 1);
+    assert_eq!(rec.continual_steps(1).unwrap(), 2);
+}

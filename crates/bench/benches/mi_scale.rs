@@ -1,0 +1,267 @@
+//! Large-alphabet leakage-analysis bench: the PR 10 cache-blocked
+//! kernels vs their naive references, with a machine-readable
+//! `BENCH_mi_scale.json` artifact.
+//!
+//! Sections (each run at 1 and 4 configured workers):
+//!
+//! * `blahut_arimoto` — fixed-iteration solves (`tol = 0` runs exactly
+//!   `iters` iterations, so the work is identical at every thread
+//!   count): the default serial path vs `blahut_arimoto_tiled`.
+//! * `mutual_information` — exact MI of a dense structured channel: the
+//!   boxed `DiscreteChannel::mutual_information` (naive Vec-of-Vec row
+//!   pass) vs `FlatChannel::mutual_information_blocked`.
+//! * `leakage` — min-entropy leakage: the boxed column-major
+//!   `posterior_vulnerability` scan (the naive O(n²) pass with a full
+//!   row-stride jump per cell) vs the flat column-tiled kernel.
+//!
+//! Alphabets default to 1024/4096/10240; above
+//! `DPLEARN_BENCH_MI_SCALE_NAIVE_CAP` (default 8192) the naive
+//! references are skipped — their quadratic pointer-chasing is the
+//! point of the PR, not something CI should wait on — and the skip is
+//! logged in the artifact (`naive_seconds: null`).
+//!
+//! Env knobs: `DPLEARN_BENCH_MI_SCALE_SIZES` (comma-separated),
+//! `DPLEARN_BENCH_MI_SCALE_REPS`, `DPLEARN_BENCH_MI_SCALE_BA_ITERS`,
+//! `DPLEARN_BENCH_MI_SCALE_NAIVE_CAP`, `DPLEARN_BENCH_MI_SCALE_JSON`
+//! (artifact path, default `BENCH_mi_scale.json`). The artifact records
+//! honest `hardware_threads` so the CI gate can demand a parallel
+//! speedup only on runners that actually have cores to parallelize
+//! over.
+//!
+//! Not a criterion harness: the run *is* the measurement, so CI can
+//! treat it as a smoke test and scrape the JSON.
+
+use dplearn::infotheory::blahut_arimoto::{
+    blahut_arimoto, blahut_arimoto_tiled, BaTileOptions, RateDistortion,
+};
+use dplearn::infotheory::flat::FlatChannel;
+use dplearn::infotheory::leakage::min_entropy_leakage_bits;
+use dplearn::infotheory::InfoError;
+use std::hint::black_box;
+use std::io::Write;
+use std::time::Instant;
+
+/// Column/row tile for the blocked kernels: 256 doubles = 2 KB per
+/// stripe, small enough to stay cache-resident, large enough to give
+/// the worker pool tens of tiles at 10240 symbols.
+const TILE: usize = 256;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_sizes(key: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(key)
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+/// Median wall time of `reps` runs of `f`, in seconds.
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// Dense structured channel shared by the MI and leakage sections,
+/// built once in flat form and converted for the boxed references.
+fn scale_channel(n: usize) -> FlatChannel {
+    let input: Vec<f64> = {
+        let raw: Vec<f64> = (0..n).map(|x| 1.0 + ((x * 13) % 7) as f64).collect();
+        let z: f64 = raw.iter().sum();
+        raw.into_iter().map(|w| w / z).collect()
+    };
+    let mut kernel = Vec::with_capacity(n * n);
+    for x in 0..n {
+        let start = kernel.len();
+        let mut z = 0.0;
+        for y in 0..n {
+            let d = (x as i64 - y as i64).unsigned_abs() as f64;
+            let w = 1.0 / (1.0 + d * d / n as f64);
+            kernel.push(w);
+            z += w;
+        }
+        for w in &mut kernel[start..] {
+            *w /= z;
+        }
+    }
+    FlatChannel::new(input, kernel, n).unwrap()
+}
+
+fn ba_problem(n: usize) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let raw: Vec<f64> = (0..n).map(|x| 1.0 + (x % 3) as f64).collect();
+    let z: f64 = raw.iter().sum();
+    let source: Vec<f64> = raw.iter().map(|&w| w / z).collect();
+    let distortion: Vec<Vec<f64>> = (0..n)
+        .map(|x| {
+            (0..n)
+                .map(|y| {
+                    let d = (x as f64 - y as f64) / n as f64;
+                    d * d + 0.02 * ((x * 7 + y * 3) % 5) as f64
+                })
+                .collect()
+        })
+        .collect();
+    (source, distortion)
+}
+
+/// Accept the deliberate `DidNotConverge` of a `tol = 0` run: the solver
+/// still performed every iteration, which is the timed work.
+fn run_fixed_iters(result: Result<RateDistortion, InfoError>) {
+    match result {
+        Ok(rd) => {
+            black_box(rd);
+        }
+        Err(InfoError::DidNotConverge { .. }) => {}
+        Err(e) => panic!("unexpected BA error: {e}"),
+    }
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), |v| format!("{v:.6}"))
+}
+
+struct Row {
+    section: &'static str,
+    threads: usize,
+    fields: String,
+}
+
+fn main() {
+    let reps = env_usize("DPLEARN_BENCH_MI_SCALE_REPS", 3);
+    let ba_iters = env_usize("DPLEARN_BENCH_MI_SCALE_BA_ITERS", 8);
+    let sizes = env_sizes("DPLEARN_BENCH_MI_SCALE_SIZES", &[1024, 4096, 10240]);
+    let naive_cap = env_usize("DPLEARN_BENCH_MI_SCALE_NAIVE_CAP", 8192);
+    let hardware_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &threads in &[1usize, 4] {
+        dplearn::parallel::set_thread_count(threads);
+
+        for &n in &sizes {
+            // Above 8192 a single fixed-iteration sweep is already
+            // seconds of work; trim the iteration count, never below 2.
+            let iters = if n > 8192 {
+                (ba_iters / 4).max(2)
+            } else {
+                ba_iters
+            };
+            let (source, distortion) = ba_problem(n);
+            let beta = 8.0;
+            let naive = (n <= naive_cap).then(|| {
+                median_secs(reps, || {
+                    run_fixed_iters(blahut_arimoto(&source, &distortion, beta, 0.0, iters));
+                })
+            });
+            if naive.is_none() {
+                println!("blahut_arimoto: skipping naive reference at n={n} (> cap {naive_cap})");
+            }
+            let opts = BaTileOptions::default();
+            let tiled = median_secs(reps, || {
+                run_fixed_iters(blahut_arimoto_tiled(
+                    &source,
+                    &distortion,
+                    beta,
+                    0.0,
+                    iters,
+                    &opts,
+                ));
+            });
+            rows.push(Row {
+                section: "blahut_arimoto",
+                threads,
+                fields: format!(
+                    "\"alphabet\": {n}, \"iterations\": {iters}, \
+                     \"naive_seconds\": {}, \"tiled_seconds\": {tiled:.6}, \
+                     \"tiled_speedup\": {}",
+                    fmt_opt(naive),
+                    fmt_opt(naive.map(|s| s / tiled)),
+                ),
+            });
+        }
+
+        for &n in &sizes {
+            let flat = scale_channel(n);
+            let boxed = (n <= naive_cap).then(|| flat.to_channel().unwrap());
+            if boxed.is_none() {
+                println!("mi/leakage: skipping naive references at n={n} (> cap {naive_cap})");
+            }
+
+            let mi_naive = boxed.as_ref().map(|ch| {
+                median_secs(reps, || {
+                    black_box(ch.mutual_information());
+                })
+            });
+            let mi_tiled = median_secs(reps, || {
+                black_box(flat.mutual_information_blocked(TILE).unwrap());
+            });
+            rows.push(Row {
+                section: "mutual_information",
+                threads,
+                fields: format!(
+                    "\"alphabet\": {n}, \"naive_seconds\": {}, \
+                     \"tiled_seconds\": {mi_tiled:.6}, \"tiled_speedup\": {}",
+                    fmt_opt(mi_naive),
+                    fmt_opt(mi_naive.map(|s| s / mi_tiled)),
+                ),
+            });
+
+            let leak_naive = boxed.as_ref().map(|ch| {
+                median_secs(reps, || {
+                    black_box(min_entropy_leakage_bits(ch));
+                })
+            });
+            let leak_tiled = median_secs(reps, || {
+                black_box(flat.min_entropy_leakage_bits_blocked(TILE).unwrap());
+            });
+            rows.push(Row {
+                section: "leakage",
+                threads,
+                fields: format!(
+                    "\"alphabet\": {n}, \"naive_seconds\": {}, \
+                     \"tiled_seconds\": {leak_tiled:.6}, \"tiled_speedup\": {}",
+                    fmt_opt(leak_naive),
+                    fmt_opt(leak_naive.map(|s| s / leak_tiled)),
+                ),
+            });
+        }
+    }
+    dplearn::parallel::set_thread_count(0);
+
+    println!("mi_scale results (median of {reps} reps):");
+    for r in &rows {
+        println!("  {:<18} threads={}  {}", r.section, r.threads, r.fields);
+    }
+
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"section\": \"{}\",\n      \"threads\": {},\n      {}\n    }}",
+                r.section, r.threads, r.fields
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"mi_scale\",\n  \"reps\": {reps},\n  \
+         \"hardware_threads\": {hardware_threads},\n  \"sections\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    let path = std::env::var("DPLEARN_BENCH_MI_SCALE_JSON")
+        .unwrap_or_else(|_| "BENCH_mi_scale.json".to_string());
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

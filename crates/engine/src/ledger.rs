@@ -22,6 +22,7 @@
 
 use crate::{EngineError, Result};
 use dplearn_infotheory::dp_bounds;
+use dplearn_infotheory::mi_accounting::MiAccountant;
 use dplearn_mechanisms::composition::{
     advanced, AccountantSnapshot, PoisonReason, PrivacyAccountant,
 };
@@ -215,6 +216,14 @@ pub struct LeakageSummary {
     pub mi_bound_bits: f64,
     /// Per-record bound `I(Zᵢ; θ | Z₍₋ᵢ₎) ≤ ε` nats.
     pub per_record_bound_nats: f64,
+    /// The Cuff–Yu MI track, per record: `Σⱼ εⱼ·tanh(εⱼ/2)` nats over
+    /// the charge history (strictly below `Σⱼ εⱼ` for any nonzero
+    /// charge — see [`dplearn_infotheory::mi_accounting`]).
+    pub mi_track_per_record_nats: f64,
+    /// Dataset-level Cuff–Yu MI track: `n · Σⱼ εⱼ·tanh(εⱼ/2)` nats.
+    pub mi_track_nats: f64,
+    /// The same MI track in bits.
+    pub mi_track_bits: f64,
     /// Successful charges.
     pub operations: usize,
     /// Admission rejections (zero spend).
@@ -281,6 +290,14 @@ impl LeakageLedger {
             Some(adv) if adv.epsilon < basic.epsilon => (adv.epsilon, adv.delta),
             _ => (basic.epsilon, basic.delta),
         };
+        // The Cuff–Yu MI track: replay the exact charge history through
+        // the running accountant. Strictly sequential in arrival order,
+        // so a ledger rebuilt by crash recovery (which replays the same
+        // history) reports the identical track bit for bit.
+        let mut mi_track = MiAccountant::new();
+        for b in ledger.history() {
+            mi_track.charge_epsilon(b.epsilon)?;
+        }
         Ok(LeakageSummary {
             dataset: dataset.to_string(),
             n_records,
@@ -291,6 +308,9 @@ impl LeakageLedger {
             mi_bound_nats: dp_bounds::mi_bound_nats(reported_epsilon, n_records)?,
             mi_bound_bits: dp_bounds::mi_bound_bits(reported_epsilon, n_records)?,
             per_record_bound_nats: dp_bounds::per_record_mi_bound_nats(reported_epsilon)?,
+            mi_track_per_record_nats: mi_track.per_record_nats(),
+            mi_track_nats: mi_track.dataset_nats(n_records),
+            mi_track_bits: mi_track.dataset_bits(n_records),
             operations: snap.operations,
             rejected: ledger.rejected(),
             faulted: ledger.faulted(),
@@ -386,6 +406,64 @@ mod tests {
         assert!((leak1.reported_epsilon - 1.0).abs() < 1e-12);
         assert!((leak1.mi_bound_nats - 10.0).abs() < 1e-9);
         assert_eq!(leak1.per_record_bound_nats, leak1.reported_epsilon);
+    }
+
+    #[test]
+    fn mi_track_rides_alongside_and_beats_basic_conversion() {
+        let mut l = BudgetLedger::new(b(10.0, 0.0));
+        for _ in 0..100 {
+            l.charge("d", b(0.05, 0.0)).unwrap();
+        }
+        let leak = LeakageLedger::new(1e-6)
+            .unwrap()
+            .summarize("d", 50, &l)
+            .unwrap();
+        // Exactly the accountant's fold over the history.
+        let mut want = MiAccountant::new();
+        for bb in l.history() {
+            want.charge_epsilon(bb.epsilon).unwrap();
+        }
+        assert_eq!(
+            leak.mi_track_per_record_nats.to_bits(),
+            want.per_record_nats().to_bits()
+        );
+        assert_eq!(
+            leak.mi_track_nats.to_bits(),
+            want.dataset_nats(50).to_bits()
+        );
+        assert_eq!(
+            leak.mi_track_bits.to_bits(),
+            want.dataset_bits(50).to_bits()
+        );
+        // Strictly below the basic-composition conversion n·Σε, and for
+        // these small charges below the reported (advanced) track too.
+        assert!(leak.mi_track_nats < 50.0 * leak.basic.epsilon);
+        assert!(leak.mi_track_nats < leak.mi_bound_nats);
+        // An empty ledger has a zero track.
+        let empty = BudgetLedger::new(b(1.0, 0.0));
+        let leak0 = LeakageLedger::new(1e-6)
+            .unwrap()
+            .summarize("d", 50, &empty)
+            .unwrap();
+        assert_eq!(leak0.mi_track_nats, 0.0);
+        assert_eq!(leak0.mi_track_per_record_nats, 0.0);
+    }
+
+    #[test]
+    fn restored_ledger_reports_the_identical_mi_track() {
+        let mut live = BudgetLedger::new(b(5.0, 0.0));
+        for &eps in &[0.3, 0.001, 0.7, 0.05, 0.05, 1.5] {
+            live.charge("d", b(eps, 0.0)).unwrap();
+        }
+        let restored = BudgetLedger::restore(b(5.0, 0.0), live.history(), None, 0, 0).unwrap();
+        let leakage = LeakageLedger::new(1e-6).unwrap();
+        let a = leakage.summarize("d", 32, &live).unwrap();
+        let b_ = leakage.summarize("d", 32, &restored).unwrap();
+        assert_eq!(a.mi_track_nats.to_bits(), b_.mi_track_nats.to_bits());
+        assert_eq!(
+            a.mi_track_per_record_nats.to_bits(),
+            b_.mi_track_per_record_nats.to_bits()
+        );
     }
 
     #[test]

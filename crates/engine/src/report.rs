@@ -59,6 +59,9 @@ pub struct EngineTotals {
     /// Sum of per-dataset MI upper bounds, in nats. (Budgets — and hence
     /// the paper's MI bounds — add across disjoint datasets.)
     pub mi_bound_nats: f64,
+    /// Sum of per-dataset Cuff–Yu MI tracks, in nats — the tighter
+    /// accounting running alongside [`mi_bound_nats`](Self::mi_bound_nats).
+    pub mi_track_nats: f64,
 }
 
 impl EngineTotals {
@@ -74,6 +77,7 @@ impl EngineTotals {
             poisoned: 0,
             spent_epsilon: 0.0,
             mi_bound_nats: 0.0,
+            mi_track_nats: 0.0,
         };
         for s in summaries {
             t.operations += s.operations;
@@ -83,6 +87,7 @@ impl EngineTotals {
         }
         t.spent_epsilon = kahan_sum(summaries.iter().map(|s| s.basic.epsilon));
         t.mi_bound_nats = kahan_sum(summaries.iter().map(|s| s.mi_bound_nats));
+        t.mi_track_nats = kahan_sum(summaries.iter().map(|s| s.mi_track_nats));
         t
     }
 }
@@ -163,17 +168,26 @@ impl std::fmt::Display for EngineReport {
                 pr = s.per_record_bound_nats,
                 eps = s.reported_epsilon,
             )?;
+            writeln!(
+                f,
+                "    MI track (Cuff–Yu) ≤ {nats:.4} nats = {bits:.4} bits \
+                 (per-record ≤ {pr:.6} nats)",
+                nats = s.mi_track_nats,
+                bits = s.mi_track_bits,
+                pr = s.mi_track_per_record_nats,
+            )?;
         }
         write!(
             f,
             "totals: ops={} rejected={} faulted={} poisoned={} \
-             ε={:.6} leakage ≤ {:.4} nats",
+             ε={:.6} leakage ≤ {:.4} nats (MI track ≤ {:.4} nats)",
             self.totals.operations,
             self.totals.rejected,
             self.totals.faulted,
             self.totals.poisoned,
             self.totals.spent_epsilon,
-            self.totals.mi_bound_nats
+            self.totals.mi_bound_nats,
+            self.totals.mi_track_nats
         )?;
         if let Some(t) = &self.telemetry {
             write!(
@@ -211,6 +225,9 @@ mod tests {
             mi_bound_nats: 10.0 * eps,
             mi_bound_bits: 10.0 * eps / std::f64::consts::LN_2,
             per_record_bound_nats: eps,
+            mi_track_per_record_nats: eps * (eps / 2.0).tanh(),
+            mi_track_nats: 10.0 * eps * (eps / 2.0).tanh(),
+            mi_track_bits: 10.0 * eps * (eps / 2.0).tanh() / std::f64::consts::LN_2,
             operations: 3,
             rejected: 1,
             faulted: u64::from(poisoned),
@@ -231,6 +248,10 @@ mod tests {
         assert_eq!(t.poisoned, 1);
         assert!((t.spent_epsilon - 2.0).abs() < 1e-12);
         assert!((t.mi_bound_nats - 20.0).abs() < 1e-12);
+        let want_track = 10.0 * (0.5 * (0.25f64).tanh() + 1.5 * (0.75f64).tanh());
+        assert!((t.mi_track_nats - want_track).abs() < 1e-12);
+        // The Cuff–Yu track is strictly tighter than the linear bound.
+        assert!(t.mi_track_nats < t.mi_bound_nats);
     }
 
     #[test]

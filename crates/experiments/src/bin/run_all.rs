@@ -1,4 +1,4 @@
-//! Run every experiment (E1–E11) in sequence — regenerates all the
+//! Run every experiment (E1–E14) in sequence — regenerates all the
 //! measured tables recorded in EXPERIMENTS.md in one command:
 //!
 //! ```sh
@@ -25,6 +25,7 @@ const EXPERIMENTS: &[&str] = &[
     "e11_mi_bounds",
     "e12_bound_comparison",
     "e13_subsampling",
+    "e14_mi_accounting",
 ];
 
 fn main() {

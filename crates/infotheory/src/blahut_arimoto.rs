@@ -479,6 +479,330 @@ pub fn blahut_arimoto_with_retry_recorded(
     })
 }
 
+/// Tiling and acceleration options for [`blahut_arimoto_tiled`].
+///
+/// The defaults reproduce [`blahut_arimoto`] bit for bit: auto tile
+/// sizing picks the same chunk geometry as the default path, and both
+/// accelerators (zero-mass pruning, frozen early-exit) are *exact* —
+/// they skip only work whose result is provably bit-identical to
+/// recomputing it, so they are safe to leave on (pinned by
+/// `tiled_defaults_are_bit_identical_to_the_default_path`).
+#[derive(Debug, Clone)]
+pub struct BaTileOptions {
+    /// Source rows per parallel tile in the kernel sweep
+    /// (`0` = auto: `nx/64`, the default path's geometry).
+    pub row_tile: usize,
+    /// Output columns per parallel tile in the marginal sweep
+    /// (`0` = auto: `ny/64`).
+    pub col_tile: usize,
+    /// Skip zero-mass source rows in both sweeps. Their marginal
+    /// contributions are exact `+0.0` terms (no-ops on the never-negative
+    /// accumulators), and their kernel rows are reconstructed at
+    /// finalization from the same `ln r` and normalizer the skipped
+    /// sweep would have used — bit-identical either way.
+    pub prune_zero_mass: bool,
+    /// Once an iteration leaves the marginal bitwise unchanged
+    /// (ℓ∞ gap exactly `0.0`), every subsequent row update and marginal
+    /// are provably identical to the last computed ones, so the sweeps
+    /// are skipped; iteration counting and gap telemetry continue
+    /// exactly as if they had run. Only reachable when `tol ≤ 0`
+    /// (a positive tolerance stops at the first zero gap anyway) — the
+    /// fixed-iteration benchmarking pattern this crate's benches use.
+    pub frozen_early_exit: bool,
+}
+
+impl Default for BaTileOptions {
+    fn default() -> Self {
+        BaTileOptions {
+            row_tile: 0,
+            col_tile: 0,
+            prune_zero_mass: true,
+            frozen_early_exit: true,
+        }
+    }
+}
+
+/// Work counters from one tiled run, recorded (sequentially, after the
+/// loop) as `infotheory.ba.tiles` and `infotheory.ba.rows_converged`.
+#[derive(Debug, Clone, Copy, Default)]
+struct BaTileStats {
+    tiles: u64,
+    rows_converged: u64,
+}
+
+/// The tiled alternating-minimization loop: [`ba_iterate`] with
+/// configurable tile geometry, zero-mass row pruning, and the frozen
+/// early-exit. Kept separate so the default path's loop stays verbatim.
+// Chunk offsets are handed out by the parallel scheduler and bounded by
+// the validated kernel dimensions, like `ba_iterate`'s.
+#[allow(clippy::indexing_slicing)]
+#[allow(clippy::too_many_arguments)]
+fn ba_iterate_tiled(
+    source: &[f64],
+    tol: f64,
+    max_iters: usize,
+    mut r: Vec<f64>,
+    scratch: &mut BaScratch,
+    recorder: &dyn Recorder,
+    lse: fn(&[f64]) -> f64,
+    opts: &BaTileOptions,
+    stats: &mut BaTileStats,
+) -> BaState {
+    let BaScratch {
+        ny,
+        kernel,
+        beta_d,
+        ln_r,
+        new_r,
+    } = scratch;
+    let ny = *ny;
+    let nx = source.len();
+    let beta_d = &*beta_d;
+    let mut gap = f64::INFINITY;
+    let mut iterations = 0;
+    let observe = recorder.enabled();
+    let prune = opts.prune_zero_mass;
+    // Rows the sweeps actually visit (for the rows_converged counter).
+    let active_rows = if prune {
+        source.iter().filter(|&&px| px != 0.0).count()
+    } else {
+        nx
+    } as u64;
+    // Tile geometry: explicit sizes, or the default path's `n/64`
+    // heuristic. Fixed per problem size — never a function of the
+    // worker count — preserving the determinism contract.
+    let row_tile_rows = if opts.row_tile > 0 {
+        opts.row_tile
+    } else {
+        nx.div_ceil(64).max(1)
+    };
+    let col_tile = if opts.col_tile > 0 {
+        opts.col_tile
+    } else {
+        ny.div_ceil(64).max(1)
+    };
+    let row_chunk_cells = row_tile_rows * ny;
+    let iter_tiles = (nx.div_ceil(row_tile_rows) + ny.div_ceil(col_tile)) as u64;
+    let col_cost = (2 * nx) as u64;
+    // Set once the marginal is bitwise stationary: `gap == 0.0` means
+    // `r` and `new_r` agree bit for bit (every entry is a nonnegative
+    // sum, so there is no −0.0/+0.0 ambiguity and no NaN), and the next
+    // iteration is a pure function of `r` — recomputing it must
+    // reproduce the kernel, the marginal, and a zero gap exactly.
+    let mut frozen = false;
+    while iterations < max_iters {
+        iterations += 1;
+        if frozen {
+            stats.rows_converged += active_rows;
+            if observe {
+                recorder.histogram_record("infotheory.ba.gap", "", 0.0);
+            }
+            if gap < tol {
+                break;
+            }
+            continue;
+        }
+        stats.tiles += iter_tiles;
+        for (l, &ry) in ln_r.iter_mut().zip(&r) {
+            *l = if ry == 0.0 {
+                f64::NEG_INFINITY
+            } else {
+                ry.ln()
+            };
+        }
+        {
+            let ln_r = &*ln_r;
+            dplearn_parallel::par_for_each_chunk_mut_with_cost(
+                kernel,
+                row_chunk_cells,
+                ROW_CELL_COST,
+                |_chunk, start, cells| {
+                    for (offset_row, row_q) in cells.chunks_mut(ny).enumerate() {
+                        let row0 = start + offset_row * ny;
+                        // A pruned row's kernel cells are not read by the
+                        // marginal sweep below and are rebuilt exactly at
+                        // finalization, so its (stale) contents are dead.
+                        if prune && source[row0 / ny] == 0.0 {
+                            continue;
+                        }
+                        let row_bd = &beta_d[row0..row0 + ny];
+                        for ((q, &l), &bd) in row_q.iter_mut().zip(ln_r).zip(row_bd) {
+                            *q = l - bd;
+                        }
+                        let z = lse(row_q);
+                        for q in row_q.iter_mut() {
+                            *q = (*q - z).exp();
+                        }
+                    }
+                },
+            );
+        }
+        new_r.fill(0.0);
+        {
+            let kernel = &*kernel;
+            dplearn_parallel::par_for_each_chunk_mut_with_cost(
+                new_r,
+                col_tile,
+                col_cost,
+                |_chunk, start, cols| {
+                    let width = cols.len();
+                    for (x, &px) in source.iter().enumerate() {
+                        // p(x) = 0 terms are exact +0.0 no-ops on the
+                        // nonnegative accumulators.
+                        if prune && px == 0.0 {
+                            continue;
+                        }
+                        let row0 = x * ny + start;
+                        for (nr, &q) in cols.iter_mut().zip(&kernel[row0..row0 + width]) {
+                            *nr += px * q;
+                        }
+                    }
+                },
+            );
+        }
+        gap = r
+            .iter()
+            .zip(&*new_r)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        std::mem::swap(&mut r, new_r);
+        if observe {
+            recorder.histogram_record("infotheory.ba.gap", "", gap);
+        }
+        if opts.frozen_early_exit && gap == 0.0 {
+            frozen = true;
+        }
+        if gap < tol {
+            break;
+        }
+    }
+    BaState {
+        r,
+        gap,
+        iterations,
+        converged: gap < tol,
+    }
+}
+
+/// Rebuild the kernel rows of pruned (zero-mass) source symbols from the
+/// last computed `ln r` — the identical logits, normalizer, and
+/// exponentiation the skipped row sweep would have produced, so the
+/// finalized kernel is bit-identical to the unpruned run's.
+// Row offsets are products of validated dimensions.
+#[allow(clippy::indexing_slicing)]
+fn ba_fill_pruned_rows(source: &[f64], scratch: &mut BaScratch, lse: fn(&[f64]) -> f64) {
+    let BaScratch {
+        ny,
+        kernel,
+        beta_d,
+        ln_r,
+        ..
+    } = scratch;
+    let ny = *ny;
+    for (x, &px) in source.iter().enumerate() {
+        if px != 0.0 {
+            continue;
+        }
+        let row0 = x * ny;
+        let row_q = &mut kernel[row0..row0 + ny];
+        let row_bd = &beta_d[row0..row0 + ny];
+        for ((q, &l), &bd) in row_q.iter_mut().zip(&*ln_r).zip(row_bd) {
+            *q = l - bd;
+        }
+        let z = lse(row_q);
+        for q in row_q.iter_mut() {
+            *q = (*q - z).exp();
+        }
+    }
+}
+
+/// [`blahut_arimoto`] with explicit tile geometry and the exact
+/// accelerators of [`BaTileOptions`] — the large-alphabet entry point.
+///
+/// Bit-identical to [`blahut_arimoto`] for **any** option values at
+/// **any** `DPLEARN_THREADS` (the accelerators only skip provably
+/// redundant work; tile boundaries never change an accumulation order) —
+/// pinned across tile sizes {1, 7, 64, 4096} in `tests/determinism.rs`.
+pub fn blahut_arimoto_tiled(
+    source: &[f64],
+    distortion: &[Vec<f64>],
+    beta: f64,
+    tol: f64,
+    max_iters: usize,
+    opts: &BaTileOptions,
+) -> Result<RateDistortion> {
+    blahut_arimoto_tiled_recorded(
+        source,
+        distortion,
+        beta,
+        tol,
+        max_iters,
+        opts,
+        &NoopRecorder,
+    )
+}
+
+/// [`blahut_arimoto_tiled`] with telemetry: per-iteration gaps land in
+/// the `infotheory.ba.gap` histogram, and the run ends with
+/// `infotheory.ba.tiles` (tiles dispatched to the scheduler across all
+/// iterations) and `infotheory.ba.rows_converged` (row updates skipped
+/// by the frozen early-exit). All counters are accumulated in the
+/// sequential control loop, so snapshots are bit-identical at every
+/// thread count.
+pub fn blahut_arimoto_tiled_recorded(
+    source: &[f64],
+    distortion: &[Vec<f64>],
+    beta: f64,
+    tol: f64,
+    max_iters: usize,
+    opts: &BaTileOptions,
+    recorder: &dyn Recorder,
+) -> Result<RateDistortion> {
+    let ny = validate_ba(source, distortion, beta)?;
+    let r = vec![1.0 / ny as f64; ny];
+    let mut scratch = BaScratch::new(distortion, beta, ny);
+    let mut stats = BaTileStats::default();
+    let state = ba_iterate_tiled(
+        source,
+        tol,
+        max_iters,
+        r,
+        &mut scratch,
+        recorder,
+        lse_of(opts),
+        opts,
+        &mut stats,
+    );
+    if recorder.enabled() {
+        recorder.counter_add("infotheory.ba.tiles", "", stats.tiles);
+        recorder.counter_add("infotheory.ba.rows_converged", "", stats.rows_converged);
+    }
+    if !state.converged {
+        return Err(InfoError::DidNotConverge {
+            iterations: state.iterations,
+        });
+    }
+    if opts.prune_zero_mass {
+        ba_fill_pruned_rows(source, &mut scratch, lse_of(opts));
+    }
+    let total = state.iterations;
+    ba_finalize(
+        source,
+        distortion,
+        std::mem::take(&mut scratch.kernel),
+        ny,
+        state,
+        total,
+    )
+}
+
+/// The tiled path always normalizes with the bit-identical
+/// [`log_sum_exp`]; indirection kept so a future fast-path variant can
+/// reuse the plumbing.
+fn lse_of(_opts: &BaTileOptions) -> fn(&[f64]) -> f64 {
+    log_sum_exp
+}
+
 /// ℓ∞ distance between a channel's rows and the Gibbs kernel built from a
 /// given prior at inverse temperature `beta` — used by E6 to certify that
 /// the rate–distortion optimizer *is* the Gibbs posterior family.
@@ -945,6 +1269,186 @@ mod tests {
             .counters
             .iter()
             .any(|(k, v)| k == "infotheory.ba.nonconverged" && *v == 1));
+    }
+
+    /// Cases with and without zero-mass source symbols, including the
+    /// asymmetric distortion that runs many iterations.
+    fn tiled_cases() -> Vec<(Vec<f64>, Vec<Vec<f64>>, f64)> {
+        vec![
+            (vec![0.3, 0.45, 0.25], hamming(3), 2.5),
+            (vec![0.3, 0.0, 0.45, 0.25], hamming(4), 2.5),
+            (vec![0.0, 0.2, 0.8, 0.0], hamming(4), 5.0),
+            (
+                vec![0.3, 0.45, 0.25],
+                vec![
+                    vec![0.0, 0.6, 1.0],
+                    vec![0.5, 0.0, 0.4],
+                    vec![1.0, 0.7, 0.0],
+                ],
+                3.0,
+            ),
+        ]
+    }
+
+    #[test]
+    fn tiled_defaults_are_bit_identical_to_the_default_path() {
+        for (source, distortion, beta) in tiled_cases() {
+            let (tol, max_iters) = (1e-13, 50_000);
+            let want = blahut_arimoto(&source, &distortion, beta, tol, max_iters).unwrap();
+            let got = blahut_arimoto_tiled(
+                &source,
+                &distortion,
+                beta,
+                tol,
+                max_iters,
+                &BaTileOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(got.iterations, want.iterations);
+            assert_eq!(got.rate.to_bits(), want.rate.to_bits());
+            assert_eq!(got.distortion.to_bits(), want.distortion.to_bits());
+            for (row, want_row) in got.channel.kernel().iter().zip(want.channel.kernel()) {
+                for (&q, &wq) in row.iter().zip(want_row) {
+                    assert_eq!(q.to_bits(), wq.to_bits(), "kernel drifted at β={beta}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_is_bit_identical_across_tile_sizes() {
+        for (source, distortion, beta) in tiled_cases() {
+            let want = blahut_arimoto(&source, &distortion, beta, 1e-13, 50_000).unwrap();
+            for tile in [1usize, 7, 64, 4096] {
+                let opts = BaTileOptions {
+                    row_tile: tile,
+                    col_tile: tile,
+                    ..BaTileOptions::default()
+                };
+                let got =
+                    blahut_arimoto_tiled(&source, &distortion, beta, 1e-13, 50_000, &opts).unwrap();
+                assert_eq!(got.rate.to_bits(), want.rate.to_bits(), "tile={tile}");
+                for (row, want_row) in got.channel.kernel().iter().zip(want.channel.kernel()) {
+                    for (&q, &wq) in row.iter().zip(want_row) {
+                        assert_eq!(q.to_bits(), wq.to_bits(), "kernel drifted at tile={tile}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_early_exit_matches_naive_fixed_iteration_runs() {
+        // tol = 0 forces the fixed-iteration pattern the benches use:
+        // the naive loop recomputes the (bitwise stationary) fixed point
+        // every iteration, the tiled loop freezes — same kernel bits,
+        // same iteration count.
+        let source = vec![0.2, 0.8];
+        let distortion = hamming(2);
+        let beta = 5.0;
+        let max_iters = 2_000;
+        let (want_kernel, _, want_iters) =
+            naive_ba_reference(&source, &distortion, beta, 0.0, max_iters);
+        assert_eq!(want_iters, max_iters);
+        use dplearn_telemetry::MemoryRecorder;
+        let recorder = MemoryRecorder::new();
+        let got = blahut_arimoto_tiled_recorded(
+            &source,
+            &distortion,
+            beta,
+            0.0,
+            max_iters,
+            &BaTileOptions::default(),
+            &recorder,
+        );
+        // tol = 0 never satisfies `gap < tol`: both paths report
+        // non-convergence after exactly max_iters.
+        assert!(matches!(
+            got,
+            Err(InfoError::DidNotConverge {
+                iterations
+            }) if iterations == max_iters
+        ));
+        let snap = recorder.snapshot().unwrap();
+        let counter = |key: &str| {
+            snap.counters
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|&(_, v)| v)
+        };
+        // The iterate must actually have frozen (the fixed point is
+        // reached bitwise long before 2000 iterations)...
+        let skipped = counter("infotheory.ba.rows_converged").unwrap();
+        assert!(skipped > 0, "premise: the marginal must go stationary");
+        // ...and every frozen iteration skipped all rows.
+        assert_eq!(skipped % source.len() as u64, 0);
+        assert!(counter("infotheory.ba.tiles").unwrap() > 0);
+        // One gap observation per iteration, frozen or not.
+        let gap = snap
+            .histograms
+            .iter()
+            .find(|(k, _)| k == "infotheory.ba.gap")
+            .map(|(_, h)| h)
+            .unwrap();
+        assert_eq!(gap.total + gap.non_finite, max_iters as u64);
+        // A converged run at the same β pins the frozen kernel against
+        // the naive fixed-iteration kernel: rerun without the error.
+        let frozen_rd = blahut_arimoto_tiled(
+            &source,
+            &distortion,
+            beta,
+            1e-30,
+            max_iters,
+            &BaTileOptions::default(),
+        );
+        // 1e-30 > 0, so the first exactly-zero gap converges the run —
+        // while the naive reference at tol=0 runs all 2000 iterations to
+        // land on the same bits.
+        let frozen_rd = frozen_rd.expect("an exactly-stationary marginal satisfies any tol > 0");
+        for (row, want_row) in frozen_rd.channel.kernel().iter().zip(&want_kernel) {
+            for (&q, &wq) in row.iter().zip(want_row) {
+                assert_eq!(q.to_bits(), wq.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_telemetry_counts_tiles_and_is_thread_invariant() {
+        use dplearn_telemetry::MemoryRecorder;
+        let (source, distortion, beta) = (&tiled_cases()[1].0, hamming(4), 2.5);
+        let opts = BaTileOptions {
+            row_tile: 1,
+            col_tile: 1,
+            ..BaTileOptions::default()
+        };
+        let run = |threads| {
+            dplearn_parallel::set_thread_count(threads);
+            let recorder = MemoryRecorder::new();
+            let rd = blahut_arimoto_tiled_recorded(
+                source,
+                &distortion,
+                beta,
+                1e-13,
+                50_000,
+                &opts,
+                &recorder,
+            )
+            .unwrap();
+            dplearn_parallel::set_thread_count(0);
+            let snap = recorder.snapshot().unwrap();
+            let tiles = snap
+                .counters
+                .iter()
+                .find(|(k, _)| k == "infotheory.ba.tiles")
+                .map(|&(_, v)| v)
+                .unwrap();
+            (rd.rate.to_bits(), rd.iterations, tiles)
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one, four);
+        // 1-row and 1-column tiles: (nx + ny) tiles per iteration.
+        assert_eq!(one.2, (4 + 4) * one.1 as u64);
     }
 
     #[test]

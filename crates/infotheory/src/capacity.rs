@@ -43,6 +43,23 @@ pub fn channel_capacity(kernel: &[Vec<f64>], tol: f64, max_iters: usize) -> Resu
             reason: "need at least one input".to_string(),
         });
     }
+    // Panic-free policy sweep: a NaN or negative tolerance previously
+    // burned the whole iteration budget before surfacing as a spurious
+    // DidNotConverge (every `upper − lower ≤ tol` comparison is false);
+    // fail it fast with a typed error instead. `tol = 0` stays legal —
+    // the bracket can legitimately collapse to exactly zero.
+    if !(tol >= 0.0) {
+        return Err(InfoError::InvalidParameter {
+            name: "tol",
+            reason: format!("bracket tolerance must be nonnegative, got {tol}"),
+        });
+    }
+    if max_iters == 0 {
+        return Err(InfoError::InvalidParameter {
+            name: "max_iters",
+            reason: "need at least one iteration".to_string(),
+        });
+    }
     let ny = kernel.first().map_or(0, |r| r.len());
     for row in kernel {
         crate::validate_distribution("kernel row", row)?;
@@ -126,6 +143,32 @@ mod tests {
             channel_capacity(&[vec![1.0, 0.0], vec![0.4, 0.6]], 1e-15, 1),
             Err(InfoError::DidNotConverge { .. })
         ));
+    }
+
+    #[test]
+    fn bad_tolerance_is_a_typed_error_not_a_burned_budget() {
+        let kernel = vec![vec![0.9, 0.1], vec![0.2, 0.8]];
+        // Previously a NaN tol silently spun `max_iters` iterations and
+        // reported non-convergence; now it fails fast and typed.
+        for bad in [f64::NAN, -1e-9, f64::NEG_INFINITY] {
+            assert!(
+                matches!(
+                    channel_capacity(&kernel, bad, 100_000),
+                    Err(InfoError::InvalidParameter { name: "tol", .. })
+                ),
+                "tol={bad} should be rejected"
+            );
+        }
+        assert!(matches!(
+            channel_capacity(&kernel, 1e-9, 0),
+            Err(InfoError::InvalidParameter {
+                name: "max_iters",
+                ..
+            })
+        ));
+        // tol = 0 remains legal (the bracket may collapse exactly) and
+        // +inf converges immediately.
+        assert!(channel_capacity(&kernel, f64::INFINITY, 10).is_ok());
     }
 
     #[test]

@@ -60,6 +60,39 @@ pub fn per_record_mi_bound_nats(epsilon: f64) -> Result<f64> {
     validate_epsilon(epsilon)
 }
 
+/// Cuff–Yu per-record MI charge: `ε·tanh(ε/2)` **nats**.
+///
+/// Cuff & Yu (*Differential privacy as a mutual information constraint*,
+/// CCS 2016) show that an ε-DP mechanism satisfies the per-record
+/// mutual-information constraint with the randomized-response pair as
+/// the extremal case: two output distributions within a pointwise
+/// log-ratio of ε have KL divergence at most
+/// `ε·(e^ε − 1)/(e^ε + 1) = ε·tanh(ε/2)`, so
+/// `I(Zᵢ; θ | Z₍₋ᵢ₎) ≤ ε·tanh(ε/2)`. Since `tanh(ε/2) < min(1, ε/2)`,
+/// this charge is strictly tighter than both the linear bound ε
+/// ([`per_record_mi_bound_nats`]) and the quadratic bound `ε²/2`, at
+/// every ε > 0.
+///
+/// Edge cases follow [`mi_bound_nats`]: `ε = 0` charges `0`, `ε = +∞`
+/// charges `+∞` (vacuous but correct), NaN/negative ε is a typed error.
+pub fn cuff_yu_mi_charge_nats(epsilon: f64) -> Result<f64> {
+    let eps = validate_epsilon(epsilon)?;
+    // ∞ · tanh(∞/2) = ∞ · 1 — no indeterminate form to special-case.
+    Ok(eps * (eps / 2.0).tanh())
+}
+
+/// Dataset-level Cuff–Yu bound: `n · ε·tanh(ε/2)` nats for `n` records
+/// (the per-record charge chained over records, exactly as
+/// [`mi_bound_nats`] chains the linear bound).
+pub fn cuff_yu_mi_bound_nats(epsilon: f64, n: usize) -> Result<f64> {
+    let charge = cuff_yu_mi_charge_nats(epsilon)?;
+    // 0·∞ would be NaN; n = 0 records leak exactly nothing.
+    if n == 0 {
+        return Ok(0.0);
+    }
+    Ok(charge * n as f64)
+}
+
 /// KL bound: any two output distributions of an ε-DP mechanism on
 /// neighboring inputs satisfy `KL(p ‖ q) ≤ ε` nats (since
 /// `KL(p‖q) = E_p ln(p/q) ≤ sup ln(p/q) ≤ ε`). Helper for tests.
@@ -114,6 +147,61 @@ mod tests {
     }
 
     #[test]
+    fn cuff_yu_charge_is_tighter_than_linear_and_quadratic_bounds() {
+        for &eps in &[1e-6, 0.01, 0.1, 0.5, 1.0, 2.0, 10.0] {
+            let charge = cuff_yu_mi_charge_nats(eps).unwrap();
+            assert!(charge > 0.0);
+            assert!(charge < eps, "ε={eps}: charge {charge} not below ε");
+            assert!(
+                charge < eps * eps / 2.0,
+                "ε={eps}: charge {charge} not below ε²/2"
+            );
+            // Closed form sanity: ε·(e^ε−1)/(e^ε+1). Only checked away
+            // from 0, where `e^ε − 1` does not cancel catastrophically.
+            if eps >= 0.1 {
+                let want = eps * (eps.exp() - 1.0) / (eps.exp() + 1.0);
+                assert!((charge - want).abs() <= 1e-12 * want);
+            }
+        }
+    }
+
+    #[test]
+    fn cuff_yu_charge_dominates_the_exact_randomized_response_mi() {
+        // The extremal pair: a binary ε-DP channel over one record. Its
+        // exact MI must sit below the Cuff–Yu charge, which in turn sits
+        // below the linear ε bound.
+        for &eps in &[0.1f64, 0.5, 1.0, 2.0] {
+            let p = eps.exp() / (eps.exp() + 1.0);
+            let c = DiscreteChannel::new(vec![0.5, 0.5], vec![vec![p, 1.0 - p], vec![1.0 - p, p]])
+                .unwrap();
+            let mi = c.mutual_information();
+            let charge = cuff_yu_mi_charge_nats(eps).unwrap();
+            assert!(
+                mi <= charge + 1e-12,
+                "ε={eps}: MI {mi} above charge {charge}"
+            );
+            assert!(charge <= per_record_mi_bound_nats(eps).unwrap());
+        }
+    }
+
+    #[test]
+    fn cuff_yu_edge_cases() {
+        assert_eq!(cuff_yu_mi_charge_nats(0.0).unwrap(), 0.0);
+        assert_eq!(
+            cuff_yu_mi_charge_nats(f64::INFINITY).unwrap(),
+            f64::INFINITY
+        );
+        assert_eq!(cuff_yu_mi_bound_nats(0.7, 0).unwrap(), 0.0);
+        assert_eq!(cuff_yu_mi_bound_nats(f64::INFINITY, 0).unwrap(), 0.0);
+        assert_eq!(
+            cuff_yu_mi_bound_nats(f64::INFINITY, 2).unwrap(),
+            f64::INFINITY
+        );
+        let one = cuff_yu_mi_charge_nats(0.5).unwrap();
+        assert_eq!(cuff_yu_mi_bound_nats(0.5, 10).unwrap(), one * 10.0);
+    }
+
+    #[test]
     fn invalid_epsilon_is_a_typed_error_not_a_panic() {
         for bad in [-1.0, -f64::MIN_POSITIVE, f64::NAN, f64::NEG_INFINITY] {
             for res in [
@@ -121,6 +209,8 @@ mod tests {
                 mi_bound_bits(bad, 5),
                 per_record_mi_bound_nats(bad),
                 neighbor_kl_bound_nats(bad),
+                cuff_yu_mi_charge_nats(bad),
+                cuff_yu_mi_bound_nats(bad, 5),
             ] {
                 assert!(
                     matches!(

@@ -1,0 +1,563 @@
+//! Cache-blocked channel kernels for large alphabets (10⁴+ symbols).
+//!
+//! [`DiscreteChannel`] stores its kernel as one boxed `Vec` per row —
+//! fine at the 2–256 symbol sizes the experiments started at, but at
+//! ROADMAP item 5's 10⁴+ hypotheses the per-row pointer chase dominates:
+//! the naive posterior-vulnerability pass walks the matrix
+//! **column-major across row allocations** (one `row[y]` load per row
+//! per output symbol), missing cache on nearly every access.
+//!
+//! [`FlatChannel`] keeps the same validated data in a single flat
+//! row-major buffer and exposes **blocked** (tile-based) versions of the
+//! O(n²) scans — output marginal, mutual information, min-entropy
+//! leakage, and the `dp_bounds`-adjacent worst-row-ratio scan. Tiles are
+//! dispatched over the `dplearn-parallel` worker pool with
+//! fixed-size chunks, so results are bit-identical at every
+//! `DPLEARN_THREADS` setting, and — because every blocked fold keeps the
+//! *same association* as its reference loop — bit-identical at every
+//! tile size too:
+//!
+//! * `output_marginal_blocked` accumulates each column's contributions
+//!   in source order — the same per-column addition sequence as
+//!   [`DiscreteChannel::output_marginal`], so it is **bit-identical** to
+//!   it (pinned in `tests/determinism.rs`).
+//! * `posterior_vulnerability_blocked` takes each column's max over
+//!   inputs in source order, then sums the per-column bests in output
+//!   order — the same operations as
+//!   [`crate::leakage::posterior_vulnerability`], so it is
+//!   **bit-identical** to it.
+//! * `mutual_information_blocked` computes one plain partial sum per
+//!   *row* (left-to-right over outputs), then folds the per-row values
+//!   in input order with Kahan compensation. That association differs
+//!   from [`DiscreteChannel::mutual_information`]'s single global
+//!   accumulator, so the two agree only to rounding — but the blocked
+//!   fold is a pure function of the matrix, independent of tile size
+//!   and thread count, and is pinned bit-identical to its own serial
+//!   reference ([`FlatChannel::mutual_information_naive`]).
+
+use crate::channel::DiscreteChannel;
+use crate::{validate_distribution, InfoError, Result};
+use dplearn_numerics::special::{xlogx_over_y, KahanSum};
+
+/// Approximate cost (≈ nanoseconds, [`dplearn_parallel::par_threshold`]
+/// units) of one matrix cell in the mutual-information sweep: a
+/// division, a logarithm, a multiply-add.
+const MI_CELL_COST: u64 = 24;
+
+/// Approximate cost of one cell in the marginal / vulnerability sweeps:
+/// a multiply and an add or max.
+const SCAN_CELL_COST: u64 = 2;
+
+/// A discrete memoryless channel stored as one flat row-major buffer —
+/// the large-alphabet counterpart of [`DiscreteChannel`].
+///
+/// Row `x` occupies `kernel[x·ny .. (x+1)·ny]`. Construction validates
+/// exactly what [`DiscreteChannel::new`] validates, so every blocked
+/// method below may assume a row-stochastic kernel and a normalized
+/// input distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatChannel {
+    input: Vec<f64>,
+    kernel: Vec<f64>,
+    ny: usize,
+}
+
+/// Tile sizes must be positive: a zero tile would make the blocked
+/// sweeps dispatch nothing and silently return garbage.
+fn validate_tile(tile: usize) -> Result<usize> {
+    if tile == 0 {
+        return Err(InfoError::InvalidParameter {
+            name: "tile",
+            reason: "tile size must be positive".to_string(),
+        });
+    }
+    Ok(tile)
+}
+
+// Blocked sweeps index rows/columns with offsets handed out by the
+// parallel scheduler, all bounded by the validated kernel dimensions.
+#[allow(clippy::indexing_slicing)]
+impl FlatChannel {
+    /// Build a flat channel from an input distribution and a flat
+    /// row-major kernel with row stride `ny`. Validates the input
+    /// distribution, the buffer shape, and each kernel row.
+    pub fn new(input: Vec<f64>, kernel: Vec<f64>, ny: usize) -> Result<Self> {
+        validate_distribution("channel input", &input)?;
+        if ny == 0 {
+            return Err(InfoError::InvalidParameter {
+                name: "ny",
+                reason: "output alphabet must be non-empty".to_string(),
+            });
+        }
+        if kernel.len() != input.len() * ny {
+            return Err(InfoError::InvalidParameter {
+                name: "kernel",
+                reason: format!(
+                    "expected {} cells ({} rows × {ny}), got {}",
+                    input.len() * ny,
+                    input.len(),
+                    kernel.len()
+                ),
+            });
+        }
+        for (x, row) in kernel.chunks(ny).enumerate() {
+            validate_distribution("kernel row", row).map_err(|_| InfoError::NotADistribution {
+                what: "kernel row",
+                detail: format!("row {x} is not a probability distribution"),
+            })?;
+        }
+        Ok(FlatChannel { input, kernel, ny })
+    }
+
+    /// Flatten an already-validated [`DiscreteChannel`] (no re-validation).
+    pub fn from_channel(channel: &DiscreteChannel) -> Self {
+        let ny = channel.n_outputs();
+        let mut kernel = Vec::with_capacity(channel.n_inputs() * ny);
+        for row in channel.kernel() {
+            kernel.extend_from_slice(row);
+        }
+        FlatChannel {
+            input: channel.input().to_vec(),
+            kernel,
+            ny,
+        }
+    }
+
+    /// Rebuild the boxed-row [`DiscreteChannel`] form.
+    pub fn to_channel(&self) -> Result<DiscreteChannel> {
+        DiscreteChannel::new(
+            self.input.clone(),
+            self.kernel.chunks(self.ny).map(<[f64]>::to_vec).collect(),
+        )
+    }
+
+    /// Number of channel inputs.
+    pub fn n_inputs(&self) -> usize {
+        self.input.len()
+    }
+
+    /// Number of channel outputs (the row stride).
+    pub fn n_outputs(&self) -> usize {
+        self.ny
+    }
+
+    /// Input distribution `p(x)`.
+    pub fn input(&self) -> &[f64] {
+        &self.input
+    }
+
+    /// The flat row-major kernel buffer.
+    pub fn kernel_flat(&self) -> &[f64] {
+        &self.kernel
+    }
+
+    /// Kernel row `p(·|x)`, or `None` past the input alphabet.
+    pub fn row(&self, x: usize) -> Option<&[f64]> {
+        self.kernel.get(x * self.ny..(x + 1) * self.ny)
+    }
+
+    /// Output marginal `p(y) = Σ_x p(x)·p(y|x)`, accumulated per column
+    /// tile with each column's terms added in source order —
+    /// bit-identical to [`DiscreteChannel::output_marginal`] at every
+    /// tile size and thread count. Zero-mass inputs are skipped: they
+    /// contribute exact `+0.0` terms, which leave the (never-negative)
+    /// accumulators unchanged bit for bit.
+    pub fn output_marginal_blocked(&self, tile: usize) -> Result<Vec<f64>> {
+        let tile = validate_tile(tile)?;
+        let (input, kernel, ny) = (&self.input, &self.kernel, self.ny);
+        let mut out = vec![0.0; ny];
+        dplearn_parallel::par_for_each_chunk_mut_with_cost(
+            &mut out,
+            tile,
+            SCAN_CELL_COST * input.len() as u64,
+            |_chunk, start, cols| {
+                let width = cols.len();
+                for (x, &px) in input.iter().enumerate() {
+                    if px == 0.0 {
+                        continue;
+                    }
+                    let row0 = x * ny + start;
+                    for (o, &q) in cols.iter_mut().zip(&kernel[row0..row0 + width]) {
+                        *o += px * q;
+                    }
+                }
+            },
+        );
+        Ok(out)
+    }
+
+    /// Mutual information `I(X;Y)` in nats, blocked over row tiles.
+    ///
+    /// Each row's inner sum runs left-to-right over outputs (plain
+    /// accumulation, one multiply by `p(x)` at the end); the per-row
+    /// values are then folded in input order with Kahan compensation.
+    /// The fold structure never depends on the tile grouping or the
+    /// worker count, so the result is bit-identical across both — pinned
+    /// against [`FlatChannel::mutual_information_naive`] in
+    /// `tests/determinism.rs`. Agreement with
+    /// [`DiscreteChannel::mutual_information`] (a different association)
+    /// is to rounding, checked separately.
+    pub fn mutual_information_blocked(&self, tile: usize) -> Result<f64> {
+        let tile = validate_tile(tile)?;
+        let marginal = self.output_marginal_blocked(tile)?;
+        let (input, kernel, ny) = (&self.input, &self.kernel, self.ny);
+        let mut row_sums = vec![0.0; input.len()];
+        {
+            let marginal = &marginal;
+            dplearn_parallel::par_for_each_chunk_mut_with_cost(
+                &mut row_sums,
+                tile,
+                MI_CELL_COST * ny as u64,
+                |_chunk, start, rows| {
+                    for (offset, slot) in rows.iter_mut().enumerate() {
+                        let x = start + offset;
+                        let px = input[x];
+                        if px == 0.0 {
+                            *slot = 0.0;
+                            continue;
+                        }
+                        let row = &kernel[x * ny..(x + 1) * ny];
+                        let mut s = 0.0;
+                        for (&pyx, &py) in row.iter().zip(marginal) {
+                            s += xlogx_over_y(pyx, py);
+                        }
+                        *slot = px * s;
+                    }
+                },
+            );
+        }
+        let mut acc = KahanSum::new();
+        for &v in &row_sums {
+            acc.add(v);
+        }
+        // Clamp away −0.0 / tiny negative rounding, as the boxed-row
+        // path does.
+        Ok(acc.value().max(0.0))
+    }
+
+    /// The serial reference for [`mutual_information_blocked`]: the
+    /// identical fold structure (plain per-row sums, Kahan fold over
+    /// rows) with no tiling and no parallel dispatch. The blocked sweep
+    /// is pinned bit-identical to this at every tile size and thread
+    /// count.
+    ///
+    /// [`mutual_information_blocked`]: FlatChannel::mutual_information_blocked
+    pub fn mutual_information_naive(&self) -> f64 {
+        let mut marginal = vec![0.0; self.ny];
+        for (x, &px) in self.input.iter().enumerate() {
+            if px == 0.0 {
+                continue;
+            }
+            let row = &self.kernel[x * self.ny..(x + 1) * self.ny];
+            for (o, &q) in marginal.iter_mut().zip(row) {
+                *o += px * q;
+            }
+        }
+        let mut acc = KahanSum::new();
+        for (x, &px) in self.input.iter().enumerate() {
+            if px == 0.0 {
+                continue;
+            }
+            let row = &self.kernel[x * self.ny..(x + 1) * self.ny];
+            let mut s = 0.0;
+            for (&pyx, &py) in row.iter().zip(&marginal) {
+                s += xlogx_over_y(pyx, py);
+            }
+            acc.add(px * s);
+        }
+        acc.value().max(0.0)
+    }
+
+    /// Prior (one-guess) vulnerability `V(X) = max_x p(x)` — same fold
+    /// as [`crate::leakage::prior_vulnerability`].
+    pub fn prior_vulnerability(&self) -> f64 {
+        self.input.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Posterior vulnerability `V(X|Y) = Σ_y max_x p(x)·p(y|x)`, blocked
+    /// over column tiles.
+    ///
+    /// The boxed-row reference walks the matrix column-major — one
+    /// pointer chase per row per output symbol. Here each column tile
+    /// streams the flat rows once, taking per-column maxima in source
+    /// order; the per-column bests are then summed in output order
+    /// (plain accumulation, matching the reference). Maxima are exact
+    /// under any association and every product is `≥ 0.0`, so the result
+    /// is **bit-identical** to
+    /// [`crate::leakage::posterior_vulnerability`] at every tile size
+    /// and thread count.
+    pub fn posterior_vulnerability_blocked(&self, tile: usize) -> Result<f64> {
+        let tile = validate_tile(tile)?;
+        let (input, kernel, ny) = (&self.input, &self.kernel, self.ny);
+        let n_tiles = ny.div_ceil(tile);
+        let total = dplearn_parallel::par_map_reduce_with_cost(
+            n_tiles,
+            SCAN_CELL_COST * (tile * input.len()) as u64,
+            0.0f64,
+            |t| {
+                let start = t * tile;
+                let width = tile.min(ny - start);
+                let mut bests = vec![0.0f64; width];
+                for (x, &px) in input.iter().enumerate() {
+                    let row0 = x * ny + start;
+                    for (b, &q) in bests.iter_mut().zip(&kernel[row0..row0 + width]) {
+                        *b = b.max(px * q);
+                    }
+                }
+                bests
+            },
+            // Tiles fold in index order, so the global sum visits the
+            // per-column bests exactly in output order.
+            |acc, bests| bests.iter().fold(acc, |a, &b| a + b),
+        );
+        Ok(total)
+    }
+
+    /// Min-entropy leakage in bits, blocked — bit-identical to
+    /// [`crate::leakage::min_entropy_leakage_bits`] (the vulnerabilities
+    /// are, and the final expression is the same).
+    pub fn min_entropy_leakage_bits_blocked(&self, tile: usize) -> Result<f64> {
+        Ok((self.posterior_vulnerability_blocked(tile)? / self.prior_vulnerability()).log2())
+    }
+
+    /// Multiplicative Bayes leakage `V(X|Y)/V(X)`, blocked —
+    /// bit-identical to [`crate::leakage::multiplicative_bayes_leakage`].
+    pub fn multiplicative_bayes_leakage_blocked(&self, tile: usize) -> Result<f64> {
+        Ok(self.posterior_vulnerability_blocked(tile)? / self.prior_vulnerability())
+    }
+
+    /// The worst log-ratio between any two kernel rows — the
+    /// `dp_bounds`-adjacent scan: for a learning channel over
+    /// neighboring datasets this is the mechanism's exact ε. Same value
+    /// as [`DiscreteChannel::max_row_log_ratio`] (maxima are exact under
+    /// any association), computed with row pairs parallelized over `tile`
+    /// anchor rows per task instead of the boxed-row triple loop.
+    pub fn max_row_log_ratio_blocked(&self, tile: usize) -> Result<f64> {
+        let tile = validate_tile(tile)?;
+        let (kernel, ny) = (&self.kernel, self.ny);
+        let nx = self.input.len();
+        let n_tiles = nx.div_ceil(tile);
+        let worst = dplearn_parallel::par_map_reduce_with_cost(
+            n_tiles,
+            MI_CELL_COST * (tile * nx * ny) as u64,
+            0.0f64,
+            |t| {
+                let lo = t * tile;
+                let hi = (lo + tile).min(nx);
+                let mut w = 0.0f64;
+                for i in lo..hi {
+                    let row_i = &kernel[i * ny..(i + 1) * ny];
+                    for j in (i + 1)..nx {
+                        let row_j = &kernel[j * ny..(j + 1) * ny];
+                        for (&a, &b) in row_i.iter().zip(row_j) {
+                            if a == 0.0 && b == 0.0 {
+                                continue;
+                            }
+                            if a == 0.0 || b == 0.0 {
+                                return f64::INFINITY;
+                            }
+                            w = w.max((a / b).ln().abs());
+                        }
+                    }
+                }
+                w
+            },
+            f64::max,
+        );
+        Ok(worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::leakage;
+    use dplearn_numerics::rng::{Rng, Xoshiro256};
+
+    /// A deterministic dense test channel with a few zero kernel cells
+    /// and one zero-mass input symbol.
+    fn test_channel(nx: usize, ny: usize, seed: u64) -> DiscreteChannel {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let mut input: Vec<f64> = (0..nx).map(|_| rng.next_open_f64()).collect();
+        input[nx / 2] = 0.0;
+        let total: f64 = input.iter().sum();
+        for v in &mut input {
+            *v /= total;
+        }
+        let kernel: Vec<Vec<f64>> = (0..nx)
+            .map(|_| {
+                let mut row: Vec<f64> = (0..ny)
+                    .map(|_| {
+                        if rng.next_bool(0.1) {
+                            0.0
+                        } else {
+                            rng.next_open_f64()
+                        }
+                    })
+                    .collect();
+                if row.iter().all(|&v| v == 0.0) {
+                    row[0] = 1.0;
+                }
+                let t: f64 = row.iter().sum();
+                for v in &mut row {
+                    *v /= t;
+                }
+                row
+            })
+            .collect();
+        DiscreteChannel::new(input, kernel).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(FlatChannel::new(vec![0.5, 0.5], vec![0.5, 0.5, 0.5, 0.5], 2).is_ok());
+        // Wrong buffer size.
+        assert!(FlatChannel::new(vec![0.5, 0.5], vec![0.5, 0.5, 0.5], 2).is_err());
+        // Zero-width rows.
+        assert!(FlatChannel::new(vec![1.0], vec![], 0).is_err());
+        // A non-stochastic row.
+        assert!(FlatChannel::new(vec![0.5, 0.5], vec![0.5, 0.5, 0.9, 0.2], 2).is_err());
+        // A bad input distribution.
+        assert!(FlatChannel::new(vec![0.5, 0.6], vec![0.5, 0.5, 0.5, 0.5], 2).is_err());
+    }
+
+    #[test]
+    fn zero_tile_is_a_typed_error() {
+        let f = FlatChannel::from_channel(&test_channel(5, 7, 11));
+        assert!(matches!(
+            f.output_marginal_blocked(0),
+            Err(InfoError::InvalidParameter { name: "tile", .. })
+        ));
+        assert!(f.mutual_information_blocked(0).is_err());
+        assert!(f.posterior_vulnerability_blocked(0).is_err());
+        assert!(f.min_entropy_leakage_bits_blocked(0).is_err());
+        assert!(f.max_row_log_ratio_blocked(0).is_err());
+    }
+
+    #[test]
+    fn round_trips_through_discrete_channel() {
+        let c = test_channel(6, 9, 3);
+        let f = FlatChannel::from_channel(&c);
+        assert_eq!(f.n_inputs(), 6);
+        assert_eq!(f.n_outputs(), 9);
+        assert_eq!(f.row(2).unwrap(), c.kernel()[2].as_slice());
+        assert!(f.row(6).is_none());
+        assert_eq!(f.to_channel().unwrap(), c);
+    }
+
+    #[test]
+    fn blocked_marginal_is_bit_identical_to_boxed_rows_at_any_tile() {
+        let c = test_channel(13, 17, 5);
+        let f = FlatChannel::from_channel(&c);
+        let want: Vec<u64> = c.output_marginal().iter().map(|v| v.to_bits()).collect();
+        for tile in [1, 7, 64, 4096] {
+            let got: Vec<u64> = f
+                .output_marginal_blocked(tile)
+                .unwrap()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(got, want, "marginal drifted at tile={tile}");
+        }
+    }
+
+    #[test]
+    fn blocked_vulnerability_and_leakage_are_bit_identical_to_reference() {
+        let c = test_channel(13, 17, 7);
+        let f = FlatChannel::from_channel(&c);
+        let want_post = leakage::posterior_vulnerability(&c);
+        let want_leak = leakage::min_entropy_leakage_bits(&c);
+        let want_mult = leakage::multiplicative_bayes_leakage(&c);
+        assert_eq!(
+            f.prior_vulnerability().to_bits(),
+            leakage::prior_vulnerability(&c).to_bits()
+        );
+        for tile in [1, 7, 64, 4096] {
+            assert_eq!(
+                f.posterior_vulnerability_blocked(tile).unwrap().to_bits(),
+                want_post.to_bits(),
+                "posterior vulnerability drifted at tile={tile}"
+            );
+            assert_eq!(
+                f.min_entropy_leakage_bits_blocked(tile).unwrap().to_bits(),
+                want_leak.to_bits()
+            );
+            assert_eq!(
+                f.multiplicative_bayes_leakage_blocked(tile)
+                    .unwrap()
+                    .to_bits(),
+                want_mult.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_mi_is_tile_invariant_and_matches_its_naive_reference() {
+        let c = test_channel(13, 17, 9);
+        let f = FlatChannel::from_channel(&c);
+        let want = f.mutual_information_naive();
+        for tile in [1, 7, 64, 4096] {
+            let got = f.mutual_information_blocked(tile).unwrap();
+            assert_eq!(got.to_bits(), want.to_bits(), "MI drifted at tile={tile}");
+        }
+        // Against the boxed-row association: rounding-level agreement.
+        let boxed = c.mutual_information();
+        assert!(
+            (want - boxed).abs() <= 1e-12 * boxed.abs().max(1.0),
+            "blocked {want} vs boxed {boxed}"
+        );
+    }
+
+    #[test]
+    fn blocked_mi_known_values() {
+        // BSC with crossover 0.1, uniform input: I = ln2 − H(0.1).
+        let p = 0.1f64;
+        let f = FlatChannel::new(vec![0.5, 0.5], vec![1.0 - p, p, p, 1.0 - p], 2).unwrap();
+        let want = std::f64::consts::LN_2 - dplearn_numerics::special::binary_entropy(p);
+        let got = f.mutual_information_blocked(64).unwrap();
+        assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        // A useless channel clamps to exactly zero.
+        let useless = FlatChannel::new(vec![0.3, 0.7], vec![0.5, 0.5, 0.5, 0.5], 2).unwrap();
+        assert_eq!(useless.mutual_information_blocked(1).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn blocked_row_ratio_matches_boxed_rows() {
+        let c = test_channel(9, 6, 13);
+        let f = FlatChannel::from_channel(&c);
+        let want = c.max_row_log_ratio();
+        for tile in [1, 7, 64] {
+            assert_eq!(
+                f.max_row_log_ratio_blocked(tile).unwrap().to_bits(),
+                want.to_bits()
+            );
+        }
+        // Structural zeros in one row but not another force ε = ∞ in
+        // both implementations.
+        let inf = FlatChannel::new(vec![0.5, 0.5], vec![1.0, 0.0, 0.5, 0.5], 2).unwrap();
+        assert_eq!(inf.max_row_log_ratio_blocked(1).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn blocked_sweeps_are_thread_count_invariant() {
+        let c = test_channel(37, 41, 17);
+        let f = FlatChannel::from_channel(&c);
+        let run = || {
+            (
+                f.output_marginal_blocked(8)
+                    .unwrap()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<u64>>(),
+                f.mutual_information_blocked(8).unwrap().to_bits(),
+                f.posterior_vulnerability_blocked(8).unwrap().to_bits(),
+            )
+        };
+        dplearn_parallel::set_thread_count(1);
+        let one = run();
+        dplearn_parallel::set_thread_count(4);
+        let four = run();
+        dplearn_parallel::set_thread_count(0);
+        assert_eq!(one, four);
+    }
+}

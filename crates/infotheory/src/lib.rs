@@ -18,7 +18,12 @@
 //! * [`leakage`] — min-entropy leakage (the Alvim et al. connection the
 //!   paper cites),
 //! * [`dp_bounds`] — information-theoretic consequences of ε-DP
-//!   (`I(Ẑ;θ) ≤ n·ε` nats),
+//!   (`I(Ẑ;θ) ≤ n·ε` nats, and the tighter Cuff–Yu per-record charge
+//!   `ε·tanh(ε/2)`),
+//! * [`flat`] — cache-blocked, tile-parallel kernels over a flat
+//!   row-major channel for 10⁴+-symbol alphabets,
+//! * [`mi_accounting`] — the [`MiAccountant`](mi_accounting::MiAccountant)
+//!   running MI-charge track the engine reports alongside ε composition,
 //! * [`fano`] — Fano-type lower bounds: small `I(Ẑ;θ)` *forces*
 //!   reconstruction error on any adversary (the paper's announced
 //!   bound-comparison direction, experiment E11).
@@ -39,7 +44,9 @@ pub mod divergences;
 pub mod dp_bounds;
 pub mod entropy;
 pub mod fano;
+pub mod flat;
 pub mod leakage;
+pub mod mi_accounting;
 pub mod mutual_information;
 
 /// Errors produced by the information-theory layer.

@@ -1,0 +1,167 @@
+//! The Cuff–Yu mutual-information accounting track.
+//!
+//! The engine's `LeakageLedger` converts spent ε into MI bounds after
+//! the fact; this module provides the *running* MI track that
+//! accumulates a per-query charge as queries execute, the way the
+//! ε-composition tracks do. Each ε-DP query charges
+//! `ε·tanh(ε/2)` nats per record
+//! ([`crate::dp_bounds::cuff_yu_mi_charge_nats`]); by the chain rule
+//! for mutual information the charges compose **additively**, so after
+//! queries `ε₁, …, ε_k`,
+//!
+//! ```text
+//! I(Zᵢ; θ₁..θ_k | Z₍₋ᵢ₎) ≤ Σⱼ εⱼ·tanh(εⱼ/2)   (nats, per record)
+//! I(Ẑ; θ₁..θ_k)          ≤ n · Σⱼ εⱼ·tanh(εⱼ/2)
+//! ```
+//!
+//! Because `ε·tanh(ε/2) < min(ε, ε²/2)`, the MI track is *always*
+//! strictly below the basic-composition conversion `n·Σεⱼ`, and for
+//! many small charges it beats the advanced-composition conversion too
+//! (advanced composition pays a `√(2k ln(1/δ′))` additive term; the MI
+//! track is purely quadratic in small ε with no slack δ′). Experiment
+//! E14 measures both against the exact channel MI at 4096–10240
+//! hypotheses.
+//!
+//! Accumulation is Kahan-compensated and strictly sequential (charges
+//! are folded in arrival order), so replaying a charge history —
+//! exactly what crash recovery does — rebuilds the track bit for bit.
+
+use crate::dp_bounds::cuff_yu_mi_charge_nats;
+use crate::Result;
+use dplearn_numerics::special::KahanSum;
+
+/// A running Cuff–Yu MI-charge accumulator for one dataset.
+///
+/// Equality compares the compensated accumulator state bit for bit —
+/// two accountants are equal iff they absorbed the same charge sequence
+/// (up to Kahan-state collisions), which is what the recovery tests pin.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MiAccountant {
+    per_record: KahanSum,
+    charges: u64,
+}
+
+impl MiAccountant {
+    /// An empty track: zero charges, zero leakage.
+    pub fn new() -> Self {
+        MiAccountant::default()
+    }
+
+    /// Charge one ε-DP query against the track and return the charge
+    /// that was added (`ε·tanh(ε/2)` nats). NaN or negative ε is a
+    /// typed error and leaves the track untouched; `ε = +∞` drives the
+    /// track to `+∞` (a vacuous but correct bound), mirroring the
+    /// ε-composition tracks.
+    pub fn charge_epsilon(&mut self, epsilon: f64) -> Result<f64> {
+        let charge = cuff_yu_mi_charge_nats(epsilon)?;
+        self.per_record.add(charge);
+        self.charges += 1;
+        Ok(charge)
+    }
+
+    /// Number of charges absorbed.
+    pub fn charges(&self) -> u64 {
+        self.charges
+    }
+
+    /// Per-record MI bound in nats: `Σⱼ εⱼ·tanh(εⱼ/2)`.
+    pub fn per_record_nats(&self) -> f64 {
+        self.per_record.value()
+    }
+
+    /// Per-record MI bound in bits.
+    pub fn per_record_bits(&self) -> f64 {
+        self.per_record.value() / std::f64::consts::LN_2
+    }
+
+    /// Dataset-level MI bound in nats for `n` records:
+    /// `n · Σⱼ εⱼ·tanh(εⱼ/2)`. Zero records leak exactly nothing (even
+    /// when the per-record track is `+∞`).
+    pub fn dataset_nats(&self, n_records: usize) -> f64 {
+        if n_records == 0 {
+            return 0.0;
+        }
+        self.per_record.value() * n_records as f64
+    }
+
+    /// Dataset-level MI bound in bits.
+    pub fn dataset_bits(&self, n_records: usize) -> f64 {
+        self.dataset_nats(n_records) / std::f64::consts::LN_2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InfoError;
+
+    #[test]
+    fn charges_accumulate_additively() {
+        let mut acc = MiAccountant::new();
+        assert_eq!(acc.per_record_nats(), 0.0);
+        assert_eq!(acc.charges(), 0);
+        let c1 = acc.charge_epsilon(0.5).unwrap();
+        let c2 = acc.charge_epsilon(1.0).unwrap();
+        assert_eq!(acc.charges(), 2);
+        assert!((acc.per_record_nats() - (c1 + c2)).abs() < 1e-15);
+        assert!(
+            (acc.per_record_bits() - acc.per_record_nats() / std::f64::consts::LN_2).abs() < 1e-15
+        );
+        assert_eq!(acc.dataset_nats(10), acc.per_record_nats() * 10.0);
+        assert_eq!(acc.dataset_nats(0), 0.0);
+    }
+
+    #[test]
+    fn track_beats_basic_composition() {
+        let mut acc = MiAccountant::new();
+        let mut basic = 0.0;
+        for _ in 0..100 {
+            acc.charge_epsilon(0.05).unwrap();
+            basic += 0.05;
+        }
+        assert!(acc.per_record_nats() < basic);
+        // For ε = 0.05 the charge is ≈ ε²/2: two orders tighter.
+        assert!(acc.per_record_nats() < basic * 0.05);
+    }
+
+    #[test]
+    fn invalid_epsilon_leaves_the_track_untouched() {
+        let mut acc = MiAccountant::new();
+        acc.charge_epsilon(0.3).unwrap();
+        let before = acc;
+        assert!(matches!(
+            acc.charge_epsilon(f64::NAN),
+            Err(InfoError::InvalidParameter { .. })
+        ));
+        assert!(acc.charge_epsilon(-1.0).is_err());
+        assert_eq!(acc, before);
+        assert_eq!(acc.charges(), 1);
+    }
+
+    #[test]
+    fn infinite_epsilon_poisons_the_bound_but_not_zero_records() {
+        let mut acc = MiAccountant::new();
+        acc.charge_epsilon(f64::INFINITY).unwrap();
+        assert_eq!(acc.per_record_nats(), f64::INFINITY);
+        assert_eq!(acc.dataset_nats(5), f64::INFINITY);
+        assert_eq!(acc.dataset_nats(0), 0.0);
+    }
+
+    #[test]
+    fn replaying_a_history_rebuilds_the_track_bit_identically() {
+        let history = [0.3, 0.001, 0.7, 0.05, 0.05, 1.5];
+        let mut live = MiAccountant::new();
+        for &eps in &history {
+            live.charge_epsilon(eps).unwrap();
+        }
+        let mut replayed = MiAccountant::new();
+        for &eps in &history {
+            replayed.charge_epsilon(eps).unwrap();
+        }
+        assert_eq!(live, replayed);
+        assert_eq!(
+            live.per_record_nats().to_bits(),
+            replayed.per_record_nats().to_bits()
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests pinning `log_sum_exp_fast` against the default
+//! compensated `log_sum_exp`.
+//!
+//! The fast path reorders the exp-sum into four independent lanes and
+//! drops Kahan compensation, so for lengths ≥ 2 the two paths may
+//! differ by a few ulps. After subtracting the (bit-exact, shared) max,
+//! every exp term lies in `(0, 1]` and the true sum lies in `[1, n]`,
+//! so a plain n-term sum is within `n·eps` relative of the compensated
+//! one and `|fast − slow| ≤ 1e-13` absolute is a safe documented
+//! tolerance for the lengths exercised here (n ≤ 64). Edge cases —
+//! empty input, single element, all-(−∞), any +∞ — must match the slow
+//! path **bit for bit**; in particular single-element inputs take the
+//! remainder loop on both paths and return the element itself.
+
+use dplearn_numerics::special::{log_sum_exp, log_sum_exp_fast};
+use proptest::prelude::*;
+
+/// Documented reordering tolerance for the fast path (absolute, valid
+/// because both paths subtract the same exact max before summing).
+const LSE_FAST_ABS_TOL: f64 = 1e-13;
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3..1e3f64, len)
+}
+
+proptest! {
+    #[test]
+    fn fast_matches_slow_within_documented_tolerance(xs in finite_vec(2..64)) {
+        let fast = log_sum_exp_fast(&xs);
+        let slow = log_sum_exp(&xs);
+        prop_assert!(
+            (fast - slow).abs() <= LSE_FAST_ABS_TOL,
+            "len={}: fast {fast} vs slow {slow}",
+            xs.len()
+        );
+    }
+
+    #[test]
+    fn remainder_tail_lengths_not_divisible_by_four(
+        xs in finite_vec(2..14),
+    ) {
+        // Lengths 2..=13 cover every residue mod 4 on both sides of the
+        // 4-lane kernel's first full chunk, so the remainder loop and
+        // the lane-merge are both exercised.
+        let fast = log_sum_exp_fast(&xs);
+        let slow = log_sum_exp(&xs);
+        prop_assert!((fast - slow).abs() <= LSE_FAST_ABS_TOL);
+    }
+
+    #[test]
+    fn single_element_is_bit_identical(x in -1e3..1e3f64) {
+        // One term: exp(x − x) = 1, ln(1) = 0, result is x on both
+        // paths with no rounding at all.
+        prop_assert_eq!(
+            log_sum_exp_fast(&[x]).to_bits(),
+            log_sum_exp(&[x]).to_bits()
+        );
+    }
+
+    #[test]
+    fn neg_infinities_are_transparent(xs in finite_vec(2..16), k in 0usize..4) {
+        // −∞ entries contribute exp(−∞) = 0 on both paths; padding any
+        // input with them must stay within the same tolerance.
+        let mut padded = xs.clone();
+        for _ in 0..k {
+            padded.push(f64::NEG_INFINITY);
+        }
+        let fast = log_sum_exp_fast(&padded);
+        let slow = log_sum_exp(&padded);
+        prop_assert!((fast - slow).abs() <= LSE_FAST_ABS_TOL);
+    }
+
+    #[test]
+    fn any_plus_infinity_dominates_bitwise(xs in finite_vec(1..12), at in 0usize..12) {
+        let mut v = xs.clone();
+        let at = at % v.len();
+        v[at] = f64::INFINITY;
+        prop_assert_eq!(log_sum_exp_fast(&v).to_bits(), log_sum_exp(&v).to_bits());
+        prop_assert_eq!(log_sum_exp_fast(&v).to_bits(), f64::INFINITY.to_bits());
+    }
+}
+
+#[test]
+fn empty_input_is_bit_identical_neg_infinity() {
+    assert_eq!(log_sum_exp_fast(&[]).to_bits(), log_sum_exp(&[]).to_bits());
+    assert_eq!(log_sum_exp_fast(&[]).to_bits(), f64::NEG_INFINITY.to_bits());
+}
+
+#[test]
+fn all_neg_infinity_is_bit_identical_at_every_tail_length() {
+    // All-(−∞) inputs short-circuit (max is −∞) on both paths for every
+    // length, including lengths not divisible by 4.
+    for len in 0..=9 {
+        let v = vec![f64::NEG_INFINITY; len];
+        assert_eq!(
+            log_sum_exp_fast(&v).to_bits(),
+            log_sum_exp(&v).to_bits(),
+            "len={len}"
+        );
+        assert_eq!(log_sum_exp_fast(&v).to_bits(), f64::NEG_INFINITY.to_bits());
+    }
+}

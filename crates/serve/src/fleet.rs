@@ -144,6 +144,9 @@ mod tests {
             mi_bound_nats: 10.0 * eps,
             mi_bound_bits: 10.0 * eps / std::f64::consts::LN_2,
             per_record_bound_nats: eps,
+            mi_track_per_record_nats: eps * (eps / 2.0).tanh(),
+            mi_track_nats: 10.0 * eps * (eps / 2.0).tanh(),
+            mi_track_bits: 10.0 * eps * (eps / 2.0).tanh() / std::f64::consts::LN_2,
             operations: 2,
             rejected: 1,
             faulted: 0,

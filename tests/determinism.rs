@@ -98,8 +98,10 @@ fn thread_override_lock() -> std::sync::MutexGuard<'static, ()> {
     LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Run `body` at 1, 2, and 8 workers and assert all results are equal.
-fn assert_thread_count_invariant<T: PartialEq + std::fmt::Debug>(body: impl Fn() -> T) {
+/// Run `body` at 1, 2, and 8 workers, assert all results are equal, and
+/// return the 1-worker baseline (so callers can pin it against an
+/// external reference too).
+fn assert_thread_count_invariant<T: PartialEq + std::fmt::Debug>(body: impl Fn() -> T) -> T {
     let _guard = thread_override_lock();
     dplearn_parallel::set_thread_count(1);
     let baseline = body();
@@ -108,6 +110,7 @@ fn assert_thread_count_invariant<T: PartialEq + std::fmt::Debug>(body: impl Fn()
         assert_eq!(body(), baseline, "diverged at {threads} workers");
     }
     dplearn_parallel::set_thread_count(0);
+    baseline
 }
 
 #[test]
@@ -690,6 +693,185 @@ fn pool_survives_blahut_arimoto_retry_restarts() {
             dplearn_parallel::par_map_indexed(257, |i| ((i as f64).sqrt() + 1.0).to_bits());
         (rd.rate.to_bits(), report.attempts, after)
     });
+}
+
+// ---------------------------------------------------------------------
+// Tiled / blocked large-alphabet kernels
+//
+// The cache-blocked kernels in `infotheory::flat` and the tiled BA
+// sweep promise bit-identity to their naive references at *every* tile
+// size and *every* worker count — tiling is a memory-layout decision,
+// never a numerical one. These property tests pin that across random
+// channels, the tile sizes {1, 7, 64, 4096} (degenerate, odd,
+// cache-sized, larger-than-problem) and 1/2/8 workers.
+// ---------------------------------------------------------------------
+
+const PIN_TILES: [usize; 4] = [1, 7, 64, 4096];
+
+/// Random channel with a zero-mass input row and ~10% zero kernel
+/// cells, the same shape the unit suites use: the blocked paths must
+/// handle pruning and sparse columns, not just dense strictly-positive
+/// matrices.
+fn random_channel(nx: usize, ny: usize, seed: u64) -> (Vec<f64>, Vec<Vec<f64>>) {
+    use dplearn::numerics::rng::Rng;
+    let mut rng = Xoshiro256::seed_from(seed);
+    let mut input: Vec<f64> = (0..nx).map(|_| rng.next_f64() + 0.05).collect();
+    if nx > 2 {
+        input[nx / 2] = 0.0;
+    }
+    let total: f64 = input.iter().sum();
+    for p in &mut input {
+        *p /= total;
+    }
+    let kernel: Vec<Vec<f64>> = (0..nx)
+        .map(|_| {
+            let mut row: Vec<f64> = (0..ny)
+                .map(|_| {
+                    let v = rng.next_f64();
+                    if v < 0.1 {
+                        0.0
+                    } else {
+                        v + 0.02
+                    }
+                })
+                .collect();
+            if row.iter().all(|&v| v == 0.0) {
+                row[0] = 1.0;
+            }
+            let t: f64 = row.iter().sum();
+            for q in &mut row {
+                *q /= t;
+            }
+            row
+        })
+        .collect();
+    (input, kernel)
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn blocked_leakage_kernels_pin_to_naive_references(
+        nx in 3usize..10,
+        ny in 2usize..9,
+        seed in proptest::prelude::any::<u64>(),
+    ) {
+        use dplearn::infotheory::channel::DiscreteChannel;
+        use dplearn::infotheory::flat::FlatChannel;
+        use dplearn::infotheory::leakage;
+
+        let (input, kernel) = random_channel(nx, ny, seed);
+        let boxed = DiscreteChannel::new(input, kernel).unwrap();
+        let flat = FlatChannel::from_channel(&boxed);
+
+        // Naive references, computed once on the serial boxed path.
+        let ref_marginal: Vec<u64> = boxed
+            .output_marginal()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let ref_post = leakage::posterior_vulnerability(&boxed).to_bits();
+        let ref_leak = leakage::min_entropy_leakage_bits(&boxed).to_bits();
+        let ref_ratio = boxed.max_row_log_ratio().to_bits();
+        let ref_mi = flat.mutual_information_naive().to_bits();
+
+        let baseline = assert_thread_count_invariant(|| {
+            PIN_TILES
+                .iter()
+                .map(|&tile| {
+                    let marginal: Vec<u64> = flat
+                        .output_marginal_blocked(tile)
+                        .unwrap()
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect();
+                    (
+                        marginal,
+                        flat.posterior_vulnerability_blocked(tile).unwrap().to_bits(),
+                        flat.min_entropy_leakage_bits_blocked(tile).unwrap().to_bits(),
+                        flat.max_row_log_ratio_blocked(tile).unwrap().to_bits(),
+                        flat.mutual_information_blocked(tile).unwrap().to_bits(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        });
+        for (tile, got) in PIN_TILES.iter().zip(&baseline) {
+            let _ = tile;
+            proptest::prop_assert_eq!(&got.0, &ref_marginal);
+            proptest::prop_assert_eq!(got.1, ref_post);
+            proptest::prop_assert_eq!(got.2, ref_leak);
+            proptest::prop_assert_eq!(got.3, ref_ratio);
+            proptest::prop_assert_eq!(got.4, ref_mi);
+        }
+    }
+
+    #[test]
+    fn tiled_blahut_arimoto_pins_to_the_default_path(
+        n in 2usize..7,
+        seed in proptest::prelude::any::<u64>(),
+        beta in 0.5f64..6.0,
+    ) {
+        use dplearn::infotheory::blahut_arimoto::{
+            blahut_arimoto, blahut_arimoto_tiled, BaTileOptions,
+        };
+        use dplearn::numerics::rng::Rng;
+
+        let mut rng = Xoshiro256::seed_from(seed);
+        let mut source: Vec<f64> = (0..n).map(|_| rng.next_f64() + 0.05).collect();
+        if n > 2 {
+            source[n / 2] = 0.0; // exercise zero-mass pruning
+        }
+        let total: f64 = source.iter().sum();
+        for p in &mut source {
+            *p /= total;
+        }
+        let distortion: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| if i == j { 0.0 } else { 0.2 + 1.8 * rng.next_f64() })
+                    .collect()
+            })
+            .collect();
+
+        let reference = blahut_arimoto(&source, &distortion, beta, 1e-10, 50_000).unwrap();
+        let ref_kernel: Vec<Vec<u64>> = reference
+            .channel
+            .kernel()
+            .iter()
+            .map(|row| row.iter().map(|v| v.to_bits()).collect())
+            .collect();
+
+        let baseline = assert_thread_count_invariant(|| {
+            PIN_TILES
+                .iter()
+                .map(|&tile| {
+                    let opts = BaTileOptions {
+                        row_tile: tile,
+                        col_tile: tile,
+                        ..BaTileOptions::default()
+                    };
+                    let rd = blahut_arimoto_tiled(
+                        &source, &distortion, beta, 1e-10, 50_000, &opts,
+                    )
+                    .unwrap();
+                    let kernel: Vec<Vec<u64>> = rd
+                        .channel
+                        .kernel()
+                        .iter()
+                        .map(|row| row.iter().map(|v| v.to_bits()).collect())
+                        .collect();
+                    (kernel, rd.rate.to_bits(), rd.distortion.to_bits())
+                })
+                .collect::<Vec<_>>()
+        });
+        for (tile, got) in PIN_TILES.iter().zip(&baseline) {
+            let _ = tile;
+            proptest::prop_assert_eq!(&got.0, &ref_kernel);
+            proptest::prop_assert_eq!(got.1, reference.rate.to_bits());
+            proptest::prop_assert_eq!(got.2, reference.distortion.to_bits());
+        }
+    }
 }
 
 #[test]
